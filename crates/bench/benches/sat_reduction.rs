@@ -1,0 +1,28 @@
+//! E8 — the Theorem-4 adversarial family: category satisfiability on
+//! SAT-encoded schemas across the 3-SAT easy/hard spectrum (clause/var
+//! ratios 3.0, 4.3, 6.0). The shape to reproduce: instances near the
+//! phase-transition ratio ≈ 4.3 are the hardest, and runtime grows
+//! exponentially with the variable count — category satisfiability really
+//! is NP-complete.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use odc_bench::sat_grid;
+use odc_core::prelude::*;
+use std::hint::black_box;
+
+fn bench_sat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E8-sat-reduction");
+    group.sample_size(10);
+    for (label, formula, ds, bottom) in sat_grid() {
+        group.bench_with_input(BenchmarkId::new("dimsat", &label), &ds, |b, ds| {
+            b.iter(|| black_box(Dimsat::new(ds).category_satisfiable(bottom).satisfiable));
+        });
+        group.bench_with_input(BenchmarkId::new("dpll", &label), &formula, |b, f| {
+            b.iter(|| black_box(f.is_satisfiable()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sat);
+criterion_main!(benches);

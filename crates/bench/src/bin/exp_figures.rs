@@ -1,0 +1,78 @@
+//! E1–E5: regenerate the paper's figures as text artifacts.
+//!
+//! * Figure 1 — the `location` hierarchy schema and child/parent relation;
+//! * Figure 3 — the `locationSch` constraint set;
+//! * Figure 4 — the frozen dimensions of `locationSch` with root `Store`;
+//! * Figure 5 — `Σ(locationSch, Store)` and `Σ(locationSch, Store) ∘ g`;
+//! * Figure 7 — the DIMSAT execution trace.
+//!
+//! Run with: `cargo run -p odc-bench --bin exp_figures`
+
+use odc_core::constraint::printer;
+use odc_core::frozen::circle;
+use odc_core::prelude::*;
+use odc_workload::catalog::{location_instance, location_sch};
+
+fn main() {
+    let ds = location_sch();
+    let g = ds.hierarchy();
+
+    println!("══ Figure 1(A): hierarchy schema ══");
+    print!("{}", g);
+
+    println!("\n══ Figure 1(B): child/parent relation ══");
+    let d = location_instance(&ds);
+    print!("{}", d);
+
+    println!("\n══ Figure 3: locationSch constraints ══");
+    for (i, dc) in ds.constraints().iter().enumerate() {
+        println!(
+            "  ({}) [{}] {}",
+            (b'a' + i as u8) as char,
+            g.name(dc.root()),
+            printer::display_dc(g, dc)
+        );
+    }
+
+    println!("\n══ Figure 4: frozen dimensions of locationSch with root Store ══");
+    let store = g.category_by_name("Store").unwrap();
+    let (frozen, _) = Dimsat::new(&ds).enumerate_frozen(store);
+    for (i, f) in frozen.iter().enumerate() {
+        println!("  f{}: {}", i + 1, f.display(&ds));
+    }
+
+    println!("\n══ Figure 5: Σ(locationSch, Store) ∘ g  (g = Example 12's subhierarchy) ══");
+    let cat = |n: &str| g.category_by_name(n).unwrap();
+    let mut sub = Subhierarchy::new(store, g.num_categories());
+    sub.add_edge(cat("Store"), cat("City"));
+    sub.add_edge(cat("Store"), cat("SaleRegion"));
+    sub.add_edge(cat("City"), cat("Province"));
+    sub.add_edge(cat("City"), cat("State"));
+    sub.add_edge(cat("Province"), cat("SaleRegion"));
+    sub.add_edge(cat("State"), cat("Country"));
+    sub.add_edge(cat("SaleRegion"), cat("Country"));
+    sub.add_edge(cat("Country"), Category::ALL);
+    let sigma: Vec<&DimensionConstraint> = ds.sigma_for(store);
+    let reduced = circle::reduce_sigma(&sigma, &sub);
+    println!("  {:55} │ reduced", "Σ(locationSch, Store)");
+    println!("  {:─<55}─┼─────────", "");
+    for (dc, red) in sigma.iter().zip(&reduced) {
+        println!(
+            "  {:55} │ {}",
+            printer::display_dc(g, dc).to_string(),
+            printer::display_dc(g, red)
+        );
+    }
+
+    println!("\n══ Figure 7: DIMSAT(locationSch, Store) execution trace ══");
+    let out =
+        Dimsat::with_options(&ds, DimsatOptions::full().with_trace()).category_satisfiable(store);
+    println!("{}", odc_core::dimsat::trace::render_trace(&ds, &out.trace));
+    println!(
+        "\nresult: satisfiable={} ({} EXPAND, {} CHECK, {} assignment nodes)",
+        out.satisfiable,
+        out.stats.expand_calls,
+        out.stats.check_calls,
+        out.stats.assignments_tested
+    );
+}

@@ -1,0 +1,117 @@
+//! E14: the Section-6 ordered-atom extension, exercised — implication
+//! with thresholds, frozen-dimension synthesis of numeric witnesses, and
+//! the cost of the enlarged c-assignment domains as the number of
+//! distinct thresholds grows.
+//!
+//! Run with: `cargo run --release -p odc-bench --bin exp_ordered`
+
+use odc_core::dimsat::stats::timed;
+use odc_core::prelude::*;
+use std::sync::Arc;
+
+fn priced_schema(n_thresholds: usize) -> (DimensionSchema, Category) {
+    let mut b = HierarchySchema::builder();
+    let product = b.category("Product");
+    let price = b.category("Price");
+    let tier = b.category("Tier");
+    b.edge(product, price);
+    b.edge(product, tier);
+    b.edge_to_all(price);
+    b.edge_to_all(tier);
+    let g = Arc::new(b.build().unwrap());
+    // A ladder of n disjoint price bands, plus the numeric-forcing
+    // constraint; thresholds at 100, 200, 300, …
+    let mut sigma = String::from("Product_Price\n");
+    let mut bands: Vec<String> = Vec::new();
+    for i in 0..n_thresholds {
+        let lo = 100 * (i + 1);
+        bands.push(format!(
+            "(Product.Price >= {lo} & Product.Price < {})",
+            lo + 100
+        ));
+    }
+    sigma.push_str(&format!("Product.Price < 100 | {}\n", bands.join(" | ")));
+    let ds = DimensionSchema::parse(g, &sigma).unwrap();
+    let product = ds.hierarchy().category_by_name("Product").unwrap();
+    (ds, product)
+}
+
+fn main() {
+    println!("E14 — ordered atoms (the paper's §6 future work)\n");
+
+    // 1. Threshold-count sweep: how the enlarged value domains scale.
+    println!("── c-assignment domain growth with the threshold count ──");
+    println!(
+        "{:>12} {:>10} {:>12} {:>10} {:>12}",
+        "thresholds", "choices", "sat?", "assign", "time"
+    );
+    for n in [1usize, 2, 4, 8, 16, 32] {
+        let (ds, product) = priced_schema(n);
+        let table = odc_core::frozen::ConstTable::new(&ds);
+        let price = ds.hierarchy().category_by_name("Price").unwrap();
+        let t = timed(|| Dimsat::new(&ds).category_satisfiable(product));
+        println!(
+            "{:>12} {:>10} {:>12} {:>10} {:>12}",
+            n,
+            table.num_choices(price),
+            t.value.satisfiable,
+            t.value.stats.assignments_tested,
+            format!("{:.3?}", t.elapsed),
+        );
+    }
+
+    // 2. Threshold-entailment queries.
+    println!("\n── implication with order reasoning ──");
+    let (ds, _) = priced_schema(4);
+    let g = ds.hierarchy();
+    for (src, expect) in [
+        ("Product.Price < 50 -> Product.Price < 100", true),
+        ("Product.Price >= 150 -> Product.Price >= 100", true),
+        ("Product.Price < 100 -> Product.Price < 50", false),
+        ("Product.Price >= 100 -> Product.Price >= 200", false),
+        ("Product.Price < 600", true), // the band ladder caps prices
+    ] {
+        let alpha = parse_constraint(g, src).unwrap();
+        let t = timed(|| implies(&ds, &alpha));
+        let out = t.value;
+        assert_eq!(out.implied, expect, "{src}");
+        print!(
+            "{:55} implied={:5} ({:>9})",
+            src,
+            out.implied,
+            format!("{:.2?}", t.elapsed)
+        );
+        if let Some(cx) = out.counterexample {
+            let table = odc_core::frozen::ConstTable::new(&ds);
+            let price = g.category_by_name("Price").unwrap();
+            print!("  countermodel price = {}", cx.name_of(&table, price));
+        }
+        println!();
+    }
+
+    // 3. The pricing catalog entry end to end.
+    println!("\n── pricing catalog dimension ──");
+    let entry = odc_workload::catalog::catalog().pop().unwrap();
+    assert_eq!(entry.name, "pricing");
+    let ds = &entry.schema;
+    let gg = ds.hierarchy();
+    let product = gg.category_by_name("Product").unwrap();
+    let (frozen, _) = Dimsat::new(ds).enumerate_frozen(product);
+    println!("frozen dimensions of Product:");
+    for f in &frozen {
+        println!("  {}", f.display(ds));
+    }
+    for (target, sources) in &entry.queries {
+        let out = is_summarizable_in_schema(ds, *target, sources);
+        println!(
+            "summarizable {} ← {{{}}}: {}",
+            gg.name(*target),
+            sources
+                .iter()
+                .map(|&c| gg.name(c))
+                .collect::<Vec<_>>()
+                .join(", "),
+            out.summarizable
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! E7: DIMSAT runtime against `N`, `N_K`, `N_Σ` (Proposition 4).
+//!
+//! Run with: `cargo run --release -p odc-bench --bin exp_scaling`
+
+use odc_bench::{scaling_by_n, scaling_by_nk, scaling_by_sigma};
+use odc_core::dimsat::stats::timed;
+use odc_core::prelude::*;
+
+fn run_grid(title: &str, grid: Vec<(String, DimensionSchema, Category)>) {
+    println!("── {title} ──");
+    println!(
+        "{:10} {:>4} {:>6} {:>5} {:>5} {:>6} {:>9} {:>8} {:>12} {:>12}",
+        "label", "N", "edges", "N_K", "N_Σ", "sat?", "expand", "check", "assign", "time"
+    );
+    for (label, ds, bottom) in grid {
+        let n = ds.hierarchy().num_categories();
+        let edges = ds.hierarchy().num_edges();
+        let nk = ds.constants().iter().map(Vec::len).max().unwrap_or(0);
+        let t = timed(|| Dimsat::new(&ds).category_satisfiable(bottom));
+        let out = t.value;
+        println!(
+            "{:10} {:>4} {:>6} {:>5} {:>5} {:>6} {:>9} {:>8} {:>12} {:>12}",
+            label,
+            n,
+            edges,
+            nk,
+            ds.sigma_size(),
+            out.satisfiable,
+            out.stats.expand_calls,
+            out.stats.check_calls,
+            out.stats.assignments_tested,
+            format!("{:.3?}", t.elapsed),
+        );
+    }
+    println!();
+}
+
+fn main() {
+    println!("E7 — DIMSAT scaling (Proposition 4: O(2^(N²+N·log N_K) · N³ · N_Σ))\n");
+    run_grid("varying N (categories)", scaling_by_n());
+    run_grid("varying N_K (constants per category)", scaling_by_nk());
+    run_grid("varying N_Σ (constraint-set size)", scaling_by_sigma());
+
+    // The worst-case flavor: dense unconstrained stacks in *enumeration*
+    // mode, where the subhierarchy space itself is the workload.
+    println!("── dense unconstrained stacks (enumeration mode) ──");
+    println!(
+        "{:14} {:>4} {:>6} {:>9} {:>8} {:>8} {:>12}",
+        "shape", "N", "edges", "expand", "check", "frozen", "time"
+    );
+    for (layers, width) in [(1usize, 2usize), (1, 3), (2, 2), (2, 3), (3, 2)] {
+        let ds = odc_workload::generator::dense_unconstrained_schema(layers, width);
+        let bottom = ds.hierarchy().category_by_name("B").unwrap();
+        let t = timed(|| Dimsat::new(&ds).enumerate_frozen(bottom));
+        let (frozen, out) = t.value;
+        println!(
+            "{:14} {:>4} {:>6} {:>9} {:>8} {:>8} {:>12}",
+            format!("{layers}x{width}"),
+            ds.hierarchy().num_categories(),
+            ds.hierarchy().num_edges(),
+            out.stats.expand_calls,
+            out.stats.check_calls,
+            frozen.len(),
+            format!("{:.3?}", t.elapsed),
+        );
+    }
+}

@@ -1,0 +1,228 @@
+//! Shared workload setup for the benchmark suite and the experiment
+//! runner binaries (`exp_*`). Each function corresponds to one experiment
+//! of DESIGN.md §4 and is deterministic, so Criterion runs and the table
+//! printers measure the same inputs.
+
+use odc_core::prelude::*;
+use odc_workload::{encode_sat, random_3sat, random_schema, CnfFormula, SchemaGenParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// E7 grid: schemas of growing category count `N` (into-heavy, mildly
+/// heterogeneous), all satisfiable-or-not as generated. Returns
+/// `(label, schema, bottom)`.
+pub fn scaling_by_n() -> Vec<(String, DimensionSchema, Category)> {
+    let mut out = Vec::new();
+    for (layers, width) in [(2, 2), (2, 3), (3, 3), (4, 3), (4, 4), (5, 4)] {
+        let mut rng = StdRng::seed_from_u64(0xE7 + layers as u64 * 100 + width as u64);
+        let ds = random_schema(
+            &SchemaGenParams {
+                layers,
+                width,
+                extra_edge_prob: 0.25,
+                into_fraction: 0.85,
+                constants_per_category: 2,
+                exceptions: 2,
+                ordered_exceptions: 0,
+            },
+            &mut rng,
+        );
+        let n = ds.hierarchy().num_categories();
+        let bottom = ds.hierarchy().category_by_name("B").unwrap();
+        out.push((format!("N={n}"), ds, bottom));
+    }
+    out
+}
+
+/// E7 grid: fixed shape, growing per-category constant count `N_K`.
+pub fn scaling_by_nk() -> Vec<(String, DimensionSchema, Category)> {
+    let mut out = Vec::new();
+    for nk in [1usize, 2, 4, 8, 16] {
+        let mut rng = StdRng::seed_from_u64(0xE700 + nk as u64);
+        let base = random_schema(
+            &SchemaGenParams {
+                layers: 3,
+                width: 3,
+                extra_edge_prob: 0.25,
+                into_fraction: 0.85,
+                constants_per_category: nk,
+                exceptions: 0,
+                ordered_exceptions: 0,
+            },
+            &mut rng,
+        );
+        // Inject a domain constraint with nk constants on the top-layer
+        // categories so N_K really grows.
+        let g = base.hierarchy();
+        let mut extra = Vec::new();
+        for c in g.categories() {
+            if c.is_all() || g.parents(c).is_empty() {
+                continue;
+            }
+            let name = g.name(c);
+            if name.starts_with("L2") {
+                let disj = (0..nk)
+                    .map(|i| format!("B.{name} = v{i}"))
+                    .collect::<Vec<_>>()
+                    .join(" | ");
+                extra.push(parse_constraint(g, &disj).unwrap());
+            }
+        }
+        let mut ds = base;
+        for e in extra {
+            ds = ds.with_constraint(e);
+        }
+        let bottom = ds.hierarchy().category_by_name("B").unwrap();
+        out.push((format!("N_K={nk}"), ds, bottom));
+    }
+    out
+}
+
+/// E7 grid: fixed shape, growing constraint-set size `N_Σ` (more
+/// exception constraints).
+pub fn scaling_by_sigma() -> Vec<(String, DimensionSchema, Category)> {
+    let mut out = Vec::new();
+    for exceptions in [0usize, 2, 4, 8, 16] {
+        let mut rng = StdRng::seed_from_u64(0xE750 + exceptions as u64);
+        let ds = random_schema(
+            &SchemaGenParams {
+                layers: 3,
+                width: 3,
+                extra_edge_prob: 0.3,
+                into_fraction: 0.85,
+                constants_per_category: 2,
+                exceptions,
+                ordered_exceptions: 0,
+            },
+            &mut rng,
+        );
+        let bottom = ds.hierarchy().category_by_name("B").unwrap();
+        out.push((format!("N_Σ={}", ds.sigma_size()), ds, bottom));
+    }
+    out
+}
+
+/// E8: random 3-SAT instances around the easy/hard spectrum. Returns
+/// `(label, formula, schema, bottom)`.
+pub fn sat_grid() -> Vec<(String, CnfFormula, DimensionSchema, Category)> {
+    let mut out = Vec::new();
+    for n_vars in [6usize, 9, 12] {
+        for ratio in [3.0f64, 4.3, 6.0] {
+            let clauses = (n_vars as f64 * ratio) as usize;
+            let mut rng = StdRng::seed_from_u64((n_vars * 1000 + clauses) as u64);
+            let formula = random_3sat(n_vars, clauses, &mut rng);
+            let (ds, bottom) = encode_sat(&formula);
+            out.push((format!("n={n_vars} m={clauses}"), formula, ds, bottom));
+        }
+    }
+    out
+}
+
+/// E9: the into-heavy "practical" schema family for the pruning ablation.
+pub fn ablation_schemas() -> Vec<(String, DimensionSchema, Category)> {
+    let mut out = Vec::new();
+    for (label, into_fraction) in [("into-heavy", 0.9), ("into-light", 0.3)] {
+        for seed in 0..3u64 {
+            let mut rng = StdRng::seed_from_u64(0xE9_00 + seed);
+            let ds = random_schema(
+                &SchemaGenParams {
+                    layers: 3,
+                    width: 3,
+                    extra_edge_prob: 0.35,
+                    into_fraction,
+                    constants_per_category: 2,
+                    exceptions: 2,
+                    ordered_exceptions: 0,
+                },
+                &mut rng,
+            );
+            let bottom = ds.hierarchy().category_by_name("B").unwrap();
+            out.push((format!("{label}#{seed}"), ds, bottom));
+        }
+    }
+    out
+}
+
+/// Runs the full E10 battery on one catalog entry: satisfiability of
+/// every category plus every summarizability query. Returns the number of
+/// DIMSAT decisions made.
+pub fn practical_battery(entry: &odc_workload::CatalogEntry) -> usize {
+    let ds = &entry.schema;
+    let mut decisions = 0usize;
+    for c in ds.hierarchy().categories() {
+        if c.is_all() {
+            continue;
+        }
+        let _ = Dimsat::new(ds).category_satisfiable(c);
+        decisions += 1;
+    }
+    for (target, sources) in &entry.queries {
+        let _ = is_summarizable_in_schema(ds, *target, sources);
+        decisions += 1;
+    }
+    decisions
+}
+
+/// E11 implication query set over locationSch.
+pub fn implication_queries() -> (DimensionSchema, Vec<(String, DimensionConstraint)>) {
+    let ds = odc_workload::location_sch();
+    let g = ds.hierarchy();
+    let srcs = [
+        "Store_City",
+        "Store.Country -> Store.City.Country",
+        "Store.Country -> (Store.State.Country ^ Store.Province.Country)",
+        "Store.Country = Canada -> Store_City_Province",
+        "City_Country -> City.Country = USA",
+        "Store.Country = Canada",
+        "State.Country = Mexico | State.Country = USA",
+    ];
+    let queries = srcs
+        .iter()
+        .map(|s| (s.to_string(), parse_constraint(g, s).unwrap()))
+        .collect();
+    (ds, queries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grids_are_nonempty_and_deterministic() {
+        assert_eq!(scaling_by_n().len(), 6);
+        assert_eq!(scaling_by_nk().len(), 5);
+        assert_eq!(scaling_by_sigma().len(), 5);
+        assert_eq!(sat_grid().len(), 9);
+        assert_eq!(ablation_schemas().len(), 6);
+        let a = scaling_by_n();
+        let b = scaling_by_n();
+        for ((la, dsa, _), (lb, dsb, _)) in a.iter().zip(&b) {
+            assert_eq!(la, lb);
+            assert_eq!(dsa.hierarchy().num_edges(), dsb.hierarchy().num_edges());
+        }
+    }
+
+    #[test]
+    fn nk_grid_really_scales_constants() {
+        let grid = scaling_by_nk();
+        let maxes: Vec<usize> = grid
+            .iter()
+            .map(|(_, ds, _)| ds.constants().iter().map(Vec::len).max().unwrap_or(0))
+            .collect();
+        assert!(maxes.windows(2).all(|w| w[0] <= w[1]), "{maxes:?}");
+        assert!(*maxes.last().unwrap() >= 16);
+    }
+
+    #[test]
+    fn practical_battery_runs() {
+        let entries = odc_workload::catalog::catalog();
+        let decisions = practical_battery(&entries[0]);
+        assert!(decisions >= 10);
+    }
+
+    #[test]
+    fn implication_queries_parse() {
+        let (_, qs) = implication_queries();
+        assert_eq!(qs.len(), 7);
+    }
+}

@@ -1,0 +1,322 @@
+//! Evaluation of dimension constraints over dimension instances — the
+//! `S(α)` translation of Definition 4.
+//!
+//! A dimension instance `d` satisfies a constraint `α` with root `c` when
+//! `S(α)` holds for *every* member of `MembSet_c`. Path atoms quantify
+//! over chains of **direct** parent links; equality atoms quantify over
+//! (reflexive) ancestors.
+
+use crate::ast::{Constraint, DimensionConstraint, EqAtom, OrdAtom, PathAtom};
+use odc_instance::{DimensionInstance, Member};
+
+/// Evaluates a path atom at member `x`: is there a chain
+/// `x < x1 < … < xn` with `xi ∈ MembSet_{ci}` for the categories of the
+/// atom's path (after the root)?
+pub fn eval_path_atom(d: &DimensionInstance, x: Member, atom: &PathAtom) -> bool {
+    debug_assert_eq!(d.category_of(x), atom.path[0], "atom evaluated off-root");
+    chain_exists(d, x, &atom.path[1..])
+}
+
+fn chain_exists(d: &DimensionInstance, at: Member, rest: &[odc_hierarchy::Category]) -> bool {
+    match rest.split_first() {
+        None => true,
+        Some((&c, tail)) => d
+            .parents(at)
+            .iter()
+            .any(|&p| d.category_of(p) == c && chain_exists(d, p, tail)),
+    }
+}
+
+/// Evaluates an equality atom at member `x`: does `x` have a (reflexive)
+/// ancestor `y ∈ MembSet_{ci}` with `Name(y) = k`?
+pub fn eval_eq_atom(d: &DimensionInstance, x: Member, atom: &EqAtom) -> bool {
+    debug_assert_eq!(d.category_of(x), atom.root, "atom evaluated off-root");
+    match d.ancestor_in(x, atom.cat) {
+        Some(y) => d.name(y) == atom.value,
+        None => false,
+    }
+}
+
+/// Evaluates an ordered atom at member `x`: does `x` have a (reflexive)
+/// ancestor `y ∈ MembSet_{ci}` whose `Name` parses as an integer
+/// satisfying the comparison? (Section 6 extension.)
+pub fn eval_ord_atom(d: &DimensionInstance, x: Member, atom: &OrdAtom) -> bool {
+    debug_assert_eq!(d.category_of(x), atom.root, "atom evaluated off-root");
+    match d.ancestor_in(x, atom.cat) {
+        Some(y) => d
+            .name(y)
+            .parse::<i64>()
+            .map(|v| atom.op.eval(v, atom.value))
+            .unwrap_or(false),
+        None => false,
+    }
+}
+
+/// Evaluates a constraint formula at a single member `x` of the root
+/// category.
+pub fn eval_at(d: &DimensionInstance, x: Member, c: &Constraint) -> bool {
+    match c {
+        Constraint::True => true,
+        Constraint::False => false,
+        Constraint::Path(p) => eval_path_atom(d, x, p),
+        Constraint::Eq(e) => eval_eq_atom(d, x, e),
+        Constraint::Ord(o) => eval_ord_atom(d, x, o),
+        Constraint::Not(f) => !eval_at(d, x, f),
+        Constraint::And(fs) => fs.iter().all(|f| eval_at(d, x, f)),
+        Constraint::Or(fs) => fs.iter().any(|f| eval_at(d, x, f)),
+        Constraint::Implies(a, b) => !eval_at(d, x, a) || eval_at(d, x, b),
+        Constraint::Iff(a, b) => eval_at(d, x, a) == eval_at(d, x, b),
+        Constraint::Xor(a, b) => eval_at(d, x, a) != eval_at(d, x, b),
+        Constraint::ExactlyOne(fs) => {
+            let mut count = 0usize;
+            for f in fs {
+                if eval_at(d, x, f) {
+                    count += 1;
+                    if count > 1 {
+                        return false;
+                    }
+                }
+            }
+            count == 1
+        }
+    }
+}
+
+/// Whether `d ⊨ α` (Definition 4): `S(α)` holds at every member of the
+/// root category. Vacuously true when the root category is empty.
+pub fn satisfies(d: &DimensionInstance, dc: &DimensionConstraint) -> bool {
+    d.members_of(dc.root())
+        .iter()
+        .all(|&x| eval_at(d, x, dc.formula()))
+}
+
+/// Whether `d` satisfies every constraint of `sigma`.
+pub fn satisfies_all<'a>(
+    d: &DimensionInstance,
+    sigma: impl IntoIterator<Item = &'a DimensionConstraint>,
+) -> bool {
+    sigma.into_iter().all(|dc| satisfies(d, dc))
+}
+
+/// The members of the root category that *violate* the constraint —
+/// useful diagnostics for schema designers.
+pub fn violating_members(d: &DimensionInstance, dc: &DimensionConstraint) -> Vec<Member> {
+    d.members_of(dc.root())
+        .iter()
+        .copied()
+        .filter(|&x| !eval_at(d, x, dc.formula()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Constraint as C;
+    use odc_hierarchy::{Category, HierarchySchema};
+    use std::sync::Arc;
+
+    /// The `location` dimension instance of Figure 1(B) (a faithful
+    /// transcription, with stores s1…s9).
+    fn location_instance() -> DimensionInstance {
+        let mut b = HierarchySchema::builder();
+        let store = b.category("Store");
+        let city = b.category("City");
+        let province = b.category("Province");
+        let state = b.category("State");
+        let sale_region = b.category("SaleRegion");
+        let country = b.category("Country");
+        b.edge(store, city);
+        b.edge(store, sale_region);
+        b.edge(city, province);
+        b.edge(city, state);
+        b.edge(city, country);
+        b.edge(province, sale_region);
+        b.edge(state, sale_region);
+        b.edge(state, country);
+        b.edge(sale_region, country);
+        b.edge(country, Category::ALL);
+        let g = Arc::new(b.build().unwrap());
+
+        let mut ib = DimensionInstance::builder(Arc::clone(&g));
+        // Countries.
+        let canada = ib.member("Canada", country);
+        let mexico = ib.member("Mexico", country);
+        let usa = ib.member("USA", country);
+        for m in [canada, mexico, usa] {
+            ib.link_to_all(m);
+        }
+        // Sale regions.
+        let sr_east = ib.member("East", sale_region);
+        let sr_west = ib.member("West", sale_region);
+        ib.link(sr_east, canada);
+        ib.link(sr_west, mexico);
+        // Provinces (Canada) reach Country through their sale region.
+        let ontario = ib.member("Ontario", province);
+        ib.link(ontario, sr_east);
+        // States: Mexican states roll to SaleRegion; US states link
+        // straight to Country (they "do not necessarily roll up to
+        // SaleRegion").
+        let df = ib.member("DF", state);
+        ib.link(df, sr_west);
+        let texas = ib.member("Texas", state);
+        ib.link(texas, usa);
+        // Cities.
+        let toronto = ib.member("Toronto", city);
+        ib.link(toronto, ontario);
+        let mexico_city = ib.member("MexicoCity", city);
+        ib.link(mexico_city, df);
+        let austin = ib.member("Austin", city);
+        ib.link(austin, texas);
+        let washington = ib.member("Washington", city);
+        ib.link(washington, usa); // the shortcut city
+                                  // Stores. Canadian and Mexican stores reach SaleRegion through
+                                  // their province/state (a direct link would violate C5); US stores
+                                  // link straight to a sale region.
+        let sr_us = ib.member("USRegion", sale_region);
+        ib.link(sr_us, usa);
+        for (key, c, direct_sr) in [
+            ("s1", toronto, None),
+            ("s2", toronto, None),
+            ("s3", mexico_city, None),
+            ("s4", austin, Some(sr_us)),
+            ("s5", washington, Some(sr_us)),
+        ] {
+            let s = ib.member(key, store);
+            ib.link(s, c);
+            if let Some(r) = direct_sr {
+                ib.link(s, r);
+            }
+        }
+        ib.build().expect("location instance must satisfy C1–C7")
+    }
+
+    fn cat(d: &DimensionInstance, n: &str) -> Category {
+        d.schema().category_by_name(n).unwrap()
+    }
+
+    #[test]
+    fn example_5_all_stores_roll_to_city() {
+        let d = location_instance();
+        let dc =
+            DimensionConstraint::from_formula(C::path(vec![cat(&d, "Store"), cat(&d, "City")]))
+                .unwrap();
+        assert!(satisfies(&d, &dc));
+    }
+
+    #[test]
+    fn example_6_canada_implies_city_province() {
+        let d = location_instance();
+        let store = cat(&d, "Store");
+        let dc = DimensionConstraint::from_formula(C::implies(
+            C::eq(store, cat(&d, "Country"), "Canada"),
+            C::path(vec![store, cat(&d, "City"), cat(&d, "Province")]),
+        ))
+        .unwrap();
+        assert!(satisfies(&d, &dc));
+    }
+
+    #[test]
+    fn not_all_stores_roll_through_province() {
+        let d = location_instance();
+        let store = cat(&d, "Store");
+        let dc = DimensionConstraint::from_formula(C::path(vec![
+            store,
+            cat(&d, "City"),
+            cat(&d, "Province"),
+        ]))
+        .unwrap();
+        assert!(!satisfies(&d, &dc));
+        let bad = violating_members(&d, &dc);
+        let keys: Vec<&str> = bad.iter().map(|&m| d.key(m)).collect();
+        assert_eq!(keys, vec!["s3", "s4", "s5"]);
+    }
+
+    #[test]
+    fn eq_atom_on_root_category_is_name_check() {
+        let d = location_instance();
+        let store = cat(&d, "Store");
+        let s1 = d.member_by_key("s1").unwrap();
+        assert!(eval_eq_atom(&d, s1, &EqAtom::new(store, store, "s1")));
+        assert!(!eval_eq_atom(&d, s1, &EqAtom::new(store, store, "s2")));
+    }
+
+    #[test]
+    fn eq_atom_missing_ancestor_is_false() {
+        let d = location_instance();
+        let store = cat(&d, "Store");
+        let s4 = d.member_by_key("s4").unwrap(); // Austin→Texas→USA, no Province
+        assert!(!eval_eq_atom(
+            &d,
+            s4,
+            &EqAtom::new(store, cat(&d, "Province"), "Ontario")
+        ));
+    }
+
+    #[test]
+    fn connectives_evaluate() {
+        let d = location_instance();
+        let store = cat(&d, "Store");
+        let s5 = d.member_by_key("s5").unwrap(); // Washington
+        let city_country = C::path(vec![store, cat(&d, "City"), cat(&d, "Country")]);
+        let city_state = C::path(vec![store, cat(&d, "City"), cat(&d, "State")]);
+        assert!(eval_at(&d, s5, &city_country));
+        assert!(!eval_at(&d, s5, &city_state));
+        assert!(eval_at(&d, s5, &C::not(city_state.clone())));
+        assert!(eval_at(
+            &d,
+            s5,
+            &C::xor(city_country.clone(), city_state.clone())
+        ));
+        assert!(eval_at(&d, s5, &C::iff(city_state.clone(), C::False)));
+        assert!(eval_at(&d, s5, &C::implies(city_state, city_country)));
+    }
+
+    #[test]
+    fn exactly_one_counts() {
+        let d = location_instance();
+        let store = cat(&d, "Store");
+        let s1 = d.member_by_key("s1").unwrap(); // Toronto: City→Province
+        let via_prov = C::path(vec![store, cat(&d, "City"), cat(&d, "Province")]);
+        let via_state = C::path(vec![store, cat(&d, "City"), cat(&d, "State")]);
+        assert!(eval_at(
+            &d,
+            s1,
+            &C::ExactlyOne(vec![via_prov.clone(), via_state.clone()])
+        ));
+        assert!(!eval_at(
+            &d,
+            s1,
+            &C::ExactlyOne(vec![via_state.clone(), via_state.clone()])
+        ));
+        assert!(!eval_at(
+            &d,
+            s1,
+            &C::ExactlyOne(vec![via_prov.clone(), via_prov])
+        ));
+        assert!(!eval_at(&d, s1, &C::ExactlyOne(vec![])));
+    }
+
+    #[test]
+    fn vacuous_satisfaction_on_empty_root() {
+        let mut b = HierarchySchema::builder();
+        let store = b.category("Store");
+        let city = b.category("City");
+        b.edge(store, city);
+        b.edge_to_all(city);
+        let g = Arc::new(b.build().unwrap());
+        let d = DimensionInstance::builder(g).build().unwrap();
+        let dc = DimensionConstraint::new(store, C::False);
+        assert!(satisfies(&d, &dc), "no stores, so even ⊥ holds vacuously");
+    }
+
+    #[test]
+    fn satisfies_all_over_sigma() {
+        let d = location_instance();
+        let store = cat(&d, "Store");
+        let sigma = vec![
+            DimensionConstraint::from_formula(C::path(vec![store, cat(&d, "City")])).unwrap(),
+            DimensionConstraint::new(store, C::True),
+        ];
+        assert!(satisfies_all(&d, &sigma));
+    }
+}

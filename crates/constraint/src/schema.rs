@@ -1,0 +1,343 @@
+//! Dimension schemas `ds = (G, Σ)` (Section 3.1) and the constants
+//! function `Const_ds` (Section 3.2).
+
+use crate::ast::{AtomRef, DimensionConstraint};
+use crate::eval;
+use odc_hierarchy::{Category, HierarchySchema};
+use odc_instance::DimensionInstance;
+use std::fmt;
+use std::sync::Arc;
+
+/// A dimension schema: a hierarchy schema `G` together with a set of
+/// dimension constraints `Σ` over `G`.
+///
+/// An instance `d` is *over* `ds` when its hierarchy schema is `G` and
+/// `d ⊨ Σ` ([`DimensionSchema::admits`]).
+#[derive(Debug, Clone)]
+pub struct DimensionSchema {
+    hierarchy: Arc<HierarchySchema>,
+    constraints: Vec<DimensionConstraint>,
+}
+
+impl DimensionSchema {
+    /// Builds a schema, checking every constraint's atoms are well-formed
+    /// over `G` (path atoms must be simple paths, Definition 3).
+    ///
+    /// # Panics
+    /// Panics on a malformed atom; constraints produced by the parser are
+    /// always well-formed.
+    pub fn new(
+        hierarchy: impl Into<Arc<HierarchySchema>>,
+        constraints: Vec<DimensionConstraint>,
+    ) -> Self {
+        let hierarchy = hierarchy.into();
+        for dc in &constraints {
+            assert!(
+                dc.formula().is_well_formed(&hierarchy),
+                "constraint atom not well-formed over the hierarchy schema"
+            );
+        }
+        DimensionSchema {
+            hierarchy,
+            constraints,
+        }
+    }
+
+    /// Parses `Σ` from text (one constraint per line) over `G`.
+    pub fn parse(
+        hierarchy: impl Into<Arc<HierarchySchema>>,
+        sigma_src: &str,
+    ) -> Result<Self, crate::parser::ParseError> {
+        let hierarchy = hierarchy.into();
+        let constraints = crate::parser::parse_sigma(&hierarchy, sigma_src)?;
+        Ok(DimensionSchema {
+            hierarchy,
+            constraints,
+        })
+    }
+
+    /// The hierarchy schema `G`.
+    pub fn hierarchy(&self) -> &HierarchySchema {
+        &self.hierarchy
+    }
+
+    /// Shared handle to `G`.
+    pub fn hierarchy_arc(&self) -> Arc<HierarchySchema> {
+        Arc::clone(&self.hierarchy)
+    }
+
+    /// The constraint set `Σ`.
+    pub fn constraints(&self) -> &[DimensionConstraint] {
+        &self.constraints
+    }
+
+    /// A new schema with `extra` added to `Σ` — the `Σ ∪ {¬α}` move of
+    /// Theorem 2.
+    pub fn with_constraint(&self, extra: DimensionConstraint) -> DimensionSchema {
+        let mut constraints = self.constraints.clone();
+        constraints.push(extra);
+        DimensionSchema {
+            hierarchy: Arc::clone(&self.hierarchy),
+            constraints,
+        }
+    }
+
+    /// `Σ(ds, c)` (Section 5): the constraints whose root `c'` satisfies
+    /// `c ↗* c'` — the only ones that can affect a frozen dimension rooted
+    /// at `c`.
+    pub fn sigma_for(&self, c: Category) -> Vec<&DimensionConstraint> {
+        self.constraints
+            .iter()
+            .filter(|dc| self.hierarchy.reaches(c, dc.root()))
+            .collect()
+    }
+
+    /// `Const_ds` (Section 3.2): for each category `c`, the constants `k`
+    /// appearing in equality atoms `ci.c ≈ k` (or `c ≈ k`) of `Σ`.
+    /// Returned as a dense per-category table of deduplicated constants in
+    /// first-appearance order.
+    pub fn constants(&self) -> Vec<Vec<String>> {
+        let mut table: Vec<Vec<String>> = vec![Vec::new(); self.hierarchy.num_categories()];
+        for dc in &self.constraints {
+            dc.formula().for_each_atom(&mut |a| {
+                if let AtomRef::Eq(e) = a {
+                    let slot = &mut table[e.cat.index()];
+                    if !slot.iter().any(|v| v == &e.value) {
+                        slot.push(e.value.clone());
+                    }
+                }
+            });
+        }
+        table
+    }
+
+    /// The ordered-atom thresholds of `Σ` per target category (the
+    /// Section 6 extension): for each category `c`, the constants `k`
+    /// appearing in ordered atoms `ci.c ⋈ k`. Sorted and deduplicated.
+    pub fn ord_thresholds(&self) -> Vec<Vec<i64>> {
+        let mut table: Vec<Vec<i64>> = vec![Vec::new(); self.hierarchy.num_categories()];
+        for dc in &self.constraints {
+            dc.formula().for_each_atom(&mut |a| {
+                if let AtomRef::Ord(o) = a {
+                    table[o.cat.index()].push(o.value);
+                }
+            });
+        }
+        for slot in &mut table {
+            slot.sort_unstable();
+            slot.dedup();
+        }
+        table
+    }
+
+    /// The *into* constraints of `Σ`, as `(child, parent)` pairs
+    /// (Section 5: constraints of the form `c_c'`).
+    pub fn into_constraints(&self) -> Vec<(Category, Category)> {
+        self.constraints
+            .iter()
+            .filter_map(DimensionConstraint::as_into)
+            .collect()
+    }
+
+    /// The *forbidden-into* constraints of `Σ`, as `(child, parent)`
+    /// pairs (constraints of the form `¬(c_c')`).
+    pub fn forbidden_into_constraints(&self) -> Vec<(Category, Category)> {
+        self.constraints
+            .iter()
+            .filter_map(DimensionConstraint::as_forbidden_into)
+            .collect()
+    }
+
+    /// The total size `N_Σ` of the constraint set (Proposition 4).
+    pub fn sigma_size(&self) -> usize {
+        self.constraints.iter().map(|dc| dc.formula().size()).sum()
+    }
+
+    /// Whether `d` is an instance over this schema: same hierarchy schema
+    /// and `d ⊨ Σ` (Definition 4).
+    pub fn admits(&self, d: &DimensionInstance) -> bool {
+        same_hierarchy(&self.hierarchy, d.schema()) && eval::satisfies_all(d, &self.constraints)
+    }
+
+    /// The constraints of `Σ` violated by `d` (empty iff `d ⊨ Σ`).
+    pub fn violated_by<'a>(&'a self, d: &DimensionInstance) -> Vec<&'a DimensionConstraint> {
+        self.constraints
+            .iter()
+            .filter(|dc| !eval::satisfies(d, dc))
+            .collect()
+    }
+}
+
+/// Structural equality of hierarchy schemas (same categories by name, same
+/// edges). Instances built from a clone of the schema still count as
+/// "over" it.
+fn same_hierarchy(a: &HierarchySchema, b: &HierarchySchema) -> bool {
+    if a.num_categories() != b.num_categories() || a.num_edges() != b.num_edges() {
+        return false;
+    }
+    a.categories().all(|c| {
+        let name = a.name(c);
+        match b.category_by_name(name) {
+            None => false,
+            Some(cb) => {
+                let mut pa: Vec<&str> = a.parents(c).iter().map(|&p| a.name(p)).collect();
+                let mut pb: Vec<&str> = b.parents(cb).iter().map(|&p| b.name(p)).collect();
+                pa.sort_unstable();
+                pb.sort_unstable();
+                pa == pb
+            }
+        }
+    })
+}
+
+impl fmt::Display for DimensionSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.hierarchy)?;
+        writeln!(f, "constraints ({}):", self.constraints.len())?;
+        for dc in &self.constraints {
+            writeln!(
+                f,
+                "  [{}] {}",
+                self.hierarchy.name(dc.root()),
+                crate::printer::display_dc(&self.hierarchy, dc)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_sigma;
+
+    fn location() -> Arc<HierarchySchema> {
+        let mut b = HierarchySchema::builder();
+        let store = b.category("Store");
+        let city = b.category("City");
+        let province = b.category("Province");
+        let state = b.category("State");
+        let sale_region = b.category("SaleRegion");
+        let country = b.category("Country");
+        b.edge(store, city);
+        b.edge(store, sale_region);
+        b.edge(city, province);
+        b.edge(city, state);
+        b.edge(city, country);
+        b.edge(province, sale_region);
+        b.edge(state, sale_region);
+        b.edge(state, country);
+        b.edge(sale_region, country);
+        b.edge(country, Category::ALL);
+        Arc::new(b.build().unwrap())
+    }
+
+    /// The locationSch constraint set of Figure 3 in our text syntax.
+    const LOCATION_SIGMA: &str = r#"
+        Store_City
+        Store.SaleRegion
+        City = Washington <-> City_Country
+        City = Washington -> City.Country = USA
+        State.Country = Mexico | State.Country = USA
+        State.Country = Mexico <-> State_SaleRegion
+        Province.Country = Canada
+    "#;
+
+    fn location_sch() -> DimensionSchema {
+        let g = location();
+        let sigma = parse_sigma(&g, LOCATION_SIGMA).unwrap();
+        DimensionSchema::new(g, sigma)
+    }
+
+    #[test]
+    fn sigma_for_store_is_everything() {
+        let ds = location_sch();
+        let store = ds.hierarchy().category_by_name("Store").unwrap();
+        // Store reaches every category, so all 7 constraints are relevant.
+        assert_eq!(ds.sigma_for(store).len(), 7);
+    }
+
+    #[test]
+    fn sigma_for_upper_categories_shrinks() {
+        let ds = location_sch();
+        let g = ds.hierarchy();
+        let state = g.category_by_name("State").unwrap();
+        let province = g.category_by_name("Province").unwrap();
+        let sale_region = g.category_by_name("SaleRegion").unwrap();
+        // State reaches State, SaleRegion, Country, All: the two State
+        // constraints are relevant.
+        assert_eq!(ds.sigma_for(state).len(), 2);
+        assert_eq!(ds.sigma_for(province).len(), 1);
+        assert_eq!(ds.sigma_for(sale_region).len(), 0);
+    }
+
+    #[test]
+    fn constants_table() {
+        let ds = location_sch();
+        let g = ds.hierarchy();
+        let consts = ds.constants();
+        let city = g.category_by_name("City").unwrap();
+        let country = g.category_by_name("Country").unwrap();
+        let store = g.category_by_name("Store").unwrap();
+        assert_eq!(consts[city.index()], vec!["Washington".to_string()]);
+        let mut country_consts = consts[country.index()].clone();
+        country_consts.sort();
+        assert_eq!(country_consts, vec!["Canada", "Mexico", "USA"]);
+        assert!(consts[store.index()].is_empty());
+    }
+
+    #[test]
+    fn into_constraints_found() {
+        let ds = location_sch();
+        let g = ds.hierarchy();
+        let store = g.category_by_name("Store").unwrap();
+        let city = g.category_by_name("City").unwrap();
+        assert_eq!(ds.into_constraints(), vec![(store, city)]);
+    }
+
+    #[test]
+    fn with_constraint_appends() {
+        let ds = location_sch();
+        let g = ds.hierarchy();
+        let extra = crate::parser::parse_constraint(g, "Store_SaleRegion").unwrap();
+        let ds2 = ds.with_constraint(extra);
+        assert_eq!(ds2.constraints().len(), ds.constraints().len() + 1);
+    }
+
+    #[test]
+    fn sigma_size_counts_all_formulas() {
+        let ds = location_sch();
+        assert!(ds.sigma_size() >= ds.constraints().len());
+    }
+
+    #[test]
+    fn display_lists_constraints() {
+        let ds = location_sch();
+        let s = ds.to_string();
+        assert!(s.contains("constraints (7):"));
+        assert!(s.contains("Store_City"));
+    }
+
+    #[test]
+    fn admits_checks_structural_hierarchy_equality() {
+        let ds = location_sch();
+        // An instance over a *different* schema is rejected even if the
+        // constraint set is vacuously satisfied.
+        let mut b = HierarchySchema::builder();
+        let x = b.category("X");
+        b.edge_to_all(x);
+        let other = Arc::new(b.build().unwrap());
+        let d = DimensionInstance::builder(other).build().unwrap();
+        assert!(!ds.admits(&d));
+    }
+
+    #[test]
+    fn admits_and_violations_on_matching_hierarchy() {
+        let ds = location_sch();
+        let g = ds.hierarchy_arc();
+        // Empty instance (just `all`): every constraint vacuously holds.
+        let d = DimensionInstance::builder(g).build().unwrap();
+        assert!(ds.admits(&d));
+        assert!(ds.violated_by(&d).is_empty());
+    }
+}

@@ -1,0 +1,167 @@
+//! Tests for the ordered-atom extension (Section 6 of the paper: "We
+//! could consider further built-in predicates over attributes, such as an
+//! order relation, to extend equality atoms").
+
+use crate::ast::{CmpOp, Constraint as C};
+use crate::eval;
+use crate::parser::parse_constraint;
+use crate::printer;
+use odc_hierarchy::{Category, HierarchySchema};
+use odc_instance::DimensionInstance;
+use std::sync::Arc;
+
+fn product_schema() -> HierarchySchema {
+    let mut b = HierarchySchema::builder();
+    let product = b.category("Product");
+    let price = b.category("PriceBand");
+    let tier = b.category("Tier");
+    b.edge(product, price);
+    b.edge(product, tier);
+    b.edge_to_all(price);
+    b.edge_to_all(tier);
+    b.build().unwrap()
+}
+
+fn cat(g: &HierarchySchema, n: &str) -> Category {
+    g.category_by_name(n).unwrap()
+}
+
+#[test]
+fn parse_all_operators() {
+    let g = product_schema();
+    let product = cat(&g, "Product");
+    let price = cat(&g, "PriceBand");
+    for (src, op) in [
+        ("Product.PriceBand < 100", CmpOp::Lt),
+        ("Product.PriceBand <= 100", CmpOp::Le),
+        ("Product.PriceBand > 100", CmpOp::Gt),
+        ("Product.PriceBand >= 100", CmpOp::Ge),
+        ("Product.PriceBand ≤ 100", CmpOp::Le),
+        ("Product.PriceBand ≥ 100", CmpOp::Ge),
+    ] {
+        let dc = parse_constraint(&g, src).unwrap();
+        assert_eq!(*dc.formula(), C::ord(product, price, op, 100), "{src}");
+    }
+}
+
+#[test]
+fn parse_negative_threshold_and_root_form() {
+    let g = product_schema();
+    let product = cat(&g, "Product");
+    let dc = parse_constraint(&g, "Product < -5").unwrap();
+    assert_eq!(*dc.formula(), C::ord(product, product, CmpOp::Lt, -5));
+}
+
+#[test]
+fn numeric_equality_still_parses_as_string_equality() {
+    let g = product_schema();
+    let product = cat(&g, "Product");
+    let price = cat(&g, "PriceBand");
+    let dc = parse_constraint(&g, "Product.PriceBand = 100").unwrap();
+    assert_eq!(*dc.formula(), C::eq(product, price, "100"));
+}
+
+#[test]
+fn printer_round_trips_ordered_atoms() {
+    let g = product_schema();
+    for src in [
+        "Product.PriceBand < 100",
+        "Product.PriceBand >= -3 -> Product_Tier",
+        "!(Product.PriceBand <= 7)",
+        "one{Product.PriceBand < 0, Product.PriceBand >= 0}",
+    ] {
+        let dc = parse_constraint(&g, src).unwrap();
+        let printed = printer::display_dc(&g, &dc).to_string();
+        let reparsed = parse_constraint(&g, &printed)
+            .unwrap_or_else(|e| panic!("reparse of `{printed}`: {e}"));
+        assert_eq!(dc.formula(), reparsed.formula(), "printed: {printed}");
+    }
+}
+
+fn instance_with_prices() -> DimensionInstance {
+    let g = Arc::new(product_schema());
+    let mut ib = DimensionInstance::builder(Arc::clone(&g));
+    let product = cat(&g, "Product");
+    let price = cat(&g, "PriceBand");
+    let tier = cat(&g, "Tier");
+    let p50 = ib.member_named("band-cheap", price, "50");
+    let p500 = ib.member_named("band-premium", price, "500");
+    let pna = ib.member_named("band-unpriced", price, "n/a");
+    let budget = ib.member("budget", tier);
+    let luxury = ib.member("luxury", tier);
+    for m in [p50, p500, pna, budget, luxury] {
+        ib.link_to_all(m);
+    }
+    for (key, band, t) in [
+        ("pencil", p50, budget),
+        ("watch", p500, luxury),
+        ("mystery", pna, budget),
+    ] {
+        let p = ib.member(key, product);
+        ib.link(p, band);
+        ib.link(p, t);
+    }
+    ib.build().unwrap()
+}
+
+#[test]
+fn eval_ordered_atoms_on_instance() {
+    let d = instance_with_prices();
+    let g = d.schema();
+    let lt100 = parse_constraint(g, "Product.PriceBand < 100").unwrap();
+    let bad = eval::violating_members(&d, &lt100);
+    let keys: Vec<&str> = bad.iter().map(|&m| d.key(m)).collect();
+    // watch: 500 ≥ 100; mystery: non-numeric name never satisfies.
+    assert_eq!(keys, vec!["watch", "mystery"]);
+}
+
+#[test]
+fn eval_boundary_conditions() {
+    let d = instance_with_prices();
+    let g = d.schema();
+    let pencil = d.member_by_key("pencil").unwrap();
+    for (src, expected) in [
+        ("Product.PriceBand < 50", false),
+        ("Product.PriceBand <= 50", true),
+        ("Product.PriceBand > 50", false),
+        ("Product.PriceBand >= 50", true),
+        ("Product.PriceBand > 49", true),
+    ] {
+        let dc = parse_constraint(g, src).unwrap();
+        assert_eq!(eval::eval_at(&d, pencil, dc.formula()), expected, "{src}");
+    }
+}
+
+#[test]
+fn price_driven_structure_constraint() {
+    // The paper's own motivating sentence: "if the value of the price of
+    // a product is less than a given amount, the product rolls up to some
+    // particular path in the hierarchy schema".
+    let d = instance_with_prices();
+    let g = d.schema();
+    let dc = parse_constraint(g, "Product.PriceBand >= 100 -> Product_Tier").unwrap();
+    assert!(eval::satisfies(&d, &dc));
+}
+
+#[test]
+fn missing_ancestor_makes_ordered_atom_false() {
+    let g = Arc::new(product_schema());
+    let mut ib = DimensionInstance::builder(Arc::clone(&g));
+    let product = cat(&g, "Product");
+    let tier = cat(&g, "Tier");
+    let t = ib.member("t1", tier);
+    ib.link_to_all(t);
+    let p = ib.member("p1", product);
+    ib.link(p, t); // no PriceBand ancestor
+    let d = ib.build().unwrap();
+    let dc = parse_constraint(&g, "Product.PriceBand < 100").unwrap();
+    assert!(!eval::eval_at(&d, p, dc.formula()));
+}
+
+#[test]
+fn ord_atom_counts_in_size_and_root_inference() {
+    let g = product_schema();
+    let dc = parse_constraint(&g, "Product.PriceBand < 10 & Product_Tier").unwrap();
+    assert_eq!(dc.formula().num_atoms(), 2);
+    assert_eq!(dc.root(), cat(&g, "Product"));
+}

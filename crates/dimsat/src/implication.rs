@@ -1,0 +1,186 @@
+//! The implication problem (Section 4): `ds ⊨ α` iff the root of `α` is
+//! unsatisfiable in `(G, Σ ∪ {¬α})` (Theorem 2).
+
+use crate::options::DimsatOptions;
+use crate::solver::Dimsat;
+use crate::stats::SearchStats;
+use odc_constraint::{Constraint, DimensionConstraint, DimensionSchema};
+use odc_frozen::FrozenDimension;
+
+/// The result of an implication query.
+#[derive(Debug, Clone)]
+pub struct ImplicationOutcome {
+    /// Whether `ds ⊨ α`.
+    pub implied: bool,
+    /// When not implied: a frozen dimension of `(G, Σ ∪ {¬α})` — a
+    /// countermodel whose root member witnesses `¬α`.
+    pub counterexample: Option<FrozenDimension>,
+    /// Search counters of the underlying satisfiability run.
+    pub stats: SearchStats,
+}
+
+/// Decides `ds ⊨ α` with default options.
+pub fn implies(ds: &DimensionSchema, alpha: &DimensionConstraint) -> ImplicationOutcome {
+    implies_with(ds, alpha, DimsatOptions::default())
+}
+
+/// Decides `ds ⊨ α` with explicit search options.
+pub fn implies_with(
+    ds: &DimensionSchema,
+    alpha: &DimensionConstraint,
+    opts: DimsatOptions,
+) -> ImplicationOutcome {
+    let negated = alpha.with_formula(Constraint::not(alpha.formula().clone()));
+    let ds2 = ds.with_constraint(negated);
+    let out = Dimsat::with_options(&ds2, opts).category_satisfiable(alpha.root());
+    ImplicationOutcome {
+        implied: !out.satisfiable,
+        counterexample: out.witness,
+        stats: out.stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odc_constraint::parse_constraint;
+    use odc_hierarchy::{Category, HierarchySchema};
+    use std::sync::Arc;
+
+    fn location_sch() -> DimensionSchema {
+        let mut b = HierarchySchema::builder();
+        let store = b.category("Store");
+        let city = b.category("City");
+        let province = b.category("Province");
+        let state = b.category("State");
+        let sale_region = b.category("SaleRegion");
+        let country = b.category("Country");
+        b.edge(store, city);
+        b.edge(store, sale_region);
+        b.edge(city, province);
+        b.edge(city, state);
+        b.edge(city, country);
+        b.edge(province, sale_region);
+        b.edge(state, sale_region);
+        b.edge(state, country);
+        b.edge(sale_region, country);
+        b.edge(country, Category::ALL);
+        let g = Arc::new(b.build().unwrap());
+        DimensionSchema::parse(
+            g,
+            r#"
+            Store_City
+            Store.SaleRegion
+            City = Washington <-> City_Country
+            City = Washington -> City.Country = USA
+            State.Country = Mexico | State.Country = USA
+            State.Country = Mexico <-> State_SaleRegion
+            Province.Country = Canada
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn example_2_country_reached_through_city() {
+        // locationSch ⊨ Store.Country ⊃ Store.City.Country: the
+        // schema-level counterpart of Example 10's first claim.
+        let ds = location_sch();
+        let alpha =
+            parse_constraint(ds.hierarchy(), "Store.Country -> Store.City.Country").unwrap();
+        let out = implies(&ds, &alpha);
+        assert!(out.implied, "all frozen dimensions route Country via City");
+        assert!(out.counterexample.is_none());
+    }
+
+    #[test]
+    fn washington_breaks_state_province_summarizability() {
+        // locationSch ⊭ Store.Country ⊃ (Store.State.Country ⊕
+        // Store.Province.Country): the Washington structure reaches
+        // Country through neither (Example 10, second claim).
+        let ds = location_sch();
+        let alpha = parse_constraint(
+            ds.hierarchy(),
+            "Store.Country -> (Store.State.Country ^ Store.Province.Country)",
+        )
+        .unwrap();
+        let out = implies(&ds, &alpha);
+        assert!(!out.implied);
+        let cx = out.counterexample.expect("countermodel expected");
+        assert_eq!(
+            cx.verify(&ds.with_constraint(
+                alpha.with_formula(odc_constraint::Constraint::not(alpha.formula().clone()))
+            )),
+            Ok(())
+        );
+        // The countermodel must be the Washington structure: City present,
+        // State and Province absent.
+        let g = ds.hierarchy();
+        let state = g.category_by_name("State").unwrap();
+        let province = g.category_by_name("Province").unwrap();
+        assert!(!cx.subhierarchy().contains(state));
+        assert!(!cx.subhierarchy().contains(province));
+    }
+
+    #[test]
+    fn sigma_constraints_are_implied() {
+        let ds = location_sch();
+        for dc in ds.constraints() {
+            let out = implies(&ds, dc);
+            assert!(
+                out.implied,
+                "Σ member not implied: {}",
+                odc_constraint::printer::display_dc(ds.hierarchy(), dc)
+            );
+        }
+    }
+
+    #[test]
+    fn tautologies_are_implied_and_contradictions_are_not() {
+        let ds = location_sch();
+        let g = ds.hierarchy();
+        let taut = parse_constraint(g, "Store_City | !Store_City").unwrap();
+        assert!(implies(&ds, &taut).implied);
+        let contra = parse_constraint(g, "Store_City & !Store_City").unwrap();
+        let out = implies(&ds, &contra);
+        assert!(!out.implied, "Store is satisfiable, so ⊥ is not implied");
+    }
+
+    #[test]
+    fn implication_from_unsatisfiable_root_is_trivial() {
+        // If the root is unsatisfiable, everything rooted there is implied.
+        let ds = location_sch();
+        let g = ds.hierarchy();
+        let ds2 = ds.with_constraint(parse_constraint(g, "!SaleRegion_Country").unwrap());
+        let anything = parse_constraint(g, "SaleRegion.Country = Mexico").unwrap();
+        assert!(implies(&ds2, &anything).implied);
+    }
+
+    #[test]
+    fn derived_constraint_not_in_sigma() {
+        // locationSch ⊨ City_Country ⊃ City.Country ≈ USA — combining
+        // constraints (c) and (d) of Figure 3.
+        let ds = location_sch();
+        let alpha = parse_constraint(ds.hierarchy(), "City_Country -> City.Country = USA").unwrap();
+        assert!(implies(&ds, &alpha).implied);
+    }
+
+    #[test]
+    fn non_implied_equality() {
+        // Nothing forces stores to be in Canada.
+        let ds = location_sch();
+        let alpha = parse_constraint(ds.hierarchy(), "Store.Country = Canada").unwrap();
+        let out = implies(&ds, &alpha);
+        assert!(!out.implied);
+        assert!(out.counterexample.is_some());
+    }
+
+    #[test]
+    fn stats_are_forwarded() {
+        let ds = location_sch();
+        let alpha =
+            parse_constraint(ds.hierarchy(), "Store.Country -> Store.City.Country").unwrap();
+        let out = implies(&ds, &alpha);
+        assert!(out.stats.expand_calls > 0);
+    }
+}

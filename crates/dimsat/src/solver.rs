@@ -1,0 +1,581 @@
+//! The DIMSAT search (Figure 6).
+
+use crate::options::{DimsatOptions, TopOrder};
+use crate::stats::SearchStats;
+use crate::trace::TraceEvent;
+use odc_constraint::DimensionSchema;
+use odc_frozen::{FrozenContext, FrozenDimension};
+use odc_hierarchy::{CatSet, Category, HierarchySchema, Subhierarchy};
+
+/// The result of one DIMSAT run.
+#[derive(Debug, Clone)]
+pub struct DimsatOutcome {
+    /// Whether the query category is satisfiable in the schema.
+    pub satisfiable: bool,
+    /// A witnessing frozen dimension when satisfiable (decision mode
+    /// returns the first one found).
+    pub witness: Option<FrozenDimension>,
+    /// Search counters.
+    pub stats: SearchStats,
+    /// Execution trace (empty unless [`DimsatOptions::trace`] was set).
+    pub trace: Vec<TraceEvent>,
+}
+
+/// The DIMSAT solver: category satisfiability over a dimension schema.
+pub struct Dimsat<'a> {
+    ds: &'a DimensionSchema,
+    opts: DimsatOptions,
+}
+
+impl<'a> Dimsat<'a> {
+    /// A solver with default options (all heuristics enabled).
+    pub fn new(ds: &'a DimensionSchema) -> Self {
+        Dimsat {
+            ds,
+            opts: DimsatOptions::default(),
+        }
+    }
+
+    /// A solver with explicit options.
+    pub fn with_options(ds: &'a DimensionSchema, opts: DimsatOptions) -> Self {
+        Dimsat { ds, opts }
+    }
+
+    /// Decides whether `c` is satisfiable in the schema (DIMSAT(ds, c)),
+    /// stopping at the first frozen dimension found.
+    pub fn category_satisfiable(&self, c: Category) -> DimsatOutcome {
+        self.run(c, true)
+    }
+
+    /// Enumerates every inducing subhierarchy rooted at `c` (one
+    /// witnessing frozen dimension per subhierarchy) — the Figure 4 view
+    /// of a schema.
+    pub fn enumerate_frozen(&self, c: Category) -> (Vec<FrozenDimension>, DimsatOutcome) {
+        let mut search = Search::new(self.ds, self.opts, c, false);
+        search.expand_all();
+        let outcome = DimsatOutcome {
+            satisfiable: !search.found.is_empty(),
+            witness: search.found.first().cloned(),
+            stats: search.finish_stats(),
+            trace: std::mem::take(&mut search.trace),
+        };
+        (search.found, outcome)
+    }
+
+    /// Checks every category of the schema, returning the unsatisfiable
+    /// ones (the paper suggests dropping them for "a cleaner
+    /// representation of the data").
+    pub fn unsatisfiable_categories(&self) -> Vec<Category> {
+        self.ds
+            .hierarchy()
+            .categories()
+            .filter(|&c| !c.is_all() && !self.category_satisfiable(c).satisfiable)
+            .collect()
+    }
+
+    fn run(&self, c: Category, stop_at_first: bool) -> DimsatOutcome {
+        let mut search = Search::new(self.ds, self.opts, c, stop_at_first);
+        search.expand_all();
+        DimsatOutcome {
+            satisfiable: !search.found.is_empty(),
+            witness: search.found.first().cloned(),
+            stats: search.finish_stats(),
+            trace: search.trace,
+        }
+    }
+}
+
+struct Search<'a> {
+    g: &'a HierarchySchema,
+    opts: DimsatOptions,
+    ctx: FrozenContext,
+    sub: Subhierarchy,
+    /// Frontier: categories of `sub` not yet expanded (never contains
+    /// `All` — `g.Top = {All}` is represented by an empty frontier).
+    top: Vec<Category>,
+    /// `g.In*` of Figure 6: for each category, the set of categories that
+    /// reach it within `sub` (maintained incrementally when
+    /// [`DimsatOptions::incremental_instar`] is on).
+    instar: Vec<CatSet>,
+    /// In-neighbors within `sub` (companion to `instar` for the `Ss`
+    /// shortcut test).
+    inn: Vec<Vec<Category>>,
+    stats: SearchStats,
+    trace: Vec<TraceEvent>,
+    found: Vec<FrozenDimension>,
+    stop_at_first: bool,
+    stopped: bool,
+}
+
+impl<'a> Search<'a> {
+    fn new(
+        ds: &'a DimensionSchema,
+        opts: DimsatOptions,
+        root: Category,
+        stop_at_first: bool,
+    ) -> Self {
+        let g = ds.hierarchy();
+        let n = g.num_categories();
+        let sub = Subhierarchy::new(root, n);
+        let top = if root.is_all() {
+            Vec::new()
+        } else {
+            vec![root]
+        };
+        Search {
+            g,
+            opts,
+            ctx: FrozenContext::new(ds, root),
+            sub,
+            top,
+            instar: vec![CatSet::new(n); n],
+            inn: vec![Vec::new(); n],
+            stats: SearchStats::default(),
+            trace: Vec::new(),
+            found: Vec::new(),
+            stop_at_first,
+            stopped: false,
+        }
+    }
+
+    /// Adds `delta` to `In*(p)` and pushes it transitively upward.
+    fn propagate_instar(&mut self, p: Category, delta: &CatSet) {
+        if delta.is_subset_of(&self.instar[p.index()]) {
+            return;
+        }
+        self.instar[p.index()].union_with(delta);
+        let parents: Vec<Category> = self.sub.parents(p).to_vec();
+        for q in parents {
+            self.propagate_instar(q, delta);
+        }
+    }
+
+    fn finish_stats(&mut self) -> SearchStats {
+        self.stats.assignments_tested = self.ctx.assignments_tested.get();
+        self.stats.frozen_found = self.found.len() as u64;
+        self.stats.clone()
+    }
+
+    fn expand_all(&mut self) {
+        self.expand();
+    }
+
+    /// One EXPAND activation: either the frontier is exhausted (complete
+    /// subhierarchy → CHECK) or one frontier category is expanded with
+    /// every admissible parent subset.
+    fn expand(&mut self) {
+        if self.stopped {
+            return;
+        }
+        self.stats.expand_calls += 1;
+
+        if self.top.is_empty() {
+            self.complete();
+            return;
+        }
+
+        // Choose ctop per the frontier discipline.
+        let ctop = match self.opts.order {
+            TopOrder::Lifo => self.top.pop().unwrap(),
+            TopOrder::Fifo => self.top.remove(0),
+        };
+
+        let out: Vec<Category> = self.g.parents(ctop).to_vec();
+        // Figure 6 lines 11–13: prune cycle- and shortcut-creating
+        // parents.
+        let s: Vec<Category> = if self.opts.eager_structure_pruning {
+            out.iter()
+                .copied()
+                .filter(|&c2| !self.creates_cycle(ctop, c2) && !self.creates_shortcut(ctop, c2))
+                .collect()
+        } else {
+            out.clone()
+        };
+
+        // Figure 6 lines 14–15: into constraints force parents. The dual
+        // pruning drops *forbidden* parents (`¬(c_c')` in Σ): any choice
+        // containing such an edge fails CHECK outright.
+        let s: Vec<Category> = if self.opts.into_pruning {
+            let forbidden: Vec<Category> = self.ctx.forbidden_parents_of(ctop).collect();
+            s.into_iter().filter(|c2| !forbidden.contains(c2)).collect()
+        } else {
+            s
+        };
+        let into: Vec<Category> = if self.opts.into_pruning {
+            self.ctx
+                .into_parents_of(ctop)
+                .filter(|p| out.contains(p))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        if !into.iter().all(|p| s.contains(p)) || s.is_empty() {
+            self.stats.dead_ends += 1;
+            self.restore_top(ctop);
+            return;
+        }
+
+        let rest: Vec<Category> = s.iter().copied().filter(|c2| !into.contains(c2)).collect();
+        debug_assert!(rest.len() < 63);
+        for mask in 0u64..(1u64 << rest.len()) {
+            if self.stopped {
+                break;
+            }
+            let mut r: Vec<Category> = into.clone();
+            for (i, &c2) in rest.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    r.push(c2);
+                }
+            }
+            if r.is_empty() {
+                continue;
+            }
+            // Two parents where one already reaches the other would make
+            // the edge to the farther one a shortcut (a case the paper's
+            // Ss set misses; see the crate docs).
+            if self.opts.eager_structure_pruning && self.r_internally_conflicting(&r) {
+                continue;
+            }
+
+            let saved_sub = self.sub.clone();
+            let saved_top_len = self.top.len();
+            let saved_instar = self
+                .opts
+                .incremental_instar
+                .then(|| (self.instar.clone(), self.inn.clone()));
+            for &p in &r {
+                if !self.sub.contains(p) && !p.is_all() {
+                    self.top.push(p);
+                }
+                self.sub.add_edge(ctop, p);
+                if self.opts.incremental_instar {
+                    self.inn[p.index()].push(ctop);
+                    let mut delta = self.instar[ctop.index()].clone();
+                    delta.insert(ctop);
+                    self.propagate_instar(p, &delta);
+                }
+            }
+            if self.opts.trace {
+                self.trace.push(TraceEvent::Expand {
+                    ctop,
+                    r: r.clone(),
+                    g: self.sub.clone(),
+                });
+            }
+            self.expand();
+            self.sub = saved_sub;
+            self.top.truncate(saved_top_len);
+            if let Some((instar, inn)) = saved_instar {
+                self.instar = instar;
+                self.inn = inn;
+            }
+        }
+        if self.opts.trace && !self.stopped {
+            self.trace.push(TraceEvent::Backtrack { ctop });
+        }
+        self.restore_top(ctop);
+    }
+
+    fn restore_top(&mut self, ctop: Category) {
+        match self.opts.order {
+            TopOrder::Lifo => self.top.push(ctop),
+            TopOrder::Fifo => self.top.insert(0, ctop),
+        }
+    }
+
+    /// Would the edge `ctop → c2` close a cycle? (`Sc` of Figure 6.)
+    fn creates_cycle(&self, ctop: Category, c2: Category) -> bool {
+        if self.opts.incremental_instar {
+            // c2 reaches ctop ⟺ c2 ∈ In*(ctop).
+            self.instar[ctop.index()].contains(c2)
+        } else {
+            self.sub.contains(c2) && self.sub.has_path_between(c2, ctop)
+        }
+    }
+
+    /// Would the edge `ctop → c2` complete a shortcut for an existing edge
+    /// `d → c2` with `d` reaching `ctop`? (`Ss` of Figure 6.)
+    fn creates_shortcut(&self, ctop: Category, c2: Category) -> bool {
+        if self.opts.incremental_instar {
+            self.inn[c2.index()]
+                .iter()
+                .any(|&d| d != ctop && self.instar[ctop.index()].contains(d))
+        } else {
+            self.sub
+                .edges()
+                .any(|(d, e)| e == c2 && d != ctop && self.sub.has_path_between(d, ctop))
+        }
+    }
+
+    /// Would two parents of `r` shortcut each other (one reaches the
+    /// other)?
+    fn r_internally_conflicting(&self, r: &[Category]) -> bool {
+        for (i, &a) in r.iter().enumerate() {
+            for &b in &r[i + 1..] {
+                if !self.sub.contains(a) || !self.sub.contains(b) {
+                    continue;
+                }
+                let conflict = if self.opts.incremental_instar {
+                    self.instar[b.index()].contains(a) || self.instar[a.index()].contains(b)
+                } else {
+                    self.sub.has_path_between(a, b) || self.sub.has_path_between(b, a)
+                };
+                if conflict {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Frontier exhausted: the subhierarchy is complete. Validate (safety
+    /// net / generate-and-test mode) and run CHECK.
+    fn complete(&mut self) {
+        if !self.sub.is_acyclic() || self.sub.has_shortcut() {
+            self.stats.late_rejections += 1;
+            return;
+        }
+        debug_assert!(self.sub.is_valid_subhierarchy_of(self.g));
+        self.stats.check_calls += 1;
+        let induced = self.ctx.check(&self.sub);
+        if self.opts.trace {
+            self.trace.push(TraceEvent::Check {
+                g: self.sub.clone(),
+                induced: induced.is_some(),
+            });
+        }
+        if let Some(ca) = induced {
+            self.found.push(FrozenDimension::new(self.sub.clone(), ca));
+            if self.stop_at_first {
+                self.stopped = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odc_frozen::ExhaustiveEnumerator;
+    use odc_hierarchy::HierarchySchema;
+    use std::collections::BTreeSet;
+    use std::sync::Arc;
+
+    fn location_sch() -> DimensionSchema {
+        let mut b = HierarchySchema::builder();
+        let store = b.category("Store");
+        let city = b.category("City");
+        let province = b.category("Province");
+        let state = b.category("State");
+        let sale_region = b.category("SaleRegion");
+        let country = b.category("Country");
+        b.edge(store, city);
+        b.edge(store, sale_region);
+        b.edge(city, province);
+        b.edge(city, state);
+        b.edge(city, country);
+        b.edge(province, sale_region);
+        b.edge(state, sale_region);
+        b.edge(state, country);
+        b.edge(sale_region, country);
+        b.edge(country, Category::ALL);
+        let g = Arc::new(b.build().unwrap());
+        DimensionSchema::parse(
+            g,
+            r#"
+            Store_City
+            Store.SaleRegion
+            City = Washington <-> City_Country
+            City = Washington -> City.Country = USA
+            State.Country = Mexico | State.Country = USA
+            State.Country = Mexico <-> State_SaleRegion
+            Province.Country = Canada
+            "#,
+        )
+        .unwrap()
+    }
+
+    fn cat(ds: &DimensionSchema, n: &str) -> Category {
+        ds.hierarchy().category_by_name(n).unwrap()
+    }
+
+    fn edge_fingerprint(f: &FrozenDimension) -> BTreeSet<(usize, usize)> {
+        f.subhierarchy()
+            .edges()
+            .map(|(a, b)| (a.index(), b.index()))
+            .collect()
+    }
+
+    #[test]
+    fn every_location_category_is_satisfiable() {
+        let ds = location_sch();
+        let solver = Dimsat::new(&ds);
+        assert!(solver.unsatisfiable_categories().is_empty());
+    }
+
+    #[test]
+    fn store_witness_verifies() {
+        let ds = location_sch();
+        let out = Dimsat::new(&ds).category_satisfiable(cat(&ds, "Store"));
+        assert!(out.satisfiable);
+        let w = out.witness.unwrap();
+        assert_eq!(w.verify(&ds), Ok(()));
+        assert!(out.stats.check_calls >= 1);
+        assert_eq!(out.stats.late_rejections, 0, "eager pruning is complete");
+    }
+
+    #[test]
+    fn enumeration_matches_exhaustive_oracle() {
+        let ds = location_sch();
+        let store = cat(&ds, "Store");
+        let (dimsat_frozen, out) = Dimsat::new(&ds).enumerate_frozen(store);
+        let mut oracle = ExhaustiveEnumerator::new(&ds, store);
+        let oracle_frozen = oracle.enumerate();
+        let a: BTreeSet<_> = dimsat_frozen.iter().map(edge_fingerprint).collect();
+        let b: BTreeSet<_> = oracle_frozen.iter().map(edge_fingerprint).collect();
+        assert_eq!(a, b, "DIMSAT and the Theorem-3 oracle disagree");
+        assert_eq!(a.len(), 4, "Figure 4: four inducing subhierarchies");
+        assert_eq!(out.stats.late_rejections, 0);
+        for f in &dimsat_frozen {
+            assert_eq!(f.verify(&ds), Ok(()));
+        }
+    }
+
+    #[test]
+    fn ablations_agree_with_full_search() {
+        let ds = location_sch();
+        for c in [
+            "Store",
+            "City",
+            "State",
+            "Province",
+            "SaleRegion",
+            "Country",
+        ] {
+            let category = cat(&ds, c);
+            let full = Dimsat::new(&ds).category_satisfiable(category).satisfiable;
+            let no_into = Dimsat::with_options(&ds, DimsatOptions::without_into_pruning())
+                .category_satisfiable(category)
+                .satisfiable;
+            let gt = Dimsat::with_options(&ds, DimsatOptions::generate_and_test())
+                .category_satisfiable(category)
+                .satisfiable;
+            assert_eq!(full, no_into, "into-pruning changed the answer for {c}");
+            assert_eq!(full, gt, "generate-and-test changed the answer for {c}");
+        }
+    }
+
+    #[test]
+    fn ablations_enumerate_the_same_frozen_sets() {
+        let ds = location_sch();
+        let store = cat(&ds, "Store");
+        let (full, _) = Dimsat::new(&ds).enumerate_frozen(store);
+        let (gt, gt_out) =
+            Dimsat::with_options(&ds, DimsatOptions::generate_and_test()).enumerate_frozen(store);
+        let a: BTreeSet<_> = full.iter().map(edge_fingerprint).collect();
+        let b: BTreeSet<_> = gt.iter().map(edge_fingerprint).collect();
+        assert_eq!(a, b);
+        assert!(
+            gt_out.stats.late_rejections > 0,
+            "generate-and-test must reject some subhierarchies late"
+        );
+    }
+
+    #[test]
+    fn into_pruning_reduces_work() {
+        let ds = location_sch();
+        let store = cat(&ds, "Store");
+        let (_, full) = Dimsat::new(&ds).enumerate_frozen(store);
+        let (_, no_into) = Dimsat::with_options(&ds, DimsatOptions::without_into_pruning())
+            .enumerate_frozen(store);
+        assert!(
+            full.stats.expand_calls <= no_into.stats.expand_calls,
+            "into pruning should not increase expansions ({} vs {})",
+            full.stats.expand_calls,
+            no_into.stats.expand_calls
+        );
+    }
+
+    #[test]
+    fn example_11_unsatisfiable_sale_region() {
+        let ds = location_sch();
+        let g = ds.hierarchy();
+        let extra = odc_constraint::parse_constraint(g, "!SaleRegion_Country").unwrap();
+        let ds2 = ds.with_constraint(extra);
+        let sale_region = cat(&ds2, "SaleRegion");
+        let out = Dimsat::new(&ds2).category_satisfiable(sale_region);
+        assert!(!out.satisfiable);
+        assert!(out.witness.is_none());
+    }
+
+    #[test]
+    fn fifo_order_finds_the_same_answers() {
+        let ds = location_sch();
+        let store = cat(&ds, "Store");
+        let opts = DimsatOptions {
+            order: TopOrder::Fifo,
+            ..Default::default()
+        };
+        let (frozen, _) = Dimsat::with_options(&ds, opts).enumerate_frozen(store);
+        assert_eq!(frozen.len(), 4);
+    }
+
+    #[test]
+    fn trace_records_expansions_and_checks() {
+        let ds = location_sch();
+        let store = cat(&ds, "Store");
+        let opts = DimsatOptions::full().with_trace();
+        let out = Dimsat::with_options(&ds, opts).category_satisfiable(store);
+        assert!(out.satisfiable);
+        assert!(out
+            .trace
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Expand { .. })));
+        assert!(out
+            .trace
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Check { induced: true, .. })));
+        // Rendering shouldn't panic and must mention the root.
+        let rendered = crate::trace::render_trace(&ds, &out.trace);
+        assert!(rendered.contains("Store"));
+    }
+
+    #[test]
+    fn all_category_is_trivially_satisfiable() {
+        let ds = location_sch();
+        let out = Dimsat::new(&ds).category_satisfiable(Category::ALL);
+        // The empty subhierarchy {All} is complete and Σ(ds, All) = ∅…
+        // Proposition 1 territory: the schema itself is always
+        // satisfiable; `All` is inhabited in every instance.
+        assert!(out.satisfiable);
+    }
+
+    /// Differential test on a schema with a *cycle* (Example 4), which the
+    /// naive oracle also handles.
+    #[test]
+    fn cyclic_schema_differential() {
+        let mut b = HierarchySchema::builder();
+        let store = b.category("Store");
+        let district = b.category("SaleDistrict");
+        let city = b.category("City");
+        b.edge(store, district);
+        b.edge(store, city);
+        b.edge(district, city);
+        b.edge(city, district);
+        b.edge_to_all(district);
+        b.edge_to_all(city);
+        let g = Arc::new(b.build().unwrap());
+        let ds = DimensionSchema::parse(g, "").unwrap();
+        let store = ds.hierarchy().category_by_name("Store").unwrap();
+        let (dimsat_frozen, _) = Dimsat::new(&ds).enumerate_frozen(store);
+        let mut oracle = ExhaustiveEnumerator::new(&ds, store);
+        let oracle_frozen = oracle.enumerate();
+        let a: BTreeSet<_> = dimsat_frozen.iter().map(edge_fingerprint).collect();
+        let b2: BTreeSet<_> = oracle_frozen.iter().map(edge_fingerprint).collect();
+        assert_eq!(a, b2);
+        assert!(!a.is_empty());
+        for f in &dimsat_frozen {
+            assert!(f.subhierarchy().is_acyclic(), "frozen dims are acyclic");
+        }
+    }
+}

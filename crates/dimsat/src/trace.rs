@@ -1,0 +1,66 @@
+//! Execution tracing — reproduces Figure 7 ("the variable g in an
+//! execution of DIMSAT(locationSch, Store)").
+
+use odc_constraint::DimensionSchema;
+use odc_hierarchy::{Category, Subhierarchy};
+
+/// One step of a traced DIMSAT run.
+#[derive(Debug, Clone)]
+pub enum TraceEvent {
+    /// EXPAND assigned parent set `r` to `ctop`, yielding state `g`.
+    Expand {
+        /// The frontier category that was expanded.
+        ctop: Category,
+        /// The parent set chosen for it.
+        r: Vec<Category>,
+        /// Snapshot of the subhierarchy after the expansion.
+        g: Subhierarchy,
+    },
+    /// A complete subhierarchy was handed to CHECK.
+    Check {
+        /// Snapshot of the complete subhierarchy.
+        g: Subhierarchy,
+        /// Whether CHECK found a satisfying c-assignment.
+        induced: bool,
+    },
+    /// The search backtracked past `ctop` (its remaining parent choices
+    /// were exhausted).
+    Backtrack {
+        /// The category whose expansion was undone.
+        ctop: Category,
+    },
+}
+
+impl TraceEvent {
+    /// Renders the event with category names.
+    pub fn render(&self, ds: &DimensionSchema) -> String {
+        let g = ds.hierarchy();
+        match self {
+            TraceEvent::Expand { ctop, r, g: sub } => format!(
+                "EXPAND {} ← {{{}}}   g = {}",
+                g.name(*ctop),
+                r.iter().map(|&c| g.name(c)).collect::<Vec<_>>().join(", "),
+                sub.display(g)
+            ),
+            TraceEvent::Check { g: sub, induced } => format!(
+                "CHECK {} → {}",
+                sub.display(g),
+                if *induced {
+                    "induces a frozen dimension"
+                } else {
+                    "no c-assignment"
+                }
+            ),
+            TraceEvent::Backtrack { ctop } => format!("BACKTRACK {}", g.name(*ctop)),
+        }
+    }
+}
+
+/// Renders a whole trace, one event per line.
+pub fn render_trace(ds: &DimensionSchema, trace: &[TraceEvent]) -> String {
+    trace
+        .iter()
+        .map(|e| e.render(ds))
+        .collect::<Vec<_>>()
+        .join("\n")
+}

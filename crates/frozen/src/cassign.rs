@@ -1,0 +1,751 @@
+//! Constant tables and c-assignments.
+//!
+//! A *c-assignment* for a subhierarchy `g` picks, for each category `c'`
+//! of `g`, a symbolic value for its member's `Name`. A subhierarchy
+//! induces a frozen dimension iff it is acyclic and shortcut-free and
+//! some c-assignment satisfies `Σ(ds, c) ∘ g` (Proposition 2).
+//!
+//! ## The value domain with ordered atoms
+//!
+//! In the paper, a category's choices are `Const_ds(c') ∪ {nk}`. With the
+//! Section-6 **ordered atoms** (`c.ci < k`) the relevant value space also
+//! includes numbers, so each category's choice set becomes:
+//!
+//! * [`Slot::Str`] — each string constant mentioned in equality atoms
+//!   (including numeric-looking ones such as `"007"`, whose string
+//!   identity matters to equality atoms);
+//! * [`Slot::Num`] — each *critical point* (ordered-atom threshold or
+//!   numeric-parsing equality constant) plus one representative integer
+//!   per open region between consecutive critical points (`min−1`,
+//!   `a+1` for each gap ≥ 2, `max+1`);
+//! * [`Slot::Nk`] — a fresh non-numeric constant not mentioned in `Σ`.
+//!
+//! This finite set is *complete*: any concrete `Name` value is equivalent
+//! to one of the slots with respect to every atom of `Σ` over that
+//! category. (A value string-equal to a constant ↦ that `Str`; any other
+//! non-numeric value ↦ `Nk`; any other numeric value is either a critical
+//! point or lies in an open region, where all comparisons — and all
+//! equality atoms, which can only name critical points — are constant.)
+
+use crate::circle;
+use crate::frozen::FrozenDimension;
+use odc_constraint::ast::AtomRef;
+use odc_constraint::{Constraint, DimensionConstraint, DimensionSchema};
+use odc_hierarchy::{Category, Subhierarchy};
+
+/// A symbolic `Name` value for one category of a candidate frozen
+/// dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Slot {
+    /// The fresh constant `nk` (non-numeric, mentioned nowhere in `Σ`).
+    Nk,
+    /// The i-th string constant of the category's `Const_ds` entry.
+    Str(u32),
+    /// A concrete integer (critical point or region representative).
+    Num(i64),
+}
+
+/// Per-category value domains: `Const_ds` (Section 3.2) extended with the
+/// numeric candidate values required by ordered atoms.
+#[derive(Debug, Clone)]
+pub struct ConstTable {
+    strings: Vec<Vec<String>>,
+    /// Candidate integers per category (critical points + region
+    /// representatives), sorted ascending.
+    numerics: Vec<Vec<i64>>,
+    /// Precomputed slot lists per category (`Nk` first).
+    choices: Vec<Vec<Slot>>,
+}
+
+impl ConstTable {
+    /// Extracts the value domains from a dimension schema.
+    pub fn new(ds: &DimensionSchema) -> Self {
+        let strings = ds.constants();
+        let thresholds = ds.ord_thresholds();
+        let n = strings.len();
+        let mut numerics: Vec<Vec<i64>> = Vec::with_capacity(n);
+        let mut choices: Vec<Vec<Slot>> = Vec::with_capacity(n);
+        for c in 0..n {
+            // Critical points: thresholds + numeric equality constants.
+            let mut criticals: Vec<i64> = thresholds[c].clone();
+            for s in &strings[c] {
+                if let Ok(v) = s.parse::<i64>() {
+                    criticals.push(v);
+                }
+            }
+            criticals.sort_unstable();
+            criticals.dedup();
+            // Region representatives.
+            let mut nums = criticals.clone();
+            if let (Some(&lo), Some(&hi)) = (criticals.first(), criticals.last()) {
+                nums.push(lo.saturating_sub(1));
+                nums.push(hi.saturating_add(1));
+                for w in criticals.windows(2) {
+                    if w[1] - w[0] >= 2 {
+                        nums.push(w[0] + 1);
+                    }
+                }
+            }
+            nums.sort_unstable();
+            nums.dedup();
+            let mut slots = Vec::with_capacity(1 + strings[c].len() + nums.len());
+            slots.push(Slot::Nk);
+            slots.extend((0..strings[c].len() as u32).map(Slot::Str));
+            slots.extend(nums.iter().copied().map(Slot::Num));
+            numerics.push(nums);
+            choices.push(slots);
+        }
+        ConstTable {
+            strings,
+            numerics,
+            choices,
+        }
+    }
+
+    /// The string constants (`Const_ds(c)`) of one category.
+    pub fn constants(&self, c: Category) -> &[String] {
+        &self.strings[c.index()]
+    }
+
+    /// The numeric candidate values of one category.
+    pub fn numeric_candidates(&self, c: Category) -> &[i64] {
+        &self.numerics[c.index()]
+    }
+
+    /// All slots a category's member may take (completeness: see the
+    /// module docs).
+    pub fn choices(&self, c: Category) -> &[Slot] {
+        &self.choices[c.index()]
+    }
+
+    /// Number of choices for a category.
+    pub fn num_choices(&self, c: Category) -> usize {
+        self.choices[c.index()].len()
+    }
+
+    /// The maximum `N_K` (string constants per category) — Proposition 4's
+    /// parameter.
+    pub fn max_constants(&self) -> usize {
+        self.strings.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// The maximum choice-set size per category (the extended `N_K` once
+    /// ordered atoms enter).
+    pub fn max_choices(&self) -> usize {
+        self.choices.iter().map(Vec::len).max().unwrap_or(1)
+    }
+
+    /// The slot representing the string constant `k` for category `c`, if
+    /// `k` is mentioned in `Σ`.
+    pub fn slot_for_constant(&self, c: Category, k: &str) -> Option<Slot> {
+        self.strings[c.index()]
+            .iter()
+            .position(|v| v == k)
+            .map(|i| Slot::Str(i as u32))
+    }
+
+    /// Renders a slot as the member `Name` it stands for.
+    pub fn render(&self, c: Category, slot: Slot) -> String {
+        match slot {
+            Slot::Nk => crate::frozen::NK_NAME.to_string(),
+            Slot::Str(i) => self.strings[c.index()][i as usize].clone(),
+            Slot::Num(v) => v.to_string(),
+        }
+    }
+
+    /// Evaluates an equality atom's truth for a slot of category
+    /// `atom.cat` (the ancestor is assumed to exist — reachability is the
+    /// circle operator's job).
+    pub fn eq_holds(&self, cat: Category, slot: Slot, value: &str) -> bool {
+        match slot {
+            Slot::Nk => false,
+            Slot::Str(i) => self.strings[cat.index()][i as usize] == value,
+            // The member's Name is the decimal rendering of `v`.
+            Slot::Num(v) => value.parse::<i64>().is_ok_and(|k| k == v) && value == v.to_string(),
+        }
+    }
+
+    /// Evaluates an ordered atom's truth for a slot.
+    pub fn ord_holds(
+        &self,
+        cat: Category,
+        slot: Slot,
+        op: odc_constraint::ast::CmpOp,
+        value: i64,
+    ) -> bool {
+        match slot {
+            Slot::Nk => false,
+            Slot::Str(i) => self.strings[cat.index()][i as usize]
+                .parse::<i64>()
+                .map(|v| op.eval(v, value))
+                .unwrap_or(false),
+            Slot::Num(v) => op.eval(v, value),
+        }
+    }
+}
+
+/// A (total) c-assignment: one slot per category of the schema;
+/// categories outside the subhierarchy keep [`Slot::Nk`] and are never
+/// read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CAssignment {
+    slots: Vec<Slot>,
+}
+
+impl CAssignment {
+    /// All-`nk` assignment over `universe` categories.
+    pub fn all_nk(universe: usize) -> Self {
+        CAssignment {
+            slots: vec![Slot::Nk; universe],
+        }
+    }
+
+    /// The slot of category `c`.
+    pub fn get(&self, c: Category) -> Slot {
+        self.slots[c.index()]
+    }
+
+    /// Sets the slot of category `c`.
+    pub fn set(&mut self, c: Category, slot: Slot) {
+        self.slots[c.index()] = slot;
+    }
+
+    /// The rendered `Name` for `c`, if not `nk`.
+    pub fn constant(&self, table: &ConstTable, c: Category) -> Option<String> {
+        match self.get(c) {
+            Slot::Nk => None,
+            slot => Some(table.render(c, slot)),
+        }
+    }
+}
+
+/// Everything CHECK needs, precomputed once per `(ds, root)` query:
+/// the relevant constraints `Σ(ds, root)`, the value domains, and the
+/// *into*-constraint edges used by DIMSAT's pruning.
+#[derive(Debug, Clone)]
+pub struct FrozenContext {
+    root: Category,
+    universe: usize,
+    sigma: Vec<DimensionConstraint>,
+    consts: ConstTable,
+    into_edges: Vec<(Category, Category)>,
+    forbidden_edges: Vec<(Category, Category)>,
+    /// Counters: how many c-assignment search nodes `check` visited.
+    pub assignments_tested: std::cell::Cell<u64>,
+}
+
+impl FrozenContext {
+    /// Builds the context for finding frozen dimensions of `ds` rooted at
+    /// `root`.
+    pub fn new(ds: &DimensionSchema, root: Category) -> Self {
+        FrozenContext {
+            root,
+            universe: ds.hierarchy().num_categories(),
+            sigma: ds.sigma_for(root).into_iter().cloned().collect(),
+            consts: ConstTable::new(ds),
+            into_edges: ds
+                .into_constraints()
+                .into_iter()
+                .filter(|&(c, _)| ds.hierarchy().reaches(root, c))
+                .collect(),
+            forbidden_edges: ds
+                .forbidden_into_constraints()
+                .into_iter()
+                .filter(|&(c, _)| ds.hierarchy().reaches(root, c))
+                .collect(),
+            assignments_tested: std::cell::Cell::new(0),
+        }
+    }
+
+    /// The query root.
+    pub fn root(&self) -> Category {
+        self.root
+    }
+
+    /// The relevant constraints `Σ(ds, root)`.
+    pub fn sigma(&self) -> &[DimensionConstraint] {
+        &self.sigma
+    }
+
+    /// The value-domain table.
+    pub fn consts(&self) -> &ConstTable {
+        &self.consts
+    }
+
+    /// The *into* edges `(c, c')` from constraints `c_c'` relevant to the
+    /// root (used by EXPAND's pruning, Section 5).
+    pub fn into_parents_of(&self, c: Category) -> impl Iterator<Item = Category> + '_ {
+        self.into_edges
+            .iter()
+            .filter(move |&&(child, _)| child == c)
+            .map(|&(_, p)| p)
+    }
+
+    /// The *forbidden* parents of `c` (from constraints `¬(c_c')`):
+    /// including such an edge makes every candidate fail CHECK, so the
+    /// search may drop the choice up front.
+    pub fn forbidden_parents_of(&self, c: Category) -> impl Iterator<Item = Category> + '_ {
+        self.forbidden_edges
+            .iter()
+            .filter(move |&&(child, _)| child == c)
+            .map(|&(_, p)| p)
+    }
+
+    /// The CHECK procedure of Figure 6: does `g` induce a frozen
+    /// dimension? Returns a witnessing c-assignment if so.
+    ///
+    /// Precondition (established by the caller — EXPAND prunes for it,
+    /// the naive enumerator filters for it): `g` is a valid subhierarchy.
+    /// Acyclicity/shortcut-freeness is *not* re-checked here.
+    pub fn check(&self, g: &Subhierarchy) -> Option<CAssignment> {
+        // Reduce Σ ∘ g, dropping constraints that became ⊤ and failing
+        // fast on ⊥ — but only for constraints whose root category is
+        // present in g; absent roots hold vacuously.
+        let mut residue: Vec<Constraint> = Vec::new();
+        for dc in &self.sigma {
+            if !g.contains(dc.root()) {
+                continue;
+            }
+            match circle::reduce_constraint(dc, g) {
+                Constraint::True => {}
+                Constraint::False => return None,
+                other => residue.push(other),
+            }
+        }
+        // Only categories actually mentioned by surviving equality or
+        // ordered atoms need enumeration; all others may stay nk.
+        let mut mentioned: Vec<Category> = Vec::new();
+        for c in &residue {
+            c.for_each_atom(&mut |a| {
+                let cat = match a {
+                    AtomRef::Eq(e) => e.cat,
+                    AtomRef::Ord(o) => o.cat,
+                    AtomRef::Path(_) => return,
+                };
+                if !mentioned.contains(&cat) {
+                    mentioned.push(cat);
+                }
+            });
+        }
+        let mut ca = CAssignment::all_nk(self.universe);
+        if self.search(&residue, &mentioned, 0, &mut ca) {
+            Some(ca)
+        } else {
+            None
+        }
+    }
+
+    /// Backtracking product search over the mentioned categories with
+    /// early partial evaluation: as soon as the residue is decided by the
+    /// categories assigned so far, the subtree is cut.
+    fn search(
+        &self,
+        residue: &[Constraint],
+        cats: &[Category],
+        depth: usize,
+        ca: &mut CAssignment,
+    ) -> bool {
+        self.assignments_tested
+            .set(self.assignments_tested.get() + 1);
+        let decided = &cats[..depth];
+        let mut all_true = true;
+        for c in residue {
+            match self.eval_partial(c, decided, ca) {
+                Some(false) => return false,
+                Some(true) => {}
+                None => all_true = false,
+            }
+        }
+        if all_true {
+            return true;
+        }
+        if depth == cats.len() {
+            return false;
+        }
+        let c = cats[depth];
+        for &slot in self.consts.choices(c) {
+            ca.set(c, slot);
+            if self.search(residue, cats, depth + 1, ca) {
+                return true;
+            }
+        }
+        ca.set(c, Slot::Nk);
+        false
+    }
+
+    /// Three-valued evaluation of a residue formula: `None` = undecided.
+    fn eval_partial(&self, c: &Constraint, decided: &[Category], ca: &CAssignment) -> Option<bool> {
+        match c {
+            Constraint::True => Some(true),
+            Constraint::False => Some(false),
+            Constraint::Path(_) => unreachable!("residues contain no path atoms"),
+            Constraint::Eq(e) => {
+                if decided.contains(&e.cat) {
+                    Some(self.consts.eq_holds(e.cat, ca.get(e.cat), &e.value))
+                } else {
+                    None
+                }
+            }
+            Constraint::Ord(o) => {
+                if decided.contains(&o.cat) {
+                    Some(self.consts.ord_holds(o.cat, ca.get(o.cat), o.op, o.value))
+                } else {
+                    None
+                }
+            }
+            Constraint::Not(x) => self.eval_partial(x, decided, ca).map(|v| !v),
+            Constraint::And(xs) => {
+                let mut acc = Some(true);
+                for x in xs {
+                    match self.eval_partial(x, decided, ca) {
+                        Some(false) => return Some(false),
+                        Some(true) => {}
+                        None => acc = None,
+                    }
+                }
+                acc
+            }
+            Constraint::Or(xs) => {
+                let mut acc = Some(false);
+                for x in xs {
+                    match self.eval_partial(x, decided, ca) {
+                        Some(true) => return Some(true),
+                        Some(false) => {}
+                        None => acc = None,
+                    }
+                }
+                acc
+            }
+            Constraint::Implies(a, b) => {
+                match (
+                    self.eval_partial(a, decided, ca),
+                    self.eval_partial(b, decided, ca),
+                ) {
+                    (Some(false), _) | (_, Some(true)) => Some(true),
+                    (Some(true), Some(false)) => Some(false),
+                    _ => None,
+                }
+            }
+            Constraint::Iff(a, b) => {
+                match (
+                    self.eval_partial(a, decided, ca),
+                    self.eval_partial(b, decided, ca),
+                ) {
+                    (Some(x), Some(y)) => Some(x == y),
+                    _ => None,
+                }
+            }
+            Constraint::Xor(a, b) => {
+                match (
+                    self.eval_partial(a, decided, ca),
+                    self.eval_partial(b, decided, ca),
+                ) {
+                    (Some(x), Some(y)) => Some(x != y),
+                    _ => None,
+                }
+            }
+            Constraint::ExactlyOne(xs) => {
+                let mut trues = 0usize;
+                let mut unknown = 0usize;
+                for x in xs {
+                    match self.eval_partial(x, decided, ca) {
+                        Some(true) => trues += 1,
+                        Some(false) => {}
+                        None => unknown += 1,
+                    }
+                }
+                if trues > 1 {
+                    Some(false)
+                } else if unknown == 0 {
+                    Some(trues == 1)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Packages a successful CHECK into a [`FrozenDimension`].
+    pub fn to_frozen(&self, g: &Subhierarchy, ca: CAssignment) -> FrozenDimension {
+        FrozenDimension::new(g.clone(), ca)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odc_hierarchy::HierarchySchema;
+    use std::sync::Arc;
+
+    fn schema_with_constants() -> DimensionSchema {
+        let mut b = HierarchySchema::builder();
+        let store = b.category("Store");
+        let region = b.category("Region");
+        let country = b.category("Country");
+        b.edge(store, region);
+        b.edge(region, country);
+        b.edge_to_all(country);
+        let g = Arc::new(b.build().unwrap());
+        DimensionSchema::parse(
+            g,
+            r#"
+            Store.Country = Canada | Store.Country = Mexico
+            Region.Country = Canada -> Region = East
+            "#,
+        )
+        .unwrap()
+    }
+
+    fn full_sub(ds: &DimensionSchema) -> Subhierarchy {
+        let g = ds.hierarchy();
+        let store = g.category_by_name("Store").unwrap();
+        let region = g.category_by_name("Region").unwrap();
+        let country = g.category_by_name("Country").unwrap();
+        let mut sub = Subhierarchy::new(store, g.num_categories());
+        sub.add_edge(store, region);
+        sub.add_edge(region, country);
+        sub.add_edge(country, Category::ALL);
+        sub
+    }
+
+    #[test]
+    fn const_table_contents() {
+        let ds = schema_with_constants();
+        let t = ConstTable::new(&ds);
+        let g = ds.hierarchy();
+        let country = g.category_by_name("Country").unwrap();
+        let region = g.category_by_name("Region").unwrap();
+        assert_eq!(t.constants(country), ["Canada", "Mexico"]);
+        assert_eq!(t.constants(region), ["East"]);
+        // No ordered atoms → no numeric candidates; choices = Nk + strings.
+        assert!(t.numeric_candidates(country).is_empty());
+        assert_eq!(t.num_choices(country), 3);
+        assert_eq!(t.max_constants(), 2);
+        assert_eq!(t.slot_for_constant(country, "Mexico"), Some(Slot::Str(1)));
+        assert_eq!(t.slot_for_constant(country, "USA"), None);
+        assert_eq!(t.render(country, Slot::Nk), crate::frozen::NK_NAME);
+        assert_eq!(t.render(country, Slot::Str(0)), "Canada");
+    }
+
+    #[test]
+    fn check_finds_satisfying_assignment() {
+        let ds = schema_with_constants();
+        let g = ds.hierarchy();
+        let store = g.category_by_name("Store").unwrap();
+        let ctx = FrozenContext::new(&ds, store);
+        let sub = full_sub(&ds);
+        let ca = ctx.check(&sub).expect("satisfiable");
+        let t = ctx.consts();
+        let country = g.category_by_name("Country").unwrap();
+        let region = g.category_by_name("Region").unwrap();
+        let chosen = ca.constant(t, country).unwrap();
+        assert!(chosen == "Canada" || chosen == "Mexico");
+        if chosen == "Canada" {
+            assert_eq!(ca.constant(t, region).as_deref(), Some("East"));
+        }
+    }
+
+    #[test]
+    fn check_fails_on_contradiction() {
+        let mut b = HierarchySchema::builder();
+        let store = b.category("Store");
+        let country = b.category("Country");
+        b.edge(store, country);
+        b.edge_to_all(country);
+        let g = Arc::new(b.build().unwrap());
+        let ds =
+            DimensionSchema::parse(g, "Store.Country = Canada\nStore.Country = Mexico\n").unwrap();
+        let store = ds.hierarchy().category_by_name("Store").unwrap();
+        let country = ds.hierarchy().category_by_name("Country").unwrap();
+        let ctx = FrozenContext::new(&ds, store);
+        let mut sub = Subhierarchy::new(store, ds.hierarchy().num_categories());
+        sub.add_edge(store, country);
+        sub.add_edge(country, Category::ALL);
+        assert!(ctx.check(&sub).is_none());
+    }
+
+    #[test]
+    fn vacuous_roots_are_skipped() {
+        let ds = schema_with_constants();
+        let g = ds.hierarchy();
+        let region = g.category_by_name("Region").unwrap();
+        let country = g.category_by_name("Country").unwrap();
+        let ctx = FrozenContext::new(&ds, region);
+        assert_eq!(ctx.sigma().len(), 1);
+        let mut sub = Subhierarchy::new(region, g.num_categories());
+        sub.add_edge(region, country);
+        sub.add_edge(country, Category::ALL);
+        assert!(ctx.check(&sub).is_some());
+    }
+
+    #[test]
+    fn path_atom_false_kills_check_early() {
+        let mut b = HierarchySchema::builder();
+        let store = b.category("Store");
+        let city = b.category("City");
+        let region = b.category("Region");
+        b.edge(store, city);
+        b.edge(store, region);
+        b.edge(city, region);
+        b.edge_to_all(region);
+        let g = Arc::new(b.build().unwrap());
+        let ds = DimensionSchema::parse(g, "Store_City\n").unwrap();
+        let store = ds.hierarchy().category_by_name("Store").unwrap();
+        let region = ds.hierarchy().category_by_name("Region").unwrap();
+        let ctx = FrozenContext::new(&ds, store);
+        let mut sub = Subhierarchy::new(store, ds.hierarchy().num_categories());
+        sub.add_edge(store, region);
+        sub.add_edge(region, Category::ALL);
+        assert!(ctx.check(&sub).is_none());
+    }
+
+    #[test]
+    fn into_parents_filtering() {
+        let ds = schema_with_constants();
+        let g = ds.hierarchy();
+        let store = g.category_by_name("Store").unwrap();
+        let ctx = FrozenContext::new(&ds, store);
+        assert_eq!(ctx.into_parents_of(store).count(), 0);
+    }
+
+    // ── ordered-atom domains ────────────────────────────────────────────
+
+    fn priced_schema(sigma: &str) -> DimensionSchema {
+        let mut b = HierarchySchema::builder();
+        let product = b.category("Product");
+        let price = b.category("Price");
+        let tier = b.category("Tier");
+        b.edge(product, price);
+        b.edge(product, tier);
+        b.edge(price, Category::ALL);
+        b.edge(tier, Category::ALL);
+        let g = Arc::new(b.build().unwrap());
+        DimensionSchema::parse(g, sigma).unwrap()
+    }
+
+    #[test]
+    fn numeric_candidates_cover_regions() {
+        let ds = priced_schema("Product.Price < 10 | Product.Price >= 100\n");
+        let t = ConstTable::new(&ds);
+        let price = ds.hierarchy().category_by_name("Price").unwrap();
+        // Criticals {10, 100}; representatives 9, 11, 101.
+        assert_eq!(t.numeric_candidates(price), &[9, 10, 11, 100, 101]);
+        // Choices: Nk + 5 numerics (no string constants).
+        assert_eq!(t.num_choices(price), 6);
+        assert_eq!(t.max_choices(), 6);
+    }
+
+    #[test]
+    fn adjacent_criticals_skip_empty_region() {
+        let ds = priced_schema("Product.Price < 5 | Product.Price > 6\n");
+        let t = ConstTable::new(&ds);
+        let price = ds.hierarchy().category_by_name("Price").unwrap();
+        // Criticals {5, 6}: gap of 1 → no representative between them.
+        assert_eq!(t.numeric_candidates(price), &[4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn numeric_string_constants_become_criticals() {
+        let ds = priced_schema("Product.Price = 42 | Product.Price > 50\n");
+        let t = ConstTable::new(&ds);
+        let price = ds.hierarchy().category_by_name("Price").unwrap();
+        assert_eq!(t.numeric_candidates(price), &[41, 42, 43, 50, 51]);
+        // "42" is also kept as a string constant (harmless duplication).
+        assert_eq!(t.constants(price), ["42"]);
+    }
+
+    #[test]
+    fn check_solves_ordered_constraints() {
+        // Price must be below 10 or at least 100, AND at least 5, AND the
+        // tier name is forced when the price is high.
+        let ds = priced_schema(
+            "Product.Price < 10 | Product.Price >= 100\n\
+             Product.Price >= 5\n\
+             Product.Price >= 100 -> Product.Tier = premium\n",
+        );
+        let g = ds.hierarchy();
+        let product = g.category_by_name("Product").unwrap();
+        let price = g.category_by_name("Price").unwrap();
+        let tier = g.category_by_name("Tier").unwrap();
+        let ctx = FrozenContext::new(&ds, product);
+        let mut sub = Subhierarchy::new(product, g.num_categories());
+        sub.add_edge(product, price);
+        sub.add_edge(product, tier);
+        sub.add_edge(price, Category::ALL);
+        sub.add_edge(tier, Category::ALL);
+        let ca = ctx.check(&sub).expect("satisfiable");
+        let v: i64 = ca
+            .constant(ctx.consts(), price)
+            .expect("price must be numeric")
+            .parse()
+            .unwrap();
+        assert!((5..10).contains(&v) || v >= 100, "price {v}");
+        if v >= 100 {
+            assert_eq!(ca.constant(ctx.consts(), tier).as_deref(), Some("premium"));
+        }
+    }
+
+    #[test]
+    fn check_detects_ordered_contradiction() {
+        let ds = priced_schema("Product.Price < 10\nProduct.Price > 20\n");
+        let g = ds.hierarchy();
+        let product = g.category_by_name("Product").unwrap();
+        let price = g.category_by_name("Price").unwrap();
+        let tier = g.category_by_name("Tier").unwrap();
+        let ctx = FrozenContext::new(&ds, product);
+        let mut sub = Subhierarchy::new(product, g.num_categories());
+        sub.add_edge(product, price);
+        sub.add_edge(product, tier);
+        sub.add_edge(price, Category::ALL);
+        sub.add_edge(tier, Category::ALL);
+        assert!(ctx.check(&sub).is_none());
+    }
+
+    #[test]
+    fn check_narrow_integer_window() {
+        // 5 < price < 7 has exactly one integer solution (6): the region
+        // machinery must find it, and 5 < price < 6 must fail.
+        let ds = priced_schema("Product.Price > 5\nProduct.Price < 7\n");
+        let g = ds.hierarchy();
+        let product = g.category_by_name("Product").unwrap();
+        let price = g.category_by_name("Price").unwrap();
+        let tier = g.category_by_name("Tier").unwrap();
+        let ctx = FrozenContext::new(&ds, product);
+        let mut sub = Subhierarchy::new(product, g.num_categories());
+        sub.add_edge(product, price);
+        sub.add_edge(product, tier);
+        sub.add_edge(price, Category::ALL);
+        sub.add_edge(tier, Category::ALL);
+        let ca = ctx.check(&sub).expect("price 6 exists");
+        assert_eq!(ca.constant(ctx.consts(), price).as_deref(), Some("6"));
+
+        let ds2 = priced_schema("Product.Price > 5\nProduct.Price < 6\n");
+        let ctx2 = FrozenContext::new(&ds2, product);
+        assert!(
+            ctx2.check(&sub).is_none(),
+            "no integer strictly between 5 and 6"
+        );
+    }
+
+    #[test]
+    fn eq_and_ord_agree_on_string_numerals() {
+        // "007" is string-distinct from "7" but numerically 7.
+        let ds = priced_schema(
+            "Product.Price = \"007\" -> Product.Tier = padded\n\
+             Product.Price < 10\n",
+        );
+        let t = ConstTable::new(&ds);
+        let price = ds.hierarchy().category_by_name("Price").unwrap();
+        // "007" parses to 7 and the threshold adds 10 → criticals {7, 10}
+        // → candidates {6, 7, 8, 10, 11} (8 represents the (7,10) gap).
+        assert_eq!(t.numeric_candidates(price), &[6, 7, 8, 10, 11]);
+        // Slot Str("007"): Eq("007") true, Eq("7") false, Ord(<10) true.
+        let s = t.slot_for_constant(price, "007").unwrap();
+        assert!(t.eq_holds(price, s, "007"));
+        assert!(!t.eq_holds(price, s, "7"));
+        assert!(t.ord_holds(price, s, odc_constraint::ast::CmpOp::Lt, 10));
+        // Slot Num(7): Eq("007") false (its Name renders as "7").
+        assert!(!t.eq_holds(price, Slot::Num(7), "007"));
+        assert!(t.eq_holds(price, Slot::Num(7), "7"));
+    }
+}

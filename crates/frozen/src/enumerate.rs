@@ -1,0 +1,334 @@
+//! Exhaustive frozen-dimension enumeration — the generic procedure behind
+//! Theorem 3 ("choose a subgraph of G, then select the constants").
+//!
+//! This is intentionally naive: it iterates over *all* edge subsets of the
+//! hierarchy schema, filters the valid, acyclic, shortcut-free
+//! subhierarchies, and runs the c-assignment check on each. It serves two
+//! purposes:
+//!
+//! * a trusted **oracle** for differential testing of DIMSAT, and
+//! * the **baseline** against which the paper's pruning heuristics are
+//!   benchmarked (experiment E9).
+
+use crate::cassign::FrozenContext;
+use crate::frozen::FrozenDimension;
+use odc_constraint::DimensionSchema;
+use odc_hierarchy::{Category, Subhierarchy};
+
+/// Statistics of an exhaustive enumeration run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EnumerationStats {
+    /// Edge subsets generated.
+    pub subsets: u64,
+    /// Subsets that were valid Definition-7 subhierarchies.
+    pub valid_subhierarchies: u64,
+    /// Valid subhierarchies that were acyclic and shortcut-free.
+    pub candidates: u64,
+    /// Candidates on which a c-assignment search ran.
+    pub checks: u64,
+}
+
+/// The exhaustive Theorem-3 enumerator.
+pub struct ExhaustiveEnumerator<'a> {
+    ds: &'a DimensionSchema,
+    ctx: FrozenContext,
+    /// Relevant edges: both endpoints reachable from the root.
+    edges: Vec<(Category, Category)>,
+    pub(crate) stats: EnumerationStats,
+}
+
+impl<'a> ExhaustiveEnumerator<'a> {
+    /// Prepares an enumeration of the frozen dimensions of `ds` with the
+    /// given root.
+    ///
+    /// # Panics
+    /// Panics when the schema has more than 62 root-relevant edges — the
+    /// naive enumeration is `2^E` by design and only meant for small
+    /// schemas (the oracle role).
+    pub fn new(ds: &'a DimensionSchema, root: Category) -> Self {
+        let g = ds.hierarchy();
+        // Only edges whose child is reachable from the root can appear in
+        // a subhierarchy rooted there (Definition 7(c)).
+        let edges: Vec<(Category, Category)> =
+            g.edges().filter(|&(c, _)| g.reaches(root, c)).collect();
+        assert!(
+            edges.len() <= 62,
+            "exhaustive enumeration over {} edges is infeasible",
+            edges.len()
+        );
+        ExhaustiveEnumerator {
+            ds,
+            ctx: FrozenContext::new(ds, root),
+            edges,
+            stats: EnumerationStats::default(),
+        }
+    }
+
+    /// Run statistics (populated by [`Self::enumerate`]).
+    pub fn stats(&self) -> &EnumerationStats {
+        &self.stats
+    }
+
+    /// Whether at least one frozen dimension exists (category
+    /// satisfiability, Theorem 3): stops at the first witness.
+    pub fn is_satisfiable(&mut self) -> Option<FrozenDimension> {
+        self.run(true).into_iter().next()
+    }
+
+    /// Enumerates every frozen dimension (one per inducing subhierarchy;
+    /// each carries one witnessing assignment — enumerate assignments per
+    /// subhierarchy with [`Self::enumerate_all_assignments`]).
+    pub fn enumerate(&mut self) -> Vec<FrozenDimension> {
+        self.run(false)
+    }
+
+    fn run(&mut self, stop_at_first: bool) -> Vec<FrozenDimension> {
+        let g = self.ds.hierarchy();
+        let root = self.ctx.root();
+        let n_edges = self.edges.len();
+        let mut found = Vec::new();
+        self.stats = EnumerationStats::default();
+        for mask in 0u64..(1u64 << n_edges) {
+            self.stats.subsets += 1;
+            let mut sub = Subhierarchy::new(root, g.num_categories());
+            for (i, &(c, p)) in self.edges.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    sub.add_edge(c, p);
+                }
+            }
+            if !sub.is_valid_subhierarchy_of(g) {
+                continue;
+            }
+            self.stats.valid_subhierarchies += 1;
+            if !sub.is_acyclic() || sub.has_shortcut() {
+                continue;
+            }
+            self.stats.candidates += 1;
+            self.stats.checks += 1;
+            if let Some(ca) = self.ctx.check(&sub) {
+                found.push(FrozenDimension::new(sub, ca));
+                if stop_at_first {
+                    return found;
+                }
+            }
+        }
+        found
+    }
+
+    /// All `(subhierarchy, assignment)` pairs — the full candidate frozen
+    /// dimension space of Theorem 3, with *every* satisfying assignment
+    /// per subhierarchy (not just one witness). Exponential in both edges
+    /// and constants; test-sized schemas only.
+    pub fn enumerate_all_assignments(&mut self) -> Vec<FrozenDimension> {
+        let witnesses = self.enumerate();
+        let mut out = Vec::new();
+        for w in witnesses {
+            let sub = w.subhierarchy().clone();
+            // Re-run a full product search collecting every assignment.
+            let mut cats: Vec<Category> = sub.categories().iter().collect();
+            cats.retain(|c| !c.is_all());
+            let consts = self.ctx.consts().clone();
+            let mut slots: Vec<crate::cassign::Slot> = Vec::new();
+            let mut all = Vec::new();
+            self.product(&sub, &cats, &consts, &mut slots, &mut all);
+            out.extend(all);
+        }
+        out
+    }
+
+    fn product(
+        &self,
+        sub: &Subhierarchy,
+        cats: &[Category],
+        consts: &crate::cassign::ConstTable,
+        slots: &mut Vec<crate::cassign::Slot>,
+        out: &mut Vec<FrozenDimension>,
+    ) {
+        if slots.len() == cats.len() {
+            let mut ca = crate::cassign::CAssignment::all_nk(self.ds.hierarchy().num_categories());
+            for (i, &c) in cats.iter().enumerate() {
+                ca.set(c, slots[i]);
+            }
+            let f = FrozenDimension::new(sub.clone(), ca);
+            if f.verify(self.ds).is_ok() {
+                out.push(f);
+            }
+            return;
+        }
+        let c = cats[slots.len()];
+        for &slot in consts.choices(c) {
+            slots.push(slot);
+            self.product(sub, cats, consts, slots, out);
+            slots.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odc_hierarchy::HierarchySchema;
+    use std::sync::Arc;
+
+    /// locationSch: the running example of the paper (Figures 1 and 3).
+    fn location_sch() -> DimensionSchema {
+        let mut b = HierarchySchema::builder();
+        let store = b.category("Store");
+        let city = b.category("City");
+        let province = b.category("Province");
+        let state = b.category("State");
+        let sale_region = b.category("SaleRegion");
+        let country = b.category("Country");
+        b.edge(store, city);
+        b.edge(store, sale_region);
+        b.edge(city, province);
+        b.edge(city, state);
+        b.edge(city, country);
+        b.edge(province, sale_region);
+        b.edge(state, sale_region);
+        b.edge(state, country);
+        b.edge(sale_region, country);
+        b.edge(country, Category::ALL);
+        let g = Arc::new(b.build().unwrap());
+        DimensionSchema::parse(
+            g,
+            r#"
+            Store_City
+            Store.SaleRegion
+            City = Washington <-> City_Country
+            City = Washington -> City.Country = USA
+            State.Country = Mexico | State.Country = USA
+            State.Country = Mexico <-> State_SaleRegion
+            Province.Country = Canada
+            "#,
+        )
+        .unwrap()
+    }
+
+    /// Experiment E3: the frozen dimensions of locationSch with root
+    /// Store are exactly the four structures of Figure 4 — Canada
+    /// (via Province), Mexico (via State and SaleRegion), USA (via State
+    /// and a direct Store→SaleRegion edge), and USA/Washington (City
+    /// straight to Country).
+    #[test]
+    fn figure_4_frozen_dimensions_of_location_sch() {
+        let ds = location_sch();
+        let g = ds.hierarchy();
+        let store = g.category_by_name("Store").unwrap();
+        let mut e = ExhaustiveEnumerator::new(&ds, store);
+        let frozen = e.enumerate();
+        let mut shown: Vec<String> = frozen.iter().map(|f| f.display(&ds).to_string()).collect();
+        shown.sort();
+        assert_eq!(
+            frozen.len(),
+            4,
+            "expected the 4 structures of Figure 4, got:\n{}",
+            shown.join("\n")
+        );
+        for f in &frozen {
+            assert_eq!(f.verify(&ds), Ok(()), "{}", f.display(&ds));
+        }
+        let province = g.category_by_name("Province").unwrap();
+        let state = g.category_by_name("State").unwrap();
+        let city = g.category_by_name("City").unwrap();
+        let country = g.category_by_name("Country").unwrap();
+        let table = crate::cassign::ConstTable::new(&ds);
+        let mut kinds: Vec<&str> = frozen
+            .iter()
+            .map(|f| {
+                let has_prov = f.subhierarchy().contains(province);
+                let has_state = f.subhierarchy().contains(state);
+                let country_name = f.name_of(&table, country);
+                let city_name = f.name_of(&table, city);
+                match (
+                    has_prov,
+                    has_state,
+                    country_name.as_str(),
+                    city_name.as_str(),
+                ) {
+                    (true, false, "Canada", _) => "canada",
+                    (false, true, "Mexico", _) => "mexico",
+                    (false, true, "USA", _) => "usa",
+                    (false, false, "USA", "Washington") => "washington",
+                    other => panic!("unexpected frozen structure {other:?}"),
+                }
+            })
+            .collect();
+        kinds.sort_unstable();
+        assert_eq!(kinds, vec!["canada", "mexico", "usa", "washington"]);
+    }
+
+    #[test]
+    fn satisfiability_short_circuits() {
+        let ds = location_sch();
+        let g = ds.hierarchy();
+        let store = g.category_by_name("Store").unwrap();
+        let mut e = ExhaustiveEnumerator::new(&ds, store);
+        let witness = e.is_satisfiable().expect("Store is satisfiable");
+        assert_eq!(witness.verify(&ds), Ok(()));
+    }
+
+    #[test]
+    fn example_11_sale_region_unsatisfiable_with_negated_into() {
+        let ds = location_sch();
+        let g = ds.hierarchy();
+        let sale_region = g.category_by_name("SaleRegion").unwrap();
+        // Add ¬SaleRegion_Country: C7 forces SaleRegion_Country, so
+        // SaleRegion becomes unsatisfiable (Example 11).
+        let extra = odc_constraint::parse_constraint(g, "!SaleRegion_Country").unwrap();
+        let ds2 = ds.with_constraint(extra);
+        let mut e = ExhaustiveEnumerator::new(&ds2, sale_region);
+        assert!(e.is_satisfiable().is_none());
+        // But SaleRegion is satisfiable in the original schema.
+        let mut e0 = ExhaustiveEnumerator::new(&ds, sale_region);
+        assert!(e0.is_satisfiable().is_some());
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let ds = location_sch();
+        let g = ds.hierarchy();
+        let store = g.category_by_name("Store").unwrap();
+        let mut e = ExhaustiveEnumerator::new(&ds, store);
+        let _ = e.enumerate();
+        let s = e.stats();
+        assert!(s.subsets > s.valid_subhierarchies);
+        assert!(s.valid_subhierarchies >= s.candidates);
+        assert_eq!(s.candidates, s.checks);
+        assert!(s.checks >= 4);
+    }
+
+    #[test]
+    fn upper_root_enumeration_is_small() {
+        let ds = location_sch();
+        let g = ds.hierarchy();
+        let country = g.category_by_name("Country").unwrap();
+        let mut e = ExhaustiveEnumerator::new(&ds, country);
+        let frozen = e.enumerate();
+        // Country→All is the only structure; with no constraint binding
+        // Country's name from root Country (Σ(ds, Country) is empty), the
+        // single witness uses nk.
+        assert_eq!(frozen.len(), 1);
+    }
+
+    #[test]
+    fn all_assignments_expand_constant_space() {
+        // One unconstrained category with constants mentioned elsewhere…
+        let mut b = HierarchySchema::builder();
+        let store = b.category("Store");
+        let country = b.category("Country");
+        b.edge(store, country);
+        b.edge_to_all(country);
+        let g = Arc::new(b.build().unwrap());
+        let ds =
+            DimensionSchema::parse(g, "Store.Country = Canada | Store.Country = Mexico\n").unwrap();
+        let store = ds.hierarchy().category_by_name("Store").unwrap();
+        let mut e = ExhaustiveEnumerator::new(&ds, store);
+        let frozen = e.enumerate();
+        assert_eq!(frozen.len(), 1, "one inducing subhierarchy");
+        let all = e.enumerate_all_assignments();
+        // Country ∈ {Canada, Mexico} (nk fails Σ); Store is unnamed in Σ
+        // so only nk. → 2 full frozen dimensions.
+        assert_eq!(all.len(), 2);
+    }
+}

@@ -1,0 +1,266 @@
+//! The frozen-dimension value and its verification against Definition 5.
+
+use crate::cassign::{CAssignment, ConstTable, Slot};
+use odc_constraint::{eval, DimensionSchema};
+use odc_hierarchy::{Category, Subhierarchy};
+use odc_instance::{validate, DimensionInstance, Member};
+use std::fmt;
+
+/// The fresh-constant placeholder used as the `Name` of members whose
+/// category was assigned `nk`. Chosen so it cannot collide with constants
+/// of `Σ` written in the text syntax (those never start with `⟨`).
+pub const NK_NAME: &str = "⟨nk⟩";
+
+/// A frozen dimension: a subhierarchy plus a c-assignment — a compact
+/// witness that materializes into a one-member-per-category instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrozenDimension {
+    sub: Subhierarchy,
+    assignment: CAssignment,
+}
+
+impl FrozenDimension {
+    /// Packages a subhierarchy and assignment.
+    pub fn new(sub: Subhierarchy, assignment: CAssignment) -> Self {
+        FrozenDimension { sub, assignment }
+    }
+
+    /// The root category.
+    pub fn root(&self) -> Category {
+        self.sub.root()
+    }
+
+    /// The underlying subhierarchy.
+    pub fn subhierarchy(&self) -> &Subhierarchy {
+        &self.sub
+    }
+
+    /// The c-assignment.
+    pub fn assignment(&self) -> &CAssignment {
+        &self.assignment
+    }
+
+    /// The `Name` value a category's member carries (slots resolved
+    /// through the table; `nk` becomes [`NK_NAME`]).
+    pub fn name_of(&self, table: &ConstTable, c: Category) -> String {
+        table.render(c, self.assignment.get(c))
+    }
+
+    /// Materializes the frozen dimension as a dimension instance: one
+    /// member `φ(c')` per category of the subhierarchy, linked along its
+    /// edges (Definition 5).
+    ///
+    /// Member keys are the category names prefixed with `φ:`; `Name`
+    /// values come from the assignment.
+    pub fn to_instance(&self, ds: &DimensionSchema) -> DimensionInstance {
+        let g = ds.hierarchy_arc();
+        let table = ConstTable::new(ds);
+        let mut ib = DimensionInstance::builder(g.clone());
+        let mut members: Vec<Option<Member>> = vec![None; g.num_categories()];
+        members[Category::ALL.index()] = Some(ib.all());
+        for c in self.sub.categories().iter() {
+            if c.is_all() {
+                continue;
+            }
+            let key = format!("φ:{}", g.name(c));
+            let name = self.name_of(&table, c);
+            members[c.index()] = Some(ib.member_named(&key, c, &name));
+        }
+        for (child, parent) in self.sub.edges() {
+            let (Some(mc), Some(mp)) = (members[child.index()], members[parent.index()]) else {
+                continue;
+            };
+            ib.link(mc, mp);
+        }
+        ib.build_unchecked()
+    }
+
+    /// Independent verification against Definition 5: the materialized
+    /// instance must satisfy C1–C7 and `Σ`, have exactly one member in the
+    /// root, at most one member per category, all members ancestors of the
+    /// root member, and names drawn from `Const ∪ {nk}` (the last holds by
+    /// construction).
+    ///
+    /// This is the trusted oracle the DIMSAT differential tests lean on.
+    pub fn verify(&self, ds: &DimensionSchema) -> Result<(), String> {
+        if !self.sub.is_valid_subhierarchy_of(ds.hierarchy()) {
+            return Err("not a valid subhierarchy (Definition 7)".into());
+        }
+        let d = self.to_instance(ds);
+        let report = validate(&d);
+        if !report.is_ok() {
+            return Err(format!(
+                "materialized instance violates: {}",
+                report
+                    .violations()
+                    .iter()
+                    .map(|v| v.describe(&d))
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            ));
+        }
+        if !eval::satisfies_all(&d, ds.constraints()) {
+            let violated: Vec<String> = ds
+                .violated_by(&d)
+                .iter()
+                .map(|dc| odc_constraint::printer::display_dc(ds.hierarchy(), dc).to_string())
+                .collect();
+            return Err(format!("Σ violated: {}", violated.join("; ")));
+        }
+        // Definition 5 (a)–(c).
+        let root_members = d.members_of(self.root());
+        if root_members.len() != 1 {
+            return Err("root category must hold exactly one member".into());
+        }
+        let phi_root = root_members[0];
+        for c in ds.hierarchy().categories() {
+            if d.members_of(c).len() > 1 {
+                return Err("a category holds more than one member".into());
+            }
+        }
+        for m in d.members() {
+            if m != phi_root && m != Member::ALL && !d.rolls_up_to(phi_root, m) {
+                return Err(format!(
+                    "member {} is not an ancestor of the root member",
+                    d.key(m)
+                ));
+            }
+        }
+        // `all` must also be above the root member (C7 chains guarantee
+        // it, but check Definition 5(c) literally).
+        if !d.rolls_up_to(phi_root, Member::ALL) {
+            return Err("root member does not reach all".into());
+        }
+        Ok(())
+    }
+
+    /// Stable human-readable rendering: subhierarchy plus non-`nk`
+    /// assignments, in the style of Figure 4.
+    pub fn display<'a>(&'a self, ds: &'a DimensionSchema) -> FrozenDisplay<'a> {
+        FrozenDisplay { f: self, ds }
+    }
+}
+
+/// Helper returned by [`FrozenDimension::display`].
+pub struct FrozenDisplay<'a> {
+    f: &'a FrozenDimension,
+    ds: &'a DimensionSchema,
+}
+
+impl fmt::Display for FrozenDisplay<'_> {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let g = self.ds.hierarchy();
+        let table = ConstTable::new(self.ds);
+        write!(out, "{}", self.f.sub.display(g))?;
+        let mut named: Vec<String> = self
+            .f
+            .sub
+            .categories()
+            .iter()
+            .filter(|&c| self.f.assignment.get(c) != Slot::Nk)
+            .map(|c| format!("{}={}", g.name(c), self.f.name_of(&table, c)))
+            .collect();
+        named.sort();
+        if !named.is_empty() {
+            write!(out, " with {}", named.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odc_hierarchy::HierarchySchema;
+    use std::sync::Arc;
+
+    fn simple_ds() -> DimensionSchema {
+        let mut b = HierarchySchema::builder();
+        let store = b.category("Store");
+        let country = b.category("Country");
+        b.edge(store, country);
+        b.edge_to_all(country);
+        let g = Arc::new(b.build().unwrap());
+        DimensionSchema::parse(g, "Store.Country = Canada\n").unwrap()
+    }
+
+    fn canada_frozen(ds: &DimensionSchema) -> FrozenDimension {
+        let g = ds.hierarchy();
+        let store = g.category_by_name("Store").unwrap();
+        let country = g.category_by_name("Country").unwrap();
+        let mut sub = Subhierarchy::new(store, g.num_categories());
+        sub.add_edge(store, country);
+        sub.add_edge(country, Category::ALL);
+        let mut ca = CAssignment::all_nk(g.num_categories());
+        let table = ConstTable::new(ds);
+        ca.set(country, table.slot_for_constant(country, "Canada").unwrap());
+        FrozenDimension::new(sub, ca)
+    }
+
+    #[test]
+    fn materialization_shape() {
+        let ds = simple_ds();
+        let f = canada_frozen(&ds);
+        let d = f.to_instance(&ds);
+        assert_eq!(d.num_members(), 3); // all, φ:Store, φ:Country
+        let store = ds.hierarchy().category_by_name("Store").unwrap();
+        let country = ds.hierarchy().category_by_name("Country").unwrap();
+        assert_eq!(d.members_of(store).len(), 1);
+        let phi_c = d.members_of(country)[0];
+        assert_eq!(d.name(phi_c), "Canada");
+        assert_eq!(d.key(phi_c), "φ:Country");
+    }
+
+    #[test]
+    fn verify_accepts_good_frozen() {
+        let ds = simple_ds();
+        let f = canada_frozen(&ds);
+        assert_eq!(f.verify(&ds), Ok(()));
+    }
+
+    #[test]
+    fn verify_rejects_sigma_violation() {
+        let ds = simple_ds();
+        let g = ds.hierarchy();
+        let store = g.category_by_name("Store").unwrap();
+        let country = g.category_by_name("Country").unwrap();
+        let mut sub = Subhierarchy::new(store, g.num_categories());
+        sub.add_edge(store, country);
+        sub.add_edge(country, Category::ALL);
+        // nk for Country: Store.Country = Canada fails.
+        let f = FrozenDimension::new(sub, CAssignment::all_nk(g.num_categories()));
+        let err = f.verify(&ds).unwrap_err();
+        assert!(err.contains("Σ violated"), "{err}");
+    }
+
+    #[test]
+    fn verify_rejects_invalid_subhierarchy() {
+        let ds = simple_ds();
+        let g = ds.hierarchy();
+        let store = g.category_by_name("Store").unwrap();
+        // Missing All.
+        let sub = Subhierarchy::new(store, g.num_categories());
+        let f = FrozenDimension::new(sub, CAssignment::all_nk(g.num_categories()));
+        assert!(f.verify(&ds).is_err());
+    }
+
+    #[test]
+    fn display_mentions_assignment() {
+        let ds = simple_ds();
+        let f = canada_frozen(&ds);
+        let s = f.display(&ds).to_string();
+        assert!(s.contains("Country=Canada"), "{s}");
+        assert!(s.contains("root=Store"));
+    }
+
+    #[test]
+    fn nk_members_carry_placeholder_name() {
+        let ds = simple_ds();
+        let g = ds.hierarchy();
+        let store = g.category_by_name("Store").unwrap();
+        let f = canada_frozen(&ds);
+        let d = f.to_instance(&ds);
+        let phi_s = d.members_of(store)[0];
+        assert_eq!(d.name(phi_s), NK_NAME);
+    }
+}

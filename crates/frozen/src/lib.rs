@@ -1,0 +1,54 @@
+//! # odc-frozen
+//!
+//! Frozen dimensions (Section 3.2 of Hurtado & Mendelzon, *OLAP Dimension
+//! Constraints*, PODS 2002): the minimal homogeneous dimension instances a
+//! heterogeneous dimension schema implicitly combines.
+//!
+//! A *frozen dimension* of a schema `ds` with root `c` (Definition 5) is a
+//! dimension instance over `ds` in which
+//!
+//! * the root category holds exactly one member `φ(c)`,
+//! * every other category holds at most its member `φ(c')`,
+//! * every member is an ancestor of the root member, and
+//! * each member's `Name` is drawn from `Const_ds(c') ∪ {nk}` — the
+//!   constants mentioned for its category in `Σ`, plus the placeholder
+//!   `nk` standing for "any constant not mentioned in `Σ`".
+//!
+//! Frozen dimensions witness category satisfiability (Theorem 3): `c` is
+//! satisfiable in `ds` iff some frozen dimension with root `c` exists.
+//! They are found by searching *subhierarchies* (Definition 7): a
+//! subhierarchy `g` induces a frozen dimension iff it is acyclic and
+//! shortcut-free and some *c-assignment* of constants to its categories
+//! satisfies the reduced constraint set `Σ(ds, c) ∘ g` (Proposition 2).
+//!
+//! This crate provides:
+//!
+//! * [`circle`] — the circle operator `Σ ∘ g` (Definition 8), which
+//!   replaces path atoms by their truth value in `g` and kills equality
+//!   atoms over categories unreachable in `g`;
+//! * [`cassign`] — constant tables and c-assignment enumeration/checking
+//!   ([`FrozenContext`] bundles everything DIMSAT's CHECK needs);
+//! * [`frozen`] — the [`FrozenDimension`] value, its materialization as a
+//!   [`odc_instance::DimensionInstance`], and independent verification
+//!   against Definition 5;
+//! * [`enumerate`] — the naive Theorem-3 procedure (exhaustive subgraph ×
+//!   assignment enumeration), used as a correctness oracle and as the
+//!   baseline in the DIMSAT benchmarks.
+//!
+//! ## On the "injective" c-assignment
+//!
+//! The paper defines a c-assignment as an *injective* function
+//! `ca : C' → K ∪ {nk}`. Injectivity cannot affect constraint
+//! satisfaction — equality atoms only compare a category's name against
+//! constants of that same category — and Definition 5(d) imposes no such
+//! requirement, so we read `nk` as a per-category fresh constant and do
+//! not enforce injectivity across categories.
+
+pub mod cassign;
+pub mod circle;
+pub mod enumerate;
+pub mod frozen;
+
+pub use cassign::{CAssignment, ConstTable, FrozenContext, Slot};
+pub use enumerate::ExhaustiveEnumerator;
+pub use frozen::FrozenDimension;

@@ -1,0 +1,275 @@
+//! Bit-sets over the categories of a single hierarchy schema.
+//!
+//! The reasoning algorithms (frozen-dimension enumeration, DIMSAT) spend
+//! most of their time manipulating sets of categories: visited sets,
+//! ancestor sets, the `In*` shortcut-detection sets of the EXPAND
+//! procedure. Schemas have at most a few hundred categories, so a packed
+//! `u64` bit-set is both compact and fast.
+
+use crate::schema::Category;
+use std::fmt;
+
+/// A set of [`Category`] values, stored as a packed bit vector.
+///
+/// A `CatSet` is created for a fixed *universe size* (the number of
+/// categories in the schema); all set operations assume both operands
+/// share that universe.
+///
+/// ```
+/// use odc_hierarchy::{CatSet, Category};
+///
+/// let mut s = CatSet::new(10);
+/// s.insert(Category::from_index(3));
+/// s.insert(Category::from_index(7));
+/// assert!(s.contains(Category::from_index(3)));
+/// assert_eq!(s.len(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct CatSet {
+    words: Vec<u64>,
+    universe: usize,
+}
+
+impl CatSet {
+    /// Creates an empty set over a universe of `universe` categories.
+    pub fn new(universe: usize) -> Self {
+        CatSet {
+            words: vec![0; universe.div_ceil(64)],
+            universe,
+        }
+    }
+
+    /// Creates a set containing every category of the universe.
+    pub fn full(universe: usize) -> Self {
+        let mut s = CatSet::new(universe);
+        for i in 0..universe {
+            s.insert(Category::from_index(i));
+        }
+        s
+    }
+
+    /// The universe size this set was created with.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Inserts `c`; returns `true` if it was newly inserted.
+    pub fn insert(&mut self, c: Category) -> bool {
+        let (w, b) = Self::locate(c);
+        debug_assert!(c.index() < self.universe, "category out of universe");
+        let newly = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        newly
+    }
+
+    /// Removes `c`; returns `true` if it was present.
+    pub fn remove(&mut self, c: Category) -> bool {
+        let (w, b) = Self::locate(c);
+        let present = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        present
+    }
+
+    /// Membership test.
+    pub fn contains(&self, c: Category) -> bool {
+        let (w, b) = Self::locate(c);
+        w < self.words.len() && self.words[w] & (1 << b) != 0
+    }
+
+    /// Number of categories in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Removes every element.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &CatSet) {
+        debug_assert_eq!(self.universe, other.universe);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &CatSet) {
+        debug_assert_eq!(self.universe, other.universe);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place difference (`self \ other`).
+    pub fn difference_with(&mut self, other: &CatSet) {
+        debug_assert_eq!(self.universe, other.universe);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Whether the two sets share at least one element.
+    pub fn intersects(&self, other: &CatSet) -> bool {
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset_of(&self, other: &CatSet) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterates over the categories in ascending index order.
+    pub fn iter(&self) -> CatSetIter<'_> {
+        CatSetIter {
+            set: self,
+            word: 0,
+            bits: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    #[inline]
+    fn locate(c: Category) -> (usize, u32) {
+        (c.index() / 64, (c.index() % 64) as u32)
+    }
+}
+
+impl fmt::Debug for CatSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set()
+            .entries(self.iter().map(|c| c.index()))
+            .finish()
+    }
+}
+
+impl FromIterator<Category> for CatSet {
+    /// Collects categories into a set. The universe is sized to the largest
+    /// index seen; prefer [`CatSet::new`] + inserts when the universe is
+    /// known, so that set operations line up.
+    fn from_iter<I: IntoIterator<Item = Category>>(iter: I) -> Self {
+        let cats: Vec<Category> = iter.into_iter().collect();
+        let universe = cats.iter().map(|c| c.index() + 1).max().unwrap_or(0);
+        let mut s = CatSet::new(universe);
+        for c in cats {
+            s.insert(c);
+        }
+        s
+    }
+}
+
+/// Iterator over the members of a [`CatSet`].
+pub struct CatSetIter<'a> {
+    set: &'a CatSet,
+    word: usize,
+    bits: u64,
+}
+
+impl Iterator for CatSetIter<'_> {
+    type Item = Category;
+
+    fn next(&mut self) -> Option<Category> {
+        loop {
+            if self.bits != 0 {
+                let bit = self.bits.trailing_zeros() as usize;
+                self.bits &= self.bits - 1;
+                return Some(Category::from_index(self.word * 64 + bit));
+            }
+            self.word += 1;
+            if self.word >= self.set.words.len() {
+                return None;
+            }
+            self.bits = self.set.words[self.word];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: usize) -> Category {
+        Category::from_index(i)
+    }
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = CatSet::new(130);
+        assert!(s.insert(c(0)));
+        assert!(s.insert(c(64)));
+        assert!(s.insert(c(129)));
+        assert!(!s.insert(c(129)));
+        assert!(s.contains(c(0)) && s.contains(c(64)) && s.contains(c(129)));
+        assert!(!s.contains(c(1)));
+        assert!(s.remove(c(64)));
+        assert!(!s.remove(c(64)));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn full_contains_everything() {
+        let s = CatSet::full(70);
+        assert_eq!(s.len(), 70);
+        assert!(s.contains(c(69)));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let mut a = CatSet::new(100);
+        let mut b = CatSet::new(100);
+        for i in [1, 5, 70] {
+            a.insert(c(i));
+        }
+        for i in [5, 70, 99] {
+            b.insert(c(i));
+        }
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.len(), 4);
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![c(5), c(70)]);
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![c(1)]);
+        assert!(a.intersects(&b));
+        assert!(i.is_subset_of(&a) && i.is_subset_of(&b));
+        assert!(!a.is_subset_of(&b));
+    }
+
+    #[test]
+    fn iter_ascending_across_words() {
+        let mut s = CatSet::new(200);
+        for i in [199, 0, 63, 64, 128] {
+            s.insert(c(i));
+        }
+        let got: Vec<usize> = s.iter().map(|x| x.index()).collect();
+        assert_eq!(got, vec![0, 63, 64, 128, 199]);
+    }
+
+    #[test]
+    fn empty_and_clear() {
+        let mut s = CatSet::new(10);
+        assert!(s.is_empty());
+        s.insert(c(3));
+        assert!(!s.is_empty());
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn from_iterator_sizes_universe() {
+        let s: CatSet = [c(2), c(9)].into_iter().collect();
+        assert_eq!(s.universe(), 10);
+        assert!(s.contains(c(9)));
+    }
+}

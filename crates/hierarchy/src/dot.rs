@@ -1,0 +1,122 @@
+//! Graphviz (DOT) export for hierarchy schemas and subhierarchies.
+//!
+//! Useful when exploring heterogeneous schemas: the paper argues that
+//! frozen dimensions are "a useful aid to understanding heterogeneous
+//! dimensions", and rendering them is the quickest way to see that.
+
+use crate::schema::HierarchySchema;
+use crate::subhierarchy::Subhierarchy;
+use std::fmt::Write as _;
+
+/// Renders a hierarchy schema as a DOT digraph (edges point upward, i.e.
+/// from child to parent). Shortcut edges are drawn dashed.
+pub fn schema_to_dot(g: &HierarchySchema) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph hierarchy {{");
+    let _ = writeln!(out, "  rankdir=BT;");
+    for c in g.categories() {
+        let _ = writeln!(out, "  \"{}\";", escape(g.name(c)));
+    }
+    for (c, p) in g.edges() {
+        let style = if g.is_shortcut_edge(c, p) {
+            " [style=dashed]"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "  \"{}\" -> \"{}\"{};",
+            escape(g.name(c)),
+            escape(g.name(p)),
+            style
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders a subhierarchy as a DOT digraph, highlighting the root.
+pub fn subhierarchy_to_dot(sub: &Subhierarchy, g: &HierarchySchema) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph subhierarchy {{");
+    let _ = writeln!(out, "  rankdir=BT;");
+    for c in sub.categories().iter() {
+        let attrs = if c == sub.root() {
+            " [shape=doublecircle]"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "  \"{}\"{};", escape(g.name(c)), attrs);
+    }
+    for (c, p) in sub.edges() {
+        let _ = writeln!(
+            out,
+            "  \"{}\" -> \"{}\";",
+            escape(g.name(c)),
+            escape(g.name(p))
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Category, HierarchySchema};
+
+    fn tiny() -> HierarchySchema {
+        let mut b = HierarchySchema::builder();
+        let s = b.category("Store");
+        let c = b.category("City");
+        b.edge(s, c);
+        b.edge(s, Category::ALL);
+        b.edge_to_all(c);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn schema_dot_contains_nodes_and_edges() {
+        let g = tiny();
+        let dot = schema_to_dot(&g);
+        assert!(dot.starts_with("digraph hierarchy {"));
+        assert!(dot.contains("\"Store\" -> \"City\""));
+        assert!(dot.contains("\"City\" -> \"All\""));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn shortcut_edges_are_dashed() {
+        let g = tiny();
+        // Store → All is a shortcut (Store → City → All exists).
+        let dot = schema_to_dot(&g);
+        assert!(dot.contains("\"Store\" -> \"All\" [style=dashed]"));
+    }
+
+    #[test]
+    fn subhierarchy_dot_highlights_root() {
+        let g = tiny();
+        let s = g.category_by_name("Store").unwrap();
+        let c = g.category_by_name("City").unwrap();
+        let mut sub = Subhierarchy::new(s, g.num_categories());
+        sub.add_edge(s, c);
+        sub.add_edge(c, Category::ALL);
+        let dot = subhierarchy_to_dot(&sub, &g);
+        assert!(dot.contains("\"Store\" [shape=doublecircle]"));
+        assert!(dot.contains("\"Store\" -> \"City\""));
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let mut b = HierarchySchema::builder();
+        let weird = b.category("we\"ird");
+        b.edge_to_all(weird);
+        let g = b.build().unwrap();
+        let dot = schema_to_dot(&g);
+        assert!(dot.contains("we\\\"ird"));
+    }
+}

@@ -1,0 +1,82 @@
+//! Error types for schema construction and validation.
+
+use std::fmt;
+
+/// Errors raised while building or validating a [`crate::HierarchySchema`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// A category had an edge to itself, violating Definition 1(b).
+    SelfLoop {
+        /// Name of the offending category.
+        category: String,
+    },
+    /// A category cannot reach `All` through `↗*`, violating
+    /// Definition 1(a).
+    AllUnreachable {
+        /// Name of the offending category.
+        category: String,
+    },
+    /// An edge referred to a category handle that does not belong to this
+    /// builder.
+    UnknownCategory {
+        /// Raw index of the unknown handle.
+        index: usize,
+    },
+    /// `All` may not have outgoing edges: it is the unique top of the
+    /// hierarchy.
+    EdgeFromAll {
+        /// Name of the would-be parent category.
+        to: String,
+    },
+    /// Two categories were declared with the same name.
+    DuplicateName {
+        /// The duplicated category name.
+        name: String,
+    },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::SelfLoop { category } => {
+                write!(
+                    f,
+                    "category `{category}` has a self-loop (c ↗ c is forbidden)"
+                )
+            }
+            SchemaError::AllUnreachable { category } => {
+                write!(f, "category `{category}` cannot reach `All`")
+            }
+            SchemaError::UnknownCategory { index } => {
+                write!(f, "category handle #{index} does not belong to this schema")
+            }
+            SchemaError::EdgeFromAll { to } => {
+                write!(f, "`All` cannot have a parent (edge All ↗ {to})")
+            }
+            SchemaError::DuplicateName { name } => {
+                write!(f, "duplicate category name `{name}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_category() {
+        let e = SchemaError::SelfLoop {
+            category: "City".into(),
+        };
+        assert!(e.to_string().contains("City"));
+        let e = SchemaError::AllUnreachable {
+            category: "Store".into(),
+        };
+        assert!(e.to_string().contains("Store"));
+        let e = SchemaError::DuplicateName { name: "X".into() };
+        assert!(e.to_string().contains('X'));
+    }
+}

@@ -1,0 +1,302 @@
+//! Path queries over hierarchy schemas.
+//!
+//! Path atoms (Definition 3) range over *simple paths* of the schema, and
+//! composed path atoms `c.ci` expand to the disjunction of all simple paths
+//! from `c` to `ci` — so the constraint layer needs simple-path
+//! enumeration. Shortcut detection and the DIMSAT pruning rules need
+//! reachability queries that avoid given categories.
+
+use crate::catset::CatSet;
+use crate::schema::{Category, HierarchySchema};
+use std::ops::ControlFlow;
+
+/// Whether there is a (possibly non-simple) upward path `from ↗* to` that
+/// never visits a category in `avoid`.
+///
+/// `from` itself must not be in `avoid` for the query to succeed unless
+/// `from == to`... more precisely: the path's intermediate nodes and
+/// endpoints are all checked against `avoid`, except that a trivial path
+/// (`from == to`) only checks `from`.
+pub fn has_path_avoiding(
+    g: &HierarchySchema,
+    from: Category,
+    to: Category,
+    avoid: &CatSet,
+) -> bool {
+    if avoid.contains(from) {
+        return false;
+    }
+    let mut visited = CatSet::new(g.num_categories());
+    let mut stack = vec![from];
+    while let Some(x) = stack.pop() {
+        if x == to {
+            return true;
+        }
+        if !visited.insert(x) {
+            continue;
+        }
+        for &p in g.parents(x) {
+            if !avoid.contains(p) && !visited.contains(p) {
+                stack.push(p);
+            }
+        }
+    }
+    false
+}
+
+/// Visits every simple path from `from` to `to` in the schema, in
+/// depth-first order (edge insertion order). The callback receives the
+/// path as a category slice (starting with `from`, ending with `to`) and
+/// may stop the enumeration early by returning [`ControlFlow::Break`].
+///
+/// Simple paths never repeat a category, so the enumeration always
+/// terminates, even on cyclic schemas.
+pub fn for_each_simple_path<B>(
+    g: &HierarchySchema,
+    from: Category,
+    to: Category,
+    mut f: impl FnMut(&[Category]) -> ControlFlow<B>,
+) -> Option<B> {
+    let mut on_path = CatSet::new(g.num_categories());
+    let mut path = Vec::new();
+    match dfs(g, from, to, &mut on_path, &mut path, &mut f) {
+        ControlFlow::Break(b) => Some(b),
+        ControlFlow::Continue(()) => None,
+    }
+}
+
+fn dfs<B>(
+    g: &HierarchySchema,
+    at: Category,
+    to: Category,
+    on_path: &mut CatSet,
+    path: &mut Vec<Category>,
+    f: &mut impl FnMut(&[Category]) -> ControlFlow<B>,
+) -> ControlFlow<B> {
+    path.push(at);
+    on_path.insert(at);
+    if at == to {
+        f(path)?;
+    } else {
+        for i in 0..g.parents(at).len() {
+            let p = g.parents(at)[i];
+            if !on_path.contains(p) {
+                dfs(g, p, to, on_path, path, f)?;
+            }
+        }
+    }
+    on_path.remove(at);
+    path.pop();
+    ControlFlow::Continue(())
+}
+
+/// Collects all simple paths from `from` to `to`.
+///
+/// The number of simple paths can be exponential in pathological schemas;
+/// `limit` caps the enumeration (`None` = unbounded). Returns the paths
+/// found and whether the limit was hit.
+pub fn simple_paths(
+    g: &HierarchySchema,
+    from: Category,
+    to: Category,
+    limit: Option<usize>,
+) -> (Vec<Vec<Category>>, bool) {
+    let mut out = Vec::new();
+    let truncated = for_each_simple_path(g, from, to, |p| {
+        out.push(p.to_vec());
+        if limit.is_some_and(|l| out.len() >= l) {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    })
+    .is_some();
+    (out, truncated)
+}
+
+/// Counts the simple paths from `from` to `to` (unbounded).
+pub fn count_simple_paths(g: &HierarchySchema, from: Category, to: Category) -> usize {
+    let mut n = 0usize;
+    let _ = for_each_simple_path::<()>(g, from, to, |_| {
+        n += 1;
+        ControlFlow::Continue(())
+    });
+    n
+}
+
+/// Whether some simple path from `from` to `to` passes through `via`.
+///
+/// This is the semantic core of the `c.ci.cj` shorthand of Section 3.3.
+pub fn exists_simple_path_through(
+    g: &HierarchySchema,
+    from: Category,
+    via: Category,
+    to: Category,
+) -> bool {
+    for_each_simple_path(g, from, to, |p| {
+        if p.contains(&via) {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    })
+    .is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::HierarchySchema;
+
+    fn location() -> HierarchySchema {
+        let mut b = HierarchySchema::builder();
+        let store = b.category("Store");
+        let city = b.category("City");
+        let province = b.category("Province");
+        let state = b.category("State");
+        let sale_region = b.category("SaleRegion");
+        let country = b.category("Country");
+        b.edge(store, city);
+        b.edge(store, sale_region);
+        b.edge(city, province);
+        b.edge(city, state);
+        b.edge(city, country);
+        b.edge(province, sale_region);
+        b.edge(province, country);
+        b.edge(state, sale_region);
+        b.edge(state, country);
+        b.edge(sale_region, country);
+        b.edge(country, Category::ALL);
+        b.build().unwrap()
+    }
+
+    fn cat(g: &HierarchySchema, n: &str) -> Category {
+        g.category_by_name(n).unwrap()
+    }
+
+    #[test]
+    fn simple_paths_store_to_country() {
+        let g = location();
+        let (paths, truncated) = simple_paths(&g, cat(&g, "Store"), cat(&g, "Country"), None);
+        assert!(!truncated);
+        // Store→City→Country, Store→City→Province→Country,
+        // Store→City→Province→SaleRegion→Country, Store→City→State→Country,
+        // Store→City→State→SaleRegion→Country, Store→SaleRegion→Country.
+        assert_eq!(paths.len(), 6);
+        for p in &paths {
+            assert_eq!(p[0], cat(&g, "Store"));
+            assert_eq!(*p.last().unwrap(), cat(&g, "Country"));
+            assert!(g.is_simple_path(p));
+        }
+    }
+
+    #[test]
+    fn count_matches_enumeration() {
+        let g = location();
+        assert_eq!(
+            count_simple_paths(&g, cat(&g, "Store"), cat(&g, "Country")),
+            6
+        );
+        assert_eq!(
+            count_simple_paths(&g, cat(&g, "City"), cat(&g, "SaleRegion")),
+            2
+        );
+        assert_eq!(
+            count_simple_paths(&g, cat(&g, "Country"), cat(&g, "Store")),
+            0
+        );
+    }
+
+    #[test]
+    fn trivial_path() {
+        let g = location();
+        let s = cat(&g, "Store");
+        let (paths, _) = simple_paths(&g, s, s, None);
+        assert_eq!(paths, vec![vec![s]]);
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let g = location();
+        let (paths, truncated) = simple_paths(&g, cat(&g, "Store"), cat(&g, "Country"), Some(2));
+        assert_eq!(paths.len(), 2);
+        assert!(truncated);
+    }
+
+    #[test]
+    fn path_through() {
+        let g = location();
+        let store = cat(&g, "Store");
+        let country = cat(&g, "Country");
+        assert!(exists_simple_path_through(
+            &g,
+            store,
+            cat(&g, "City"),
+            country
+        ));
+        assert!(exists_simple_path_through(
+            &g,
+            store,
+            cat(&g, "Province"),
+            country
+        ));
+        // No simple path Store→…→City passes through Country.
+        assert!(!exists_simple_path_through(
+            &g,
+            store,
+            country,
+            cat(&g, "City")
+        ));
+    }
+
+    #[test]
+    fn avoiding_blocks_paths() {
+        let g = location();
+        let store = cat(&g, "Store");
+        let country = cat(&g, "Country");
+        let mut avoid = CatSet::new(g.num_categories());
+        avoid.insert(cat(&g, "City"));
+        avoid.insert(cat(&g, "SaleRegion"));
+        // Every path from Store starts with City or SaleRegion.
+        assert!(!has_path_avoiding(&g, store, country, &avoid));
+        let mut avoid2 = CatSet::new(g.num_categories());
+        avoid2.insert(cat(&g, "City"));
+        assert!(has_path_avoiding(&g, store, country, &avoid2));
+    }
+
+    #[test]
+    fn avoid_source_fails() {
+        let g = location();
+        let store = cat(&g, "Store");
+        let mut avoid = CatSet::new(g.num_categories());
+        avoid.insert(store);
+        assert!(!has_path_avoiding(&g, store, store, &avoid));
+    }
+
+    #[test]
+    fn cyclic_schema_terminates() {
+        let mut b = HierarchySchema::builder();
+        let s = b.category("S");
+        let a = b.category("A");
+        let c = b.category("C");
+        b.edge(s, a);
+        b.edge(s, c);
+        b.edge(a, c);
+        b.edge(c, a);
+        b.edge_to_all(a);
+        b.edge_to_all(c);
+        let g = b.build().unwrap();
+        // S→A, S→C→A: two simple paths to A.
+        assert_eq!(count_simple_paths(&g, s, a), 2);
+        assert_eq!(count_simple_paths(&g, s, Category::ALL), 4);
+    }
+
+    #[test]
+    fn early_break_propagates_value() {
+        let g = location();
+        let got = for_each_simple_path(&g, cat(&g, "Store"), cat(&g, "Country"), |p| {
+            ControlFlow::Break(p.len())
+        });
+        assert!(got.is_some());
+    }
+}

@@ -1,0 +1,376 @@
+//! Subhierarchies (Definition 7): the rooted sub-graphs explored by the
+//! DIMSAT algorithm.
+//!
+//! A *subhierarchy* of a hierarchy schema `G` with root `c` is a pair
+//! `(C', ↗')` with `C' ⊆ C`, `↗' ⊆ ↗`, `c, All ∈ C'`, and every category of
+//! `C'` both reachable from `c` and reaching `All` within the sub-graph.
+//!
+//! A subhierarchy *induces a frozen dimension* only if it is acyclic and
+//! shortcut-free (Proposition 2(a)); both predicates are provided here.
+
+use crate::catset::CatSet;
+use crate::schema::{Category, HierarchySchema};
+use std::fmt;
+
+/// A sub-graph of a [`HierarchySchema`] with a distinguished root.
+///
+/// The structure is intentionally mutable and cheap to clone: DIMSAT
+/// builds subhierarchies incrementally during its backtracking search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Subhierarchy {
+    root: Category,
+    universe: usize,
+    cats: CatSet,
+    /// `out[c]`: parents of `c` within the subhierarchy (indexed by the
+    /// *full schema's* category index).
+    out: Vec<Vec<Category>>,
+}
+
+impl Subhierarchy {
+    /// Creates the minimal sub-graph containing only `root` (no edges).
+    /// `universe` is the number of categories of the underlying schema.
+    pub fn new(root: Category, universe: usize) -> Self {
+        let mut cats = CatSet::new(universe);
+        cats.insert(root);
+        Subhierarchy {
+            root,
+            universe,
+            cats,
+            out: vec![Vec::new(); universe],
+        }
+    }
+
+    /// The root category.
+    pub fn root(&self) -> Category {
+        self.root
+    }
+
+    /// The category set `C'`.
+    pub fn categories(&self) -> &CatSet {
+        &self.cats
+    }
+
+    /// Number of categories currently in the sub-graph.
+    pub fn num_categories(&self) -> usize {
+        self.cats.len()
+    }
+
+    /// Whether `c` is in the sub-graph.
+    pub fn contains(&self, c: Category) -> bool {
+        self.cats.contains(c)
+    }
+
+    /// Adds a category (no edges).
+    pub fn add_category(&mut self, c: Category) {
+        debug_assert!(c.index() < self.universe);
+        self.cats.insert(c);
+    }
+
+    /// Adds the edge `child ↗' parent`, inserting both endpoints.
+    pub fn add_edge(&mut self, child: Category, parent: Category) {
+        self.add_category(child);
+        self.add_category(parent);
+        if !self.out[child.index()].contains(&parent) {
+            self.out[child.index()].push(parent);
+        }
+    }
+
+    /// The parents of `c` within the sub-graph.
+    pub fn parents(&self, c: Category) -> &[Category] {
+        &self.out[c.index()]
+    }
+
+    /// Whether the edge `child ↗' parent` is present.
+    pub fn has_edge(&self, child: Category, parent: Category) -> bool {
+        self.out[child.index()].contains(&parent)
+    }
+
+    /// All edges `(child, parent)`.
+    pub fn edges(&self) -> impl Iterator<Item = (Category, Category)> + '_ {
+        self.cats
+            .iter()
+            .flat_map(move |c| self.out[c.index()].iter().map(move |&p| (c, p)))
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.cats.iter().map(|c| self.out[c.index()].len()).sum()
+    }
+
+    /// Whether the exact category sequence is a path of the sub-graph.
+    /// Used by the circle operator to evaluate path atoms (Definition 8).
+    pub fn is_path(&self, seq: &[Category]) -> bool {
+        seq.iter().all(|&c| self.contains(c)) && seq.windows(2).all(|w| self.has_edge(w[0], w[1]))
+    }
+
+    /// Whether there is a path from `from` to `to` within the sub-graph
+    /// (reflexive). Used to kill equality atoms over unreachable categories
+    /// (Definition 8(b)).
+    pub fn has_path_between(&self, from: Category, to: Category) -> bool {
+        if !self.contains(from) || !self.contains(to) {
+            return false;
+        }
+        let mut visited = CatSet::new(self.universe);
+        let mut stack = vec![from];
+        while let Some(x) = stack.pop() {
+            if x == to {
+                return true;
+            }
+            if visited.insert(x) {
+                stack.extend(self.out[x.index()].iter().copied());
+            }
+        }
+        false
+    }
+
+    /// The set of categories reachable from the root within the sub-graph.
+    pub fn reachable_from_root(&self) -> CatSet {
+        let mut visited = CatSet::new(self.universe);
+        let mut stack = vec![self.root];
+        while let Some(x) = stack.pop() {
+            if visited.insert(x) {
+                stack.extend(self.out[x.index()].iter().copied());
+            }
+        }
+        visited
+    }
+
+    /// Whether the sub-graph is acyclic.
+    pub fn is_acyclic(&self) -> bool {
+        // Iterative three-color DFS over the categories present.
+        const WHITE: u8 = 0;
+        const GRAY: u8 = 1;
+        const BLACK: u8 = 2;
+        let mut color = vec![WHITE; self.universe];
+        for start in self.cats.iter() {
+            if color[start.index()] != WHITE {
+                continue;
+            }
+            // stack of (node, next-child-index)
+            let mut stack: Vec<(Category, usize)> = vec![(start, 0)];
+            color[start.index()] = GRAY;
+            while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+                if let Some(&p) = self.out[node.index()].get(*next) {
+                    *next += 1;
+                    match color[p.index()] {
+                        WHITE => {
+                            color[p.index()] = GRAY;
+                            stack.push((p, 0));
+                        }
+                        GRAY => return false,
+                        _ => {}
+                    }
+                } else {
+                    color[node.index()] = BLACK;
+                    stack.pop();
+                }
+            }
+        }
+        true
+    }
+
+    /// Whether the sub-graph contains a shortcut: an edge `c ↗' c'`
+    /// together with a path from `c` to `c'` of length ≥ 2.
+    pub fn has_shortcut(&self) -> bool {
+        for (c, p) in self.edges() {
+            for &m in &self.out[c.index()] {
+                if m != p && self.has_path_between(m, p) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Checks the Definition 7 conditions against the parent schema:
+    /// every edge of the sub-graph is an edge of `g`; the root and `All`
+    /// are present; every category is reachable from the root and reaches
+    /// `All` within the sub-graph.
+    pub fn is_valid_subhierarchy_of(&self, g: &HierarchySchema) -> bool {
+        if !self.contains(self.root) || !self.contains(Category::ALL) {
+            return false;
+        }
+        if self.edges().any(|(c, p)| !g.has_edge(c, p)) {
+            return false;
+        }
+        let from_root = self.reachable_from_root();
+        self.cats
+            .iter()
+            .all(|c| from_root.contains(c) && self.has_path_between(c, Category::ALL))
+    }
+
+    /// Renders the sub-graph as `root: {edges...}` with schema names.
+    pub fn display<'a>(&'a self, g: &'a HierarchySchema) -> SubhierarchyDisplay<'a> {
+        SubhierarchyDisplay {
+            sub: self,
+            schema: g,
+        }
+    }
+}
+
+/// Helper returned by [`Subhierarchy::display`].
+pub struct SubhierarchyDisplay<'a> {
+    sub: &'a Subhierarchy,
+    schema: &'a HierarchySchema,
+}
+
+impl fmt::Display for SubhierarchyDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut edges: Vec<String> = self
+            .sub
+            .edges()
+            .map(|(c, p)| format!("{}→{}", self.schema.name(c), self.schema.name(p)))
+            .collect();
+        edges.sort();
+        write!(
+            f,
+            "⟨root={}, cats={{{}}}, edges={{{}}}⟩",
+            self.schema.name(self.sub.root()),
+            {
+                let mut names: Vec<&str> =
+                    self.sub.cats.iter().map(|c| self.schema.name(c)).collect();
+                names.sort_unstable();
+                names.join(", ")
+            },
+            edges.join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (HierarchySchema, [Category; 5]) {
+        // S → {A, B} → T → All, plus shortcut S → T.
+        let mut b = HierarchySchema::builder();
+        let s = b.category("S");
+        let a = b.category("A");
+        let bb = b.category("B");
+        let t = b.category("T");
+        b.edge(s, a);
+        b.edge(s, bb);
+        b.edge(s, t);
+        b.edge(a, t);
+        b.edge(bb, t);
+        b.edge_to_all(t);
+        let g = b.build().unwrap();
+        (g, [s, a, bb, t, Category::ALL])
+    }
+
+    #[test]
+    fn build_and_query() {
+        let (g, [s, a, _b, t, all]) = diamond();
+        let mut sub = Subhierarchy::new(s, g.num_categories());
+        sub.add_edge(s, a);
+        sub.add_edge(a, t);
+        sub.add_edge(t, all);
+        assert_eq!(sub.num_categories(), 4);
+        assert_eq!(sub.num_edges(), 3);
+        assert!(sub.is_path(&[s, a, t]));
+        assert!(!sub.is_path(&[s, t]));
+        assert!(sub.has_path_between(s, all));
+        assert!(!sub.has_path_between(t, s));
+        assert!(sub.is_valid_subhierarchy_of(&g));
+    }
+
+    #[test]
+    fn missing_all_is_invalid() {
+        let (g, [s, a, _b, t, _all]) = diamond();
+        let mut sub = Subhierarchy::new(s, g.num_categories());
+        sub.add_edge(s, a);
+        sub.add_edge(a, t);
+        assert!(!sub.is_valid_subhierarchy_of(&g));
+    }
+
+    #[test]
+    fn foreign_edge_is_invalid() {
+        let (g, [s, a, b, t, all]) = diamond();
+        let mut sub = Subhierarchy::new(s, g.num_categories());
+        sub.add_edge(s, a);
+        sub.add_edge(a, b); // not an edge of the schema
+        sub.add_edge(b, t);
+        sub.add_edge(t, all);
+        assert!(!sub.is_valid_subhierarchy_of(&g));
+    }
+
+    #[test]
+    fn unreachable_category_is_invalid() {
+        let (g, [s, a, b, t, all]) = diamond();
+        let mut sub = Subhierarchy::new(s, g.num_categories());
+        sub.add_edge(s, a);
+        sub.add_edge(a, t);
+        sub.add_edge(t, all);
+        sub.add_category(b); // b not reachable from root within sub
+        assert!(!sub.is_valid_subhierarchy_of(&g));
+    }
+
+    #[test]
+    fn shortcut_detection() {
+        let (g, [s, a, _b, t, all]) = diamond();
+        let mut sub = Subhierarchy::new(s, g.num_categories());
+        sub.add_edge(s, a);
+        sub.add_edge(a, t);
+        sub.add_edge(s, t); // shortcut: S→T and S→A→T
+        sub.add_edge(t, all);
+        assert!(sub.has_shortcut());
+        assert!(
+            sub.is_valid_subhierarchy_of(&g),
+            "still a valid Def-7 subgraph"
+        );
+        let mut clean = Subhierarchy::new(s, g.num_categories());
+        clean.add_edge(s, a);
+        clean.add_edge(a, t);
+        clean.add_edge(t, all);
+        assert!(!clean.has_shortcut());
+    }
+
+    #[test]
+    fn acyclicity() {
+        let mut b = HierarchySchema::builder();
+        let s = b.category("S");
+        let x = b.category("X");
+        let y = b.category("Y");
+        b.edge(s, x);
+        b.edge(x, y);
+        b.edge(y, x);
+        b.edge_to_all(x);
+        b.edge_to_all(y);
+        let g = b.build().unwrap();
+        let mut sub = Subhierarchy::new(s, g.num_categories());
+        sub.add_edge(s, x);
+        sub.add_edge(x, y);
+        sub.add_edge(y, x);
+        sub.add_edge(x, Category::ALL);
+        assert!(!sub.is_acyclic());
+        let mut dag = Subhierarchy::new(s, g.num_categories());
+        dag.add_edge(s, x);
+        dag.add_edge(x, y);
+        dag.add_edge(y, Category::ALL);
+        assert!(dag.is_acyclic());
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let (g, [s, a, _b, t, all]) = diamond();
+        let mut sub = Subhierarchy::new(s, g.num_categories());
+        sub.add_edge(s, a);
+        sub.add_edge(a, t);
+        sub.add_edge(t, all);
+        let txt = sub.display(&g).to_string();
+        assert!(txt.contains("root=S"));
+        assert!(txt.contains("S→A"));
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let (g, [s, a, _b, t, all]) = diamond();
+        let mut sub = Subhierarchy::new(s, g.num_categories());
+        sub.add_edge(s, a);
+        let snapshot = sub.clone();
+        sub.add_edge(a, t);
+        sub.add_edge(t, all);
+        assert_eq!(snapshot.num_edges(), 1);
+        assert_eq!(sub.num_edges(), 3);
+    }
+}

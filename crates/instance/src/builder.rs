@@ -1,0 +1,219 @@
+//! Incremental construction of dimension instances.
+
+use crate::instance::{DimensionInstance, Member};
+use crate::validate::{validate, ValidationReport};
+use odc_hierarchy::{Category, HierarchySchema};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Builder for [`DimensionInstance`].
+///
+/// The `all` member of the `All` category is created automatically.
+/// Member keys must be unique across the instance (this is what makes
+/// condition C3, disjointness of member sets, hold by construction).
+#[derive(Debug)]
+pub struct InstanceBuilder {
+    schema: Arc<HierarchySchema>,
+    keys: Vec<String>,
+    names: Vec<String>,
+    category: Vec<Category>,
+    parents: Vec<Vec<Member>>,
+    key_index: HashMap<String, Member>,
+}
+
+impl InstanceBuilder {
+    pub(crate) fn new(schema: Arc<HierarchySchema>) -> Self {
+        let mut b = InstanceBuilder {
+            schema,
+            keys: Vec::new(),
+            names: Vec::new(),
+            category: Vec::new(),
+            parents: Vec::new(),
+            key_index: HashMap::new(),
+        };
+        b.push_member("all", Category::ALL, "all");
+        b
+    }
+
+    fn push_member(&mut self, key: &str, c: Category, name: &str) -> Member {
+        let m = Member::from_index(self.keys.len());
+        self.keys.push(key.to_string());
+        self.names.push(name.to_string());
+        self.category.push(c);
+        self.parents.push(Vec::new());
+        self.key_index.insert(key.to_string(), m);
+        m
+    }
+
+    /// The schema this instance is being built over.
+    pub fn schema(&self) -> &HierarchySchema {
+        &self.schema
+    }
+
+    /// The `all` member.
+    pub fn all(&self) -> Member {
+        Member::ALL
+    }
+
+    /// Adds a member with `key` to category `c`; its `Name` value defaults
+    /// to the key (the paper's Figure 1 uses the identity `Name`).
+    ///
+    /// Re-adding an existing key returns the existing member (and ignores
+    /// the category argument), so builders can be written idempotently.
+    pub fn member(&mut self, key: &str, c: Category) -> Member {
+        self.member_named(key, c, key)
+    }
+
+    /// Adds a member with an explicit `Name` attribute value.
+    pub fn member_named(&mut self, key: &str, c: Category, name: &str) -> Member {
+        if let Some(&m) = self.key_index.get(key) {
+            return m;
+        }
+        self.push_member(key, c, name)
+    }
+
+    /// Looks up a member by key.
+    pub fn member_by_key(&self, key: &str) -> Option<Member> {
+        self.key_index.get(key).copied()
+    }
+
+    /// Records `child < parent`. Duplicate links are ignored.
+    pub fn link(&mut self, child: Member, parent: Member) -> &mut Self {
+        if !self.parents[child.index()].contains(&parent) {
+            self.parents[child.index()].push(parent);
+        }
+        self
+    }
+
+    /// Records `child < all`.
+    pub fn link_to_all(&mut self, child: Member) -> &mut Self {
+        self.link(child, Member::ALL)
+    }
+
+    /// Convenience: records a full chain `m0 < m1 < … < mn`.
+    pub fn chain(&mut self, members: &[Member]) -> &mut Self {
+        for w in members.windows(2) {
+            self.link(w[0], w[1]);
+        }
+        self
+    }
+
+    /// Finishes construction, validating conditions C1–C7.
+    pub fn build(self) -> Result<DimensionInstance, ValidationReport> {
+        let d = self.build_unchecked();
+        let report = validate(&d);
+        if report.is_ok() {
+            Ok(d)
+        } else {
+            Err(report)
+        }
+    }
+
+    /// Finishes construction *without* validation. Useful for tests that
+    /// need to inspect [`validate`]'s output on broken instances, and for
+    /// generators that guarantee validity by construction.
+    pub fn build_unchecked(self) -> DimensionInstance {
+        let n = self.keys.len();
+        let mut children: Vec<Vec<Member>> = vec![Vec::new(); n];
+        for (ci, ps) in self.parents.iter().enumerate() {
+            for &p in ps {
+                children[p.index()].push(Member::from_index(ci));
+            }
+        }
+        let mut members_of: Vec<Vec<Member>> = vec![Vec::new(); self.schema.num_categories()];
+        for (mi, &c) in self.category.iter().enumerate() {
+            members_of[c.index()].push(Member::from_index(mi));
+        }
+        DimensionInstance {
+            schema: self.schema,
+            keys: self.keys,
+            names: self.names,
+            category: self.category,
+            parents: self.parents,
+            children,
+            members_of,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_level() -> Arc<HierarchySchema> {
+        let mut b = HierarchySchema::builder();
+        let store = b.category("Store");
+        let city = b.category("City");
+        b.edge(store, city);
+        b.edge_to_all(city);
+        Arc::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn member_is_idempotent() {
+        let g = two_level();
+        let store = g.category_by_name("Store").unwrap();
+        let mut ib = DimensionInstance::builder(g);
+        let a = ib.member("s1", store);
+        let b2 = ib.member("s1", store);
+        assert_eq!(a, b2);
+    }
+
+    #[test]
+    fn named_member_keeps_separate_key_and_name() {
+        let g = two_level();
+        let city = g.category_by_name("City").unwrap();
+        let mut ib = DimensionInstance::builder(g);
+        let m = ib.member_named("city-1", city, "Washington");
+        ib.link_to_all(m);
+        let d = ib.build().unwrap();
+        assert_eq!(d.key(m), "city-1");
+        assert_eq!(d.name(m), "Washington");
+    }
+
+    #[test]
+    fn chain_links_consecutively() {
+        let g = two_level();
+        let store = g.category_by_name("Store").unwrap();
+        let city = g.category_by_name("City").unwrap();
+        let mut ib = DimensionInstance::builder(g);
+        let s = ib.member("s1", store);
+        let c = ib.member("c1", city);
+        let all = ib.all();
+        ib.chain(&[s, c, all]);
+        let d = ib.build().unwrap();
+        assert!(d.is_direct_child(s, c));
+        assert!(d.is_direct_child(c, all));
+    }
+
+    #[test]
+    fn duplicate_links_are_deduped() {
+        let g = two_level();
+        let city = g.category_by_name("City").unwrap();
+        let mut ib = DimensionInstance::builder(g);
+        let c = ib.member("c1", city);
+        ib.link_to_all(c);
+        ib.link_to_all(c);
+        let d = ib.build().unwrap();
+        assert_eq!(d.parents(c).len(), 1);
+    }
+
+    #[test]
+    fn build_rejects_invalid() {
+        let g = two_level();
+        let store = g.category_by_name("Store").unwrap();
+        let mut ib = DimensionInstance::builder(g);
+        let _orphan = ib.member("s1", store); // no parent: violates C7
+        assert!(ib.build().is_err());
+    }
+
+    #[test]
+    fn build_unchecked_allows_invalid() {
+        let g = two_level();
+        let store = g.category_by_name("Store").unwrap();
+        let mut ib = DimensionInstance::builder(g);
+        let _orphan = ib.member("s1", store);
+        let d = ib.build_unchecked();
+        assert_eq!(d.num_members(), 2);
+    }
+}

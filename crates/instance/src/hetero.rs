@@ -1,0 +1,152 @@
+//! Heterogeneity analysis.
+//!
+//! A dimension is *homogeneous* when any two members of a category have
+//! ancestors in exactly the same categories (Section 1.1); otherwise it is
+//! *heterogeneous*. This module classifies the members of each category by
+//! their *ancestor-category signature* — precisely the structural classes
+//! that frozen dimensions make explicit at the schema level.
+
+use crate::instance::{DimensionInstance, Member};
+use odc_hierarchy::{CatSet, Category};
+use std::collections::HashMap;
+
+/// The ancestor-category signature of one member: the set of categories it
+/// rolls up to (excluding its own category, including `All`).
+pub fn ancestor_signature(d: &DimensionInstance, m: Member) -> CatSet {
+    let mut sig = CatSet::new(d.schema().num_categories());
+    for a in d.ancestors(m) {
+        sig.insert(d.category_of(a));
+    }
+    sig
+}
+
+/// The structural classes of a category: groups of members sharing an
+/// ancestor-category signature, keyed by signature.
+pub fn structure_classes(d: &DimensionInstance, c: Category) -> HashMap<CatSet, Vec<Member>> {
+    let mut classes: HashMap<CatSet, Vec<Member>> = HashMap::new();
+    for &m in d.members_of(c) {
+        classes.entry(ancestor_signature(d, m)).or_default().push(m);
+    }
+    classes
+}
+
+/// Whether category `c` is homogeneous in `d` (all members share one
+/// ancestor-category signature).
+pub fn is_homogeneous_category(d: &DimensionInstance, c: Category) -> bool {
+    structure_classes(d, c).len() <= 1
+}
+
+/// Whether the whole instance is homogeneous.
+pub fn is_homogeneous(d: &DimensionInstance) -> bool {
+    d.schema()
+        .categories()
+        .all(|c| is_homogeneous_category(d, c))
+}
+
+/// A summary of the heterogeneity of an instance: for each category, how
+/// many distinct structural classes its members fall into.
+pub fn heterogeneity_profile(d: &DimensionInstance) -> Vec<(Category, usize)> {
+    d.schema()
+        .categories()
+        .map(|c| (c, structure_classes(d, c).len()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odc_hierarchy::HierarchySchema;
+    use std::sync::Arc;
+
+    fn hetero_instance() -> DimensionInstance {
+        let mut b = HierarchySchema::builder();
+        let store = b.category("Store");
+        let province = b.category("Province");
+        let state = b.category("State");
+        b.edge(store, province);
+        b.edge(store, state);
+        b.edge_to_all(province);
+        b.edge_to_all(state);
+        let g = Arc::new(b.build().unwrap());
+        let mut ib = DimensionInstance::builder(g);
+        let s1 = ib.member("s1", store);
+        let s2 = ib.member("s2", store);
+        let on = ib.member("Ontario", province);
+        let tx = ib.member("Texas", state);
+        ib.link(s1, on);
+        ib.link(s2, tx);
+        ib.link_to_all(on);
+        ib.link_to_all(tx);
+        ib.build().unwrap()
+    }
+
+    #[test]
+    fn signatures_differ_across_branches() {
+        let d = hetero_instance();
+        let s1 = d.member_by_key("s1").unwrap();
+        let s2 = d.member_by_key("s2").unwrap();
+        let sig1 = ancestor_signature(&d, s1);
+        let sig2 = ancestor_signature(&d, s2);
+        assert_ne!(sig1, sig2);
+        let province = d.schema().category_by_name("Province").unwrap();
+        assert!(sig1.contains(province));
+        assert!(!sig2.contains(province));
+    }
+
+    #[test]
+    fn store_category_is_heterogeneous() {
+        let d = hetero_instance();
+        let store = d.schema().category_by_name("Store").unwrap();
+        assert!(!is_homogeneous_category(&d, store));
+        assert_eq!(structure_classes(&d, store).len(), 2);
+        assert!(!is_homogeneous(&d));
+    }
+
+    #[test]
+    fn upper_categories_are_homogeneous() {
+        let d = hetero_instance();
+        let province = d.schema().category_by_name("Province").unwrap();
+        assert!(is_homogeneous_category(&d, province));
+    }
+
+    #[test]
+    fn profile_counts_classes() {
+        let d = hetero_instance();
+        let store = d.schema().category_by_name("Store").unwrap();
+        let profile = heterogeneity_profile(&d);
+        let store_entry = profile.iter().find(|&&(c, _)| c == store).unwrap();
+        assert_eq!(store_entry.1, 2);
+    }
+
+    #[test]
+    fn homogeneous_instance_detected() {
+        let mut b = HierarchySchema::builder();
+        let store = b.category("Store");
+        let city = b.category("City");
+        b.edge(store, city);
+        b.edge_to_all(city);
+        let g = Arc::new(b.build().unwrap());
+        let mut ib = DimensionInstance::builder(g);
+        let s1 = ib.member("s1", store);
+        let s2 = ib.member("s2", store);
+        let c1 = ib.member("c1", city);
+        ib.link(s1, c1);
+        ib.link(s2, c1);
+        ib.link_to_all(c1);
+        let d = ib.build().unwrap();
+        assert!(is_homogeneous(&d));
+    }
+
+    #[test]
+    fn empty_category_has_no_classes() {
+        let mut b = HierarchySchema::builder();
+        let store = b.category("Store");
+        let city = b.category("City");
+        b.edge(store, city);
+        b.edge_to_all(city);
+        let g = Arc::new(b.build().unwrap());
+        let d = DimensionInstance::builder(g).build_unchecked();
+        assert_eq!(structure_classes(&d, store).len(), 0);
+        assert!(is_homogeneous_category(&d, store));
+    }
+}

@@ -1,0 +1,21 @@
+//! Related-work baseline transformations (Section 1.3 of the paper).
+//!
+//! The paper's central argument is that heterogeneous dimensions should be
+//! *modeled as they are* (with dimension constraints recovering
+//! summarizability knowledge), instead of being forced into homogeneous
+//! shape. The two competing approaches it discusses are implemented here
+//! so the benchmark suite can quantify their costs:
+//!
+//! * [`nullpad`] — Pedersen & Jensen's transformation: insert placeholder
+//!   ("null") members so every member has a parent in every adjacent
+//!   category. Costs: extra members and increased cube-view sparsity.
+//! * [`dnf`] — Lehner et al.'s *dimensional normal form*: remove
+//!   heterogeneity-causing categories from the hierarchy (relegating them
+//!   to out-of-hierarchy attributes). Costs: lost categories, hence lost
+//!   aggregation granularities.
+
+pub mod dnf;
+pub mod nullpad;
+
+pub use dnf::{dnf_flatten, DnfReport};
+pub use nullpad::{null_pad, NullPadReport};

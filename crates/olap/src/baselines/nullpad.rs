@@ -1,0 +1,483 @@
+//! Null-member padding (Pedersen & Jensen, VLDB 1999): turn a
+//! heterogeneous instance into a homogeneous one by inserting placeholder
+//! members wherever a parent is missing.
+//!
+//! The paper criticizes this approach on two grounds we make measurable:
+//! the transformation "considers a restricted class of heterogeneous
+//! dimensions and does not scale to general heterogeneous dimensions"
+//! (here: it refuses cyclic schemas and may fail validation on exotic
+//! shapes, reported rather than hidden), and "null members may cause
+//! considerable waste of memory and computational effort due to the
+//! increased sparsity of the cube views" (here: `nulls_added` and the
+//! sparsity helpers).
+
+use odc_hierarchy::Category;
+use odc_instance::{validate, DimensionInstance, Member};
+use std::collections::HashMap;
+
+/// Outcome of a null-padding transformation.
+#[derive(Debug, Clone)]
+pub struct NullPadReport {
+    /// The padded instance (unvalidated if `valid` is false).
+    pub instance: DimensionInstance,
+    /// Null members inserted.
+    pub nulls_added: usize,
+    /// Child/parent links inserted (including links of null members).
+    pub edges_added: usize,
+    /// Direct links removed because padding turned them into shortcuts.
+    pub edges_removed: usize,
+    /// Whether the padded instance satisfies C1–C7.
+    pub valid: bool,
+    /// Whether every category of the padded instance is homogeneous.
+    pub homogeneous: bool,
+}
+
+/// Working member graph used during padding.
+struct Work {
+    keys: Vec<String>,
+    names: Vec<String>,
+    category: Vec<Category>,
+    parents: Vec<Vec<usize>>,
+}
+
+impl Work {
+    fn ancestor_in(&self, x: usize, c: Category) -> Option<usize> {
+        if self.category[x] == c {
+            return Some(x);
+        }
+        let mut stack = vec![x];
+        let mut seen = vec![false; self.keys.len()];
+        while let Some(m) = stack.pop() {
+            if seen[m] {
+                continue;
+            }
+            seen[m] = true;
+            for &p in &self.parents[m] {
+                if self.category[p] == c {
+                    return Some(p);
+                }
+                stack.push(p);
+            }
+        }
+        None
+    }
+
+    /// Distinct ancestors in category `c` that the *descendants* of `x`
+    /// already roll up to (excluding those reached through `x` itself,
+    /// which cannot exist before padding `x`).
+    fn descendant_ancestors_in(&self, x: usize, c: Category) -> Vec<usize> {
+        // children map computed on demand (the structure is small).
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); self.keys.len()];
+        for (m, ps) in self.parents.iter().enumerate() {
+            for &p in ps {
+                children[p].push(m);
+            }
+        }
+        let mut found = Vec::new();
+        let mut stack = vec![x];
+        let mut seen = vec![false; self.keys.len()];
+        while let Some(m) = stack.pop() {
+            if seen[m] {
+                continue;
+            }
+            seen[m] = true;
+            for &ch in &children[m] {
+                if let Some(a) = self.ancestor_in(ch, c) {
+                    if !found.contains(&a) {
+                        found.push(a);
+                    }
+                }
+                stack.push(ch);
+            }
+        }
+        found
+    }
+
+    fn reaches_member(&self, x: usize, target: usize) -> bool {
+        let mut stack = vec![x];
+        let mut seen = vec![false; self.keys.len()];
+        while let Some(m) = stack.pop() {
+            if m == target {
+                return true;
+            }
+            if seen[m] {
+                continue;
+            }
+            seen[m] = true;
+            stack.extend(self.parents[m].iter().copied());
+        }
+        false
+    }
+}
+
+/// Pads `d` with null members so that, within each category, every member
+/// has a parent in every parent-category used by that category's members
+/// (the *parent profile*). Fails on cyclic schemas.
+pub fn null_pad(d: &DimensionInstance) -> Result<NullPadReport, String> {
+    let g = d.schema();
+    if g.has_cycle() {
+        return Err("null padding does not support cyclic hierarchy schemas".into());
+    }
+
+    // Working copy of the member graph.
+    let mut w = Work {
+        keys: (0..d.num_members())
+            .map(|i| d.key(Member::from_index(i)).to_string())
+            .collect(),
+        names: (0..d.num_members())
+            .map(|i| d.name(Member::from_index(i)).to_string())
+            .collect(),
+        category: (0..d.num_members())
+            .map(|i| d.category_of(Member::from_index(i)))
+            .collect(),
+        parents: (0..d.num_members())
+            .map(|i| {
+                d.parents(Member::from_index(i))
+                    .iter()
+                    .map(|p| p.index())
+                    .collect()
+            })
+            .collect(),
+    };
+
+    // Original parent profile per category: the parent categories its
+    // members actually use in `d`.
+    let mut profile: Vec<Vec<Category>> = vec![Vec::new(); g.num_categories()];
+    for m in d.members() {
+        let c = d.category_of(m);
+        for &p in d.parents(m) {
+            let pc = d.category_of(p);
+            if !profile[c.index()].contains(&pc) {
+                profile[c.index()].push(pc);
+            }
+        }
+    }
+    // Fallback profile for categories with no members: the first schema
+    // parent (nulls created there still need a way up to All).
+    for c in g.categories() {
+        if profile[c.index()].is_empty() && !c.is_all() {
+            if let Some(&p) = g.parents(c).first() {
+                profile[c.index()].push(p);
+            }
+        }
+    }
+
+    // Topological order of categories (acyclic checked above): children
+    // before parents.
+    let topo = topo_order(g);
+
+    let mut nulls_added = 0usize;
+    let mut edges_added = 0usize;
+    let mut null_memo: HashMap<(Category, Vec<usize>), usize> = HashMap::new();
+
+    for &c in &topo {
+        if c.is_all() {
+            continue;
+        }
+        let members_now: Vec<usize> = (0..w.keys.len()).filter(|&m| w.category[m] == c).collect();
+        let targets = profile[c.index()].clone();
+        for x in members_now {
+            for &pc in &targets {
+                // Already a direct parent there? Nothing to do. Already an
+                // *indirect* ancestor there? Adding a direct parent would
+                // break C2 or C5 — skip; signature homogeneity is still
+                // reached because the rollup to pc exists.
+                if w.parents[x].iter().any(|&p| w.category[p] == pc)
+                    || w.ancestor_in(x, pc).is_some()
+                {
+                    continue;
+                }
+                // If x's descendants already roll up to a unique member of
+                // pc, adopt it: inventing a null here would hand those
+                // descendants a *second* pc-ancestor, breaking C2 (this is
+                // the Texas/USRegion situation in the location data).
+                let inherited = w.descendant_ancestors_in(x, pc);
+                let n = match inherited.as_slice() {
+                    [unique] => *unique,
+                    _ => make_null(
+                        &mut w,
+                        g,
+                        &profile,
+                        &mut null_memo,
+                        &mut nulls_added,
+                        &mut edges_added,
+                        x,
+                        pc,
+                    ),
+                };
+                w.parents[x].push(n);
+                edges_added += 1;
+            }
+        }
+    }
+
+    // Shortcut-removal pass: a direct link duplicated by a longer chain
+    // (possibly through new nulls) is dropped; the chain preserves the
+    // rollup.
+    let mut edges_removed = 0usize;
+    for x in 0..w.keys.len() {
+        let ps = w.parents[x].clone();
+        let keep: Vec<usize> = ps
+            .iter()
+            .copied()
+            .filter(|&p| !ps.iter().any(|&q| q != p && w.reaches_member(q, p)))
+            .collect();
+        edges_removed += ps.len() - keep.len();
+        w.parents[x] = keep;
+    }
+
+    // Materialize.
+    let mut ib = DimensionInstance::builder(d.schema_arc());
+    let mut handles: Vec<Member> = Vec::with_capacity(w.keys.len());
+    for i in 0..w.keys.len() {
+        if i == 0 {
+            handles.push(ib.all());
+        } else {
+            handles.push(ib.member_named(&w.keys[i], w.category[i], &w.names[i]));
+        }
+    }
+    for (i, ps) in w.parents.iter().enumerate() {
+        for &p in ps {
+            ib.link(handles[i], handles[p]);
+        }
+    }
+    let instance = ib.build_unchecked();
+    let valid = validate(&instance).is_ok();
+    let homogeneous = odc_instance::hetero::is_homogeneous(&instance);
+    Ok(NullPadReport {
+        instance,
+        nulls_added,
+        edges_added,
+        edges_removed,
+        valid,
+        homogeneous,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn make_null(
+    w: &mut Work,
+    g: &odc_hierarchy::HierarchySchema,
+    profile: &[Vec<Category>],
+    memo: &mut HashMap<(Category, Vec<usize>), usize>,
+    nulls_added: &mut usize,
+    edges_added: &mut usize,
+    x: usize,
+    pc: Category,
+) -> usize {
+    // Determine the null's parents first: for each category of pc's
+    // profile, reuse x's existing ancestor there, or recurse.
+    let mut parent_members: Vec<usize> = Vec::new();
+    if pc == Category::ALL {
+        unreachable!("nulls are never created in All");
+    }
+    let up = if profile[pc.index()].is_empty() {
+        vec![Category::ALL]
+    } else {
+        profile[pc.index()].clone()
+    };
+    for &cc in &up {
+        if cc == Category::ALL {
+            parent_members.push(0);
+            continue;
+        }
+        match w.ancestor_in(x, cc) {
+            Some(a) => parent_members.push(a),
+            None => {
+                // Same adoption rule as at the top level: x's descendants
+                // may already roll up to a unique member of cc.
+                let inherited = w.descendant_ancestors_in(x, cc);
+                let n2 = match inherited.as_slice() {
+                    [unique] => *unique,
+                    _ => make_null(w, g, profile, memo, nulls_added, edges_added, x, cc),
+                };
+                parent_members.push(n2);
+            }
+        }
+    }
+    parent_members.sort_unstable();
+    parent_members.dedup();
+    let key = (pc, parent_members.clone());
+    if let Some(&n) = memo.get(&key) {
+        return n;
+    }
+    let n = w.keys.len();
+    *nulls_added += 1;
+    w.keys.push(format!("⊥{}#{}", g.name(pc), *nulls_added));
+    w.names.push("⊥".to_string());
+    w.category.push(pc);
+    w.parents.push(parent_members.clone());
+    *edges_added += parent_members.len();
+    memo.insert(key, n);
+    n
+}
+
+fn topo_order(g: &odc_hierarchy::HierarchySchema) -> Vec<Category> {
+    // Kahn over the ↗ relation: emit a category once all its children are
+    // emitted... we want children-first, i.e. standard topological order
+    // following edges upward.
+    let n = g.num_categories();
+    let mut indeg = vec![0usize; n];
+    for (_, p) in g.edges() {
+        indeg[p.index()] += 1;
+    }
+    let mut queue: Vec<Category> = g.categories().filter(|c| indeg[c.index()] == 0).collect();
+    let mut out = Vec::with_capacity(n);
+    while let Some(c) = queue.pop() {
+        out.push(c);
+        for &p in g.parents(c) {
+            indeg[p.index()] -= 1;
+            if indeg[p.index()] == 0 {
+                queue.push(p);
+            }
+        }
+    }
+    debug_assert_eq!(out.len(), n, "schema must be acyclic");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odc_hierarchy::HierarchySchema;
+    use std::sync::Arc;
+
+    /// s1 → Ontario (Province); s2 → Texas (State): classic two-branch
+    /// heterogeneity.
+    fn hetero() -> DimensionInstance {
+        let mut b = HierarchySchema::builder();
+        let store = b.category("Store");
+        let province = b.category("Province");
+        let state = b.category("State");
+        b.edge(store, province);
+        b.edge(store, state);
+        b.edge_to_all(province);
+        b.edge_to_all(state);
+        let g = Arc::new(b.build().unwrap());
+        let mut ib = DimensionInstance::builder(g);
+        let s1 = ib.member("s1", store);
+        let s2 = ib.member("s2", store);
+        let on = ib.member("Ontario", province);
+        let tx = ib.member("Texas", state);
+        ib.link(s1, on);
+        ib.link(s2, tx);
+        ib.link_to_all(on);
+        ib.link_to_all(tx);
+        ib.build().unwrap()
+    }
+
+    #[test]
+    fn padding_makes_hetero_homogeneous() {
+        let d = hetero();
+        assert!(!odc_instance::hetero::is_homogeneous(&d));
+        let report = null_pad(&d).unwrap();
+        assert!(report.valid, "padded instance violates C1–C7");
+        assert!(report.homogeneous);
+        // s1 needs a null State, s2 a null Province.
+        assert_eq!(report.nulls_added, 2);
+    }
+
+    #[test]
+    fn homogeneous_input_is_untouched() {
+        let mut b = HierarchySchema::builder();
+        let store = b.category("Store");
+        let city = b.category("City");
+        b.edge(store, city);
+        b.edge_to_all(city);
+        let g = Arc::new(b.build().unwrap());
+        let mut ib = DimensionInstance::builder(g);
+        let s1 = ib.member("s1", store);
+        let c1 = ib.member("c1", city);
+        ib.link(s1, c1);
+        ib.link_to_all(c1);
+        let d = ib.build().unwrap();
+        let report = null_pad(&d).unwrap();
+        assert_eq!(report.nulls_added, 0);
+        assert_eq!(report.edges_removed, 0);
+        assert!(report.valid && report.homogeneous);
+        assert_eq!(report.instance.num_members(), d.num_members());
+    }
+
+    #[test]
+    fn shortcut_member_gets_rerouted() {
+        // Washington-style: City → Country directly, others via State.
+        let mut b = HierarchySchema::builder();
+        let city = b.category("City");
+        let state = b.category("State");
+        let country = b.category("Country");
+        b.edge(city, state);
+        b.edge(city, country);
+        b.edge(state, country);
+        b.edge_to_all(country);
+        let g = Arc::new(b.build().unwrap());
+        let mut ib = DimensionInstance::builder(g);
+        let austin = ib.member("Austin", city);
+        let washington = ib.member("Washington", city);
+        let texas = ib.member("Texas", state);
+        let usa = ib.member("USA", country);
+        ib.link(austin, texas);
+        ib.link(texas, usa);
+        ib.link(washington, usa);
+        ib.link_to_all(usa);
+        let d = ib.build().unwrap();
+        let report = null_pad(&d).unwrap();
+        assert!(report.valid, "padded instance violates C1–C7");
+        assert!(report.homogeneous);
+        assert_eq!(report.nulls_added, 1, "one null state for Washington");
+        assert_eq!(report.edges_removed, 1, "Washington→USA became a shortcut");
+        // Washington now reaches USA through the null state only.
+        let w2 = report.instance.member_by_key("Washington").unwrap();
+        let usa2 = report.instance.member_by_key("USA").unwrap();
+        assert!(report.instance.rolls_up_to(w2, usa2));
+        let st = report.instance.schema().category_by_name("State").unwrap();
+        assert!(report.instance.rolls_up_to_category(w2, st));
+    }
+
+    #[test]
+    fn nulls_are_shared_between_members_with_same_context() {
+        let d = {
+            let mut b = HierarchySchema::builder();
+            let store = b.category("Store");
+            let province = b.category("Province");
+            let state = b.category("State");
+            b.edge(store, province);
+            b.edge(store, state);
+            b.edge_to_all(province);
+            b.edge_to_all(state);
+            let g = Arc::new(b.build().unwrap());
+            let mut ib = DimensionInstance::builder(g);
+            let s1 = ib.member("s1", store);
+            let s2 = ib.member("s2", store);
+            let s3 = ib.member("s3", store);
+            let on = ib.member("Ontario", province);
+            let tx = ib.member("Texas", state);
+            ib.link(s1, on);
+            ib.link(s2, on);
+            ib.link(s3, tx);
+            ib.link_to_all(on);
+            ib.link_to_all(tx);
+            ib.build().unwrap()
+        };
+        let report = null_pad(&d).unwrap();
+        // s1 and s2 share one null State (identical parent context);
+        // s3 gets one null Province. Without sharing this would be 3.
+        assert_eq!(report.nulls_added, 2);
+        assert!(report.valid && report.homogeneous);
+    }
+
+    #[test]
+    fn cyclic_schema_rejected() {
+        let mut b = HierarchySchema::builder();
+        let s = b.category("S");
+        let x = b.category("X");
+        let y = b.category("Y");
+        b.edge(s, x);
+        b.edge(x, y);
+        b.edge(y, x);
+        b.edge_to_all(x);
+        b.edge_to_all(y);
+        let g = Arc::new(b.build().unwrap());
+        let d = DimensionInstance::builder(g).build().unwrap();
+        assert!(null_pad(&d).is_err());
+    }
+}

@@ -1,0 +1,231 @@
+//! Aggregate derivation — the right-hand side of Definition 6:
+//!
+//! `Π_{c, af^c(m)} ( ⊎_{i∈1..n} ( π_{c,m} Γ_{c_i}^c d ⋈ CubeView(F, d, c_i, af(m)) ) )`
+//!
+//! i.e. re-aggregate the precomputed views at the categories of `S`,
+//! mapping each of their members to its ancestor in `c`. When `c` is
+//! summarizable from `S` in `d`, the result equals the direct cube view
+//! for *every* fact table and distributive aggregate — that equivalence
+//! is what Theorem 1 characterizes with dimension constraints.
+
+use crate::agg::AggFn;
+use crate::cube::CubeView;
+use odc_hierarchy::Category;
+use odc_instance::{DimensionInstance, Member, RollupTable};
+use std::collections::BTreeMap;
+
+/// Combines the precomputed `views` (one per category of `S`) into a view
+/// at `c` per Definition 6. The multiset union `⊎` keeps duplicate
+/// contributions — that is exactly why double-counting shows up when `S`
+/// overlaps, making non-summarizable combinations produce wrong answers
+/// rather than silently deduplicating.
+pub fn derive_cube_view(
+    d: &DimensionInstance,
+    rollup: &RollupTable,
+    views: &[&CubeView],
+    c: Category,
+) -> CubeView {
+    let agg = views.first().map(|v| v.agg).unwrap_or(AggFn::Sum);
+    let mut cells: BTreeMap<Member, i64> = BTreeMap::new();
+    for view in views {
+        debug_assert_eq!(view.agg, agg, "mixed aggregate functions");
+        for (&m, &v) in &view.cells {
+            // π_{c,m} Γ_{c_i}^c d ⋈ …: map the view member to its ancestor
+            // in c (if any), carrying the partial aggregate.
+            if let Some(anc) = rollup.ancestor_in(m, c) {
+                cells
+                    .entry(anc)
+                    .and_modify(|acc| *acc = agg.combine(*acc, v))
+                    .or_insert(v);
+            }
+        }
+    }
+    let _ = d;
+    CubeView {
+        category: c,
+        agg,
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::cube_view;
+    use crate::fact::FactTable;
+    use odc_hierarchy::HierarchySchema;
+    use std::sync::Arc;
+
+    /// Homogeneous two-country instance where City partitions everything.
+    fn homogeneous() -> (DimensionInstance, RollupTable, FactTable) {
+        let mut b = HierarchySchema::builder();
+        let store = b.category("Store");
+        let city = b.category("City");
+        let country = b.category("Country");
+        b.edge(store, city);
+        b.edge(city, country);
+        b.edge_to_all(country);
+        let g = Arc::new(b.build().unwrap());
+        let mut ib = DimensionInstance::builder(g);
+        let store_c = ib.schema().category_by_name("Store").unwrap();
+        let city_c = ib.schema().category_by_name("City").unwrap();
+        let country_c = ib.schema().category_by_name("Country").unwrap();
+        let s1 = ib.member("s1", store_c);
+        let s2 = ib.member("s2", store_c);
+        let s3 = ib.member("s3", store_c);
+        let toronto = ib.member("Toronto", city_c);
+        let austin = ib.member("Austin", city_c);
+        let canada = ib.member("Canada", country_c);
+        let usa = ib.member("USA", country_c);
+        ib.link(s1, toronto);
+        ib.link(s2, toronto);
+        ib.link(s3, austin);
+        ib.link(toronto, canada);
+        ib.link(austin, usa);
+        ib.link_to_all(canada);
+        ib.link_to_all(usa);
+        let d = ib.build().unwrap();
+        let r = RollupTable::new(&d);
+        let f = FactTable::from_rows(vec![(s1, 4), (s2, 6), (s3, 11), (s3, -1)]);
+        (d, r, f)
+    }
+
+    #[test]
+    fn summarizable_derivation_matches_direct() {
+        let (d, r, f) = setup_hetero();
+        // Country from {City}: every base fact reaches Country through
+        // exactly one city (Example 10's positive case, instance-level).
+        let city = d.schema().category_by_name("City").unwrap();
+        let country = d.schema().category_by_name("Country").unwrap();
+        for agg in AggFn::ALL {
+            let city_view = cube_view(&d, &r, &f, city, agg);
+            let derived = derive_cube_view(&d, &r, &[&city_view], country);
+            let direct = cube_view(&d, &r, &f, country, agg);
+            assert_eq!(derived, direct, "{agg}");
+        }
+    }
+
+    #[test]
+    fn homogeneous_all_from_country() {
+        let (d, r, f) = homogeneous();
+        let country = d.schema().category_by_name("Country").unwrap();
+        for agg in AggFn::ALL {
+            let cv = cube_view(&d, &r, &f, country, agg);
+            let derived = derive_cube_view(&d, &r, &[&cv], Category::ALL);
+            let direct = cube_view(&d, &r, &f, Category::ALL, agg);
+            assert_eq!(derived, direct, "{agg}");
+        }
+    }
+
+    /// Heterogeneous instance of cube.rs's tests: s4 → Washington → USA
+    /// bypasses State.
+    fn setup_hetero() -> (DimensionInstance, RollupTable, FactTable) {
+        let mut b = HierarchySchema::builder();
+        let store = b.category("Store");
+        let city = b.category("City");
+        let state = b.category("State");
+        let country = b.category("Country");
+        b.edge(store, city);
+        b.edge(city, state);
+        b.edge(city, country);
+        b.edge(state, country);
+        b.edge_to_all(country);
+        let g = Arc::new(b.build().unwrap());
+        let mut ib = DimensionInstance::builder(g);
+        let store_c = ib.schema().category_by_name("Store").unwrap();
+        let city_c = ib.schema().category_by_name("City").unwrap();
+        let state_c = ib.schema().category_by_name("State").unwrap();
+        let country_c = ib.schema().category_by_name("Country").unwrap();
+        let s1 = ib.member("s1", store_c);
+        let s3 = ib.member("s3", store_c);
+        let s4 = ib.member("s4", store_c);
+        let toronto = ib.member("Toronto", city_c);
+        let austin = ib.member("Austin", city_c);
+        let washington = ib.member("Washington", city_c);
+        let ontario = ib.member("Ontario", state_c);
+        let texas = ib.member("Texas", state_c);
+        let canada = ib.member("Canada", country_c);
+        let usa = ib.member("USA", country_c);
+        ib.link(s1, toronto);
+        ib.link(s3, austin);
+        ib.link(s4, washington);
+        ib.link(toronto, ontario);
+        ib.link(austin, texas);
+        ib.link(washington, usa);
+        ib.link(ontario, canada);
+        ib.link(texas, usa);
+        ib.link_to_all(canada);
+        ib.link_to_all(usa);
+        let d = ib.build().unwrap();
+        let r = RollupTable::new(&d);
+        let f = FactTable::from_rows(vec![(s1, 10), (s3, 100), (s4, 1)]);
+        (d, r, f)
+    }
+
+    #[test]
+    fn non_summarizable_derivation_diverges() {
+        // Country from {State}: the Washington fact is lost (Example 10's
+        // negative case — the derived SUM undercounts USA).
+        let (d, r, f) = setup_hetero();
+        let state = d.schema().category_by_name("State").unwrap();
+        let country = d.schema().category_by_name("Country").unwrap();
+        let state_view = cube_view(&d, &r, &f, state, AggFn::Sum);
+        let derived = derive_cube_view(&d, &r, &[&state_view], country);
+        let direct = cube_view(&d, &r, &f, country, AggFn::Sum);
+        assert_ne!(derived, direct);
+        let usa = d.member_by_key("USA").unwrap();
+        assert_eq!(direct.get(usa), Some(101));
+        assert_eq!(derived.get(usa), Some(100), "Washington's fact dropped");
+    }
+
+    #[test]
+    fn overlapping_sources_double_count() {
+        // Country from {City, State}: Canadian facts arrive twice (once
+        // through Toronto, once through Ontario).
+        let (d, r, f) = setup_hetero();
+        let city = d.schema().category_by_name("City").unwrap();
+        let state = d.schema().category_by_name("State").unwrap();
+        let country = d.schema().category_by_name("Country").unwrap();
+        let cv_city = cube_view(&d, &r, &f, city, AggFn::Sum);
+        let cv_state = cube_view(&d, &r, &f, state, AggFn::Sum);
+        let derived = derive_cube_view(&d, &r, &[&cv_city, &cv_state], country);
+        let canada = d.member_by_key("Canada").unwrap();
+        assert_eq!(derived.get(canada), Some(20), "10 counted twice");
+        let direct = cube_view(&d, &r, &f, country, AggFn::Sum);
+        assert_eq!(direct.get(canada), Some(10));
+    }
+
+    #[test]
+    fn min_max_mask_double_counting() {
+        // MIN/MAX are idempotent, so the {City, State} overlap that broke
+        // SUM is invisible to them — a classic summarizability subtlety:
+        // Definition 6 demands equality for *every* distributive
+        // aggregate.
+        let (d, r, f) = setup_hetero();
+        let city = d.schema().category_by_name("City").unwrap();
+        let state = d.schema().category_by_name("State").unwrap();
+        let country = d.schema().category_by_name("Country").unwrap();
+        for agg in [AggFn::Min, AggFn::Max] {
+            let cv_city = cube_view(&d, &r, &f, city, agg);
+            let cv_state = cube_view(&d, &r, &f, state, agg);
+            let derived = derive_cube_view(&d, &r, &[&cv_city, &cv_state], country);
+            let direct = cube_view(&d, &r, &f, country, agg);
+            assert_eq!(derived, direct, "{agg} hides the overlap");
+        }
+    }
+
+    #[test]
+    fn empty_views_give_empty_result() {
+        let (d, r, _) = homogeneous();
+        let country = d.schema().category_by_name("Country").unwrap();
+        let empty = CubeView {
+            category: country,
+            agg: AggFn::Sum,
+            cells: Default::default(),
+        };
+        let derived = derive_cube_view(&d, &r, &[&empty], Category::ALL);
+        assert!(derived.is_empty());
+        let no_views = derive_cube_view(&d, &r, &[], Category::ALL);
+        assert!(no_views.is_empty());
+    }
+}

@@ -1,0 +1,122 @@
+//! Fact tables: raw measures attached to base members.
+
+use odc_instance::{DimensionInstance, Member};
+
+/// A fact table over one dimension: rows of `(base member, measure)`.
+///
+/// Facts attach at the dimension's *bottom categories* (Definition 6's
+/// `MembSet_{c_b}`); [`FactTable::validate_against`] checks that every
+/// row references a base member. Several rows may share a member (a store
+/// has many sales).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FactTable {
+    rows: Vec<(Member, i64)>,
+}
+
+impl FactTable {
+    /// An empty fact table.
+    pub fn new() -> Self {
+        FactTable::default()
+    }
+
+    /// Builds from explicit rows.
+    pub fn from_rows(rows: Vec<(Member, i64)>) -> Self {
+        FactTable { rows }
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, member: Member, measure: i64) {
+        self.rows.push((member, measure));
+    }
+
+    /// The raw rows.
+    pub fn rows(&self) -> &[(Member, i64)] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Checks that every row references a member of a bottom category of
+    /// `d`, returning the offending members otherwise.
+    pub fn validate_against(&self, d: &DimensionInstance) -> Result<(), Vec<Member>> {
+        let base: std::collections::HashSet<Member> = d.base_members().into_iter().collect();
+        let bad: Vec<Member> = self
+            .rows
+            .iter()
+            .map(|&(m, _)| m)
+            .filter(|m| !base.contains(m))
+            .collect();
+        if bad.is_empty() {
+            Ok(())
+        } else {
+            Err(bad)
+        }
+    }
+}
+
+impl FromIterator<(Member, i64)> for FactTable {
+    fn from_iter<I: IntoIterator<Item = (Member, i64)>>(iter: I) -> Self {
+        FactTable {
+            rows: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odc_hierarchy::HierarchySchema;
+    use std::sync::Arc;
+
+    fn instance() -> (DimensionInstance, Member, Member, Member) {
+        let mut b = HierarchySchema::builder();
+        let store = b.category("Store");
+        let city = b.category("City");
+        b.edge(store, city);
+        b.edge_to_all(city);
+        let g = Arc::new(b.build().unwrap());
+        let mut ib = DimensionInstance::builder(g);
+        let s1 = ib.member("s1", store);
+        let s2 = ib.member("s2", store);
+        let c1 = ib.member("c1", city);
+        ib.link(s1, c1);
+        ib.link(s2, c1);
+        ib.link_to_all(c1);
+        (ib.build().unwrap(), s1, s2, c1)
+    }
+
+    #[test]
+    fn build_and_validate() {
+        let (d, s1, s2, _) = instance();
+        let mut f = FactTable::new();
+        f.push(s1, 10);
+        f.push(s2, 20);
+        f.push(s1, 5);
+        assert_eq!(f.len(), 3);
+        assert!(f.validate_against(&d).is_ok());
+    }
+
+    #[test]
+    fn non_base_rows_rejected() {
+        let (d, s1, _, c1) = instance();
+        let f = FactTable::from_rows(vec![(s1, 1), (c1, 2)]);
+        let bad = f.validate_against(&d).unwrap_err();
+        assert_eq!(bad, vec![c1]);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let (_, s1, s2, _) = instance();
+        let f: FactTable = [(s1, 1), (s2, 2)].into_iter().collect();
+        assert_eq!(f.rows().len(), 2);
+        assert!(!f.is_empty());
+    }
+}

@@ -1,0 +1,294 @@
+//! Design-stage schema advice.
+//!
+//! The paper's conclusion argues that dimension constraints are "helpful
+//! in the design stage of data cubes": the semantic information in `Σ`
+//! lets a tool audit a schema before any data is loaded. This module
+//! packages the audits the reasoning machinery makes possible:
+//!
+//! * **unsatisfiable categories** — dead weight that "can be dropped from
+//!   the schema, providing a cleaner representation of the data";
+//! * **redundant constraints** — members of `Σ` implied by the rest
+//!   (removing them changes nothing);
+//! * **structure census** — the frozen dimensions of each bottom
+//!   category, i.e. how many homogeneous populations the schema mixes;
+//! * **summarizability matrix** — for each pair of categories, whether
+//!   the finer one's view can rebuild the coarser one's.
+
+use crate::theorem1::is_summarizable_in_schema;
+use odc_constraint::{Constraint, DimensionConstraint, DimensionSchema};
+use odc_dimsat::{implication, Dimsat};
+use odc_hierarchy::Category;
+
+/// The advisor's findings.
+#[derive(Debug, Clone)]
+pub struct SchemaReport {
+    /// Categories with no frozen dimension (no instance can populate
+    /// them).
+    pub unsatisfiable: Vec<Category>,
+    /// Indices into `Σ` of constraints implied by the remaining ones.
+    pub redundant_constraints: Vec<usize>,
+    /// Per bottom category: how many distinct frozen-dimension structures
+    /// it mixes (1 = homogeneous population).
+    pub structure_census: Vec<(Category, usize)>,
+    /// Pairs `(coarse, fine)` such that `coarse` is summarizable from
+    /// `{fine}` — the safe single-view rewrites.
+    pub safe_rewrites: Vec<(Category, Category)>,
+}
+
+impl SchemaReport {
+    /// Renders the report with category names.
+    pub fn render(&self, ds: &DimensionSchema) -> String {
+        let g = ds.hierarchy();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "unsatisfiable categories: {}\n",
+            if self.unsatisfiable.is_empty() {
+                "none".to_string()
+            } else {
+                self.unsatisfiable
+                    .iter()
+                    .map(|&c| g.name(c))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            }
+        ));
+        out.push_str(&format!(
+            "redundant constraints: {}\n",
+            if self.redundant_constraints.is_empty() {
+                "none".to_string()
+            } else {
+                self.redundant_constraints
+                    .iter()
+                    .map(|&i| {
+                        format!(
+                            "[{i}] {}",
+                            odc_constraint::printer::display_dc(g, &ds.constraints()[i])
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            }
+        ));
+        for &(c, n) in &self.structure_census {
+            out.push_str(&format!("bottom {} mixes {} structure(s)\n", g.name(c), n));
+        }
+        for &(coarse, fine) in &self.safe_rewrites {
+            out.push_str(&format!(
+                "safe rewrite: {} ← {{{}}}\n",
+                g.name(coarse),
+                g.name(fine)
+            ));
+        }
+        out
+    }
+}
+
+/// Runs every audit. Cost: a few DIMSAT queries per category pair —
+/// intended for design-time use on schema-sized inputs.
+pub fn audit(ds: &DimensionSchema) -> SchemaReport {
+    let g = ds.hierarchy();
+    let solver = Dimsat::new(ds);
+
+    let unsatisfiable = solver.unsatisfiable_categories();
+
+    // A constraint σ is redundant iff (G, Σ \ {σ}) ⊨ σ.
+    let mut redundant_constraints = Vec::new();
+    for (i, dc) in ds.constraints().iter().enumerate() {
+        let mut rest: Vec<DimensionConstraint> = ds.constraints().to_vec();
+        rest.remove(i);
+        let reduced = DimensionSchema::new(ds.hierarchy_arc(), rest);
+        if implication::implies(&reduced, dc).implied {
+            redundant_constraints.push(i);
+        }
+    }
+
+    let structure_census = g
+        .bottom_categories()
+        .into_iter()
+        .filter(|c| !c.is_all())
+        .map(|c| {
+            let (frozen, _) = solver.enumerate_frozen(c);
+            (c, frozen.len())
+        })
+        .collect();
+
+    // Safe single-view rewrites: coarse ← {fine} for fine ≠ coarse where
+    // fine reaches coarse.
+    let mut safe_rewrites = Vec::new();
+    for fine in g.categories() {
+        for coarse in g.categories() {
+            if fine == coarse || !g.reaches(fine, coarse) || fine.is_all() {
+                continue;
+            }
+            if is_summarizable_in_schema(ds, coarse, &[fine]).summarizable {
+                safe_rewrites.push((coarse, fine));
+            }
+        }
+    }
+
+    SchemaReport {
+        unsatisfiable,
+        redundant_constraints,
+        structure_census,
+        safe_rewrites,
+    }
+}
+
+/// Suggests a minimal constraint tightening: for each bottom category and
+/// each schema edge out of it that no frozen dimension uses, propose the
+/// negative into constraint `¬c_c'` (documenting dead edges); for each
+/// edge used by *every* frozen dimension, propose the into constraint
+/// `c_c'` (making the invariant explicit, which also speeds DIMSAT up).
+pub fn suggest_into_constraints(ds: &DimensionSchema) -> Vec<DimensionConstraint> {
+    let g = ds.hierarchy();
+    let solver = Dimsat::new(ds);
+    let mut suggestions = Vec::new();
+    let existing: Vec<(Category, Category)> = ds.into_constraints();
+    for c in g.categories() {
+        if c.is_all() {
+            continue;
+        }
+        let (frozen, _) = solver.enumerate_frozen(c);
+        if frozen.is_empty() {
+            continue;
+        }
+        for &p in g.parents(c) {
+            if existing.contains(&(c, p)) {
+                continue;
+            }
+            let used = frozen
+                .iter()
+                .filter(|f| f.subhierarchy().has_edge(c, p))
+                .count();
+            if used == frozen.len() {
+                suggestions.push(DimensionConstraint::new(c, Constraint::path(vec![c, p])));
+            }
+        }
+    }
+    suggestions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odc_constraint::parse_constraint;
+    use odc_hierarchy::HierarchySchema;
+    use std::sync::Arc;
+
+    fn location_sch() -> DimensionSchema {
+        let mut b = HierarchySchema::builder();
+        let store = b.category("Store");
+        let city = b.category("City");
+        let province = b.category("Province");
+        let state = b.category("State");
+        let sale_region = b.category("SaleRegion");
+        let country = b.category("Country");
+        b.edge(store, city);
+        b.edge(store, sale_region);
+        b.edge(city, province);
+        b.edge(city, state);
+        b.edge(city, country);
+        b.edge(province, sale_region);
+        b.edge(state, sale_region);
+        b.edge(state, country);
+        b.edge(sale_region, country);
+        b.edge(country, Category::ALL);
+        let g = Arc::new(b.build().unwrap());
+        DimensionSchema::parse(
+            g,
+            r#"
+            Store_City
+            Store.SaleRegion
+            City = Washington <-> City_Country
+            City = Washington -> City.Country = USA
+            State.Country = Mexico | State.Country = USA
+            State.Country = Mexico <-> State_SaleRegion
+            Province.Country = Canada
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn clean_schema_audits_clean() {
+        let ds = location_sch();
+        let report = audit(&ds);
+        assert!(report.unsatisfiable.is_empty());
+        assert!(report.redundant_constraints.is_empty(), "Σ is minimal");
+        let g = ds.hierarchy();
+        let store = g.category_by_name("Store").unwrap();
+        assert_eq!(report.structure_census, vec![(store, 4)]);
+        let city = g.category_by_name("City").unwrap();
+        let country = g.category_by_name("Country").unwrap();
+        assert!(report.safe_rewrites.contains(&(country, city)));
+        let rendered = report.render(&ds);
+        assert!(rendered.contains("mixes 4 structure(s)"));
+    }
+
+    #[test]
+    fn detects_unsatisfiable_category() {
+        let ds = location_sch();
+        let g = ds.hierarchy();
+        let ds2 = ds.with_constraint(parse_constraint(g, "!SaleRegion_Country").unwrap());
+        let report = audit(&ds2);
+        let sr = g.category_by_name("SaleRegion").unwrap();
+        assert!(report.unsatisfiable.contains(&sr));
+        // Store dies too: constraint (b) forces it to reach SaleRegion,
+        // whose members cannot exist.
+        assert!(report.render(&ds2).contains("SaleRegion"));
+    }
+
+    #[test]
+    fn detects_redundant_constraint() {
+        let ds = location_sch();
+        let g = ds.hierarchy();
+        // Store.City expands to exactly Store_City (the only Store→City
+        // path is the direct edge), so the new constraint and the
+        // original are *mutually* redundant — either could be dropped.
+        let ds2 = ds.with_constraint(parse_constraint(g, "Store.City").unwrap());
+        let report = audit(&ds2);
+        assert_eq!(report.redundant_constraints, vec![0, 7]);
+    }
+
+    #[test]
+    fn suggests_universal_into_edges() {
+        let ds = location_sch();
+        let g = ds.hierarchy();
+        let suggestions = suggest_into_constraints(&ds);
+        // Country→All is in every frozen dimension of every category, and
+        // is not yet an explicit into constraint.
+        let country = g.category_by_name("Country").unwrap();
+        assert!(suggestions
+            .iter()
+            .any(|dc| dc.as_into() == Some((country, Category::ALL))));
+        // Store_City is already explicit: not suggested again.
+        let store = g.category_by_name("Store").unwrap();
+        let city = g.category_by_name("City").unwrap();
+        assert!(!suggestions
+            .iter()
+            .any(|dc| dc.as_into() == Some((store, city))));
+        // Suggestions are genuinely implied (they can be added without
+        // changing the schema's models).
+        for dc in &suggestions {
+            assert!(implication::implies(&ds, dc).implied);
+        }
+    }
+
+    #[test]
+    fn suggestions_speed_up_dimsat() {
+        let ds = location_sch();
+        let mut tightened = ds.clone();
+        for dc in suggest_into_constraints(&ds) {
+            tightened = tightened.with_constraint(dc);
+        }
+        let g = ds.hierarchy();
+        let store = g.category_by_name("Store").unwrap();
+        let (f1, before) = Dimsat::new(&ds).enumerate_frozen(store);
+        let (f2, after) = Dimsat::new(&tightened).enumerate_frozen(store);
+        assert_eq!(f1.len(), f2.len(), "tightening must not change the models");
+        assert!(
+            after.stats.expand_calls <= before.stats.expand_calls,
+            "more into constraints, no more work"
+        );
+    }
+}

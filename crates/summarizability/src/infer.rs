@@ -1,0 +1,402 @@
+//! Constraint inference ("schema mining"): read a dimension instance and
+//! propose the dimension constraints its data already obeys.
+//!
+//! The paper assumes a designer writes `Σ`; in practice heterogeneous
+//! dimension *data* usually exists first. This module reverse-engineers
+//! the three constraint shapes that drive the reasoning machinery:
+//!
+//! * **into constraints** `c_c'` — every member of `c` has a parent in
+//!   `c'`;
+//! * **choice constraints** `one{c_p1, …, c_pk}` — every member of `c`
+//!   has a parent in exactly one of several categories (the canonical
+//!   heterogeneity pattern);
+//! * **conditional constraints** `c.t = k -> c_p` — within the members
+//!   that roll up to a `t`-member named `k`, everyone uses the edge
+//!   `c ↗ p` (the locationSch pattern: `Province.Country = Canada`).
+//!
+//! Everything returned is *sound for the input*: the instance satisfies
+//! each inferred constraint by construction (and the tests re-check it
+//! through the independent evaluator).
+
+use odc_constraint::{Constraint, DimensionConstraint, DimensionSchema};
+use odc_hierarchy::Category;
+use odc_instance::{DimensionInstance, Member, RollupTable};
+use std::collections::HashMap;
+
+/// Controls which families of constraints [`infer_constraints`] emits.
+#[derive(Debug, Clone, Copy)]
+pub struct InferenceOptions {
+    /// Emit `c_c'` when every member of `c` uses the edge.
+    pub into: bool,
+    /// Emit `one{…}` when members use exactly one of ≥ 2 parent
+    /// categories.
+    pub choices: bool,
+    /// Emit `c.t = k -> c_p` conditionals, keyed on ancestor names.
+    pub conditionals: bool,
+    /// Minimum number of members of `c` before any rule about `c` is
+    /// trusted (tiny samples overfit).
+    pub min_support: usize,
+}
+
+impl Default for InferenceOptions {
+    fn default() -> Self {
+        InferenceOptions {
+            into: true,
+            choices: true,
+            conditionals: true,
+            min_support: 1,
+        }
+    }
+}
+
+/// Infers dimension constraints from an instance.
+pub fn infer_constraints(
+    d: &DimensionInstance,
+    opts: &InferenceOptions,
+) -> Vec<DimensionConstraint> {
+    let g = d.schema();
+    let rollup = RollupTable::new(d);
+    let mut out = Vec::new();
+
+    for c in g.categories() {
+        if c.is_all() {
+            continue;
+        }
+        let members = d.members_of(c);
+        if members.len() < opts.min_support {
+            continue;
+        }
+        let parent_cats = g.parents(c);
+
+        // Which parent categories does each member use (directly)?
+        let uses = |m: Member, p: Category| d.parents(m).iter().any(|&x| d.category_of(x) == p);
+
+        if opts.into {
+            for &p in parent_cats {
+                if members.iter().all(|&m| uses(m, p)) {
+                    out.push(DimensionConstraint::new(c, Constraint::path(vec![c, p])));
+                }
+            }
+        }
+
+        if opts.choices && parent_cats.len() >= 2 {
+            // Parent categories used by at least one member but not all.
+            let partial: Vec<Category> = parent_cats
+                .iter()
+                .copied()
+                .filter(|&p| {
+                    let n = members.iter().filter(|&&m| uses(m, p)).count();
+                    n > 0 && n < members.len()
+                })
+                .collect();
+            if partial.len() >= 2
+                && members
+                    .iter()
+                    .all(|&m| partial.iter().filter(|&&p| uses(m, p)).count() == 1)
+            {
+                out.push(DimensionConstraint::new(
+                    c,
+                    Constraint::ExactlyOne(
+                        partial
+                            .iter()
+                            .map(|&p| Constraint::path(vec![c, p]))
+                            .collect(),
+                    ),
+                ));
+            }
+        }
+
+        if opts.conditionals {
+            // For each ancestor category t and each name k appearing
+            // there: does `c.t = k` determine the use of an edge c ↗ p?
+            for t in g.categories() {
+                if t == c || t.is_all() || !g.reaches(c, t) {
+                    continue;
+                }
+                let mut by_name: HashMap<&str, Vec<Member>> = HashMap::new();
+                for &m in members {
+                    if let Some(a) = rollup.ancestor_in(m, t) {
+                        by_name.entry(d.name(a)).or_default().push(m);
+                    }
+                }
+                for (k, group) in by_name {
+                    if group.len() < opts.min_support {
+                        continue;
+                    }
+                    for &p in parent_cats {
+                        let all_use = group.iter().all(|&m| uses(m, p));
+                        let outside_differs = members
+                            .iter()
+                            .filter(|&&m| !group.contains(&m))
+                            .any(|&m| !uses(m, p));
+                        // Only emit when the condition is informative: the
+                        // rule must not already hold unconditionally.
+                        if all_use && outside_differs {
+                            out.push(DimensionConstraint::new(
+                                c,
+                                Constraint::implies(
+                                    Constraint::eq(c, t, k),
+                                    Constraint::path(vec![c, p]),
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Convenience: package the inferred constraints as a dimension schema
+/// over the instance's hierarchy.
+pub fn infer_schema(d: &DimensionInstance, opts: &InferenceOptions) -> DimensionSchema {
+    DimensionSchema::new(d.schema_arc(), infer_constraints(d, opts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odc_constraint::printer;
+    use odc_hierarchy::HierarchySchema;
+    use std::sync::Arc;
+
+    /// Two-branch heterogeneity plus a name-conditional pattern.
+    fn hetero_instance() -> DimensionInstance {
+        let mut b = HierarchySchema::builder();
+        let store = b.category("Store");
+        let province = b.category("Province");
+        let state = b.category("State");
+        let country = b.category("Country");
+        b.edge(store, province);
+        b.edge(store, state);
+        b.edge(province, country);
+        b.edge(state, country);
+        b.edge_to_all(country);
+        let g = Arc::new(b.build().unwrap());
+        let mut ib = DimensionInstance::builder(g);
+        let canada = ib.member("Canada", country);
+        let usa = ib.member("USA", country);
+        ib.link_to_all(canada);
+        ib.link_to_all(usa);
+        let on = ib.member("Ontario", province);
+        let bc = ib.member("BC", province);
+        ib.link(on, canada);
+        ib.link(bc, canada);
+        let tx = ib.member("Texas", state);
+        ib.link(tx, usa);
+        for (key, up) in [("s1", on), ("s2", bc), ("s3", tx), ("s4", tx)] {
+            let s = ib.member(key, store);
+            ib.link(s, up);
+        }
+        ib.build().unwrap()
+    }
+
+    #[test]
+    fn inferred_constraints_hold_on_the_instance() {
+        let d = hetero_instance();
+        let sigma = infer_constraints(&d, &InferenceOptions::default());
+        assert!(!sigma.is_empty());
+        for dc in &sigma {
+            assert!(
+                odc_constraint::eval::satisfies(&d, dc),
+                "inferred constraint violated: {}",
+                printer::display_dc(d.schema(), dc)
+            );
+        }
+        let ds = infer_schema(&d, &InferenceOptions::default());
+        assert!(ds.admits(&d));
+    }
+
+    #[test]
+    fn finds_the_choice_pattern() {
+        let d = hetero_instance();
+        let sigma = infer_constraints(&d, &InferenceOptions::default());
+        let texts: Vec<String> = sigma
+            .iter()
+            .map(|dc| printer::display_dc(d.schema(), dc).to_string())
+            .collect();
+        assert!(
+            texts
+                .iter()
+                .any(|t| t == "one{Store_Province, Store_State}"),
+            "{texts:?}"
+        );
+    }
+
+    #[test]
+    fn finds_name_conditionals() {
+        let d = hetero_instance();
+        let sigma = infer_constraints(&d, &InferenceOptions::default());
+        let texts: Vec<String> = sigma
+            .iter()
+            .map(|dc| printer::display_dc(d.schema(), dc).to_string())
+            .collect();
+        assert!(
+            texts
+                .iter()
+                .any(|t| t == "Store.Country = Canada -> Store_Province"),
+            "{texts:?}"
+        );
+        assert!(
+            texts
+                .iter()
+                .any(|t| t == "Store.Country = USA -> Store_State"),
+            "{texts:?}"
+        );
+    }
+
+    #[test]
+    fn finds_into_constraints() {
+        let d = hetero_instance();
+        let sigma = infer_constraints(&d, &InferenceOptions::default());
+        let g = d.schema();
+        let province = g.category_by_name("Province").unwrap();
+        let country = g.category_by_name("Country").unwrap();
+        assert!(sigma
+            .iter()
+            .any(|dc| dc.as_into() == Some((province, country))));
+    }
+
+    #[test]
+    fn options_disable_families() {
+        let d = hetero_instance();
+        let only_into = infer_constraints(
+            &d,
+            &InferenceOptions {
+                choices: false,
+                conditionals: false,
+                ..Default::default()
+            },
+        );
+        assert!(only_into.iter().all(|dc| dc.as_into().is_some()));
+        let nothing = infer_constraints(
+            &d,
+            &InferenceOptions {
+                into: false,
+                choices: false,
+                conditionals: false,
+                ..Default::default()
+            },
+        );
+        assert!(nothing.is_empty());
+    }
+
+    #[test]
+    fn min_support_suppresses_small_groups() {
+        let d = hetero_instance();
+        let strict = infer_constraints(
+            &d,
+            &InferenceOptions {
+                min_support: 5,
+                ..Default::default()
+            },
+        );
+        // Only 4 stores, 2-3 per country group: everything about Store is
+        // suppressed; upper categories have even fewer members.
+        assert!(strict.is_empty());
+    }
+
+    /// Round trip with the real catalog: constraints inferred from the
+    /// Figure 1(B) data must include the structural core of Figure 3, and
+    /// the inferred schema must keep the instance admissible.
+    #[test]
+    fn location_round_trip() {
+        let entry = odc_workload_shim::location();
+        let d = entry;
+        let sigma = infer_constraints(&d, &InferenceOptions::default());
+        let texts: Vec<String> = sigma
+            .iter()
+            .map(|dc| printer::display_dc(d.schema(), dc).to_string())
+            .collect();
+        assert!(texts.iter().any(|t| t == "Store_City"), "{texts:?}");
+        assert!(
+            texts
+                .iter()
+                .any(|t| t == "Province.Country = Canada -> Province_SaleRegion"
+                    || t == "Province_SaleRegion"),
+            "{texts:?}"
+        );
+        let ds = infer_schema(&d, &InferenceOptions::default());
+        assert!(ds.admits(&d));
+    }
+
+    /// Local copy of the Figure 1(B) instance (this crate cannot depend
+    /// on odc-workload, which sits above it).
+    mod odc_workload_shim {
+        use odc_hierarchy::{Category, HierarchySchema};
+        use odc_instance::DimensionInstance;
+        use std::sync::Arc;
+
+        pub fn location() -> DimensionInstance {
+            let mut b = HierarchySchema::builder();
+            let store = b.category("Store");
+            let city = b.category("City");
+            let province = b.category("Province");
+            let state = b.category("State");
+            let sale_region = b.category("SaleRegion");
+            let country = b.category("Country");
+            b.edge(store, city);
+            b.edge(store, sale_region);
+            b.edge(city, province);
+            b.edge(city, state);
+            b.edge(city, country);
+            b.edge(province, sale_region);
+            b.edge(state, sale_region);
+            b.edge(state, country);
+            b.edge(sale_region, country);
+            b.edge(country, Category::ALL);
+            let g = Arc::new(b.build().unwrap());
+            let mut ib = DimensionInstance::builder(g);
+            let sch = ib.schema();
+            let (store, city, province, state, sale_region, country) = (
+                sch.category_by_name("Store").unwrap(),
+                sch.category_by_name("City").unwrap(),
+                sch.category_by_name("Province").unwrap(),
+                sch.category_by_name("State").unwrap(),
+                sch.category_by_name("SaleRegion").unwrap(),
+                sch.category_by_name("Country").unwrap(),
+            );
+            let canada = ib.member("Canada", country);
+            let mexico = ib.member("Mexico", country);
+            let usa = ib.member("USA", country);
+            for m in [canada, mexico, usa] {
+                ib.link_to_all(m);
+            }
+            let east = ib.member("East", sale_region);
+            let west = ib.member("West", sale_region);
+            let us_region = ib.member("USRegion", sale_region);
+            ib.link(east, canada);
+            ib.link(west, mexico);
+            ib.link(us_region, usa);
+            let ontario = ib.member("Ontario", province);
+            ib.link(ontario, east);
+            let df = ib.member("DF", state);
+            ib.link(df, west);
+            let texas = ib.member("Texas", state);
+            ib.link(texas, usa);
+            let toronto = ib.member("Toronto", city);
+            ib.link(toronto, ontario);
+            let mexico_city = ib.member("MexicoCity", city);
+            ib.link(mexico_city, df);
+            let austin = ib.member("Austin", city);
+            ib.link(austin, texas);
+            let washington = ib.member("Washington", city);
+            ib.link(washington, usa);
+            for (key, c, sr) in [
+                ("s1", toronto, None),
+                ("s2", toronto, None),
+                ("s3", mexico_city, None),
+                ("s4", austin, Some(us_region)),
+                ("s5", washington, Some(us_region)),
+            ] {
+                let s = ib.member(key, store);
+                ib.link(s, c);
+                if let Some(r) = sr {
+                    ib.link(s, r);
+                }
+            }
+            ib.build().unwrap()
+        }
+    }
+}

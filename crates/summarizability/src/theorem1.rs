@@ -1,0 +1,231 @@
+//! The Theorem-1 constraint construction and the schema-level
+//! summarizability test.
+
+use odc_constraint::{expand, Constraint, DimensionConstraint, DimensionSchema};
+use odc_dimsat::{implication, DimsatOptions, SearchStats};
+use odc_frozen::FrozenDimension;
+use odc_hierarchy::{Category, HierarchySchema};
+
+/// Builds the Theorem-1 constraints for "`c` is summarizable from `S`":
+/// one constraint `c_b.c ⊃ ⊙_{ci∈S} c_b.ci.c` per bottom category `c_b`
+/// of the hierarchy schema.
+pub fn summarizability_constraints(
+    g: &HierarchySchema,
+    c: Category,
+    s: &[Category],
+) -> Vec<DimensionConstraint> {
+    g.bottom_categories()
+        .into_iter()
+        .filter(|cb| !cb.is_all())
+        .map(|cb| {
+            let antecedent = expand::rolls_up_to(g, cb, c);
+            let branches: Vec<Constraint> = s
+                .iter()
+                .map(|&ci| expand::rolls_up_through(g, cb, ci, c))
+                .collect();
+            let formula = Constraint::implies(antecedent, Constraint::ExactlyOne(branches));
+            DimensionConstraint::new(cb, formula)
+        })
+        .collect()
+}
+
+/// The result of a schema-level summarizability query.
+#[derive(Debug, Clone)]
+pub struct SummarizabilityOutcome {
+    /// Whether `c` is summarizable from `S` in **every** instance of the
+    /// schema.
+    pub summarizable: bool,
+    /// The bottom category whose Theorem-1 constraint failed (when not
+    /// summarizable).
+    pub failing_bottom: Option<Category>,
+    /// A frozen countermodel: a minimal instance shape in which the
+    /// rewriting would be wrong.
+    pub counterexample: Option<FrozenDimension>,
+    /// Accumulated DIMSAT statistics over all bottom-category queries.
+    pub stats: SearchStats,
+}
+
+/// Tests whether `c` is summarizable from `S` in every instance over
+/// `ds`, by checking implication of each Theorem-1 constraint (Theorem 2 +
+/// DIMSAT).
+pub fn is_summarizable_in_schema(
+    ds: &DimensionSchema,
+    c: Category,
+    s: &[Category],
+) -> SummarizabilityOutcome {
+    is_summarizable_in_schema_with(ds, c, s, DimsatOptions::default())
+}
+
+/// [`is_summarizable_in_schema`] with explicit DIMSAT options (used by the
+/// ablation benchmarks).
+pub fn is_summarizable_in_schema_with(
+    ds: &DimensionSchema,
+    c: Category,
+    s: &[Category],
+    opts: DimsatOptions,
+) -> SummarizabilityOutcome {
+    let mut stats = SearchStats::default();
+    for dc in summarizability_constraints(ds.hierarchy(), c, s) {
+        let root = dc.root();
+        let out = implication::implies_with(ds, &dc, opts);
+        stats.absorb(&out.stats);
+        if !out.implied {
+            return SummarizabilityOutcome {
+                summarizable: false,
+                failing_bottom: Some(root),
+                counterexample: out.counterexample,
+                stats,
+            };
+        }
+    }
+    SummarizabilityOutcome {
+        summarizable: true,
+        failing_bottom: None,
+        counterexample: None,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odc_hierarchy::HierarchySchema;
+    use std::sync::Arc;
+
+    fn location_sch() -> DimensionSchema {
+        let mut b = HierarchySchema::builder();
+        let store = b.category("Store");
+        let city = b.category("City");
+        let province = b.category("Province");
+        let state = b.category("State");
+        let sale_region = b.category("SaleRegion");
+        let country = b.category("Country");
+        b.edge(store, city);
+        b.edge(store, sale_region);
+        b.edge(city, province);
+        b.edge(city, state);
+        b.edge(city, country);
+        b.edge(province, sale_region);
+        b.edge(state, sale_region);
+        b.edge(state, country);
+        b.edge(sale_region, country);
+        b.edge(country, Category::ALL);
+        let g = Arc::new(b.build().unwrap());
+        DimensionSchema::parse(
+            g,
+            r#"
+            Store_City
+            Store.SaleRegion
+            City = Washington <-> City_Country
+            City = Washington -> City.Country = USA
+            State.Country = Mexico | State.Country = USA
+            State.Country = Mexico <-> State_SaleRegion
+            Province.Country = Canada
+            "#,
+        )
+        .unwrap()
+    }
+
+    fn cat(ds: &DimensionSchema, n: &str) -> Category {
+        ds.hierarchy().category_by_name(n).unwrap()
+    }
+
+    #[test]
+    fn constraint_construction_one_per_bottom() {
+        let ds = location_sch();
+        let g = ds.hierarchy();
+        let cs = summarizability_constraints(g, cat(&ds, "Country"), &[cat(&ds, "City")]);
+        assert_eq!(cs.len(), 1, "location has one bottom category");
+        assert_eq!(cs[0].root(), cat(&ds, "Store"));
+        assert!(matches!(cs[0].formula(), Constraint::Implies(_, _)));
+    }
+
+    #[test]
+    fn example_10_country_from_city_schema_level() {
+        // The schema-level strengthening of Example 10's positive claim:
+        // every instance of locationSch routes Country through exactly one
+        // City.
+        let ds = location_sch();
+        let out = is_summarizable_in_schema(&ds, cat(&ds, "Country"), &[cat(&ds, "City")]);
+        assert!(out.summarizable);
+        assert!(out.counterexample.is_none());
+    }
+
+    #[test]
+    fn example_10_country_not_from_state_province() {
+        // The Washington structure breaks {State, Province} (Example 10's
+        // negative claim): it reaches Country through neither.
+        let ds = location_sch();
+        let out = is_summarizable_in_schema(
+            &ds,
+            cat(&ds, "Country"),
+            &[cat(&ds, "State"), cat(&ds, "Province")],
+        );
+        assert!(!out.summarizable);
+        assert_eq!(out.failing_bottom, Some(cat(&ds, "Store")));
+        let cx = out.counterexample.expect("countermodel");
+        let state = cat(&ds, "State");
+        let province = cat(&ds, "Province");
+        assert!(
+            !cx.subhierarchy().contains(state) && !cx.subhierarchy().contains(province),
+            "the countermodel should be the Washington structure"
+        );
+    }
+
+    #[test]
+    fn summarizable_from_self() {
+        let ds = location_sch();
+        for name in ["Country", "City", "SaleRegion"] {
+            let c = cat(&ds, name);
+            let out = is_summarizable_in_schema(&ds, c, &[c]);
+            assert!(out.summarizable, "{name} must be summarizable from itself");
+        }
+    }
+
+    #[test]
+    fn all_from_country() {
+        // Every store reaches All through exactly one country? Frozen
+        // dimensions all contain Country on every path to All… Country is
+        // on every path (the only edge into All). So yes.
+        let ds = location_sch();
+        let out = is_summarizable_in_schema(&ds, Category::ALL, &[cat(&ds, "Country")]);
+        assert!(out.summarizable);
+    }
+
+    #[test]
+    fn sale_region_not_summarizable_from_state() {
+        // Canadian stores reach SaleRegion via Province, not State.
+        let ds = location_sch();
+        let out = is_summarizable_in_schema(&ds, cat(&ds, "SaleRegion"), &[cat(&ds, "State")]);
+        assert!(!out.summarizable);
+    }
+
+    #[test]
+    fn sale_region_from_state_and_province_fails_on_us_stores() {
+        // US stores reach SaleRegion directly (Store→SaleRegion), passing
+        // through neither State nor Province.
+        let ds = location_sch();
+        let out = is_summarizable_in_schema(
+            &ds,
+            cat(&ds, "SaleRegion"),
+            &[cat(&ds, "State"), cat(&ds, "Province")],
+        );
+        assert!(!out.summarizable);
+    }
+
+    #[test]
+    fn empty_source_set_only_works_if_nothing_reaches_target() {
+        let ds = location_sch();
+        // ⊙∅ is false, so summarizable-from-∅ requires that no store ever
+        // reaches Country — false here.
+        let out = is_summarizable_in_schema(&ds, cat(&ds, "Country"), &[]);
+        assert!(!out.summarizable);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let ds = location_sch();
+        let out = is_summarizable_in_schema(&ds, cat(&ds, "Country"), &[cat(&ds, "City")]);
+        assert!(out.stats.expand_calls > 0);
+    }
+}

@@ -1,0 +1,696 @@
+//! A catalog of realistic heterogeneous dimensions.
+//!
+//! The first entry is the paper's running example (`location`, Figures 1
+//! and 3); the rest are classic heterogeneity patterns from the
+//! OLAP-modeling literature (products with and without brands, the
+//! week/month non-nesting of time, contractor reporting lines, inpatient/
+//! outpatient flows, and microstate geography). Each entry carries a
+//! validated instance over its schema and a battery of summarizability
+//! queries used by the E10 "practical schemas" experiment.
+
+use odc_constraint::DimensionSchema;
+use odc_hierarchy::{Category, HierarchySchema};
+use odc_instance::DimensionInstance;
+use std::sync::Arc;
+
+/// One catalog dimension: schema, sample instance, and query battery.
+pub struct CatalogEntry {
+    /// Short identifier (`location`, `product`, …).
+    pub name: &'static str,
+    /// What the dimension models and where its heterogeneity comes from.
+    pub description: &'static str,
+    /// The dimension schema `(G, Σ)`.
+    pub schema: DimensionSchema,
+    /// A validated instance over the schema.
+    pub instance: DimensionInstance,
+    /// Summarizability queries `(target, sources)` exercised by E10.
+    pub queries: Vec<(Category, Vec<Category>)>,
+}
+
+fn cat(g: &HierarchySchema, name: &str) -> Category {
+    g.category_by_name(name)
+        .unwrap_or_else(|| panic!("catalog schema lacks category {name}"))
+}
+
+/// The full catalog.
+pub fn catalog() -> Vec<CatalogEntry> {
+    vec![
+        location(),
+        product(),
+        time(),
+        organization(),
+        healthcare(),
+        geography(),
+        pricing(),
+    ]
+}
+
+/// The `locationSch` dimension schema of Figure 3 (hierarchy of
+/// Figure 1(A)).
+pub fn location_sch() -> DimensionSchema {
+    let mut b = HierarchySchema::builder();
+    let store = b.category("Store");
+    let city = b.category("City");
+    let province = b.category("Province");
+    let state = b.category("State");
+    let sale_region = b.category("SaleRegion");
+    let country = b.category("Country");
+    b.edge(store, city);
+    b.edge(store, sale_region);
+    b.edge(city, province);
+    b.edge(city, state);
+    b.edge(city, country);
+    b.edge(province, sale_region);
+    b.edge(state, sale_region);
+    b.edge(state, country);
+    b.edge(sale_region, country);
+    b.edge(country, Category::ALL);
+    let g = Arc::new(b.build().unwrap());
+    DimensionSchema::parse(
+        g,
+        r#"
+        # Figure 3: the locationSch constraints.
+        Store_City
+        Store.SaleRegion
+        City = Washington <-> City_Country
+        City = Washington -> City.Country = USA
+        State.Country = Mexico | State.Country = USA
+        State.Country = Mexico <-> State_SaleRegion
+        Province.Country = Canada
+        "#,
+    )
+    .unwrap()
+}
+
+/// The `location` dimension instance of Figure 1(B).
+pub fn location_instance(ds: &DimensionSchema) -> DimensionInstance {
+    let g = ds.hierarchy_arc();
+    let mut ib = DimensionInstance::builder(g);
+    let sch = ib.schema();
+    let store = cat(sch, "Store");
+    let city = cat(sch, "City");
+    let province = cat(sch, "Province");
+    let state = cat(sch, "State");
+    let sale_region = cat(sch, "SaleRegion");
+    let country = cat(sch, "Country");
+
+    let canada = ib.member("Canada", country);
+    let mexico = ib.member("Mexico", country);
+    let usa = ib.member("USA", country);
+    for m in [canada, mexico, usa] {
+        ib.link_to_all(m);
+    }
+    let east = ib.member("East", sale_region);
+    let west = ib.member("West", sale_region);
+    let us_region = ib.member("USRegion", sale_region);
+    ib.link(east, canada);
+    ib.link(west, mexico);
+    ib.link(us_region, usa);
+    let ontario = ib.member("Ontario", province);
+    ib.link(ontario, east);
+    let df = ib.member("DF", state);
+    ib.link(df, west);
+    let texas = ib.member("Texas", state);
+    ib.link(texas, usa);
+    let toronto = ib.member("Toronto", city);
+    ib.link(toronto, ontario);
+    let mexico_city = ib.member("MexicoCity", city);
+    ib.link(mexico_city, df);
+    let austin = ib.member("Austin", city);
+    ib.link(austin, texas);
+    let washington = ib.member("Washington", city);
+    ib.link(washington, usa);
+    for (key, c, sr) in [
+        ("s1", toronto, None),
+        ("s2", toronto, None),
+        ("s3", mexico_city, None),
+        ("s4", austin, Some(us_region)),
+        ("s5", washington, Some(us_region)),
+    ] {
+        let s = ib.member(key, store);
+        ib.link(s, c);
+        if let Some(r) = sr {
+            ib.link(s, r);
+        }
+    }
+    ib.build().expect("Figure 1(B) instance must satisfy C1–C7")
+}
+
+fn location() -> CatalogEntry {
+    let schema = location_sch();
+    let instance = location_instance(&schema);
+    let g = schema.hierarchy();
+    let queries = vec![
+        (cat(g, "Country"), vec![cat(g, "City")]),
+        (cat(g, "Country"), vec![cat(g, "SaleRegion")]),
+        (cat(g, "Country"), vec![cat(g, "State"), cat(g, "Province")]),
+        (
+            cat(g, "SaleRegion"),
+            vec![cat(g, "State"), cat(g, "Province")],
+        ),
+        (Category::ALL, vec![cat(g, "Country")]),
+    ];
+    CatalogEntry {
+        name: "location",
+        description: "The paper's running example: a retailer with stores \
+                      in Canada (provinces), Mexico and the USA (states), \
+                      and Washington rolling up straight to its country.",
+        schema,
+        instance,
+        queries,
+    }
+}
+
+fn product() -> CatalogEntry {
+    let mut b = HierarchySchema::builder();
+    let product = b.category("Product");
+    let brand = b.category("Brand");
+    let company = b.category("Company");
+    let line = b.category("Line");
+    let department = b.category("Department");
+    b.edge(product, brand);
+    b.edge(product, line);
+    b.edge(brand, company);
+    b.edge(line, department);
+    b.edge_to_all(company);
+    b.edge_to_all(department);
+    let g = Arc::new(b.build().unwrap());
+    let schema = DimensionSchema::parse(
+        g,
+        r#"
+        Product_Line
+        Line_Department
+        Brand_Company
+        # Store-brand generics carry no Brand; everything else does.
+        Product.Department = Generics <-> !Product_Brand
+        "#,
+    )
+    .unwrap();
+
+    let g = schema.hierarchy_arc();
+    let mut ib = DimensionInstance::builder(g);
+    let sch = ib.schema();
+    let (product, brand, company, line, department) = (
+        cat(sch, "Product"),
+        cat(sch, "Brand"),
+        cat(sch, "Company"),
+        cat(sch, "Line"),
+        cat(sch, "Department"),
+    );
+    let electronics = ib.member("Electronics", department);
+    let generics = ib.member("Generics", department);
+    ib.link_to_all(electronics);
+    ib.link_to_all(generics);
+    let tv_line = ib.member("Televisions", line);
+    ib.link(tv_line, electronics);
+    let staples = ib.member("Staples", line);
+    ib.link(staples, generics);
+    let acme_corp = ib.member("AcmeCorp", company);
+    ib.link_to_all(acme_corp);
+    let acme = ib.member("Acme", brand);
+    ib.link(acme, acme_corp);
+    let p1 = ib.member("tv-55in", product);
+    ib.link(p1, acme);
+    ib.link(p1, tv_line);
+    let p2 = ib.member("rice-1kg", product);
+    ib.link(p2, staples);
+    let instance = ib.build().expect("product instance must satisfy C1–C7");
+
+    let g = schema.hierarchy();
+    let queries = vec![
+        (cat(g, "Department"), vec![cat(g, "Line")]),
+        (cat(g, "Company"), vec![cat(g, "Brand")]),
+        (Category::ALL, vec![cat(g, "Company")]),
+        (Category::ALL, vec![cat(g, "Department")]),
+    ];
+    CatalogEntry {
+        name: "product",
+        description: "Products with a mandatory merchandising line and an \
+                      optional brand: store-brand generics skip the \
+                      Brand→Company branch entirely.",
+        schema,
+        instance,
+        queries,
+    }
+}
+
+fn time() -> CatalogEntry {
+    let mut b = HierarchySchema::builder();
+    let day = b.category("Day");
+    let week = b.category("Week");
+    let month = b.category("Month");
+    let quarter = b.category("Quarter");
+    let year = b.category("Year");
+    b.edge(day, week);
+    b.edge(day, month);
+    b.edge(week, year);
+    b.edge(month, quarter);
+    b.edge(quarter, year);
+    b.edge_to_all(year);
+    let g = Arc::new(b.build().unwrap());
+    let schema = DimensionSchema::parse(
+        g,
+        r#"
+        Day_Week
+        Day_Month
+        Week_Year
+        Month_Quarter
+        Quarter_Year
+        "#,
+    )
+    .unwrap();
+
+    let g2 = schema.hierarchy_arc();
+    let mut ib = DimensionInstance::builder(g2);
+    let sch = ib.schema();
+    let (day, week, month, quarter, year) = (
+        cat(sch, "Day"),
+        cat(sch, "Week"),
+        cat(sch, "Month"),
+        cat(sch, "Quarter"),
+        cat(sch, "Year"),
+    );
+    let y2020 = ib.member("2020", year);
+    ib.link_to_all(y2020);
+    let q1 = ib.member("2020-Q1", quarter);
+    ib.link(q1, y2020);
+    let jan = ib.member("2020-01", month);
+    let feb = ib.member("2020-02", month);
+    ib.link(jan, q1);
+    ib.link(feb, q1);
+    let w5 = ib.member("2020-W05", week);
+    ib.link(w5, y2020);
+    // Week 5 of 2020 straddles January and February.
+    let d0129 = ib.member("2020-01-29", day);
+    let d0201 = ib.member("2020-02-01", day);
+    ib.link(d0129, w5);
+    ib.link(d0129, jan);
+    ib.link(d0201, w5);
+    ib.link(d0201, feb);
+    let instance = ib.build().expect("time instance must satisfy C1–C7");
+
+    let g = schema.hierarchy();
+    let queries = vec![
+        (cat(g, "Year"), vec![cat(g, "Month")]),
+        (cat(g, "Year"), vec![cat(g, "Quarter")]),
+        (cat(g, "Year"), vec![cat(g, "Week")]),
+        (cat(g, "Year"), vec![cat(g, "Week"), cat(g, "Quarter")]),
+        (cat(g, "Quarter"), vec![cat(g, "Week")]),
+    ];
+    CatalogEntry {
+        name: "time",
+        description: "Calendar time with the classic week/month non-nesting: \
+                      days roll up to years along two independent paths, so \
+                      combining Week and Quarter views double-counts.",
+        schema,
+        instance,
+        queries,
+    }
+}
+
+fn organization() -> CatalogEntry {
+    let mut b = HierarchySchema::builder();
+    let employee = b.category("Employee");
+    let team = b.category("Team");
+    let department = b.category("Department");
+    let division = b.category("Division");
+    let agency = b.category("Agency");
+    b.edge(employee, team);
+    b.edge(employee, agency);
+    b.edge(team, department);
+    b.edge(department, division);
+    b.edge_to_all(division);
+    b.edge_to_all(agency);
+    let g = Arc::new(b.build().unwrap());
+    let schema = DimensionSchema::parse(
+        g,
+        r#"
+        # Every worker is either a regular employee (team) or a contractor
+        # (agency), never both.
+        one{Employee_Team, Employee_Agency}
+        Team_Department
+        Department_Division
+        "#,
+    )
+    .unwrap();
+
+    let g2 = schema.hierarchy_arc();
+    let mut ib = DimensionInstance::builder(g2);
+    let sch = ib.schema();
+    let (employee, team, department, division, agency) = (
+        cat(sch, "Employee"),
+        cat(sch, "Team"),
+        cat(sch, "Department"),
+        cat(sch, "Division"),
+        cat(sch, "Agency"),
+    );
+    let north = ib.member("North", division);
+    ib.link_to_all(north);
+    let eng = ib.member("Engineering", department);
+    ib.link(eng, north);
+    let kernel = ib.member("Kernel", team);
+    ib.link(kernel, eng);
+    let staffco = ib.member("StaffCo", agency);
+    ib.link_to_all(staffco);
+    let e1 = ib.member("alice", employee);
+    ib.link(e1, kernel);
+    let e2 = ib.member("bob", employee);
+    ib.link(e2, kernel);
+    let e3 = ib.member("carol-contractor", employee);
+    ib.link(e3, staffco);
+    let instance = ib
+        .build()
+        .expect("organization instance must satisfy C1–C7");
+
+    let g = schema.hierarchy();
+    let queries = vec![
+        (cat(g, "Division"), vec![cat(g, "Department")]),
+        (Category::ALL, vec![cat(g, "Division")]),
+        (Category::ALL, vec![cat(g, "Division"), cat(g, "Agency")]),
+        (cat(g, "Department"), vec![cat(g, "Team")]),
+    ];
+    CatalogEntry {
+        name: "organization",
+        description: "A workforce dimension where regular employees report \
+                      through teams and departments while contractors hang \
+                      off staffing agencies outside the divisional \
+                      hierarchy.",
+        schema,
+        instance,
+        queries,
+    }
+}
+
+fn healthcare() -> CatalogEntry {
+    let mut b = HierarchySchema::builder();
+    let patient = b.category("Patient");
+    let ward = b.category("Ward");
+    let clinic = b.category("Clinic");
+    let hospital = b.category("Hospital");
+    let network = b.category("Network");
+    b.edge(patient, ward);
+    b.edge(patient, clinic);
+    b.edge(ward, hospital);
+    b.edge(clinic, hospital);
+    b.edge(hospital, network);
+    b.edge_to_all(network);
+    let g = Arc::new(b.build().unwrap());
+    let schema = DimensionSchema::parse(
+        g,
+        r#"
+        # Inpatients are admitted to wards, outpatients to clinics.
+        one{Patient_Ward, Patient_Clinic}
+        Ward_Hospital
+        Clinic_Hospital
+        Hospital_Network
+        "#,
+    )
+    .unwrap();
+
+    let g2 = schema.hierarchy_arc();
+    let mut ib = DimensionInstance::builder(g2);
+    let sch = ib.schema();
+    let (patient, ward, clinic, hospital, network) = (
+        cat(sch, "Patient"),
+        cat(sch, "Ward"),
+        cat(sch, "Clinic"),
+        cat(sch, "Hospital"),
+        cat(sch, "Network"),
+    );
+    let net = ib.member("MetroHealth", network);
+    ib.link_to_all(net);
+    let general = ib.member("General", hospital);
+    ib.link(general, net);
+    let icu = ib.member("ICU", ward);
+    ib.link(icu, general);
+    let derma = ib.member("Dermatology", clinic);
+    ib.link(derma, general);
+    let p1 = ib.member("patient-001", patient);
+    ib.link(p1, icu);
+    let p2 = ib.member("patient-002", patient);
+    ib.link(p2, derma);
+    let instance = ib.build().expect("healthcare instance must satisfy C1–C7");
+
+    let g = schema.hierarchy();
+    let queries = vec![
+        (cat(g, "Hospital"), vec![cat(g, "Ward")]),
+        (cat(g, "Hospital"), vec![cat(g, "Ward"), cat(g, "Clinic")]),
+        (cat(g, "Network"), vec![cat(g, "Hospital")]),
+        (Category::ALL, vec![cat(g, "Network")]),
+    ];
+    CatalogEntry {
+        name: "healthcare",
+        description: "Patient encounters split between inpatient wards and \
+                      outpatient clinics; hospital-level aggregates need \
+                      both branches.",
+        schema,
+        instance,
+        queries,
+    }
+}
+
+fn geography() -> CatalogEntry {
+    let mut b = HierarchySchema::builder();
+    let city = b.category("City");
+    let province = b.category("Province");
+    let state = b.category("State");
+    let country = b.category("Country");
+    let continent = b.category("Continent");
+    b.edge(city, province);
+    b.edge(city, state);
+    b.edge(city, country);
+    b.edge(province, country);
+    b.edge(state, country);
+    b.edge(country, continent);
+    b.edge_to_all(continent);
+    let g = Arc::new(b.build().unwrap());
+    let schema = DimensionSchema::parse(
+        g,
+        r#"
+        # Every city belongs to exactly one first-level division — or, in
+        # microstates, directly to the country.
+        one{City_Province, City_State, City_Country}
+        Province_Country
+        State_Country
+        Country_Continent
+        # No European city uses states.
+        City.Continent = Europe -> !City_State
+        "#,
+    )
+    .unwrap();
+
+    let g2 = schema.hierarchy_arc();
+    let mut ib = DimensionInstance::builder(g2);
+    let sch = ib.schema();
+    let (city, province, state, country, continent) = (
+        cat(sch, "City"),
+        cat(sch, "Province"),
+        cat(sch, "State"),
+        cat(sch, "Country"),
+        cat(sch, "Continent"),
+    );
+    let na = ib.member("NorthAmerica", continent);
+    let europe = ib.member("Europe", continent);
+    ib.link_to_all(na);
+    ib.link_to_all(europe);
+    let canada = ib.member("Canada", country);
+    let usa = ib.member("USA", country);
+    let monaco_c = ib.member("Monaco", country);
+    ib.link(canada, na);
+    ib.link(usa, na);
+    ib.link(monaco_c, europe);
+    let ontario = ib.member("Ontario", province);
+    ib.link(ontario, canada);
+    let texas = ib.member("Texas", state);
+    ib.link(texas, usa);
+    let toronto = ib.member("Toronto", city);
+    ib.link(toronto, ontario);
+    let austin = ib.member("Austin", city);
+    ib.link(austin, texas);
+    let monaco_ville = ib.member("Monaco-Ville", city);
+    ib.link(monaco_ville, monaco_c);
+    let instance = ib.build().expect("geography instance must satisfy C1–C7");
+
+    let g = schema.hierarchy();
+    let queries = vec![
+        (cat(g, "Country"), vec![cat(g, "Province"), cat(g, "State")]),
+        (
+            cat(g, "Country"),
+            vec![cat(g, "Province"), cat(g, "State"), cat(g, "City")],
+        ),
+        (cat(g, "Continent"), vec![cat(g, "Country")]),
+        (Category::ALL, vec![cat(g, "Continent")]),
+    ];
+    CatalogEntry {
+        name: "geography",
+        description: "World geography with provinces, states, and \
+                      microstates whose cities roll straight up to the \
+                      country.",
+        schema,
+        instance,
+        queries,
+    }
+}
+
+/// Price-driven shelving: the Section-6 ordered-atom extension in a
+/// realistic shape. Products shelve by their price band's numeric value.
+fn pricing() -> CatalogEntry {
+    let mut b = HierarchySchema::builder();
+    let product = b.category("Product");
+    let price = b.category("Price");
+    let premium = b.category("PremiumShelf");
+    let regular = b.category("RegularShelf");
+    let warehouse = b.category("Warehouse");
+    b.edge(product, price);
+    b.edge(product, premium);
+    b.edge(product, regular);
+    b.edge(premium, warehouse);
+    b.edge(regular, warehouse);
+    b.edge_to_all(price);
+    b.edge_to_all(warehouse);
+    let g = Arc::new(b.build().unwrap());
+    let schema = DimensionSchema::parse(
+        g,
+        r#"
+        Product_Price
+        PremiumShelf_Warehouse
+        RegularShelf_Warehouse
+        # Shelving is decided by the price (Section 6 ordered atoms).
+        Product.Price >= 100 <-> Product_PremiumShelf
+        Product.Price < 100 <-> Product_RegularShelf
+        Product.Price < 100 | Product.Price >= 100
+        "#,
+    )
+    .unwrap();
+
+    let g2 = schema.hierarchy_arc();
+    let mut ib = DimensionInstance::builder(g2);
+    let sch = ib.schema();
+    let (product, price, premium, regular, warehouse) = (
+        cat(sch, "Product"),
+        cat(sch, "Price"),
+        cat(sch, "PremiumShelf"),
+        cat(sch, "RegularShelf"),
+        cat(sch, "Warehouse"),
+    );
+    let w = ib.member("central", warehouse);
+    ib.link_to_all(w);
+    let shelf_p = ib.member("premium-shelf", premium);
+    let shelf_r = ib.member("regular-shelf", regular);
+    ib.link(shelf_p, w);
+    ib.link(shelf_r, w);
+    let p250 = ib.member_named("band-250", price, "250");
+    let p60 = ib.member_named("band-60", price, "60");
+    ib.link_to_all(p250);
+    ib.link_to_all(p60);
+    for (key, band, shelf) in [
+        ("watch", p250, shelf_p),
+        ("pencil", p60, shelf_r),
+        ("mug", p60, shelf_r),
+    ] {
+        let m = ib.member(key, product);
+        ib.link(m, band);
+        ib.link(m, shelf);
+    }
+    let instance = ib.build().expect("pricing instance must satisfy C1–C7");
+
+    let g = schema.hierarchy();
+    let queries = vec![
+        (
+            cat(g, "Warehouse"),
+            vec![cat(g, "PremiumShelf"), cat(g, "RegularShelf")],
+        ),
+        (cat(g, "Warehouse"), vec![cat(g, "PremiumShelf")]),
+        (Category::ALL, vec![cat(g, "Warehouse")]),
+        (Category::ALL, vec![cat(g, "Price")]),
+    ];
+    CatalogEntry {
+        name: "pricing",
+        description: "Price-driven shelving via ordered atoms: products \
+                      with a price of at least 100 take the premium shelf, \
+                      the rest the regular shelf — the paper's own \
+                      future-work example made concrete.",
+        schema,
+        instance,
+        queries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odc_dimsat::Dimsat;
+
+    #[test]
+    fn catalog_has_seven_entries_with_unique_names() {
+        let c = catalog();
+        assert_eq!(c.len(), 7);
+        let mut names: Vec<&str> = c.iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 7);
+    }
+
+    #[test]
+    fn every_instance_is_admitted_by_its_schema() {
+        for entry in catalog() {
+            assert!(
+                entry.schema.admits(&entry.instance),
+                "{}: instance violates Σ: {:?}",
+                entry.name,
+                entry
+                    .schema
+                    .violated_by(&entry.instance)
+                    .iter()
+                    .map(
+                        |dc| odc_constraint::printer::display_dc(entry.schema.hierarchy(), dc)
+                            .to_string()
+                    )
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn every_category_is_satisfiable() {
+        for entry in catalog() {
+            let solver = Dimsat::new(&entry.schema);
+            let unsat = solver.unsatisfiable_categories();
+            assert!(
+                unsat.is_empty(),
+                "{}: unsatisfiable categories {:?}",
+                entry.name,
+                unsat
+                    .iter()
+                    .map(|&c| entry.schema.hierarchy().name(c))
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn queries_reference_valid_categories() {
+        for entry in catalog() {
+            assert!(!entry.queries.is_empty());
+            for (target, sources) in &entry.queries {
+                assert!(target.index() < entry.schema.hierarchy().num_categories());
+                assert!(!sources.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn location_matches_paper_counts() {
+        let e = location();
+        assert_eq!(e.schema.hierarchy().num_categories(), 7);
+        assert_eq!(e.schema.constraints().len(), 7);
+        assert_eq!(e.instance.num_members(), 5 + 4 + 3 + 3 + 3 + 1); // stores…all
+    }
+
+    #[test]
+    fn descriptions_are_informative() {
+        for entry in catalog() {
+            assert!(entry.description.len() > 40, "{}", entry.name);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Random fact tables over a dimension instance.
+
+use odc_instance::{DimensionInstance, Member};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Generates `rows` random fact rows over the base members of `d`, with
+/// measures in `[-100, 100]`. Rows are plain pairs so this crate stays
+/// independent of `odc-olap`; collect them into an
+/// `odc_olap::FactTable` with `FactTable::from_rows`.
+pub fn random_fact_rows(
+    d: &DimensionInstance,
+    rows: usize,
+    rng: &mut StdRng,
+) -> Vec<(Member, i64)> {
+    let base = d.base_members();
+    if base.is_empty() {
+        return Vec::new();
+    }
+    (0..rows)
+        .map(|_| {
+            (
+                base[rng.gen_range(0..base.len())],
+                rng.gen_range(-100..=100),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{location_instance, location_sch};
+    use rand::SeedableRng;
+
+    #[test]
+    fn rows_reference_base_members() {
+        let ds = location_sch();
+        let d = location_instance(&ds);
+        let mut rng = StdRng::seed_from_u64(1);
+        let rows = random_fact_rows(&d, 100, &mut rng);
+        assert_eq!(rows.len(), 100);
+        let base = d.base_members();
+        assert!(rows.iter().all(|(m, _)| base.contains(m)));
+    }
+
+    #[test]
+    fn empty_instance_no_rows() {
+        let ds = location_sch();
+        let d = odc_instance::DimensionInstance::builder(ds.hierarchy_arc())
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(random_fact_rows(&d, 10, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ds = location_sch();
+        let d = location_instance(&ds);
+        let a = random_fact_rows(&d, 20, &mut StdRng::seed_from_u64(3));
+        let b = random_fact_rows(&d, 20, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,312 @@
+//! Random dimension-schema generation for the scaling experiments (E7).
+//!
+//! Schemas are layered DAGs: one bottom category, `layers` layers of
+//! `width` categories, everything eventually reaching `All`. Heterogeneity
+//! comes from categories with several parents; `Σ` is generated from
+//! templates that mirror how practitioners write constraints (mostly
+//! *into* constraints, plus value-conditional exceptions) — which is
+//! exactly the regime where the paper conjectures DIMSAT behaves well.
+
+use odc_constraint::{parse_constraint, Constraint, DimensionConstraint, DimensionSchema};
+use odc_hierarchy::{Category, HierarchySchema};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::sync::Arc;
+
+/// Parameters of the random schema generator.
+#[derive(Debug, Clone, Copy)]
+pub struct SchemaGenParams {
+    /// Number of internal layers between the bottom category and `All`.
+    pub layers: usize,
+    /// Categories per layer.
+    pub width: usize,
+    /// Probability of an extra parent edge (heterogeneity knob).
+    pub extra_edge_prob: f64,
+    /// Fraction of categories whose first parent edge becomes an *into*
+    /// constraint (the "practical" regime of Section 5).
+    pub into_fraction: f64,
+    /// Constants per constrained category (the `N_K` knob of
+    /// Proposition 4).
+    pub constants_per_category: usize,
+    /// Number of value-conditional exception constraints.
+    pub exceptions: usize,
+    /// Number of ordered-atom (threshold) exception constraints — the
+    /// Section 6 extension.
+    pub ordered_exceptions: usize,
+}
+
+impl Default for SchemaGenParams {
+    fn default() -> Self {
+        SchemaGenParams {
+            layers: 3,
+            width: 3,
+            extra_edge_prob: 0.3,
+            into_fraction: 0.8,
+            constants_per_category: 2,
+            exceptions: 2,
+            ordered_exceptions: 0,
+        }
+    }
+}
+
+/// Generates a random dimension schema.
+#[allow(clippy::needless_range_loop)]
+pub fn random_schema(params: &SchemaGenParams, rng: &mut StdRng) -> DimensionSchema {
+    let mut b = HierarchySchema::builder();
+    let bottom = b.category("B");
+    let mut layers: Vec<Vec<Category>> = vec![vec![bottom]];
+    for l in 0..params.layers {
+        let layer: Vec<Category> = (0..params.width)
+            .map(|i| b.category(&format!("L{l}C{i}")))
+            .collect();
+        layers.push(layer);
+    }
+    // Spine: every category gets one parent in the next layer (or All).
+    for li in 0..layers.len() {
+        let above: Vec<Category> = if li + 1 < layers.len() {
+            layers[li + 1].clone()
+        } else {
+            vec![Category::ALL]
+        };
+        for i in 0..layers[li].len() {
+            let c = layers[li][i];
+            let p = above[rng.gen_range(0..above.len())];
+            b.edge(c, p);
+            // Extra edges: same layer above or any higher layer.
+            for lj in (li + 1)..layers.len() {
+                for &p2 in &layers[lj] {
+                    if p2 != p && rng.gen_bool(params.extra_edge_prob / (lj - li) as f64) {
+                        b.edge(c, p2);
+                    }
+                }
+            }
+            if li + 1 < layers.len() && rng.gen_bool(params.extra_edge_prob / 4.0) {
+                b.edge(c, Category::ALL); // occasional skip to the top
+            }
+        }
+    }
+    let g = Arc::new(b.build().expect("generated schema is valid"));
+
+    // Σ: into constraints on a fraction of categories…
+    let mut sigma: Vec<DimensionConstraint> = Vec::new();
+    for c in g.categories() {
+        if c.is_all() || g.parents(c).is_empty() {
+            continue;
+        }
+        if rng.gen_bool(params.into_fraction) {
+            let p = g.parents(c)[0];
+            sigma.push(
+                parse_constraint(&g, &format!("{}_{}", g.name(c), g.name(p)))
+                    .expect("into constraint parses"),
+            );
+        }
+    }
+    // …plus value-conditional exceptions on multi-parent categories.
+    let multi: Vec<Category> = g
+        .categories()
+        .filter(|&c| !c.is_all() && g.parents(c).len() >= 2)
+        .collect();
+    for e in 0..params.exceptions {
+        if multi.is_empty() {
+            break;
+        }
+        let c = multi[rng.gen_range(0..multi.len())];
+        let parents = g.parents(c);
+        let p1 = parents[rng.gen_range(0..parents.len())];
+        // Pick an ancestor category to condition on.
+        let anc: Vec<Category> = g
+            .reachable_from(c)
+            .iter()
+            .filter(|&a| !a.is_all() && a != c)
+            .collect();
+        if anc.is_empty() {
+            continue;
+        }
+        let t = anc[rng.gen_range(0..anc.len())];
+        let k = rng.gen_range(0..params.constants_per_category.max(1));
+        let src = format!(
+            "{}.{} = k{} -> {}_{}",
+            g.name(c),
+            g.name(t),
+            k,
+            g.name(c),
+            g.name(p1)
+        );
+        sigma.push(parse_constraint(&g, &src).expect("exception constraint parses"));
+        let _ = e;
+    }
+    // Ordered exceptions (Section 6 extension): threshold-conditioned
+    // edge choices, e.g. `c.t >= 40 -> c_p1`. Kept one-sided so the
+    // generated schema stays satisfiable in the generic case.
+    for _ in 0..params.ordered_exceptions {
+        if multi.is_empty() {
+            break;
+        }
+        let c = multi[rng.gen_range(0..multi.len())];
+        let parents = g.parents(c);
+        let p1 = parents[rng.gen_range(0..parents.len())];
+        let anc: Vec<Category> = g
+            .reachable_from(c)
+            .iter()
+            .filter(|&a| !a.is_all() && a != c)
+            .collect();
+        if anc.is_empty() {
+            continue;
+        }
+        let t = anc[rng.gen_range(0..anc.len())];
+        let threshold = rng.gen_range(-50i64..=50);
+        let op = ["<", "<=", ">", ">="][rng.gen_range(0..4)];
+        let src = format!(
+            "{}.{} {} {} -> {}_{}",
+            g.name(c),
+            g.name(t),
+            op,
+            threshold,
+            g.name(c),
+            g.name(p1)
+        );
+        sigma.push(parse_constraint(&g, &src).expect("ordered constraint parses"));
+    }
+    DimensionSchema::new(g, sigma)
+}
+
+/// Generates a chain schema (`B → C1 → … → Cn → All`) with `n` categories
+/// and one into constraint per edge — the easiest possible instance, used
+/// as a baseline curve in E7.
+pub fn chain_schema(n: usize) -> DimensionSchema {
+    let mut b = HierarchySchema::builder();
+    let mut prev = b.category("B");
+    let mut cats = vec![prev];
+    for i in 0..n {
+        let c = b.category(&format!("C{i}"));
+        b.edge(prev, c);
+        prev = c;
+        cats.push(c);
+    }
+    b.edge_to_all(prev);
+    let g = Arc::new(b.build().unwrap());
+    let mut sigma = Vec::new();
+    for w in cats.windows(2) {
+        sigma.push(DimensionConstraint::new(
+            w[0],
+            Constraint::path(vec![w[0], w[1]]),
+        ));
+    }
+    DimensionSchema::new(g, sigma)
+}
+
+/// A worst-case family for the subhierarchy search: one bottom below a
+/// complete bipartite-ish stack of `width`-ary layers and **no**
+/// constraints at all — every acyclic shortcut-free subhierarchy must be
+/// enumerated in enumeration mode.
+pub fn dense_unconstrained_schema(layers: usize, width: usize) -> DimensionSchema {
+    let mut b = HierarchySchema::builder();
+    let bottom = b.category("B");
+    let mut prev = vec![bottom];
+    for l in 0..layers {
+        let layer: Vec<Category> = (0..width)
+            .map(|i| b.category(&format!("L{l}C{i}")))
+            .collect();
+        for &c in &prev {
+            for &p in &layer {
+                b.edge(c, p);
+            }
+        }
+        prev = layer;
+    }
+    for &c in &prev {
+        b.edge_to_all(c);
+    }
+    let g = Arc::new(b.build().unwrap());
+    DimensionSchema::new(g, Vec::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_schema_is_well_formed() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let ds = random_schema(&SchemaGenParams::default(), &mut rng);
+            let g = ds.hierarchy();
+            assert!(g.num_categories() >= 2);
+            // Every constraint's atoms are well-formed (checked by
+            // DimensionSchema::new), and the bottom exists.
+            assert!(g.category_by_name("B").is_some());
+            assert!(!g.has_cycle(), "layered generation is acyclic");
+        }
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let p = SchemaGenParams::default();
+        let a = random_schema(&p, &mut StdRng::seed_from_u64(42));
+        let b = random_schema(&p, &mut StdRng::seed_from_u64(42));
+        assert_eq!(
+            a.hierarchy().num_categories(),
+            b.hierarchy().num_categories()
+        );
+        assert_eq!(a.hierarchy().num_edges(), b.hierarchy().num_edges());
+        assert_eq!(a.constraints().len(), b.constraints().len());
+    }
+
+    #[test]
+    fn size_scales_with_params() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let small = random_schema(
+            &SchemaGenParams {
+                layers: 2,
+                width: 2,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let large = random_schema(
+            &SchemaGenParams {
+                layers: 5,
+                width: 4,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        assert!(large.hierarchy().num_categories() > small.hierarchy().num_categories());
+        assert_eq!(large.hierarchy().num_categories(), 2 + 5 * 4);
+    }
+
+    #[test]
+    fn chain_schema_shape() {
+        let ds = chain_schema(5);
+        let g = ds.hierarchy();
+        assert_eq!(g.num_categories(), 7); // B, C0..C4, All
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(ds.into_constraints().len(), 5);
+        assert!(!g.has_cycle());
+    }
+
+    #[test]
+    fn dense_schema_shape() {
+        let ds = dense_unconstrained_schema(2, 3);
+        let g = ds.hierarchy();
+        assert_eq!(g.num_categories(), 1 + 6 + 1);
+        // B→3 + 3×3 + 3→All = 15 edges.
+        assert_eq!(g.num_edges(), 15);
+        assert!(ds.constraints().is_empty());
+    }
+
+    #[test]
+    fn into_fraction_zero_yields_no_intos() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let ds = random_schema(
+            &SchemaGenParams {
+                into_fraction: 0.0,
+                exceptions: 0,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        assert!(ds.into_constraints().is_empty());
+    }
+}

@@ -1,0 +1,207 @@
+//! Random *valid* dimension instances over a schema.
+//!
+//! Sampling a heterogeneous instance that satisfies C1–C7 **and** `Σ` is
+//! nontrivial; we lean on the paper's own machinery: every structure a
+//! member can legally have is one of the schema's frozen dimensions
+//! (Theorem 3). Each base member therefore instantiates a randomly chosen
+//! frozen dimension; sharing of upper members happens by *grafting* —
+//! reusing the upward-closed suffix of a previously built chain of the
+//! same structure — which preserves C2/C5/C6 by construction, and `Σ` by
+//! Definition 5.
+
+use odc_constraint::DimensionSchema;
+use odc_dimsat::Dimsat;
+use odc_frozen::{ConstTable, FrozenDimension};
+use odc_hierarchy::Category;
+use odc_instance::{DimensionInstance, Member};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Generates a random instance over `ds` with `n_base` members in the
+/// given bottom category. `share_prob` is the probability that a new
+/// member grafts onto an existing chain instead of building a fresh one.
+///
+/// Returns `None` when the bottom category is unsatisfiable (no frozen
+/// dimension exists).
+pub fn random_instance(
+    ds: &DimensionSchema,
+    bottom: Category,
+    n_base: usize,
+    share_prob: f64,
+    rng: &mut StdRng,
+) -> Option<DimensionInstance> {
+    let (mut frozen, _) = Dimsat::new(ds).enumerate_frozen(bottom);
+    if frozen.is_empty() {
+        return None;
+    }
+    // Keep the candidate pool small on pathological schemas.
+    frozen.truncate(64);
+    let consts = ConstTable::new(ds);
+
+    let g = ds.hierarchy_arc();
+    let mut ib = DimensionInstance::builder(g.clone());
+    // Per frozen structure: previously built chains (category → member).
+    let mut chains: Vec<Vec<HashMap<Category, Member>>> = vec![Vec::new(); frozen.len()];
+    // Topological orders of each frozen subhierarchy, bottom-up.
+    let topos: Vec<Vec<Category>> = frozen.iter().map(topo_of).collect();
+
+    let mut fresh = 0usize;
+    for _ in 0..n_base {
+        let fi = rng.gen_range(0..frozen.len());
+        let f = &frozen[fi];
+        let topo = &topos[fi];
+        // Choose a graft: reuse the suffix (upward-closed) of an existing
+        // chain of the same structure.
+        let (graft_from, cut) = if !chains[fi].is_empty() && rng.gen_bool(share_prob) {
+            let donor = rng.gen_range(0..chains[fi].len());
+            // Cut index 1..=len-1: always rebuild the base member itself,
+            // always reuse at least `All`.
+            (Some(donor), rng.gen_range(1..topo.len()))
+        } else {
+            (None, topo.len())
+        };
+
+        let mut chain: HashMap<Category, Member> = HashMap::new();
+        chain.insert(Category::ALL, ib.all());
+        // Reused suffix.
+        if let Some(donor) = graft_from {
+            let donor_chain = chains[fi][donor].clone();
+            for &c in &topo[cut..] {
+                chain.insert(c, donor_chain[&c]);
+            }
+        }
+        // Fresh prefix, built top-down within the prefix so parents exist
+        // before children link to them.
+        let limit = if graft_from.is_some() {
+            cut
+        } else {
+            topo.len()
+        };
+        for idx in (0..limit).rev() {
+            let c = topo[idx];
+            if c.is_all() {
+                continue;
+            }
+            fresh += 1;
+            let name = f.name_of(&consts, c);
+            let key = format!("·{}#{}", ds.hierarchy().name(c), fresh);
+            let m = ib.member_named(&key, c, &name);
+            chain.insert(c, m);
+        }
+        // Link every fresh member along the frozen edges.
+        for idx in (0..limit).rev() {
+            let c = topo[idx];
+            if c.is_all() {
+                continue;
+            }
+            let m = chain[&c];
+            for &p in f.subhierarchy().parents(c) {
+                ib.link(m, chain[&p]);
+            }
+        }
+        chains[fi].push(chain);
+    }
+    let d = ib.build_unchecked();
+    debug_assert!(
+        odc_instance::validate(&d).is_ok(),
+        "generated instance violates C1–C7"
+    );
+    Some(d)
+}
+
+/// Topological order of the frozen subhierarchy's categories, children
+/// before parents, ending at `All`.
+fn topo_of(f: &FrozenDimension) -> Vec<Category> {
+    let sub = f.subhierarchy();
+    let cats: Vec<Category> = sub.categories().iter().collect();
+    let mut indeg: HashMap<Category, usize> = cats.iter().map(|&c| (c, 0)).collect();
+    for (_, p) in sub.edges() {
+        *indeg.get_mut(&p).unwrap() += 1;
+    }
+    let mut queue: Vec<Category> = cats.iter().copied().filter(|c| indeg[c] == 0).collect();
+    let mut out = Vec::with_capacity(cats.len());
+    while let Some(c) = queue.pop() {
+        out.push(c);
+        for &p in sub.parents(c) {
+            let e = indeg.get_mut(&p).unwrap();
+            *e -= 1;
+            if *e == 0 {
+                queue.push(p);
+            }
+        }
+    }
+    debug_assert_eq!(out.len(), cats.len(), "frozen subhierarchies are acyclic");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::location_sch;
+    use odc_constraint::eval;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_location_instances_are_valid_and_admitted() {
+        let ds = location_sch();
+        let store = ds.hierarchy().category_by_name("Store").unwrap();
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let d = random_instance(&ds, store, 30, 0.6, &mut rng).unwrap();
+            assert!(odc_instance::validate(&d).is_ok(), "seed {seed}");
+            assert!(
+                eval::satisfies_all(&d, ds.constraints()),
+                "seed {seed}: Σ violated"
+            );
+            assert_eq!(d.members_of(store).len(), 30);
+        }
+    }
+
+    #[test]
+    fn sharing_reduces_member_count() {
+        let ds = location_sch();
+        let store = ds.hierarchy().category_by_name("Store").unwrap();
+        let mut rng1 = StdRng::seed_from_u64(5);
+        let none = random_instance(&ds, store, 40, 0.0, &mut rng1).unwrap();
+        let mut rng2 = StdRng::seed_from_u64(5);
+        let lots = random_instance(&ds, store, 40, 0.95, &mut rng2).unwrap();
+        assert!(
+            lots.num_members() < none.num_members(),
+            "sharing {} !< fresh {}",
+            lots.num_members(),
+            none.num_members()
+        );
+    }
+
+    #[test]
+    fn unsatisfiable_bottom_returns_none() {
+        let ds = location_sch();
+        let g = ds.hierarchy();
+        let ds2 = ds.with_constraint(odc_constraint::parse_constraint(g, "!Store_City").unwrap());
+        // Σ contains Store_City, so Store becomes unsatisfiable.
+        let store = g.category_by_name("Store").unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(random_instance(&ds2, store, 5, 0.5, &mut rng).is_none());
+    }
+
+    #[test]
+    fn heterogeneity_shows_up_in_generated_data() {
+        let ds = location_sch();
+        let store = ds.hierarchy().category_by_name("Store").unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let d = random_instance(&ds, store, 60, 0.5, &mut rng).unwrap();
+        // With 60 stores across 4 frozen structures, Store should be
+        // heterogeneous.
+        assert!(!odc_instance::hetero::is_homogeneous_category(&d, store));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ds = location_sch();
+        let store = ds.hierarchy().category_by_name("Store").unwrap();
+        let a = random_instance(&ds, store, 15, 0.5, &mut StdRng::seed_from_u64(9)).unwrap();
+        let b = random_instance(&ds, store, 15, 0.5, &mut StdRng::seed_from_u64(9)).unwrap();
+        assert_eq!(a.num_members(), b.num_members());
+    }
+}

@@ -1,0 +1,22 @@
+//! # odc-workload
+//!
+//! Workloads for the *OLAP Dimension Constraints* reproduction: the
+//! running example and a catalog of realistic heterogeneous dimensions
+//! ([`mod@catalog`]), parameterized random schema/instance generators for the
+//! scaling experiments ([`generator`], [`instances`], [`facts`]), and the
+//! Theorem-4 SAT reduction that manufactures adversarial instances
+//! ([`satred`]).
+//!
+//! Everything is deterministic given a seed (`rand::rngs::StdRng`), so
+//! benchmark runs are reproducible.
+
+pub mod catalog;
+pub mod facts;
+pub mod generator;
+pub mod instances;
+pub mod satred;
+
+pub use catalog::{catalog, location_sch, CatalogEntry};
+pub use generator::{random_schema, SchemaGenParams};
+pub use instances::random_instance;
+pub use satred::{encode_sat, random_3sat, CnfFormula};

@@ -1,0 +1,271 @@
+//! The Theorem-4 reduction: SAT ≤ category satisfiability.
+//!
+//! Given a CNF formula over variables `x1…xn`, build a schema with a
+//! bottom `B`, one category `Vi` per variable (edges `B ↗ Vi ↗ All`), and
+//! a spine `B ↗ D ↗ All` (with the into constraint `B_D`) so `B` always
+//! reaches `All` regardless of the chosen variable edges. Each clause
+//! becomes the dimension constraint
+//! `⋁ (B_Vi | positive literal) ∪ (¬B_Vi | negative literal)` rooted at
+//! `B`: a subhierarchy's set of `B ↗ Vi` edges *is* a truth assignment.
+//!
+//! `B` is satisfiable in the resulting schema iff the formula is
+//! satisfiable — which both proves NP-hardness and provides the
+//! adversarial workload of experiment E8. A small DPLL solver supplies
+//! the ground truth for differential testing.
+
+use odc_constraint::{Constraint, DimensionConstraint, DimensionSchema};
+use odc_hierarchy::{Category, HierarchySchema};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::sync::Arc;
+
+/// A CNF formula: clauses of non-zero literals (`±(i+1)` for variable
+/// `i`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CnfFormula {
+    /// Number of variables.
+    pub num_vars: usize,
+    /// Clauses; each literal is `+v` or `-v` with `1 ≤ v ≤ num_vars`.
+    pub clauses: Vec<Vec<i32>>,
+}
+
+impl CnfFormula {
+    /// DPLL with unit propagation — the ground-truth oracle.
+    pub fn is_satisfiable(&self) -> bool {
+        let mut assignment: Vec<Option<bool>> = vec![None; self.num_vars + 1];
+        self.dpll(&mut assignment)
+    }
+
+    fn dpll(&self, assignment: &mut Vec<Option<bool>>) -> bool {
+        // Unit propagation.
+        let mut trail: Vec<usize> = Vec::new();
+        loop {
+            let mut changed = false;
+            for clause in &self.clauses {
+                let mut unassigned: Option<i32> = None;
+                let mut satisfied = false;
+                let mut open = 0;
+                for &lit in clause {
+                    let var = lit.unsigned_abs() as usize;
+                    match assignment[var] {
+                        Some(v) if v == (lit > 0) => {
+                            satisfied = true;
+                            break;
+                        }
+                        Some(_) => {}
+                        None => {
+                            open += 1;
+                            unassigned = Some(lit);
+                        }
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                match open {
+                    0 => {
+                        for &v in &trail {
+                            assignment[v] = None;
+                        }
+                        return false; // conflict
+                    }
+                    1 => {
+                        let lit = unassigned.unwrap();
+                        let var = lit.unsigned_abs() as usize;
+                        assignment[var] = Some(lit > 0);
+                        trail.push(var);
+                        changed = true;
+                    }
+                    _ => {}
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Pick a branching variable.
+        let branch = (1..=self.num_vars).find(|&v| assignment[v].is_none());
+        let result = match branch {
+            None => true, // all assigned, no conflict
+            Some(v) => {
+                let try_value = |val: bool, a: &mut Vec<Option<bool>>| {
+                    a[v] = Some(val);
+                    let r = self.dpll(a);
+                    if !r {
+                        a[v] = None;
+                    }
+                    r
+                };
+                try_value(true, assignment) || try_value(false, assignment)
+            }
+        };
+        if !result {
+            for &v in &trail {
+                assignment[v] = None;
+            }
+        }
+        result
+    }
+}
+
+/// Generates a uniform random k-SAT formula (`k = 3`).
+pub fn random_3sat(num_vars: usize, num_clauses: usize, rng: &mut StdRng) -> CnfFormula {
+    assert!(num_vars >= 3);
+    let mut clauses = Vec::with_capacity(num_clauses);
+    for _ in 0..num_clauses {
+        let mut vars: Vec<usize> = Vec::with_capacity(3);
+        while vars.len() < 3 {
+            let v = rng.gen_range(1..=num_vars);
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+        let clause: Vec<i32> = vars
+            .into_iter()
+            .map(|v| {
+                if rng.gen_bool(0.5) {
+                    v as i32
+                } else {
+                    -(v as i32)
+                }
+            })
+            .collect();
+        clauses.push(clause);
+    }
+    CnfFormula { num_vars, clauses }
+}
+
+/// Encodes a CNF formula as a dimension schema. Returns the schema and
+/// the bottom category `B` whose satisfiability equals the formula's.
+pub fn encode_sat(formula: &CnfFormula) -> (DimensionSchema, Category) {
+    let mut b = HierarchySchema::builder();
+    let bottom = b.category("B");
+    let spine = b.category("D");
+    b.edge(bottom, spine);
+    b.edge_to_all(spine);
+    let vars: Vec<Category> = (1..=formula.num_vars)
+        .map(|v| {
+            let c = b.category(&format!("V{v}"));
+            b.edge(bottom, c);
+            b.edge_to_all(c);
+            c
+        })
+        .collect();
+    let g = Arc::new(b.build().unwrap());
+
+    let mut sigma: Vec<DimensionConstraint> = Vec::new();
+    // The spine keeps B satisfiable structurally (C7/Definition 7).
+    sigma.push(DimensionConstraint::new(
+        bottom,
+        Constraint::path(vec![bottom, spine]),
+    ));
+    for clause in &formula.clauses {
+        let disjuncts: Vec<Constraint> = clause
+            .iter()
+            .map(|&lit| {
+                let atom = Constraint::path(vec![bottom, vars[(lit.unsigned_abs() - 1) as usize]]);
+                if lit > 0 {
+                    atom
+                } else {
+                    Constraint::not(atom)
+                }
+            })
+            .collect();
+        sigma.push(DimensionConstraint::new(bottom, Constraint::Or(disjuncts)));
+    }
+    (DimensionSchema::new(g, sigma), bottom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odc_dimsat::Dimsat;
+    use rand::SeedableRng;
+
+    fn f(num_vars: usize, clauses: &[&[i32]]) -> CnfFormula {
+        CnfFormula {
+            num_vars,
+            clauses: clauses.iter().map(|c| c.to_vec()).collect(),
+        }
+    }
+
+    #[test]
+    fn dpll_basic_cases() {
+        assert!(f(1, &[&[1]]).is_satisfiable());
+        assert!(!f(1, &[&[1], &[-1]]).is_satisfiable());
+        assert!(f(2, &[&[1, 2], &[-1, 2], &[1, -2]]).is_satisfiable());
+        assert!(!f(2, &[&[1, 2], &[-1, 2], &[1, -2], &[-1, -2]]).is_satisfiable());
+        assert!(f(3, &[]).is_satisfiable(), "empty CNF is satisfiable");
+    }
+
+    #[test]
+    fn dpll_unit_propagation_chain() {
+        // x1, x1→x2, x2→x3, ¬x3: unsat via pure propagation.
+        assert!(!f(3, &[&[1], &[-1, 2], &[-2, 3], &[-3]]).is_satisfiable());
+    }
+
+    #[test]
+    fn reduction_matches_dpll_on_fixed_formulas() {
+        for (formula, expected) in [
+            (f(2, &[&[1, 2]]), true),
+            (f(2, &[&[1], &[-1]]), false),
+            (f(3, &[&[1, 2, 3], &[-1, -2, -3], &[1, -2, 3]]), true),
+            (f(2, &[&[1, 2], &[-1, 2], &[1, -2], &[-1, -2]]), false),
+        ] {
+            let (ds, bottom) = encode_sat(&formula);
+            let out = Dimsat::new(&ds).category_satisfiable(bottom);
+            assert_eq!(out.satisfiable, expected, "{formula:?}");
+            assert_eq!(formula.is_satisfiable(), expected);
+        }
+    }
+
+    #[test]
+    fn reduction_matches_dpll_on_random_formulas() {
+        let mut rng = StdRng::seed_from_u64(2024);
+        for _ in 0..25 {
+            let formula = random_3sat(5, rng.gen_range(5..25), &mut rng);
+            let expected = formula.is_satisfiable();
+            let (ds, bottom) = encode_sat(&formula);
+            let got = Dimsat::new(&ds).category_satisfiable(bottom).satisfiable;
+            assert_eq!(got, expected, "{formula:?}");
+        }
+    }
+
+    #[test]
+    fn satisfying_subhierarchy_encodes_assignment() {
+        let formula = f(3, &[&[1, -2], &[2, 3]]);
+        let (ds, bottom) = encode_sat(&formula);
+        let out = Dimsat::new(&ds).category_satisfiable(bottom);
+        let w = out.witness.unwrap();
+        // Read the assignment off the witness: vi true iff B ↗ Vi edge.
+        let g = ds.hierarchy();
+        let assignment: Vec<bool> = (1..=3)
+            .map(|v| {
+                let vc = g.category_by_name(&format!("V{v}")).unwrap();
+                w.subhierarchy().has_edge(bottom, vc)
+            })
+            .collect();
+        // Check it satisfies the formula.
+        for clause in &formula.clauses {
+            assert!(clause.iter().any(|&lit| {
+                let val = assignment[(lit.unsigned_abs() - 1) as usize];
+                (lit > 0) == val
+            }));
+        }
+    }
+
+    #[test]
+    fn random_3sat_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let formula = random_3sat(10, 42, &mut rng);
+        assert_eq!(formula.clauses.len(), 42);
+        for clause in &formula.clauses {
+            assert_eq!(clause.len(), 3);
+            let mut vars: Vec<u32> = clause.iter().map(|l| l.unsigned_abs()).collect();
+            vars.sort_unstable();
+            vars.dedup();
+            assert_eq!(vars.len(), 3, "distinct variables per clause");
+            assert!(vars.iter().all(|&v| (1..=10).contains(&v)));
+        }
+    }
+}

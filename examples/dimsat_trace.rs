@@ -1,0 +1,64 @@
+//! Traced execution of `DIMSAT(locationSch, Store)` — the Figure 7 view:
+//! the successive states of the subhierarchy variable `g` as EXPAND grows
+//! it, and the CHECK calls that decide whether each complete subhierarchy
+//! induces a frozen dimension.
+//!
+//! Run with: `cargo run --example dimsat_trace`
+
+use odc_core::dimsat::trace::TraceEvent;
+use olap_dimension_constraints::prelude::*;
+use olap_dimension_constraints::workload::catalog::location_sch;
+
+fn main() {
+    let ds = location_sch();
+    let g = ds.hierarchy();
+    let store = g.category_by_name("Store").unwrap();
+
+    println!("DIMSAT(locationSch, Store), decision mode (stop at first witness):\n");
+    let opts = DimsatOptions::full().with_trace();
+    let out = Dimsat::with_options(&ds, opts).category_satisfiable(store);
+
+    let mut depth = 0usize;
+    for event in &out.trace {
+        match event {
+            TraceEvent::Expand { .. } => {
+                println!("{:indent$}{}", "", event.render(&ds), indent = depth * 2);
+                depth += 1;
+            }
+            TraceEvent::Backtrack { .. } => {
+                depth = depth.saturating_sub(1);
+                println!("{:indent$}{}", "", event.render(&ds), indent = depth * 2);
+            }
+            TraceEvent::Check { .. } => {
+                println!("{:indent$}{}", "", event.render(&ds), indent = depth * 2);
+            }
+        }
+    }
+    println!(
+        "\nsatisfiable: {} after {} EXPAND / {} CHECK calls \
+         ({} c-assignment nodes).",
+        out.satisfiable,
+        out.stats.expand_calls,
+        out.stats.check_calls,
+        out.stats.assignments_tested
+    );
+    if let Some(w) = out.witness {
+        println!("witness: {}", w.display(&ds));
+    }
+
+    println!("\n——— same query without the into-constraint pruning ———");
+    let no_into = Dimsat::with_options(&ds, DimsatOptions::without_into_pruning())
+        .category_satisfiable(store);
+    println!(
+        "satisfiable: {} after {} EXPAND / {} CHECK calls.",
+        no_into.satisfiable, no_into.stats.expand_calls, no_into.stats.check_calls
+    );
+
+    println!("\n——— generate-and-test (no structural pruning at all) ———");
+    let gt =
+        Dimsat::with_options(&ds, DimsatOptions::generate_and_test()).category_satisfiable(store);
+    println!(
+        "satisfiable: {} after {} EXPAND / {} CHECK calls, {} late rejections.",
+        gt.satisfiable, gt.stats.expand_calls, gt.stats.check_calls, gt.stats.late_rejections
+    );
+}

@@ -1,0 +1,103 @@
+//! Quickstart: build the paper's `location` dimension (Figures 1 and 3),
+//! validate it, and ask the questions the paper asks.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use olap_dimension_constraints::prelude::*;
+use olap_dimension_constraints::workload::catalog::{location_instance, location_sch};
+
+fn main() {
+    // ── 1. The dimension schema: hierarchy (Figure 1A) + Σ (Figure 3) ──
+    let ds = location_sch();
+    println!("{ds}");
+
+    // ── 2. The dimension instance of Figure 1(B) ────────────────────────
+    let d = location_instance(&ds);
+    println!("{d}");
+    assert!(ds.admits(&d), "the instance satisfies C1–C7 and Σ");
+
+    // ── 3. Constraint checking (Examples 5 and 6) ───────────────────────
+    for src in [
+        "Store_City",
+        r#"Store.Country = "Canada" -> Store_City_Province"#,
+        "Store.SaleRegion",
+    ] {
+        let dc = parse_constraint(ds.hierarchy(), src).unwrap();
+        println!(
+            "instance ⊨ {src:55} {}",
+            odc_core::constraint::eval::satisfies(&d, &dc)
+        );
+    }
+
+    // ── 4. Schema-level reasoning: implication via DIMSAT (Theorem 2) ──
+    for src in [
+        "Store.Country -> Store.City.Country",
+        "Store.Country -> (Store.State.Country ^ Store.Province.Country)",
+        "City_Country -> City.Country = USA",
+    ] {
+        let dc = parse_constraint(ds.hierarchy(), src).unwrap();
+        let out = implies(&ds, &dc);
+        println!("schema ⊨ {src:60} {}", out.implied);
+    }
+
+    // ── 5. Summarizability (Example 10) ────────────────────────────────
+    let g = ds.hierarchy();
+    let country = g.category_by_name("Country").unwrap();
+    let city = g.category_by_name("City").unwrap();
+    let state = g.category_by_name("State").unwrap();
+    let province = g.category_by_name("Province").unwrap();
+
+    let ok = is_summarizable_in_schema(&ds, country, &[city]);
+    println!(
+        "\nCountry summarizable from {{City}}?            {}",
+        ok.summarizable
+    );
+    let bad = is_summarizable_in_schema(&ds, country, &[state, province]);
+    println!(
+        "Country summarizable from {{State, Province}}? {}",
+        bad.summarizable
+    );
+    if let Some(cx) = bad.counterexample {
+        println!("  countermodel: {}", cx.display(&ds));
+    }
+
+    // ── 6. And the OLAP ground truth: cube views ────────────────────────
+    let rollup = RollupTable::new(&d);
+    let facts: FactTable = d
+        .base_members()
+        .into_iter()
+        .enumerate()
+        .map(|(i, m)| (m, 10 * (i as i64 + 1)))
+        .collect();
+    let direct = cube_view(&d, &rollup, &facts, country, AggFn::Sum);
+    let city_view = cube_view(&d, &rollup, &facts, city, AggFn::Sum);
+    let derived = derive_cube_view(&d, &rollup, &[&city_view], country);
+    println!(
+        "\nSUM by Country, direct:             {:?}",
+        render(&d, &direct)
+    );
+    println!(
+        "SUM by Country, derived from City:  {:?}",
+        render(&d, &derived)
+    );
+    assert_eq!(
+        direct, derived,
+        "the rewriting is exact — as Theorem 1 promised"
+    );
+
+    let state_view = cube_view(&d, &rollup, &facts, state, AggFn::Sum);
+    let prov_view = cube_view(&d, &rollup, &facts, province, AggFn::Sum);
+    let wrong = derive_cube_view(&d, &rollup, &[&state_view, &prov_view], country);
+    println!(
+        "…and from State+Province (WRONG):   {:?}",
+        render(&d, &wrong)
+    );
+    assert_ne!(direct, wrong, "Washington's sales vanish — Example 10");
+}
+
+fn render(d: &DimensionInstance, cv: &CubeView) -> Vec<(String, i64)> {
+    cv.cells
+        .iter()
+        .map(|(&m, &v)| (d.key(m).to_string(), v))
+        .collect()
+}

@@ -1,0 +1,118 @@
+//! Schema-design assistant: the paper argues dimension constraints are
+//! "also helpful in the design stage of data cubes". This example plays
+//! that role on a schema typed in the compact text format —
+//! it reports unsatisfiable categories, heterogeneity structure (frozen
+//! dimensions per bottom), implied constraints, and compares the
+//! dimension-constraint approach against the two related-work baselines
+//! (null padding and DNF flattening) on a concrete instance.
+//!
+//! Run with: `cargo run --example schema_designer`
+
+use odc_core::olap::baselines::{dnf_flatten, null_pad};
+use odc_core::parse_schema;
+use olap_dimension_constraints::prelude::*;
+use olap_dimension_constraints::workload::catalog;
+
+fn main() {
+    // A schema a designer might sketch: support tickets raised either by
+    // customers (via an account) or internally (via a department).
+    let ds = parse_schema(
+        r#"
+        hierarchy:
+          Ticket > Account, Department
+          Account > Segment
+          Segment > Region
+          Department > Region
+          Region > All
+        constraints:
+          one{Ticket_Account, Ticket_Department}
+          Account_Segment
+          Segment_Region
+          Department_Region
+          # Premium accounts only exist in the Enterprise segment.
+          Account = "premium" -> Account.Segment = "Enterprise"
+        "#,
+    )
+    .unwrap();
+    let g = ds.hierarchy();
+    println!("{ds}");
+
+    // 1. Dead categories?
+    let unsat = Dimsat::new(&ds).unsatisfiable_categories();
+    if unsat.is_empty() {
+        println!("all categories satisfiable ✓");
+    } else {
+        for c in unsat {
+            println!("UNSATISFIABLE category: {}", g.name(c));
+        }
+    }
+
+    // 2. Heterogeneity structure.
+    let ticket = g.category_by_name("Ticket").unwrap();
+    let (frozen, _) = Dimsat::new(&ds).enumerate_frozen(ticket);
+    println!("\nTicket mixes {} structures:", frozen.len());
+    for f in &frozen {
+        println!("  {}", f.display(&ds));
+    }
+
+    // 3. What does the schema already guarantee?
+    println!();
+    for src in [
+        "Ticket.Region", // every ticket reaches Region
+        "Ticket.Region -> (Ticket.Account.Region ^ Ticket.Department.Region)",
+        "Ticket_Account -> Ticket.Segment",
+    ] {
+        let dc = parse_constraint(g, src).unwrap();
+        println!("implied: {:66} {}", src, implies(&ds, &dc).implied);
+    }
+
+    // 4. Which aggregates navigate?
+    let region = g.category_by_name("Region").unwrap();
+    let segment = g.category_by_name("Segment").unwrap();
+    let department = g.category_by_name("Department").unwrap();
+    for (label, srcs) in [
+        ("Region from {Segment}", vec![segment]),
+        ("Region from {Department}", vec![department]),
+        (
+            "Region from {Segment, Department}",
+            vec![segment, department],
+        ),
+    ] {
+        let out = is_summarizable_in_schema(&ds, region, &srcs);
+        println!("summarizable: {:38} {}", label, out.summarizable);
+    }
+
+    // 5. Baseline comparison on a real heterogeneous instance (the
+    //    catalog's location data).
+    println!("\n━━━ baseline comparison on the location dimension ━━━");
+    let loc = catalog::catalog().remove(0);
+    let d = &loc.instance;
+    println!(
+        "original:    {} members, heterogeneous: {}",
+        d.num_members(),
+        !odc_core::instance::hetero::is_homogeneous(d)
+    );
+    match null_pad(d) {
+        Ok(report) => println!(
+            "null-padded: {} members (+{} nulls, +{} edges, −{} shortcut links), \
+             valid: {}, homogeneous: {}",
+            report.instance.num_members(),
+            report.nulls_added,
+            report.edges_added,
+            report.edges_removed,
+            report.valid,
+            report.homogeneous
+        ),
+        Err(e) => println!("null padding failed: {e}"),
+    }
+    let dnf = dnf_flatten(d);
+    println!(
+        "DNF:         kept {:?}, DROPPED {:?} (aggregation levels lost), homogeneous: {}",
+        dnf.kept, dnf.dropped, dnf.homogeneous
+    );
+    println!(
+        "\ndimension constraints keep all {} categories and lose nothing — the \
+         reasoning above recovers exactly which rewrites are safe.",
+        d.schema().num_categories()
+    );
+}

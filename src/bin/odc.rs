@@ -1,0 +1,205 @@
+//! `odc` — command-line reasoning over OLAP dimension schemas.
+//!
+//! Schemas are written in the compact text format of
+//! [`odc_core::parse_schema`] (a `hierarchy:` section with
+//! `child > parent, parent` lines and a `constraints:` section in the
+//! dimension-constraint syntax; see `examples/location.odcs`).
+//!
+//! ```text
+//! odc check <schema>                        audit the schema
+//! odc frozen <schema> <root>                frozen dimensions of a category
+//! odc trace <schema> <root>                 traced DIMSAT run
+//! odc implies <schema> <constraint>         decide ds ⊨ α
+//! odc summarizable <schema> <target> <src>… decide summarizability
+//! odc dot <schema>                          Graphviz output
+//! ```
+
+use odc_core::dimsat::trace::render_trace;
+use odc_core::hierarchy::dot;
+use odc_core::prelude::*;
+use odc_core::summarizability::advisor;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  odc check <schema>                         audit (unsatisfiable categories, redundant constraints, structures, safe rewrites)
+  odc frozen <schema> <root>                 enumerate the frozen dimensions rooted at a category
+  odc trace <schema> <root>                  run DIMSAT with an execution trace (Figure 7 style)
+  odc implies <schema> <constraint>          decide whether the schema implies a constraint
+  odc summarizable <schema> <target> <src>…  decide whether <target> is summarizable from the sources
+  odc validate <schema> <instance>           check an instance file against C1–C7 and Σ
+  odc infer <schema> <instance>              mine the constraints an instance already obeys
+  odc dot <schema>                           emit the hierarchy as Graphviz DOT";
+
+/// Dispatches a command line; returns the text to print.
+pub fn run(args: &[String]) -> Result<String, String> {
+    let (cmd, rest) = args.split_first().ok_or("missing command")?;
+    match cmd.as_str() {
+        "check" => {
+            let ds = load_schema(rest.first().ok_or("check needs a schema file")?)?;
+            let report = advisor::audit(&ds);
+            let mut out = report.render(&ds);
+            let suggestions = advisor::suggest_into_constraints(&ds);
+            if !suggestions.is_empty() {
+                out.push_str(
+                    "suggested into constraints (implied; make them explicit to help DIMSAT):\n",
+                );
+                for dc in suggestions {
+                    out.push_str(&format!(
+                        "  {}\n",
+                        odc_core::constraint::printer::display_dc(ds.hierarchy(), &dc)
+                    ));
+                }
+            }
+            Ok(out)
+        }
+        "frozen" => {
+            let [file, root] = rest else {
+                return Err("frozen needs <schema> <root>".into());
+            };
+            let ds = load_schema(file)?;
+            let c = category(&ds, root)?;
+            let (frozen, outcome) = Dimsat::new(&ds).enumerate_frozen(c);
+            let mut out = format!(
+                "{} frozen dimension(s) with root {} ({} EXPAND, {} CHECK):\n",
+                frozen.len(),
+                root,
+                outcome.stats.expand_calls,
+                outcome.stats.check_calls
+            );
+            for (i, f) in frozen.iter().enumerate() {
+                out.push_str(&format!("  f{}: {}\n", i + 1, f.display(&ds)));
+            }
+            Ok(out)
+        }
+        "trace" => {
+            let [file, root] = rest else {
+                return Err("trace needs <schema> <root>".into());
+            };
+            let ds = load_schema(file)?;
+            let c = category(&ds, root)?;
+            let outcome = Dimsat::with_options(&ds, DimsatOptions::full().with_trace())
+                .category_satisfiable(c);
+            Ok(format!(
+                "{}\nsatisfiable: {}\n",
+                render_trace(&ds, &outcome.trace),
+                outcome.satisfiable
+            ))
+        }
+        "implies" => {
+            let [file, constraint] = rest else {
+                return Err("implies needs <schema> <constraint>".into());
+            };
+            let ds = load_schema(file)?;
+            let alpha = parse_constraint(ds.hierarchy(), constraint)
+                .map_err(|e| format!("constraint: {e}"))?;
+            let out = implies(&ds, &alpha);
+            let mut text = format!("implied: {}\n", out.implied);
+            if let Some(cx) = out.counterexample {
+                text.push_str(&format!("countermodel: {}\n", cx.display(&ds)));
+            }
+            Ok(text)
+        }
+        "summarizable" => {
+            let (file, q) = rest.split_first().ok_or("summarizable needs arguments")?;
+            let (target, sources) = q
+                .split_first()
+                .ok_or("summarizable needs <target> <source>…")?;
+            if sources.is_empty() {
+                return Err("summarizable needs at least one source category".into());
+            }
+            let ds = load_schema(file)?;
+            let t = category(&ds, target)?;
+            let s: Result<Vec<Category>, String> =
+                sources.iter().map(|n| category(&ds, n)).collect();
+            let out = is_summarizable_in_schema(&ds, t, &s?);
+            let mut text = format!("summarizable: {}\n", out.summarizable);
+            if let Some(cx) = out.counterexample {
+                text.push_str(&format!("countermodel: {}\n", cx.display(&ds)));
+            }
+            Ok(text)
+        }
+        "validate" => {
+            let [schema_file, instance_file] = rest else {
+                return Err("validate needs <schema> <instance>".into());
+            };
+            let ds = load_schema(schema_file)?;
+            let d = load_instance(&ds, instance_file)?;
+            let violated = ds.violated_by(&d);
+            let mut text = format!("instance: {} members, satisfies C1–C7 ✓\n", d.num_members());
+            if violated.is_empty() {
+                text.push_str("satisfies Σ ✓ — the instance is over the schema\n");
+            } else {
+                text.push_str(&format!(
+                    "violates {} constraint(s) of Σ:\n",
+                    violated.len()
+                ));
+                for dc in violated {
+                    let bad = odc_core::constraint::eval::violating_members(&d, dc);
+                    text.push_str(&format!(
+                        "  {}  (members: {})\n",
+                        odc_core::constraint::printer::display_dc(ds.hierarchy(), dc),
+                        bad.iter().map(|&m| d.key(m)).collect::<Vec<_>>().join(", ")
+                    ));
+                }
+            }
+            Ok(text)
+        }
+        "infer" => {
+            let [schema_file, instance_file] = rest else {
+                return Err("infer needs <schema> <instance>".into());
+            };
+            let ds = load_schema(schema_file)?;
+            let d = load_instance(&ds, instance_file)?;
+            let sigma = odc_core::summarizability::infer::infer_constraints(
+                &d,
+                &odc_core::summarizability::infer::InferenceOptions::default(),
+            );
+            let mut text = format!("{} inferred constraint(s):\n", sigma.len());
+            for dc in &sigma {
+                text.push_str(&format!(
+                    "  {}\n",
+                    odc_core::constraint::printer::display_dc(ds.hierarchy(), dc)
+                ));
+            }
+            Ok(text)
+        }
+        "dot" => {
+            let ds = load_schema(rest.first().ok_or("dot needs a schema file")?)?;
+            Ok(dot::schema_to_dot(ds.hierarchy()))
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn load_schema(path: &str) -> Result<DimensionSchema, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    odc_core::parse_schema(&src).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_instance(ds: &DimensionSchema, path: &str) -> Result<DimensionInstance, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    odc_core::instance::text::parse_instance(ds.hierarchy_arc(), &src)
+        .map_err(|e| format!("{path}: {e}"))
+}
+
+fn category(ds: &DimensionSchema, name: &str) -> Result<Category, String> {
+    ds.hierarchy()
+        .category_by_name(name)
+        .ok_or_else(|| format!("unknown category `{name}`"))
+}

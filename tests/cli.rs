@@ -1,0 +1,162 @@
+//! End-to-end tests of the `odc` command-line tool, driving the real
+//! binary against the shipped `examples/location.odcs` schema file.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn schema_file() -> String {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.push("examples/location.odcs");
+    p.to_string_lossy().into_owned()
+}
+
+fn odc(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_odc"))
+        .args(args)
+        .output()
+        .expect("failed to launch odc")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn check_audits_the_schema() {
+    let out = odc(&["check", &schema_file()]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("unsatisfiable categories: none"), "{text}");
+    assert!(text.contains("redundant constraints: none"), "{text}");
+    assert!(text.contains("bottom Store mixes 4 structure(s)"), "{text}");
+    assert!(text.contains("safe rewrite: Country ← {City}"), "{text}");
+    assert!(text.contains("suggested into constraints"), "{text}");
+}
+
+#[test]
+fn frozen_lists_figure_4() {
+    let out = odc(&["frozen", &schema_file(), "Store"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(
+        text.starts_with("4 frozen dimension(s) with root Store"),
+        "{text}"
+    );
+    assert!(text.contains("City=Washington"), "{text}");
+}
+
+#[test]
+fn trace_runs_dimsat() {
+    let out = odc(&["trace", &schema_file(), "Store"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("EXPAND"));
+    assert!(text.contains("CHECK"));
+    assert!(text.trim_end().ends_with("satisfiable: true"));
+}
+
+#[test]
+fn implies_positive_and_negative() {
+    let out = odc(&[
+        "implies",
+        &schema_file(),
+        "Store.Country -> Store.City.Country",
+    ]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("implied: true"));
+
+    let out = odc(&["implies", &schema_file(), "Store.Country = Canada"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("implied: false"));
+    assert!(text.contains("countermodel:"), "{text}");
+}
+
+#[test]
+fn summarizable_matches_example_10() {
+    let out = odc(&["summarizable", &schema_file(), "Country", "City"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("summarizable: true"));
+
+    let out = odc(&[
+        "summarizable",
+        &schema_file(),
+        "Country",
+        "State",
+        "Province",
+    ]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("summarizable: false"));
+    assert!(
+        text.contains("City=Washington"),
+        "the countermodel is Washington: {text}"
+    );
+}
+
+#[test]
+fn dot_emits_graphviz() {
+    let out = odc(&["dot", &schema_file()]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.starts_with("digraph hierarchy {"));
+    assert!(text.contains("\"Store\" -> \"City\""));
+}
+
+fn instance_file() -> String {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.push("examples/location.odci");
+    p.to_string_lossy().into_owned()
+}
+
+#[test]
+fn validate_accepts_figure_1b() {
+    let out = odc(&["validate", &schema_file(), &instance_file()]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("19 members"), "{text}");
+    assert!(text.contains("satisfies Σ ✓"), "{text}");
+}
+
+#[test]
+fn validate_reports_sigma_violations() {
+    // An instance whose only store skips City: violates Store_City.
+    let dir = std::env::temp_dir();
+    let bad = dir.join("odc-cli-bad-instance.odci");
+    std::fs::write(
+        &bad,
+        "USA : Country < all\nUSRegion : SaleRegion < USA\ns1 : Store < USRegion\n",
+    )
+    .unwrap();
+    let out = odc(&["validate", &schema_file(), bad.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("violates"), "{text}");
+    assert!(text.contains("Store_City"), "{text}");
+    assert!(text.contains("s1"), "{text}");
+}
+
+#[test]
+fn infer_mines_the_structural_core() {
+    let out = odc(&["infer", &schema_file(), &instance_file()]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("Store_City"), "{text}");
+    assert!(text.contains("inferred constraint"), "{text}");
+}
+
+#[test]
+fn errors_are_reported_with_usage() {
+    let out = odc(&["bogus"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown command"));
+    assert!(err.contains("usage:"));
+
+    let out = odc(&["check", "/nonexistent.odcs"]);
+    assert!(!out.status.success());
+
+    let out = odc(&["frozen", &schema_file(), "Nowhere"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown category"));
+}

@@ -1,0 +1,153 @@
+//! Properties of the multi-dimensional cuboid lattice, checked over
+//! generated heterogeneous instances: safe roll-up paths commute and
+//! compose, and the summarizability gate is exactly the boundary between
+//! correct and corrupted answers.
+
+use odc_core::olap::datacube::{cuboid, roll_up, MultiFactTable};
+use olap_dimension_constraints::prelude::*;
+use olap_dimension_constraints::workload::{catalog, random_instance};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+fn setup(
+    seed: u64,
+    n_stores: usize,
+) -> (
+    Arc<DimensionInstance>,
+    Arc<DimensionInstance>,
+    MultiFactTable,
+) {
+    let ds = catalog::location_sch();
+    let store_c = ds.hierarchy().category_by_name("Store").unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let stores = Arc::new(random_instance(&ds, store_c, n_stores, 0.6, &mut rng).unwrap());
+    let time_entry = catalog::catalog().remove(2);
+    let time = Arc::new(time_entry.instance.clone());
+    let day = time.schema().category_by_name("Day").unwrap();
+    let days: Vec<Member> = time.members_of(day).to_vec();
+    let mut facts = MultiFactTable::new(vec![stores.clone(), time.clone()]);
+    let base = stores.base_members();
+    for _ in 0..n_stores * 3 {
+        let s = base[rng.gen_range(0..base.len())];
+        let d = days[rng.gen_range(0..days.len())];
+        facts.push(vec![s, d], rng.gen_range(-20..80));
+    }
+    (stores, time, facts)
+}
+
+/// Rolling up through any intermediate *safe* level equals the direct
+/// computation — checked against the schema-level summarizability
+/// verdicts on every (fine, coarse) pair of the location dimension.
+#[test]
+fn safe_intermediate_levels_compose() {
+    let ds = catalog::location_sch();
+    let g = ds.hierarchy();
+    for seed in 0..3u64 {
+        let (stores, time, facts) = setup(seed, 25);
+        let rollups = [RollupTable::new(&stores), RollupTable::new(&time)];
+        let g1 = time.schema();
+        let day = g1.category_by_name("Day").unwrap();
+        let month = g1.category_by_name("Month").unwrap();
+        let store_c = g.category_by_name("Store").unwrap();
+        let base = cuboid(&facts, &rollups, &[store_c, day], AggFn::Sum);
+        for mid in g.categories() {
+            for top in g.categories() {
+                if !g.reaches(store_c, mid) || !g.reaches(mid, top) || mid == top {
+                    continue;
+                }
+                let mid_safe = is_summarizable_in_schema(&ds, mid, &[store_c]).summarizable;
+                let top_safe = is_summarizable_in_schema(&ds, top, &[mid]).summarizable;
+                if !(mid_safe && top_safe) {
+                    continue;
+                }
+                let via = roll_up(
+                    &roll_up(&base, &rollups, &[mid, month]),
+                    &rollups,
+                    &[top, month],
+                );
+                let direct = cuboid(&facts, &rollups, &[top, month], AggFn::Sum);
+                assert_eq!(
+                    via,
+                    direct,
+                    "seed {seed}: {}→{}→{} diverged despite safe verdicts",
+                    g.name(store_c),
+                    g.name(mid),
+                    g.name(top)
+                );
+            }
+        }
+    }
+}
+
+/// The converse direction: whenever the schema says a single-source
+/// rewrite is unsafe, *some* generated instance and fact table exposes a
+/// divergence (checked for the canonical State→Country case on every
+/// seed that contains a non-State store).
+#[test]
+fn unsafe_levels_eventually_diverge() {
+    let ds = catalog::location_sch();
+    let g = ds.hierarchy();
+    let store_c = g.category_by_name("Store").unwrap();
+    let state = g.category_by_name("State").unwrap();
+    let country = g.category_by_name("Country").unwrap();
+    assert!(!is_summarizable_in_schema(&ds, country, &[state]).summarizable);
+    let mut diverged = false;
+    for seed in 0..6u64 {
+        let (stores, time, facts) = setup(seed, 30);
+        let rollups = [RollupTable::new(&stores), RollupTable::new(&time)];
+        let g1 = time.schema();
+        let day = g1.category_by_name("Day").unwrap();
+        let month = g1.category_by_name("Month").unwrap();
+        let mid = cuboid(&facts, &rollups, &[state, day], AggFn::Count);
+        let rolled = roll_up(&mid, &rollups, &[country, month]);
+        let direct = cuboid(&facts, &rollups, &[country, month], AggFn::Count);
+        if rolled != direct {
+            diverged = true;
+        }
+        let _ = store_c;
+    }
+    assert!(
+        diverged,
+        "no generated instance exposed the unsafe State→Country roll-up"
+    );
+}
+
+/// COUNT totals behave exactly as the constraint layer predicts: a safe
+/// roll-up never double-counts (total ≤ fact count), and the total is
+/// conserved precisely when the schema also implies *coverage*
+/// (`Store.target`: every store reaches the target category).
+#[test]
+fn count_conservation_under_safe_rollups() {
+    let ds = catalog::location_sch();
+    let g = ds.hierarchy();
+    let (stores, time, facts) = setup(7, 40);
+    let rollups = [RollupTable::new(&stores), RollupTable::new(&time)];
+    let g1 = time.schema();
+    let day = g1.category_by_name("Day").unwrap();
+    let store_c = g.category_by_name("Store").unwrap();
+    let base = cuboid(&facts, &rollups, &[store_c, day], AggFn::Count);
+    for target in g.categories() {
+        if target == store_c || !is_summarizable_in_schema(&ds, target, &[store_c]).summarizable {
+            continue;
+        }
+        let year = g1.category_by_name("Year").unwrap();
+        let rolled = roll_up(&base, &rollups, &[target, year]);
+        let total: i64 = rolled.cells.values().sum();
+        assert!(
+            total <= facts.len() as i64,
+            "double counting at {}",
+            g.name(target)
+        );
+        let coverage =
+            odc_core::constraint::parse_constraint(g, &format!("Store.{}", g.name(target)))
+                .map(|alpha| implies(&ds, &alpha).implied)
+                .unwrap_or(false);
+        assert_eq!(
+            total == facts.len() as i64,
+            coverage || target.is_all(),
+            "conservation at {} disagrees with the coverage verdict",
+            g.name(target)
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! The paper's closing remark (Section 6): "if we relax the partitioning
+//! constraint, summarizability can no longer be characterized with
+//! dimension constraints."
+//!
+//! This test *reproduces the failure*: on a non-strict instance (one
+//! member with two parents in the same category, violating C2), the
+//! Theorem-1 constraint still evaluates to true, yet the Definition-6
+//! rewriting double-counts — the characterization genuinely breaks, which
+//! is why C2 is an inherent condition of the model.
+
+use odc_core::summarizability::summarizability_constraints;
+use olap_dimension_constraints::prelude::*;
+use olap_dimension_constraints::workload::catalog::location_sch;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A non-strict store dimension: store `s1` belongs to TWO cities (a
+/// kiosk chain operating across a city border), both in the same country.
+/// This violates C2, so `build_unchecked` is required.
+fn non_strict_instance() -> (DimensionInstance, Vec<Member>) {
+    let mut b = HierarchySchema::builder();
+    let store = b.category("Store");
+    let city = b.category("City");
+    let country = b.category("Country");
+    b.edge(store, city);
+    b.edge(city, country);
+    b.edge_to_all(country);
+    let g = Arc::new(b.build().unwrap());
+    let mut ib = DimensionInstance::builder(g);
+    let canada = ib.member("Canada", country);
+    ib.link_to_all(canada);
+    let toronto = ib.member("Toronto", city);
+    let mississauga = ib.member("Mississauga", city);
+    ib.link(toronto, canada);
+    ib.link(mississauga, canada);
+    let s1 = ib.member("s1", store);
+    ib.link(s1, toronto);
+    ib.link(s1, mississauga); // the C2 violation
+    let s2 = ib.member("s2", store);
+    ib.link(s2, toronto);
+    let d = ib.build_unchecked();
+    (d, vec![s1, s2, toronto, mississauga, canada])
+}
+
+/// Set-semantics rollup pairs `(x, y)` with `x ≤ y` — the relation `Γ`
+/// without the C2 single-valuedness assumption.
+fn gamma(d: &DimensionInstance, c1: Category, c2: Category) -> Vec<(Member, Member)> {
+    let mut out = Vec::new();
+    for &x in d.members_of(c1) {
+        for &y in d.members_of(c2) {
+            if d.rolls_up_to(x, y) {
+                out.push((x, y));
+            }
+        }
+    }
+    out
+}
+
+/// `CubeView` computed per Definition 6's relational algebra over the
+/// *relation* Γ (join semantics, so a multi-valued rollup fans out).
+fn cube_view_relational(
+    d: &DimensionInstance,
+    facts: &[(Member, i64)],
+    c: Category,
+) -> BTreeMap<Member, i64> {
+    let base_cat = d.schema().bottom_categories()[0];
+    let g = gamma(d, base_cat, c);
+    let mut out: BTreeMap<Member, i64> = BTreeMap::new();
+    for &(m, v) in facts {
+        for &(x, y) in &g {
+            if x == m {
+                *out.entry(y).or_insert(0) += v;
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn c2_violation_is_caught_by_validation() {
+    let (d, _) = non_strict_instance();
+    let report = odc_core::instance::validate(&d);
+    assert!(!report.is_ok());
+    assert_eq!(report.of_condition(2).len(), 1);
+}
+
+#[test]
+fn theorem_1_fails_without_partitioning() {
+    let (d, ms) = non_strict_instance();
+    let g = d.schema();
+    let store = g.category_by_name("Store").unwrap();
+    let city = g.category_by_name("City").unwrap();
+    let country = g.category_by_name("Country").unwrap();
+
+    // The Theorem-1 constraint for "Country summarizable from {City}"
+    // still HOLDS on the non-strict instance: s1 rolls up to Country, and
+    // the single composed formula Store.City.Country is true.
+    let constraints = summarizability_constraints(g, country, &[city]);
+    assert!(constraints
+        .iter()
+        .all(|dc| odc_core::constraint::eval::satisfies(&d, dc)));
+
+    // …but the Definition-6 rewriting is WRONG: s1's fact reaches Canada
+    // through both Toronto and Mississauga in the City view, so deriving
+    // Country from City double-counts it.
+    let facts = vec![(ms[0], 10i64), (ms[1], 5)];
+    let direct = cube_view_relational(&d, &facts, country);
+    let city_view = cube_view_relational(&d, &facts, city);
+    // Derive: map each city cell to its country and re-aggregate.
+    let mut derived: BTreeMap<Member, i64> = BTreeMap::new();
+    for (&city_member, &v) in &city_view {
+        for &(x, y) in &gamma(&d, city, country) {
+            if x == city_member {
+                *derived.entry(y).or_insert(0) += v;
+            }
+        }
+    }
+    let canada = ms[4];
+    assert_eq!(
+        direct.get(&canada),
+        Some(&15),
+        "direct SUM counts s1 once per (s1, Canada) pair — one pair"
+    );
+    assert_eq!(
+        derived.get(&canada),
+        Some(&25),
+        "derived SUM counts s1 once per city — twice"
+    );
+    assert_ne!(direct, derived, "the Theorem-1 characterization broke");
+    let _ = store;
+}
+
+/// For contrast: on every *strict* catalog instance the same pipeline
+/// agrees (this is the E6 property restated through the relational
+/// evaluator used above, guarding against a bug in the test harness
+/// itself).
+#[test]
+fn relational_evaluator_agrees_on_strict_instances() {
+    let ds = location_sch();
+    let d = olap_dimension_constraints::workload::catalog::location_instance(&ds);
+    let g = d.schema();
+    let country = g.category_by_name("Country").unwrap();
+    let facts: Vec<(Member, i64)> = d
+        .base_members()
+        .into_iter()
+        .enumerate()
+        .map(|(i, m)| (m, (i as i64 + 1) * 10))
+        .collect();
+    let relational = cube_view_relational(&d, &facts, country);
+    let rollup = RollupTable::new(&d);
+    let fact_table: FactTable = facts.iter().copied().collect();
+    let library = cube_view(&d, &rollup, &fact_table, country, AggFn::Sum);
+    assert_eq!(relational, library.cells);
+}

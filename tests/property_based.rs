@@ -1,0 +1,265 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants: parser/printer round-trips over random constraint ASTs,
+//! simplification soundness under random truth assignments, CatSet versus
+//! a BTreeSet model, and NNF semantic preservation.
+
+use odc_core::constraint::{printer, simplify};
+use odc_core::prelude::*;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Fixed test schema with enough shape for interesting paths.
+fn schema() -> Arc<HierarchySchema> {
+    let mut b = HierarchySchema::builder();
+    let store = b.category("Store");
+    let city = b.category("City");
+    let state = b.category("State");
+    let region = b.category("Region");
+    let country = b.category("Country");
+    b.edge(store, city);
+    b.edge(store, region);
+    b.edge(city, state);
+    b.edge(city, country);
+    b.edge(state, region);
+    b.edge(state, country);
+    b.edge(region, country);
+    b.edge(country, Category::ALL);
+    Arc::new(b.build().unwrap())
+}
+
+/// All simple paths from Store (the atom pool for generated constraints).
+fn atom_pool(g: &HierarchySchema) -> Vec<Constraint> {
+    let store = g.category_by_name("Store").unwrap();
+    let mut atoms = Vec::new();
+    for target in g.categories() {
+        if target == store {
+            continue;
+        }
+        let (paths, _) = odc_core::hierarchy::paths::simple_paths(g, store, target, None);
+        for p in paths {
+            atoms.push(Constraint::path(p));
+        }
+    }
+    for (cat, value) in [("Country", "Canada"), ("Country", "USA"), ("City", "Paris")] {
+        atoms.push(Constraint::eq(
+            store,
+            g.category_by_name(cat).unwrap(),
+            value,
+        ));
+    }
+    atoms
+}
+
+fn arb_constraint(pool: Vec<Constraint>) -> impl Strategy<Value = Constraint> {
+    let leaf = prop_oneof![
+        5 => prop::sample::select(pool),
+        1 => Just(Constraint::True),
+        1 => Just(Constraint::False),
+    ];
+    leaf.prop_recursive(4, 24, 4, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Constraint::not),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Constraint::And),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Constraint::Or),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Constraint::implies(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Constraint::iff(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Constraint::xor(a, b)),
+            prop::collection::vec(inner, 1..4).prop_map(Constraint::ExactlyOne),
+        ]
+    })
+}
+
+/// Evaluates a constraint under a deterministic pseudo-random atom
+/// assignment derived from `salt`.
+fn eval_under(c: &Constraint, salt: u64) -> bool {
+    let assigned = simplify::substitute_atoms(c, &mut |a| {
+        let key = match a {
+            odc_core::constraint::ast::AtomRef::Path(p) => p
+                .path
+                .iter()
+                .map(|x| x.index() as u64 + 1)
+                .fold(7u64, |acc, v| acc.wrapping_mul(31).wrapping_add(v)),
+            odc_core::constraint::ast::AtomRef::Eq(e) => e
+                .value
+                .bytes()
+                .fold(13u64 + e.cat.index() as u64, |acc, v| {
+                    acc.wrapping_mul(131).wrapping_add(v as u64)
+                }),
+            odc_core::constraint::ast::AtomRef::Ord(o) => {
+                (o.value as u64).wrapping_mul(17 + o.cat.index() as u64)
+            }
+        };
+        Some(
+            if (key ^ salt).wrapping_mul(0x9E3779B97F4A7C15) >> 63 == 1 {
+                Constraint::True
+            } else {
+                Constraint::False
+            },
+        )
+    });
+    simplify::eval_closed(&assigned).expect("fully assigned")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// print → parse preserves semantics, and printing reaches a fixpoint
+    /// after one round trip (trivial wrappers like 1-element conjunctions
+    /// are legitimately dropped by the grammar, so structural identity is
+    /// not required).
+    #[test]
+    fn printer_parser_round_trip(c in arb_constraint(atom_pool(&schema()))) {
+        let g = schema();
+        let printed = printer::display(&g, &c).to_string();
+        // Constants like `true & false` have no root; anchor with an atom
+        // so the result is a parseable dimension constraint.
+        let anchored = format!("Store_City & ({printed})");
+        let reparsed = parse_constraint(&g, &anchored)
+            .unwrap_or_else(|e| panic!("reparse of `{anchored}` failed: {e}"));
+        // Semantic equivalence of the un-anchored part under many
+        // assignments: compare the whole anchored conjunctions.
+        let store = g.category_by_name("Store").unwrap();
+        let city = g.category_by_name("City").unwrap();
+        let original = Constraint::And(vec![Constraint::path(vec![store, city]), c]);
+        for salt in [0u64, 1, 42, 0xFFFF, u64::MAX / 3] {
+            prop_assert_eq!(
+                eval_under(&original, salt),
+                eval_under(reparsed.formula(), salt),
+                "salt {} for `{}`", salt, anchored
+            );
+        }
+        // Print fixpoint: a second round trip prints identically.
+        let printed2 = printer::display(&g, reparsed.formula()).to_string();
+        let reparsed2 = parse_constraint(&g, &printed2)
+            .unwrap_or_else(|e| panic!("second reparse of `{printed2}` failed: {e}"));
+        let printed3 = printer::display(&g, reparsed2.formula()).to_string();
+        prop_assert_eq!(printed2, printed3);
+    }
+
+    /// `fold` never changes the truth value of a formula.
+    #[test]
+    fn fold_preserves_semantics(
+        c in arb_constraint(atom_pool(&schema())),
+        salt in any::<u64>()
+    ) {
+        let folded = simplify::fold(&c);
+        prop_assert_eq!(eval_under(&c, salt), eval_under(&folded, salt));
+    }
+
+    /// `nnf` never changes the truth value of a formula.
+    #[test]
+    fn nnf_preserves_semantics(
+        c in arb_constraint(atom_pool(&schema())),
+        salt in any::<u64>()
+    ) {
+        let converted = simplify::nnf(&c);
+        prop_assert_eq!(eval_under(&c, salt), eval_under(&converted, salt));
+    }
+
+    /// Folding is idempotent and constants-free unless constant.
+    #[test]
+    fn fold_is_idempotent(c in arb_constraint(atom_pool(&schema()))) {
+        let once = simplify::fold(&c);
+        let twice = simplify::fold(&once);
+        prop_assert_eq!(&once, &twice);
+    }
+
+    /// CatSet agrees with a BTreeSet model under a random op sequence.
+    #[test]
+    fn catset_matches_model(ops in prop::collection::vec((0usize..100, 0u8..3), 0..200)) {
+        let mut set = CatSet::new(100);
+        let mut model: BTreeSet<usize> = BTreeSet::new();
+        for (idx, op) in ops {
+            let c = Category::from_index(idx);
+            match op {
+                0 => {
+                    prop_assert_eq!(set.insert(c), model.insert(idx));
+                }
+                1 => {
+                    prop_assert_eq!(set.remove(c), model.remove(&idx));
+                }
+                _ => {
+                    prop_assert_eq!(set.contains(c), model.contains(&idx));
+                }
+            }
+            prop_assert_eq!(set.len(), model.len());
+        }
+        let got: Vec<usize> = set.iter().map(|c| c.index()).collect();
+        let want: Vec<usize> = model.into_iter().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Set algebra against the model.
+    #[test]
+    fn catset_algebra_matches_model(
+        a in prop::collection::btree_set(0usize..100, 0..40),
+        b in prop::collection::btree_set(0usize..100, 0..40)
+    ) {
+        let mk = |s: &BTreeSet<usize>| {
+            let mut out = CatSet::new(100);
+            for &i in s {
+                out.insert(Category::from_index(i));
+            }
+            out
+        };
+        let (sa, sb) = (mk(&a), mk(&b));
+        let mut u = sa.clone();
+        u.union_with(&sb);
+        prop_assert_eq!(u.len(), a.union(&b).count());
+        let mut i = sa.clone();
+        i.intersect_with(&sb);
+        prop_assert_eq!(i.len(), a.intersection(&b).count());
+        let mut d = sa.clone();
+        d.difference_with(&sb);
+        prop_assert_eq!(d.len(), a.difference(&b).count());
+        prop_assert_eq!(sa.intersects(&sb), !a.is_disjoint(&b));
+        prop_assert_eq!(i.is_subset_of(&sa), true);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The constraint parser never panics on arbitrary input — it returns
+    /// a structured error instead.
+    #[test]
+    fn parser_never_panics(src in "\\PC{0,80}") {
+        let g = schema();
+        let _ = parse_constraint(&g, &src);
+    }
+
+    /// Nor does the instance-text parser.
+    #[test]
+    fn instance_parser_never_panics(src in "\\PC{0,120}") {
+        let g = schema();
+        let _ = odc_core::instance::text::parse_instance(g, &src);
+    }
+
+    /// Nor does the whole-schema parser.
+    #[test]
+    fn schema_parser_never_panics(src in "\\PC{0,160}") {
+        let _ = odc_core::parse_schema(&src);
+    }
+
+    /// Fuzz the constraint parser with *almost-valid* inputs assembled
+    /// from real tokens — much better coverage of the grammar's corners
+    /// than uniform noise.
+    #[test]
+    fn parser_never_panics_on_token_soup(
+        tokens in prop::collection::vec(
+            prop::sample::select(vec![
+                "Store", "City", "Region", "Nope", "_", ".", "=", "<", "<=",
+                ">=", "->", "<->", "^", "&", "|", "!", "(", ")", "{", "}",
+                ",", "one", "true", "false", "\"x\"", "42", "-7", "≈", "⊃",
+            ]),
+            0..16,
+        )
+    ) {
+        let g = schema();
+        let src = tokens.join(" ");
+        let _ = parse_constraint(&g, &src);
+        let joined = tokens.join("");
+        let _ = parse_constraint(&g, &joined);
+    }
+}

@@ -1,0 +1,153 @@
+//! Experiment E6: empirical cross-validation of Theorem 1.
+//!
+//! The theorem says the constraint `c_b.c ⊃ ⊙ c_b.ci.c` characterizes
+//! summarizability — i.e. equality of the direct cube view and the
+//! Definition-6 derivation for **every** fact table and distributive
+//! aggregate. We check both directions:
+//!
+//! * *soundness*: whenever the constraint test says "summarizable", the
+//!   derived view equals the direct view for SUM/COUNT/MIN/MAX on random
+//!   fact tables;
+//! * *completeness*: whenever it says "not summarizable", a discriminating
+//!   fact table exists — concretely, one fact of a distinct power of two
+//!   per base member makes the SUM views differ (and COUNT differs with
+//!   all-ones facts).
+
+use olap_dimension_constraints::prelude::*;
+use olap_dimension_constraints::workload::{catalog, random_instance};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One fact per base member, value 3^i. With source sets of size ≤ 2 a
+/// member's contribution multiplicity is in {0, 1, 2}, so the derived SUM
+/// per cell is a base-3 numeral — it equals the direct SUM iff every
+/// multiplicity is exactly 1. (Powers of 2 would let a dropped member
+/// cancel against a double-counted one.)
+fn discriminating_facts(d: &DimensionInstance) -> FactTable {
+    let base = d.base_members();
+    assert!(base.len() <= 38, "3^i must fit in i64");
+    base.into_iter()
+        .enumerate()
+        .map(|(i, m)| (m, 3i64.pow(i as u32)))
+        .collect()
+}
+
+fn random_facts(d: &DimensionInstance, rows: usize, rng: &mut StdRng) -> FactTable {
+    let base = d.base_members();
+    (0..rows)
+        .map(|_| (base[rng.gen_range(0..base.len())], rng.gen_range(-50..50)))
+        .collect()
+}
+
+fn check_instance(d: &DimensionInstance, rng: &mut StdRng, ctx: &str) {
+    let g = d.schema();
+    let rollup = RollupTable::new(d);
+    let disc = discriminating_facts(d);
+    let rand_facts = random_facts(d, 3 * d.base_members().len().max(1), rng);
+    let cats: Vec<Category> = g.categories().collect();
+    // Enumerate a spread of (target, S) combinations: singletons and
+    // pairs.
+    for &target in &cats {
+        let mut source_sets: Vec<Vec<Category>> = cats.iter().map(|&c| vec![c]).collect();
+        for (i, &a) in cats.iter().enumerate() {
+            for &b in &cats[i + 1..] {
+                source_sets.push(vec![a, b]);
+            }
+        }
+        for s in source_sets {
+            let verdict = is_summarizable_in_instance(d, target, &s);
+            // Completeness: a discriminating table must expose failures.
+            let mut any_mismatch = false;
+            for (facts, aggs) in [
+                (&disc, &[AggFn::Sum, AggFn::Count][..]),
+                (&rand_facts, &AggFn::ALL[..]),
+            ] {
+                for &agg in aggs {
+                    let direct = cube_view(d, &rollup, facts, target, agg);
+                    let views: Vec<CubeView> = s
+                        .iter()
+                        .map(|&ci| cube_view(d, &rollup, facts, ci, agg))
+                        .collect();
+                    let refs: Vec<&CubeView> = views.iter().collect();
+                    let derived = derive_cube_view(d, &rollup, &refs, target);
+                    if verdict {
+                        // Soundness: summarizable ⇒ equality always.
+                        assert_eq!(
+                            derived,
+                            direct,
+                            "{ctx}: target {}, S {:?}, {agg}: summarizable but views differ",
+                            g.name(target),
+                            s.iter().map(|&c| g.name(c)).collect::<Vec<_>>()
+                        );
+                    } else if derived != direct {
+                        any_mismatch = true;
+                    }
+                }
+            }
+            if !verdict {
+                assert!(
+                    any_mismatch,
+                    "{ctx}: target {}, S {:?}: declared non-summarizable but no \
+                     fact table exposed a difference",
+                    g.name(target),
+                    s.iter().map(|&c| g.name(c)).collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn theorem1_holds_on_every_catalog_instance() {
+    let mut rng = StdRng::seed_from_u64(0x7E0);
+    for entry in catalog::catalog() {
+        check_instance(&entry.instance, &mut rng, entry.name);
+    }
+}
+
+#[test]
+fn theorem1_holds_on_generated_location_instances() {
+    let ds = catalog::location_sch();
+    let store = ds.hierarchy().category_by_name("Store").unwrap();
+    let mut rng = StdRng::seed_from_u64(0x7E1);
+    for seed in 0..5u64 {
+        let mut gen_rng = StdRng::seed_from_u64(seed);
+        let d = random_instance(&ds, store, 20, 0.6, &mut gen_rng).unwrap();
+        check_instance(&d, &mut rng, &format!("generated location #{seed}"));
+    }
+}
+
+/// Schema-level summarizability transfers to every generated instance
+/// (the Theorem 1 + Theorem 2 pipeline end-to-end).
+#[test]
+fn schema_verdict_transfers_to_instances() {
+    let ds = catalog::location_sch();
+    let g = ds.hierarchy();
+    let store = g.category_by_name("Store").unwrap();
+    let mut rng = StdRng::seed_from_u64(0x7E2);
+    let cats: Vec<Category> = g.categories().filter(|c| !c.is_all()).collect();
+    let mut schema_verdicts: Vec<(Category, Vec<Category>, bool)> = Vec::new();
+    for &target in &cats {
+        for &src in &cats {
+            let s = vec![src];
+            let v = is_summarizable_in_schema(&ds, target, &s).summarizable;
+            schema_verdicts.push((target, s, v));
+        }
+    }
+    for seed in 0..4u64 {
+        let mut gen_rng = StdRng::seed_from_u64(seed + 100);
+        let d = random_instance(&ds, store, 15, 0.5, &mut gen_rng).unwrap();
+        for (target, s, schema_ok) in &schema_verdicts {
+            if *schema_ok {
+                assert!(
+                    is_summarizable_in_instance(&d, *target, s),
+                    "schema-level summarizability must hold in every instance \
+                     (target {}, S {:?}, seed {seed})",
+                    g.name(*target),
+                    s.iter().map(|&c| g.name(c)).collect::<Vec<_>>()
+                );
+            }
+        }
+        let _ = rng.gen_range(0..2);
+    }
+}
