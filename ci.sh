@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Offline CI gate: build, test, lint. The workspace has no crates.io
+# dependencies, so everything runs with --offline — a network-less
+# environment is the supported configuration, not a degraded one.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo build --release =="
+cargo build --offline --release --workspace --bins --examples --benches
+
+echo "== cargo test -q =="
+cargo test --offline -q --workspace
+
+echo "== cargo clippy -D warnings =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "CI OK"

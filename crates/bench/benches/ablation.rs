@@ -9,13 +9,13 @@
 //! constraints" — the shape to reproduce is a large gap on the into-heavy
 //! family and a smaller one on the into-light family.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use odc_bench::ablation_schemas;
+use odc_bench::timing::Group;
 use odc_core::prelude::*;
 use std::hint::black_box;
 
-fn bench_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E9-ablation");
+fn main() {
+    let mut group = Group::new("E9-ablation");
     group.sample_size(10);
     for (label, ds, bottom) in ablation_schemas() {
         for (mode, opts) in [
@@ -23,20 +23,11 @@ fn bench_ablation(c: &mut Criterion) {
             ("no-into", DimsatOptions::without_into_pruning()),
             ("gen-test", DimsatOptions::generate_and_test()),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(mode, &label),
-                &(&ds, opts),
-                |b, (ds, opts)| {
-                    b.iter(|| {
-                        let (frozen, _) = Dimsat::with_options(ds, *opts).enumerate_frozen(bottom);
-                        black_box(frozen.len())
-                    });
-                },
-            );
+            group.bench(&format!("{mode}/{label}"), || {
+                let (frozen, _) = Dimsat::with_options(&ds, opts).enumerate_frozen(bottom);
+                black_box(frozen.len());
+            });
         }
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_ablation);
-criterion_main!(benches);

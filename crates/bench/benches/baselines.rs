@@ -3,44 +3,37 @@
 //! versus the dimension-constraint approach (which transforms nothing and
 //! just reasons).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use odc_bench::timing::Group;
 use odc_core::olap::baselines::{dnf_flatten, null_pad};
 use odc_core::prelude::*;
+use odc_rand::rngs::StdRng;
+use odc_rand::SeedableRng;
 use odc_workload::{catalog::location_sch, random_instance};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::hint::black_box;
 
-fn bench_baselines(c: &mut Criterion) {
+fn main() {
     let ds = location_sch();
     let g = ds.hierarchy();
     let store = g.category_by_name("Store").unwrap();
     let country = g.category_by_name("Country").unwrap();
     let state = g.category_by_name("State").unwrap();
 
-    let mut group = c.benchmark_group("E12-baselines");
+    let mut group = Group::new("E12-baselines");
     group.sample_size(10);
     for n_base in [100usize, 300, 1_000] {
         let mut rng = StdRng::seed_from_u64(n_base as u64);
         let d = random_instance(&ds, store, n_base, 0.7, &mut rng).unwrap();
-        group.bench_with_input(BenchmarkId::new("null-pad", n_base), &d, |b, d| {
-            b.iter(|| black_box(null_pad(d).unwrap().nulls_added));
+        group.bench(&format!("null-pad/{n_base}"), || {
+            black_box(null_pad(&d).unwrap().nulls_added);
         });
-        group.bench_with_input(BenchmarkId::new("dnf-flatten", n_base), &d, |b, d| {
-            b.iter(|| black_box(dnf_flatten(d).dropped.len()));
+        group.bench(&format!("dnf-flatten/{n_base}"), || {
+            black_box(dnf_flatten(&d).dropped.len());
         });
-        group.bench_with_input(
-            BenchmarkId::new("dimension-constraints", n_base),
-            &d,
-            |b, d| {
-                // The constraint approach transforms nothing: the work is
-                // one summarizability test on the untouched instance.
-                b.iter(|| black_box(is_summarizable_in_instance(d, country, &[state])));
-            },
-        );
+        // The constraint approach transforms nothing: the work is one
+        // summarizability test on the untouched instance.
+        group.bench(&format!("dimension-constraints/{n_base}"), || {
+            black_box(is_summarizable_in_instance(&d, country, &[state]));
+        });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_baselines);
-criterion_main!(benches);

@@ -2,31 +2,28 @@
 //! locationSch query set, separated into implied (full search exhausted:
 //! the coNP side) and non-implied (early witness: usually fast) queries.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use odc_bench::implication_queries;
+use odc_bench::timing::Group;
 use odc_core::prelude::*;
 use std::hint::black_box;
 
-fn bench_implication(c: &mut Criterion) {
+fn main() {
     let (ds, queries) = implication_queries();
-    let mut group = c.benchmark_group("E11-implication");
+    let mut group = Group::new("E11-implication");
     group.sample_size(20);
     for (src, alpha) in &queries {
         let label = format!(
             "{}:{}",
-            if implies(&ds, alpha).implied {
+            if implies(&ds, alpha).implied() {
                 "implied"
             } else {
                 "refuted"
             },
             src
         );
-        group.bench_with_input(BenchmarkId::from_parameter(label), alpha, |b, alpha| {
-            b.iter(|| black_box(implies(&ds, alpha).implied));
+        group.bench(&label, || {
+            black_box(implies(&ds, alpha).implied());
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_implication);
-criterion_main!(benches);

@@ -5,25 +5,18 @@
 //! on 2026 hardware — comfortably inside the paper's conjectured "order
 //! of a few seconds" on 2002 hardware.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use odc_bench::practical_battery;
+use odc_bench::timing::Group;
 use odc_workload::catalog::catalog;
 use std::hint::black_box;
 
-fn bench_practical(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E10-practical");
+fn main() {
+    let mut group = Group::new("E10-practical");
     group.sample_size(10);
     for entry in catalog() {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(entry.name),
-            &entry,
-            |b, entry| {
-                b.iter(|| black_box(practical_battery(entry)));
-            },
-        );
+        group.bench(entry.name, || {
+            black_box(practical_battery(&entry));
+        });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_practical);
-criterion_main!(benches);

@@ -5,24 +5,21 @@
 //! exponentially with the variable count — category satisfiability really
 //! is NP-complete.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use odc_bench::sat_grid;
+use odc_bench::timing::Group;
 use odc_core::prelude::*;
 use std::hint::black_box;
 
-fn bench_sat(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E8-sat-reduction");
+fn main() {
+    let mut group = Group::new("E8-sat-reduction");
     group.sample_size(10);
     for (label, formula, ds, bottom) in sat_grid() {
-        group.bench_with_input(BenchmarkId::new("dimsat", &label), &ds, |b, ds| {
-            b.iter(|| black_box(Dimsat::new(ds).category_satisfiable(bottom).satisfiable));
+        group.bench(&format!("dimsat/{label}"), || {
+            black_box(Dimsat::new(&ds).category_satisfiable(bottom).is_sat());
         });
-        group.bench_with_input(BenchmarkId::new("dpll", &label), &formula, |b, f| {
-            b.iter(|| black_box(f.is_satisfiable()));
+        group.bench(&format!("dpll/{label}"), || {
+            black_box(formula.is_satisfiable());
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_sat);
-criterion_main!(benches);

@@ -6,39 +6,36 @@
 //! to reproduce is steep growth in `N`, mild polynomial-ish growth in
 //! `N_K` and `N_Σ` on practical (into-heavy) schemas.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use odc_bench::timing::Group;
 use odc_bench::{scaling_by_n, scaling_by_nk, scaling_by_sigma};
 use odc_core::prelude::*;
 use std::hint::black_box;
 
-fn bench_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E7-scaling-N");
+fn main() {
+    let mut group = Group::new("E7-scaling-N");
     group.sample_size(10);
     for (label, ds, bottom) in scaling_by_n() {
-        group.bench_with_input(BenchmarkId::from_parameter(&label), &ds, |b, ds| {
-            b.iter(|| black_box(Dimsat::new(ds).category_satisfiable(bottom).satisfiable));
+        group.bench(&label, || {
+            black_box(Dimsat::new(&ds).category_satisfiable(bottom).is_sat());
         });
     }
     group.finish();
 
-    let mut group = c.benchmark_group("E7-scaling-NK");
+    let mut group = Group::new("E7-scaling-NK");
     group.sample_size(10);
     for (label, ds, bottom) in scaling_by_nk() {
-        group.bench_with_input(BenchmarkId::from_parameter(&label), &ds, |b, ds| {
-            b.iter(|| black_box(Dimsat::new(ds).category_satisfiable(bottom).satisfiable));
+        group.bench(&label, || {
+            black_box(Dimsat::new(&ds).category_satisfiable(bottom).is_sat());
         });
     }
     group.finish();
 
-    let mut group = c.benchmark_group("E7-scaling-Nsigma");
+    let mut group = Group::new("E7-scaling-Nsigma");
     group.sample_size(10);
     for (label, ds, bottom) in scaling_by_sigma() {
-        group.bench_with_input(BenchmarkId::from_parameter(&label), &ds, |b, ds| {
-            b.iter(|| black_box(Dimsat::new(ds).category_satisfiable(bottom).satisfiable));
+        group.bench(&label, || {
+            black_box(Dimsat::new(&ds).category_satisfiable(bottom).is_sat());
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_scaling);
-criterion_main!(benches);

@@ -3,14 +3,14 @@
 //! (constraint evaluation), and the cube-view work it decides about
 //! (direct scan vs Definition-6 derivation from a precomputed view).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use odc_bench::timing::Group;
 use odc_core::prelude::*;
+use odc_rand::rngs::StdRng;
+use odc_rand::SeedableRng;
 use odc_workload::{catalog::location_sch, random_instance};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::hint::black_box;
 
-fn bench_summarizability(c: &mut Criterion) {
+fn main() {
     let ds = location_sch();
     let g = ds.hierarchy();
     let store = g.category_by_name("Store").unwrap();
@@ -19,20 +19,18 @@ fn bench_summarizability(c: &mut Criterion) {
     let state = g.category_by_name("State").unwrap();
     let province = g.category_by_name("Province").unwrap();
 
-    let mut group = c.benchmark_group("E6-schema-level");
+    let mut group = Group::new("E6-schema-level");
     group.sample_size(20);
-    group.bench_function("Country-from-City(yes)", |b| {
-        b.iter(|| black_box(is_summarizable_in_schema(&ds, country, &[city]).summarizable));
+    group.bench("Country-from-City(yes)", || {
+        black_box(is_summarizable_in_schema(&ds, country, &[city]).summarizable());
     });
-    group.bench_function("Country-from-State+Province(no)", |b| {
-        b.iter(|| {
-            black_box(is_summarizable_in_schema(&ds, country, &[state, province]).summarizable)
-        });
+    group.bench("Country-from-State+Province(no)", || {
+        black_box(is_summarizable_in_schema(&ds, country, &[state, province]).summarizable());
     });
     group.finish();
 
     // Instance-level + cube views on growing instances.
-    let mut group = c.benchmark_group("E6-instance-level");
+    let mut group = Group::new("E6-instance-level");
     group.sample_size(10);
     for n_base in [100usize, 1_000, 10_000] {
         let mut rng = StdRng::seed_from_u64(n_base as u64);
@@ -44,27 +42,16 @@ fn bench_summarizability(c: &mut Criterion) {
             .enumerate()
             .map(|(i, m)| (m, i as i64))
             .collect();
-        group.bench_with_input(BenchmarkId::new("constraint-test", n_base), &d, |b, d| {
-            b.iter(|| black_box(is_summarizable_in_instance(d, country, &[city])));
+        group.bench(&format!("constraint-test/{n_base}"), || {
+            black_box(is_summarizable_in_instance(&d, country, &[city]));
         });
-        group.bench_with_input(
-            BenchmarkId::new("direct-cube-view", n_base),
-            &(&d, &rollup, &facts),
-            |b, (d, rollup, facts)| {
-                b.iter(|| black_box(cube_view(d, rollup, facts, country, AggFn::Sum).len()));
-            },
-        );
+        group.bench(&format!("direct-cube-view/{n_base}"), || {
+            black_box(cube_view(&d, &rollup, &facts, country, AggFn::Sum).len());
+        });
         let city_view = cube_view(&d, &rollup, &facts, city, AggFn::Sum);
-        group.bench_with_input(
-            BenchmarkId::new("derived-cube-view", n_base),
-            &(&d, &rollup, &city_view),
-            |b, (d, rollup, city_view)| {
-                b.iter(|| black_box(derive_cube_view(d, rollup, &[city_view], country).len()));
-            },
-        );
+        group.bench(&format!("derived-cube-view/{n_base}"), || {
+            black_box(derive_cube_view(&d, &rollup, &[&city_view], country).len());
+        });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_summarizability);
-criterion_main!(benches);

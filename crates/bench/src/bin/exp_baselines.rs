@@ -9,8 +9,8 @@ use odc_core::dimsat::stats::timed;
 use odc_core::olap::baselines::{dnf_flatten, null_pad};
 use odc_workload::catalog::catalog;
 use odc_workload::random_instance;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use odc_rand::rngs::StdRng;
+use odc_rand::SeedableRng;
 
 fn main() {
     println!("E12 — related-work baselines on the catalog\n");

@@ -70,7 +70,7 @@ fn main() {
     println!("{}", odc_core::dimsat::trace::render_trace(&ds, &out.trace));
     println!(
         "\nresult: satisfiable={} ({} EXPAND, {} CHECK, {} assignment nodes)",
-        out.satisfiable,
+        out.is_sat(),
         out.stats.expand_calls,
         out.stats.check_calls,
         out.stats.assignments_tested

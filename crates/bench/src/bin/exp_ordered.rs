@@ -54,7 +54,7 @@ fn main() {
             "{:>12} {:>10} {:>12} {:>10} {:>12}",
             n,
             table.num_choices(price),
-            t.value.satisfiable,
+            t.value.is_sat(),
             t.value.stats.assignments_tested,
             format!("{:.3?}", t.elapsed),
         );
@@ -74,11 +74,11 @@ fn main() {
         let alpha = parse_constraint(g, src).unwrap();
         let t = timed(|| implies(&ds, &alpha));
         let out = t.value;
-        assert_eq!(out.implied, expect, "{src}");
+        assert_eq!(out.implied(), expect, "{src}");
         print!(
             "{:55} implied={:5} ({:>9})",
             src,
-            out.implied,
+            out.implied(),
             format!("{:.2?}", t.elapsed)
         );
         if let Some(cx) = out.counterexample {
@@ -111,7 +111,7 @@ fn main() {
                 .map(|&c| gg.name(c))
                 .collect::<Vec<_>>()
                 .join(", "),
-            out.summarizable
+            out.summarizable()
         );
     }
 }

@@ -46,11 +46,11 @@ fn main() {
                     .map(|&c| g.name(c))
                     .collect::<Vec<_>>()
                     .join(", "),
-                out.summarizable,
+                out.summarizable(),
                 inst,
             );
             assert!(
-                !out.summarizable || inst,
+                !out.summarizable() || inst,
                 "schema-level summarizability must transfer to the instance"
             );
         }

@@ -1,10 +1,16 @@
-//! E7: DIMSAT runtime against `N`, `N_K`, `N_Σ` (Proposition 4).
+//! E7: DIMSAT runtime against `N`, `N_K`, `N_Σ` (Proposition 4). Every
+//! point runs under a deadline so the steep end of a grid prints `?`
+//! (with its partial stats) instead of hanging the sweep.
 //!
 //! Run with: `cargo run --release -p odc-bench --bin exp_scaling`
 
 use odc_bench::{scaling_by_n, scaling_by_nk, scaling_by_sigma};
 use odc_core::dimsat::stats::timed;
 use odc_core::prelude::*;
+use std::time::Duration;
+
+/// Per-point budget for grid sweeps.
+const DEADLINE: Duration = Duration::from_secs(10);
 
 fn run_grid(title: &str, grid: Vec<(String, DimensionSchema, Category)>) {
     println!("── {title} ──");
@@ -16,8 +22,18 @@ fn run_grid(title: &str, grid: Vec<(String, DimensionSchema, Category)>) {
         let n = ds.hierarchy().num_categories();
         let edges = ds.hierarchy().num_edges();
         let nk = ds.constants().iter().map(Vec::len).max().unwrap_or(0);
-        let t = timed(|| Dimsat::new(&ds).category_satisfiable(bottom));
+        let budget = Budget::unlimited().with_deadline(DEADLINE);
+        let t = timed(|| {
+            Dimsat::new(&ds)
+                .with_budget(budget)
+                .category_satisfiable(bottom)
+        });
         let out = t.value;
+        let sat_text = if out.is_unknown() {
+            "?".to_string()
+        } else {
+            out.is_sat().to_string()
+        };
         println!(
             "{:10} {:>4} {:>6} {:>5} {:>5} {:>6} {:>9} {:>8} {:>12} {:>12}",
             label,
@@ -25,7 +41,7 @@ fn run_grid(title: &str, grid: Vec<(String, DimensionSchema, Category)>) {
             edges,
             nk,
             ds.sigma_size(),
-            out.satisfiable,
+            sat_text,
             out.stats.expand_calls,
             out.stats.check_calls,
             out.stats.assignments_tested,
@@ -51,8 +67,18 @@ fn main() {
     for (layers, width) in [(1usize, 2usize), (1, 3), (2, 2), (2, 3), (3, 2)] {
         let ds = odc_workload::generator::dense_unconstrained_schema(layers, width);
         let bottom = ds.hierarchy().category_by_name("B").unwrap();
-        let t = timed(|| Dimsat::new(&ds).enumerate_frozen(bottom));
+        let budget = Budget::unlimited().with_deadline(DEADLINE);
+        let t = timed(|| {
+            Dimsat::new(&ds)
+                .with_budget(budget)
+                .enumerate_frozen(bottom)
+        });
         let (frozen, out) = t.value;
+        let frozen_text = if out.interrupted.is_some() {
+            format!("{}+?", frozen.len())
+        } else {
+            frozen.len().to_string()
+        };
         println!(
             "{:14} {:>4} {:>6} {:>9} {:>8} {:>8} {:>12}",
             format!("{layers}x{width}"),
@@ -60,7 +86,7 @@ fn main() {
             ds.hierarchy().num_edges(),
             out.stats.expand_calls,
             out.stats.check_calls,
-            frozen.len(),
+            frozen_text,
             format!("{:.3?}", t.elapsed),
         );
     }

@@ -51,7 +51,7 @@ fn main() {
         "query", "schema", "instance", "SUM", "COUNT", "MIN", "MAX"
     );
     for (label, target, sources) in queries {
-        let schema_v = is_summarizable_in_schema(&ds, target, &sources).summarizable;
+        let schema_v = is_summarizable_in_schema(&ds, target, &sources).summarizable();
         let inst_v = is_summarizable_in_instance(&d, target, &sources);
         let mut cols = Vec::new();
         for agg in AggFn::ALL {

@@ -1,12 +1,14 @@
 //! Shared workload setup for the benchmark suite and the experiment
 //! runner binaries (`exp_*`). Each function corresponds to one experiment
-//! of DESIGN.md §4 and is deterministic, so Criterion runs and the table
+//! of DESIGN.md §4 and is deterministic, so bench runs and the table
 //! printers measure the same inputs.
+
+pub mod timing;
 
 use odc_core::prelude::*;
 use odc_workload::{encode_sat, random_3sat, random_schema, CnfFormula, SchemaGenParams};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use odc_rand::rngs::StdRng;
+use odc_rand::SeedableRng;
 
 /// E7 grid: schemas of growing category count `N` (into-heavy, mildly
 /// heterogeneous), all satisfiable-or-not as generated. Returns

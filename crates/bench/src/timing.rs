@@ -1,0 +1,128 @@
+//! A small wall-clock timing harness for the `[[bench]]` targets — no
+//! external dependencies, stable on `cargo bench` (every target already
+//! sets `harness = false`).
+//!
+//! Measurement model: per case, one warm-up call calibrates how many
+//! iterations fit in the per-sample time slice, then `sample_size`
+//! samples are timed and the minimum / median per-iteration times are
+//! reported. The minimum is the headline number — it is the least noisy
+//! estimate of the true cost on a busy machine.
+//!
+//! Set `ODC_BENCH_QUICK=1` to cut sample counts for smoke runs.
+
+use std::time::{Duration, Instant};
+
+/// Target wall time for one sample (iterations are batched to reach it).
+const SAMPLE_SLICE: Duration = Duration::from_millis(20);
+
+/// A named group of benchmark cases, mirroring the shape the previous
+/// harness used so the bench sources read the same.
+pub struct Group {
+    name: String,
+    sample_size: usize,
+}
+
+impl Group {
+    /// Starts a group and prints its header.
+    pub fn new(name: &str) -> Self {
+        println!("\n== {name} ==");
+        Group {
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+
+    /// Sets how many timed samples each case collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Times one case. `f` is the unit of work; batching and repetition
+    /// are the harness's business.
+    pub fn bench<F: FnMut()>(&mut self, label: &str, mut f: F) {
+        // Warm-up doubles as calibration: find an iteration count whose
+        // batch fills the sample slice (capped so slow cases still finish).
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            let took = t.elapsed();
+            if took >= SAMPLE_SLICE || iters >= 1 << 20 {
+                break;
+            }
+            // Grow geometrically toward the slice.
+            iters = if took.is_zero() {
+                iters * 8
+            } else {
+                let scale = SAMPLE_SLICE.as_nanos() / took.as_nanos().max(1) + 1;
+                (iters * scale.min(8) as u64).max(iters + 1)
+            };
+        }
+
+        let samples = if std::env::var_os("ODC_BENCH_QUICK").is_some() {
+            2
+        } else {
+            self.sample_size
+        };
+        let mut per_iter: Vec<Duration> = (0..samples)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    f();
+                }
+                t.elapsed() / iters as u32
+            })
+            .collect();
+        per_iter.sort();
+        let min = per_iter[0];
+        let median = per_iter[per_iter.len() / 2];
+        println!(
+            "{:<52} min {:>12}  median {:>12}  ({samples} samples x {iters} iters)",
+            format!("{}/{label}", self.name),
+            fmt_duration(min),
+            fmt_duration(median),
+        );
+    }
+
+    /// Ends the group (purely cosmetic; kept for call-site symmetry).
+    pub fn finish(&mut self) {}
+}
+
+/// Human-friendly duration with three significant-ish digits.
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_are_scaled() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12.00 us");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(12)), "12.00 s");
+    }
+
+    #[test]
+    fn bench_runs_the_closure() {
+        std::env::set_var("ODC_BENCH_QUICK", "1");
+        let mut count = 0u64;
+        let mut g = Group::new("test");
+        g.sample_size(2).bench("counter", || count += 1);
+        assert!(count > 0);
+    }
+}

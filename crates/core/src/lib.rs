@@ -42,29 +42,48 @@
 //! let country_c = ds.hierarchy().category_by_name("Country").unwrap();
 //! let province_c = ds.hierarchy().category_by_name("Province").unwrap();
 //! let state_c = ds.hierarchy().category_by_name("State").unwrap();
-//! assert!(is_summarizable_in_schema(&ds, country_c, &[province_c, state_c]).summarizable);
+//! assert!(is_summarizable_in_schema(&ds, country_c, &[province_c, state_c]).summarizable());
 //! // …but not from Province alone.
-//! assert!(!is_summarizable_in_schema(&ds, country_c, &[province_c]).summarizable);
+//! assert!(!is_summarizable_in_schema(&ds, country_c, &[province_c]).summarizable());
 //! ```
+//!
+//! ## Resource governance
+//!
+//! Every solve entrypoint in the stack is *governed*: the reasoning
+//! problems are NP-complete (Theorem 4), so searches accept a
+//! [`Budget`] (wall-clock deadline, node/check limits, recursion depth)
+//! and a [`CancelToken`] (flippable from another thread) and come back
+//! with a three-valued verdict — Sat/Unsat/Unknown, implied/not/Unknown —
+//! where `Unknown` carries the [`Interrupt`] that stopped the search plus
+//! the partial statistics.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 pub use odc_constraint as constraint;
 pub use odc_dimsat as dimsat;
 pub use odc_frozen as frozen;
+pub use odc_govern as govern;
 pub use odc_hierarchy as hierarchy;
 pub use odc_instance as instance;
 pub use odc_olap as olap;
 pub use odc_summarizability as summarizability;
 
+pub use odc_govern::{Budget, CancelToken, Governor, Interrupt, InterruptReason};
+
 /// The one-stop import.
 pub mod prelude {
     pub use odc_constraint::{parse_constraint, Constraint, DimensionConstraint, DimensionSchema};
-    pub use odc_dimsat::{implies, Dimsat, DimsatOptions, ImplicationOutcome};
+    pub use odc_dimsat::{
+        implies, Dimsat, DimsatOptions, ImplicationOutcome, ImplicationVerdict, Verdict,
+    };
     pub use odc_frozen::{ExhaustiveEnumerator, FrozenDimension};
+    pub use odc_govern::{Budget, CancelToken, Governor, Interrupt, InterruptReason};
     pub use odc_hierarchy::{CatSet, Category, HierarchySchema, Subhierarchy};
     pub use odc_instance::{DimensionInstance, Member, RollupTable};
     pub use odc_olap::{cube_view, derive_cube_view, AggFn, CubeView, FactTable};
     pub use odc_summarizability::{
         is_summarizable_in_instance, is_summarizable_in_schema, summarizability_constraints,
+        SummarizabilityVerdict,
     };
 }
 
@@ -171,29 +190,86 @@ fn resolve(b: &mut odc_hierarchy::HierarchySchemaBuilder, name: &str) -> Categor
 }
 
 /// One-call satisfiability: is `category` (by name) satisfiable in `ds`?
+/// Unbudgeted, so the answer is always definite.
 pub fn check_category_satisfiable(ds: &DimensionSchema, category: &str) -> Option<bool> {
+    let c = ds.hierarchy().category_by_name(category)?;
+    Some(odc_dimsat::Dimsat::new(ds).category_satisfiable(c).is_sat())
+}
+
+/// Budgeted one-call satisfiability: the full three-valued
+/// [`odc_dimsat::Verdict`] under a resource [`Budget`]. Returns `None`
+/// when the category name is unknown.
+pub fn check_category_satisfiable_budgeted(
+    ds: &DimensionSchema,
+    category: &str,
+    budget: Budget,
+) -> Option<odc_dimsat::Verdict> {
     let c = ds.hierarchy().category_by_name(category)?;
     Some(
         odc_dimsat::Dimsat::new(ds)
+            .with_budget(budget)
             .category_satisfiable(c)
-            .satisfiable,
+            .verdict,
     )
 }
 
 /// One-call implication: does `ds` imply the constraint written in
-/// `alpha_src`?
+/// `alpha_src`? Unbudgeted, so the answer is always definite.
 pub fn check_implication(ds: &DimensionSchema, alpha_src: &str) -> Result<bool, ParseError> {
     let alpha = odc_constraint::parse_constraint(ds.hierarchy(), alpha_src)?;
-    Ok(odc_dimsat::implies(ds, &alpha).implied)
+    Ok(odc_dimsat::implies(ds, &alpha).implied())
+}
+
+/// Budgeted one-call implication: the full three-valued
+/// [`odc_dimsat::ImplicationVerdict`] under a resource [`Budget`].
+pub fn check_implication_budgeted(
+    ds: &DimensionSchema,
+    alpha_src: &str,
+    budget: Budget,
+) -> Result<odc_dimsat::ImplicationVerdict, ParseError> {
+    let alpha = odc_constraint::parse_constraint(ds.hierarchy(), alpha_src)?;
+    let mut gov = Governor::from_budget(budget);
+    Ok(odc_dimsat::implies_governed(
+        ds,
+        &alpha,
+        odc_dimsat::DimsatOptions::default(),
+        &mut gov,
+    )
+    .verdict)
 }
 
 /// One-call summarizability (by category names). Returns `None` when a
-/// name is unknown.
+/// name is unknown. Unbudgeted, so the answer is always definite.
 pub fn check_summarizable(ds: &DimensionSchema, target: &str, sources: &[&str]) -> Option<bool> {
     let g = ds.hierarchy();
     let c = g.category_by_name(target)?;
     let s: Option<Vec<Category>> = sources.iter().map(|n| g.category_by_name(n)).collect();
-    Some(odc_summarizability::is_summarizable_in_schema(ds, c, &s?).summarizable)
+    Some(odc_summarizability::is_summarizable_in_schema(ds, c, &s?).summarizable())
+}
+
+/// Budgeted one-call summarizability: the full three-valued
+/// [`odc_summarizability::SummarizabilityVerdict`] under a resource
+/// [`Budget`]. Returns `None` when a name is unknown.
+pub fn check_summarizable_budgeted(
+    ds: &DimensionSchema,
+    target: &str,
+    sources: &[&str],
+    budget: Budget,
+) -> Option<odc_summarizability::SummarizabilityVerdict> {
+    let g = ds.hierarchy();
+    let c = g.category_by_name(target)?;
+    let s: Option<Vec<Category>> = sources.iter().map(|n| g.category_by_name(n)).collect();
+    let mut gov = Governor::from_budget(budget);
+    Some(
+        odc_summarizability::is_summarizable_in_schema_governed(
+            ds,
+            c,
+            &s?,
+            odc_dimsat::DimsatOptions::default(),
+            &mut gov,
+        )
+        .verdict,
+    )
 }
 
 #[cfg(test)]

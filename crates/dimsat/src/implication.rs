@@ -2,16 +2,30 @@
 //! unsatisfiable in `(G, Σ ∪ {¬α})` (Theorem 2).
 
 use crate::options::DimsatOptions;
-use crate::solver::Dimsat;
+use crate::solver::{Dimsat, Verdict};
 use crate::stats::SearchStats;
 use odc_constraint::{Constraint, DimensionConstraint, DimensionSchema};
 use odc_frozen::FrozenDimension;
+use odc_govern::{Governor, Interrupt};
+
+/// The three-valued answer of a governed implication query.
+#[derive(Debug, Clone)]
+pub enum ImplicationVerdict {
+    /// `ds ⊨ α`: the root of `α` is unsatisfiable under `Σ ∪ {¬α}`.
+    Implied,
+    /// `ds ⊭ α`: a countermodel exists (carried in
+    /// [`ImplicationOutcome::counterexample`]).
+    NotImplied,
+    /// The underlying satisfiability search was interrupted before it
+    /// could exhaust the space — the implication is undetermined.
+    Unknown(Interrupt),
+}
 
 /// The result of an implication query.
 #[derive(Debug, Clone)]
 pub struct ImplicationOutcome {
-    /// Whether `ds ⊨ α`.
-    pub implied: bool,
+    /// Implied, NotImplied, or Unknown with the interrupt.
+    pub verdict: ImplicationVerdict,
     /// When not implied: a frozen dimension of `(G, Σ ∪ {¬α})` — a
     /// countermodel whose root member witnesses `¬α`.
     pub counterexample: Option<FrozenDimension>,
@@ -19,7 +33,33 @@ pub struct ImplicationOutcome {
     pub stats: SearchStats,
 }
 
-/// Decides `ds ⊨ α` with default options.
+impl ImplicationOutcome {
+    /// Whether implication was *proved*. `false` covers both NotImplied
+    /// and Unknown — check [`Self::is_unknown`] when the run was budgeted.
+    pub fn implied(&self) -> bool {
+        matches!(self.verdict, ImplicationVerdict::Implied)
+    }
+
+    /// Whether a countermodel was found.
+    pub fn not_implied(&self) -> bool {
+        matches!(self.verdict, ImplicationVerdict::NotImplied)
+    }
+
+    /// Whether the query ended without an answer.
+    pub fn is_unknown(&self) -> bool {
+        matches!(self.verdict, ImplicationVerdict::Unknown(_))
+    }
+
+    /// The interrupt that cut the query short, if any.
+    pub fn interrupt(&self) -> Option<Interrupt> {
+        match self.verdict {
+            ImplicationVerdict::Unknown(i) => Some(i),
+            _ => None,
+        }
+    }
+}
+
+/// Decides `ds ⊨ α` with default options and no resource limits.
 pub fn implies(ds: &DimensionSchema, alpha: &DimensionConstraint) -> ImplicationOutcome {
     implies_with(ds, alpha, DimsatOptions::default())
 }
@@ -32,10 +72,33 @@ pub fn implies_with(
 ) -> ImplicationOutcome {
     let negated = alpha.with_formula(Constraint::not(alpha.formula().clone()));
     let ds2 = ds.with_constraint(negated);
-    let out = Dimsat::with_options(&ds2, opts).category_satisfiable(alpha.root());
+    let solver = Dimsat::with_options(&ds2, opts);
+    let mut gov = solver.governor();
+    from_sat_outcome(solver.category_satisfiable_governed(alpha.root(), &mut gov))
+}
+
+/// Decides `ds ⊨ α` under a caller-supplied [`Governor`] (shared budget
+/// across a batch of queries, e.g. the Theorem-1 battery).
+pub fn implies_governed(
+    ds: &DimensionSchema,
+    alpha: &DimensionConstraint,
+    opts: DimsatOptions,
+    gov: &mut Governor,
+) -> ImplicationOutcome {
+    let negated = alpha.with_formula(Constraint::not(alpha.formula().clone()));
+    let ds2 = ds.with_constraint(negated);
+    from_sat_outcome(Dimsat::with_options(&ds2, opts).category_satisfiable_governed(alpha.root(), gov))
+}
+
+fn from_sat_outcome(out: crate::solver::DimsatOutcome) -> ImplicationOutcome {
+    let (verdict, counterexample) = match out.verdict {
+        Verdict::Sat(w) => (ImplicationVerdict::NotImplied, Some(w)),
+        Verdict::Unsat => (ImplicationVerdict::Implied, None),
+        Verdict::Unknown(i) => (ImplicationVerdict::Unknown(i), None),
+    };
     ImplicationOutcome {
-        implied: !out.satisfiable,
-        counterexample: out.witness,
+        verdict,
+        counterexample,
         stats: out.stats,
     }
 }
@@ -89,7 +152,7 @@ mod tests {
         let alpha =
             parse_constraint(ds.hierarchy(), "Store.Country -> Store.City.Country").unwrap();
         let out = implies(&ds, &alpha);
-        assert!(out.implied, "all frozen dimensions route Country via City");
+        assert!(out.implied(), "all frozen dimensions route Country via City");
         assert!(out.counterexample.is_none());
     }
 
@@ -105,7 +168,7 @@ mod tests {
         )
         .unwrap();
         let out = implies(&ds, &alpha);
-        assert!(!out.implied);
+        assert!(!out.implied());
         let cx = out.counterexample.expect("countermodel expected");
         assert_eq!(
             cx.verify(&ds.with_constraint(
@@ -128,7 +191,7 @@ mod tests {
         for dc in ds.constraints() {
             let out = implies(&ds, dc);
             assert!(
-                out.implied,
+                out.implied(),
                 "Σ member not implied: {}",
                 odc_constraint::printer::display_dc(ds.hierarchy(), dc)
             );
@@ -140,10 +203,10 @@ mod tests {
         let ds = location_sch();
         let g = ds.hierarchy();
         let taut = parse_constraint(g, "Store_City | !Store_City").unwrap();
-        assert!(implies(&ds, &taut).implied);
+        assert!(implies(&ds, &taut).implied());
         let contra = parse_constraint(g, "Store_City & !Store_City").unwrap();
         let out = implies(&ds, &contra);
-        assert!(!out.implied, "Store is satisfiable, so ⊥ is not implied");
+        assert!(!out.implied(), "Store is satisfiable, so ⊥ is not implied");
     }
 
     #[test]
@@ -153,7 +216,7 @@ mod tests {
         let g = ds.hierarchy();
         let ds2 = ds.with_constraint(parse_constraint(g, "!SaleRegion_Country").unwrap());
         let anything = parse_constraint(g, "SaleRegion.Country = Mexico").unwrap();
-        assert!(implies(&ds2, &anything).implied);
+        assert!(implies(&ds2, &anything).implied());
     }
 
     #[test]
@@ -162,7 +225,7 @@ mod tests {
         // constraints (c) and (d) of Figure 3.
         let ds = location_sch();
         let alpha = parse_constraint(ds.hierarchy(), "City_Country -> City.Country = USA").unwrap();
-        assert!(implies(&ds, &alpha).implied);
+        assert!(implies(&ds, &alpha).implied());
     }
 
     #[test]
@@ -171,7 +234,7 @@ mod tests {
         let ds = location_sch();
         let alpha = parse_constraint(ds.hierarchy(), "Store.Country = Canada").unwrap();
         let out = implies(&ds, &alpha);
-        assert!(!out.implied);
+        assert!(!out.implied());
         assert!(out.counterexample.is_some());
     }
 

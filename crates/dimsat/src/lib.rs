@@ -58,8 +58,20 @@
 //! let ds = DimensionSchema::parse(g, "Store_City\n").unwrap();
 //!
 //! let outcome = Dimsat::new(&ds).category_satisfiable(store);
-//! assert!(outcome.satisfiable);
+//! assert!(outcome.is_sat());
 //! ```
+//!
+//! ## Resource governance
+//!
+//! Category satisfiability is NP-complete (Theorem 4) and DIMSAT is
+//! worst-case exponential (Proposition 4), so every solve entrypoint is
+//! *governed*: attach a [`odc_govern::Budget`] and/or
+//! [`odc_govern::CancelToken`] via [`Dimsat::with_budget`] /
+//! [`Dimsat::with_cancel_token`] and the search returns a three-valued
+//! [`Verdict`] — `Sat(witness)`, `Unsat`, or `Unknown(interrupt)` with
+//! the partial [`SearchStats`] — instead of running unboundedly.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 pub mod implication;
 pub mod options;
@@ -67,8 +79,8 @@ pub mod solver;
 pub mod stats;
 pub mod trace;
 
-pub use implication::{implies, ImplicationOutcome};
+pub use implication::{implies, implies_governed, implies_with, ImplicationOutcome, ImplicationVerdict};
 pub use options::{DimsatOptions, TopOrder};
-pub use solver::{Dimsat, DimsatOutcome};
+pub use solver::{Dimsat, DimsatOutcome, Verdict};
 pub use stats::SearchStats;
 pub use trace::TraceEvent;

@@ -1,62 +1,194 @@
-//! The DIMSAT search (Figure 6).
+//! The DIMSAT search (Figure 6), governed by a resource [`Budget`].
 
 use crate::options::{DimsatOptions, TopOrder};
 use crate::stats::SearchStats;
 use crate::trace::TraceEvent;
 use odc_constraint::DimensionSchema;
 use odc_frozen::{FrozenContext, FrozenDimension};
+use odc_govern::{Budget, CancelToken, Governor, Interrupt, InterruptReason};
 use odc_hierarchy::{CatSet, Category, HierarchySchema, Subhierarchy};
+
+/// The three-valued answer of a governed satisfiability run.
+///
+/// A witness found before the budget ran out is still a proof — `Sat` is
+/// returned even on interrupted runs (the interrupt is reported separately
+/// in [`DimsatOutcome::interrupted`]). `Unknown` means the search was cut
+/// short before either proving or refuting satisfiability.
+#[derive(Debug, Clone)]
+pub enum Verdict {
+    /// The query category is satisfiable; here is a frozen dimension
+    /// witnessing it (decision mode returns the first one found).
+    Sat(FrozenDimension),
+    /// The search space was exhausted without finding a witness.
+    Unsat,
+    /// The search was interrupted (deadline, node/check limit, recursion
+    /// depth, or cancellation) before reaching a conclusion.
+    Unknown(Interrupt),
+}
+
+impl Verdict {
+    /// `true` iff the verdict is `Sat`.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, Verdict::Sat(_))
+    }
+
+    /// `true` iff the verdict is `Unsat`.
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, Verdict::Unsat)
+    }
+
+    /// `true` iff the verdict is `Unknown`.
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, Verdict::Unknown(_))
+    }
+}
 
 /// The result of one DIMSAT run.
 #[derive(Debug, Clone)]
 pub struct DimsatOutcome {
-    /// Whether the query category is satisfiable in the schema.
-    pub satisfiable: bool,
-    /// A witnessing frozen dimension when satisfiable (decision mode
-    /// returns the first one found).
-    pub witness: Option<FrozenDimension>,
-    /// Search counters.
+    /// Sat with a witness, Unsat, or Unknown with the interrupt.
+    pub verdict: Verdict,
+    /// Set when the run stopped early. In enumeration mode the verdict may
+    /// still be `Sat` (witnesses found before the interrupt) while the
+    /// enumeration itself is incomplete.
+    pub interrupted: Option<Interrupt>,
+    /// Search counters (populated even on interrupted runs, so partial
+    /// work is reported, not discarded).
     pub stats: SearchStats,
     /// Execution trace (empty unless [`DimsatOptions::trace`] was set).
     pub trace: Vec<TraceEvent>,
+}
+
+impl DimsatOutcome {
+    /// Whether satisfiability was *proved* (a witness exists). `false`
+    /// covers both Unsat and Unknown — check [`Self::is_unknown`] when the
+    /// run was budgeted.
+    pub fn is_sat(&self) -> bool {
+        self.verdict.is_sat()
+    }
+
+    /// Whether unsatisfiability was proved (full space explored, no
+    /// witness).
+    pub fn is_unsat(&self) -> bool {
+        self.verdict.is_unsat()
+    }
+
+    /// Whether the run ended without an answer.
+    pub fn is_unknown(&self) -> bool {
+        self.verdict.is_unknown()
+    }
+
+    /// The witnessing frozen dimension, when the verdict is `Sat`.
+    pub fn witness(&self) -> Option<&FrozenDimension> {
+        match &self.verdict {
+            Verdict::Sat(w) => Some(w),
+            _ => None,
+        }
+    }
+
+    /// Consumes the outcome, yielding the witness when `Sat`.
+    pub fn into_witness(self) -> Option<FrozenDimension> {
+        match self.verdict {
+            Verdict::Sat(w) => Some(w),
+            _ => None,
+        }
+    }
+
+    /// The interrupt that ended the run early, if any (set both for
+    /// `Unknown` verdicts and for interrupted-but-answered runs).
+    pub fn interrupt(&self) -> Option<Interrupt> {
+        self.interrupted
+    }
 }
 
 /// The DIMSAT solver: category satisfiability over a dimension schema.
 pub struct Dimsat<'a> {
     ds: &'a DimensionSchema,
     opts: DimsatOptions,
+    budget: Budget,
+    cancel: CancelToken,
 }
 
 impl<'a> Dimsat<'a> {
-    /// A solver with default options (all heuristics enabled).
+    /// A solver with default options (all heuristics enabled) and no
+    /// resource limits.
     pub fn new(ds: &'a DimensionSchema) -> Self {
-        Dimsat {
-            ds,
-            opts: DimsatOptions::default(),
-        }
+        Self::with_options(ds, DimsatOptions::default())
     }
 
     /// A solver with explicit options.
     pub fn with_options(ds: &'a DimensionSchema, opts: DimsatOptions) -> Self {
-        Dimsat { ds, opts }
+        Dimsat {
+            ds,
+            opts,
+            budget: Budget::unlimited(),
+            cancel: CancelToken::new(),
+        }
+    }
+
+    /// Restricts every subsequent query to a resource budget.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Attaches a cancellation token (pollable from another thread).
+    pub fn with_cancel_token(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// A fresh [`Governor`] for this solver's budget and token. Each
+    /// query method calls this internally; batch drivers that want one
+    /// budget across many queries build it once and use the `_governed`
+    /// variants.
+    pub fn governor(&self) -> Governor {
+        Governor::new(self.budget, self.cancel.clone())
     }
 
     /// Decides whether `c` is satisfiable in the schema (DIMSAT(ds, c)),
     /// stopping at the first frozen dimension found.
     pub fn category_satisfiable(&self, c: Category) -> DimsatOutcome {
-        self.run(c, true)
+        let mut gov = self.governor();
+        self.category_satisfiable_governed(c, &mut gov)
+    }
+
+    /// [`Self::category_satisfiable`] under a caller-supplied governor
+    /// (shared budget across a batch of queries).
+    pub fn category_satisfiable_governed(&self, c: Category, gov: &mut Governor) -> DimsatOutcome {
+        self.run(c, true, gov)
     }
 
     /// Enumerates every inducing subhierarchy rooted at `c` (one
     /// witnessing frozen dimension per subhierarchy) — the Figure 4 view
-    /// of a schema.
+    /// of a schema. On an interrupted run the vector holds the frozen
+    /// dimensions found so far and [`DimsatOutcome::interrupted`] is set.
     pub fn enumerate_frozen(&self, c: Category) -> (Vec<FrozenDimension>, DimsatOutcome) {
-        let mut search = Search::new(self.ds, self.opts, c, false);
-        search.expand_all();
+        let mut gov = self.governor();
+        self.enumerate_frozen_governed(c, &mut gov)
+    }
+
+    /// [`Self::enumerate_frozen`] under a caller-supplied governor.
+    pub fn enumerate_frozen_governed(
+        &self,
+        c: Category,
+        gov: &mut Governor,
+    ) -> (Vec<FrozenDimension>, DimsatOutcome) {
+        let mut search = Search::new(self.ds, self.opts, c, false, gov);
+        search.expand(0);
+        let stats = search.finish_stats();
+        let interrupted = search.interrupt;
+        let verdict = match search.found.first().cloned() {
+            Some(w) => Verdict::Sat(w),
+            None => match interrupted {
+                Some(i) => Verdict::Unknown(i),
+                None => Verdict::Unsat,
+            },
+        };
         let outcome = DimsatOutcome {
-            satisfiable: !search.found.is_empty(),
-            witness: search.found.first().cloned(),
-            stats: search.finish_stats(),
+            verdict,
+            interrupted,
+            stats,
             trace: std::mem::take(&mut search.trace),
         };
         (search.found, outcome)
@@ -64,31 +196,60 @@ impl<'a> Dimsat<'a> {
 
     /// Checks every category of the schema, returning the unsatisfiable
     /// ones (the paper suggests dropping them for "a cleaner
-    /// representation of the data").
-    pub fn unsatisfiable_categories(&self) -> Vec<Category> {
-        self.ds
-            .hierarchy()
-            .categories()
-            .filter(|&c| !c.is_all() && !self.category_satisfiable(c).satisfiable)
-            .collect()
+    /// representation of the data"). The whole sweep shares one governor;
+    /// an interrupt aborts it with the partial result discarded.
+    pub fn unsatisfiable_categories(&self) -> Result<Vec<Category>, Interrupt> {
+        let mut gov = self.governor();
+        self.unsatisfiable_categories_governed(&mut gov)
     }
 
-    fn run(&self, c: Category, stop_at_first: bool) -> DimsatOutcome {
-        let mut search = Search::new(self.ds, self.opts, c, stop_at_first);
-        search.expand_all();
+    /// [`Self::unsatisfiable_categories`] under a caller-supplied
+    /// governor.
+    pub fn unsatisfiable_categories_governed(
+        &self,
+        gov: &mut Governor,
+    ) -> Result<Vec<Category>, Interrupt> {
+        let mut unsat = Vec::new();
+        for c in self.ds.hierarchy().categories() {
+            if c.is_all() {
+                continue;
+            }
+            let out = self.category_satisfiable_governed(c, gov);
+            match out.verdict {
+                Verdict::Sat(_) => {}
+                Verdict::Unsat => unsat.push(c),
+                Verdict::Unknown(i) => return Err(i),
+            }
+        }
+        Ok(unsat)
+    }
+
+    fn run(&self, c: Category, stop_at_first: bool, gov: &mut Governor) -> DimsatOutcome {
+        let mut search = Search::new(self.ds, self.opts, c, stop_at_first, gov);
+        search.expand(0);
+        let stats = search.finish_stats();
+        let interrupted = search.interrupt;
+        let verdict = match search.found.first().cloned() {
+            Some(w) => Verdict::Sat(w),
+            None => match interrupted {
+                Some(i) => Verdict::Unknown(i),
+                None => Verdict::Unsat,
+            },
+        };
         DimsatOutcome {
-            satisfiable: !search.found.is_empty(),
-            witness: search.found.first().cloned(),
-            stats: search.finish_stats(),
+            verdict,
+            interrupted,
+            stats,
             trace: search.trace,
         }
     }
 }
 
-struct Search<'a> {
+struct Search<'a, 'g> {
     g: &'a HierarchySchema,
     opts: DimsatOptions,
     ctx: FrozenContext,
+    gov: &'g mut Governor,
     sub: Subhierarchy,
     /// Frontier: categories of `sub` not yet expanded (never contains
     /// `All` — `g.Top = {All}` is represented by an empty frontier).
@@ -105,14 +266,17 @@ struct Search<'a> {
     found: Vec<FrozenDimension>,
     stop_at_first: bool,
     stopped: bool,
+    /// Sticky interrupt: once set, every activation unwinds promptly.
+    interrupt: Option<Interrupt>,
 }
 
-impl<'a> Search<'a> {
+impl<'a, 'g> Search<'a, 'g> {
     fn new(
         ds: &'a DimensionSchema,
         opts: DimsatOptions,
         root: Category,
         stop_at_first: bool,
+        gov: &'g mut Governor,
     ) -> Self {
         let g = ds.hierarchy();
         let n = g.num_categories();
@@ -126,6 +290,7 @@ impl<'a> Search<'a> {
             g,
             opts,
             ctx: FrozenContext::new(ds, root),
+            gov,
             sub,
             top,
             instar: vec![CatSet::new(n); n],
@@ -135,6 +300,7 @@ impl<'a> Search<'a> {
             found: Vec::new(),
             stop_at_first,
             stopped: false,
+            interrupt: None,
         }
     }
 
@@ -153,18 +319,29 @@ impl<'a> Search<'a> {
     fn finish_stats(&mut self) -> SearchStats {
         self.stats.assignments_tested = self.ctx.assignments_tested.get();
         self.stats.frozen_found = self.found.len() as u64;
+        self.stats.elapsed = self.gov.elapsed();
         self.stats.clone()
     }
 
-    fn expand_all(&mut self) {
-        self.expand();
+    fn interrupted(&mut self, i: Interrupt) {
+        if self.interrupt.is_none() {
+            self.interrupt = Some(i);
+        }
     }
 
     /// One EXPAND activation: either the frontier is exhausted (complete
     /// subhierarchy → CHECK) or one frontier category is expanded with
     /// every admissible parent subset.
-    fn expand(&mut self) {
-        if self.stopped {
+    fn expand(&mut self, depth: usize) {
+        if self.stopped || self.interrupt.is_some() {
+            return;
+        }
+        if let Err(i) = self.gov.tick_node() {
+            self.interrupted(i);
+            return;
+        }
+        if let Err(i) = self.gov.guard_depth(depth) {
+            self.interrupted(i);
             return;
         }
         self.stats.expand_calls += 1;
@@ -174,10 +351,13 @@ impl<'a> Search<'a> {
             return;
         }
 
-        // Choose ctop per the frontier discipline.
-        let ctop = match self.opts.order {
-            TopOrder::Lifo => self.top.pop().unwrap(),
-            TopOrder::Fifo => self.top.remove(0),
+        // Choose ctop per the frontier discipline. The frontier is
+        // non-empty here, so both disciplines yield a category.
+        let Some(ctop) = (match self.opts.order {
+            TopOrder::Lifo => self.top.pop(),
+            TopOrder::Fifo => Some(self.top.remove(0)),
+        }) else {
+            return;
         };
 
         let out: Vec<Category> = self.g.parents(ctop).to_vec();
@@ -216,9 +396,19 @@ impl<'a> Search<'a> {
         }
 
         let rest: Vec<Category> = s.iter().copied().filter(|c2| !into.contains(c2)).collect();
-        debug_assert!(rest.len() < 63);
+        if rest.len() >= 63 {
+            // The 2^|rest| fan-out does not fit the subset mask; treat the
+            // node as unexplorable rather than overflowing the shift.
+            self.interrupted(Interrupt {
+                reason: InterruptReason::NodeLimit,
+                nodes: self.gov.nodes(),
+                checks: self.gov.checks(),
+            });
+            self.restore_top(ctop);
+            return;
+        }
         for mask in 0u64..(1u64 << rest.len()) {
-            if self.stopped {
+            if self.stopped || self.interrupt.is_some() {
                 break;
             }
             let mut r: Vec<Category> = into.clone();
@@ -262,7 +452,7 @@ impl<'a> Search<'a> {
                     g: self.sub.clone(),
                 });
             }
-            self.expand();
+            self.expand(depth + 1);
             self.sub = saved_sub;
             self.top.truncate(saved_top_len);
             if let Some((instar, inn)) = saved_instar {
@@ -270,7 +460,7 @@ impl<'a> Search<'a> {
                 self.inn = inn;
             }
         }
-        if self.opts.trace && !self.stopped {
+        if self.opts.trace && !self.stopped && self.interrupt.is_none() {
             self.trace.push(TraceEvent::Backtrack { ctop });
         }
         self.restore_top(ctop);
@@ -336,8 +526,18 @@ impl<'a> Search<'a> {
             return;
         }
         debug_assert!(self.sub.is_valid_subhierarchy_of(self.g));
+        if let Err(i) = self.gov.tick_check() {
+            self.interrupted(i);
+            return;
+        }
         self.stats.check_calls += 1;
-        let induced = self.ctx.check(&self.sub);
+        let induced = match self.ctx.check_governed(&self.sub, self.gov) {
+            Ok(ca) => ca,
+            Err(i) => {
+                self.interrupted(i);
+                return;
+            }
+        };
         if self.opts.trace {
             self.trace.push(TraceEvent::Check {
                 g: self.sub.clone(),
@@ -410,15 +610,16 @@ mod tests {
     fn every_location_category_is_satisfiable() {
         let ds = location_sch();
         let solver = Dimsat::new(&ds);
-        assert!(solver.unsatisfiable_categories().is_empty());
+        assert!(solver.unsatisfiable_categories().unwrap().is_empty());
     }
 
     #[test]
     fn store_witness_verifies() {
         let ds = location_sch();
         let out = Dimsat::new(&ds).category_satisfiable(cat(&ds, "Store"));
-        assert!(out.satisfiable);
-        let w = out.witness.unwrap();
+        assert!(out.is_sat());
+        assert!(out.interrupted.is_none());
+        let w = out.witness().unwrap();
         assert_eq!(w.verify(&ds), Ok(()));
         assert!(out.stats.check_calls >= 1);
         assert_eq!(out.stats.late_rejections, 0, "eager pruning is complete");
@@ -431,6 +632,7 @@ mod tests {
         let (dimsat_frozen, out) = Dimsat::new(&ds).enumerate_frozen(store);
         let mut oracle = ExhaustiveEnumerator::new(&ds, store);
         let oracle_frozen = oracle.enumerate();
+        assert!(oracle.interrupt().is_none());
         let a: BTreeSet<_> = dimsat_frozen.iter().map(edge_fingerprint).collect();
         let b: BTreeSet<_> = oracle_frozen.iter().map(edge_fingerprint).collect();
         assert_eq!(a, b, "DIMSAT and the Theorem-3 oracle disagree");
@@ -453,13 +655,13 @@ mod tests {
             "Country",
         ] {
             let category = cat(&ds, c);
-            let full = Dimsat::new(&ds).category_satisfiable(category).satisfiable;
+            let full = Dimsat::new(&ds).category_satisfiable(category).is_sat();
             let no_into = Dimsat::with_options(&ds, DimsatOptions::without_into_pruning())
                 .category_satisfiable(category)
-                .satisfiable;
+                .is_sat();
             let gt = Dimsat::with_options(&ds, DimsatOptions::generate_and_test())
                 .category_satisfiable(category)
-                .satisfiable;
+                .is_sat();
             assert_eq!(full, no_into, "into-pruning changed the answer for {c}");
             assert_eq!(full, gt, "generate-and-test changed the answer for {c}");
         }
@@ -504,8 +706,9 @@ mod tests {
         let ds2 = ds.with_constraint(extra);
         let sale_region = cat(&ds2, "SaleRegion");
         let out = Dimsat::new(&ds2).category_satisfiable(sale_region);
-        assert!(!out.satisfiable);
-        assert!(out.witness.is_none());
+        assert!(out.is_unsat());
+        assert!(out.witness().is_none());
+        assert!(out.interrupted.is_none());
     }
 
     #[test]
@@ -526,7 +729,7 @@ mod tests {
         let store = cat(&ds, "Store");
         let opts = DimsatOptions::full().with_trace();
         let out = Dimsat::with_options(&ds, opts).category_satisfiable(store);
-        assert!(out.satisfiable);
+        assert!(out.is_sat());
         assert!(out
             .trace
             .iter()
@@ -547,7 +750,7 @@ mod tests {
         // The empty subhierarchy {All} is complete and Σ(ds, All) = ∅…
         // Proposition 1 territory: the schema itself is always
         // satisfiable; `All` is inhabited in every instance.
-        assert!(out.satisfiable);
+        assert!(out.is_sat());
     }
 
     /// Differential test on a schema with a *cycle* (Example 4), which the
@@ -577,5 +780,107 @@ mod tests {
         for f in &dimsat_frozen {
             assert!(f.subhierarchy().is_acyclic(), "frozen dims are acyclic");
         }
+    }
+
+    #[test]
+    fn node_limit_yields_unknown_with_stats() {
+        let ds = location_sch();
+        let store = cat(&ds, "Store");
+        let out = Dimsat::new(&ds)
+            .with_budget(Budget::unlimited().with_node_limit(1))
+            .category_satisfiable(store);
+        assert!(out.is_unknown());
+        let i = out.interrupted.expect("interrupt must be recorded");
+        assert_eq!(i.reason, InterruptReason::NodeLimit);
+        assert!(i.nodes >= 1);
+    }
+
+    #[test]
+    fn zero_deadline_yields_unknown_immediately() {
+        let ds = location_sch();
+        let store = cat(&ds, "Store");
+        let out = Dimsat::new(&ds)
+            .with_budget(Budget::unlimited().with_deadline(std::time::Duration::ZERO))
+            .category_satisfiable(store);
+        assert!(out.is_unknown());
+        assert_eq!(
+            out.interrupted.map(|i| i.reason),
+            Some(InterruptReason::Deadline)
+        );
+    }
+
+    #[test]
+    fn cancelled_token_yields_unknown() {
+        let ds = location_sch();
+        let store = cat(&ds, "Store");
+        let token = CancelToken::new();
+        token.cancel();
+        let out = Dimsat::new(&ds)
+            .with_cancel_token(token)
+            .category_satisfiable(store);
+        assert!(out.is_unknown());
+        assert_eq!(
+            out.interrupted.map(|i| i.reason),
+            Some(InterruptReason::Cancelled)
+        );
+    }
+
+    #[test]
+    fn depth_limit_yields_unknown() {
+        let ds = location_sch();
+        let store = cat(&ds, "Store");
+        let out = Dimsat::new(&ds)
+            .with_budget(Budget::unlimited().with_depth_limit(1))
+            .category_satisfiable(store);
+        assert!(out.is_unknown());
+        assert_eq!(
+            out.interrupted.map(|i| i.reason),
+            Some(InterruptReason::DepthLimit)
+        );
+    }
+
+    #[test]
+    fn generous_budget_does_not_change_answers() {
+        let ds = location_sch();
+        let budget = Budget::unlimited()
+            .with_node_limit(1_000_000)
+            .with_check_limit(1_000_000)
+            .with_deadline(std::time::Duration::from_secs(60));
+        for c in ["Store", "City", "State", "Country"] {
+            let category = cat(&ds, c);
+            let plain = Dimsat::new(&ds).category_satisfiable(category);
+            let budgeted = Dimsat::new(&ds)
+                .with_budget(budget)
+                .category_satisfiable(category);
+            assert_eq!(plain.is_sat(), budgeted.is_sat());
+            assert!(budgeted.interrupted.is_none());
+        }
+    }
+
+    #[test]
+    fn shared_governor_accumulates_across_queries() {
+        let ds = location_sch();
+        let solver = Dimsat::new(&ds).with_budget(Budget::unlimited().with_node_limit(10_000));
+        let mut gov = solver.governor();
+        let a = solver.category_satisfiable_governed(cat(&ds, "Store"), &mut gov);
+        let nodes_after_first = gov.nodes();
+        let b = solver.category_satisfiable_governed(cat(&ds, "City"), &mut gov);
+        assert!(a.is_sat() && b.is_sat());
+        assert!(gov.nodes() > nodes_after_first, "budget is shared");
+    }
+
+    #[test]
+    fn interrupted_enumeration_reports_partial_work() {
+        let ds = location_sch();
+        let store = cat(&ds, "Store");
+        // Find the full enumeration's check count, then cut it short.
+        let (full, _) = Dimsat::new(&ds).enumerate_frozen(store);
+        assert!(full.len() > 1);
+        let (partial, out) = Dimsat::new(&ds)
+            .with_budget(Budget::unlimited().with_check_limit(1))
+            .enumerate_frozen(store);
+        assert!(out.interrupted.is_some());
+        assert!(partial.len() < full.len());
+        assert!(out.stats.expand_calls > 0, "partial stats are populated");
     }
 }

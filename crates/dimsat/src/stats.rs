@@ -8,6 +8,9 @@ use std::time::Duration;
 pub struct SearchStats {
     /// Calls to the EXPAND procedure.
     pub expand_calls: u64,
+    /// Wall-clock time consumed by the governed search (also populated on
+    /// interrupted runs, so partial work is reported, not discarded).
+    pub elapsed: Duration,
     /// Complete subhierarchies handed to CHECK.
     pub check_calls: u64,
     /// Parent subsets skipped because an *into* parent was pruned away
@@ -30,6 +33,7 @@ impl SearchStats {
     /// implication driver, which may run several satisfiability queries).
     pub fn absorb(&mut self, other: &SearchStats) {
         self.expand_calls += other.expand_calls;
+        self.elapsed += other.elapsed;
         self.check_calls += other.check_calls;
         self.dead_ends += other.dead_ends;
         self.late_rejections += other.late_rejections;

@@ -31,6 +31,7 @@ use crate::circle;
 use crate::frozen::FrozenDimension;
 use odc_constraint::ast::AtomRef;
 use odc_constraint::{Constraint, DimensionConstraint, DimensionSchema};
+use odc_govern::{Governor, Interrupt};
 use odc_hierarchy::{Category, Subhierarchy};
 
 /// A symbolic `Name` value for one category of a candidate frozen
@@ -297,7 +298,24 @@ impl FrozenContext {
     /// Precondition (established by the caller — EXPAND prunes for it,
     /// the naive enumerator filters for it): `g` is a valid subhierarchy.
     /// Acyclicity/shortcut-freeness is *not* re-checked here.
+    ///
+    /// Unbudgeted convenience over [`Self::check_governed`]; the
+    /// c-assignment search is exponential in the mentioned categories, so
+    /// budgeted callers should prefer the governed form.
     pub fn check(&self, g: &Subhierarchy) -> Option<CAssignment> {
+        let mut gov = Governor::unlimited();
+        // An unlimited governor with a fresh token cannot interrupt.
+        self.check_governed(g, &mut gov).unwrap_or(None)
+    }
+
+    /// [`Self::check`] under a [`Governor`]: the backtracking c-assignment
+    /// search polls the budget on every node, so a single CHECK over a
+    /// large value domain cannot blow past a deadline unnoticed.
+    pub fn check_governed(
+        &self,
+        g: &Subhierarchy,
+        gov: &mut Governor,
+    ) -> Result<Option<CAssignment>, Interrupt> {
         // Reduce Σ ∘ g, dropping constraints that became ⊤ and failing
         // fast on ⊥ — but only for constraints whose root category is
         // present in g; absent roots hold vacuously.
@@ -308,7 +326,7 @@ impl FrozenContext {
             }
             match circle::reduce_constraint(dc, g) {
                 Constraint::True => {}
-                Constraint::False => return None,
+                Constraint::False => return Ok(None),
                 other => residue.push(other),
             }
         }
@@ -328,49 +346,52 @@ impl FrozenContext {
             });
         }
         let mut ca = CAssignment::all_nk(self.universe);
-        if self.search(&residue, &mentioned, 0, &mut ca) {
-            Some(ca)
+        if self.search(&residue, &mentioned, 0, &mut ca, gov)? {
+            Ok(Some(ca))
         } else {
-            None
+            Ok(None)
         }
     }
 
     /// Backtracking product search over the mentioned categories with
     /// early partial evaluation: as soon as the residue is decided by the
-    /// categories assigned so far, the subtree is cut.
+    /// categories assigned so far, the subtree is cut. Polls the governor
+    /// on every node.
     fn search(
         &self,
         residue: &[Constraint],
         cats: &[Category],
         depth: usize,
         ca: &mut CAssignment,
-    ) -> bool {
+        gov: &mut Governor,
+    ) -> Result<bool, Interrupt> {
+        gov.tick_node()?;
         self.assignments_tested
             .set(self.assignments_tested.get() + 1);
         let decided = &cats[..depth];
         let mut all_true = true;
         for c in residue {
             match self.eval_partial(c, decided, ca) {
-                Some(false) => return false,
+                Some(false) => return Ok(false),
                 Some(true) => {}
                 None => all_true = false,
             }
         }
         if all_true {
-            return true;
+            return Ok(true);
         }
         if depth == cats.len() {
-            return false;
+            return Ok(false);
         }
         let c = cats[depth];
         for &slot in self.consts.choices(c) {
             ca.set(c, slot);
-            if self.search(residue, cats, depth + 1, ca) {
-                return true;
+            if self.search(residue, cats, depth + 1, ca, gov)? {
+                return Ok(true);
             }
         }
         ca.set(c, Slot::Nk);
-        false
+        Ok(false)
     }
 
     /// Three-valued evaluation of a residue formula: `None` = undecided.

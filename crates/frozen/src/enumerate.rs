@@ -13,6 +13,7 @@
 use crate::cassign::FrozenContext;
 use crate::frozen::FrozenDimension;
 use odc_constraint::DimensionSchema;
+use odc_govern::{Budget, CancelToken, Governor, Interrupt, InterruptReason};
 use odc_hierarchy::{Category, Subhierarchy};
 
 /// Statistics of an exhaustive enumeration run.
@@ -26,6 +27,10 @@ pub struct EnumerationStats {
     pub candidates: u64,
     /// Candidates on which a c-assignment search ran.
     pub checks: u64,
+    /// Set when the run stopped early (budget exhausted, cancellation, or
+    /// a `2^E` space too large to walk) — the enumeration is then a
+    /// partial lower bound, not the full Theorem-3 set.
+    pub interrupt: Option<Interrupt>,
 }
 
 /// The exhaustive Theorem-3 enumerator.
@@ -34,6 +39,8 @@ pub struct ExhaustiveEnumerator<'a> {
     ctx: FrozenContext,
     /// Relevant edges: both endpoints reachable from the root.
     edges: Vec<(Category, Category)>,
+    budget: Budget,
+    cancel: CancelToken,
     pub(crate) stats: EnumerationStats,
 }
 
@@ -41,27 +48,38 @@ impl<'a> ExhaustiveEnumerator<'a> {
     /// Prepares an enumeration of the frozen dimensions of `ds` with the
     /// given root.
     ///
-    /// # Panics
-    /// Panics when the schema has more than 62 root-relevant edges — the
-    /// naive enumeration is `2^E` by design and only meant for small
-    /// schemas (the oracle role).
+    /// The naive enumeration is `2^E` by design and only meant for small
+    /// schemas (the oracle role); on schemas with more than 62
+    /// root-relevant edges — or when a [`Budget`] runs out — the run
+    /// stops early and records an [`Interrupt`] in
+    /// [`EnumerationStats::interrupt`] instead of panicking or running
+    /// forever.
     pub fn new(ds: &'a DimensionSchema, root: Category) -> Self {
         let g = ds.hierarchy();
         // Only edges whose child is reachable from the root can appear in
         // a subhierarchy rooted there (Definition 7(c)).
         let edges: Vec<(Category, Category)> =
             g.edges().filter(|&(c, _)| g.reaches(root, c)).collect();
-        assert!(
-            edges.len() <= 62,
-            "exhaustive enumeration over {} edges is infeasible",
-            edges.len()
-        );
         ExhaustiveEnumerator {
             ds,
             ctx: FrozenContext::new(ds, root),
             edges,
+            budget: Budget::unlimited(),
+            cancel: CancelToken::new(),
             stats: EnumerationStats::default(),
         }
+    }
+
+    /// Restricts the enumeration to a resource budget.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Attaches a cancellation token (pollable from another thread).
+    pub fn with_cancel_token(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
     }
 
     /// Run statistics (populated by [`Self::enumerate`]).
@@ -69,26 +87,54 @@ impl<'a> ExhaustiveEnumerator<'a> {
         &self.stats
     }
 
+    /// Whether the last run stopped early, and why.
+    pub fn interrupt(&self) -> Option<Interrupt> {
+        self.stats.interrupt
+    }
+
     /// Whether at least one frozen dimension exists (category
-    /// satisfiability, Theorem 3): stops at the first witness.
+    /// satisfiability, Theorem 3): stops at the first witness. `None`
+    /// means "none found"; check [`Self::interrupt`] to distinguish a
+    /// completed Unsat from an exhausted budget.
     pub fn is_satisfiable(&mut self) -> Option<FrozenDimension> {
-        self.run(true).into_iter().next()
+        let mut gov = Governor::new(self.budget, self.cancel.clone());
+        self.run(true, &mut gov).into_iter().next()
     }
 
     /// Enumerates every frozen dimension (one per inducing subhierarchy;
     /// each carries one witnessing assignment — enumerate assignments per
     /// subhierarchy with [`Self::enumerate_all_assignments`]).
     pub fn enumerate(&mut self) -> Vec<FrozenDimension> {
-        self.run(false)
+        let mut gov = Governor::new(self.budget, self.cancel.clone());
+        self.run(false, &mut gov)
     }
 
-    fn run(&mut self, stop_at_first: bool) -> Vec<FrozenDimension> {
+    /// [`Self::enumerate`] under a caller-supplied [`Governor`] (shared
+    /// budget across a batch of enumerations).
+    pub fn enumerate_governed(&mut self, gov: &mut Governor) -> Vec<FrozenDimension> {
+        self.run(false, gov)
+    }
+
+    fn run(&mut self, stop_at_first: bool, gov: &mut Governor) -> Vec<FrozenDimension> {
         let g = self.ds.hierarchy();
         let root = self.ctx.root();
         let n_edges = self.edges.len();
         let mut found = Vec::new();
         self.stats = EnumerationStats::default();
+        if n_edges > 62 {
+            // 2^E subsets do not even fit the mask; refuse gracefully.
+            self.stats.interrupt = Some(Interrupt {
+                reason: InterruptReason::NodeLimit,
+                nodes: gov.nodes(),
+                checks: gov.checks(),
+            });
+            return found;
+        }
         for mask in 0u64..(1u64 << n_edges) {
+            if let Err(i) = gov.tick_node() {
+                self.stats.interrupt = Some(i);
+                return found;
+            }
             self.stats.subsets += 1;
             let mut sub = Subhierarchy::new(root, g.num_categories());
             for (i, &(c, p)) in self.edges.iter().enumerate() {
@@ -104,10 +150,21 @@ impl<'a> ExhaustiveEnumerator<'a> {
                 continue;
             }
             self.stats.candidates += 1;
+            if let Err(i) = gov.tick_check() {
+                self.stats.interrupt = Some(i);
+                return found;
+            }
             self.stats.checks += 1;
-            if let Some(ca) = self.ctx.check(&sub) {
-                found.push(FrozenDimension::new(sub, ca));
-                if stop_at_first {
+            match self.ctx.check_governed(&sub, gov) {
+                Ok(Some(ca)) => {
+                    found.push(FrozenDimension::new(sub, ca));
+                    if stop_at_first {
+                        return found;
+                    }
+                }
+                Ok(None) => {}
+                Err(i) => {
+                    self.stats.interrupt = Some(i);
                     return found;
                 }
             }

@@ -44,6 +44,8 @@
 //! requirement, so we read `nk` as a per-category fresh constant and do
 //! not enforce injectivity across categories.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
 pub mod cassign;
 pub mod circle;
 pub mod enumerate;

@@ -1,0 +1,437 @@
+//! # odc-govern
+//!
+//! Resource governance for the reasoning stack. DIMSAT is worst-case
+//! exponential (Proposition 4) and category satisfiability is NP-complete
+//! (Theorem 4), so every solve entrypoint in this workspace accepts a
+//! [`Budget`] and a [`CancelToken`] and polls a [`Governor`] at bounded
+//! intervals. When a limit trips, the solver stops cooperatively and
+//! reports `Unknown(`[`Interrupt`]`)` together with the statistics of the
+//! partial search — bounded, interruptible, panic-free reasoning instead
+//! of an unbounded run.
+//!
+//! ```
+//! use odc_govern::{Budget, CancelToken, Governor};
+//! use std::time::Duration;
+//!
+//! let budget = Budget::unlimited()
+//!     .with_deadline(Duration::from_millis(10))
+//!     .with_node_limit(10_000);
+//! let cancel = CancelToken::new();
+//! let mut gov = Governor::new(budget, cancel.clone());
+//! assert!(gov.tick_node().is_ok());
+//! cancel.cancel();
+//! assert!(gov.tick_check().is_err());
+//! ```
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a governed search stopped early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InterruptReason {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The explored-node (subhierarchy expansion) limit was reached.
+    NodeLimit,
+    /// The CHECK-invocation limit was reached.
+    CheckLimit,
+    /// The recursion-depth guard tripped.
+    DepthLimit,
+    /// The [`CancelToken`] was flipped (typically from another thread).
+    Cancelled,
+}
+
+impl fmt::Display for InterruptReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            InterruptReason::Deadline => "deadline exceeded",
+            InterruptReason::NodeLimit => "node limit exceeded",
+            InterruptReason::CheckLimit => "CHECK limit exceeded",
+            InterruptReason::DepthLimit => "recursion depth limit exceeded",
+            InterruptReason::Cancelled => "cancelled",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A cooperative interruption: the search gave up without an answer.
+///
+/// Carried by the `Unknown` arm of every solver verdict. The counters
+/// describe how much budget had been consumed when the search stopped;
+/// the full per-run statistics ride on the outcome struct next to the
+/// verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Interrupt {
+    /// What tripped.
+    pub reason: InterruptReason,
+    /// Search nodes (EXPAND activations / enumeration steps) consumed.
+    pub nodes: u64,
+    /// CHECK invocations consumed.
+    pub checks: u64,
+}
+
+impl Interrupt {
+    /// An interrupt with zeroed counters (used where no meter ran).
+    pub fn new(reason: InterruptReason) -> Self {
+        Interrupt {
+            reason,
+            nodes: 0,
+            checks: 0,
+        }
+    }
+}
+
+impl fmt::Display for Interrupt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} after {} node(s), {} check(s)",
+            self.reason, self.nodes, self.checks
+        )
+    }
+}
+
+impl std::error::Error for Interrupt {}
+
+/// Resource limits for one reasoning call (or one batch of calls sharing
+/// a [`Governor`]). The default is unlimited — classical, potentially
+/// exponential search.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Wall-clock allowance, measured from [`Governor`] creation.
+    pub deadline: Option<Duration>,
+    /// Maximum search nodes (EXPAND activations, enumeration steps,
+    /// c-assignment nodes — anything the solver counts as one unit of
+    /// exploration).
+    pub node_limit: Option<u64>,
+    /// Maximum CHECK (complete-subhierarchy test) invocations.
+    pub check_limit: Option<u64>,
+    /// Maximum recursion depth of the search.
+    pub depth_limit: Option<usize>,
+}
+
+impl Budget {
+    /// No limits at all (the classical posture; use with care).
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// A wall-clock allowance.
+    pub fn with_deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// A search-node allowance.
+    pub fn with_node_limit(mut self, n: u64) -> Self {
+        self.node_limit = Some(n);
+        self
+    }
+
+    /// A CHECK-invocation allowance.
+    pub fn with_check_limit(mut self, n: u64) -> Self {
+        self.check_limit = Some(n);
+        self
+    }
+
+    /// A recursion-depth guard.
+    pub fn with_depth_limit(mut self, n: usize) -> Self {
+        self.depth_limit = Some(n);
+        self
+    }
+
+    /// Whether any limit is set.
+    pub fn is_limited(&self) -> bool {
+        self.deadline.is_some()
+            || self.node_limit.is_some()
+            || self.check_limit.is_some()
+            || self.depth_limit.is_some()
+    }
+}
+
+/// A shareable cancellation flag. Clone it into another thread and call
+/// [`CancelToken::cancel`] to stop a governed search cooperatively; the
+/// search observes the flag at its next poll and returns
+/// `Unknown(Cancelled)`.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// How many ticks pass between wall-clock polls. `Instant::now` is a
+/// syscall-ish operation; checking it on every node would dominate tight
+/// search loops, so deadline and cancellation are observed every
+/// `POLL_INTERVAL` ticks (and on every CHECK, which is coarse).
+const POLL_INTERVAL: u64 = 64;
+
+/// The runtime meter for one governed search (or batch). Created from a
+/// [`Budget`] and a [`CancelToken`]; solvers call the `tick_*` methods at
+/// bounded intervals and stop when one returns an [`Interrupt`].
+///
+/// Interrupts are sticky: once tripped, every later tick reports the same
+/// interrupt, so deep recursive searches unwind promptly.
+#[derive(Debug, Clone)]
+pub struct Governor {
+    budget: Budget,
+    cancel: CancelToken,
+    start: Instant,
+    deadline_at: Option<Instant>,
+    nodes: u64,
+    checks: u64,
+    tripped: Option<Interrupt>,
+}
+
+impl Governor {
+    /// A governor measuring from now.
+    pub fn new(budget: Budget, cancel: CancelToken) -> Self {
+        Governor {
+            budget,
+            cancel,
+            start: Instant::now(),
+            deadline_at: budget.deadline.map(|d| Instant::now() + d),
+            nodes: 0,
+            checks: 0,
+            tripped: None,
+        }
+    }
+
+    /// A governor with no cancellation channel.
+    pub fn from_budget(budget: Budget) -> Self {
+        Governor::new(budget, CancelToken::new())
+    }
+
+    /// An unlimited governor (counts, never interrupts unless cancelled).
+    pub fn unlimited() -> Self {
+        Governor::from_budget(Budget::unlimited())
+    }
+
+    /// The budget this governor enforces.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// Search nodes consumed so far.
+    pub fn nodes(&self) -> u64 {
+        self.nodes
+    }
+
+    /// CHECK invocations consumed so far.
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// Wall-clock time since creation.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// The interrupt, if one has tripped.
+    pub fn interrupt(&self) -> Option<Interrupt> {
+        self.tripped
+    }
+
+    fn trip(&mut self, reason: InterruptReason) -> Interrupt {
+        let i = Interrupt {
+            reason,
+            nodes: self.nodes,
+            checks: self.checks,
+        };
+        self.tripped = Some(i);
+        i
+    }
+
+    /// Polls deadline and cancellation unconditionally (used on coarse
+    /// boundaries, e.g. between batch items).
+    pub fn poll(&mut self) -> Result<(), Interrupt> {
+        if let Some(i) = self.tripped {
+            return Err(i);
+        }
+        if self.cancel.is_cancelled() {
+            return Err(self.trip(InterruptReason::Cancelled));
+        }
+        if let Some(at) = self.deadline_at {
+            if Instant::now() >= at {
+                return Err(self.trip(InterruptReason::Deadline));
+            }
+        }
+        Ok(())
+    }
+
+    /// Accounts one search node; checks the node limit on every call and
+    /// deadline/cancellation every [`POLL_INTERVAL`] nodes.
+    pub fn tick_node(&mut self) -> Result<(), Interrupt> {
+        if let Some(i) = self.tripped {
+            return Err(i);
+        }
+        self.nodes += 1;
+        if let Some(limit) = self.budget.node_limit {
+            if self.nodes > limit {
+                return Err(self.trip(InterruptReason::NodeLimit));
+            }
+        }
+        if self.nodes.is_multiple_of(POLL_INTERVAL) {
+            self.poll()
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Accounts one CHECK invocation; checks every limit (CHECK calls are
+    /// coarse enough that polling the clock each time is fine).
+    pub fn tick_check(&mut self) -> Result<(), Interrupt> {
+        if let Some(i) = self.tripped {
+            return Err(i);
+        }
+        self.checks += 1;
+        if let Some(limit) = self.budget.check_limit {
+            if self.checks > limit {
+                return Err(self.trip(InterruptReason::CheckLimit));
+            }
+        }
+        self.poll()
+    }
+
+    /// Guards a recursion depth against the depth limit.
+    pub fn guard_depth(&mut self, depth: usize) -> Result<(), Interrupt> {
+        if let Some(i) = self.tripped {
+            return Err(i);
+        }
+        if let Some(limit) = self.budget.depth_limit {
+            if depth > limit {
+                return Err(self.trip(InterruptReason::DepthLimit));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_trips() {
+        let mut gov = Governor::unlimited();
+        for _ in 0..100_000 {
+            gov.tick_node().unwrap();
+        }
+        gov.tick_check().unwrap();
+        gov.guard_depth(1_000_000).unwrap();
+        assert_eq!(gov.nodes(), 100_000);
+        assert_eq!(gov.checks(), 1);
+        assert!(gov.interrupt().is_none());
+    }
+
+    #[test]
+    fn node_limit_trips_and_sticks() {
+        let mut gov = Governor::from_budget(Budget::unlimited().with_node_limit(10));
+        for _ in 0..10 {
+            gov.tick_node().unwrap();
+        }
+        let i = gov.tick_node().unwrap_err();
+        assert_eq!(i.reason, InterruptReason::NodeLimit);
+        assert_eq!(i.nodes, 11);
+        // Sticky: everything fails from now on, with the same interrupt.
+        assert_eq!(gov.tick_check().unwrap_err(), i);
+        assert_eq!(gov.guard_depth(0).unwrap_err(), i);
+        assert_eq!(gov.interrupt(), Some(i));
+    }
+
+    #[test]
+    fn check_limit_trips() {
+        let mut gov = Governor::from_budget(Budget::unlimited().with_check_limit(2));
+        gov.tick_check().unwrap();
+        gov.tick_check().unwrap();
+        assert_eq!(
+            gov.tick_check().unwrap_err().reason,
+            InterruptReason::CheckLimit
+        );
+    }
+
+    #[test]
+    fn depth_limit_trips() {
+        let mut gov = Governor::from_budget(Budget::unlimited().with_depth_limit(5));
+        gov.guard_depth(5).unwrap();
+        assert_eq!(
+            gov.guard_depth(6).unwrap_err().reason,
+            InterruptReason::DepthLimit
+        );
+    }
+
+    #[test]
+    fn zero_deadline_trips_within_poll_interval() {
+        let mut gov = Governor::from_budget(Budget::unlimited().with_deadline(Duration::ZERO));
+        let mut tripped = None;
+        for _ in 0..(POLL_INTERVAL + 1) {
+            if let Err(i) = gov.tick_node() {
+                tripped = Some(i);
+                break;
+            }
+        }
+        assert_eq!(tripped.unwrap().reason, InterruptReason::Deadline);
+    }
+
+    #[test]
+    fn cancel_token_is_shared() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!clone.is_cancelled());
+        token.cancel();
+        assert!(clone.is_cancelled());
+        let mut gov = Governor::new(Budget::unlimited(), clone);
+        assert_eq!(gov.poll().unwrap_err().reason, InterruptReason::Cancelled);
+    }
+
+    #[test]
+    fn cancellation_from_another_thread() {
+        let token = CancelToken::new();
+        let remote = token.clone();
+        let handle = std::thread::spawn(move || remote.cancel());
+        handle.join().unwrap();
+        let mut gov = Governor::new(Budget::unlimited(), token);
+        assert_eq!(
+            gov.tick_check().unwrap_err().reason,
+            InterruptReason::Cancelled
+        );
+    }
+
+    #[test]
+    fn budget_builder_composes() {
+        let b = Budget::unlimited()
+            .with_deadline(Duration::from_millis(5))
+            .with_node_limit(7)
+            .with_check_limit(3)
+            .with_depth_limit(9);
+        assert!(b.is_limited());
+        assert_eq!(b.node_limit, Some(7));
+        assert_eq!(b.check_limit, Some(3));
+        assert_eq!(b.depth_limit, Some(9));
+        assert!(!Budget::unlimited().is_limited());
+    }
+
+    #[test]
+    fn interrupt_display_names_reason() {
+        let i = Interrupt::new(InterruptReason::Deadline);
+        assert!(i.to_string().contains("deadline"));
+        assert!(InterruptReason::Cancelled.to_string().contains("cancel"));
+    }
+}

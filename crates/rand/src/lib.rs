@@ -1,0 +1,245 @@
+//! # odc-rand
+//!
+//! A tiny, dependency-free pseudo-random number generator for the
+//! workload generators and benchmark harness: xoshiro256++ seeded through
+//! splitmix64, with a `rand`-flavoured surface (`StdRng`, [`SeedableRng`],
+//! [`Rng::gen_range`], [`Rng::gen_bool`]) so call sites read identically
+//! to the previous crates.io dependency. Everything here is deterministic
+//! per seed, which is what the experiment grids require — statistical
+//! quality beyond xoshiro256++ is a non-goal.
+//!
+//! ```
+//! use odc_rand::rngs::StdRng;
+//! use odc_rand::{Rng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let die = rng.gen_range(1..=6);
+//! assert!((1..=6).contains(&die));
+//! let coin = rng.gen_bool(0.5);
+//! let again = StdRng::seed_from_u64(42).gen_range(1..=6);
+//! assert_eq!(die, again, "same seed, same stream");
+//! let _ = coin;
+//! ```
+
+/// Deterministic seeding.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The raw 64-bit source.
+pub trait RngCore {
+    /// The next 64 pseudo-random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// splitmix64 — used to expand a 64-bit seed into xoshiro state (the
+/// seeding procedure recommended by the xoshiro authors).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256++ — the workhorse generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl SeedableRng for Xoshiro256PlusPlus {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Xoshiro256PlusPlus { s }
+    }
+}
+
+impl RngCore for Xoshiro256PlusPlus {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Namespaced alias mirroring `rand::rngs`.
+pub mod rngs {
+    /// The standard generator of this workspace.
+    pub type StdRng = super::Xoshiro256PlusPlus;
+}
+
+/// A half-open or inclusive integer range that [`Rng::gen_range`] can
+/// sample from.
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from the range.
+    ///
+    /// Empty ranges yield the range start rather than panicking (the
+    /// workloads never construct them; saturating keeps the API
+    /// panic-free).
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform integer in `[0, span)` by multiply-shift (Lemire); `span = 0`
+/// means the full 2^64 domain.
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    if span == 0 {
+        return rng.next_u64();
+    }
+    // 128-bit multiply-high: unbiased enough for workload generation and
+    // far cheaper than rejection sampling's worst case.
+    (((rng.next_u64() as u128) * (span as u128)) >> 64) as u64
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                if self.end <= self.start {
+                    return self.start;
+                }
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let off = uniform_u64(rng, span);
+                ((self.start as i128) + off as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                if end < start {
+                    return start;
+                }
+                let span = (end as i128 - start as i128 + 1) as u128;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                let off = uniform_u64(rng, span as u64);
+                ((start as i128) + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// The user-facing sampling surface, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform sample from an integer (or `f64`) range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(-100i64..=100);
+            assert!((-100..=100).contains(&w));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_the_domain() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 6];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..6)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+        let mut hi = false;
+        let mut lo = false;
+        for _ in 0..1_000 {
+            match rng.gen_range(1usize..=3) {
+                1 => lo = true,
+                3 => hi = true,
+                _ => {}
+            }
+        }
+        assert!(lo && hi, "inclusive bounds must both be reachable");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "{hits}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn empty_ranges_do_not_panic() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(rng.gen_range(5usize..5), 5);
+        // Reversed bounds saturate to the start instead of panicking.
+        #[allow(clippy::reversed_empty_ranges)]
+        let v = rng.gen_range(5usize..3);
+        assert_eq!(v, 5);
+    }
+
+    #[test]
+    fn negative_inclusive_range_is_uniformish() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut neg = 0usize;
+        for _ in 0..10_000 {
+            if rng.gen_range(-1i64..=1) < 0 {
+                neg += 1;
+            }
+        }
+        assert!((2_800..3_900).contains(&neg), "{neg}");
+    }
+}

@@ -14,9 +14,10 @@
 //! * **summarizability matrix** — for each pair of categories, whether
 //!   the finer one's view can rebuild the coarser one's.
 
-use crate::theorem1::is_summarizable_in_schema;
+use crate::theorem1::is_summarizable_in_schema_governed;
 use odc_constraint::{Constraint, DimensionConstraint, DimensionSchema};
-use odc_dimsat::{implication, Dimsat};
+use odc_dimsat::{implication, Dimsat, DimsatOptions};
+use odc_govern::{Governor, Interrupt};
 use odc_hierarchy::Category;
 
 /// The advisor's findings.
@@ -33,6 +34,10 @@ pub struct SchemaReport {
     /// Pairs `(coarse, fine)` such that `coarse` is summarizable from
     /// `{fine}` — the safe single-view rewrites.
     pub safe_rewrites: Vec<(Category, Category)>,
+    /// Set when the audit's budget ran out: the fields above hold
+    /// whatever was proved before the interrupt (a partial report, not a
+    /// wrong one).
+    pub interrupted: Option<Interrupt>,
 }
 
 impl SchemaReport {
@@ -79,59 +84,87 @@ impl SchemaReport {
                 g.name(fine)
             ));
         }
+        if let Some(i) = &self.interrupted {
+            out.push_str(&format!("audit interrupted ({i}); report is partial\n"));
+        }
         out
     }
 }
 
-/// Runs every audit. Cost: a few DIMSAT queries per category pair —
-/// intended for design-time use on schema-sized inputs.
+/// Runs every audit with no resource limits. Cost: a few DIMSAT queries
+/// per category pair — intended for design-time use on schema-sized
+/// inputs.
 pub fn audit(ds: &DimensionSchema) -> SchemaReport {
+    let mut gov = Governor::unlimited();
+    audit_governed(ds, &mut gov)
+}
+
+/// [`audit`] under a caller-supplied [`Governor`]: all four audits draw
+/// from one budget, and an interrupt yields a partial report (the
+/// completed audits) with [`SchemaReport::interrupted`] set.
+pub fn audit_governed(ds: &DimensionSchema, gov: &mut Governor) -> SchemaReport {
     let g = ds.hierarchy();
     let solver = Dimsat::new(ds);
+    let mut report = SchemaReport {
+        unsatisfiable: Vec::new(),
+        redundant_constraints: Vec::new(),
+        structure_census: Vec::new(),
+        safe_rewrites: Vec::new(),
+        interrupted: None,
+    };
 
-    let unsatisfiable = solver.unsatisfiable_categories();
+    match solver.unsatisfiable_categories_governed(gov) {
+        Ok(u) => report.unsatisfiable = u,
+        Err(i) => {
+            report.interrupted = Some(i);
+            return report;
+        }
+    }
 
     // A constraint σ is redundant iff (G, Σ \ {σ}) ⊨ σ.
-    let mut redundant_constraints = Vec::new();
     for (i, dc) in ds.constraints().iter().enumerate() {
         let mut rest: Vec<DimensionConstraint> = ds.constraints().to_vec();
         rest.remove(i);
         let reduced = DimensionSchema::new(ds.hierarchy_arc(), rest);
-        if implication::implies(&reduced, dc).implied {
-            redundant_constraints.push(i);
+        let out = implication::implies_governed(&reduced, dc, DimsatOptions::default(), gov);
+        if let Some(intr) = out.interrupt() {
+            report.interrupted = Some(intr);
+            return report;
+        }
+        if out.implied() {
+            report.redundant_constraints.push(i);
         }
     }
 
-    let structure_census = g
-        .bottom_categories()
-        .into_iter()
-        .filter(|c| !c.is_all())
-        .map(|c| {
-            let (frozen, _) = solver.enumerate_frozen(c);
-            (c, frozen.len())
-        })
-        .collect();
+    for c in g.bottom_categories().into_iter().filter(|c| !c.is_all()) {
+        let (frozen, out) = solver.enumerate_frozen_governed(c, gov);
+        if let Some(intr) = out.interrupted {
+            report.interrupted = Some(intr);
+            return report;
+        }
+        report.structure_census.push((c, frozen.len()));
+    }
 
     // Safe single-view rewrites: coarse ← {fine} for fine ≠ coarse where
     // fine reaches coarse.
-    let mut safe_rewrites = Vec::new();
     for fine in g.categories() {
         for coarse in g.categories() {
             if fine == coarse || !g.reaches(fine, coarse) || fine.is_all() {
                 continue;
             }
-            if is_summarizable_in_schema(ds, coarse, &[fine]).summarizable {
-                safe_rewrites.push((coarse, fine));
+            let out =
+                is_summarizable_in_schema_governed(ds, coarse, &[fine], DimsatOptions::default(), gov);
+            if let Some(intr) = out.interrupt() {
+                report.interrupted = Some(intr);
+                return report;
+            }
+            if out.summarizable() {
+                report.safe_rewrites.push((coarse, fine));
             }
         }
     }
 
-    SchemaReport {
-        unsatisfiable,
-        redundant_constraints,
-        structure_census,
-        safe_rewrites,
-    }
+    report
 }
 
 /// Suggests a minimal constraint tightening: for each bottom category and
@@ -270,7 +303,7 @@ mod tests {
         // Suggestions are genuinely implied (they can be added without
         // changing the schema's models).
         for dc in &suggestions {
-            assert!(implication::implies(&ds, dc).implied);
+            assert!(implication::implies(&ds, dc).implied());
         }
     }
 

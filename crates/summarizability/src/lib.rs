@@ -28,6 +28,8 @@
 //! ([`navigator::execute`] actually computes the rewritten answer through
 //! the `odc-olap` substrate).
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
 pub mod advisor;
 pub mod infer;
 pub mod instance_check;
@@ -36,5 +38,6 @@ pub mod theorem1;
 
 pub use instance_check::is_summarizable_in_instance;
 pub use theorem1::{
-    is_summarizable_in_schema, summarizability_constraints, SummarizabilityOutcome,
+    is_summarizable_in_schema, is_summarizable_in_schema_governed, summarizability_constraints,
+    SummarizabilityOutcome, SummarizabilityVerdict,
 };

@@ -3,8 +3,10 @@
 //! summarizability guarantees the rewriting is correct in *every*
 //! instance of the schema.
 
-use crate::theorem1::is_summarizable_in_schema;
+use crate::theorem1::is_summarizable_in_schema_governed;
 use odc_constraint::DimensionSchema;
+use odc_dimsat::DimsatOptions;
+use odc_govern::Governor;
 use odc_hierarchy::Category;
 use odc_instance::{DimensionInstance, RollupTable};
 use odc_olap::{cube::CubeView, derive_cube_view};
@@ -28,26 +30,49 @@ pub fn find_rewrites(
     target: Category,
     available: &[Category],
 ) -> Vec<RewritePlan> {
+    let mut gov = Governor::unlimited();
+    find_rewrites_governed(ds, target, available, &mut gov)
+}
+
+/// [`find_rewrites`] under a caller-supplied [`Governor`]. Every plan
+/// returned is *proved* sound; an exhausted budget (or a view pool larger
+/// than 62, whose subset space cannot even be enumerated) stops the
+/// search early and returns the plans proved so far — check
+/// [`Governor::interrupt`] to tell a complete answer from a truncated
+/// one. A subset whose summarizability query comes back Unknown is
+/// conservatively treated as not-proved and skipped.
+pub fn find_rewrites_governed(
+    ds: &DimensionSchema,
+    target: Category,
+    available: &[Category],
+    gov: &mut Governor,
+) -> Vec<RewritePlan> {
     let n = available.len();
-    assert!(
-        n < 20,
-        "navigator subset search is meant for modest view pools"
-    );
     let mut found: Vec<Vec<Category>> = Vec::new();
-    // Enumerate by subset size for minimality.
-    let mut masks: Vec<u32> = (1u32..(1 << n)).collect();
-    masks.sort_by_key(|m| m.count_ones());
-    for mask in masks {
-        let s: Vec<Category> = (0..n)
-            .filter(|i| mask & (1 << i) != 0)
-            .map(|i| available[i])
-            .collect();
-        // Skip supersets of known solutions (not minimal).
-        if found.iter().any(|sol| sol.iter().all(|c| s.contains(c))) {
-            continue;
-        }
-        if is_summarizable_in_schema(ds, target, &s).summarizable {
-            found.push(s);
+    if n < 63 {
+        // Enumerate by subset size for minimality.
+        let mut masks: Vec<u64> = (1u64..(1 << n)).collect();
+        masks.sort_by_key(|m| m.count_ones());
+        for mask in masks {
+            if gov.tick_node().is_err() {
+                break;
+            }
+            let s: Vec<Category> = (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| available[i])
+                .collect();
+            // Skip supersets of known solutions (not minimal).
+            if found.iter().any(|sol| sol.iter().all(|c| s.contains(c))) {
+                continue;
+            }
+            let out =
+                is_summarizable_in_schema_governed(ds, target, &s, DimsatOptions::default(), gov);
+            if out.is_unknown() {
+                break;
+            }
+            if out.summarizable() {
+                found.push(s);
+            }
         }
     }
     found

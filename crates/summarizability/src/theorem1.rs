@@ -4,6 +4,7 @@
 use odc_constraint::{expand, Constraint, DimensionConstraint, DimensionSchema};
 use odc_dimsat::{implication, DimsatOptions, SearchStats};
 use odc_frozen::FrozenDimension;
+use odc_govern::{Governor, Interrupt};
 use odc_hierarchy::{Category, HierarchySchema};
 
 /// Builds the Theorem-1 constraints for "`c` is summarizable from `S`":
@@ -29,20 +30,60 @@ pub fn summarizability_constraints(
         .collect()
 }
 
+/// The three-valued answer of a governed summarizability query.
+#[derive(Debug, Clone)]
+pub enum SummarizabilityVerdict {
+    /// Every Theorem-1 constraint is implied: the rewriting is correct in
+    /// **every** instance of the schema.
+    Summarizable,
+    /// Some bottom category has a countermodel.
+    NotSummarizable,
+    /// A bottom-category implication query was interrupted before the
+    /// battery reached a conclusion.
+    Unknown(Interrupt),
+}
+
 /// The result of a schema-level summarizability query.
 #[derive(Debug, Clone)]
 pub struct SummarizabilityOutcome {
-    /// Whether `c` is summarizable from `S` in **every** instance of the
-    /// schema.
-    pub summarizable: bool,
+    /// Summarizable, NotSummarizable, or Unknown with the interrupt.
+    pub verdict: SummarizabilityVerdict,
     /// The bottom category whose Theorem-1 constraint failed (when not
     /// summarizable).
     pub failing_bottom: Option<Category>,
     /// A frozen countermodel: a minimal instance shape in which the
     /// rewriting would be wrong.
     pub counterexample: Option<FrozenDimension>,
-    /// Accumulated DIMSAT statistics over all bottom-category queries.
+    /// Accumulated DIMSAT statistics over all bottom-category queries
+    /// (populated even on interrupted runs).
     pub stats: SearchStats,
+}
+
+impl SummarizabilityOutcome {
+    /// Whether summarizability was *proved*. `false` covers both
+    /// NotSummarizable and Unknown — check [`Self::is_unknown`] when the
+    /// run was budgeted.
+    pub fn summarizable(&self) -> bool {
+        matches!(self.verdict, SummarizabilityVerdict::Summarizable)
+    }
+
+    /// Whether a countermodel was found.
+    pub fn not_summarizable(&self) -> bool {
+        matches!(self.verdict, SummarizabilityVerdict::NotSummarizable)
+    }
+
+    /// Whether the battery ended without an answer.
+    pub fn is_unknown(&self) -> bool {
+        matches!(self.verdict, SummarizabilityVerdict::Unknown(_))
+    }
+
+    /// The interrupt that cut the battery short, if any.
+    pub fn interrupt(&self) -> Option<Interrupt> {
+        match self.verdict {
+            SummarizabilityVerdict::Unknown(i) => Some(i),
+            _ => None,
+        }
+    }
 }
 
 /// Tests whether `c` is summarizable from `S` in every instance over
@@ -64,14 +105,36 @@ pub fn is_summarizable_in_schema_with(
     s: &[Category],
     opts: DimsatOptions,
 ) -> SummarizabilityOutcome {
+    let mut gov = Governor::unlimited();
+    is_summarizable_in_schema_governed(ds, c, s, opts, &mut gov)
+}
+
+/// [`is_summarizable_in_schema`] under a caller-supplied [`Governor`]:
+/// the whole Theorem-1 battery (one implication query per bottom
+/// category) draws from one shared budget.
+pub fn is_summarizable_in_schema_governed(
+    ds: &DimensionSchema,
+    c: Category,
+    s: &[Category],
+    opts: DimsatOptions,
+    gov: &mut Governor,
+) -> SummarizabilityOutcome {
     let mut stats = SearchStats::default();
     for dc in summarizability_constraints(ds.hierarchy(), c, s) {
         let root = dc.root();
-        let out = implication::implies_with(ds, &dc, opts);
+        let out = implication::implies_governed(ds, &dc, opts, gov);
         stats.absorb(&out.stats);
-        if !out.implied {
+        if let Some(i) = out.interrupt() {
             return SummarizabilityOutcome {
-                summarizable: false,
+                verdict: SummarizabilityVerdict::Unknown(i),
+                failing_bottom: None,
+                counterexample: None,
+                stats,
+            };
+        }
+        if !out.implied() {
+            return SummarizabilityOutcome {
+                verdict: SummarizabilityVerdict::NotSummarizable,
                 failing_bottom: Some(root),
                 counterexample: out.counterexample,
                 stats,
@@ -79,7 +142,7 @@ pub fn is_summarizable_in_schema_with(
         }
     }
     SummarizabilityOutcome {
-        summarizable: true,
+        verdict: SummarizabilityVerdict::Summarizable,
         failing_bottom: None,
         counterexample: None,
         stats,
@@ -147,7 +210,7 @@ mod tests {
         // City.
         let ds = location_sch();
         let out = is_summarizable_in_schema(&ds, cat(&ds, "Country"), &[cat(&ds, "City")]);
-        assert!(out.summarizable);
+        assert!(out.summarizable());
         assert!(out.counterexample.is_none());
     }
 
@@ -161,7 +224,7 @@ mod tests {
             cat(&ds, "Country"),
             &[cat(&ds, "State"), cat(&ds, "Province")],
         );
-        assert!(!out.summarizable);
+        assert!(!out.summarizable());
         assert_eq!(out.failing_bottom, Some(cat(&ds, "Store")));
         let cx = out.counterexample.expect("countermodel");
         let state = cat(&ds, "State");
@@ -178,7 +241,7 @@ mod tests {
         for name in ["Country", "City", "SaleRegion"] {
             let c = cat(&ds, name);
             let out = is_summarizable_in_schema(&ds, c, &[c]);
-            assert!(out.summarizable, "{name} must be summarizable from itself");
+            assert!(out.summarizable(), "{name} must be summarizable from itself");
         }
     }
 
@@ -189,7 +252,7 @@ mod tests {
         // on every path (the only edge into All). So yes.
         let ds = location_sch();
         let out = is_summarizable_in_schema(&ds, Category::ALL, &[cat(&ds, "Country")]);
-        assert!(out.summarizable);
+        assert!(out.summarizable());
     }
 
     #[test]
@@ -197,7 +260,7 @@ mod tests {
         // Canadian stores reach SaleRegion via Province, not State.
         let ds = location_sch();
         let out = is_summarizable_in_schema(&ds, cat(&ds, "SaleRegion"), &[cat(&ds, "State")]);
-        assert!(!out.summarizable);
+        assert!(!out.summarizable());
     }
 
     #[test]
@@ -210,7 +273,7 @@ mod tests {
             cat(&ds, "SaleRegion"),
             &[cat(&ds, "State"), cat(&ds, "Province")],
         );
-        assert!(!out.summarizable);
+        assert!(!out.summarizable());
     }
 
     #[test]
@@ -219,7 +282,7 @@ mod tests {
         // ⊙∅ is false, so summarizable-from-∅ requires that no store ever
         // reaches Country — false here.
         let out = is_summarizable_in_schema(&ds, cat(&ds, "Country"), &[]);
-        assert!(!out.summarizable);
+        assert!(!out.summarizable());
     }
 
     #[test]

@@ -655,7 +655,7 @@ mod tests {
     fn every_category_is_satisfiable() {
         for entry in catalog() {
             let solver = Dimsat::new(&entry.schema);
-            let unsat = solver.unsatisfiable_categories();
+            let unsat = solver.unsatisfiable_categories().unwrap();
             assert!(
                 unsat.is_empty(),
                 "{}: unsatisfiable categories {:?}",

@@ -1,8 +1,8 @@
 //! Random fact tables over a dimension instance.
 
 use odc_instance::{DimensionInstance, Member};
-use rand::rngs::StdRng;
-use rand::Rng;
+use odc_rand::rngs::StdRng;
+use odc_rand::Rng;
 
 /// Generates `rows` random fact rows over the base members of `d`, with
 /// measures in `[-100, 100]`. Rows are plain pairs so this crate stays
@@ -31,7 +31,7 @@ pub fn random_fact_rows(
 mod tests {
     use super::*;
     use crate::catalog::{location_instance, location_sch};
-    use rand::SeedableRng;
+    use odc_rand::SeedableRng;
 
     #[test]
     fn rows_reference_base_members() {

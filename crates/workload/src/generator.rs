@@ -9,8 +9,8 @@
 
 use odc_constraint::{parse_constraint, Constraint, DimensionConstraint, DimensionSchema};
 use odc_hierarchy::{Category, HierarchySchema};
-use rand::rngs::StdRng;
-use rand::Rng;
+use odc_rand::rngs::StdRng;
+use odc_rand::Rng;
 use std::sync::Arc;
 
 /// Parameters of the random schema generator.
@@ -155,7 +155,7 @@ pub fn random_schema(params: &SchemaGenParams, rng: &mut StdRng) -> DimensionSch
         }
         let t = anc[rng.gen_range(0..anc.len())];
         let threshold = rng.gen_range(-50i64..=50);
-        let op = ["<", "<=", ">", ">="][rng.gen_range(0..4)];
+        let op = ["<", "<=", ">", ">="][rng.gen_range(0..4usize)];
         let src = format!(
             "{}.{} {} {} -> {}_{}",
             g.name(c),
@@ -224,7 +224,7 @@ pub fn dense_unconstrained_schema(layers: usize, width: usize) -> DimensionSchem
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use odc_rand::SeedableRng;
 
     #[test]
     fn generated_schema_is_well_formed() {

@@ -14,8 +14,8 @@ use odc_dimsat::Dimsat;
 use odc_frozen::{ConstTable, FrozenDimension};
 use odc_hierarchy::Category;
 use odc_instance::{DimensionInstance, Member};
-use rand::rngs::StdRng;
-use rand::Rng;
+use odc_rand::rngs::StdRng;
+use odc_rand::Rng;
 use std::collections::HashMap;
 
 /// Generates a random instance over `ds` with `n_base` members in the
@@ -140,7 +140,7 @@ mod tests {
     use super::*;
     use crate::catalog::location_sch;
     use odc_constraint::eval;
-    use rand::SeedableRng;
+    use odc_rand::SeedableRng;
 
     #[test]
     fn generated_location_instances_are_valid_and_admitted() {

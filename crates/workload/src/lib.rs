@@ -7,7 +7,7 @@
 //! Theorem-4 SAT reduction that manufactures adversarial instances
 //! ([`satred`]).
 //!
-//! Everything is deterministic given a seed (`rand::rngs::StdRng`), so
+//! Everything is deterministic given a seed (`odc_rand::rngs::StdRng`), so
 //! benchmark runs are reproducible.
 
 pub mod catalog;

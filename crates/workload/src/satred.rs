@@ -15,8 +15,8 @@
 
 use odc_constraint::{Constraint, DimensionConstraint, DimensionSchema};
 use odc_hierarchy::{Category, HierarchySchema};
-use rand::rngs::StdRng;
-use rand::Rng;
+use odc_rand::rngs::StdRng;
+use odc_rand::Rng;
 use std::sync::Arc;
 
 /// A CNF formula: clauses of non-zero literals (`±(i+1)` for variable
@@ -180,7 +180,7 @@ pub fn encode_sat(formula: &CnfFormula) -> (DimensionSchema, Category) {
 mod tests {
     use super::*;
     use odc_dimsat::Dimsat;
-    use rand::SeedableRng;
+    use odc_rand::SeedableRng;
 
     fn f(num_vars: usize, clauses: &[&[i32]]) -> CnfFormula {
         CnfFormula {
@@ -214,7 +214,7 @@ mod tests {
         ] {
             let (ds, bottom) = encode_sat(&formula);
             let out = Dimsat::new(&ds).category_satisfiable(bottom);
-            assert_eq!(out.satisfiable, expected, "{formula:?}");
+            assert_eq!(out.is_sat(), expected, "{formula:?}");
             assert_eq!(formula.is_satisfiable(), expected);
         }
     }
@@ -226,7 +226,7 @@ mod tests {
             let formula = random_3sat(5, rng.gen_range(5..25), &mut rng);
             let expected = formula.is_satisfiable();
             let (ds, bottom) = encode_sat(&formula);
-            let got = Dimsat::new(&ds).category_satisfiable(bottom).satisfiable;
+            let got = Dimsat::new(&ds).category_satisfiable(bottom).is_sat();
             assert_eq!(got, expected, "{formula:?}");
         }
     }
@@ -236,7 +236,7 @@ mod tests {
         let formula = f(3, &[&[1, -2], &[2, 3]]);
         let (ds, bottom) = encode_sat(&formula);
         let out = Dimsat::new(&ds).category_satisfiable(bottom);
-        let w = out.witness.unwrap();
+        let w = out.into_witness().unwrap();
         // Read the assignment off the witness: vi true iff B ↗ Vi edge.
         let g = ds.hierarchy();
         let assignment: Vec<bool> = (1..=3)

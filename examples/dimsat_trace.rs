@@ -37,12 +37,12 @@ fn main() {
     println!(
         "\nsatisfiable: {} after {} EXPAND / {} CHECK calls \
          ({} c-assignment nodes).",
-        out.satisfiable,
+        out.is_sat(),
         out.stats.expand_calls,
         out.stats.check_calls,
         out.stats.assignments_tested
     );
-    if let Some(w) = out.witness {
+    if let Some(w) = out.into_witness() {
         println!("witness: {}", w.display(&ds));
     }
 
@@ -51,7 +51,7 @@ fn main() {
         .category_satisfiable(store);
     println!(
         "satisfiable: {} after {} EXPAND / {} CHECK calls.",
-        no_into.satisfiable, no_into.stats.expand_calls, no_into.stats.check_calls
+        no_into.is_sat(), no_into.stats.expand_calls, no_into.stats.check_calls
     );
 
     println!("\n——— generate-and-test (no structural pruning at all) ———");
@@ -59,6 +59,6 @@ fn main() {
         Dimsat::with_options(&ds, DimsatOptions::generate_and_test()).category_satisfiable(store);
     println!(
         "satisfiable: {} after {} EXPAND / {} CHECK calls, {} late rejections.",
-        gt.satisfiable, gt.stats.expand_calls, gt.stats.check_calls, gt.stats.late_rejections
+        gt.is_sat(), gt.stats.expand_calls, gt.stats.check_calls, gt.stats.late_rejections
     );
 }

@@ -59,6 +59,6 @@ fn main() {
     let out = Dimsat::new(&ds2).category_satisfiable(sr);
     println!(
         "Example 11: after adding ¬SaleRegion_Country, SaleRegion satisfiable? {}",
-        out.satisfiable
+        out.is_sat()
     );
 }

@@ -37,7 +37,7 @@ fn main() {
     ] {
         let dc = parse_constraint(ds.hierarchy(), src).unwrap();
         let out = implies(&ds, &dc);
-        println!("schema ⊨ {src:60} {}", out.implied);
+        println!("schema ⊨ {src:60} {}", out.implied());
     }
 
     // ── 5. Summarizability (Example 10) ────────────────────────────────
@@ -50,12 +50,12 @@ fn main() {
     let ok = is_summarizable_in_schema(&ds, country, &[city]);
     println!(
         "\nCountry summarizable from {{City}}?            {}",
-        ok.summarizable
+        ok.summarizable()
     );
     let bad = is_summarizable_in_schema(&ds, country, &[state, province]);
     println!(
         "Country summarizable from {{State, Province}}? {}",
-        bad.summarizable
+        bad.summarizable()
     );
     if let Some(cx) = bad.counterexample {
         println!("  countermodel: {}", cx.display(&ds));

@@ -66,7 +66,7 @@ fn main() {
     // The per-dimension safety verdict comes straight from Theorem 1.
     let verdict = |dim: usize, from: Category, to: Category| -> bool {
         let ds = if dim == 0 { store_schema } else { time_schema };
-        is_summarizable_in_schema(ds, to, &[from]).summarizable
+        is_summarizable_in_schema(ds, to, &[from]).summarizable()
     };
 
     // Query: SUM by (Country, Year).

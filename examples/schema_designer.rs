@@ -38,7 +38,7 @@ fn main() {
     println!("{ds}");
 
     // 1. Dead categories?
-    let unsat = Dimsat::new(&ds).unsatisfiable_categories();
+    let unsat = Dimsat::new(&ds).unsatisfiable_categories().expect("unbudgeted audit cannot be interrupted");
     if unsat.is_empty() {
         println!("all categories satisfiable ✓");
     } else {
@@ -63,7 +63,7 @@ fn main() {
         "Ticket_Account -> Ticket.Segment",
     ] {
         let dc = parse_constraint(g, src).unwrap();
-        println!("implied: {:66} {}", src, implies(&ds, &dc).implied);
+        println!("implied: {:66} {}", src, implies(&ds, &dc).implied());
     }
 
     // 4. Which aggregates navigate?
@@ -79,7 +79,7 @@ fn main() {
         ),
     ] {
         let out = is_summarizable_in_schema(&ds, region, &srcs);
-        println!("summarizable: {:38} {}", label, out.summarizable);
+        println!("summarizable: {:38} {}", label, out.summarizable());
     }
 
     // 5. Baseline comparison on a real heterogeneous instance (the

@@ -13,19 +13,30 @@
 //! odc summarizable <schema> <target> <src>… decide summarizability
 //! odc dot <schema>                          Graphviz output
 //! ```
+//!
+//! Reasoning commands accept `--time-limit <dur>` (e.g. `500ms`, `2s`)
+//! and `--node-limit <n>`; a search that exhausts its budget reports
+//! `unknown` and exits with code 2 (distinct from code 1, used for
+//! errors).
 
 use odc_core::dimsat::trace::render_trace;
 use odc_core::hierarchy::dot;
 use odc_core::prelude::*;
 use odc_core::summarizability::advisor;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(output) => {
-            print!("{output}");
-            ExitCode::SUCCESS
+        Ok(out) => {
+            print!("{}", out.text);
+            if out.unknown {
+                // Distinct from error: the budget ran out before an answer.
+                ExitCode::from(2)
+            } else {
+                ExitCode::SUCCESS
+            }
         }
         Err(msg) => {
             eprintln!("error: {msg}");
@@ -44,29 +55,57 @@ usage:
   odc summarizable <schema> <target> <src>…  decide whether <target> is summarizable from the sources
   odc validate <schema> <instance>           check an instance file against C1–C7 and Σ
   odc infer <schema> <instance>              mine the constraints an instance already obeys
-  odc dot <schema>                           emit the hierarchy as Graphviz DOT";
+  odc dot <schema>                           emit the hierarchy as Graphviz DOT
+options (reasoning commands):
+  --time-limit <dur>   wall-clock budget, e.g. 500ms or 2s (exit code 2 when exceeded)
+  --node-limit <n>     search-node budget (exit code 2 when exceeded)";
 
-/// Dispatches a command line; returns the text to print.
-pub fn run(args: &[String]) -> Result<String, String> {
+/// What a dispatched command produced.
+pub struct RunOutput {
+    /// Text to print on stdout.
+    pub text: String,
+    /// The search budget ran out before the command reached a definite
+    /// answer (exit code 2).
+    pub unknown: bool,
+}
+
+impl RunOutput {
+    fn answered(text: String) -> Self {
+        RunOutput {
+            text,
+            unknown: false,
+        }
+    }
+}
+
+/// Dispatches a command line; returns the text to print plus whether the
+/// run ended `unknown` (budget exhausted).
+pub fn run(args: &[String]) -> Result<RunOutput, String> {
+    let (budget, args) = parse_budget_flags(args)?;
     let (cmd, rest) = args.split_first().ok_or("missing command")?;
+    let rest: &[String] = rest;
     match cmd.as_str() {
         "check" => {
             let ds = load_schema(rest.first().ok_or("check needs a schema file")?)?;
-            let report = advisor::audit(&ds);
+            let mut gov = Governor::from_budget(budget);
+            let report = advisor::audit_governed(&ds, &mut gov);
+            let unknown = report.interrupted.is_some();
             let mut out = report.render(&ds);
-            let suggestions = advisor::suggest_into_constraints(&ds);
-            if !suggestions.is_empty() {
-                out.push_str(
-                    "suggested into constraints (implied; make them explicit to help DIMSAT):\n",
-                );
-                for dc in suggestions {
-                    out.push_str(&format!(
-                        "  {}\n",
-                        odc_core::constraint::printer::display_dc(ds.hierarchy(), &dc)
-                    ));
+            if !unknown {
+                let suggestions = advisor::suggest_into_constraints(&ds);
+                if !suggestions.is_empty() {
+                    out.push_str(
+                        "suggested into constraints (implied; make them explicit to help DIMSAT):\n",
+                    );
+                    for dc in suggestions {
+                        out.push_str(&format!(
+                            "  {}\n",
+                            odc_core::constraint::printer::display_dc(ds.hierarchy(), &dc)
+                        ));
+                    }
                 }
             }
-            Ok(out)
+            Ok(RunOutput { text: out, unknown })
         }
         "frozen" => {
             let [file, root] = rest else {
@@ -74,7 +113,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
             };
             let ds = load_schema(file)?;
             let c = category(&ds, root)?;
-            let (frozen, outcome) = Dimsat::new(&ds).enumerate_frozen(c);
+            let (frozen, outcome) = Dimsat::new(&ds).with_budget(budget).enumerate_frozen(c);
             let mut out = format!(
                 "{} frozen dimension(s) with root {} ({} EXPAND, {} CHECK):\n",
                 frozen.len(),
@@ -85,7 +124,11 @@ pub fn run(args: &[String]) -> Result<String, String> {
             for (i, f) in frozen.iter().enumerate() {
                 out.push_str(&format!("  f{}: {}\n", i + 1, f.display(&ds)));
             }
-            Ok(out)
+            let unknown = outcome.interrupted.is_some();
+            if let Some(i) = outcome.interrupted {
+                out.push_str(&format!("enumeration interrupted ({i}); listing is partial\n"));
+            }
+            Ok(RunOutput { text: out, unknown })
         }
         "trace" => {
             let [file, root] = rest else {
@@ -94,12 +137,17 @@ pub fn run(args: &[String]) -> Result<String, String> {
             let ds = load_schema(file)?;
             let c = category(&ds, root)?;
             let outcome = Dimsat::with_options(&ds, DimsatOptions::full().with_trace())
+                .with_budget(budget)
                 .category_satisfiable(c);
-            Ok(format!(
-                "{}\nsatisfiable: {}\n",
-                render_trace(&ds, &outcome.trace),
-                outcome.satisfiable
-            ))
+            let (answer, unknown) = verdict_text(&outcome.verdict);
+            Ok(RunOutput {
+                text: format!(
+                    "{}\nsatisfiable: {}\n",
+                    render_trace(&ds, &outcome.trace),
+                    answer
+                ),
+                unknown,
+            })
         }
         "implies" => {
             let [file, constraint] = rest else {
@@ -108,12 +156,23 @@ pub fn run(args: &[String]) -> Result<String, String> {
             let ds = load_schema(file)?;
             let alpha = parse_constraint(ds.hierarchy(), constraint)
                 .map_err(|e| format!("constraint: {e}"))?;
-            let out = implies(&ds, &alpha);
-            let mut text = format!("implied: {}\n", out.implied);
+            let mut gov = Governor::from_budget(budget);
+            let out = odc_core::dimsat::implies_governed(
+                &ds,
+                &alpha,
+                DimsatOptions::default(),
+                &mut gov,
+            );
+            let (answer, unknown) = match &out.verdict {
+                ImplicationVerdict::Implied => ("true".to_string(), false),
+                ImplicationVerdict::NotImplied => ("false".to_string(), false),
+                ImplicationVerdict::Unknown(i) => (format!("unknown ({i})"), true),
+            };
+            let mut text = format!("implied: {answer}\n");
             if let Some(cx) = out.counterexample {
                 text.push_str(&format!("countermodel: {}\n", cx.display(&ds)));
             }
-            Ok(text)
+            Ok(RunOutput { text, unknown })
         }
         "summarizable" => {
             let (file, q) = rest.split_first().ok_or("summarizable needs arguments")?;
@@ -127,12 +186,24 @@ pub fn run(args: &[String]) -> Result<String, String> {
             let t = category(&ds, target)?;
             let s: Result<Vec<Category>, String> =
                 sources.iter().map(|n| category(&ds, n)).collect();
-            let out = is_summarizable_in_schema(&ds, t, &s?);
-            let mut text = format!("summarizable: {}\n", out.summarizable);
+            let mut gov = Governor::from_budget(budget);
+            let out = odc_core::summarizability::is_summarizable_in_schema_governed(
+                &ds,
+                t,
+                &s?,
+                DimsatOptions::default(),
+                &mut gov,
+            );
+            let (answer, unknown) = match &out.verdict {
+                SummarizabilityVerdict::Summarizable => ("true".to_string(), false),
+                SummarizabilityVerdict::NotSummarizable => ("false".to_string(), false),
+                SummarizabilityVerdict::Unknown(i) => (format!("unknown ({i})"), true),
+            };
+            let mut text = format!("summarizable: {answer}\n");
             if let Some(cx) = out.counterexample {
                 text.push_str(&format!("countermodel: {}\n", cx.display(&ds)));
             }
-            Ok(text)
+            Ok(RunOutput { text, unknown })
         }
         "validate" => {
             let [schema_file, instance_file] = rest else {
@@ -158,7 +229,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
                     ));
                 }
             }
-            Ok(text)
+            Ok(RunOutput::answered(text))
         }
         "infer" => {
             let [schema_file, instance_file] = rest else {
@@ -177,13 +248,65 @@ pub fn run(args: &[String]) -> Result<String, String> {
                     odc_core::constraint::printer::display_dc(ds.hierarchy(), dc)
                 ));
             }
-            Ok(text)
+            Ok(RunOutput::answered(text))
         }
         "dot" => {
             let ds = load_schema(rest.first().ok_or("dot needs a schema file")?)?;
-            Ok(dot::schema_to_dot(ds.hierarchy()))
+            Ok(RunOutput::answered(dot::schema_to_dot(ds.hierarchy())))
         }
         other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+/// Extracts `--time-limit`/`--node-limit` (anywhere on the command line)
+/// into a [`Budget`], returning the remaining positional arguments.
+fn parse_budget_flags(args: &[String]) -> Result<(Budget, Vec<String>), String> {
+    let mut budget = Budget::unlimited();
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--time-limit" => {
+                let v = it.next().ok_or("--time-limit needs a value (e.g. 500ms, 2s)")?;
+                budget = budget.with_deadline(parse_duration(v)?);
+            }
+            "--node-limit" => {
+                let v = it.next().ok_or("--node-limit needs a value")?;
+                let n: u64 = v
+                    .parse()
+                    .map_err(|_| format!("--node-limit: not a number: {v}"))?;
+                budget = budget.with_node_limit(n);
+            }
+            _ => positional.push(arg.clone()),
+        }
+    }
+    Ok((budget, positional))
+}
+
+/// Parses `750ms`, `2s`, or a bare number of seconds (fractions allowed).
+fn parse_duration(s: &str) -> Result<Duration, String> {
+    let (num, scale) = if let Some(ms) = s.strip_suffix("ms") {
+        (ms, 1e-3)
+    } else if let Some(sec) = s.strip_suffix('s') {
+        (sec, 1.0)
+    } else {
+        (s, 1.0)
+    };
+    let v: f64 = num
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad duration: {s} (expected e.g. 500ms or 2s)"))?;
+    if !v.is_finite() || v < 0.0 {
+        return Err(format!("bad duration: {s}"));
+    }
+    Ok(Duration::from_secs_f64(v * scale))
+}
+
+fn verdict_text(v: &Verdict) -> (String, bool) {
+    match v {
+        Verdict::Sat(_) => ("true".to_string(), false),
+        Verdict::Unsat => ("false".to_string(), false),
+        Verdict::Unknown(i) => (format!("unknown ({i})"), true),
     }
 }
 

@@ -6,8 +6,8 @@
 use odc_core::olap::datacube::{cuboid, roll_up, MultiFactTable};
 use olap_dimension_constraints::prelude::*;
 use olap_dimension_constraints::workload::{catalog, random_instance};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use odc_rand::rngs::StdRng;
+use odc_rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
 fn setup(
@@ -56,8 +56,8 @@ fn safe_intermediate_levels_compose() {
                 if !g.reaches(store_c, mid) || !g.reaches(mid, top) || mid == top {
                     continue;
                 }
-                let mid_safe = is_summarizable_in_schema(&ds, mid, &[store_c]).summarizable;
-                let top_safe = is_summarizable_in_schema(&ds, top, &[mid]).summarizable;
+                let mid_safe = is_summarizable_in_schema(&ds, mid, &[store_c]).summarizable();
+                let top_safe = is_summarizable_in_schema(&ds, top, &[mid]).summarizable();
                 if !(mid_safe && top_safe) {
                     continue;
                 }
@@ -91,7 +91,7 @@ fn unsafe_levels_eventually_diverge() {
     let store_c = g.category_by_name("Store").unwrap();
     let state = g.category_by_name("State").unwrap();
     let country = g.category_by_name("Country").unwrap();
-    assert!(!is_summarizable_in_schema(&ds, country, &[state]).summarizable);
+    assert!(!is_summarizable_in_schema(&ds, country, &[state]).summarizable());
     let mut diverged = false;
     for seed in 0..6u64 {
         let (stores, time, facts) = setup(seed, 30);
@@ -128,7 +128,7 @@ fn count_conservation_under_safe_rollups() {
     let store_c = g.category_by_name("Store").unwrap();
     let base = cuboid(&facts, &rollups, &[store_c, day], AggFn::Count);
     for target in g.categories() {
-        if target == store_c || !is_summarizable_in_schema(&ds, target, &[store_c]).summarizable {
+        if target == store_c || !is_summarizable_in_schema(&ds, target, &[store_c]).summarizable() {
             continue;
         }
         let year = g1.category_by_name("Year").unwrap();
@@ -141,7 +141,7 @@ fn count_conservation_under_safe_rollups() {
         );
         let coverage =
             odc_core::constraint::parse_constraint(g, &format!("Store.{}", g.name(target)))
-                .map(|alpha| implies(&ds, &alpha).implied)
+                .map(|alpha| implies(&ds, &alpha).implied())
                 .unwrap_or(false);
         assert_eq!(
             total == facts.len() as i64,

@@ -6,8 +6,8 @@ use olap_dimension_constraints::prelude::*;
 use olap_dimension_constraints::workload::{
     encode_sat, random_3sat, random_schema, SchemaGenParams,
 };
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use odc_rand::rngs::StdRng;
+use odc_rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
 
 fn edge_fingerprint(f: &FrozenDimension) -> BTreeSet<(usize, usize)> {
@@ -74,13 +74,13 @@ fn ablations_agree_on_random_schemas() {
             if c.is_all() {
                 continue;
             }
-            let full = Dimsat::new(&ds).category_satisfiable(c).satisfiable;
+            let full = Dimsat::new(&ds).category_satisfiable(c).is_sat();
             let no_into = Dimsat::with_options(&ds, DimsatOptions::without_into_pruning())
                 .category_satisfiable(c)
-                .satisfiable;
+                .is_sat();
             let gt = Dimsat::with_options(&ds, DimsatOptions::generate_and_test())
                 .category_satisfiable(c)
-                .satisfiable;
+                .is_sat();
             assert_eq!(full, no_into, "round {round}, cat {c:?}");
             assert_eq!(full, gt, "round {round}, cat {c:?}");
         }
@@ -98,7 +98,7 @@ fn sat_reduction_differential_sweep() {
                 let formula = random_3sat(n_vars, n_vars * ratio, &mut rng);
                 let expected = formula.is_satisfiable();
                 let (ds, bottom) = encode_sat(&formula);
-                let got = Dimsat::new(&ds).category_satisfiable(bottom).satisfiable;
+                let got = Dimsat::new(&ds).category_satisfiable(bottom).is_sat();
                 assert_eq!(got, expected, "n={n_vars} ratio={ratio}: {formula:?}");
             }
         }
@@ -130,7 +130,7 @@ fn implication_consistent_with_generated_instances() {
     for src in alphas {
         let alpha = parse_constraint(g, src).unwrap();
         let out = implies(&ds, &alpha);
-        if out.implied {
+        if out.implied() {
             for (i, d) in instances.iter().enumerate() {
                 assert!(
                     odc_core::constraint::eval::satisfies(d, &alpha),

@@ -92,7 +92,7 @@ fn e5_trace_reaches_check_and_finds_witness() {
     let store = g.category_by_name("Store").unwrap();
     let out =
         Dimsat::with_options(&ds, DimsatOptions::full().with_trace()).category_satisfiable(store);
-    assert!(out.satisfiable);
+    assert!(out.is_sat());
     use odc_core::dimsat::trace::TraceEvent;
     let expands = out
         .trace
@@ -117,11 +117,11 @@ fn example_2_hierarchy_alone_cannot_infer_summarizability() {
     let country = g.category_by_name("Country").unwrap();
     let city = g.category_by_name("City").unwrap();
     assert!(
-        !is_summarizable_in_schema(&bare, country, &[city]).summarizable,
+        !is_summarizable_in_schema(&bare, country, &[city]).summarizable(),
         "without constraints the hierarchy schema is too weak"
     );
     // With Σ, it is summarizable (Example 10 / Theorem 1).
-    assert!(is_summarizable_in_schema(&ds, country, &[city]).summarizable);
+    assert!(is_summarizable_in_schema(&ds, country, &[city]).summarizable());
 }
 
 #[test]
@@ -157,7 +157,7 @@ fn e13_example_11_and_proposition_1() {
     // Example 11.
     let ds2 = ds.with_constraint(parse_constraint(g, "!SaleRegion_Country").unwrap());
     let sr = g.category_by_name("SaleRegion").unwrap();
-    assert!(!Dimsat::new(&ds2).category_satisfiable(sr).satisfiable);
+    assert!(!Dimsat::new(&ds2).category_satisfiable(sr).is_sat());
     // Proposition 1: the schema itself stays satisfiable — the instance
     // with only `all` is over ds2.
     let empty = DimensionInstance::builder(ds2.hierarchy_arc())

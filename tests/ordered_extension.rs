@@ -69,11 +69,11 @@ fn implication_understands_threshold_monotonicity() {
     let g = ds.hierarchy();
     // < 50 entails < 100 — only provable by reasoning about the order.
     let a = parse_constraint(g, "Product.Price < 50 -> Product.Price < 100").unwrap();
-    assert!(implies(&ds, &a).implied);
+    assert!(implies(&ds, &a).implied());
     // The converse is refutable with a price in [50, 100).
     let b = parse_constraint(g, "Product.Price < 100 -> Product.Price < 50").unwrap();
     let out = implies(&ds, &b);
-    assert!(!out.implied);
+    assert!(!out.implied());
     let cx = out.counterexample.unwrap();
     let table = odc_core::frozen::ConstTable::new(&ds);
     let price_name = cx.name_of(&table, cat(&ds, "Price"));
@@ -87,17 +87,17 @@ fn implication_derives_shelf_from_price_bound() {
     let g = ds.hierarchy();
     let a = parse_constraint(g, "Product.Price >= 200 -> Product_PremiumShelf").unwrap();
     assert!(
-        implies(&ds, &a).implied,
+        implies(&ds, &a).implied(),
         "≥200 entails ≥100 entails premium"
     );
     let b = parse_constraint(g, "Product.Price >= 50 -> Product_PremiumShelf").unwrap();
-    assert!(!implies(&ds, &b).implied, "a 60-priced product is regular");
+    assert!(!implies(&ds, &b).implied(), "a 60-priced product is regular");
 }
 
 #[test]
 fn ordered_constraints_drive_summarizability() {
     let warehouse_target = |ds: &DimensionSchema| {
-        is_summarizable_in_schema(ds, Category::ALL, &[cat(ds, "Warehouse")]).summarizable
+        is_summarizable_in_schema(ds, Category::ALL, &[cat(ds, "Warehouse")]).summarizable()
     };
     // With the numeric-forcing constraint, every product takes exactly
     // one shelf, so All is summarizable from {Warehouse}… except products
@@ -109,7 +109,7 @@ fn ordered_constraints_drive_summarizability() {
         &[cat(&ds, "PremiumShelf"), cat(&ds, "RegularShelf")],
     );
     assert!(
-        out.summarizable,
+        out.summarizable(),
         "the threshold dichotomy is exhaustive and exclusive"
     );
 
@@ -122,7 +122,7 @@ fn ordered_constraints_drive_summarizability() {
         cat(&ds2, "Warehouse"),
         &[cat(&ds2, "PremiumShelf"), cat(&ds2, "RegularShelf")],
     );
-    assert!(out2.summarizable);
+    assert!(out2.summarizable());
     assert!(
         !warehouse_target(&ds2),
         "an unpriced product reaches All only through Price"
@@ -244,5 +244,5 @@ fn unsatisfiable_price_window_kills_the_category() {
         .with_constraint(parse_constraint(g, "Product.Price >= 100").unwrap())
         .with_constraint(parse_constraint(g, "Product.Price < 100").unwrap());
     let product = cat(&ds2, "Product");
-    assert!(!Dimsat::new(&ds2).category_satisfiable(product).satisfiable);
+    assert!(!Dimsat::new(&ds2).category_satisfiable(product).is_sat());
 }

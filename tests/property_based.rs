@@ -1,11 +1,14 @@
-//! Property-based tests (proptest) on the core data structures and
-//! invariants: parser/printer round-trips over random constraint ASTs,
-//! simplification soundness under random truth assignments, CatSet versus
-//! a BTreeSet model, and NNF semantic preservation.
+//! Property-based tests on the core data structures and invariants:
+//! parser/printer round-trips over random constraint ASTs, simplification
+//! soundness under random truth assignments, CatSet versus a BTreeSet
+//! model, and NNF semantic preservation.
+//!
+//! Randomness comes from the in-workspace `odc-rand` (seeded, so every
+//! run explores the same cases — failures reproduce deterministically).
 
 use odc_core::constraint::{printer, simplify};
 use odc_core::prelude::*;
-use proptest::prelude::*;
+use odc_rand::{rngs::StdRng, Rng, RngCore, SeedableRng};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -51,23 +54,47 @@ fn atom_pool(g: &HierarchySchema) -> Vec<Constraint> {
     atoms
 }
 
-fn arb_constraint(pool: Vec<Constraint>) -> impl Strategy<Value = Constraint> {
-    let leaf = prop_oneof![
-        5 => prop::sample::select(pool),
-        1 => Just(Constraint::True),
-        1 => Just(Constraint::False),
-    ];
-    leaf.prop_recursive(4, 24, 4, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(Constraint::not),
-            prop::collection::vec(inner.clone(), 1..4).prop_map(Constraint::And),
-            prop::collection::vec(inner.clone(), 1..4).prop_map(Constraint::Or),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Constraint::implies(a, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Constraint::iff(a, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Constraint::xor(a, b)),
-            prop::collection::vec(inner, 1..4).prop_map(Constraint::ExactlyOne),
-        ]
-    })
+/// A random constraint AST over the atom pool, depth-bounded.
+fn gen_constraint(rng: &mut StdRng, pool: &[Constraint], depth: usize) -> Constraint {
+    // Bias toward leaves both at the depth limit and randomly inside, so
+    // generated trees vary in shape.
+    if depth == 0 || rng.gen_range(0..10u32) < 3 {
+        return match rng.gen_range(0..7u32) {
+            0 => Constraint::True,
+            1 => Constraint::False,
+            _ => pool[rng.gen_range(0..pool.len())].clone(),
+        };
+    }
+    let kids = |rng: &mut StdRng, n: usize| -> Vec<Constraint> {
+        (0..n).map(|_| gen_constraint(rng, pool, depth - 1)).collect()
+    };
+    match rng.gen_range(0..7u32) {
+        0 => Constraint::not(gen_constraint(rng, pool, depth - 1)),
+        1 => {
+            let n = rng.gen_range(1..4usize);
+            Constraint::And(kids(rng, n))
+        }
+        2 => {
+            let n = rng.gen_range(1..4usize);
+            Constraint::Or(kids(rng, n))
+        }
+        3 => Constraint::implies(
+            gen_constraint(rng, pool, depth - 1),
+            gen_constraint(rng, pool, depth - 1),
+        ),
+        4 => Constraint::iff(
+            gen_constraint(rng, pool, depth - 1),
+            gen_constraint(rng, pool, depth - 1),
+        ),
+        5 => Constraint::xor(
+            gen_constraint(rng, pool, depth - 1),
+            gen_constraint(rng, pool, depth - 1),
+        ),
+        _ => {
+            let n = rng.gen_range(1..4usize);
+            Constraint::ExactlyOne(kids(rng, n))
+        }
+    }
 }
 
 /// Evaluates a constraint under a deterministic pseudo-random atom
@@ -101,101 +128,129 @@ fn eval_under(c: &Constraint, salt: u64) -> bool {
     simplify::eval_closed(&assigned).expect("fully assigned")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// print → parse preserves semantics, and printing reaches a fixpoint
-    /// after one round trip (trivial wrappers like 1-element conjunctions
-    /// are legitimately dropped by the grammar, so structural identity is
-    /// not required).
-    #[test]
-    fn printer_parser_round_trip(c in arb_constraint(atom_pool(&schema()))) {
-        let g = schema();
+/// print → parse preserves semantics, and printing reaches a fixpoint
+/// after one round trip (trivial wrappers like 1-element conjunctions are
+/// legitimately dropped by the grammar, so structural identity is not
+/// required).
+#[test]
+fn printer_parser_round_trip() {
+    let g = schema();
+    let pool = atom_pool(&g);
+    let mut rng = StdRng::seed_from_u64(0xD1CE);
+    for case in 0..128 {
+        let c = gen_constraint(&mut rng, &pool, 4);
         let printed = printer::display(&g, &c).to_string();
         // Constants like `true & false` have no root; anchor with an atom
         // so the result is a parseable dimension constraint.
         let anchored = format!("Store_City & ({printed})");
         let reparsed = parse_constraint(&g, &anchored)
-            .unwrap_or_else(|e| panic!("reparse of `{anchored}` failed: {e}"));
+            .unwrap_or_else(|e| panic!("case {case}: reparse of `{anchored}` failed: {e}"));
         // Semantic equivalence of the un-anchored part under many
         // assignments: compare the whole anchored conjunctions.
         let store = g.category_by_name("Store").unwrap();
         let city = g.category_by_name("City").unwrap();
         let original = Constraint::And(vec![Constraint::path(vec![store, city]), c]);
         for salt in [0u64, 1, 42, 0xFFFF, u64::MAX / 3] {
-            prop_assert_eq!(
+            assert_eq!(
                 eval_under(&original, salt),
                 eval_under(reparsed.formula(), salt),
-                "salt {} for `{}`", salt, anchored
+                "case {case}, salt {salt} for `{anchored}`"
             );
         }
         // Print fixpoint: a second round trip prints identically.
         let printed2 = printer::display(&g, reparsed.formula()).to_string();
         let reparsed2 = parse_constraint(&g, &printed2)
-            .unwrap_or_else(|e| panic!("second reparse of `{printed2}` failed: {e}"));
+            .unwrap_or_else(|e| panic!("case {case}: second reparse of `{printed2}` failed: {e}"));
         let printed3 = printer::display(&g, reparsed2.formula()).to_string();
-        prop_assert_eq!(printed2, printed3);
+        assert_eq!(printed2, printed3, "case {case}");
     }
+}
 
-    /// `fold` never changes the truth value of a formula.
-    #[test]
-    fn fold_preserves_semantics(
-        c in arb_constraint(atom_pool(&schema())),
-        salt in any::<u64>()
-    ) {
+/// `fold` never changes the truth value of a formula.
+#[test]
+fn fold_preserves_semantics() {
+    let g = schema();
+    let pool = atom_pool(&g);
+    let mut rng = StdRng::seed_from_u64(0xF01D);
+    for case in 0..128 {
+        let c = gen_constraint(&mut rng, &pool, 4);
+        let salt = rng.next_u64();
         let folded = simplify::fold(&c);
-        prop_assert_eq!(eval_under(&c, salt), eval_under(&folded, salt));
+        assert_eq!(
+            eval_under(&c, salt),
+            eval_under(&folded, salt),
+            "case {case}"
+        );
     }
+}
 
-    /// `nnf` never changes the truth value of a formula.
-    #[test]
-    fn nnf_preserves_semantics(
-        c in arb_constraint(atom_pool(&schema())),
-        salt in any::<u64>()
-    ) {
+/// `nnf` never changes the truth value of a formula.
+#[test]
+fn nnf_preserves_semantics() {
+    let g = schema();
+    let pool = atom_pool(&g);
+    let mut rng = StdRng::seed_from_u64(0x22F);
+    for case in 0..128 {
+        let c = gen_constraint(&mut rng, &pool, 4);
+        let salt = rng.next_u64();
         let converted = simplify::nnf(&c);
-        prop_assert_eq!(eval_under(&c, salt), eval_under(&converted, salt));
+        assert_eq!(
+            eval_under(&c, salt),
+            eval_under(&converted, salt),
+            "case {case}"
+        );
     }
+}
 
-    /// Folding is idempotent and constants-free unless constant.
-    #[test]
-    fn fold_is_idempotent(c in arb_constraint(atom_pool(&schema()))) {
+/// Folding is idempotent.
+#[test]
+fn fold_is_idempotent() {
+    let g = schema();
+    let pool = atom_pool(&g);
+    let mut rng = StdRng::seed_from_u64(0x1DE4);
+    for case in 0..128 {
+        let c = gen_constraint(&mut rng, &pool, 4);
         let once = simplify::fold(&c);
         let twice = simplify::fold(&once);
-        prop_assert_eq!(&once, &twice);
+        assert_eq!(once, twice, "case {case}");
     }
+}
 
-    /// CatSet agrees with a BTreeSet model under a random op sequence.
-    #[test]
-    fn catset_matches_model(ops in prop::collection::vec((0usize..100, 0u8..3), 0..200)) {
+/// CatSet agrees with a BTreeSet model under a random op sequence.
+#[test]
+fn catset_matches_model() {
+    let mut rng = StdRng::seed_from_u64(0xCA7);
+    for case in 0..128 {
         let mut set = CatSet::new(100);
         let mut model: BTreeSet<usize> = BTreeSet::new();
-        for (idx, op) in ops {
+        let n_ops = rng.gen_range(0..200usize);
+        for _ in 0..n_ops {
+            let idx = rng.gen_range(0..100usize);
             let c = Category::from_index(idx);
-            match op {
-                0 => {
-                    prop_assert_eq!(set.insert(c), model.insert(idx));
-                }
-                1 => {
-                    prop_assert_eq!(set.remove(c), model.remove(&idx));
-                }
-                _ => {
-                    prop_assert_eq!(set.contains(c), model.contains(&idx));
-                }
+            match rng.gen_range(0..3u8) {
+                0 => assert_eq!(set.insert(c), model.insert(idx), "case {case}"),
+                1 => assert_eq!(set.remove(c), model.remove(&idx), "case {case}"),
+                _ => assert_eq!(set.contains(c), model.contains(&idx), "case {case}"),
             }
-            prop_assert_eq!(set.len(), model.len());
+            assert_eq!(set.len(), model.len(), "case {case}");
         }
         let got: Vec<usize> = set.iter().map(|c| c.index()).collect();
         let want: Vec<usize> = model.into_iter().collect();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "case {case}");
     }
+}
 
-    /// Set algebra against the model.
-    #[test]
-    fn catset_algebra_matches_model(
-        a in prop::collection::btree_set(0usize..100, 0..40),
-        b in prop::collection::btree_set(0usize..100, 0..40)
-    ) {
+/// Set algebra against the model.
+#[test]
+fn catset_algebra_matches_model() {
+    let mut rng = StdRng::seed_from_u64(0xA16E);
+    for case in 0..128 {
+        let gen_set = |rng: &mut StdRng| -> BTreeSet<usize> {
+            let n = rng.gen_range(0..40usize);
+            (0..n).map(|_| rng.gen_range(0..100usize)).collect()
+        };
+        let a = gen_set(&mut rng);
+        let b = gen_set(&mut rng);
         let mk = |s: &BTreeSet<usize>| {
             let mut out = CatSet::new(100);
             for &i in s {
@@ -206,57 +261,81 @@ proptest! {
         let (sa, sb) = (mk(&a), mk(&b));
         let mut u = sa.clone();
         u.union_with(&sb);
-        prop_assert_eq!(u.len(), a.union(&b).count());
+        assert_eq!(u.len(), a.union(&b).count(), "case {case}");
         let mut i = sa.clone();
         i.intersect_with(&sb);
-        prop_assert_eq!(i.len(), a.intersection(&b).count());
+        assert_eq!(i.len(), a.intersection(&b).count(), "case {case}");
         let mut d = sa.clone();
         d.difference_with(&sb);
-        prop_assert_eq!(d.len(), a.difference(&b).count());
-        prop_assert_eq!(sa.intersects(&sb), !a.is_disjoint(&b));
-        prop_assert_eq!(i.is_subset_of(&sa), true);
+        assert_eq!(d.len(), a.difference(&b).count(), "case {case}");
+        assert_eq!(sa.intersects(&sb), !a.is_disjoint(&b), "case {case}");
+        assert!(i.is_subset_of(&sa), "case {case}");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// Random printable strings (ASCII plus a few multi-byte characters, so
+/// UTF-8 boundary handling gets exercised too).
+fn gen_noise(rng: &mut StdRng, max_len: usize) -> String {
+    const EXTRA: &[char] = &['é', 'λ', '≈', '⊃', '⊕', '→', '¬', '↔', '"', '\\', '\t'];
+    let len = rng.gen_range(0..=max_len);
+    (0..len)
+        .map(|_| {
+            if rng.gen_bool(0.15) {
+                EXTRA[rng.gen_range(0..EXTRA.len())]
+            } else {
+                char::from(rng.gen_range(0x20u8..0x7F))
+            }
+        })
+        .collect()
+}
 
-    /// The constraint parser never panics on arbitrary input — it returns
-    /// a structured error instead.
-    #[test]
-    fn parser_never_panics(src in "\\PC{0,80}") {
-        let g = schema();
+/// The constraint parser never panics on arbitrary input — it returns a
+/// structured error instead.
+#[test]
+fn parser_never_panics() {
+    let g = schema();
+    let mut rng = StdRng::seed_from_u64(0xBAD);
+    for _ in 0..256 {
+        let src = gen_noise(&mut rng, 80);
         let _ = parse_constraint(&g, &src);
     }
+}
 
-    /// Nor does the instance-text parser.
-    #[test]
-    fn instance_parser_never_panics(src in "\\PC{0,120}") {
-        let g = schema();
-        let _ = odc_core::instance::text::parse_instance(g, &src);
+/// Nor does the instance-text parser.
+#[test]
+fn instance_parser_never_panics() {
+    let g = schema();
+    let mut rng = StdRng::seed_from_u64(0xBAD2);
+    for _ in 0..256 {
+        let src = gen_noise(&mut rng, 120);
+        let _ = odc_core::instance::text::parse_instance(g.clone(), &src);
     }
+}
 
-    /// Nor does the whole-schema parser.
-    #[test]
-    fn schema_parser_never_panics(src in "\\PC{0,160}") {
+/// Nor does the whole-schema parser.
+#[test]
+fn schema_parser_never_panics() {
+    let mut rng = StdRng::seed_from_u64(0xBAD3);
+    for _ in 0..256 {
+        let src = gen_noise(&mut rng, 160);
         let _ = odc_core::parse_schema(&src);
     }
+}
 
-    /// Fuzz the constraint parser with *almost-valid* inputs assembled
-    /// from real tokens — much better coverage of the grammar's corners
-    /// than uniform noise.
-    #[test]
-    fn parser_never_panics_on_token_soup(
-        tokens in prop::collection::vec(
-            prop::sample::select(vec![
-                "Store", "City", "Region", "Nope", "_", ".", "=", "<", "<=",
-                ">=", "->", "<->", "^", "&", "|", "!", "(", ")", "{", "}",
-                ",", "one", "true", "false", "\"x\"", "42", "-7", "≈", "⊃",
-            ]),
-            0..16,
-        )
-    ) {
-        let g = schema();
+/// Fuzz the constraint parser with *almost-valid* inputs assembled from
+/// real tokens — much better coverage of the grammar's corners than
+/// uniform noise.
+#[test]
+fn parser_never_panics_on_token_soup() {
+    const TOKENS: &[&str] = &[
+        "Store", "City", "Region", "Nope", "_", ".", "=", "<", "<=", ">=", "->", "<->", "^", "&",
+        "|", "!", "(", ")", "{", "}", ",", "one", "true", "false", "\"x\"", "42", "-7", "≈", "⊃",
+    ];
+    let g = schema();
+    let mut rng = StdRng::seed_from_u64(0x50FA);
+    for _ in 0..256 {
+        let n = rng.gen_range(0..16usize);
+        let tokens: Vec<&str> = (0..n).map(|_| TOKENS[rng.gen_range(0..TOKENS.len())]).collect();
         let src = tokens.join(" ");
         let _ = parse_constraint(&g, &src);
         let joined = tokens.join("");

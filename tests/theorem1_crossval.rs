@@ -15,8 +15,8 @@
 
 use olap_dimension_constraints::prelude::*;
 use olap_dimension_constraints::workload::{catalog, random_instance};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use odc_rand::rngs::StdRng;
+use odc_rand::{Rng, SeedableRng};
 
 /// One fact per base member, value 3^i. With source sets of size ≤ 2 a
 /// member's contribution multiplicity is in {0, 1, 2}, so the derived SUM
@@ -130,7 +130,7 @@ fn schema_verdict_transfers_to_instances() {
     for &target in &cats {
         for &src in &cats {
             let s = vec![src];
-            let v = is_summarizable_in_schema(&ds, target, &s).summarizable;
+            let v = is_summarizable_in_schema(&ds, target, &s).summarizable();
             schema_verdicts.push((target, s, v));
         }
     }
