@@ -14,4 +14,7 @@ cargo test --offline -q --workspace
 echo "== cargo clippy -D warnings =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "== bench smoke (exp_dimsat) =="
+ODC_BENCH_QUICK=1 cargo run --offline --release -p odc-bench --bin exp_dimsat -- --smoke
+
 echo "CI OK"

@@ -1,0 +1,251 @@
+//! E12: the DIMSAT kernel experiments behind `BENCH_dimsat.json`.
+//!
+//! Three sections:
+//!
+//! 1. **trail vs clone** — the trail-based backtracking kernel against
+//!    the legacy clone-and-restore kernel
+//!    ([`DimsatOptions::without_trail`]) on the E7 scaling schemas:
+//!    wall-clock per enumeration plus allocations-per-node
+//!    (`struct_clones / expand_calls`, the snapshot count the clone
+//!    kernel pays for every subset mask).
+//! 2. **oracle agreement** — both kernels must enumerate exactly the
+//!    frozen dimensions of the Theorem-3 exhaustive oracle on the
+//!    Figure-4 (locationSch) and cyclic (Example 4) fixtures.
+//! 3. **serial vs parallel** — the Theorem-1 summarizability battery on
+//!    a five-bottom schema whose four *implied* bottoms are expensive to
+//!    prove (exhaustive search) while the last bottom fails fast; the
+//!    parallel battery reaches the countermodel early and cancels the
+//!    rest, so it wins even on a single core.
+//!
+//! Run with: `cargo run --release -p odc-bench --bin exp_dimsat`
+//! (`--smoke` or `ODC_BENCH_QUICK=1` for a single-iteration smoke run).
+
+use odc_bench::scaling_by_n;
+use odc_bench::timing::Group;
+use odc_core::dimsat::stats::timed;
+use odc_core::dimsat::SearchStats;
+use odc_core::frozen::ExhaustiveEnumerator;
+use odc_core::prelude::*;
+use odc_core::summarizability::{
+    is_summarizable_in_schema_governed, is_summarizable_in_schema_parallel,
+};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+fn main() {
+    let smoke =
+        std::env::args().any(|a| a == "--smoke") || std::env::var_os("ODC_BENCH_QUICK").is_some();
+    if smoke {
+        // One calibrated sample per case; keeps CI runs to seconds.
+        std::env::set_var("ODC_BENCH_QUICK", "1");
+    }
+    println!("E12 — DIMSAT kernel: trail backtracking, oracle agreement, parallel battery");
+
+    let mut json = String::from("{\n");
+
+    // ── 1. trail vs clone ────────────────────────────────────────────
+    let grid = scaling_by_n();
+    let grid = if smoke { &grid[..3] } else { &grid[..] };
+    let mut g1 = Group::new("trail_vs_clone");
+    g1.sample_size(10);
+    json.push_str("  \"trail_vs_clone\": [\n");
+    for (i, (label, ds, bottom)) in grid.iter().enumerate() {
+        let trail_opts = DimsatOptions::default();
+        let clone_opts = DimsatOptions::default().without_trail();
+        let (trail_min, _) = g1.bench_timed(&format!("{label}/trail"), || {
+            let _ = Dimsat::with_options(ds, trail_opts).enumerate_frozen(*bottom);
+        });
+        let (clone_min, _) = g1.bench_timed(&format!("{label}/clone"), || {
+            let _ = Dimsat::with_options(ds, clone_opts).enumerate_frozen(*bottom);
+        });
+        let (_, trail_out) = Dimsat::with_options(ds, trail_opts).enumerate_frozen(*bottom);
+        let (_, clone_out) = Dimsat::with_options(ds, clone_opts).enumerate_frozen(*bottom);
+        let apn = |s: &SearchStats| s.struct_clones as f64 / s.expand_calls.max(1) as f64;
+        println!(
+            "{label:10} allocations-per-node: trail {:.3}  clone {:.3}",
+            apn(&trail_out.stats),
+            apn(&clone_out.stats)
+        );
+        let _ = writeln!(
+            json,
+            "    {{\"label\": \"{label}\", \"trail_ns\": {}, \"clone_ns\": {}, \
+             \"trail_allocs_per_node\": {:.4}, \"clone_allocs_per_node\": {:.4}, \
+             \"expand_calls\": {}}}{}",
+            trail_min.as_nanos(),
+            clone_min.as_nanos(),
+            apn(&trail_out.stats),
+            apn(&clone_out.stats),
+            trail_out.stats.expand_calls,
+            if i + 1 < grid.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ],\n");
+
+    // ── 2. oracle agreement ──────────────────────────────────────────
+    println!("\n== oracle_agreement ==");
+    json.push_str("  \"oracle_agreement\": [\n");
+    let fixtures = [
+        ("figure4", odc_workload::location_sch(), "Store"),
+        ("cyclic", cyclic_sch(), "Store"),
+    ];
+    for (i, (name, ds, root)) in fixtures.iter().enumerate() {
+        let Some(root) = ds.hierarchy().category_by_name(root) else {
+            continue;
+        };
+        let trail = enumerate_fingerprints(ds, root, DimsatOptions::default());
+        let clone = enumerate_fingerprints(ds, root, DimsatOptions::default().without_trail());
+        let oracle: BTreeSet<Vec<(u32, u32)>> = ExhaustiveEnumerator::new(ds, root)
+            .enumerate()
+            .iter()
+            .map(fingerprint)
+            .collect();
+        let identical = trail == oracle && clone == oracle;
+        println!(
+            "{name:10} trail {}  clone {}  oracle {}  identical: {identical}",
+            trail.len(),
+            clone.len(),
+            oracle.len()
+        );
+        assert!(identical, "{name}: kernel disagrees with the Theorem-3 oracle");
+        let _ = writeln!(
+            json,
+            "    {{\"fixture\": \"{name}\", \"frozen\": {}, \"identical\": {identical}}}{}",
+            oracle.len(),
+            if i + 1 < fixtures.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ],\n");
+
+    // ── 3. serial vs parallel Theorem-1 battery ──────────────────────
+    println!("\n== parallel_battery ==");
+    let ds = battery_sch();
+    let target = ds.hierarchy().category_by_name("T").unwrap();
+    let source = ds.hierarchy().category_by_name("S").unwrap();
+    let bottoms = ds
+        .hierarchy()
+        .bottom_categories()
+        .iter()
+        .filter(|c| !c.is_all())
+        .count();
+    let jobs = bottoms;
+    let serial = timed(|| {
+        let mut gov = Governor::unlimited();
+        is_summarizable_in_schema_governed(&ds, target, &[source], DimsatOptions::default(), &mut gov)
+    });
+    let parallel = timed(|| {
+        is_summarizable_in_schema_parallel(
+            &ds,
+            target,
+            &[source],
+            DimsatOptions::default(),
+            Budget::unlimited(),
+            &CancelToken::new(),
+            jobs,
+        )
+    });
+    assert_eq!(
+        serial.value.verdict, parallel.value.verdict,
+        "battery verdicts must agree"
+    );
+    assert!(
+        serial.value.not_summarizable(),
+        "the fixture is built to fail on its last bottom"
+    );
+    let speedup = serial.elapsed.as_secs_f64() / parallel.elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "battery over {bottoms} bottoms: serial {:?}  parallel(x{jobs}) {:?}  speedup {speedup:.2}x",
+        serial.elapsed, parallel.elapsed
+    );
+    let _ = writeln!(
+        json,
+        "  \"parallel_battery\": {{\"bottoms\": {bottoms}, \"jobs\": {jobs}, \
+         \"serial_ns\": {}, \"parallel_ns\": {}, \"speedup\": {speedup:.3}, \
+         \"verdict\": \"not_summarizable\"}}",
+        serial.elapsed.as_nanos(),
+        parallel.elapsed.as_nanos(),
+    );
+    json.push_str("}\n");
+
+    // ── persist ──────────────────────────────────────────────────────
+    let dir = format!("{}/../../results", env!("CARGO_MANIFEST_DIR"));
+    let _ = std::fs::create_dir_all(&dir);
+    let path = format!("{dir}/BENCH_dimsat.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => println!("\ncould not write {path}: {e}"),
+    }
+}
+
+/// Enumerates the frozen dimensions with the given kernel options and
+/// reduces them to structural fingerprints (sorted edge lists).
+fn enumerate_fingerprints(
+    ds: &DimensionSchema,
+    root: Category,
+    opts: DimsatOptions,
+) -> BTreeSet<Vec<(u32, u32)>> {
+    let (frozen, out) = Dimsat::with_options(ds, opts).enumerate_frozen(root);
+    assert!(out.interrupted.is_none());
+    frozen.iter().map(fingerprint).collect()
+}
+
+fn fingerprint(f: &FrozenDimension) -> Vec<(u32, u32)> {
+    let mut edges: Vec<(u32, u32)> = f
+        .subhierarchy()
+        .edges()
+        .map(|(c, p)| (c.index() as u32, p.index() as u32))
+        .collect();
+    edges.sort_unstable();
+    edges
+}
+
+/// The cyclic fixture (Example 4): Store below SaleDistrict and City,
+/// which point at each other — the schema has a cycle, the frozen
+/// dimensions do not.
+fn cyclic_sch() -> DimensionSchema {
+    let mut b = HierarchySchema::builder();
+    let store = b.category("Store");
+    let district = b.category("SaleDistrict");
+    let city = b.category("City");
+    b.edge(store, district);
+    b.edge(store, city);
+    b.edge(district, city);
+    b.edge(city, district);
+    b.edge_to_all(district);
+    b.edge_to_all(city);
+    let g = Arc::new(b.build().expect("fixture builds"));
+    DimensionSchema::parse(g, "").expect("fixture parses")
+}
+
+/// Five bottoms over one target `T` and source `S`. Bottoms `B0..B3`
+/// each sit atop a dense two-layer diamond that funnels through `S`, so
+/// proving their battery constraint implied means exhausting the whole
+/// subhierarchy space. `B4` (created last, so queried last by the serial
+/// battery) also has a direct edge to `T` that bypasses `S` — a
+/// countermodel DIMSAT finds almost immediately.
+fn battery_sch() -> DimensionSchema {
+    let mut b = HierarchySchema::builder();
+    let t = b.category("T");
+    let s = b.category("S");
+    for i in 0..4 {
+        let bottom = b.category(&format!("B{i}"));
+        let lower: Vec<_> = (0..4).map(|j| b.category(&format!("M{i}L{j}"))).collect();
+        let upper: Vec<_> = (0..3).map(|j| b.category(&format!("N{i}U{j}"))).collect();
+        for &m in &lower {
+            b.edge(bottom, m);
+            for &n in &upper {
+                b.edge(m, n);
+            }
+        }
+        for &n in &upper {
+            b.edge(n, s);
+        }
+    }
+    let b4 = b.category("B4");
+    b.edge(b4, s);
+    b.edge(b4, t);
+    b.edge(s, t);
+    b.edge_to_all(t);
+    let g = Arc::new(b.build().expect("fixture builds"));
+    DimensionSchema::parse(g, "").expect("fixture parses")
+}

@@ -40,7 +40,14 @@ impl Group {
 
     /// Times one case. `f` is the unit of work; batching and repetition
     /// are the harness's business.
-    pub fn bench<F: FnMut()>(&mut self, label: &str, mut f: F) {
+    pub fn bench<F: FnMut()>(&mut self, label: &str, f: F) {
+        self.bench_timed(label, f);
+    }
+
+    /// Like [`Group::bench`], but returns the `(min, median)`
+    /// per-iteration times so experiment binaries can persist them
+    /// (e.g. into a results JSON) in addition to the printed line.
+    pub fn bench_timed<F: FnMut()>(&mut self, label: &str, mut f: F) -> (Duration, Duration) {
         // Warm-up doubles as calibration: find an iteration count whose
         // batch fills the sample slice (capped so slow cases still finish).
         let mut iters: u64 = 1;
@@ -85,6 +92,7 @@ impl Group {
             fmt_duration(min),
             fmt_duration(median),
         );
+        (min, median)
     }
 
     /// Ends the group (purely cosmetic; kept for call-site symmetry).

@@ -7,6 +7,11 @@ use crate::stats::SearchStats;
 use odc_constraint::{Constraint, DimensionConstraint, DimensionSchema};
 use odc_frozen::FrozenDimension;
 use odc_govern::{Governor, Interrupt};
+use odc_hierarchy::Category;
+use std::collections::HashMap;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// The three-valued answer of a governed implication query.
 #[derive(Debug, Clone)]
@@ -88,6 +93,131 @@ pub fn implies_governed(
     let negated = alpha.with_formula(Constraint::not(alpha.formula().clone()));
     let ds2 = ds.with_constraint(negated);
     from_sat_outcome(Dimsat::with_options(&ds2, opts).category_satisfiable_governed(alpha.root(), gov))
+}
+
+/// A memo for implication queries against one fixed schema.
+///
+/// Keyed by (root category of `α`, hash of `α`'s formula) and guarded by
+/// a fingerprint of the schema (hierarchy edges plus `Σ`):
+/// [`implies_memo`] consults the cache only when the schema it is handed
+/// matches the fingerprint, so a cache carried across schema edits
+/// degrades to uncached queries instead of wrong answers. `Unknown`
+/// verdicts are never stored — they reflect the budget, not the query.
+///
+/// The cache is `Sync`; parallel batteries and long analysis sessions
+/// share one instance across workers and queries.
+pub struct ImplicationCache {
+    fingerprint: u64,
+    entries: Mutex<HashMap<(Category, u64), CachedVerdict>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+#[derive(Clone)]
+enum CachedVerdict {
+    Implied,
+    NotImplied(Option<FrozenDimension>),
+}
+
+impl ImplicationCache {
+    /// An empty cache bound to `ds`'s current fingerprint.
+    pub fn for_schema(ds: &DimensionSchema) -> Self {
+        ImplicationCache {
+            fingerprint: schema_fingerprint(ds),
+            entries: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Queries answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Queries that ran a search and were stored.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of stored verdicts.
+    pub fn len(&self) -> usize {
+        self.entries.lock().map(|m| m.len()).unwrap_or(0)
+    }
+
+    /// Whether nothing is stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A stable fingerprint of a schema: category count, hierarchy edges, and
+/// the root/formula of every constraint of `Σ`.
+pub fn schema_fingerprint(ds: &DimensionSchema) -> u64 {
+    let g = ds.hierarchy();
+    let mut h = DefaultHasher::new();
+    g.num_categories().hash(&mut h);
+    for (c, p) in g.edges() {
+        (c.index(), p.index()).hash(&mut h);
+    }
+    for dc in ds.constraints() {
+        dc.root().hash(&mut h);
+        dc.formula().hash(&mut h);
+    }
+    h.finish()
+}
+
+/// [`implies_governed`] through a memo-cache: a repeated query against
+/// the same schema is answered from the cache without re-deriving
+/// `Σ ∪ {¬α}` or re-running the search. Hit/miss counts land both in the
+/// cache's counters and in the outcome's [`SearchStats`].
+pub fn implies_memo(
+    ds: &DimensionSchema,
+    alpha: &DimensionConstraint,
+    opts: DimsatOptions,
+    gov: &mut Governor,
+    cache: &ImplicationCache,
+) -> ImplicationOutcome {
+    if cache.fingerprint != schema_fingerprint(ds) {
+        // Not the schema this cache was built for: run uncached (counted
+        // as neither hit nor miss).
+        return implies_governed(ds, alpha, opts, gov);
+    }
+    let mut key_hasher = DefaultHasher::new();
+    alpha.formula().hash(&mut key_hasher);
+    let key = (alpha.root(), key_hasher.finish());
+    let cached = cache.entries.lock().ok().and_then(|m| m.get(&key).cloned());
+    if let Some(v) = cached {
+        cache.hits.fetch_add(1, Ordering::Relaxed);
+        let (verdict, counterexample) = match v {
+            CachedVerdict::Implied => (ImplicationVerdict::Implied, None),
+            CachedVerdict::NotImplied(cx) => (ImplicationVerdict::NotImplied, cx),
+        };
+        return ImplicationOutcome {
+            verdict,
+            counterexample,
+            stats: SearchStats {
+                cache_hits: 1,
+                ..SearchStats::default()
+            },
+        };
+    }
+    let mut out = implies_governed(ds, alpha, opts, gov);
+    let store = match &out.verdict {
+        ImplicationVerdict::Implied => Some(CachedVerdict::Implied),
+        ImplicationVerdict::NotImplied => {
+            Some(CachedVerdict::NotImplied(out.counterexample.clone()))
+        }
+        ImplicationVerdict::Unknown(_) => None,
+    };
+    if let Some(v) = store {
+        cache.misses.fetch_add(1, Ordering::Relaxed);
+        out.stats.cache_misses = 1;
+        if let Ok(mut m) = cache.entries.lock() {
+            m.insert(key, v);
+        }
+    }
+    out
 }
 
 fn from_sat_outcome(out: crate::solver::DimsatOutcome) -> ImplicationOutcome {
@@ -245,5 +375,64 @@ mod tests {
             parse_constraint(ds.hierarchy(), "Store.Country -> Store.City.Country").unwrap();
         let out = implies(&ds, &alpha);
         assert!(out.stats.expand_calls > 0);
+    }
+
+    #[test]
+    fn memo_cache_answers_repeat_queries() {
+        let ds = location_sch();
+        let g = ds.hierarchy();
+        let cache = ImplicationCache::for_schema(&ds);
+        let implied =
+            parse_constraint(g, "Store.Country -> Store.City.Country").unwrap();
+        let refuted = parse_constraint(g, "Store.Country = Canada").unwrap();
+        let mut gov = Governor::unlimited();
+        let first = implies_memo(&ds, &implied, DimsatOptions::default(), &mut gov, &cache);
+        assert!(first.implied());
+        assert_eq!(first.stats.cache_misses, 1);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let again = implies_memo(&ds, &implied, DimsatOptions::default(), &mut gov, &cache);
+        assert!(again.implied());
+        assert_eq!(again.stats.cache_hits, 1);
+        assert_eq!(again.stats.expand_calls, 0, "hit runs no search");
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        // A NotImplied verdict caches its countermodel too.
+        let r1 = implies_memo(&ds, &refuted, DimsatOptions::default(), &mut gov, &cache);
+        let r2 = implies_memo(&ds, &refuted, DimsatOptions::default(), &mut gov, &cache);
+        assert!(r1.not_implied() && r2.not_implied());
+        assert!(r2.counterexample.is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn memo_cache_bypassed_on_schema_mismatch() {
+        let ds = location_sch();
+        let g = ds.hierarchy();
+        let cache = ImplicationCache::for_schema(&ds);
+        let alpha = parse_constraint(g, "Store.Country -> Store.City.Country").unwrap();
+        let ds2 = ds.with_constraint(parse_constraint(g, "Store.Country = Canada").unwrap());
+        let mut gov = Governor::unlimited();
+        let out = implies_memo(&ds2, &alpha, DimsatOptions::default(), &mut gov, &cache);
+        assert!(out.implied());
+        // The query ran uncached: nothing was counted or stored.
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn memo_cache_never_stores_unknown() {
+        let ds = location_sch();
+        let g = ds.hierarchy();
+        let cache = ImplicationCache::for_schema(&ds);
+        let alpha = parse_constraint(g, "Store.Country -> Store.City.Country").unwrap();
+        let budget = odc_govern::Budget::unlimited().with_node_limit(1);
+        let mut gov = Governor::from_budget(budget);
+        let out = implies_memo(&ds, &alpha, DimsatOptions::default(), &mut gov, &cache);
+        assert!(out.is_unknown());
+        assert!(cache.is_empty(), "budget verdicts must not be memoised");
+        // With budget to spare the same query runs for real and stores.
+        let mut gov2 = Governor::unlimited();
+        let ok = implies_memo(&ds, &alpha, DimsatOptions::default(), &mut gov2, &cache);
+        assert!(ok.implied());
+        assert_eq!(cache.len(), 1);
     }
 }

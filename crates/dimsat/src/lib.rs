@@ -79,8 +79,11 @@ pub mod solver;
 pub mod stats;
 pub mod trace;
 
-pub use implication::{implies, implies_governed, implies_with, ImplicationOutcome, ImplicationVerdict};
+pub use implication::{
+    implies, implies_governed, implies_memo, implies_with, schema_fingerprint, ImplicationCache,
+    ImplicationOutcome, ImplicationVerdict,
+};
 pub use options::{DimsatOptions, TopOrder};
-pub use solver::{Dimsat, DimsatOutcome, Verdict};
+pub use solver::{CategorySweep, Dimsat, DimsatOutcome, Verdict};
 pub use stats::SearchStats;
 pub use trace::TraceEvent;

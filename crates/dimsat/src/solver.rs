@@ -5,8 +5,9 @@ use crate::stats::SearchStats;
 use crate::trace::TraceEvent;
 use odc_constraint::DimensionSchema;
 use odc_frozen::{FrozenContext, FrozenDimension};
-use odc_govern::{Budget, CancelToken, Governor, Interrupt, InterruptReason};
-use odc_hierarchy::{CatSet, Category, HierarchySchema, Subhierarchy};
+use odc_govern::{Budget, CancelToken, Governor, Interrupt, InterruptReason, SharedGovernor};
+use odc_hierarchy::{CatSet, Category, EdgeUndo, HierarchySchema, Subhierarchy};
+use std::collections::VecDeque;
 
 /// The three-valued answer of a governed satisfiability run.
 ///
@@ -98,6 +99,32 @@ impl DimsatOutcome {
     /// `Unknown` verdicts and for interrupted-but-answered runs).
     pub fn interrupt(&self) -> Option<Interrupt> {
         self.interrupted
+    }
+}
+
+/// The report of an unsatisfiable-category sweep.
+///
+/// An interrupted sweep is *partial*, not void: `unsat` carries every
+/// category proved unsatisfiable before the interrupt, `decided` counts
+/// the categories settled either way, and `undecided` lists the ones the
+/// sweep never reached. A complete sweep has `interrupted == None` and an
+/// empty `undecided`.
+#[derive(Debug, Clone, Default)]
+pub struct CategorySweep {
+    /// Categories proved unsatisfiable (schema order).
+    pub unsat: Vec<Category>,
+    /// How many categories were decided (satisfiable or not).
+    pub decided: usize,
+    /// Categories left unsettled when the sweep stopped (schema order).
+    pub undecided: Vec<Category>,
+    /// The interrupt that cut the sweep short, if any.
+    pub interrupted: Option<Interrupt>,
+}
+
+impl CategorySweep {
+    /// Whether every category of the schema was decided.
+    pub fn is_complete(&self) -> bool {
+        self.interrupted.is_none() && self.undecided.is_empty()
     }
 }
 
@@ -197,31 +224,126 @@ impl<'a> Dimsat<'a> {
     /// Checks every category of the schema, returning the unsatisfiable
     /// ones (the paper suggests dropping them for "a cleaner
     /// representation of the data"). The whole sweep shares one governor;
-    /// an interrupt aborts it with the partial result discarded.
-    pub fn unsatisfiable_categories(&self) -> Result<Vec<Category>, Interrupt> {
+    /// on an interrupt the report keeps every category decided so far and
+    /// lists the rest as undecided — partial work is never discarded.
+    pub fn unsatisfiable_categories(&self) -> CategorySweep {
         let mut gov = self.governor();
         self.unsatisfiable_categories_governed(&mut gov)
     }
 
     /// [`Self::unsatisfiable_categories`] under a caller-supplied
     /// governor.
-    pub fn unsatisfiable_categories_governed(
-        &self,
-        gov: &mut Governor,
-    ) -> Result<Vec<Category>, Interrupt> {
-        let mut unsat = Vec::new();
+    pub fn unsatisfiable_categories_governed(&self, gov: &mut Governor) -> CategorySweep {
+        let mut sweep = CategorySweep::default();
         for c in self.ds.hierarchy().categories() {
             if c.is_all() {
                 continue;
             }
+            if sweep.interrupted.is_some() {
+                sweep.undecided.push(c);
+                continue;
+            }
             let out = self.category_satisfiable_governed(c, gov);
             match out.verdict {
-                Verdict::Sat(_) => {}
-                Verdict::Unsat => unsat.push(c),
-                Verdict::Unknown(i) => return Err(i),
+                Verdict::Sat(_) => sweep.decided += 1,
+                Verdict::Unsat => {
+                    sweep.unsat.push(c);
+                    sweep.decided += 1;
+                }
+                Verdict::Unknown(i) => {
+                    sweep.interrupted = Some(i);
+                    sweep.undecided.push(c);
+                }
             }
         }
-        Ok(unsat)
+        sweep
+    }
+
+    /// [`Self::unsatisfiable_categories`] split across `jobs` worker
+    /// threads sharing this solver's budget through one [`SharedGovernor`].
+    /// Categories are striped over the workers and the verdicts merged
+    /// back in schema order, so a complete parallel sweep reports exactly
+    /// what the serial one does.
+    pub fn unsatisfiable_categories_parallel(&self, jobs: usize) -> CategorySweep {
+        let shared = SharedGovernor::new(self.budget, self.cancel.clone());
+        self.unsatisfiable_categories_sharded(&shared, jobs)
+    }
+
+    /// [`Self::unsatisfiable_categories_parallel`] charging a
+    /// caller-supplied shared governor (one budget across several batch
+    /// stages, e.g. the advisor's audit).
+    pub fn unsatisfiable_categories_sharded(
+        &self,
+        shared: &SharedGovernor,
+        jobs: usize,
+    ) -> CategorySweep {
+        let cats: Vec<Category> = self
+            .ds
+            .hierarchy()
+            .categories()
+            .filter(|c| !c.is_all())
+            .collect();
+        let jobs = jobs.max(1).min(cats.len().max(1));
+        if jobs <= 1 {
+            let mut gov = shared.worker();
+            return self.unsatisfiable_categories_governed(&mut gov);
+        }
+        // verdicts[i]: Some(true) = unsat, Some(false) = sat, None = undecided.
+        type WorkerSlice = Vec<(usize, Option<bool>, Option<Interrupt>)>;
+        let results: Vec<WorkerSlice> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..jobs)
+                .map(|w| {
+                    let mut gov = shared.worker();
+                    let cats = &cats;
+                    scope.spawn(move || {
+                        let mut out: WorkerSlice = Vec::new();
+                        for (i, &c) in cats.iter().enumerate().skip(w).step_by(jobs) {
+                            let o = self.category_satisfiable_governed(c, &mut gov);
+                            match o.verdict {
+                                Verdict::Sat(_) => out.push((i, Some(false), None)),
+                                Verdict::Unsat => out.push((i, Some(true), None)),
+                                Verdict::Unknown(intr) => {
+                                    out.push((i, None, Some(intr)));
+                                    break;
+                                }
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_default())
+                .collect()
+        });
+        let mut verdicts: Vec<Option<bool>> = vec![None; cats.len()];
+        let mut first_interrupt: Option<(usize, Interrupt)> = None;
+        for slice in results {
+            for (i, v, intr) in slice {
+                verdicts[i] = v;
+                if let Some(intr) = intr {
+                    if first_interrupt.is_none_or(|(j, _)| i < j) {
+                        first_interrupt = Some((i, intr));
+                    }
+                }
+            }
+        }
+        let mut sweep = CategorySweep {
+            interrupted: first_interrupt.map(|(_, i)| i),
+            ..CategorySweep::default()
+        };
+        for (i, &c) in cats.iter().enumerate() {
+            match verdicts[i] {
+                Some(true) => {
+                    sweep.unsat.push(c);
+                    sweep.decided += 1;
+                }
+                Some(false) => sweep.decided += 1,
+                None => sweep.undecided.push(c),
+            }
+        }
+        sweep
     }
 
     fn run(&self, c: Category, stop_at_first: bool, gov: &mut Governor) -> DimsatOutcome {
@@ -245,6 +367,22 @@ impl<'a> Dimsat<'a> {
     }
 }
 
+/// One reversible mutation recorded on the backtracking trail. Popping
+/// the trail back to a mark restores `sub`, `instar`, and `inn` exactly,
+/// replacing the per-mask clone of all three structures.
+enum TrailOp {
+    /// An edge `child ↗' parent` added to `sub`, with its undo receipt.
+    Edge {
+        child: Category,
+        parent: Category,
+        undo: EdgeUndo,
+    },
+    /// `ctop` pushed onto `inn[parent]`.
+    InnPush { parent: Category },
+    /// One storage word of `instar[cat]` before a logged union.
+    InstarWord { cat: u32, word: u32, old: u64 },
+}
+
 struct Search<'a, 'g> {
     g: &'a HierarchySchema,
     opts: DimsatOptions,
@@ -253,7 +391,7 @@ struct Search<'a, 'g> {
     sub: Subhierarchy,
     /// Frontier: categories of `sub` not yet expanded (never contains
     /// `All` — `g.Top = {All}` is represented by an empty frontier).
-    top: Vec<Category>,
+    top: VecDeque<Category>,
     /// `g.In*` of Figure 6: for each category, the set of categories that
     /// reach it within `sub` (maintained incrementally when
     /// [`DimsatOptions::incremental_instar`] is on).
@@ -261,6 +399,13 @@ struct Search<'a, 'g> {
     /// In-neighbors within `sub` (companion to `instar` for the `Ss`
     /// shortcut test).
     inn: Vec<Vec<Category>>,
+    /// Undo log for trail-based backtracking (empty when the legacy
+    /// clone-and-restore kernel is selected).
+    trail: Vec<TrailOp>,
+    /// Reusable DFS stack for [`Search::propagate_instar`].
+    prop_stack: Vec<Category>,
+    /// Reusable scratch set for the per-expansion `In*` delta.
+    delta_scratch: CatSet,
     stats: SearchStats,
     trace: Vec<TraceEvent>,
     found: Vec<FrozenDimension>,
@@ -281,11 +426,10 @@ impl<'a, 'g> Search<'a, 'g> {
         let g = ds.hierarchy();
         let n = g.num_categories();
         let sub = Subhierarchy::new(root, n);
-        let top = if root.is_all() {
-            Vec::new()
-        } else {
-            vec![root]
-        };
+        let mut top = VecDeque::new();
+        if !root.is_all() {
+            top.push_back(root);
+        }
         Search {
             g,
             opts,
@@ -295,6 +439,9 @@ impl<'a, 'g> Search<'a, 'g> {
             top,
             instar: vec![CatSet::new(n); n],
             inn: vec![Vec::new(); n],
+            trail: Vec::new(),
+            prop_stack: Vec::new(),
+            delta_scratch: CatSet::new(n),
             stats: SearchStats::default(),
             trace: Vec::new(),
             found: Vec::new(),
@@ -304,15 +451,52 @@ impl<'a, 'g> Search<'a, 'g> {
         }
     }
 
-    /// Adds `delta` to `In*(p)` and pushes it transitively upward.
+    /// Adds `delta` to `In*(p)` and pushes it transitively upward. Under
+    /// trail backtracking every changed `In*` word is logged first, so
+    /// [`Search::undo_trail`] can restore the sets without a snapshot.
     fn propagate_instar(&mut self, p: Category, delta: &CatSet) {
-        if delta.is_subset_of(&self.instar[p.index()]) {
-            return;
+        let mut stack = std::mem::take(&mut self.prop_stack);
+        stack.clear();
+        stack.push(p);
+        while let Some(q) = stack.pop() {
+            let qi = q.index();
+            if delta.is_subset_of(&self.instar[qi]) {
+                continue;
+            }
+            if self.opts.trail_backtracking {
+                let (instar, trail) = (&mut self.instar[qi], &mut self.trail);
+                instar.union_with_logged(delta, &mut |w, old| {
+                    trail.push(TrailOp::InstarWord {
+                        cat: qi as u32,
+                        word: w as u32,
+                        old,
+                    });
+                });
+            } else {
+                self.instar[qi].union_with(delta);
+            }
+            stack.extend(self.sub.parents(q).iter().copied());
         }
-        self.instar[p.index()].union_with(delta);
-        let parents: Vec<Category> = self.sub.parents(p).to_vec();
-        for q in parents {
-            self.propagate_instar(q, delta);
+        self.prop_stack = stack;
+    }
+
+    /// Pops the trail back to `mark`, reversing every mutation since.
+    fn undo_trail(&mut self, mark: usize) {
+        while self.trail.len() > mark {
+            let Some(op) = self.trail.pop() else { return };
+            match op {
+                TrailOp::Edge {
+                    child,
+                    parent,
+                    undo,
+                } => self.sub.undo_edge(child, parent, undo),
+                TrailOp::InnPush { parent } => {
+                    self.inn[parent.index()].pop();
+                }
+                TrailOp::InstarWord { cat, word, old } => {
+                    self.instar[cat as usize].set_word(word as usize, old);
+                }
+            }
         }
     }
 
@@ -354,8 +538,8 @@ impl<'a, 'g> Search<'a, 'g> {
         // Choose ctop per the frontier discipline. The frontier is
         // non-empty here, so both disciplines yield a category.
         let Some(ctop) = (match self.opts.order {
-            TopOrder::Lifo => self.top.pop(),
-            TopOrder::Fifo => Some(self.top.remove(0)),
+            TopOrder::Lifo => self.top.pop_back(),
+            TopOrder::Fifo => self.top.pop_front(),
         }) else {
             return;
         };
@@ -398,15 +582,27 @@ impl<'a, 'g> Search<'a, 'g> {
         let rest: Vec<Category> = s.iter().copied().filter(|c2| !into.contains(c2)).collect();
         if rest.len() >= 63 {
             // The 2^|rest| fan-out does not fit the subset mask; treat the
-            // node as unexplorable rather than overflowing the shift.
+            // node as unexplorable rather than overflowing the shift. This
+            // is a structural limit, not budget exhaustion, and gets its
+            // own interrupt reason so callers don't misattribute the stop.
             self.interrupted(Interrupt {
-                reason: InterruptReason::NodeLimit,
+                reason: InterruptReason::FanoutOverflow,
                 nodes: self.gov.nodes(),
                 checks: self.gov.checks(),
             });
             self.restore_top(ctop);
             return;
         }
+        // `In*(ctop) ∪ {ctop}`: the delta every new edge pushes upward.
+        // Loop-invariant across the masks — adding parents to ctop never
+        // changes `In*(ctop)`, since cycle pruning keeps ctop out of its
+        // own ancestry — so it is computed once into a reusable scratch.
+        let delta = self.opts.incremental_instar.then(|| {
+            let mut d = std::mem::replace(&mut self.delta_scratch, CatSet::new(0));
+            d.copy_from(&self.instar[ctop.index()]);
+            d.insert(ctop);
+            d
+        });
         for mask in 0u64..(1u64 << rest.len()) {
             if self.stopped || self.interrupt.is_some() {
                 break;
@@ -427,22 +623,36 @@ impl<'a, 'g> Search<'a, 'g> {
                 continue;
             }
 
-            let saved_sub = self.sub.clone();
+            let trail_mark = self.trail.len();
             let saved_top_len = self.top.len();
-            let saved_instar = self
-                .opts
-                .incremental_instar
-                .then(|| (self.instar.clone(), self.inn.clone()));
+            let saved = (!self.opts.trail_backtracking).then(|| {
+                self.stats.struct_clones += 1;
+                let instar = self.opts.incremental_instar.then(|| {
+                    self.stats.struct_clones += 2;
+                    (self.instar.clone(), self.inn.clone())
+                });
+                (self.sub.clone(), instar)
+            });
             for &p in &r {
                 if !self.sub.contains(p) && !p.is_all() {
-                    self.top.push(p);
+                    self.top.push_back(p);
                 }
-                self.sub.add_edge(ctop, p);
+                let undo = self.sub.add_edge_undoable(ctop, p);
+                if self.opts.trail_backtracking {
+                    self.trail.push(TrailOp::Edge {
+                        child: ctop,
+                        parent: p,
+                        undo,
+                    });
+                }
                 if self.opts.incremental_instar {
                     self.inn[p.index()].push(ctop);
-                    let mut delta = self.instar[ctop.index()].clone();
-                    delta.insert(ctop);
-                    self.propagate_instar(p, &delta);
+                    if self.opts.trail_backtracking {
+                        self.trail.push(TrailOp::InnPush { parent: p });
+                    }
+                    if let Some(d) = &delta {
+                        self.propagate_instar(p, d);
+                    }
                 }
             }
             if self.opts.trace {
@@ -453,12 +663,20 @@ impl<'a, 'g> Search<'a, 'g> {
                 });
             }
             self.expand(depth + 1);
-            self.sub = saved_sub;
-            self.top.truncate(saved_top_len);
-            if let Some((instar, inn)) = saved_instar {
-                self.instar = instar;
-                self.inn = inn;
+            match saved {
+                Some((sub, instar)) => {
+                    self.sub = sub;
+                    if let Some((instar, inn)) = instar {
+                        self.instar = instar;
+                        self.inn = inn;
+                    }
+                }
+                None => self.undo_trail(trail_mark),
             }
+            self.top.truncate(saved_top_len);
+        }
+        if let Some(d) = delta {
+            self.delta_scratch = d;
         }
         if self.opts.trace && !self.stopped && self.interrupt.is_none() {
             self.trace.push(TraceEvent::Backtrack { ctop });
@@ -468,8 +686,8 @@ impl<'a, 'g> Search<'a, 'g> {
 
     fn restore_top(&mut self, ctop: Category) {
         match self.opts.order {
-            TopOrder::Lifo => self.top.push(ctop),
-            TopOrder::Fifo => self.top.insert(0, ctop),
+            TopOrder::Lifo => self.top.push_back(ctop),
+            TopOrder::Fifo => self.top.push_front(ctop),
         }
     }
 
@@ -610,7 +828,107 @@ mod tests {
     fn every_location_category_is_satisfiable() {
         let ds = location_sch();
         let solver = Dimsat::new(&ds);
-        assert!(solver.unsatisfiable_categories().unwrap().is_empty());
+        let sweep = solver.unsatisfiable_categories();
+        assert!(sweep.is_complete());
+        assert!(sweep.unsat.is_empty());
+        assert!(sweep.undecided.is_empty());
+        assert_eq!(sweep.decided, ds.hierarchy().num_categories() - 1);
+    }
+
+    #[test]
+    fn interrupted_sweep_keeps_partial_verdicts() {
+        let ds = location_sch();
+        let g = ds.hierarchy();
+        let extra = odc_constraint::parse_constraint(g, "!SaleRegion_Country").unwrap();
+        let ds2 = ds.with_constraint(extra);
+        // Generous enough to decide some categories, tight enough to trip.
+        let full = Dimsat::new(&ds2).unsatisfiable_categories();
+        assert!(full.is_complete());
+        assert!(!full.unsat.is_empty());
+        let mut saw_partial = false;
+        for limit in 1..500 {
+            let sweep = Dimsat::new(&ds2)
+                .with_budget(Budget::unlimited().with_node_limit(limit))
+                .unsatisfiable_categories();
+            if sweep.is_complete() {
+                break;
+            }
+            assert_eq!(
+                sweep.interrupted.map(|i| i.reason),
+                Some(InterruptReason::NodeLimit)
+            );
+            assert!(!sweep.undecided.is_empty());
+            assert_eq!(
+                sweep.decided + sweep.undecided.len(),
+                g.num_categories() - 1
+            );
+            if sweep.decided > 0 {
+                // Partial work survived the interrupt; the decided prefix
+                // must agree with the full sweep.
+                for c in &sweep.unsat {
+                    assert!(full.unsat.contains(c));
+                }
+                saw_partial = true;
+            }
+        }
+        assert!(saw_partial, "no limit produced a partially-decided sweep");
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial() {
+        let ds = location_sch();
+        let g = ds.hierarchy();
+        let extra = odc_constraint::parse_constraint(g, "!SaleRegion_Country").unwrap();
+        let ds2 = ds.with_constraint(extra);
+        let serial = Dimsat::new(&ds2).unsatisfiable_categories();
+        for jobs in [1, 2, 4, 16] {
+            let par = Dimsat::new(&ds2).unsatisfiable_categories_parallel(jobs);
+            assert!(par.is_complete());
+            assert_eq!(par.unsat, serial.unsat, "jobs={jobs}");
+            assert_eq!(par.decided, serial.decided, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn trail_and_clone_kernels_enumerate_identically() {
+        let ds = location_sch();
+        for name in ["Store", "City", "State", "SaleRegion"] {
+            let c = cat(&ds, name);
+            let (trail, trail_out) = Dimsat::new(&ds).enumerate_frozen(c);
+            let (clone, clone_out) =
+                Dimsat::with_options(&ds, DimsatOptions::full().without_trail())
+                    .enumerate_frozen(c);
+            let a: Vec<_> = trail.iter().map(edge_fingerprint).collect();
+            let b: Vec<_> = clone.iter().map(edge_fingerprint).collect();
+            assert_eq!(a, b, "kernels diverged on {name} (order-sensitive)");
+            assert_eq!(trail_out.stats.expand_calls, clone_out.stats.expand_calls);
+            assert_eq!(trail_out.stats.struct_clones, 0, "trail kernel never clones");
+            assert!(clone_out.stats.struct_clones > 0, "clone kernel snapshots");
+        }
+    }
+
+    #[test]
+    fn fanout_overflow_has_its_own_reason() {
+        // A root with 70 parents: into-free, so rest.len() = 70 ≥ 63.
+        let mut b = HierarchySchema::builder();
+        let root = b.category("Root");
+        let mut parents = Vec::new();
+        for i in 0..70 {
+            parents.push(b.category(&format!("P{i}")));
+        }
+        for &p in &parents {
+            b.edge(root, p);
+            b.edge_to_all(p);
+        }
+        let g = Arc::new(b.build().unwrap());
+        let ds = DimensionSchema::parse(g, "").unwrap();
+        let root = ds.hierarchy().category_by_name("Root").unwrap();
+        let out = Dimsat::new(&ds).category_satisfiable(root);
+        assert!(out.is_unknown());
+        assert_eq!(
+            out.interrupted.map(|i| i.reason),
+            Some(InterruptReason::FanoutOverflow)
+        );
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //! ```
 
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -41,6 +41,10 @@ pub enum InterruptReason {
     DepthLimit,
     /// The [`CancelToken`] was flipped (typically from another thread).
     Cancelled,
+    /// A category's admissible parent set is too wide for the subset-mask
+    /// fan-out (≥ 63 parents); the expansion cannot be enumerated. This is
+    /// a structural limit of the search encoding, not budget exhaustion.
+    FanoutOverflow,
 }
 
 impl fmt::Display for InterruptReason {
@@ -51,6 +55,7 @@ impl fmt::Display for InterruptReason {
             InterruptReason::CheckLimit => "CHECK limit exceeded",
             InterruptReason::DepthLimit => "recursion depth limit exceeded",
             InterruptReason::Cancelled => "cancelled",
+            InterruptReason::FanoutOverflow => "parent fan-out too wide for the subset mask",
         };
         f.write_str(s)
     }
@@ -158,6 +163,7 @@ impl Budget {
 #[derive(Debug, Clone, Default)]
 pub struct CancelToken {
     flag: Arc<AtomicBool>,
+    parent: Option<Arc<CancelToken>>,
 }
 
 impl CancelToken {
@@ -166,14 +172,30 @@ impl CancelToken {
         CancelToken::default()
     }
 
-    /// Requests cancellation. Idempotent; visible to every clone.
+    /// A child token: cancelling the child does not affect this token,
+    /// but cancelling this token (or any ancestor) cancels the child.
+    /// Batch drivers hand children to their workers so first-countermodel
+    /// cancellation stays internal to the batch while the caller's token
+    /// still reaches every worker.
+    pub fn child(&self) -> CancelToken {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            parent: Some(Arc::new(self.clone())),
+        }
+    }
+
+    /// Requests cancellation. Idempotent; visible to every clone (and to
+    /// child tokens, but not to the parent this token was derived from).
     pub fn cancel(&self) {
         self.flag.store(true, Ordering::Release);
     }
 
-    /// Whether cancellation has been requested.
+    /// Whether cancellation has been requested, here or on an ancestor.
     pub fn is_cancelled(&self) -> bool {
-        self.flag.load(Ordering::Acquire)
+        if self.flag.load(Ordering::Acquire) {
+            return true;
+        }
+        self.parent.as_ref().is_some_and(|p| p.is_cancelled())
     }
 }
 
@@ -198,6 +220,9 @@ pub struct Governor {
     nodes: u64,
     checks: u64,
     tripped: Option<Interrupt>,
+    /// When minted by a [`SharedGovernor`], ticks also land in these
+    /// cross-thread counters and limits are enforced against the totals.
+    shared: Option<Arc<SharedCounters>>,
 }
 
 impl Governor {
@@ -211,6 +236,7 @@ impl Governor {
             nodes: 0,
             checks: 0,
             tripped: None,
+            shared: None,
         }
     }
 
@@ -229,14 +255,32 @@ impl Governor {
         &self.budget
     }
 
-    /// Search nodes consumed so far.
+    /// Search nodes consumed so far by this governor (this worker's share
+    /// when minted from a [`SharedGovernor`]).
     pub fn nodes(&self) -> u64 {
         self.nodes
     }
 
-    /// CHECK invocations consumed so far.
+    /// CHECK invocations consumed so far by this governor.
     pub fn checks(&self) -> u64 {
         self.checks
+    }
+
+    /// Nodes counted against the budget: the cross-thread total when this
+    /// governor shares counters, its own tally otherwise.
+    fn budget_nodes(&self) -> u64 {
+        match &self.shared {
+            Some(s) => s.nodes.load(Ordering::Relaxed),
+            None => self.nodes,
+        }
+    }
+
+    /// CHECKs counted against the budget (cross-thread total if shared).
+    fn budget_checks(&self) -> u64 {
+        match &self.shared {
+            Some(s) => s.checks.load(Ordering::Relaxed),
+            None => self.checks,
+        }
     }
 
     /// Wall-clock time since creation.
@@ -252,8 +296,8 @@ impl Governor {
     fn trip(&mut self, reason: InterruptReason) -> Interrupt {
         let i = Interrupt {
             reason,
-            nodes: self.nodes,
-            checks: self.checks,
+            nodes: self.budget_nodes(),
+            checks: self.budget_checks(),
         };
         self.tripped = Some(i);
         i
@@ -283,8 +327,12 @@ impl Governor {
             return Err(i);
         }
         self.nodes += 1;
+        let counted = match &self.shared {
+            Some(s) => s.nodes.fetch_add(1, Ordering::Relaxed) + 1,
+            None => self.nodes,
+        };
         if let Some(limit) = self.budget.node_limit {
-            if self.nodes > limit {
+            if counted > limit {
                 return Err(self.trip(InterruptReason::NodeLimit));
             }
         }
@@ -302,8 +350,12 @@ impl Governor {
             return Err(i);
         }
         self.checks += 1;
+        let counted = match &self.shared {
+            Some(s) => s.checks.fetch_add(1, Ordering::Relaxed) + 1,
+            None => self.checks,
+        };
         if let Some(limit) = self.budget.check_limit {
-            if self.checks > limit {
+            if counted > limit {
                 return Err(self.trip(InterruptReason::CheckLimit));
             }
         }
@@ -321,6 +373,85 @@ impl Governor {
             }
         }
         Ok(())
+    }
+}
+
+/// Cross-thread node/check tallies behind a [`SharedGovernor`].
+#[derive(Debug, Default)]
+struct SharedCounters {
+    nodes: AtomicU64,
+    checks: AtomicU64,
+}
+
+/// One budget shared by a batch of worker threads.
+///
+/// A parallel batch driver creates a `SharedGovernor` and mints one
+/// [`Governor`] per worker with [`SharedGovernor::worker`]. Every worker
+/// tick lands in a common pair of atomic counters, and node/check limits
+/// are enforced against the cross-thread totals, so the whole batch —
+/// not each worker — gets the budget. Deadline and cancellation are
+/// shared too: the deadline is anchored at the `SharedGovernor`'s
+/// creation, and all workers watch the same [`CancelToken`].
+#[derive(Debug, Clone)]
+pub struct SharedGovernor {
+    budget: Budget,
+    cancel: CancelToken,
+    start: Instant,
+    deadline_at: Option<Instant>,
+    counters: Arc<SharedCounters>,
+}
+
+impl SharedGovernor {
+    /// A shared governor measuring from now.
+    pub fn new(budget: Budget, cancel: CancelToken) -> Self {
+        SharedGovernor {
+            budget,
+            cancel,
+            start: Instant::now(),
+            deadline_at: budget.deadline.map(|d| Instant::now() + d),
+            counters: Arc::new(SharedCounters::default()),
+        }
+    }
+
+    /// Mints a per-worker governor charging this shared budget. Send the
+    /// result into the worker thread; it behaves like a normal governor
+    /// except that limits trip on the batch-wide totals.
+    pub fn worker(&self) -> Governor {
+        Governor {
+            budget: self.budget,
+            cancel: self.cancel.clone(),
+            start: self.start,
+            deadline_at: self.deadline_at,
+            nodes: 0,
+            checks: 0,
+            tripped: None,
+            shared: Some(Arc::clone(&self.counters)),
+        }
+    }
+
+    /// The budget every worker charges.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// The cancellation token every worker watches.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// Total search nodes consumed across all workers.
+    pub fn nodes(&self) -> u64 {
+        self.counters.nodes.load(Ordering::Relaxed)
+    }
+
+    /// Total CHECK invocations consumed across all workers.
+    pub fn checks(&self) -> u64 {
+        self.counters.checks.load(Ordering::Relaxed)
+    }
+
+    /// Wall-clock time since creation.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
     }
 }
 
@@ -433,5 +564,92 @@ mod tests {
         let i = Interrupt::new(InterruptReason::Deadline);
         assert!(i.to_string().contains("deadline"));
         assert!(InterruptReason::Cancelled.to_string().contains("cancel"));
+        assert!(InterruptReason::FanoutOverflow.to_string().contains("fan-out"));
+    }
+
+    #[test]
+    fn child_token_does_not_cancel_parent() {
+        let parent = CancelToken::new();
+        let child = parent.child();
+        child.cancel();
+        assert!(child.is_cancelled());
+        assert!(!parent.is_cancelled());
+    }
+
+    #[test]
+    fn parent_cancellation_reaches_children() {
+        let parent = CancelToken::new();
+        let child = parent.child();
+        let grandchild = child.child();
+        parent.cancel();
+        assert!(child.is_cancelled());
+        assert!(grandchild.is_cancelled());
+    }
+
+    #[test]
+    fn shared_node_limit_is_batch_wide() {
+        let shared = SharedGovernor::new(
+            Budget::unlimited().with_node_limit(10),
+            CancelToken::new(),
+        );
+        let mut a = shared.worker();
+        let mut b = shared.worker();
+        for _ in 0..5 {
+            a.tick_node().unwrap();
+        }
+        for _ in 0..5 {
+            b.tick_node().unwrap();
+        }
+        // Each worker is well under the limit alone, but the pooled total
+        // is exhausted: the next tick on either worker trips.
+        let i = a.tick_node().unwrap_err();
+        assert_eq!(i.reason, InterruptReason::NodeLimit);
+        assert!(i.nodes > 10);
+        assert_eq!(shared.nodes(), 11);
+        assert_eq!(a.nodes(), 6);
+        assert_eq!(b.nodes(), 5);
+    }
+
+    #[test]
+    fn shared_check_limit_is_batch_wide() {
+        let shared = SharedGovernor::new(
+            Budget::unlimited().with_check_limit(2),
+            CancelToken::new(),
+        );
+        let mut a = shared.worker();
+        let mut b = shared.worker();
+        a.tick_check().unwrap();
+        b.tick_check().unwrap();
+        assert_eq!(
+            a.tick_check().unwrap_err().reason,
+            InterruptReason::CheckLimit
+        );
+        assert_eq!(shared.checks(), 3);
+    }
+
+    #[test]
+    fn shared_counters_accumulate_across_threads() {
+        let shared = SharedGovernor::new(Budget::unlimited(), CancelToken::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let mut gov = shared.worker();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        gov.tick_node().unwrap();
+                    }
+                    gov.tick_check().unwrap();
+                });
+            }
+        });
+        assert_eq!(shared.nodes(), 4000);
+        assert_eq!(shared.checks(), 4);
+    }
+
+    #[test]
+    fn shared_cancellation_stops_every_worker() {
+        let shared = SharedGovernor::new(Budget::unlimited(), CancelToken::new());
+        shared.cancel_token().cancel();
+        let mut gov = shared.worker();
+        assert_eq!(gov.poll().unwrap_err().reason, InterruptReason::Cancelled);
     }
 }

@@ -99,6 +99,35 @@ impl CatSet {
         }
     }
 
+    /// In-place union that reports every changed storage word's previous
+    /// bits to `record` (word index, old value). Backtracking trails use
+    /// this to restore the set later via [`CatSet::set_word`] instead of
+    /// snapshotting the whole set.
+    pub fn union_with_logged(&mut self, other: &CatSet, record: &mut impl FnMut(usize, u64)) {
+        debug_assert_eq!(self.universe, other.universe);
+        for (w, (a, b)) in self.words.iter_mut().zip(&other.words).enumerate() {
+            let old = *a;
+            let new = old | b;
+            if new != old {
+                record(w, old);
+                *a = new;
+            }
+        }
+    }
+
+    /// Overwrites one 64-category storage word — the undo partner of
+    /// [`CatSet::union_with_logged`].
+    pub fn set_word(&mut self, word: usize, bits: u64) {
+        self.words[word] = bits;
+    }
+
+    /// Makes `self` an exact copy of `other`, reusing the allocation.
+    pub fn copy_from(&mut self, other: &CatSet) {
+        self.universe = other.universe;
+        self.words.clear();
+        self.words.extend_from_slice(&other.words);
+    }
+
     /// In-place intersection.
     pub fn intersect_with(&mut self, other: &CatSet) {
         debug_assert_eq!(self.universe, other.universe);
@@ -264,6 +293,55 @@ mod tests {
         s.clear();
         assert!(s.is_empty());
         assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn logged_union_round_trips() {
+        let mut a = CatSet::new(200);
+        let mut b = CatSet::new(200);
+        for i in [1, 5, 70] {
+            a.insert(c(i));
+        }
+        for i in [5, 130, 199] {
+            b.insert(c(i));
+        }
+        let before = a.clone();
+        let mut log: Vec<(usize, u64)> = Vec::new();
+        a.union_with_logged(&b, &mut |w, old| log.push((w, old)));
+        let mut expect = before.clone();
+        expect.union_with(&b);
+        assert_eq!(a, expect);
+        // Only words that actually changed are logged (words 2 and 3).
+        assert_eq!(log.iter().map(|&(w, _)| w).collect::<Vec<_>>(), vec![2, 3]);
+        for &(w, old) in log.iter().rev() {
+            a.set_word(w, old);
+        }
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn logged_union_of_subset_logs_nothing() {
+        let mut a = CatSet::new(100);
+        a.insert(c(3));
+        a.insert(c(64));
+        let mut sub = CatSet::new(100);
+        sub.insert(c(3));
+        let mut calls = 0;
+        a.union_with_logged(&sub, &mut |_, _| calls += 1);
+        assert_eq!(calls, 0);
+    }
+
+    #[test]
+    fn copy_from_reuses_allocation() {
+        let mut a = CatSet::new(100);
+        a.insert(c(7));
+        let mut b = CatSet::new(100);
+        b.insert(c(64));
+        b.insert(c(99));
+        a.copy_from(&b);
+        assert_eq!(a, b);
+        a.insert(c(1));
+        assert!(!b.contains(c(1)));
     }
 
     #[test]

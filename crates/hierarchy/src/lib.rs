@@ -55,5 +55,5 @@ pub mod symbols;
 pub use catset::CatSet;
 pub use error::SchemaError;
 pub use schema::{Category, HierarchySchema, HierarchySchemaBuilder};
-pub use subhierarchy::Subhierarchy;
+pub use subhierarchy::{EdgeUndo, Subhierarchy};
 pub use symbols::Interner;

@@ -75,6 +75,40 @@ impl Subhierarchy {
         }
     }
 
+    /// Adds the edge `child ↗' parent` like [`Subhierarchy::add_edge`],
+    /// returning the receipt a backtracking trail needs to reverse the
+    /// mutation exactly with [`Subhierarchy::undo_edge`].
+    pub fn add_edge_undoable(&mut self, child: Category, parent: Category) -> EdgeUndo {
+        debug_assert!(child.index() < self.universe && parent.index() < self.universe);
+        let added_child = self.cats.insert(child);
+        let added_parent = self.cats.insert(parent);
+        let added_edge = !self.out[child.index()].contains(&parent);
+        if added_edge {
+            self.out[child.index()].push(parent);
+        }
+        EdgeUndo {
+            added_edge,
+            added_child,
+            added_parent,
+        }
+    }
+
+    /// Reverses one [`Subhierarchy::add_edge_undoable`]. Undos must be
+    /// applied in reverse order of the additions: the edge being removed
+    /// has to be the most recently pushed parent of `child`.
+    pub fn undo_edge(&mut self, child: Category, parent: Category, undo: EdgeUndo) {
+        if undo.added_edge {
+            debug_assert_eq!(self.out[child.index()].last(), Some(&parent));
+            self.out[child.index()].pop();
+        }
+        if undo.added_parent {
+            self.cats.remove(parent);
+        }
+        if undo.added_child {
+            self.cats.remove(child);
+        }
+    }
+
     /// The parents of `c` within the sub-graph.
     pub fn parents(&self, c: Category) -> &[Category] {
         &self.out[c.index()]
@@ -206,6 +240,15 @@ impl Subhierarchy {
             schema: g,
         }
     }
+}
+
+/// Receipt from [`Subhierarchy::add_edge_undoable`]: which parts of the
+/// structure the call actually changed, so the undo removes exactly those.
+#[derive(Debug, Clone, Copy)]
+pub struct EdgeUndo {
+    added_edge: bool,
+    added_child: bool,
+    added_parent: bool,
 }
 
 /// Helper returned by [`Subhierarchy::display`].
@@ -360,6 +403,35 @@ mod tests {
         let txt = sub.display(&g).to_string();
         assert!(txt.contains("root=S"));
         assert!(txt.contains("S→A"));
+    }
+
+    #[test]
+    fn undoable_edges_restore_exactly() {
+        let (g, [s, a, _b, t, all]) = diamond();
+        let mut sub = Subhierarchy::new(s, g.num_categories());
+        sub.add_edge(s, a);
+        let snapshot = sub.clone();
+        // Add a chain, then undo in reverse order.
+        let u1 = sub.add_edge_undoable(a, t);
+        let u2 = sub.add_edge_undoable(t, all);
+        let u3 = sub.add_edge_undoable(s, t); // t already present
+        assert_eq!(sub.num_edges(), 4);
+        sub.undo_edge(s, t, u3);
+        sub.undo_edge(t, all, u2);
+        sub.undo_edge(a, t, u1);
+        assert_eq!(sub, snapshot);
+    }
+
+    #[test]
+    fn undoable_duplicate_edge_is_a_no_op() {
+        let (g, [s, a, _b, _t, _all]) = diamond();
+        let mut sub = Subhierarchy::new(s, g.num_categories());
+        sub.add_edge(s, a);
+        let snapshot = sub.clone();
+        let undo = sub.add_edge_undoable(s, a);
+        assert_eq!(sub, snapshot);
+        sub.undo_edge(s, a, undo);
+        assert_eq!(sub, snapshot);
     }
 
     #[test]

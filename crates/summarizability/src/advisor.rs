@@ -14,10 +14,10 @@
 //! * **summarizability matrix** — for each pair of categories, whether
 //!   the finer one's view can rebuild the coarser one's.
 
-use crate::theorem1::is_summarizable_in_schema_governed;
+use crate::theorem1::{is_summarizable_in_schema_governed, is_summarizable_in_schema_memo};
 use odc_constraint::{Constraint, DimensionConstraint, DimensionSchema};
-use odc_dimsat::{implication, Dimsat, DimsatOptions};
-use odc_govern::{Governor, Interrupt};
+use odc_dimsat::{implication, Dimsat, DimsatOptions, ImplicationCache};
+use odc_govern::{Budget, CancelToken, Governor, Interrupt, SharedGovernor};
 use odc_hierarchy::Category;
 
 /// The advisor's findings.
@@ -34,6 +34,9 @@ pub struct SchemaReport {
     /// Pairs `(coarse, fine)` such that `coarse` is summarizable from
     /// `{fine}` — the safe single-view rewrites.
     pub safe_rewrites: Vec<(Category, Category)>,
+    /// Categories the satisfiability sweep did not reach before the
+    /// budget ran out. Empty when the sweep completed.
+    pub undecided_categories: Vec<Category>,
     /// Set when the audit's budget ran out: the fields above hold
     /// whatever was proved before the interrupt (a partial report, not a
     /// wrong one).
@@ -86,6 +89,16 @@ impl SchemaReport {
         }
         if let Some(i) = &self.interrupted {
             out.push_str(&format!("audit interrupted ({i}); report is partial\n"));
+            if !self.undecided_categories.is_empty() {
+                out.push_str(&format!(
+                    "categories not audited: {}\n",
+                    self.undecided_categories
+                        .iter()
+                        .map(|&c| g.name(c))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
         }
         out
     }
@@ -110,15 +123,16 @@ pub fn audit_governed(ds: &DimensionSchema, gov: &mut Governor) -> SchemaReport 
         redundant_constraints: Vec::new(),
         structure_census: Vec::new(),
         safe_rewrites: Vec::new(),
+        undecided_categories: Vec::new(),
         interrupted: None,
     };
 
-    match solver.unsatisfiable_categories_governed(gov) {
-        Ok(u) => report.unsatisfiable = u,
-        Err(i) => {
-            report.interrupted = Some(i);
-            return report;
-        }
+    let sweep = solver.unsatisfiable_categories_governed(gov);
+    report.unsatisfiable = sweep.unsat;
+    report.undecided_categories = sweep.undecided;
+    if let Some(i) = sweep.interrupted {
+        report.interrupted = Some(i);
+        return report;
     }
 
     // A constraint σ is redundant iff (G, Σ \ {σ}) ⊨ σ.
@@ -164,6 +178,178 @@ pub fn audit_governed(ds: &DimensionSchema, gov: &mut Governor) -> SchemaReport 
         }
     }
 
+    report
+}
+
+/// Runs the `f(i, gov)` work items `0..n` striped across `jobs` worker
+/// threads, each worker drawing from the shared budget. Returns the
+/// completed results sorted by index plus the lowest-indexed interrupt
+/// (if any worker hit one). Results proved past an interrupt index by
+/// other workers are kept — they are sound, the report just notes it is
+/// partial.
+/// One worker's contribution to a striped stage: the results it proved
+/// plus the index where it stopped, if the budget interrupted it.
+type StripeResult<T> = (Vec<(usize, T)>, Option<(usize, Interrupt)>);
+
+fn run_striped<T: Send>(
+    shared: &SharedGovernor,
+    jobs: usize,
+    n: usize,
+    f: impl Fn(usize, &mut Governor) -> Result<T, Interrupt> + Sync,
+) -> (Vec<(usize, T)>, Option<Interrupt>) {
+    let jobs = jobs.max(1).min(n.max(1));
+    let per_worker: Vec<StripeResult<T>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..jobs)
+                .map(|w| {
+                    let mut gov = shared.worker();
+                    let f = &f;
+                    scope.spawn(move || {
+                        let mut done = Vec::new();
+                        let mut intr = None;
+                        let mut i = w;
+                        while i < n {
+                            match f(i, &mut gov) {
+                                Ok(t) => done.push((i, t)),
+                                Err(e) => {
+                                    intr = Some((i, e));
+                                    break;
+                                }
+                            }
+                            i += jobs;
+                        }
+                        (done, intr)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or((Vec::new(), None)))
+                .collect()
+        });
+    let mut done: Vec<(usize, T)> = Vec::new();
+    let mut first: Option<(usize, Interrupt)> = None;
+    for (d, intr) in per_worker {
+        done.extend(d);
+        if let Some((i, e)) = intr {
+            let replace = match first {
+                None => true,
+                Some((j, _)) => i < j,
+            };
+            if replace {
+                first = Some((i, e));
+            }
+        }
+    }
+    done.sort_by_key(|&(i, _)| i);
+    (done, first.map(|(_, e)| e))
+}
+
+/// [`audit_governed`] fanned out over `jobs` worker threads. All four
+/// audit stages draw from the single shared `budget`; within each stage
+/// the independent queries are striped across workers, and the
+/// summarizability stage shares one implication memo-cache so repeated
+/// sub-queries are answered once. Findings are reported in the same
+/// order as the serial audit, and an interrupt yields the same
+/// explicitly-partial report.
+pub fn audit_parallel(
+    ds: &DimensionSchema,
+    budget: Budget,
+    cancel: &CancelToken,
+    jobs: usize,
+) -> SchemaReport {
+    if jobs <= 1 {
+        let mut gov = Governor::new(budget, cancel.clone());
+        return audit_governed(ds, &mut gov);
+    }
+    let g = ds.hierarchy();
+    let solver = Dimsat::new(ds);
+    let shared = SharedGovernor::new(budget, cancel.clone());
+    let mut report = SchemaReport {
+        unsatisfiable: Vec::new(),
+        redundant_constraints: Vec::new(),
+        structure_census: Vec::new(),
+        safe_rewrites: Vec::new(),
+        undecided_categories: Vec::new(),
+        interrupted: None,
+    };
+
+    let sweep = solver.unsatisfiable_categories_sharded(&shared, jobs);
+    report.unsatisfiable = sweep.unsat;
+    report.undecided_categories = sweep.undecided;
+    if let Some(i) = sweep.interrupted {
+        report.interrupted = Some(i);
+        return report;
+    }
+
+    // A constraint σ is redundant iff (G, Σ \ {σ}) ⊨ σ.
+    let (redundant, intr) = run_striped(&shared, jobs, ds.constraints().len(), |i, gov| {
+        let dc = &ds.constraints()[i];
+        let mut rest: Vec<DimensionConstraint> = ds.constraints().to_vec();
+        rest.remove(i);
+        let reduced = DimensionSchema::new(ds.hierarchy_arc(), rest);
+        let out = implication::implies_governed(&reduced, dc, DimsatOptions::default(), gov);
+        match out.interrupt() {
+            Some(e) => Err(e),
+            None => Ok(out.implied()),
+        }
+    });
+    report.redundant_constraints = redundant
+        .into_iter()
+        .filter(|&(_, r)| r)
+        .map(|(i, _)| i)
+        .collect();
+    if let Some(e) = intr {
+        report.interrupted = Some(e);
+        return report;
+    }
+
+    let bottoms: Vec<Category> = g
+        .bottom_categories()
+        .into_iter()
+        .filter(|c| !c.is_all())
+        .collect();
+    let (census, intr) = run_striped(&shared, jobs, bottoms.len(), |i, gov| {
+        let (frozen, out) = solver.enumerate_frozen_governed(bottoms[i], gov);
+        match out.interrupted {
+            Some(e) => Err(e),
+            None => Ok(frozen.len()),
+        }
+    });
+    report.structure_census = census.into_iter().map(|(i, n)| (bottoms[i], n)).collect();
+    if let Some(e) = intr {
+        report.interrupted = Some(e);
+        return report;
+    }
+
+    // Safe single-view rewrites, sharing one memo-cache across workers.
+    let mut pairs: Vec<(Category, Category)> = Vec::new();
+    for fine in g.categories() {
+        for coarse in g.categories() {
+            if fine == coarse || !g.reaches(fine, coarse) || fine.is_all() {
+                continue;
+            }
+            pairs.push((coarse, fine));
+        }
+    }
+    let cache = ImplicationCache::for_schema(ds);
+    let (safe, intr) = run_striped(&shared, jobs, pairs.len(), |i, gov| {
+        let (coarse, fine) = pairs[i];
+        let out =
+            is_summarizable_in_schema_memo(ds, coarse, &[fine], DimsatOptions::default(), gov, &cache);
+        match out.interrupt() {
+            Some(e) => Err(e),
+            None => Ok(out.summarizable()),
+        }
+    });
+    report.safe_rewrites = safe
+        .into_iter()
+        .filter(|&(_, s)| s)
+        .map(|(i, _)| pairs[i])
+        .collect();
+    if let Some(e) = intr {
+        report.interrupted = Some(e);
+    }
     report
 }
 
@@ -305,6 +491,52 @@ mod tests {
         for dc in &suggestions {
             assert!(implication::implies(&ds, dc).implied());
         }
+    }
+
+    #[test]
+    fn parallel_audit_matches_serial() {
+        use odc_govern::{Budget, CancelToken};
+        let ds = location_sch();
+        let serial = audit(&ds);
+        for jobs in [1, 2, 4] {
+            let par = audit_parallel(&ds, Budget::unlimited(), &CancelToken::new(), jobs);
+            assert_eq!(par.unsatisfiable, serial.unsatisfiable, "jobs={jobs}");
+            assert_eq!(
+                par.redundant_constraints, serial.redundant_constraints,
+                "jobs={jobs}"
+            );
+            assert_eq!(par.structure_census, serial.structure_census, "jobs={jobs}");
+            assert_eq!(par.safe_rewrites, serial.safe_rewrites, "jobs={jobs}");
+            assert!(par.interrupted.is_none());
+        }
+    }
+
+    #[test]
+    fn interrupted_audit_reports_undecided_categories() {
+        use odc_govern::{Budget, CancelToken};
+        let ds = location_sch();
+        // Walk the node budget up until the sweep gets past at least one
+        // category but not all of them; the report must name the rest.
+        let mut saw_partial = false;
+        for limit in 1..2000u64 {
+            let mut gov = Governor::new(
+                Budget::unlimited().with_node_limit(limit),
+                CancelToken::new(),
+            );
+            let report = audit_governed(&ds, &mut gov);
+            if report.interrupted.is_none() {
+                break;
+            }
+            if !report.undecided_categories.is_empty()
+                && report.undecided_categories.len() < ds.hierarchy().num_categories()
+            {
+                saw_partial = true;
+                let rendered = report.render(&ds);
+                assert!(rendered.contains("report is partial"));
+                assert!(rendered.contains("categories not audited"));
+            }
+        }
+        assert!(saw_partial, "no budget produced a partially-decided sweep");
     }
 
     #[test]

@@ -3,9 +3,9 @@
 //! summarizability guarantees the rewriting is correct in *every*
 //! instance of the schema.
 
-use crate::theorem1::is_summarizable_in_schema_governed;
+use crate::theorem1::is_summarizable_in_schema_memo;
 use odc_constraint::DimensionSchema;
-use odc_dimsat::DimsatOptions;
+use odc_dimsat::{DimsatOptions, ImplicationCache};
 use odc_govern::Governor;
 use odc_hierarchy::Category;
 use odc_instance::{DimensionInstance, RollupTable};
@@ -47,6 +47,22 @@ pub fn find_rewrites_governed(
     available: &[Category],
     gov: &mut Governor,
 ) -> Vec<RewritePlan> {
+    let cache = ImplicationCache::for_schema(ds);
+    find_rewrites_memo(ds, target, available, gov, &cache)
+}
+
+/// [`find_rewrites_governed`] through a caller-owned implication
+/// memo-cache. The navigator's subset sweep issues one Theorem-1 battery
+/// per candidate source set; a cache shared across calls (several
+/// targets, evolving view pools) answers repeated `(root, α)` implication
+/// queries against the same schema without re-running DIMSAT.
+pub fn find_rewrites_memo(
+    ds: &DimensionSchema,
+    target: Category,
+    available: &[Category],
+    gov: &mut Governor,
+    cache: &ImplicationCache,
+) -> Vec<RewritePlan> {
     let n = available.len();
     let mut found: Vec<Vec<Category>> = Vec::new();
     if n < 63 {
@@ -66,7 +82,7 @@ pub fn find_rewrites_governed(
                 continue;
             }
             let out =
-                is_summarizable_in_schema_governed(ds, target, &s, DimsatOptions::default(), gov);
+                is_summarizable_in_schema_memo(ds, target, &s, DimsatOptions::default(), gov, cache);
             if out.is_unknown() {
                 break;
             }

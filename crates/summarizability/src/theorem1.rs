@@ -2,9 +2,9 @@
 //! summarizability test.
 
 use odc_constraint::{expand, Constraint, DimensionConstraint, DimensionSchema};
-use odc_dimsat::{implication, DimsatOptions, SearchStats};
+use odc_dimsat::{implication, DimsatOptions, ImplicationCache, ImplicationVerdict, SearchStats};
 use odc_frozen::FrozenDimension;
-use odc_govern::{Governor, Interrupt};
+use odc_govern::{Budget, CancelToken, Governor, Interrupt, InterruptReason, SharedGovernor};
 use odc_hierarchy::{Category, HierarchySchema};
 
 /// Builds the Theorem-1 constraints for "`c` is summarizable from `S`":
@@ -31,7 +31,7 @@ pub fn summarizability_constraints(
 }
 
 /// The three-valued answer of a governed summarizability query.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SummarizabilityVerdict {
     /// Every Theorem-1 constraint is implied: the rewriting is correct in
     /// **every** instance of the schema.
@@ -119,10 +119,38 @@ pub fn is_summarizable_in_schema_governed(
     opts: DimsatOptions,
     gov: &mut Governor,
 ) -> SummarizabilityOutcome {
+    battery_governed(ds, c, s, opts, gov, None)
+}
+
+/// [`is_summarizable_in_schema_governed`] through an implication
+/// memo-cache: queries already answered for this schema (by any worker
+/// or any earlier battery sharing the cache) are served without a search.
+pub fn is_summarizable_in_schema_memo(
+    ds: &DimensionSchema,
+    c: Category,
+    s: &[Category],
+    opts: DimsatOptions,
+    gov: &mut Governor,
+    cache: &ImplicationCache,
+) -> SummarizabilityOutcome {
+    battery_governed(ds, c, s, opts, gov, Some(cache))
+}
+
+fn battery_governed(
+    ds: &DimensionSchema,
+    c: Category,
+    s: &[Category],
+    opts: DimsatOptions,
+    gov: &mut Governor,
+    cache: Option<&ImplicationCache>,
+) -> SummarizabilityOutcome {
     let mut stats = SearchStats::default();
     for dc in summarizability_constraints(ds.hierarchy(), c, s) {
         let root = dc.root();
-        let out = implication::implies_governed(ds, &dc, opts, gov);
+        let out = match cache {
+            Some(cache) => implication::implies_memo(ds, &dc, opts, gov, cache),
+            None => implication::implies_governed(ds, &dc, opts, gov),
+        };
         stats.absorb(&out.stats);
         if let Some(i) = out.interrupt() {
             return SummarizabilityOutcome {
@@ -140,6 +168,136 @@ pub fn is_summarizable_in_schema_governed(
                 stats,
             };
         }
+    }
+    SummarizabilityOutcome {
+        verdict: SummarizabilityVerdict::Summarizable,
+        failing_bottom: None,
+        counterexample: None,
+        stats,
+    }
+}
+
+/// Per-worker result of the parallel battery.
+struct WorkerReport {
+    stats: SearchStats,
+    /// Lowest-index failing constraint this worker proved, if any.
+    failing: Option<(usize, Category, Option<FrozenDimension>)>,
+    /// Lowest-index query this worker had to abandon, if any.
+    unknown: Option<(usize, Interrupt)>,
+}
+
+/// The Theorem-1 battery split across `jobs` worker threads under one
+/// shared budget, with first-countermodel cancellation: as soon as any
+/// worker refutes its constraint, a battery-internal child of `cancel`
+/// stops the remaining workers (the caller's token is never flipped).
+///
+/// Verdicts match the serial battery under a sufficient budget. When
+/// several bottom categories fail, the reported `failing_bottom` is the
+/// lowest-indexed one *found* — cancellation may settle on a different
+/// (equally valid) witness than serial order would. A countermodel found
+/// by any worker wins over another worker's budget interrupt: it is a
+/// proof, so the verdict is `NotSummarizable` even if part of the battery
+/// went unexplored.
+pub fn is_summarizable_in_schema_parallel(
+    ds: &DimensionSchema,
+    c: Category,
+    s: &[Category],
+    opts: DimsatOptions,
+    budget: Budget,
+    cancel: &CancelToken,
+    jobs: usize,
+) -> SummarizabilityOutcome {
+    let constraints = summarizability_constraints(ds.hierarchy(), c, s);
+    let jobs = jobs.max(1).min(constraints.len().max(1));
+    if jobs <= 1 {
+        let mut gov = Governor::new(budget, cancel.clone());
+        return battery_governed(ds, c, s, opts, &mut gov, None);
+    }
+    let battery = cancel.child();
+    let shared = SharedGovernor::new(budget, battery.clone());
+    let reports: Vec<WorkerReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|w| {
+                let mut gov = shared.worker();
+                let battery = &battery;
+                let constraints = &constraints;
+                scope.spawn(move || {
+                    let mut rep = WorkerReport {
+                        stats: SearchStats::default(),
+                        failing: None,
+                        unknown: None,
+                    };
+                    for (i, dc) in constraints.iter().enumerate().skip(w).step_by(jobs) {
+                        let out = implication::implies_governed(ds, dc, opts, &mut gov);
+                        rep.stats.absorb(&out.stats);
+                        match out.verdict {
+                            ImplicationVerdict::Implied => {}
+                            ImplicationVerdict::NotImplied => {
+                                rep.failing = Some((i, dc.root(), out.counterexample));
+                                battery.cancel();
+                                break;
+                            }
+                            ImplicationVerdict::Unknown(intr) => {
+                                rep.unknown = Some((i, intr));
+                                break;
+                            }
+                        }
+                    }
+                    rep
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or(WorkerReport {
+                    stats: SearchStats::default(),
+                    failing: None,
+                    unknown: Some((usize::MAX, Interrupt::new(InterruptReason::Cancelled))),
+                })
+            })
+            .collect()
+    });
+
+    let mut stats = SearchStats::default();
+    let mut failing: Option<(usize, Category, Option<FrozenDimension>)> = None;
+    let mut unknown: Option<(usize, Interrupt)> = None;
+    for rep in reports {
+        stats.absorb(&rep.stats);
+        if let Some((i, root, cx)) = rep.failing {
+            let replace = match &failing {
+                None => true,
+                Some((j, _, _)) => i < *j,
+            };
+            if replace {
+                failing = Some((i, root, cx));
+            }
+        }
+        if let Some((i, intr)) = rep.unknown {
+            let replace = match unknown {
+                None => true,
+                Some((j, _)) => i < j,
+            };
+            if replace {
+                unknown = Some((i, intr));
+            }
+        }
+    }
+    if let Some((_, root, cx)) = failing {
+        return SummarizabilityOutcome {
+            verdict: SummarizabilityVerdict::NotSummarizable,
+            failing_bottom: Some(root),
+            counterexample: cx,
+            stats,
+        };
+    }
+    if let Some((_, intr)) = unknown {
+        return SummarizabilityOutcome {
+            verdict: SummarizabilityVerdict::Unknown(intr),
+            failing_bottom: None,
+            counterexample: None,
+            stats,
+        };
     }
     SummarizabilityOutcome {
         verdict: SummarizabilityVerdict::Summarizable,
@@ -290,5 +448,90 @@ mod tests {
         let ds = location_sch();
         let out = is_summarizable_in_schema(&ds, cat(&ds, "Country"), &[cat(&ds, "City")]);
         assert!(out.stats.expand_calls > 0);
+    }
+
+    /// Four bottom categories, so the battery has four constraints to
+    /// split across workers.
+    fn multi_bottom_sch() -> DimensionSchema {
+        let mut b = HierarchySchema::builder();
+        let mid = b.category("Mid");
+        let top = b.category("Top");
+        for name in ["B0", "B1", "B2", "B3"] {
+            let bottom = b.category(name);
+            b.edge(bottom, mid);
+        }
+        b.edge(mid, top);
+        b.edge_to_all(top);
+        let g = Arc::new(b.build().unwrap());
+        DimensionSchema::parse(g, "B0_Mid\nB1_Mid\nB2_Mid\nB3_Mid\n").unwrap()
+    }
+
+    #[test]
+    fn parallel_battery_matches_serial() {
+        use odc_govern::{Budget, CancelToken};
+        let ds = multi_bottom_sch();
+        let top = cat(&ds, "Top");
+        let mid = cat(&ds, "Mid");
+        for (target, sources) in [(top, vec![mid]), (top, vec![]), (mid, vec![top])] {
+            let serial = is_summarizable_in_schema(&ds, target, &sources);
+            for jobs in [1, 2, 4, 8] {
+                let par = is_summarizable_in_schema_parallel(
+                    &ds,
+                    target,
+                    &sources,
+                    DimsatOptions::default(),
+                    Budget::unlimited(),
+                    &CancelToken::new(),
+                    jobs,
+                );
+                assert_eq!(par.verdict, serial.verdict, "jobs={jobs}");
+                assert_eq!(par.failing_bottom.is_some(), serial.failing_bottom.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_battery_respects_caller_cancellation() {
+        use odc_govern::{Budget, CancelToken};
+        let ds = multi_bottom_sch();
+        let token = CancelToken::new();
+        token.cancel();
+        let out = is_summarizable_in_schema_parallel(
+            &ds,
+            cat(&ds, "Top"),
+            &[cat(&ds, "Mid")],
+            DimsatOptions::default(),
+            Budget::unlimited(),
+            &token,
+            4,
+        );
+        assert!(out.is_unknown(), "pre-cancelled battery must not decide");
+    }
+
+    #[test]
+    fn memo_battery_hits_cache_on_second_run() {
+        let ds = location_sch();
+        let cache = ImplicationCache::for_schema(&ds);
+        let mut gov = Governor::unlimited();
+        let first = is_summarizable_in_schema_memo(
+            &ds,
+            cat(&ds, "Country"),
+            &[cat(&ds, "City")],
+            DimsatOptions::default(),
+            &mut gov,
+            &cache,
+        );
+        let second = is_summarizable_in_schema_memo(
+            &ds,
+            cat(&ds, "Country"),
+            &[cat(&ds, "City")],
+            DimsatOptions::default(),
+            &mut gov,
+            &cache,
+        );
+        assert_eq!(first.verdict, second.verdict);
+        assert!(first.stats.cache_misses > 0 && first.stats.cache_hits == 0);
+        assert!(second.stats.cache_hits > 0 && second.stats.cache_misses == 0);
+        assert_eq!(second.stats.expand_calls, 0, "cached answer needs no search");
     }
 }

@@ -655,7 +655,9 @@ mod tests {
     fn every_category_is_satisfiable() {
         for entry in catalog() {
             let solver = Dimsat::new(&entry.schema);
-            let unsat = solver.unsatisfiable_categories().unwrap();
+            let sweep = solver.unsatisfiable_categories();
+            assert!(sweep.is_complete(), "{}: sweep interrupted", entry.name);
+            let unsat = sweep.unsat;
             assert!(
                 unsat.is_empty(),
                 "{}: unsatisfiable categories {:?}",

@@ -38,11 +38,12 @@ fn main() {
     println!("{ds}");
 
     // 1. Dead categories?
-    let unsat = Dimsat::new(&ds).unsatisfiable_categories().expect("unbudgeted audit cannot be interrupted");
-    if unsat.is_empty() {
+    let sweep = Dimsat::new(&ds).unsatisfiable_categories();
+    assert!(sweep.is_complete(), "unbudgeted audit cannot be interrupted");
+    if sweep.unsat.is_empty() {
         println!("all categories satisfiable ✓");
     } else {
-        for c in unsat {
+        for c in sweep.unsat {
             println!("UNSATISFIABLE category: {}", g.name(c));
         }
     }

@@ -17,7 +17,8 @@
 //! Reasoning commands accept `--time-limit <dur>` (e.g. `500ms`, `2s`)
 //! and `--node-limit <n>`; a search that exhausts its budget reports
 //! `unknown` and exits with code 2 (distinct from code 1, used for
-//! errors).
+//! errors). `--jobs <n>` fans the batch commands (`check`,
+//! `summarizable`) out over worker threads sharing the one budget.
 
 use odc_core::dimsat::trace::render_trace;
 use odc_core::hierarchy::dot;
@@ -58,7 +59,9 @@ usage:
   odc dot <schema>                           emit the hierarchy as Graphviz DOT
 options (reasoning commands):
   --time-limit <dur>   wall-clock budget, e.g. 500ms or 2s (exit code 2 when exceeded)
-  --node-limit <n>     search-node budget (exit code 2 when exceeded)";
+  --node-limit <n>     search-node budget (exit code 2 when exceeded)
+  --jobs <n>           worker threads for check/summarizable (one shared budget,
+                       first countermodel cancels the rest of the batch)";
 
 /// What a dispatched command produced.
 pub struct RunOutput {
@@ -81,16 +84,25 @@ impl RunOutput {
 /// Dispatches a command line; returns the text to print plus whether the
 /// run ended `unknown` (budget exhausted).
 pub fn run(args: &[String]) -> Result<RunOutput, String> {
-    let (budget, args) = parse_budget_flags(args)?;
+    let (budget, jobs, args) = parse_budget_flags(args)?;
     let (cmd, rest) = args.split_first().ok_or("missing command")?;
     let rest: &[String] = rest;
     match cmd.as_str() {
         "check" => {
             let ds = load_schema(rest.first().ok_or("check needs a schema file")?)?;
-            let mut gov = Governor::from_budget(budget);
-            let report = advisor::audit_governed(&ds, &mut gov);
+            let report = if jobs > 1 {
+                advisor::audit_parallel(&ds, budget, &CancelToken::new(), jobs)
+            } else {
+                let mut gov = Governor::from_budget(budget);
+                advisor::audit_governed(&ds, &mut gov)
+            };
             let unknown = report.interrupted.is_some();
             let mut out = report.render(&ds);
+            if let Some(i) = &report.interrupted {
+                if let Some(hint) = interrupt_hint(i) {
+                    out.push_str(&format!("{hint}\n"));
+                }
+            }
             if !unknown {
                 let suggestions = advisor::suggest_into_constraints(&ds);
                 if !suggestions.is_empty() {
@@ -186,18 +198,33 @@ pub fn run(args: &[String]) -> Result<RunOutput, String> {
             let t = category(&ds, target)?;
             let s: Result<Vec<Category>, String> =
                 sources.iter().map(|n| category(&ds, n)).collect();
-            let mut gov = Governor::from_budget(budget);
-            let out = odc_core::summarizability::is_summarizable_in_schema_governed(
-                &ds,
-                t,
-                &s?,
-                DimsatOptions::default(),
-                &mut gov,
-            );
+            let out = if jobs > 1 {
+                odc_core::summarizability::is_summarizable_in_schema_parallel(
+                    &ds,
+                    t,
+                    &s?,
+                    DimsatOptions::default(),
+                    budget,
+                    &CancelToken::new(),
+                    jobs,
+                )
+            } else {
+                let mut gov = Governor::from_budget(budget);
+                odc_core::summarizability::is_summarizable_in_schema_governed(
+                    &ds,
+                    t,
+                    &s?,
+                    DimsatOptions::default(),
+                    &mut gov,
+                )
+            };
             let (answer, unknown) = match &out.verdict {
                 SummarizabilityVerdict::Summarizable => ("true".to_string(), false),
                 SummarizabilityVerdict::NotSummarizable => ("false".to_string(), false),
-                SummarizabilityVerdict::Unknown(i) => (format!("unknown ({i})"), true),
+                SummarizabilityVerdict::Unknown(i) => match interrupt_hint(i) {
+                    Some(hint) => (format!("unknown ({i})\n{hint}"), true),
+                    None => (format!("unknown ({i})"), true),
+                },
             };
             let mut text = format!("summarizable: {answer}\n");
             if let Some(cx) = out.counterexample {
@@ -258,10 +285,12 @@ pub fn run(args: &[String]) -> Result<RunOutput, String> {
     }
 }
 
-/// Extracts `--time-limit`/`--node-limit` (anywhere on the command line)
-/// into a [`Budget`], returning the remaining positional arguments.
-fn parse_budget_flags(args: &[String]) -> Result<(Budget, Vec<String>), String> {
+/// Extracts `--time-limit`/`--node-limit`/`--jobs` (anywhere on the
+/// command line) into a [`Budget`] plus a worker count, returning the
+/// remaining positional arguments.
+fn parse_budget_flags(args: &[String]) -> Result<(Budget, usize, Vec<String>), String> {
     let mut budget = Budget::unlimited();
+    let mut jobs = 1usize;
     let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -277,10 +306,32 @@ fn parse_budget_flags(args: &[String]) -> Result<(Budget, Vec<String>), String> 
                     .map_err(|_| format!("--node-limit: not a number: {v}"))?;
                 budget = budget.with_node_limit(n);
             }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--jobs: not a number: {v}"))?;
+                if n == 0 {
+                    return Err("--jobs: must be at least 1".into());
+                }
+                jobs = n;
+            }
             _ => positional.push(arg.clone()),
         }
     }
-    Ok((budget, positional))
+    Ok((budget, jobs, positional))
+}
+
+/// An extra line of advice for interrupts the user can act on.
+fn interrupt_hint(i: &Interrupt) -> Option<&'static str> {
+    match i.reason {
+        InterruptReason::FanoutOverflow => Some(
+            "hint: some category has 63 or more admissible parents, which the \
+             subset-mask search cannot enumerate; tighten the schema with into \
+             constraints to narrow the fan-out",
+        ),
+        _ => None,
+    }
 }
 
 /// Parses `750ms`, `2s`, or a bare number of seconds (fractions allowed).

@@ -1,0 +1,166 @@
+//! Integration tests for the trail-based backtracking kernel and the
+//! parallel batch drivers: the trail kernel must enumerate exactly what
+//! the legacy clone-and-restore kernel enumerates (byte-identical, in
+//! the same order) across seeded random workloads, and every parallel
+//! driver must reach the same verdicts as its serial counterpart under a
+//! shared budget.
+
+use odc_rand::rngs::StdRng;
+use odc_rand::{Rng, SeedableRng};
+use olap_dimension_constraints::prelude::*;
+use olap_dimension_constraints::summarizability::advisor;
+use olap_dimension_constraints::workload::{random_schema, SchemaGenParams};
+
+/// Order-sensitive structural fingerprint: the kernels must agree on the
+/// *sequence* of frozen dimensions, not just the set.
+fn ordered_fingerprints(frozen: &[FrozenDimension]) -> Vec<Vec<(usize, usize)>> {
+    frozen
+        .iter()
+        .map(|f| {
+            let mut edges: Vec<(usize, usize)> = f
+                .subhierarchy()
+                .edges()
+                .map(|(a, b)| (a.index(), b.index()))
+                .collect();
+            edges.sort_unstable();
+            edges
+        })
+        .collect()
+}
+
+/// The trail kernel and the clone kernel walk the identical search tree
+/// and produce the identical enumeration on 25 seeded random schemas.
+#[test]
+fn trail_kernel_matches_clone_kernel_on_random_schemas() {
+    let mut rng = StdRng::seed_from_u64(0x7EA11);
+    for round in 0..25 {
+        let params = SchemaGenParams {
+            layers: rng.gen_range(2..4),
+            width: rng.gen_range(1..4),
+            extra_edge_prob: 0.35,
+            into_fraction: rng.gen_range(0.0..1.0),
+            constants_per_category: 2,
+            exceptions: rng.gen_range(0..4),
+            ordered_exceptions: 0,
+        };
+        let ds = random_schema(&params, &mut rng);
+        if ds.hierarchy().num_edges() > 18 {
+            continue; // keep the exponential cases cheap
+        }
+        let bottom = ds.hierarchy().category_by_name("B").unwrap();
+        let (trail_frozen, trail_out) =
+            Dimsat::with_options(&ds, DimsatOptions::default()).enumerate_frozen(bottom);
+        let (clone_frozen, clone_out) =
+            Dimsat::with_options(&ds, DimsatOptions::default().without_trail())
+                .enumerate_frozen(bottom);
+        assert_eq!(
+            ordered_fingerprints(&trail_frozen),
+            ordered_fingerprints(&clone_frozen),
+            "round {round}: enumerations diverge on {ds}"
+        );
+        assert_eq!(
+            trail_out.stats.expand_calls, clone_out.stats.expand_calls,
+            "round {round}: kernels explored different trees"
+        );
+        assert_eq!(trail_out.stats.struct_clones, 0, "round {round}");
+        if clone_out.stats.expand_calls > 1 {
+            assert!(clone_out.stats.struct_clones > 0, "round {round}");
+        }
+    }
+}
+
+/// The parallel category sweep agrees with the serial sweep for every
+/// worker count, on schemas with many categories.
+#[test]
+fn parallel_sweep_matches_serial_on_random_schemas() {
+    let mut rng = StdRng::seed_from_u64(0x5EEDED);
+    for round in 0..8 {
+        let ds = random_schema(
+            &SchemaGenParams {
+                layers: 3,
+                width: 3,
+                extra_edge_prob: 0.3,
+                into_fraction: 0.8,
+                constants_per_category: 2,
+                exceptions: rng.gen_range(0..3),
+                ordered_exceptions: 0,
+            },
+            &mut rng,
+        );
+        let serial = Dimsat::new(&ds).unsatisfiable_categories();
+        assert!(serial.is_complete());
+        for jobs in [2usize, 3, 8] {
+            let par = Dimsat::new(&ds).unsatisfiable_categories_parallel(jobs);
+            assert!(par.is_complete(), "round {round} jobs {jobs}");
+            assert_eq!(par.unsat, serial.unsat, "round {round} jobs {jobs}");
+        }
+    }
+}
+
+/// A node budget shared across sweep workers is enforced against the
+/// *pooled* total: the parallel sweep under a tiny budget stops with an
+/// explicit interrupt and only sound partial verdicts.
+#[test]
+fn parallel_sweep_shares_one_budget() {
+    let mut rng = StdRng::seed_from_u64(0xB0D6E7);
+    let ds = random_schema(&SchemaGenParams::default(), &mut rng);
+    let full = Dimsat::new(&ds).unsatisfiable_categories();
+    assert!(full.is_complete());
+    let limited = Dimsat::new(&ds)
+        .with_budget(Budget::unlimited().with_node_limit(1))
+        .unsatisfiable_categories_parallel(4);
+    assert!(limited.interrupted.is_some(), "limit 1 must interrupt");
+    assert!(!limited.is_complete());
+    // Partial verdicts must be a subset of the full answer.
+    for c in &limited.unsat {
+        assert!(full.unsat.contains(c));
+    }
+}
+
+/// Serial and parallel Theorem-1 batteries agree on the catalog's
+/// summarizability queries.
+#[test]
+fn parallel_battery_matches_serial_on_catalog_queries() {
+    for entry in olap_dimension_constraints::workload::catalog() {
+        for (target, sources) in &entry.queries {
+            let serial = is_summarizable_in_schema(&entry.schema, *target, sources);
+            for jobs in [2usize, 4] {
+                let par = odc_core::summarizability::is_summarizable_in_schema_parallel(
+                    &entry.schema,
+                    *target,
+                    sources,
+                    DimsatOptions::default(),
+                    Budget::unlimited(),
+                    &CancelToken::new(),
+                    jobs,
+                );
+                assert_eq!(
+                    par.verdict, serial.verdict,
+                    "{}: target {target:?} sources {sources:?} jobs {jobs}",
+                    entry.name
+                );
+            }
+        }
+    }
+}
+
+/// The parallel audit reproduces the serial audit on the catalog
+/// schemas, and the implication memo-cache it shares across workers
+/// never changes an answer.
+#[test]
+fn parallel_audit_matches_serial_on_catalog() {
+    for entry in olap_dimension_constraints::workload::catalog().into_iter().take(3) {
+        let mut gov = Governor::unlimited();
+        let serial = advisor::audit_governed(&entry.schema, &mut gov);
+        let par = advisor::audit_parallel(&entry.schema, Budget::unlimited(), &CancelToken::new(), 4);
+        assert_eq!(par.unsatisfiable, serial.unsatisfiable, "{}", entry.name);
+        assert_eq!(
+            par.redundant_constraints, serial.redundant_constraints,
+            "{}",
+            entry.name
+        );
+        assert_eq!(par.structure_census, serial.structure_census, "{}", entry.name);
+        assert_eq!(par.safe_rewrites, serial.safe_rewrites, "{}", entry.name);
+        assert!(par.interrupted.is_none(), "{}", entry.name);
+    }
+}
