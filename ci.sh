@@ -17,4 +17,24 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "== bench smoke (exp_dimsat) =="
 ODC_BENCH_QUICK=1 cargo run --offline --release -p odc-bench --bin exp_dimsat -- --smoke
 
+echo "== observability smoke (odc check --stats-json) =="
+STATS_JSON="$(mktemp /tmp/odc-ci-stats.XXXXXX.jsonl)"
+trap 'rm -f "$STATS_JSON"' EXIT
+cargo run --offline --release --bin odc -- \
+  check examples/location.odcs --jobs 2 --stats-json "$STATS_JSON" > /dev/null
+python3 - "$STATS_JSON" <<'PYEOF'
+import json, sys
+events = []
+with open(sys.argv[1]) as f:
+    for line in f:
+        events.append(json.loads(line))  # every line must parse
+kinds = {e["event"] for e in events}
+missing = {"solve_start", "solve_end"} - kinds
+assert not missing, f"missing event kinds: {missing}"
+ends = [e for e in events if e["event"] == "solve_end"]
+for counter in ("expand_calls", "check_calls", "cache_hits", "elapsed_us"):
+    assert all(counter in e for e in ends), f"solve_end missing {counter}"
+print(f"stats stream OK: {len(events)} events, kinds {sorted(kinds)}")
+PYEOF
+
 echo "CI OK"

@@ -16,6 +16,10 @@
 //!    prove (exhaustive search) while the last bottom fails fast; the
 //!    parallel battery reaches the countermodel early and cancels the
 //!    rest, so it wins even on a single core.
+//! 4. **observer overhead** — the same enumeration with no observer,
+//!    with a null observer sink attached, and with a JSONL emitter
+//!    writing to a sink file; attaching a sink must stay within noise
+//!    (the acceptance bar is ≤2% for the null sink).
 //!
 //! Run with: `cargo run --release -p odc-bench --bin exp_dimsat`
 //! (`--smoke` or `ODC_BENCH_QUICK=1` for a single-iteration smoke run).
@@ -165,7 +169,55 @@ fn main() {
         serial.elapsed.as_nanos(),
         parallel.elapsed.as_nanos(),
     );
-    json.push_str("}\n");
+    json.push_str(",\n");
+
+    // ── 4. observer overhead ─────────────────────────────────────────
+    println!("\n== observer_overhead ==");
+    json.push_str("  \"observer_overhead\": [\n");
+    let obs_grid = scaling_by_n();
+    let obs_grid = if smoke { &obs_grid[..3] } else { &obs_grid[..4] };
+    let mut g4 = Group::new("observer_overhead");
+    g4.sample_size(10);
+    let sink_path = std::env::temp_dir().join("odc-bench-observer-events.jsonl");
+    for (i, (label, ds, bottom)) in obs_grid.iter().enumerate() {
+        // One solver per arm, reused across iterations — matching how the
+        // CLI and the batch drivers hold a solver for many solves.
+        let off_solver = Dimsat::new(ds);
+        let (off_min, _) = g4.bench_timed(&format!("{label}/off"), || {
+            let _ = off_solver.enumerate_frozen(*bottom);
+        });
+        let null_solver = Dimsat::new(ds).with_observer(Obs::new(Arc::new(NullObserver)));
+        let (null_min, _) = g4.bench_timed(&format!("{label}/null"), || {
+            let _ = null_solver.enumerate_frozen(*bottom);
+        });
+        let jsonl_solver = Dimsat::new(ds).with_observer(Obs::new(Arc::new(
+            JsonlObserver::to_file(&sink_path.to_string_lossy()).expect("open events sink"),
+        )));
+        let (jsonl_min, _) = g4.bench_timed(&format!("{label}/jsonl"), || {
+            let _ = jsonl_solver.enumerate_frozen(*bottom);
+        });
+        let ratio = |on: std::time::Duration| {
+            on.as_secs_f64() / off_min.as_secs_f64().max(1e-12)
+        };
+        println!(
+            "{label:10} null-sink overhead {:.2}%  jsonl overhead {:.2}%",
+            (ratio(null_min) - 1.0) * 100.0,
+            (ratio(jsonl_min) - 1.0) * 100.0,
+        );
+        let _ = writeln!(
+            json,
+            "    {{\"label\": \"{label}\", \"off_ns\": {}, \"null_ns\": {}, \
+             \"jsonl_ns\": {}, \"null_ratio\": {:.4}, \"jsonl_ratio\": {:.4}}}{}",
+            off_min.as_nanos(),
+            null_min.as_nanos(),
+            jsonl_min.as_nanos(),
+            ratio(null_min),
+            ratio(jsonl_min),
+            if i + 1 < obs_grid.len() { "," } else { "" },
+        );
+    }
+    let _ = std::fs::remove_file(&sink_path);
+    json.push_str("  ]\n}\n");
 
     // ── persist ──────────────────────────────────────────────────────
     let dir = format!("{}/../../results", env!("CARGO_MANIFEST_DIR"));

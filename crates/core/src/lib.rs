@@ -65,6 +65,7 @@ pub use odc_frozen as frozen;
 pub use odc_govern as govern;
 pub use odc_hierarchy as hierarchy;
 pub use odc_instance as instance;
+pub use odc_obs as obs;
 pub use odc_olap as olap;
 pub use odc_summarizability as summarizability;
 
@@ -80,6 +81,10 @@ pub mod prelude {
     pub use odc_govern::{Budget, CancelToken, Governor, Interrupt, InterruptReason};
     pub use odc_hierarchy::{CatSet, Category, HierarchySchema, Subhierarchy};
     pub use odc_instance::{DimensionInstance, Member, RollupTable};
+    pub use odc_obs::{
+        CollectingObserver, JsonlObserver, MultiObserver, NullObserver, Obs, Observer,
+        ProgressObserver,
+    };
     pub use odc_olap::{cube_view, derive_cube_view, AggFn, CubeView, FactTable};
     pub use odc_summarizability::{
         is_summarizable_in_instance, is_summarizable_in_schema, summarizability_constraints,

@@ -8,6 +8,7 @@ use odc_constraint::{Constraint, DimensionConstraint, DimensionSchema};
 use odc_frozen::FrozenDimension;
 use odc_govern::{Governor, Interrupt};
 use odc_hierarchy::Category;
+use odc_obs::CacheOutcome;
 use std::collections::HashMap;
 use std::hash::{DefaultHasher, Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -104,13 +105,25 @@ pub fn implies_governed(
 /// degrades to uncached queries instead of wrong answers. `Unknown`
 /// verdicts are never stored — they reflect the budget, not the query.
 ///
+/// Each bucket stores the formula alongside the verdict and compares it
+/// on lookup, so a 64-bit hash collision is detected and rejected (and
+/// counted in [`ImplicationCache::collisions`]) instead of silently
+/// returning another formula's verdict. Colliding formulas then coexist
+/// in the bucket.
+///
 /// The cache is `Sync`; parallel batteries and long analysis sessions
 /// share one instance across workers and queries.
 pub struct ImplicationCache {
     fingerprint: u64,
-    entries: Mutex<HashMap<(Category, u64), CachedVerdict>>,
+    entries: Mutex<HashMap<(Category, u64), Vec<CacheEntry>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    collisions: AtomicU64,
+}
+
+struct CacheEntry {
+    formula: Constraint,
+    verdict: CachedVerdict,
 }
 
 #[derive(Clone)]
@@ -127,6 +140,7 @@ impl ImplicationCache {
             entries: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            collisions: AtomicU64::new(0),
         }
     }
 
@@ -140,9 +154,19 @@ impl ImplicationCache {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Number of stored verdicts.
+    /// Lookups whose 64-bit key matched only entries for *different*
+    /// formulas — rejected rather than served, so they cost a search but
+    /// never an answer.
+    pub fn collisions(&self) -> u64 {
+        self.collisions.load(Ordering::Relaxed)
+    }
+
+    /// Number of stored verdicts (colliding formulas count separately).
     pub fn len(&self) -> usize {
-        self.entries.lock().map(|m| m.len()).unwrap_or(0)
+        self.entries
+            .lock()
+            .map(|m| m.values().map(Vec::len).sum())
+            .unwrap_or(0)
     }
 
     /// Whether nothing is stored yet.
@@ -181,14 +205,31 @@ pub fn implies_memo(
     if cache.fingerprint != schema_fingerprint(ds) {
         // Not the schema this cache was built for: run uncached (counted
         // as neither hit nor miss).
+        gov.obs().cache_access(CacheOutcome::Bypass);
         return implies_governed(ds, alpha, opts, gov);
     }
     let mut key_hasher = DefaultHasher::new();
     alpha.formula().hash(&mut key_hasher);
     let key = (alpha.root(), key_hasher.finish());
-    let cached = cache.entries.lock().ok().and_then(|m| m.get(&key).cloned());
+    // `collided` means the bucket existed but held only other formulas —
+    // the fixed form of the bug where a 64-bit collision was served as a
+    // hit without ever comparing the formula.
+    let (cached, collided) = match cache.entries.lock() {
+        Ok(m) => match m.get(&key) {
+            Some(bucket) => (
+                bucket
+                    .iter()
+                    .find(|e| &e.formula == alpha.formula())
+                    .map(|e| e.verdict.clone()),
+                !bucket.is_empty(),
+            ),
+            None => (None, false),
+        },
+        Err(_) => (None, false),
+    };
     if let Some(v) = cached {
         cache.hits.fetch_add(1, Ordering::Relaxed);
+        gov.obs().cache_access(CacheOutcome::Hit);
         let (verdict, counterexample) = match v {
             CachedVerdict::Implied => (ImplicationVerdict::Implied, None),
             CachedVerdict::NotImplied(cx) => (ImplicationVerdict::NotImplied, cx),
@@ -202,7 +243,16 @@ pub fn implies_memo(
             },
         };
     }
+    if collided {
+        cache.collisions.fetch_add(1, Ordering::Relaxed);
+        gov.obs().cache_access(CacheOutcome::CollisionRejected);
+    } else {
+        gov.obs().cache_access(CacheOutcome::Miss);
+    }
     let mut out = implies_governed(ds, alpha, opts, gov);
+    if collided {
+        out.stats.cache_collisions = 1;
+    }
     let store = match &out.verdict {
         ImplicationVerdict::Implied => Some(CachedVerdict::Implied),
         ImplicationVerdict::NotImplied => {
@@ -214,7 +264,10 @@ pub fn implies_memo(
         cache.misses.fetch_add(1, Ordering::Relaxed);
         out.stats.cache_misses = 1;
         if let Ok(mut m) = cache.entries.lock() {
-            m.insert(key, v);
+            m.entry(key).or_default().push(CacheEntry {
+                formula: alpha.formula().clone(),
+                verdict: v,
+            });
         }
     }
     out
@@ -416,6 +469,42 @@ mod tests {
         // The query ran uncached: nothing was counted or stored.
         assert_eq!((cache.hits(), cache.misses()), (0, 0));
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn hash_collision_is_rejected_not_served() {
+        // Two formulas with opposite verdicts. We force them onto one
+        // cache bucket by storing B's verdict under A's (root, hash) key —
+        // exactly what a 64-bit DefaultHasher collision would produce.
+        let ds = location_sch();
+        let g = ds.hierarchy();
+        let cache = ImplicationCache::for_schema(&ds);
+        let implied = parse_constraint(g, "Store.Country -> Store.City.Country").unwrap();
+        let refuted = parse_constraint(g, "Store.Country = Canada").unwrap();
+        assert_eq!(implied.root(), refuted.root(), "one bucket needs one root");
+        let mut key_hasher = DefaultHasher::new();
+        implied.formula().hash(&mut key_hasher);
+        let key = (implied.root(), key_hasher.finish());
+        cache.entries.lock().unwrap().insert(
+            key,
+            vec![CacheEntry {
+                formula: refuted.formula().clone(),
+                verdict: CachedVerdict::NotImplied(None),
+            }],
+        );
+        // Pre-fix this lookup returned the colliding NotImplied verdict.
+        let mut gov = Governor::unlimited();
+        let out = implies_memo(&ds, &implied, DimsatOptions::default(), &mut gov, &cache);
+        assert!(out.implied(), "collision must not change the answer");
+        assert_eq!(out.stats.cache_collisions, 1);
+        assert_eq!(cache.collisions(), 1);
+        assert_eq!(cache.hits(), 0);
+        // Both formulas now coexist in the bucket and hit independently.
+        assert_eq!(cache.len(), 2);
+        let again = implies_memo(&ds, &implied, DimsatOptions::default(), &mut gov, &cache);
+        assert!(again.implied());
+        assert_eq!(again.stats.cache_hits, 1);
+        assert_eq!(cache.collisions(), 1, "a true hit is not a collision");
     }
 
     #[test]

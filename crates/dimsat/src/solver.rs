@@ -7,7 +7,10 @@ use odc_constraint::DimensionSchema;
 use odc_frozen::{FrozenContext, FrozenDimension};
 use odc_govern::{Budget, CancelToken, Governor, Interrupt, InterruptReason, SharedGovernor};
 use odc_hierarchy::{CatSet, Category, EdgeUndo, HierarchySchema, Subhierarchy};
+use odc_obs::{next_solve_id, Obs, PruneReason, SolveCounters, SolveEnd, SolveStart, WorkerStats};
 use std::collections::VecDeque;
+use std::sync::OnceLock;
+use std::time::Duration;
 
 /// The three-valued answer of a governed satisfiability run.
 ///
@@ -134,6 +137,11 @@ pub struct Dimsat<'a> {
     opts: DimsatOptions,
     budget: Budget,
     cancel: CancelToken,
+    obs: Obs,
+    hb_interval: Option<Duration>,
+    /// Schema fingerprint for `solve_start` events, computed once per
+    /// solver (it is O(schema) and would otherwise be paid per solve).
+    fingerprint: OnceLock<u64>,
 }
 
 impl<'a> Dimsat<'a> {
@@ -150,6 +158,9 @@ impl<'a> Dimsat<'a> {
             opts,
             budget: Budget::unlimited(),
             cancel: CancelToken::new(),
+            obs: Obs::none(),
+            hb_interval: None,
+            fingerprint: OnceLock::new(),
         }
     }
 
@@ -165,12 +176,32 @@ impl<'a> Dimsat<'a> {
         self
     }
 
-    /// A fresh [`Governor`] for this solver's budget and token. Each
-    /// query method calls this internally; batch drivers that want one
-    /// budget across many queries build it once and use the `_governed`
-    /// variants.
+    /// Attaches a structured-event observer. Every governor this solver
+    /// mints inherits it, so solve lifecycles, prunes, backtracks, CHECK
+    /// outcomes, and budget heartbeats all reach the sink.
+    pub fn with_observer(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Sets the heartbeat spacing on minted governors (see
+    /// [`Governor::with_heartbeat_interval`]).
+    pub fn with_heartbeat_interval(mut self, interval: Duration) -> Self {
+        self.hb_interval = Some(interval);
+        self
+    }
+
+    /// A fresh [`Governor`] for this solver's budget, token, and
+    /// observer. Each query method calls this internally; batch drivers
+    /// that want one budget across many queries build it once and use the
+    /// `_governed` variants.
     pub fn governor(&self) -> Governor {
-        Governor::new(self.budget, self.cancel.clone())
+        let mut gov =
+            Governor::new(self.budget, self.cancel.clone()).with_observer(self.obs.clone());
+        if let Some(interval) = self.hb_interval {
+            gov = gov.with_heartbeat_interval(interval);
+        }
+        gov
     }
 
     /// Decides whether `c` is satisfiable in the schema (DIMSAT(ds, c)),
@@ -201,24 +232,7 @@ impl<'a> Dimsat<'a> {
         c: Category,
         gov: &mut Governor,
     ) -> (Vec<FrozenDimension>, DimsatOutcome) {
-        let mut search = Search::new(self.ds, self.opts, c, false, gov);
-        search.expand(0);
-        let stats = search.finish_stats();
-        let interrupted = search.interrupt;
-        let verdict = match search.found.first().cloned() {
-            Some(w) => Verdict::Sat(w),
-            None => match interrupted {
-                Some(i) => Verdict::Unknown(i),
-                None => Verdict::Unsat,
-            },
-        };
-        let outcome = DimsatOutcome {
-            verdict,
-            interrupted,
-            stats,
-            trace: std::mem::take(&mut search.trace),
-        };
-        (search.found, outcome)
+        self.execute(c, false, gov)
     }
 
     /// Checks every category of the schema, returning the unsatisfiable
@@ -265,7 +279,11 @@ impl<'a> Dimsat<'a> {
     /// back in schema order, so a complete parallel sweep reports exactly
     /// what the serial one does.
     pub fn unsatisfiable_categories_parallel(&self, jobs: usize) -> CategorySweep {
-        let shared = SharedGovernor::new(self.budget, self.cancel.clone());
+        let mut shared =
+            SharedGovernor::new(self.budget, self.cancel.clone()).with_observer(self.obs.clone());
+        if let Some(interval) = self.hb_interval {
+            shared = shared.with_heartbeat_interval(interval);
+        }
         self.unsatisfiable_categories_sharded(&shared, jobs)
     }
 
@@ -308,13 +326,25 @@ impl<'a> Dimsat<'a> {
                                 }
                             }
                         }
+                        gov.obs().worker_finished(&WorkerStats {
+                            battery: "category_sweep",
+                            worker: gov.worker_id().unwrap_or(w as u64),
+                            nodes: gov.nodes(),
+                            checks: gov.checks(),
+                            items: out.len() as u64,
+                        });
                         out
                     })
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().unwrap_or_default())
+                .map(|h| match h.join() {
+                    Ok(slice) => slice,
+                    // A worker panic is a bug, not a verdict: re-raise it
+                    // instead of reporting the stripe as cleanly undecided.
+                    Err(panic) => std::panic::resume_unwind(panic),
+                })
                 .collect()
         });
         let mut verdicts: Vec<Option<bool>> = vec![None; cats.len()];
@@ -347,23 +377,87 @@ impl<'a> Dimsat<'a> {
     }
 
     fn run(&self, c: Category, stop_at_first: bool, gov: &mut Governor) -> DimsatOutcome {
-        let mut search = Search::new(self.ds, self.opts, c, stop_at_first, gov);
+        self.execute(c, stop_at_first, gov).1
+    }
+
+    /// The common body of decision and enumeration: one full DIMSAT
+    /// activation, bracketed by `solve_start`/`solve_end` observer events
+    /// when the governor carries a sink.
+    fn execute(
+        &self,
+        c: Category,
+        stop_at_first: bool,
+        gov: &mut Governor,
+    ) -> (Vec<FrozenDimension>, DimsatOutcome) {
+        let observed = gov.obs().enabled();
+        let solve_id = if observed { next_solve_id() } else { 0 };
+        if observed {
+            let start = SolveStart {
+                solve_id,
+                root: self.ds.hierarchy().name(c).to_string(),
+                schema_fingerprint: *self
+                    .fingerprint
+                    .get_or_init(|| crate::implication::schema_fingerprint(self.ds)),
+                mode: if stop_at_first { "decide" } else { "enumerate" },
+                worker: gov.worker_id(),
+            };
+            if let Some(o) = gov.obs().get() {
+                o.solve_started(&start);
+            }
+        }
+        let mut search = Search::new(self.ds, self.opts, c, stop_at_first, gov, solve_id);
         search.expand(0);
         let stats = search.finish_stats();
         let interrupted = search.interrupt;
-        let verdict = match search.found.first().cloned() {
+        let trace = std::mem::take(&mut search.trace);
+        let found = std::mem::take(&mut search.found);
+        drop(search);
+        let verdict = match found.first().cloned() {
             Some(w) => Verdict::Sat(w),
             None => match interrupted {
                 Some(i) => Verdict::Unknown(i),
                 None => Verdict::Unsat,
             },
         };
-        DimsatOutcome {
+        if observed {
+            let end = SolveEnd {
+                solve_id,
+                verdict: match &verdict {
+                    Verdict::Sat(_) => "sat",
+                    Verdict::Unsat => "unsat",
+                    Verdict::Unknown(_) => "unknown",
+                },
+                interrupt: interrupted.map(|i| i.to_string()),
+                counters: solve_counters(&stats),
+            };
+            if let Some(o) = gov.obs().get() {
+                o.solve_finished(&end);
+            }
+        }
+        let outcome = DimsatOutcome {
             verdict,
             interrupted,
             stats,
-            trace: search.trace,
-        }
+            trace,
+        };
+        (found, outcome)
+    }
+}
+
+/// Flattens a [`SearchStats`] into the dependency-free observer mirror.
+pub fn solve_counters(stats: &SearchStats) -> SolveCounters {
+    SolveCounters {
+        expand_calls: stats.expand_calls,
+        check_calls: stats.check_calls,
+        dead_ends: stats.dead_ends,
+        late_rejections: stats.late_rejections,
+        assignments_tested: stats.assignments_tested,
+        frozen_found: stats.frozen_found,
+        struct_clones: stats.struct_clones,
+        cache_hits: stats.cache_hits,
+        cache_misses: stats.cache_misses,
+        cache_collisions: stats.cache_collisions,
+        elapsed_us: stats.elapsed.as_micros() as u64,
     }
 }
 
@@ -413,6 +507,8 @@ struct Search<'a, 'g> {
     stopped: bool,
     /// Sticky interrupt: once set, every activation unwinds promptly.
     interrupt: Option<Interrupt>,
+    /// Observer correlation id (0 when no sink is attached).
+    solve_id: u64,
 }
 
 impl<'a, 'g> Search<'a, 'g> {
@@ -422,6 +518,7 @@ impl<'a, 'g> Search<'a, 'g> {
         root: Category,
         stop_at_first: bool,
         gov: &'g mut Governor,
+        solve_id: u64,
     ) -> Self {
         let g = ds.hierarchy();
         let n = g.num_categories();
@@ -448,6 +545,7 @@ impl<'a, 'g> Search<'a, 'g> {
             stop_at_first,
             stopped: false,
             interrupt: None,
+            solve_id,
         }
     }
 
@@ -550,7 +648,17 @@ impl<'a, 'g> Search<'a, 'g> {
         let s: Vec<Category> = if self.opts.eager_structure_pruning {
             out.iter()
                 .copied()
-                .filter(|&c2| !self.creates_cycle(ctop, c2) && !self.creates_shortcut(ctop, c2))
+                .filter(|&c2| {
+                    if self.creates_cycle(ctop, c2) {
+                        self.gov.obs().prune(self.solve_id, PruneReason::Cycle);
+                        false
+                    } else if self.creates_shortcut(ctop, c2) {
+                        self.gov.obs().prune(self.solve_id, PruneReason::Shortcut);
+                        false
+                    } else {
+                        true
+                    }
+                })
                 .collect()
         } else {
             out.clone()
@@ -575,6 +683,7 @@ impl<'a, 'g> Search<'a, 'g> {
         };
         if !into.iter().all(|p| s.contains(p)) || s.is_empty() {
             self.stats.dead_ends += 1;
+            self.gov.obs().prune(self.solve_id, PruneReason::IntoDeadEnd);
             self.restore_top(ctop);
             return;
         }
@@ -620,6 +729,7 @@ impl<'a, 'g> Search<'a, 'g> {
             // the edge to the farther one a shortcut (a case the paper's
             // Ss set misses; see the crate docs).
             if self.opts.eager_structure_pruning && self.r_internally_conflicting(&r) {
+                self.gov.obs().prune(self.solve_id, PruneReason::Shortcut);
                 continue;
             }
 
@@ -678,8 +788,11 @@ impl<'a, 'g> Search<'a, 'g> {
         if let Some(d) = delta {
             self.delta_scratch = d;
         }
-        if self.opts.trace && !self.stopped && self.interrupt.is_none() {
-            self.trace.push(TraceEvent::Backtrack { ctop });
+        if !self.stopped && self.interrupt.is_none() {
+            if self.opts.trace {
+                self.trace.push(TraceEvent::Backtrack { ctop });
+            }
+            self.gov.obs().backtrack(self.solve_id, depth as u32);
         }
         self.restore_top(ctop);
     }
@@ -741,6 +854,9 @@ impl<'a, 'g> Search<'a, 'g> {
     fn complete(&mut self) {
         if !self.sub.is_acyclic() || self.sub.has_shortcut() {
             self.stats.late_rejections += 1;
+            self.gov
+                .obs()
+                .prune(self.solve_id, PruneReason::LateRejection);
             return;
         }
         debug_assert!(self.sub.is_valid_subhierarchy_of(self.g));
@@ -762,6 +878,7 @@ impl<'a, 'g> Search<'a, 'g> {
                 induced: induced.is_some(),
             });
         }
+        self.gov.obs().check_outcome(self.solve_id, induced.is_some());
         if let Some(ca) = induced {
             self.found.push(FrozenDimension::new(self.sub.clone(), ca));
             if self.stop_at_first {

@@ -34,6 +34,10 @@ pub struct SearchStats {
     pub cache_hits: u64,
     /// Implication memo-cache misses (queries that ran and were stored).
     pub cache_misses: u64,
+    /// Implication memo-cache lookups whose 64-bit key matched a stored
+    /// entry for a *different* formula. The stale hit is rejected and the
+    /// query runs for real, so collisions cost time but never correctness.
+    pub cache_collisions: u64,
 }
 
 impl SearchStats {
@@ -50,6 +54,7 @@ impl SearchStats {
         self.struct_clones += other.struct_clones;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.cache_collisions += other.cache_collisions;
     }
 }
 

@@ -28,6 +28,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use odc_obs::{Heartbeat, Obs, DEFAULT_HEARTBEAT_INTERVAL};
+
 /// Why a governed search stopped early.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum InterruptReason {
@@ -223,6 +225,10 @@ pub struct Governor {
     /// When minted by a [`SharedGovernor`], ticks also land in these
     /// cross-thread counters and limits are enforced against the totals.
     shared: Option<Arc<SharedCounters>>,
+    obs: Obs,
+    worker_id: Option<u64>,
+    hb_interval: Option<Duration>,
+    last_hb: Instant,
 }
 
 impl Governor {
@@ -237,7 +243,42 @@ impl Governor {
             checks: 0,
             tripped: None,
             shared: None,
+            obs: Obs::none(),
+            worker_id: None,
+            hb_interval: None,
+            last_hb: Instant::now(),
         }
+    }
+
+    /// Attaches an observer. [`Governor::poll`] starts emitting budget
+    /// heartbeats at [`DEFAULT_HEARTBEAT_INTERVAL`] (override with
+    /// [`Governor::with_heartbeat_interval`]), and solvers built on this
+    /// governor forward their structured events to the same sink.
+    pub fn with_observer(mut self, obs: Obs) -> Self {
+        if obs.enabled() && self.hb_interval.is_none() {
+            self.hb_interval = Some(DEFAULT_HEARTBEAT_INTERVAL);
+        }
+        self.obs = obs;
+        self
+    }
+
+    /// Sets the minimum spacing between heartbeats. `Duration::ZERO`
+    /// emits on every poll (deterministic for tests).
+    pub fn with_heartbeat_interval(mut self, interval: Duration) -> Self {
+        self.hb_interval = Some(interval);
+        self
+    }
+
+    /// The observer sink this governor (and any solver driving it)
+    /// reports to.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// The worker id assigned by [`SharedGovernor::worker`], when this
+    /// governor serves a parallel batch.
+    pub fn worker_id(&self) -> Option<u64> {
+        self.worker_id
     }
 
     /// A governor with no cancellation channel.
@@ -303,12 +344,62 @@ impl Governor {
         i
     }
 
+    /// The largest fraction consumed of any configured limit (nodes,
+    /// checks, deadline), or `None` when the budget is unlimited. Shared
+    /// governors report the batch-wide fraction.
+    pub fn budget_fraction(&self) -> Option<f64> {
+        let mut fraction: Option<f64> = None;
+        let mut fold = |x: f64| fraction = Some(fraction.map_or(x, |f: f64| f.max(x)));
+        if let Some(limit) = self.budget.node_limit.filter(|&l| l > 0) {
+            fold(self.budget_nodes() as f64 / limit as f64);
+        }
+        if let Some(limit) = self.budget.check_limit.filter(|&l| l > 0) {
+            fold(self.budget_checks() as f64 / limit as f64);
+        }
+        if let Some(deadline) = self.budget.deadline.filter(|d| !d.is_zero()) {
+            fold(self.start.elapsed().as_secs_f64() / deadline.as_secs_f64());
+        }
+        fraction
+    }
+
+    /// Emits a budget heartbeat when an observer is attached and the
+    /// heartbeat interval has elapsed since the last one.
+    fn maybe_heartbeat(&mut self) {
+        let Some(interval) = self.hb_interval else {
+            return;
+        };
+        if !self.obs.enabled() {
+            return;
+        }
+        let now = Instant::now();
+        if now.duration_since(self.last_hb) < interval {
+            return;
+        }
+        self.last_hb = now;
+        let elapsed = now.duration_since(self.start);
+        let nodes = self.budget_nodes();
+        self.obs.heartbeat(&Heartbeat {
+            nodes,
+            checks: self.budget_checks(),
+            elapsed_us: elapsed.as_micros() as u64,
+            nodes_per_sec: if elapsed.is_zero() {
+                0.0
+            } else {
+                nodes as f64 / elapsed.as_secs_f64()
+            },
+            budget_fraction: self.budget_fraction(),
+            worker: self.worker_id,
+        });
+    }
+
     /// Polls deadline and cancellation unconditionally (used on coarse
-    /// boundaries, e.g. between batch items).
+    /// boundaries, e.g. between batch items), emitting a budget heartbeat
+    /// when an observer is attached and the interval has elapsed.
     pub fn poll(&mut self) -> Result<(), Interrupt> {
         if let Some(i) = self.tripped {
             return Err(i);
         }
+        self.maybe_heartbeat();
         if self.cancel.is_cancelled() {
             return Err(self.trip(InterruptReason::Cancelled));
         }
@@ -399,6 +490,9 @@ pub struct SharedGovernor {
     start: Instant,
     deadline_at: Option<Instant>,
     counters: Arc<SharedCounters>,
+    obs: Obs,
+    hb_interval: Option<Duration>,
+    next_worker: Arc<AtomicU64>,
 }
 
 impl SharedGovernor {
@@ -410,12 +504,38 @@ impl SharedGovernor {
             start: Instant::now(),
             deadline_at: budget.deadline.map(|d| Instant::now() + d),
             counters: Arc::new(SharedCounters::default()),
+            obs: Obs::none(),
+            hb_interval: None,
+            next_worker: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// Attaches an observer inherited by every minted worker governor;
+    /// worker heartbeats carry the batch-wide counters plus a worker id.
+    pub fn with_observer(mut self, obs: Obs) -> Self {
+        if obs.enabled() && self.hb_interval.is_none() {
+            self.hb_interval = Some(DEFAULT_HEARTBEAT_INTERVAL);
+        }
+        self.obs = obs;
+        self
+    }
+
+    /// Sets the per-worker heartbeat spacing (see
+    /// [`Governor::with_heartbeat_interval`]).
+    pub fn with_heartbeat_interval(mut self, interval: Duration) -> Self {
+        self.hb_interval = Some(interval);
+        self
+    }
+
+    /// The observer sink worker governors inherit.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Mints a per-worker governor charging this shared budget. Send the
     /// result into the worker thread; it behaves like a normal governor
-    /// except that limits trip on the batch-wide totals.
+    /// except that limits trip on the batch-wide totals. Workers are
+    /// numbered in minting order.
     pub fn worker(&self) -> Governor {
         Governor {
             budget: self.budget,
@@ -426,6 +546,10 @@ impl SharedGovernor {
             checks: 0,
             tripped: None,
             shared: Some(Arc::clone(&self.counters)),
+            obs: self.obs.clone(),
+            worker_id: Some(self.next_worker.fetch_add(1, Ordering::Relaxed)),
+            hb_interval: self.hb_interval,
+            last_hb: Instant::now(),
         }
     }
 
@@ -651,5 +775,78 @@ mod tests {
         shared.cancel_token().cancel();
         let mut gov = shared.worker();
         assert_eq!(gov.poll().unwrap_err().reason, InterruptReason::Cancelled);
+    }
+
+    #[test]
+    fn poll_emits_heartbeats_at_zero_interval() {
+        let sink = Arc::new(odc_obs::CollectingObserver::new());
+        let mut gov = Governor::from_budget(Budget::unlimited().with_node_limit(1000))
+            .with_observer(Obs::new(sink.clone()))
+            .with_heartbeat_interval(Duration::ZERO);
+        for _ in 0..10 {
+            gov.tick_node().unwrap();
+        }
+        gov.poll().unwrap();
+        gov.poll().unwrap();
+        let beats: Vec<Heartbeat> = sink
+            .events()
+            .into_iter()
+            .filter_map(|e| match e {
+                odc_obs::Event::Heartbeat(hb) => Some(hb),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(beats.len(), 2);
+        assert_eq!(beats[1].nodes, 10);
+        let frac = beats[1].budget_fraction.unwrap();
+        assert!((frac - 0.01).abs() < 1e-9, "10/1000 of the node budget");
+    }
+
+    #[test]
+    fn default_interval_spaces_heartbeats_out() {
+        let sink = Arc::new(odc_obs::CollectingObserver::new());
+        let mut gov = Governor::unlimited().with_observer(Obs::new(sink.clone()));
+        // Well under DEFAULT_HEARTBEAT_INTERVAL: no heartbeat yet.
+        gov.poll().unwrap();
+        gov.poll().unwrap();
+        assert!(sink.events().is_empty());
+    }
+
+    #[test]
+    fn budget_fraction_takes_the_max_limit() {
+        let mut gov = Governor::from_budget(
+            Budget::unlimited().with_node_limit(100).with_check_limit(4),
+        );
+        assert_eq!(gov.budget_fraction(), Some(0.0));
+        for _ in 0..10 {
+            gov.tick_node().unwrap();
+        }
+        gov.tick_check().unwrap();
+        // 10/100 nodes vs 1/4 checks: checks dominate.
+        assert_eq!(gov.budget_fraction(), Some(0.25));
+        assert_eq!(Governor::unlimited().budget_fraction(), None);
+    }
+
+    #[test]
+    fn shared_workers_get_distinct_ids_and_the_shared_sink() {
+        let sink = Arc::new(odc_obs::CollectingObserver::new());
+        let shared = SharedGovernor::new(Budget::unlimited(), CancelToken::new())
+            .with_observer(Obs::new(sink.clone()))
+            .with_heartbeat_interval(Duration::ZERO);
+        let mut a = shared.worker();
+        let mut b = shared.worker();
+        assert_eq!(a.worker_id(), Some(0));
+        assert_eq!(b.worker_id(), Some(1));
+        a.poll().unwrap();
+        b.poll().unwrap();
+        let workers: Vec<Option<u64>> = sink
+            .events()
+            .into_iter()
+            .filter_map(|e| match e {
+                odc_obs::Event::Heartbeat(hb) => Some(hb.worker),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(workers, vec![Some(0), Some(1)]);
     }
 }

@@ -1,0 +1,940 @@
+//! # odc-obs
+//!
+//! Structured observability for the solving core. The reasoning problems
+//! are NP-complete (Theorem 4) and the paper's complexity story (Section
+//! 6, Figures 8–9) is told entirely through search counters, so a
+//! production deployment is operated through those counters too: this
+//! crate defines the [`Observer`] sink trait carrying structured
+//! solve-lifecycle events, and the emitters that turn them into
+//! JSON-lines telemetry ([`JsonlObserver`]) or live progress lines
+//! ([`ProgressObserver`]).
+//!
+//! ## Design
+//!
+//! * **Zero-cost when disabled.** Solvers hold an [`Obs`] handle — a
+//!   cloneable `Option<Arc<dyn Observer>>`. Every emission site is an
+//!   inlined `if let Some(..)` branch; with no observer attached the hot
+//!   path pays one predicted branch and allocates nothing (event payloads
+//!   are only constructed behind [`Obs::get`] / [`Obs::enabled`]).
+//! * **Dependency-free events.** Event payloads carry primitives and
+//!   strings only, so `odc-obs` sits below every other crate in the
+//!   workspace (the governor, the solvers, and the batch drivers all
+//!   depend on it, never the other way around).
+//! * **One schema for bench and live telemetry.** The JSON-lines emitter
+//!   is the same one behind `odc --stats-json`, the `exp_dimsat` bench
+//!   harness, and the CI smoke stage, so counters recorded offline and
+//!   counters scraped from a running service have identical shapes.
+//!
+//! ## Event vocabulary
+//!
+//! | event         | emitted by                         | payload                            |
+//! |---------------|------------------------------------|------------------------------------|
+//! | `solve_start` | DIMSAT entry                       | solve id, root, schema fingerprint |
+//! | `solve_end`   | DIMSAT exit                        | verdict, full counters, breakdowns |
+//! | `prune`       | EXPAND pruning sites               | reason (cycle/shortcut/…)          |
+//! | `backtrack`   | EXPAND unwinding                   | depth (histogrammed by the sink)   |
+//! | `check`       | CHECK outcome                      | induced or not                     |
+//! | `cache`       | implication memo-cache             | hit/miss/collision/bypass          |
+//! | `heartbeat`   | `Governor::poll`                   | nodes/sec, elapsed, budget used    |
+//! | `worker`      | parallel batch drivers             | worker id, per-worker counters     |
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Default spacing between budget heartbeats emitted by `Governor::poll`.
+pub const DEFAULT_HEARTBEAT_INTERVAL: Duration = Duration::from_millis(200);
+
+static NEXT_SOLVE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Mints a process-unique solve id (used to correlate the fine-grained
+/// events of one solve across threads sharing a sink).
+pub fn next_solve_id() -> u64 {
+    NEXT_SOLVE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Why the search discarded a candidate (the EXPAND prunings of Figure 6
+/// plus the late safety-net rejection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PruneReason {
+    /// A parent choice would close a cycle (`Sc`).
+    Cycle,
+    /// A parent choice would complete a shortcut (`Ss`, including the
+    /// two-parents-of-one-expansion shape the paper's set misses).
+    Shortcut,
+    /// An *into*-forced parent was pruned away, or no parent remained:
+    /// the whole expansion is a dead end (Figure 6 line 15).
+    IntoDeadEnd,
+    /// A complete subhierarchy failed the safety-net validation before
+    /// CHECK (generate-and-test mode).
+    LateRejection,
+}
+
+impl PruneReason {
+    /// Stable machine-readable name (the JSON key).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PruneReason::Cycle => "cycle",
+            PruneReason::Shortcut => "shortcut",
+            PruneReason::IntoDeadEnd => "into_dead_end",
+            PruneReason::LateRejection => "late_rejection",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            PruneReason::Cycle => 0,
+            PruneReason::Shortcut => 1,
+            PruneReason::IntoDeadEnd => 2,
+            PruneReason::LateRejection => 3,
+        }
+    }
+
+    /// All reasons, in JSON emission order.
+    pub const ALL: [PruneReason; 4] = [
+        PruneReason::Cycle,
+        PruneReason::Shortcut,
+        PruneReason::IntoDeadEnd,
+        PruneReason::LateRejection,
+    ];
+}
+
+/// How an implication memo-cache access resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheOutcome {
+    /// Answered from the cache (formula verified equal).
+    Hit,
+    /// Not present; the query ran and was stored.
+    Miss,
+    /// The 64-bit key matched but the stored formula differed — the stale
+    /// hit was rejected and the query ran for real.
+    CollisionRejected,
+    /// The cache was built for a different schema fingerprint; the query
+    /// ran uncached.
+    Bypass,
+}
+
+impl CacheOutcome {
+    /// Stable machine-readable name (the JSON value).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Miss => "miss",
+            CacheOutcome::CollisionRejected => "collision_rejected",
+            CacheOutcome::Bypass => "bypass",
+        }
+    }
+}
+
+/// A solve began (one DIMSAT activation: decision or enumeration).
+#[derive(Debug, Clone)]
+pub struct SolveStart {
+    /// Process-unique id correlating this solve's events.
+    pub solve_id: u64,
+    /// Name of the query category.
+    pub root: String,
+    /// Fingerprint of the schema being solved (hierarchy edges + Σ).
+    pub schema_fingerprint: u64,
+    /// `"decide"` (stop at first witness) or `"enumerate"`.
+    pub mode: &'static str,
+    /// Worker id when the solve ran inside a parallel batch.
+    pub worker: Option<u64>,
+}
+
+/// The flat counters of one finished solve (mirrors the solver's
+/// `SearchStats`, kept as primitives so this crate stays dependency-free).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SolveCounters {
+    /// EXPAND activations.
+    pub expand_calls: u64,
+    /// CHECK invocations.
+    pub check_calls: u64,
+    /// Into-pruning dead ends.
+    pub dead_ends: u64,
+    /// Safety-net rejections of complete subhierarchies.
+    pub late_rejections: u64,
+    /// c-assignment nodes visited across CHECK calls.
+    pub assignments_tested: u64,
+    /// Frozen dimensions found.
+    pub frozen_found: u64,
+    /// Structure snapshots taken (clone-kernel backtracking only).
+    pub struct_clones: u64,
+    /// Implication memo-cache hits.
+    pub cache_hits: u64,
+    /// Implication memo-cache misses.
+    pub cache_misses: u64,
+    /// Rejected 64-bit cache-key collisions.
+    pub cache_collisions: u64,
+    /// Wall-clock microseconds consumed.
+    pub elapsed_us: u64,
+}
+
+/// A solve finished (with an answer or an interrupt).
+#[derive(Debug, Clone)]
+pub struct SolveEnd {
+    /// The id minted at [`SolveStart`].
+    pub solve_id: u64,
+    /// `"sat"`, `"unsat"`, or `"unknown"`.
+    pub verdict: &'static str,
+    /// Human-readable interrupt description when the solve was cut short.
+    pub interrupt: Option<String>,
+    /// The run's counters (identical to the outcome's `SearchStats`).
+    pub counters: SolveCounters,
+}
+
+/// A budget heartbeat from a governed search still in flight.
+#[derive(Debug, Clone)]
+pub struct Heartbeat {
+    /// Search nodes consumed so far (batch-wide total under a shared
+    /// governor).
+    pub nodes: u64,
+    /// CHECK invocations consumed so far.
+    pub checks: u64,
+    /// Wall-clock microseconds since the governor started.
+    pub elapsed_us: u64,
+    /// Current node throughput.
+    pub nodes_per_sec: f64,
+    /// Largest fraction consumed of any configured limit (nodes, checks,
+    /// deadline); `None` when the budget is unlimited.
+    pub budget_fraction: Option<f64>,
+    /// Worker id when the governor was minted by a shared batch governor.
+    pub worker: Option<u64>,
+}
+
+/// One worker's contribution to a parallel battery, reported when the
+/// worker drains its stripe.
+#[derive(Debug, Clone)]
+pub struct WorkerStats {
+    /// Which battery the worker served (e.g. `"category_sweep"`).
+    pub battery: &'static str,
+    /// Worker id within the batch.
+    pub worker: u64,
+    /// Search nodes this worker consumed.
+    pub nodes: u64,
+    /// CHECK invocations this worker consumed.
+    pub checks: u64,
+    /// Work items the worker completed.
+    pub items: u64,
+}
+
+/// The structured-event sink. Every method has a no-op default, so a
+/// sink implements only what it consumes; implementations must be
+/// thread-safe (parallel batteries share one sink across workers).
+pub trait Observer: Send + Sync {
+    /// A solve began.
+    fn solve_started(&self, _e: &SolveStart) {}
+    /// A solve finished.
+    fn solve_finished(&self, _e: &SolveEnd) {}
+    /// A candidate was pruned during EXPAND.
+    fn prune(&self, _solve_id: u64, _reason: PruneReason) {}
+    /// The search backtracked past an expansion at `depth`.
+    fn backtrack(&self, _solve_id: u64, _depth: u32) {}
+    /// CHECK ran on a complete subhierarchy.
+    fn check_outcome(&self, _solve_id: u64, _induced: bool) {}
+    /// The implication memo-cache was consulted.
+    fn cache_access(&self, _outcome: CacheOutcome) {}
+    /// A governed search is still in flight.
+    fn heartbeat(&self, _hb: &Heartbeat) {}
+    /// A parallel-battery worker drained its stripe.
+    fn worker_finished(&self, _w: &WorkerStats) {}
+}
+
+/// The sink that ignores everything (useful for measuring pure
+/// emission-site overhead).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {}
+
+/// The handle solvers carry: a cloneable, optionally-attached sink.
+/// All emission helpers are inlined branches on the option, so a
+/// disabled handle costs one predicted branch per site.
+#[derive(Clone, Default)]
+pub struct Obs(Option<Arc<dyn Observer>>);
+
+impl fmt::Debug for Obs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "Obs(attached)"
+        } else {
+            "Obs(none)"
+        })
+    }
+}
+
+impl Obs {
+    /// The disabled handle (the default everywhere).
+    pub fn none() -> Self {
+        Obs(None)
+    }
+
+    /// A handle forwarding to `sink`.
+    pub fn new(sink: Arc<dyn Observer>) -> Self {
+        Obs(Some(sink))
+    }
+
+    /// Whether a sink is attached. Guard event-payload construction
+    /// (string allocation, fingerprinting) behind this.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// The attached sink, if any.
+    #[inline]
+    pub fn get(&self) -> Option<&dyn Observer> {
+        self.0.as_deref()
+    }
+
+    /// Forwards a prune event.
+    #[inline]
+    pub fn prune(&self, solve_id: u64, reason: PruneReason) {
+        if let Some(o) = &self.0 {
+            o.prune(solve_id, reason);
+        }
+    }
+
+    /// Forwards a backtrack event.
+    #[inline]
+    pub fn backtrack(&self, solve_id: u64, depth: u32) {
+        if let Some(o) = &self.0 {
+            o.backtrack(solve_id, depth);
+        }
+    }
+
+    /// Forwards a CHECK outcome.
+    #[inline]
+    pub fn check_outcome(&self, solve_id: u64, induced: bool) {
+        if let Some(o) = &self.0 {
+            o.check_outcome(solve_id, induced);
+        }
+    }
+
+    /// Forwards a cache access.
+    #[inline]
+    pub fn cache_access(&self, outcome: CacheOutcome) {
+        if let Some(o) = &self.0 {
+            o.cache_access(outcome);
+        }
+    }
+
+    /// Forwards a heartbeat.
+    #[inline]
+    pub fn heartbeat(&self, hb: &Heartbeat) {
+        if let Some(o) = &self.0 {
+            o.heartbeat(hb);
+        }
+    }
+
+    /// Forwards a worker report.
+    #[inline]
+    pub fn worker_finished(&self, w: &WorkerStats) {
+        if let Some(o) = &self.0 {
+            o.worker_finished(w);
+        }
+    }
+}
+
+/// Fans events out to several sinks (e.g. a JSON-lines file *and* a
+/// progress stream).
+pub struct MultiObserver {
+    sinks: Vec<Arc<dyn Observer>>,
+}
+
+impl MultiObserver {
+    /// A sink forwarding to every member of `sinks`.
+    pub fn new(sinks: Vec<Arc<dyn Observer>>) -> Self {
+        MultiObserver { sinks }
+    }
+}
+
+impl Observer for MultiObserver {
+    fn solve_started(&self, e: &SolveStart) {
+        for s in &self.sinks {
+            s.solve_started(e);
+        }
+    }
+    fn solve_finished(&self, e: &SolveEnd) {
+        for s in &self.sinks {
+            s.solve_finished(e);
+        }
+    }
+    fn prune(&self, solve_id: u64, reason: PruneReason) {
+        for s in &self.sinks {
+            s.prune(solve_id, reason);
+        }
+    }
+    fn backtrack(&self, solve_id: u64, depth: u32) {
+        for s in &self.sinks {
+            s.backtrack(solve_id, depth);
+        }
+    }
+    fn check_outcome(&self, solve_id: u64, induced: bool) {
+        for s in &self.sinks {
+            s.check_outcome(solve_id, induced);
+        }
+    }
+    fn cache_access(&self, outcome: CacheOutcome) {
+        for s in &self.sinks {
+            s.cache_access(outcome);
+        }
+    }
+    fn heartbeat(&self, hb: &Heartbeat) {
+        for s in &self.sinks {
+            s.heartbeat(hb);
+        }
+    }
+    fn worker_finished(&self, w: &WorkerStats) {
+        for s in &self.sinks {
+            s.worker_finished(w);
+        }
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_opt_u64(v: Option<u64>) -> String {
+    match v {
+        Some(v) => v.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+/// Per-solve aggregation state kept by [`JsonlObserver`] between a
+/// solve's start and end events.
+#[derive(Debug, Default, Clone)]
+struct SolveAgg {
+    prunes: [u64; 4],
+    induced: u64,
+    failed: u64,
+    backtracks: BTreeMap<u32, u64>,
+}
+
+/// The JSON-lines emitter: one self-describing JSON object per line.
+///
+/// Fine-grained events (prunes, backtracks, CHECK outcomes) are
+/// aggregated per solve id and folded into that solve's `solve_end`
+/// line, so the stream stays proportional to the number of solves, not
+/// the number of search nodes. Heartbeats, cache accesses, and worker
+/// reports are emitted as their own lines.
+///
+/// Line vocabulary (all lines have an `"event"` discriminator):
+///
+/// ```text
+/// {"event":"solve_start","solve_id":1,"root":"Store","schema_fingerprint":…,"mode":"decide","worker":null}
+/// {"event":"heartbeat","nodes":…,"checks":…,"elapsed_us":…,"nodes_per_sec":…,"budget_fraction":…,"worker":…}
+/// {"event":"cache","outcome":"hit"}
+/// {"event":"worker","battery":"category_sweep","worker":0,"nodes":…,"checks":…,"items":…}
+/// {"event":"solve_end","solve_id":1,"verdict":"sat","interrupt":null,
+///  "expand_calls":…,"check_calls":…,"dead_ends":…,"late_rejections":…,
+///  "assignments_tested":…,"frozen_found":…,"struct_clones":…,
+///  "cache_hits":…,"cache_misses":…,"cache_collisions":…,"elapsed_us":…,
+///  "prunes":{"cycle":…,"shortcut":…,"into_dead_end":…,"late_rejection":…},
+///  "checks":{"induced":…,"failed":…},"backtrack_depths":{"0":…,"1":…}}
+/// ```
+pub struct JsonlObserver {
+    out: Mutex<Box<dyn Write + Send>>,
+    solves: Mutex<HashMap<u64, SolveAgg>>,
+}
+
+impl JsonlObserver {
+    /// An emitter writing to an arbitrary sink.
+    pub fn new(out: Box<dyn Write + Send>) -> Self {
+        JsonlObserver {
+            out: Mutex::new(out),
+            solves: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// An emitter appending to (and first creating/truncating) `path`.
+    pub fn to_file(path: &str) -> std::io::Result<Self> {
+        let f = std::fs::File::create(path)?;
+        Ok(Self::new(Box::new(std::io::BufWriter::new(f))))
+    }
+
+    fn emit(&self, line: String) {
+        if let Ok(mut w) = self.out.lock() {
+            let _ = writeln!(w, "{line}");
+            let _ = w.flush();
+        }
+    }
+
+    fn with_agg(&self, solve_id: u64, f: impl FnOnce(&mut SolveAgg)) {
+        if let Ok(mut m) = self.solves.lock() {
+            f(m.entry(solve_id).or_default());
+        }
+    }
+}
+
+impl Observer for JsonlObserver {
+    fn solve_started(&self, e: &SolveStart) {
+        self.with_agg(e.solve_id, |_| {});
+        self.emit(format!(
+            "{{\"event\":\"solve_start\",\"solve_id\":{},\"root\":\"{}\",\
+             \"schema_fingerprint\":{},\"mode\":\"{}\",\"worker\":{}}}",
+            e.solve_id,
+            json_escape(&e.root),
+            e.schema_fingerprint,
+            e.mode,
+            json_opt_u64(e.worker),
+        ));
+    }
+
+    fn solve_finished(&self, e: &SolveEnd) {
+        let agg = self
+            .solves
+            .lock()
+            .ok()
+            .and_then(|mut m| m.remove(&e.solve_id))
+            .unwrap_or_default();
+        let c = &e.counters;
+        let prunes = PruneReason::ALL
+            .iter()
+            .map(|r| format!("\"{}\":{}", r.as_str(), agg.prunes[r.index()]))
+            .collect::<Vec<_>>()
+            .join(",");
+        let depths = agg
+            .backtracks
+            .iter()
+            .map(|(d, n)| format!("\"{d}\":{n}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        self.emit(format!(
+            "{{\"event\":\"solve_end\",\"solve_id\":{},\"verdict\":\"{}\",\"interrupt\":{},\
+             \"expand_calls\":{},\"check_calls\":{},\"dead_ends\":{},\"late_rejections\":{},\
+             \"assignments_tested\":{},\"frozen_found\":{},\"struct_clones\":{},\
+             \"cache_hits\":{},\"cache_misses\":{},\"cache_collisions\":{},\"elapsed_us\":{},\
+             \"prunes\":{{{prunes}}},\"checks\":{{\"induced\":{},\"failed\":{}}},\
+             \"backtrack_depths\":{{{depths}}}}}",
+            e.solve_id,
+            e.verdict,
+            match &e.interrupt {
+                Some(i) => format!("\"{}\"", json_escape(i)),
+                None => "null".to_string(),
+            },
+            c.expand_calls,
+            c.check_calls,
+            c.dead_ends,
+            c.late_rejections,
+            c.assignments_tested,
+            c.frozen_found,
+            c.struct_clones,
+            c.cache_hits,
+            c.cache_misses,
+            c.cache_collisions,
+            c.elapsed_us,
+            agg.induced,
+            agg.failed,
+        ));
+    }
+
+    fn prune(&self, solve_id: u64, reason: PruneReason) {
+        self.with_agg(solve_id, |a| a.prunes[reason.index()] += 1);
+    }
+
+    fn backtrack(&self, solve_id: u64, depth: u32) {
+        self.with_agg(solve_id, |a| *a.backtracks.entry(depth).or_insert(0) += 1);
+    }
+
+    fn check_outcome(&self, solve_id: u64, induced: bool) {
+        self.with_agg(solve_id, |a| {
+            if induced {
+                a.induced += 1;
+            } else {
+                a.failed += 1;
+            }
+        });
+    }
+
+    fn cache_access(&self, outcome: CacheOutcome) {
+        self.emit(format!(
+            "{{\"event\":\"cache\",\"outcome\":\"{}\"}}",
+            outcome.as_str()
+        ));
+    }
+
+    fn heartbeat(&self, hb: &Heartbeat) {
+        self.emit(format!(
+            "{{\"event\":\"heartbeat\",\"nodes\":{},\"checks\":{},\"elapsed_us\":{},\
+             \"nodes_per_sec\":{:.1},\"budget_fraction\":{},\"worker\":{}}}",
+            hb.nodes,
+            hb.checks,
+            hb.elapsed_us,
+            hb.nodes_per_sec,
+            match hb.budget_fraction {
+                Some(f) => format!("{f:.4}"),
+                None => "null".to_string(),
+            },
+            json_opt_u64(hb.worker),
+        ));
+    }
+
+    fn worker_finished(&self, w: &WorkerStats) {
+        self.emit(format!(
+            "{{\"event\":\"worker\",\"battery\":\"{}\",\"worker\":{},\"nodes\":{},\
+             \"checks\":{},\"items\":{}}}",
+            w.battery, w.worker, w.nodes, w.checks, w.items,
+        ));
+    }
+}
+
+/// A human-readable progress stream (one short line per lifecycle event
+/// and heartbeat), for `odc --progress` on stderr: long governed solves
+/// stop being a black box.
+pub struct ProgressObserver {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl ProgressObserver {
+    /// A progress stream writing to an arbitrary sink.
+    pub fn new(out: Box<dyn Write + Send>) -> Self {
+        ProgressObserver {
+            out: Mutex::new(out),
+        }
+    }
+
+    /// A progress stream on standard error.
+    pub fn to_stderr() -> Self {
+        Self::new(Box::new(std::io::stderr()))
+    }
+
+    fn emit(&self, line: String) {
+        if let Ok(mut w) = self.out.lock() {
+            let _ = writeln!(w, "{line}");
+            let _ = w.flush();
+        }
+    }
+}
+
+impl Observer for ProgressObserver {
+    fn solve_started(&self, e: &SolveStart) {
+        self.emit(format!(
+            "progress: solve #{} started (root {}, {})",
+            e.solve_id, e.root, e.mode
+        ));
+    }
+
+    fn solve_finished(&self, e: &SolveEnd) {
+        self.emit(format!(
+            "progress: solve #{} {} ({} EXPAND, {} CHECK, {} µs{})",
+            e.solve_id,
+            e.verdict,
+            e.counters.expand_calls,
+            e.counters.check_calls,
+            e.counters.elapsed_us,
+            match &e.interrupt {
+                Some(i) => format!("; interrupted: {i}"),
+                None => String::new(),
+            },
+        ));
+    }
+
+    fn heartbeat(&self, hb: &Heartbeat) {
+        let budget = match hb.budget_fraction {
+            Some(f) => format!(", {:.0}% of budget", f * 100.0),
+            None => String::new(),
+        };
+        let worker = match hb.worker {
+            Some(w) => format!(" [worker {w}]"),
+            None => String::new(),
+        };
+        self.emit(format!(
+            "progress: {} nodes, {} checks, {:.1}s elapsed, {:.0} nodes/s{budget}{worker}",
+            hb.nodes,
+            hb.checks,
+            hb.elapsed_us as f64 / 1e6,
+            hb.nodes_per_sec,
+        ));
+    }
+
+    fn worker_finished(&self, w: &WorkerStats) {
+        self.emit(format!(
+            "progress: {} worker {} done ({} items, {} nodes, {} checks)",
+            w.battery, w.worker, w.items, w.nodes, w.checks
+        ));
+    }
+}
+
+/// One recorded event (what a [`CollectingObserver`] stores).
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A `solve_started` call.
+    Start(SolveStart),
+    /// A `solve_finished` call.
+    End(SolveEnd),
+    /// A `prune` call.
+    Prune(u64, PruneReason),
+    /// A `backtrack` call.
+    Backtrack(u64, u32),
+    /// A `check_outcome` call.
+    Check(u64, bool),
+    /// A `cache_access` call.
+    Cache(CacheOutcome),
+    /// A `heartbeat` call.
+    Heartbeat(Heartbeat),
+    /// A `worker_finished` call.
+    Worker(WorkerStats),
+}
+
+/// An in-memory sink recording every event, for tests and ad-hoc
+/// inspection.
+#[derive(Default)]
+pub struct CollectingObserver {
+    events: Mutex<Vec<Event>>,
+}
+
+impl CollectingObserver {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A snapshot of everything recorded so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().map(|e| e.clone()).unwrap_or_default()
+    }
+
+    fn push(&self, e: Event) {
+        if let Ok(mut v) = self.events.lock() {
+            v.push(e);
+        }
+    }
+}
+
+impl Observer for CollectingObserver {
+    fn solve_started(&self, e: &SolveStart) {
+        self.push(Event::Start(e.clone()));
+    }
+    fn solve_finished(&self, e: &SolveEnd) {
+        self.push(Event::End(e.clone()));
+    }
+    fn prune(&self, solve_id: u64, reason: PruneReason) {
+        self.push(Event::Prune(solve_id, reason));
+    }
+    fn backtrack(&self, solve_id: u64, depth: u32) {
+        self.push(Event::Backtrack(solve_id, depth));
+    }
+    fn check_outcome(&self, solve_id: u64, induced: bool) {
+        self.push(Event::Check(solve_id, induced));
+    }
+    fn cache_access(&self, outcome: CacheOutcome) {
+        self.push(Event::Cache(outcome));
+    }
+    fn heartbeat(&self, hb: &Heartbeat) {
+        self.push(Event::Heartbeat(hb.clone()));
+    }
+    fn worker_finished(&self, w: &WorkerStats) {
+        self.push(Event::Worker(w.clone()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A shared buffer the JSONL emitter can write into from tests.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn jsonl_lines(buf: &SharedBuf) -> Vec<String> {
+        String::from_utf8(buf.0.lock().unwrap().clone())
+            .unwrap()
+            .lines()
+            .map(|s| s.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn solve_ids_are_unique() {
+        let a = next_solve_id();
+        let b = next_solve_id();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let obs = Obs::none();
+        assert!(!obs.enabled());
+        obs.prune(1, PruneReason::Cycle);
+        obs.backtrack(1, 0);
+        obs.cache_access(CacheOutcome::Hit);
+        assert!(obs.get().is_none());
+    }
+
+    #[test]
+    fn jsonl_aggregates_fine_events_into_solve_end() {
+        let buf = SharedBuf::default();
+        let sink = JsonlObserver::new(Box::new(buf.clone()));
+        sink.solve_started(&SolveStart {
+            solve_id: 7,
+            root: "Store".into(),
+            schema_fingerprint: 42,
+            mode: "decide",
+            worker: None,
+        });
+        sink.prune(7, PruneReason::Cycle);
+        sink.prune(7, PruneReason::Cycle);
+        sink.prune(7, PruneReason::IntoDeadEnd);
+        sink.backtrack(7, 0);
+        sink.backtrack(7, 2);
+        sink.backtrack(7, 2);
+        sink.check_outcome(7, true);
+        sink.check_outcome(7, false);
+        sink.solve_finished(&SolveEnd {
+            solve_id: 7,
+            verdict: "sat",
+            interrupt: None,
+            counters: SolveCounters {
+                expand_calls: 5,
+                check_calls: 2,
+                ..Default::default()
+            },
+        });
+        let lines = jsonl_lines(&buf);
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"event\":\"solve_start\""));
+        assert!(lines[0].contains("\"root\":\"Store\""));
+        let end = &lines[1];
+        assert!(end.contains("\"event\":\"solve_end\""));
+        assert!(end.contains("\"verdict\":\"sat\""));
+        assert!(end.contains("\"cycle\":2"));
+        assert!(end.contains("\"into_dead_end\":1"));
+        assert!(end.contains("\"shortcut\":0"));
+        assert!(end.contains("\"induced\":1"));
+        assert!(end.contains("\"failed\":1"));
+        assert!(end.contains("\"0\":1"));
+        assert!(end.contains("\"2\":2"));
+        assert!(end.contains("\"expand_calls\":5"));
+    }
+
+    #[test]
+    fn jsonl_keeps_concurrent_solves_apart() {
+        let buf = SharedBuf::default();
+        let sink = JsonlObserver::new(Box::new(buf.clone()));
+        for id in [1u64, 2] {
+            sink.solve_started(&SolveStart {
+                solve_id: id,
+                root: format!("R{id}"),
+                schema_fingerprint: 0,
+                mode: "decide",
+                worker: Some(id),
+            });
+        }
+        sink.prune(1, PruneReason::Cycle);
+        sink.prune(2, PruneReason::Shortcut);
+        for id in [1u64, 2] {
+            sink.solve_finished(&SolveEnd {
+                solve_id: id,
+                verdict: "unsat",
+                interrupt: None,
+                counters: SolveCounters::default(),
+            });
+        }
+        let lines = jsonl_lines(&buf);
+        let end1 = lines
+            .iter()
+            .find(|l| l.contains("\"solve_id\":1") && l.contains("solve_end"))
+            .unwrap();
+        assert!(end1.contains("\"cycle\":1"), "{end1}");
+        assert!(end1.contains("\"shortcut\":0"), "{end1}");
+        let end2 = lines
+            .iter()
+            .find(|l| l.contains("\"solve_id\":2") && l.contains("solve_end"))
+            .unwrap();
+        assert!(end2.contains("\"shortcut\":1"), "{end2}");
+        assert!(end2.contains("\"cycle\":0"), "{end2}");
+    }
+
+    #[test]
+    fn jsonl_heartbeat_and_cache_lines() {
+        let buf = SharedBuf::default();
+        let sink = JsonlObserver::new(Box::new(buf.clone()));
+        sink.heartbeat(&Heartbeat {
+            nodes: 100,
+            checks: 3,
+            elapsed_us: 5000,
+            nodes_per_sec: 20_000.0,
+            budget_fraction: Some(0.25),
+            worker: Some(1),
+        });
+        sink.cache_access(CacheOutcome::CollisionRejected);
+        sink.worker_finished(&WorkerStats {
+            battery: "category_sweep",
+            worker: 1,
+            nodes: 100,
+            checks: 3,
+            items: 2,
+        });
+        let lines = jsonl_lines(&buf);
+        assert!(lines[0].contains("\"nodes\":100"));
+        assert!(lines[0].contains("\"budget_fraction\":0.2500"));
+        assert!(lines[1].contains("\"outcome\":\"collision_rejected\""));
+        assert!(lines[2].contains("\"battery\":\"category_sweep\""));
+    }
+
+    #[test]
+    fn json_escaping_handles_quotes_and_control_chars() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn multi_observer_fans_out() {
+        let a = Arc::new(CollectingObserver::new());
+        let b = Arc::new(CollectingObserver::new());
+        let multi = MultiObserver::new(vec![a.clone(), b.clone()]);
+        multi.prune(1, PruneReason::Cycle);
+        multi.cache_access(CacheOutcome::Hit);
+        assert_eq!(a.events().len(), 2);
+        assert_eq!(b.events().len(), 2);
+    }
+
+    #[test]
+    fn progress_lines_are_human_readable() {
+        let buf = SharedBuf::default();
+        let sink = ProgressObserver::new(Box::new(buf.clone()));
+        sink.heartbeat(&Heartbeat {
+            nodes: 1000,
+            checks: 10,
+            elapsed_us: 1_500_000,
+            nodes_per_sec: 666.7,
+            budget_fraction: Some(0.5),
+            worker: None,
+        });
+        let lines = jsonl_lines(&buf);
+        assert!(lines[0].contains("1000 nodes"));
+        assert!(lines[0].contains("50% of budget"));
+    }
+}

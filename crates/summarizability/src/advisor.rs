@@ -19,6 +19,7 @@ use odc_constraint::{Constraint, DimensionConstraint, DimensionSchema};
 use odc_dimsat::{implication, Dimsat, DimsatOptions, ImplicationCache};
 use odc_govern::{Budget, CancelToken, Governor, Interrupt, SharedGovernor};
 use odc_hierarchy::Category;
+use odc_obs::{Obs, WorkerStats};
 
 /// The advisor's findings.
 #[derive(Debug, Clone)]
@@ -195,6 +196,7 @@ fn run_striped<T: Send>(
     shared: &SharedGovernor,
     jobs: usize,
     n: usize,
+    battery: &'static str,
     f: impl Fn(usize, &mut Governor) -> Result<T, Interrupt> + Sync,
 ) -> (Vec<(usize, T)>, Option<Interrupt>) {
     let jobs = jobs.max(1).min(n.max(1));
@@ -218,13 +220,25 @@ fn run_striped<T: Send>(
                             }
                             i += jobs;
                         }
+                        gov.obs().worker_finished(&WorkerStats {
+                            battery,
+                            worker: gov.worker_id().unwrap_or(w as u64),
+                            nodes: gov.nodes(),
+                            checks: gov.checks(),
+                            items: done.len() as u64,
+                        });
                         (done, intr)
                     })
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().unwrap_or((Vec::new(), None)))
+                .map(|h| match h.join() {
+                    Ok(slice) => slice,
+                    // A worker panic is a bug, not a verdict: re-raise it
+                    // instead of reporting the stripe as cleanly empty.
+                    Err(panic) => std::panic::resume_unwind(panic),
+                })
                 .collect()
         });
     let mut done: Vec<(usize, T)> = Vec::new();
@@ -258,13 +272,27 @@ pub fn audit_parallel(
     cancel: &CancelToken,
     jobs: usize,
 ) -> SchemaReport {
+    audit_parallel_observed(ds, budget, cancel, jobs, Obs::none())
+}
+
+/// [`audit_parallel`] with a structured-event observer: every worker
+/// governor in every stage inherits the sink, and each stage's workers
+/// report per-worker counters (batteries `category_sweep`, `redundancy`,
+/// `structure_census`, `summarizability_matrix`).
+pub fn audit_parallel_observed(
+    ds: &DimensionSchema,
+    budget: Budget,
+    cancel: &CancelToken,
+    jobs: usize,
+    obs: Obs,
+) -> SchemaReport {
     if jobs <= 1 {
-        let mut gov = Governor::new(budget, cancel.clone());
+        let mut gov = Governor::new(budget, cancel.clone()).with_observer(obs);
         return audit_governed(ds, &mut gov);
     }
     let g = ds.hierarchy();
-    let solver = Dimsat::new(ds);
-    let shared = SharedGovernor::new(budget, cancel.clone());
+    let solver = Dimsat::new(ds).with_observer(obs.clone());
+    let shared = SharedGovernor::new(budget, cancel.clone()).with_observer(obs);
     let mut report = SchemaReport {
         unsatisfiable: Vec::new(),
         redundant_constraints: Vec::new(),
@@ -283,7 +311,7 @@ pub fn audit_parallel(
     }
 
     // A constraint σ is redundant iff (G, Σ \ {σ}) ⊨ σ.
-    let (redundant, intr) = run_striped(&shared, jobs, ds.constraints().len(), |i, gov| {
+    let (redundant, intr) = run_striped(&shared, jobs, ds.constraints().len(), "redundancy", |i, gov| {
         let dc = &ds.constraints()[i];
         let mut rest: Vec<DimensionConstraint> = ds.constraints().to_vec();
         rest.remove(i);
@@ -309,7 +337,7 @@ pub fn audit_parallel(
         .into_iter()
         .filter(|c| !c.is_all())
         .collect();
-    let (census, intr) = run_striped(&shared, jobs, bottoms.len(), |i, gov| {
+    let (census, intr) = run_striped(&shared, jobs, bottoms.len(), "structure_census", |i, gov| {
         let (frozen, out) = solver.enumerate_frozen_governed(bottoms[i], gov);
         match out.interrupted {
             Some(e) => Err(e),
@@ -333,7 +361,7 @@ pub fn audit_parallel(
         }
     }
     let cache = ImplicationCache::for_schema(ds);
-    let (safe, intr) = run_striped(&shared, jobs, pairs.len(), |i, gov| {
+    let (safe, intr) = run_striped(&shared, jobs, pairs.len(), "summarizability_matrix", |i, gov| {
         let (coarse, fine) = pairs[i];
         let out =
             is_summarizable_in_schema_memo(ds, coarse, &[fine], DimsatOptions::default(), gov, &cache);

@@ -39,6 +39,7 @@ pub mod theorem1;
 pub use instance_check::is_summarizable_in_instance;
 pub use theorem1::{
     is_summarizable_in_schema, is_summarizable_in_schema_governed, is_summarizable_in_schema_memo,
-    is_summarizable_in_schema_parallel, summarizability_constraints, SummarizabilityOutcome,
+    is_summarizable_in_schema_parallel, is_summarizable_in_schema_parallel_observed,
+    summarizability_constraints, SummarizabilityOutcome,
     SummarizabilityVerdict,
 };

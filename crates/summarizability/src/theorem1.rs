@@ -4,8 +4,9 @@
 use odc_constraint::{expand, Constraint, DimensionConstraint, DimensionSchema};
 use odc_dimsat::{implication, DimsatOptions, ImplicationCache, ImplicationVerdict, SearchStats};
 use odc_frozen::FrozenDimension;
-use odc_govern::{Budget, CancelToken, Governor, Interrupt, InterruptReason, SharedGovernor};
+use odc_govern::{Budget, CancelToken, Governor, Interrupt, SharedGovernor};
 use odc_hierarchy::{Category, HierarchySchema};
+use odc_obs::{Obs, WorkerStats};
 
 /// Builds the Theorem-1 constraints for "`c` is summarizable from `S`":
 /// one constraint `c_b.c ⊃ ⊙_{ci∈S} c_b.ci.c` per bottom category `c_b`
@@ -207,14 +208,32 @@ pub fn is_summarizable_in_schema_parallel(
     cancel: &CancelToken,
     jobs: usize,
 ) -> SummarizabilityOutcome {
+    is_summarizable_in_schema_parallel_observed(ds, c, s, opts, budget, cancel, jobs, Obs::none())
+}
+
+/// [`is_summarizable_in_schema_parallel`] with a structured-event
+/// observer: every worker governor inherits the sink (budget heartbeats,
+/// per-solve events) and each worker reports its per-worker counters when
+/// its stripe drains.
+#[allow(clippy::too_many_arguments)]
+pub fn is_summarizable_in_schema_parallel_observed(
+    ds: &DimensionSchema,
+    c: Category,
+    s: &[Category],
+    opts: DimsatOptions,
+    budget: Budget,
+    cancel: &CancelToken,
+    jobs: usize,
+    obs: Obs,
+) -> SummarizabilityOutcome {
     let constraints = summarizability_constraints(ds.hierarchy(), c, s);
     let jobs = jobs.max(1).min(constraints.len().max(1));
     if jobs <= 1 {
-        let mut gov = Governor::new(budget, cancel.clone());
+        let mut gov = Governor::new(budget, cancel.clone()).with_observer(obs);
         return battery_governed(ds, c, s, opts, &mut gov, None);
     }
     let battery = cancel.child();
-    let shared = SharedGovernor::new(budget, battery.clone());
+    let shared = SharedGovernor::new(budget, battery.clone()).with_observer(obs);
     let reports: Vec<WorkerReport> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..jobs)
             .map(|w| {
@@ -227,9 +246,11 @@ pub fn is_summarizable_in_schema_parallel(
                         failing: None,
                         unknown: None,
                     };
+                    let mut items = 0u64;
                     for (i, dc) in constraints.iter().enumerate().skip(w).step_by(jobs) {
                         let out = implication::implies_governed(ds, dc, opts, &mut gov);
                         rep.stats.absorb(&out.stats);
+                        items += 1;
                         match out.verdict {
                             ImplicationVerdict::Implied => {}
                             ImplicationVerdict::NotImplied => {
@@ -243,18 +264,24 @@ pub fn is_summarizable_in_schema_parallel(
                             }
                         }
                     }
+                    gov.obs().worker_finished(&WorkerStats {
+                        battery: "theorem1_battery",
+                        worker: gov.worker_id().unwrap_or(w as u64),
+                        nodes: gov.nodes(),
+                        checks: gov.checks(),
+                        items,
+                    });
                     rep
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| {
-                h.join().unwrap_or(WorkerReport {
-                    stats: SearchStats::default(),
-                    failing: None,
-                    unknown: Some((usize::MAX, Interrupt::new(InterruptReason::Cancelled))),
-                })
+            .map(|h| match h.join() {
+                Ok(rep) => rep,
+                // A worker panic is a bug, not a verdict: re-raise it
+                // instead of reporting the stripe as cleanly cancelled.
+                Err(panic) => std::panic::resume_unwind(panic),
             })
             .collect()
     });

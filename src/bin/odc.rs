@@ -25,6 +25,7 @@ use odc_core::hierarchy::dot;
 use odc_core::prelude::*;
 use odc_core::summarizability::advisor;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn main() -> ExitCode {
@@ -61,7 +62,9 @@ options (reasoning commands):
   --time-limit <dur>   wall-clock budget, e.g. 500ms or 2s (exit code 2 when exceeded)
   --node-limit <n>     search-node budget (exit code 2 when exceeded)
   --jobs <n>           worker threads for check/summarizable (one shared budget,
-                       first countermodel cancels the rest of the batch)";
+                       first countermodel cancels the rest of the batch)
+  --stats-json <path>  write structured solve events (JSON lines) to <path>
+  --progress           report heartbeats and solve verdicts on stderr";
 
 /// What a dispatched command produced.
 pub struct RunOutput {
@@ -84,16 +87,25 @@ impl RunOutput {
 /// Dispatches a command line; returns the text to print plus whether the
 /// run ended `unknown` (budget exhausted).
 pub fn run(args: &[String]) -> Result<RunOutput, String> {
-    let (budget, jobs, args) = parse_budget_flags(args)?;
-    let (cmd, rest) = args.split_first().ok_or("missing command")?;
+    let flags = parse_budget_flags(args)?;
+    let (budget, jobs) = (flags.budget, flags.jobs);
+    let obs = build_observer(&flags)?;
+    let (cmd, rest) = flags.positional.split_first().ok_or("missing command")?;
     let rest: &[String] = rest;
+    // `--jobs` only fans out the batch commands; accepting it silently on
+    // a serial command would promise parallelism the run never delivers.
+    if jobs > 1 && !matches!(cmd.as_str(), "check" | "summarizable") {
+        return Err(format!(
+            "--jobs applies only to check/summarizable; `{cmd}` runs serially"
+        ));
+    }
     match cmd.as_str() {
         "check" => {
             let ds = load_schema(rest.first().ok_or("check needs a schema file")?)?;
             let report = if jobs > 1 {
-                advisor::audit_parallel(&ds, budget, &CancelToken::new(), jobs)
+                advisor::audit_parallel_observed(&ds, budget, &CancelToken::new(), jobs, obs)
             } else {
-                let mut gov = Governor::from_budget(budget);
+                let mut gov = Governor::from_budget(budget).with_observer(obs);
                 advisor::audit_governed(&ds, &mut gov)
             };
             let unknown = report.interrupted.is_some();
@@ -125,7 +137,10 @@ pub fn run(args: &[String]) -> Result<RunOutput, String> {
             };
             let ds = load_schema(file)?;
             let c = category(&ds, root)?;
-            let (frozen, outcome) = Dimsat::new(&ds).with_budget(budget).enumerate_frozen(c);
+            let (frozen, outcome) = Dimsat::new(&ds)
+                .with_budget(budget)
+                .with_observer(obs)
+                .enumerate_frozen(c);
             let mut out = format!(
                 "{} frozen dimension(s) with root {} ({} EXPAND, {} CHECK):\n",
                 frozen.len(),
@@ -150,6 +165,7 @@ pub fn run(args: &[String]) -> Result<RunOutput, String> {
             let c = category(&ds, root)?;
             let outcome = Dimsat::with_options(&ds, DimsatOptions::full().with_trace())
                 .with_budget(budget)
+                .with_observer(obs)
                 .category_satisfiable(c);
             let (answer, unknown) = verdict_text(&outcome.verdict);
             Ok(RunOutput {
@@ -168,7 +184,7 @@ pub fn run(args: &[String]) -> Result<RunOutput, String> {
             let ds = load_schema(file)?;
             let alpha = parse_constraint(ds.hierarchy(), constraint)
                 .map_err(|e| format!("constraint: {e}"))?;
-            let mut gov = Governor::from_budget(budget);
+            let mut gov = Governor::from_budget(budget).with_observer(obs);
             let out = odc_core::dimsat::implies_governed(
                 &ds,
                 &alpha,
@@ -199,7 +215,7 @@ pub fn run(args: &[String]) -> Result<RunOutput, String> {
             let s: Result<Vec<Category>, String> =
                 sources.iter().map(|n| category(&ds, n)).collect();
             let out = if jobs > 1 {
-                odc_core::summarizability::is_summarizable_in_schema_parallel(
+                odc_core::summarizability::is_summarizable_in_schema_parallel_observed(
                     &ds,
                     t,
                     &s?,
@@ -207,9 +223,10 @@ pub fn run(args: &[String]) -> Result<RunOutput, String> {
                     budget,
                     &CancelToken::new(),
                     jobs,
+                    obs,
                 )
             } else {
-                let mut gov = Governor::from_budget(budget);
+                let mut gov = Governor::from_budget(budget).with_observer(obs);
                 odc_core::summarizability::is_summarizable_in_schema_governed(
                     &ds,
                     t,
@@ -285,12 +302,23 @@ pub fn run(args: &[String]) -> Result<RunOutput, String> {
     }
 }
 
-/// Extracts `--time-limit`/`--node-limit`/`--jobs` (anywhere on the
-/// command line) into a [`Budget`] plus a worker count, returning the
+/// Flags shared by the reasoning commands, parsed off the command line.
+pub struct Flags {
+    budget: Budget,
+    jobs: usize,
+    stats_json: Option<String>,
+    progress: bool,
+    positional: Vec<String>,
+}
+
+/// Extracts `--time-limit`/`--node-limit`/`--jobs`/`--stats-json`/
+/// `--progress` (anywhere on the command line), returning them plus the
 /// remaining positional arguments.
-fn parse_budget_flags(args: &[String]) -> Result<(Budget, usize, Vec<String>), String> {
+fn parse_budget_flags(args: &[String]) -> Result<Flags, String> {
     let mut budget = Budget::unlimited();
     let mut jobs = 1usize;
+    let mut stats_json = None;
+    let mut progress = false;
     let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -316,10 +344,39 @@ fn parse_budget_flags(args: &[String]) -> Result<(Budget, usize, Vec<String>), S
                 }
                 jobs = n;
             }
+            "--stats-json" => {
+                let v = it.next().ok_or("--stats-json needs a file path")?;
+                stats_json = Some(v.clone());
+            }
+            "--progress" => progress = true,
             _ => positional.push(arg.clone()),
         }
     }
-    Ok((budget, jobs, positional))
+    Ok(Flags {
+        budget,
+        jobs,
+        stats_json,
+        progress,
+        positional,
+    })
+}
+
+/// Builds the observer requested by `--stats-json`/`--progress`; detached
+/// ([`Obs::none`], zero overhead) when neither flag was given.
+fn build_observer(flags: &Flags) -> Result<Obs, String> {
+    let mut sinks: Vec<Arc<dyn Observer>> = Vec::new();
+    if let Some(path) = &flags.stats_json {
+        let jsonl = JsonlObserver::to_file(path).map_err(|e| format!("--stats-json {path}: {e}"))?;
+        sinks.push(Arc::new(jsonl));
+    }
+    if flags.progress {
+        sinks.push(Arc::new(ProgressObserver::to_stderr()));
+    }
+    Ok(match sinks.len() {
+        0 => Obs::none(),
+        1 => Obs::new(sinks.remove(0)),
+        _ => Obs::new(Arc::new(MultiObserver::new(sinks))),
+    })
 }
 
 /// An extra line of advice for interrupts the user can act on.

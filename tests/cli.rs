@@ -146,6 +146,60 @@ fn infer_mines_the_structural_core() {
 }
 
 #[test]
+fn jobs_on_a_serial_command_is_an_error() {
+    // `frozen` runs serially; silently dropping --jobs would promise
+    // parallelism the run never delivers.
+    let out = odc(&["frozen", &schema_file(), "Store", "--jobs", "4"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--jobs applies only to"), "{err}");
+
+    // On the batch commands it keeps working.
+    let out = odc(&["check", &schema_file(), "--jobs", "4"]);
+    assert!(out.status.success());
+}
+
+#[test]
+fn stats_json_emits_structured_solve_events() {
+    let dir = std::env::temp_dir();
+    let path = dir.join("odc-cli-stats.jsonl");
+    let _ = std::fs::remove_file(&path);
+    // --jobs 2 exercises the full vocabulary: the parallel audit shares
+    // an implication memo-cache (cache events) across labeled workers.
+    let out = odc(&[
+        "check",
+        &schema_file(),
+        "--jobs",
+        "2",
+        "--stats-json",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let events = std::fs::read_to_string(&path).expect("stats file written");
+    assert!(!events.trim().is_empty());
+    for line in events.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "not JSON: {line}");
+    }
+    assert!(events.contains("\"event\":\"solve_start\""), "{events}");
+    assert!(events.contains("\"event\":\"solve_end\""), "{events}");
+    assert!(events.contains("\"expand_calls\":"), "{events}");
+    assert!(events.contains("\"check_calls\":"), "{events}");
+    assert!(events.contains("\"schema_fingerprint\":"), "{events}");
+    assert!(events.contains("\"event\":\"cache\""), "{events}");
+    assert!(events.contains("\"event\":\"worker\""), "{events}");
+}
+
+#[test]
+fn progress_reports_on_stderr_without_polluting_stdout() {
+    let plain = odc(&["frozen", &schema_file(), "Store"]);
+    let out = odc(&["frozen", &schema_file(), "Store", "--progress"]);
+    assert!(out.status.success());
+    assert_eq!(stdout(&out), stdout(&plain), "stdout must be unchanged");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("progress: solve #"), "{err}");
+}
+
+#[test]
 fn errors_are_reported_with_usage() {
     let out = odc(&["bogus"]);
     assert!(!out.status.success());

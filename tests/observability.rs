@@ -1,0 +1,215 @@
+//! Integration tests for the structured observability layer (`odc-obs`):
+//! the event stream must agree with the returned statistics, heartbeats
+//! must surface during budget-limited solves, and a panic inside any
+//! parallel driver's worker must propagate instead of being silently
+//! converted into a normal verdict.
+
+use olap_dimension_constraints::prelude::*;
+use olap_dimension_constraints::summarizability::advisor;
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn location_schema() -> DimensionSchema {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.push("examples/location.odcs");
+    let src = std::fs::read_to_string(&p).expect("read location.odcs");
+    odc_core::parse_schema(&src).expect("parse location.odcs")
+}
+
+fn store(ds: &DimensionSchema) -> Category {
+    ds.hierarchy().category_by_name("Store").expect("Store")
+}
+
+/// The counters carried on the `solve_end` event are the same numbers
+/// the solver returns in its `SearchStats`, and the fine-grained event
+/// stream (prunes, checks) is consistent with them.
+#[test]
+fn collected_events_match_outcome_stats() {
+    let ds = location_schema();
+    let collector = Arc::new(CollectingObserver::new());
+    let (frozen, outcome) = Dimsat::new(&ds)
+        .with_observer(Obs::new(collector.clone()))
+        .enumerate_frozen(store(&ds));
+    assert!(!frozen.is_empty());
+
+    let events = collector.events();
+    let starts: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            olap_dimension_constraints::obs::Event::Start(s) => Some(s.clone()),
+            _ => None,
+        })
+        .collect();
+    let ends: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            olap_dimension_constraints::obs::Event::End(s) => Some(s.clone()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(starts.len(), 1, "one solve lifecycle");
+    assert_eq!(ends.len(), 1);
+    assert_eq!(starts[0].root, "Store");
+    assert_eq!(starts[0].mode, "enumerate");
+    assert_eq!(starts[0].solve_id, ends[0].solve_id);
+    assert_eq!(ends[0].verdict, "sat");
+    assert!(ends[0].interrupt.is_none());
+
+    let c = &ends[0].counters;
+    assert_eq!(c.expand_calls, outcome.stats.expand_calls);
+    assert_eq!(c.check_calls, outcome.stats.check_calls);
+    assert_eq!(c.dead_ends, outcome.stats.dead_ends);
+    assert_eq!(c.late_rejections, outcome.stats.late_rejections);
+    assert_eq!(c.frozen_found, frozen.len() as u64);
+
+    // Every CHECK produced exactly one check_outcome event.
+    let checks = events
+        .iter()
+        .filter(|e| matches!(e, olap_dimension_constraints::obs::Event::Check(..)))
+        .count() as u64;
+    assert_eq!(checks, outcome.stats.check_calls);
+}
+
+/// Two interleaved solves under one observer stay distinguishable: each
+/// gets a fresh nonzero solve id.
+#[test]
+fn solve_ids_are_unique_per_solve() {
+    let ds = location_schema();
+    let collector = Arc::new(CollectingObserver::new());
+    let solver = Dimsat::new(&ds).with_observer(Obs::new(collector.clone()));
+    solver.enumerate_frozen(store(&ds));
+    solver.enumerate_frozen(store(&ds));
+    let ids: Vec<u64> = collector
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            olap_dimension_constraints::obs::Event::Start(s) => Some(s.solve_id),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(ids.len(), 2);
+    assert_ne!(ids[0], ids[1]);
+    assert!(ids.iter().all(|&id| id != 0), "0 is the disabled sentinel");
+}
+
+/// A budget-limited solve surfaces heartbeats carrying the consumed
+/// budget fraction (at a zero interval, one per governor poll).
+#[test]
+fn heartbeats_surface_during_budget_limited_solve() {
+    let ds = location_schema();
+    let collector = Arc::new(CollectingObserver::new());
+    let (_, outcome) = Dimsat::new(&ds)
+        .with_budget(Budget::unlimited().with_node_limit(1_000))
+        .with_observer(Obs::new(collector.clone()))
+        .with_heartbeat_interval(Duration::ZERO)
+        .enumerate_frozen(store(&ds));
+    assert!(outcome.interrupted.is_none());
+    let beats: Vec<_> = collector
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            olap_dimension_constraints::obs::Event::Heartbeat(hb) => Some(hb.clone()),
+            _ => None,
+        })
+        .collect();
+    assert!(!beats.is_empty(), "polls must emit heartbeats at interval 0");
+    for hb in &beats {
+        let frac = hb
+            .budget_fraction
+            .expect("node-limited solve reports a budget fraction");
+        assert!((0.0..=1.0).contains(&frac), "fraction {frac}");
+    }
+}
+
+/// An observer that panics inside the callbacks a worker thread runs —
+/// a stand-in for any bug inside worker code.
+struct PanickingObserver;
+
+impl Observer for PanickingObserver {
+    fn worker_finished(&self, _w: &olap_dimension_constraints::obs::WorkerStats) {
+        panic!("injected worker panic");
+    }
+}
+
+/// A worker panic in the parallel category sweep propagates to the
+/// caller instead of yielding a normal (empty) sweep report.
+#[test]
+fn sweep_worker_panic_is_not_swallowed() {
+    let ds = location_schema();
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        Dimsat::new(&ds)
+            .with_observer(Obs::new(Arc::new(PanickingObserver)))
+            .unsatisfiable_categories_parallel(2)
+    }));
+    assert!(result.is_err(), "the sweep must not report a verdict");
+}
+
+/// A worker panic in the parallel Theorem-1 battery propagates.
+#[test]
+fn theorem1_worker_panic_is_not_swallowed() {
+    // The battery builds one constraint per bottom category, so a schema
+    // with two bottoms is the smallest one that actually fans out.
+    let ds = odc_core::parse_schema(
+        "hierarchy:\n  A > X\n  B > X\n  X > All\n\nconstraints:\n  A_X\n  B_X\n",
+    )
+    .expect("two-bottom schema");
+    let target = ds.hierarchy().category_by_name("X").expect("X");
+    let source = ds.hierarchy().category_by_name("A").expect("A");
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        odc_core::summarizability::is_summarizable_in_schema_parallel_observed(
+            &ds,
+            target,
+            &[source],
+            DimsatOptions::default(),
+            Budget::unlimited(),
+            &CancelToken::new(),
+            2,
+            Obs::new(Arc::new(PanickingObserver)),
+        )
+    }));
+    assert!(result.is_err(), "the battery must not report a verdict");
+}
+
+/// A worker panic in the parallel audit propagates.
+#[test]
+fn audit_worker_panic_is_not_swallowed() {
+    let ds = location_schema();
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        advisor::audit_parallel_observed(
+            &ds,
+            Budget::unlimited(),
+            &CancelToken::new(),
+            2,
+            Obs::new(Arc::new(PanickingObserver)),
+        )
+    }));
+    assert!(result.is_err(), "the audit must not report a verdict");
+}
+
+/// Parallel batteries tag per-worker statistics with distinct worker ids
+/// and the battery label.
+#[test]
+fn parallel_sweep_reports_labeled_worker_stats() {
+    let ds = location_schema();
+    let collector = Arc::new(CollectingObserver::new());
+    let report = Dimsat::new(&ds)
+        .with_observer(Obs::new(collector.clone()))
+        .unsatisfiable_categories_parallel(3);
+    assert!(report.is_complete());
+    let workers: Vec<_> = collector
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            olap_dimension_constraints::obs::Event::Worker(w) => Some(w.clone()),
+            _ => None,
+        })
+        .collect();
+    assert!(!workers.is_empty());
+    assert!(workers.iter().all(|w| w.battery == "category_sweep"));
+    let mut ids: Vec<u64> = workers.iter().map(|w| w.worker).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), workers.len(), "worker ids must be distinct");
+}

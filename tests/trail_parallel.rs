@@ -69,6 +69,33 @@ fn trail_kernel_matches_clone_kernel_on_random_schemas() {
     }
 }
 
+/// The Figure-7 execution trace is byte-identical between the trail
+/// kernel and the legacy clone kernel: not just the same answers, but
+/// the same EXPAND/CHECK/Backtrack event sequence.
+#[test]
+fn trail_kernel_trace_matches_clone_kernel_trace() {
+    use olap_dimension_constraints::dimsat::trace::render_trace;
+    let src = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/examples/location.odcs"
+    ))
+    .unwrap();
+    let ds = odc_core::parse_schema(&src).unwrap();
+    for root in ["Store", "City", "State"] {
+        let c = ds.hierarchy().category_by_name(root).unwrap();
+        let trail = Dimsat::with_options(&ds, DimsatOptions::full().with_trace())
+            .category_satisfiable(c);
+        let clone = Dimsat::with_options(&ds, DimsatOptions::full().with_trace().without_trail())
+            .category_satisfiable(c);
+        assert_eq!(
+            render_trace(&ds, &trail.trace),
+            render_trace(&ds, &clone.trace),
+            "root {root}: the kernels must emit the same trace"
+        );
+        assert_eq!(trail.verdict.is_sat(), clone.verdict.is_sat(), "root {root}");
+    }
+}
+
 /// The parallel category sweep agrees with the serial sweep for every
 /// worker count, on schemas with many categories.
 #[test]
