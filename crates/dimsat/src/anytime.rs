@@ -1,0 +1,147 @@
+//! Bounded-retry anytime solving on top of checkpoint/resume.
+//!
+//! The [`AnytimeDriver`] runs a governed solve, and when the budget
+//! interrupts it, escalates the budget and *resumes from the checkpoint*
+//! instead of starting over — so every attempt makes strictly forward
+//! progress and no paid-for exploration is repeated. Attempts are
+//! bounded; the final report either carries a decided outcome or an
+//! undecided one whose [`DimsatOutcome::checkpoint`] the caller can
+//! persist for a later session (the CLI writes it to `--checkpoint`).
+
+use crate::checkpoint::SolveCheckpoint;
+use crate::solver::{Dimsat, DimsatOutcome};
+use odc_frozen::FrozenDimension;
+use odc_govern::{Budget, FaultPlan};
+use odc_hierarchy::Category;
+
+/// Retry policy: a starting budget, a multiplicative escalation factor,
+/// and a cap on attempts.
+#[derive(Debug, Clone)]
+pub struct AnytimeDriver {
+    budget: Budget,
+    max_attempts: u32,
+    escalation: u32,
+    fault: Option<FaultPlan>,
+}
+
+impl AnytimeDriver {
+    /// A driver starting from `budget`, doubling it on every retry, with
+    /// at most 3 attempts.
+    pub fn new(budget: Budget) -> Self {
+        AnytimeDriver {
+            budget,
+            max_attempts: 3,
+            escalation: 2,
+            fault: None,
+        }
+    }
+
+    /// Attaches a fault-injection plan to every attempt's governor (the
+    /// plan's injection allowance is shared across attempts — cap it with
+    /// [`FaultPlan::with_max_injections`] or the retry loop chases an
+    /// unbounded fault forever).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// Caps the number of attempts (clamped to at least 1).
+    pub fn with_max_attempts(mut self, n: u32) -> Self {
+        self.max_attempts = n.max(1);
+        self
+    }
+
+    /// Sets the per-retry budget multiplier (clamped to at least 1 —
+    /// factor 1 retries under the same budget, which only helps
+    /// deadline-bound runs).
+    pub fn with_escalation(mut self, factor: u32) -> Self {
+        self.escalation = factor.max(1);
+        self
+    }
+
+    /// Runs `c` to a decision or to the attempt cap. `stop_at_first`
+    /// selects decision mode (stop at the first witness) versus full
+    /// enumeration. Each interrupted attempt hands its checkpoint to the
+    /// next; a structurally unexplorable node (fan-out overflow) stops
+    /// the loop at once, since no budget fixes it.
+    pub fn solve(&self, solver: &Dimsat<'_>, c: Category, stop_at_first: bool) -> AnytimeReport {
+        self.solve_from(solver, c, stop_at_first, None)
+    }
+
+    /// [`AnytimeDriver::solve`] seeded with a checkpoint persisted by an
+    /// earlier session: the first attempt resumes `start` instead of
+    /// starting fresh (the CLI's `--resume` path).
+    pub fn solve_from(
+        &self,
+        solver: &Dimsat<'_>,
+        c: Category,
+        stop_at_first: bool,
+        start: Option<SolveCheckpoint>,
+    ) -> AnytimeReport {
+        let mut budget = self.budget;
+        let mut cp: Option<SolveCheckpoint> = start;
+        let mut attempts = 0u32;
+        let mut resumed = 0u32;
+        loop {
+            attempts += 1;
+            let mut gov = solver.governor_with_budget(budget);
+            if let Some(plan) = &self.fault {
+                gov = gov.with_fault_plan(plan.clone());
+            }
+            let handoff = cp
+                .as_ref()
+                .and_then(|prev| solver.resume_governed(prev, &mut gov).ok());
+            let (found, out) = match handoff {
+                Some(r) => {
+                    resumed += 1;
+                    r
+                }
+                None => {
+                    if stop_at_first {
+                        let out = solver.category_satisfiable_governed(c, &mut gov);
+                        (out.witness().cloned().into_iter().collect(), out)
+                    } else {
+                        solver.enumerate_frozen_governed(c, &mut gov)
+                    }
+                }
+            };
+            let decided = out.interrupted.is_none() || (stop_at_first && out.is_sat());
+            let retryable = out.checkpoint.is_some();
+            if decided || !retryable || attempts >= self.max_attempts {
+                return AnytimeReport {
+                    found,
+                    outcome: out,
+                    attempts,
+                    resumed,
+                };
+            }
+            cp = out.checkpoint;
+            budget = budget.scaled(self.escalation);
+        }
+    }
+}
+
+/// What an anytime run produced.
+#[derive(Debug, Clone)]
+pub struct AnytimeReport {
+    /// Witnesses accumulated across every attempt (checkpoint witnesses
+    /// are carried forward, so this is the full enumeration so far).
+    pub found: Vec<FrozenDimension>,
+    /// The final attempt's outcome. When still undecided, its
+    /// `checkpoint` field holds the cursor to persist.
+    pub outcome: DimsatOutcome,
+    /// Attempts actually run (1 = no retry needed).
+    pub attempts: u32,
+    /// How many attempts continued from a checkpoint.
+    pub resumed: u32,
+}
+
+impl AnytimeReport {
+    /// Whether the run ended with a decided verdict (`Sat` or `Unsat`).
+    /// In enumeration mode a `Sat` verdict can coexist with an interrupt
+    /// (witnesses found, enumeration incomplete); check
+    /// [`DimsatOutcome::interrupted`] for completeness.
+    pub fn decided(&self) -> bool {
+        !self.outcome.is_unknown()
+    }
+}

@@ -73,12 +73,16 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
+pub mod anytime;
+pub mod checkpoint;
 pub mod implication;
 pub mod options;
 pub mod solver;
 pub mod stats;
 pub mod trace;
 
+pub use anytime::{AnytimeDriver, AnytimeReport};
+pub use checkpoint::{SolveCheckpoint, SweepCheckpoint};
 pub use implication::{
     implies, implies_governed, implies_memo, implies_with, schema_fingerprint, ImplicationCache,
     ImplicationOutcome, ImplicationVerdict,

@@ -1,11 +1,15 @@
 //! The DIMSAT search (Figure 6), governed by a resource [`Budget`].
 
+use crate::checkpoint::{options_key, SolveCheckpoint, SweepCheckpoint, SOLVE_KIND, SWEEP_KIND};
 use crate::options::{DimsatOptions, TopOrder};
 use crate::stats::SearchStats;
 use crate::trace::TraceEvent;
 use odc_constraint::DimensionSchema;
 use odc_frozen::{FrozenContext, FrozenDimension};
-use odc_govern::{Budget, CancelToken, Governor, Interrupt, InterruptReason, SharedGovernor};
+use odc_govern::{
+    Budget, CancelToken, CheckpointEnvelope, CheckpointError, Governor, Interrupt,
+    InterruptReason, SharedGovernor,
+};
 use odc_hierarchy::{CatSet, Category, EdgeUndo, HierarchySchema, Subhierarchy};
 use odc_obs::{next_solve_id, Obs, PruneReason, SolveCounters, SolveEnd, SolveStart, WorkerStats};
 use std::collections::VecDeque;
@@ -61,6 +65,12 @@ pub struct DimsatOutcome {
     pub stats: SearchStats,
     /// Execution trace (empty unless [`DimsatOptions::trace`] was set).
     pub trace: Vec<TraceEvent>,
+    /// The resumable enumeration cursor, recorded when the run was
+    /// interrupted by anything except a structural
+    /// [`InterruptReason::FanoutOverflow`] (which retrying cannot fix).
+    /// Feed it to [`Dimsat::resume`] to continue exactly where the
+    /// search stopped.
+    pub checkpoint: Option<SolveCheckpoint>,
 }
 
 impl DimsatOutcome {
@@ -116,16 +126,35 @@ impl DimsatOutcome {
 pub struct CategorySweep {
     /// Categories proved unsatisfiable (schema order).
     pub unsat: Vec<Category>,
+    /// Categories proved satisfiable (schema order).
+    pub sat: Vec<Category>,
     /// How many categories were decided (satisfiable or not).
     pub decided: usize,
     /// Categories left unsettled when the sweep stopped (schema order).
     pub undecided: Vec<Category>,
-    /// The interrupt that cut the sweep short, if any.
+    /// Categories whose solve hit a structural limit (fan-out overflow):
+    /// undecided *with a reason*, permanently — the sweep continues past
+    /// them, and they are excluded from resume candidates because
+    /// retrying cannot enumerate an unenumerable node.
+    pub aborted: Vec<(Category, InterruptReason)>,
+    /// The interrupt that cut the sweep short, if any. Structural aborts
+    /// do not set this — only budget/cancellation interrupts do.
     pub interrupted: Option<Interrupt>,
+    /// Search counters accumulated over the decided and aborted
+    /// categories (the mid-solve category's partial counters live in
+    /// [`CategorySweep::checkpoint`], so interrupted-plus-resumed totals
+    /// match an uninterrupted sweep's).
+    pub stats: SearchStats,
+    /// Cursor of the category that was mid-solve when the sweep was
+    /// interrupted, when one was recorded (serial sweeps record it; the
+    /// sharded sweep records the lowest-index worker's).
+    pub checkpoint: Option<SolveCheckpoint>,
 }
 
 impl CategorySweep {
-    /// Whether every category of the schema was decided.
+    /// Whether every category of the schema was decided. Aborted
+    /// categories do not count against completeness: they are final
+    /// (structurally undecidable by this solver), not pending.
     pub fn is_complete(&self) -> bool {
         self.interrupted.is_none() && self.undecided.is_empty()
     }
@@ -196,12 +225,81 @@ impl<'a> Dimsat<'a> {
     /// that want one budget across many queries build it once and use the
     /// `_governed` variants.
     pub fn governor(&self) -> Governor {
-        let mut gov =
-            Governor::new(self.budget, self.cancel.clone()).with_observer(self.obs.clone());
+        self.governor_with_budget(self.budget)
+    }
+
+    /// A fresh [`Governor`] with an explicit budget (the anytime driver
+    /// escalates budgets across resume attempts without rebuilding the
+    /// solver).
+    pub fn governor_with_budget(&self, budget: Budget) -> Governor {
+        let mut gov = Governor::new(budget, self.cancel.clone()).with_observer(self.obs.clone());
         if let Some(interval) = self.hb_interval {
             gov = gov.with_heartbeat_interval(interval);
         }
         gov
+    }
+
+    /// The schema fingerprint, computed once per solver (it is O(schema)
+    /// and stamps both `solve_start` events and checkpoints).
+    pub fn schema_fp(&self) -> u64 {
+        *self
+            .fingerprint
+            .get_or_init(|| crate::implication::schema_fingerprint(self.ds))
+    }
+
+    /// Parses a [`SolveCheckpoint`] from its text form, validating the
+    /// envelope version, kind, and schema fingerprint against this
+    /// solver's schema.
+    pub fn load_checkpoint(&self, text: &str) -> Result<SolveCheckpoint, CheckpointError> {
+        let env = CheckpointEnvelope::parse(text)?;
+        let payload = env.expect(SOLVE_KIND, self.schema_fp())?;
+        SolveCheckpoint::decode(payload, env.fingerprint, self.ds.hierarchy().num_categories())
+    }
+
+    /// Parses a [`SweepCheckpoint`] from its text form, validating the
+    /// envelope against this solver's schema.
+    pub fn load_sweep_checkpoint(&self, text: &str) -> Result<SweepCheckpoint, CheckpointError> {
+        let env = CheckpointEnvelope::parse(text)?;
+        let payload = env.expect(SWEEP_KIND, self.schema_fp())?;
+        SweepCheckpoint::decode(payload, env.fingerprint, self.ds.hierarchy().num_categories())
+    }
+
+    /// Continues an interrupted solve from its checkpoint under a fresh
+    /// governor minted from this solver's budget. The resumed run replays
+    /// the recorded decision stack without re-ticking the governor or
+    /// re-counting statistics, then searches on: its outcome (verdict,
+    /// enumeration, merged [`SearchStats`]) is what the uninterrupted run
+    /// would have produced — or a fresh checkpoint if it, too, was
+    /// interrupted.
+    pub fn resume(
+        &self,
+        cp: &SolveCheckpoint,
+    ) -> Result<(Vec<FrozenDimension>, DimsatOutcome), CheckpointError> {
+        let mut gov = self.governor();
+        self.resume_governed(cp, &mut gov)
+    }
+
+    /// [`Self::resume`] under a caller-supplied governor.
+    pub fn resume_governed(
+        &self,
+        cp: &SolveCheckpoint,
+        gov: &mut Governor,
+    ) -> Result<(Vec<FrozenDimension>, DimsatOutcome), CheckpointError> {
+        if cp.fingerprint != self.schema_fp() {
+            return Err(CheckpointError::FingerprintMismatch {
+                found: cp.fingerprint,
+                expected: self.schema_fp(),
+            });
+        }
+        let key = options_key(&self.opts);
+        if cp.options_key != key {
+            return Err(CheckpointError::malformed(format!(
+                "checkpoint was recorded under options '{}' but this solver runs '{key}' — \
+                 the cursor indexes a different exploration order",
+                cp.options_key
+            )));
+        }
+        Ok(self.execute_inner(cp.root, cp.stop_at_first, gov, Some(cp)))
     }
 
     /// Decides whether `c` is satisfiable in the schema (DIMSAT(ds, c)),
@@ -258,19 +356,128 @@ impl<'a> Dimsat<'a> {
                 continue;
             }
             let out = self.category_satisfiable_governed(c, gov);
-            match out.verdict {
-                Verdict::Sat(_) => sweep.decided += 1,
-                Verdict::Unsat => {
-                    sweep.unsat.push(c);
-                    sweep.decided += 1;
-                }
-                Verdict::Unknown(i) => {
-                    sweep.interrupted = Some(i);
-                    sweep.undecided.push(c);
-                }
-            }
+            self.record_sweep_outcome(&mut sweep, c, out, gov.interrupt().is_some());
         }
         sweep
+    }
+
+    /// Folds one category's outcome into a sweep. A fan-out overflow with
+    /// the governor still healthy is a *structural* abort: the category is
+    /// recorded as undecided-with-reason and the sweep continues past it
+    /// instead of stalling the whole batch on one unenumerable node.
+    fn record_sweep_outcome(
+        &self,
+        sweep: &mut CategorySweep,
+        c: Category,
+        out: DimsatOutcome,
+        gov_tripped: bool,
+    ) {
+        match out.verdict {
+            Verdict::Sat(_) => {
+                sweep.sat.push(c);
+                sweep.decided += 1;
+                sweep.stats.absorb(&out.stats);
+            }
+            Verdict::Unsat => {
+                sweep.unsat.push(c);
+                sweep.decided += 1;
+                sweep.stats.absorb(&out.stats);
+            }
+            Verdict::Unknown(i)
+                if i.reason == InterruptReason::FanoutOverflow && !gov_tripped =>
+            {
+                sweep.aborted.push((c, i.reason));
+                sweep.stats.absorb(&out.stats);
+            }
+            Verdict::Unknown(i) => {
+                sweep.interrupted = Some(i);
+                sweep.undecided.push(c);
+                // The partial counters of this category travel in the
+                // inner cursor, not in sweep.stats: the resumed run
+                // re-absorbs the category's *complete* stats, keeping
+                // merged totals equal to an uninterrupted sweep's.
+                sweep.checkpoint = out.checkpoint;
+            }
+        }
+    }
+
+    /// Packages an interrupted sweep into its resumable form. Returns
+    /// `None` when the sweep completed (nothing to resume).
+    pub fn sweep_checkpoint(&self, sweep: &CategorySweep) -> Option<SweepCheckpoint> {
+        sweep.interrupted?;
+        Some(SweepCheckpoint {
+            fingerprint: self.schema_fp(),
+            options_key: options_key(&self.opts),
+            sat: sweep.sat.clone(),
+            unsat: sweep.unsat.clone(),
+            aborted: sweep.aborted.clone(),
+            stats: sweep.stats.clone(),
+            inner: sweep.checkpoint.clone(),
+        })
+    }
+
+    /// Continues an interrupted sweep from its checkpoint: decided and
+    /// aborted verdicts are carried forward, the mid-solve category (if
+    /// its cursor was recorded) resumes exactly where it stopped, and the
+    /// undecided remainder is solved fresh — all in schema order, so the
+    /// merged sweep reads identically to an uninterrupted one.
+    pub fn resume_sweep(&self, cp: &SweepCheckpoint) -> Result<CategorySweep, CheckpointError> {
+        let mut gov = self.governor();
+        self.resume_sweep_governed(cp, &mut gov)
+    }
+
+    /// [`Self::resume_sweep`] under a caller-supplied governor.
+    pub fn resume_sweep_governed(
+        &self,
+        cp: &SweepCheckpoint,
+        gov: &mut Governor,
+    ) -> Result<CategorySweep, CheckpointError> {
+        if cp.fingerprint != self.schema_fp() {
+            return Err(CheckpointError::FingerprintMismatch {
+                found: cp.fingerprint,
+                expected: self.schema_fp(),
+            });
+        }
+        let key = options_key(&self.opts);
+        if cp.options_key != key {
+            return Err(CheckpointError::malformed(format!(
+                "sweep checkpoint was recorded under options '{}' but this solver runs '{key}'",
+                cp.options_key
+            )));
+        }
+        let mut sweep = CategorySweep {
+            stats: cp.stats.clone(),
+            ..CategorySweep::default()
+        };
+        for c in self.ds.hierarchy().categories() {
+            if c.is_all() {
+                continue;
+            }
+            if cp.sat.contains(&c) {
+                sweep.sat.push(c);
+                sweep.decided += 1;
+                continue;
+            }
+            if cp.unsat.contains(&c) {
+                sweep.unsat.push(c);
+                sweep.decided += 1;
+                continue;
+            }
+            if let Some(&(_, reason)) = cp.aborted.iter().find(|&&(a, _)| a == c) {
+                sweep.aborted.push((c, reason));
+                continue;
+            }
+            if sweep.interrupted.is_some() {
+                sweep.undecided.push(c);
+                continue;
+            }
+            let out = match &cp.inner {
+                Some(inner) if inner.root == c => self.resume_governed(inner, gov)?.1,
+                _ => self.category_satisfiable_governed(c, gov),
+            };
+            self.record_sweep_outcome(&mut sweep, c, out, gov.interrupt().is_some());
+        }
+        Ok(sweep)
     }
 
     /// [`Self::unsatisfiable_categories`] split across `jobs` worker
@@ -306,22 +513,45 @@ impl<'a> Dimsat<'a> {
             let mut gov = shared.worker();
             return self.unsatisfiable_categories_governed(&mut gov);
         }
-        // verdicts[i]: Some(true) = unsat, Some(false) = sat, None = undecided.
-        type WorkerSlice = Vec<(usize, Option<bool>, Option<Interrupt>)>;
+        /// One category's verdict as seen by a sweep worker.
+        enum Cell {
+            Sat,
+            Unsat,
+            /// Structural abort (fan-out overflow): final, sweep went on.
+            Aborted(InterruptReason),
+            /// Budget/cancellation interrupt; carries the mid-solve cursor
+            /// (boxed: the cursor dwarfs the other variants).
+            Undecided(Interrupt, Option<Box<SolveCheckpoint>>),
+        }
+        type WorkerSlice = (Vec<(usize, Cell)>, SearchStats);
         let results: Vec<WorkerSlice> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..jobs)
                 .map(|w| {
                     let mut gov = shared.worker();
                     let cats = &cats;
                     scope.spawn(move || {
-                        let mut out: WorkerSlice = Vec::new();
+                        let mut out: Vec<(usize, Cell)> = Vec::new();
+                        let mut stats = SearchStats::default();
                         for (i, &c) in cats.iter().enumerate().skip(w).step_by(jobs) {
                             let o = self.category_satisfiable_governed(c, &mut gov);
                             match o.verdict {
-                                Verdict::Sat(_) => out.push((i, Some(false), None)),
-                                Verdict::Unsat => out.push((i, Some(true), None)),
+                                Verdict::Sat(_) => {
+                                    stats.absorb(&o.stats);
+                                    out.push((i, Cell::Sat));
+                                }
+                                Verdict::Unsat => {
+                                    stats.absorb(&o.stats);
+                                    out.push((i, Cell::Unsat));
+                                }
+                                Verdict::Unknown(intr)
+                                    if intr.reason == InterruptReason::FanoutOverflow
+                                        && gov.interrupt().is_none() =>
+                                {
+                                    stats.absorb(&o.stats);
+                                    out.push((i, Cell::Aborted(intr.reason)));
+                                }
                                 Verdict::Unknown(intr) => {
-                                    out.push((i, None, Some(intr)));
+                                    out.push((i, Cell::Undecided(intr, o.checkpoint.map(Box::new))));
                                     break;
                                 }
                             }
@@ -333,7 +563,7 @@ impl<'a> Dimsat<'a> {
                             checks: gov.checks(),
                             items: out.len() as u64,
                         });
-                        out
+                        (out, stats)
                     })
                 })
                 .collect();
@@ -347,29 +577,41 @@ impl<'a> Dimsat<'a> {
                 })
                 .collect()
         });
-        let mut verdicts: Vec<Option<bool>> = vec![None; cats.len()];
+        let mut cells: Vec<Option<Cell>> = (0..cats.len()).map(|_| None).collect();
+        let mut sweep = CategorySweep::default();
         let mut first_interrupt: Option<(usize, Interrupt)> = None;
-        for slice in results {
-            for (i, v, intr) in slice {
-                verdicts[i] = v;
-                if let Some(intr) = intr {
+        for (slice, stats) in results {
+            sweep.stats.absorb(&stats);
+            for (i, cell) in slice {
+                if let Cell::Undecided(intr, _) = &cell {
                     if first_interrupt.is_none_or(|(j, _)| i < j) {
-                        first_interrupt = Some((i, intr));
+                        first_interrupt = Some((i, *intr));
                     }
                 }
+                cells[i] = Some(cell);
             }
         }
-        let mut sweep = CategorySweep {
-            interrupted: first_interrupt.map(|(_, i)| i),
-            ..CategorySweep::default()
-        };
+        let interrupt_index = first_interrupt.map(|(i, _)| i);
+        sweep.interrupted = first_interrupt.map(|(_, i)| i);
         for (i, &c) in cats.iter().enumerate() {
-            match verdicts[i] {
-                Some(true) => {
+            match cells[i].take() {
+                Some(Cell::Sat) => {
+                    sweep.sat.push(c);
+                    sweep.decided += 1;
+                }
+                Some(Cell::Unsat) => {
                     sweep.unsat.push(c);
                     sweep.decided += 1;
                 }
-                Some(false) => sweep.decided += 1,
+                Some(Cell::Aborted(reason)) => sweep.aborted.push((c, reason)),
+                Some(Cell::Undecided(_, cp)) => {
+                    // Only the lowest-index mid-solve cursor is kept — it
+                    // is the sweep's canonical resume point.
+                    if interrupt_index == Some(i) {
+                        sweep.checkpoint = cp.map(|boxed| *boxed);
+                    }
+                    sweep.undecided.push(c);
+                }
                 None => sweep.undecided.push(c),
             }
         }
@@ -380,14 +622,27 @@ impl<'a> Dimsat<'a> {
         self.execute(c, stop_at_first, gov).1
     }
 
-    /// The common body of decision and enumeration: one full DIMSAT
-    /// activation, bracketed by `solve_start`/`solve_end` observer events
-    /// when the governor carries a sink.
     fn execute(
         &self,
         c: Category,
         stop_at_first: bool,
         gov: &mut Governor,
+    ) -> (Vec<FrozenDimension>, DimsatOutcome) {
+        self.execute_inner(c, stop_at_first, gov, None)
+    }
+
+    /// The common body of decision, enumeration, and resume: one full
+    /// DIMSAT activation, bracketed by `solve_start`/`solve_end` observer
+    /// events when the governor carries a sink. With `resume`, the search
+    /// is seeded with the checkpoint's decision stack, witnesses, and
+    /// counters and replays to the recorded frontier without re-ticking
+    /// the governor.
+    fn execute_inner(
+        &self,
+        c: Category,
+        stop_at_first: bool,
+        gov: &mut Governor,
+        resume: Option<&SolveCheckpoint>,
     ) -> (Vec<FrozenDimension>, DimsatOutcome) {
         let observed = gov.obs().enabled();
         let solve_id = if observed { next_solve_id() } else { 0 };
@@ -395,9 +650,7 @@ impl<'a> Dimsat<'a> {
             let start = SolveStart {
                 solve_id,
                 root: self.ds.hierarchy().name(c).to_string(),
-                schema_fingerprint: *self
-                    .fingerprint
-                    .get_or_init(|| crate::implication::schema_fingerprint(self.ds)),
+                schema_fingerprint: self.schema_fp(),
                 mode: if stop_at_first { "decide" } else { "enumerate" },
                 worker: gov.worker_id(),
             };
@@ -406,12 +659,50 @@ impl<'a> Dimsat<'a> {
             }
         }
         let mut search = Search::new(self.ds, self.opts, c, stop_at_first, gov, solve_id);
+        if let Some(cp) = resume {
+            search.resume_cursor = cp.cursor.clone();
+            search.found = cp.found.clone();
+            search.stats = cp.stats.clone();
+            search.assignments_base = cp.stats.assignments_tested;
+            search.elapsed_base = cp.stats.elapsed;
+        }
         search.expand(0);
         let stats = search.finish_stats();
         let interrupted = search.interrupt;
         let trace = std::mem::take(&mut search.trace);
         let found = std::mem::take(&mut search.found);
+        let cursor = search.cursor_snapshot.take();
+        let (redo_expand, redo_checks, redo_assignments) = (
+            search.redo_expand,
+            search.redo_checks,
+            search.redo_assignments,
+        );
         drop(search);
+        let checkpoint = match interrupted {
+            // A fan-out overflow is structural: no budget will ever get
+            // the search past it, so there is nothing worth resuming.
+            Some(i) if i.reason != InterruptReason::FanoutOverflow => {
+                // The checkpoint's counters exclude the work the resumed
+                // run will redo: the interrupted frame's expand tick and
+                // any partially evaluated CHECK. Without this the
+                // interrupted-plus-resumed totals would double-count the
+                // re-executed frame.
+                let mut cp_stats = stats.clone();
+                cp_stats.expand_calls -= redo_expand;
+                cp_stats.check_calls -= redo_checks;
+                cp_stats.assignments_tested -= redo_assignments;
+                Some(SolveCheckpoint {
+                    fingerprint: self.schema_fp(),
+                    root: c,
+                    stop_at_first,
+                    options_key: options_key(&self.opts),
+                    cursor: cursor.unwrap_or_default(),
+                    found: found.clone(),
+                    stats: cp_stats,
+                })
+            }
+            _ => None,
+        };
         let verdict = match found.first().cloned() {
             Some(w) => Verdict::Sat(w),
             None => match interrupted {
@@ -439,6 +730,7 @@ impl<'a> Dimsat<'a> {
             interrupted,
             stats,
             trace,
+            checkpoint,
         };
         (found, outcome)
     }
@@ -509,6 +801,28 @@ struct Search<'a, 'g> {
     interrupt: Option<Interrupt>,
     /// Observer correlation id (0 when no sink is attached).
     solve_id: u64,
+    /// The subset mask each live frame is exploring (`decision_stack[d]`
+    /// belongs to recursion depth `d`). Snapshotted into
+    /// `cursor_snapshot` at the first interrupt.
+    decision_stack: Vec<u64>,
+    /// The decision stack at the moment of the first interrupt — the
+    /// checkpoint cursor. The deepest (interrupted) frame is not on it:
+    /// it had pushed no mask yet (interrupted at its top or inside its
+    /// CHECK), so re-executing it from mask 0 is exact.
+    cursor_snapshot: Option<Vec<u64>>,
+    /// On a resumed run: the recorded cursor to replay. Frames with
+    /// `depth < resume_cursor.len()` re-apply their recorded mask without
+    /// ticking the governor or re-counting already-paid statistics.
+    resume_cursor: Vec<u64>,
+    /// Work the interrupted frame had already counted but will redo on
+    /// resume (subtracted from the checkpoint's counters).
+    redo_expand: u64,
+    redo_checks: u64,
+    redo_assignments: u64,
+    /// Counter bases carried over from a resumed checkpoint:
+    /// `finish_stats` adds the governor-local deltas on top.
+    assignments_base: u64,
+    elapsed_base: Duration,
 }
 
 impl<'a, 'g> Search<'a, 'g> {
@@ -546,6 +860,14 @@ impl<'a, 'g> Search<'a, 'g> {
             stopped: false,
             interrupt: None,
             solve_id,
+            decision_stack: Vec::new(),
+            cursor_snapshot: None,
+            resume_cursor: Vec::new(),
+            redo_expand: 0,
+            redo_checks: 0,
+            redo_assignments: 0,
+            assignments_base: 0,
+            elapsed_base: Duration::ZERO,
         }
     }
 
@@ -599,15 +921,16 @@ impl<'a, 'g> Search<'a, 'g> {
     }
 
     fn finish_stats(&mut self) -> SearchStats {
-        self.stats.assignments_tested = self.ctx.assignments_tested.get();
+        self.stats.assignments_tested = self.assignments_base + self.ctx.assignments_tested.get();
         self.stats.frozen_found = self.found.len() as u64;
-        self.stats.elapsed = self.gov.elapsed();
+        self.stats.elapsed = self.elapsed_base + self.gov.elapsed();
         self.stats.clone()
     }
 
     fn interrupted(&mut self, i: Interrupt) {
         if self.interrupt.is_none() {
             self.interrupt = Some(i);
+            self.cursor_snapshot = Some(self.decision_stack.clone());
         }
     }
 
@@ -618,15 +941,21 @@ impl<'a, 'g> Search<'a, 'g> {
         if self.stopped || self.interrupt.is_some() {
             return;
         }
-        if let Err(i) = self.gov.tick_node() {
-            self.interrupted(i);
-            return;
+        // Replay frames retrace a path the interrupted run already paid
+        // for: no governor ticks, no re-counted statistics. The first
+        // frame *past* the recorded cursor is live again.
+        let replay = depth < self.resume_cursor.len();
+        if !replay {
+            if let Err(i) = self.gov.tick_node() {
+                self.interrupted(i);
+                return;
+            }
+            if let Err(i) = self.gov.guard_depth(depth) {
+                self.interrupted(i);
+                return;
+            }
+            self.stats.expand_calls += 1;
         }
-        if let Err(i) = self.gov.guard_depth(depth) {
-            self.interrupted(i);
-            return;
-        }
-        self.stats.expand_calls += 1;
 
         if self.top.is_empty() {
             self.complete();
@@ -712,10 +1041,14 @@ impl<'a, 'g> Search<'a, 'g> {
             d.insert(ctop);
             d
         });
-        for mask in 0u64..(1u64 << rest.len()) {
+        let first_mask = if replay { self.resume_cursor[depth] } else { 0 };
+        for mask in first_mask..(1u64 << rest.len()) {
             if self.stopped || self.interrupt.is_some() {
                 break;
             }
+            // Only the recorded mask itself is a replay step; its later
+            // siblings are fresh work the interrupted run never reached.
+            let replay_step = replay && mask == first_mask;
             let mut r: Vec<Category> = into.clone();
             for (i, &c2) in rest.iter().enumerate() {
                 if mask & (1 << i) != 0 {
@@ -736,9 +1069,13 @@ impl<'a, 'g> Search<'a, 'g> {
             let trail_mark = self.trail.len();
             let saved_top_len = self.top.len();
             let saved = (!self.opts.trail_backtracking).then(|| {
-                self.stats.struct_clones += 1;
+                if !replay_step {
+                    self.stats.struct_clones += 1;
+                }
                 let instar = self.opts.incremental_instar.then(|| {
-                    self.stats.struct_clones += 2;
+                    if !replay_step {
+                        self.stats.struct_clones += 2;
+                    }
                     (self.instar.clone(), self.inn.clone())
                 });
                 (self.sub.clone(), instar)
@@ -765,14 +1102,22 @@ impl<'a, 'g> Search<'a, 'g> {
                     }
                 }
             }
-            if self.opts.trace {
+            if self.opts.trace && !replay_step {
                 self.trace.push(TraceEvent::Expand {
                     ctop,
                     r: r.clone(),
                     g: self.sub.clone(),
                 });
             }
+            self.decision_stack.push(mask);
             self.expand(depth + 1);
+            self.decision_stack.pop();
+            if replay_step {
+                // The recorded path below this frame is now consumed:
+                // every later sibling (here and in ancestor frames) is
+                // fresh work and must tick, count, and start at mask 0.
+                self.resume_cursor.truncate(depth + 1);
+            }
             match saved {
                 Some((sub, instar)) => {
                     self.sub = sub;
@@ -860,14 +1205,23 @@ impl<'a, 'g> Search<'a, 'g> {
             return;
         }
         debug_assert!(self.sub.is_valid_subhierarchy_of(self.g));
+        // An interrupt inside CHECK lands after this frame's expand tick
+        // (and possibly mid-CHECK) — work a resumed run re-executes from
+        // scratch. The redo counters tell the checkpoint how much of the
+        // running totals to give back.
         if let Err(i) = self.gov.tick_check() {
+            self.redo_expand += 1;
             self.interrupted(i);
             return;
         }
         self.stats.check_calls += 1;
+        let assignments_before = self.ctx.assignments_tested.get();
         let induced = match self.ctx.check_governed(&self.sub, self.gov) {
             Ok(ca) => ca,
             Err(i) => {
+                self.redo_expand += 1;
+                self.redo_checks += 1;
+                self.redo_assignments = self.ctx.assignments_tested.get() - assignments_before;
                 self.interrupted(i);
                 return;
             }
@@ -1302,6 +1656,259 @@ mod tests {
         let b = solver.category_satisfiable_governed(cat(&ds, "City"), &mut gov);
         assert!(a.is_sat() && b.is_sat());
         assert!(gov.nodes() > nodes_after_first, "budget is shared");
+    }
+
+    /// Asserts every counter except `elapsed` (wall-clock is the one
+    /// field resume legitimately changes).
+    fn assert_stats_match(a: &SearchStats, b: &SearchStats, ctx: &str) {
+        assert_eq!(a.expand_calls, b.expand_calls, "expand_calls {ctx}");
+        assert_eq!(a.check_calls, b.check_calls, "check_calls {ctx}");
+        assert_eq!(a.dead_ends, b.dead_ends, "dead_ends {ctx}");
+        assert_eq!(a.late_rejections, b.late_rejections, "late_rejections {ctx}");
+        assert_eq!(
+            a.assignments_tested, b.assignments_tested,
+            "assignments_tested {ctx}"
+        );
+        assert_eq!(a.frozen_found, b.frozen_found, "frozen_found {ctx}");
+        assert_eq!(a.struct_clones, b.struct_clones, "struct_clones {ctx}");
+    }
+
+    #[test]
+    fn resume_parity_at_every_node_budget() {
+        let ds = location_sch();
+        let store = cat(&ds, "Store");
+        for opts in [DimsatOptions::full(), DimsatOptions::full().without_trail()] {
+            let (clean, clean_out) = Dimsat::with_options(&ds, opts).enumerate_frozen(store);
+            let clean_edges: Vec<_> = clean.iter().map(edge_fingerprint).collect();
+            let mut resumed_runs = 0;
+            for k in 1..clean_out.stats.expand_calls {
+                let (_, first) = Dimsat::with_options(&ds, opts)
+                    .with_budget(Budget::unlimited().with_node_limit(k))
+                    .enumerate_frozen(store);
+                let cp = first.checkpoint.expect("interrupted run records a cursor");
+                let text = cp.to_text();
+                let solver = Dimsat::with_options(&ds, opts);
+                let cp = solver.load_checkpoint(&text).expect("roundtrip");
+                let (found, out) = solver.resume(&cp).expect("same schema resumes");
+                assert!(out.interrupted.is_none(), "k={k}");
+                let edges: Vec<_> = found.iter().map(edge_fingerprint).collect();
+                assert_eq!(edges, clean_edges, "enumeration diverged at k={k}");
+                assert_stats_match(&out.stats, &clean_out.stats, &format!("k={k}"));
+                resumed_runs += 1;
+            }
+            assert!(resumed_runs > 10, "matrix actually exercised resume");
+        }
+    }
+
+    #[test]
+    fn resume_parity_at_every_check_budget() {
+        let ds = location_sch();
+        let store = cat(&ds, "Store");
+        let (clean, clean_out) = Dimsat::new(&ds).enumerate_frozen(store);
+        let clean_edges: Vec<_> = clean.iter().map(edge_fingerprint).collect();
+        for k in 1..clean_out.stats.check_calls {
+            let (_, first) = Dimsat::new(&ds)
+                .with_budget(Budget::unlimited().with_check_limit(k))
+                .enumerate_frozen(store);
+            let cp = first.checkpoint.expect("interrupted run records a cursor");
+            let solver = Dimsat::new(&ds);
+            let (found, out) = solver.resume(&cp).expect("same schema resumes");
+            assert!(out.interrupted.is_none(), "k={k}");
+            let edges: Vec<_> = found.iter().map(edge_fingerprint).collect();
+            assert_eq!(edges, clean_edges, "enumeration diverged at k={k}");
+            assert_stats_match(&out.stats, &clean_out.stats, &format!("k={k}"));
+        }
+    }
+
+    #[test]
+    fn chained_resume_in_tiny_steps_matches_clean_run() {
+        let ds = location_sch();
+        let store = cat(&ds, "Store");
+        let (clean, clean_out) = Dimsat::new(&ds).enumerate_frozen(store);
+        let clean_edges: Vec<_> = clean.iter().map(edge_fingerprint).collect();
+        // Walk the whole search a dozen nodes at a time, checkpointing at
+        // every interrupt: the final merged result must be byte-identical.
+        // (The step budget must cover the costliest single frame — an
+        // EXPAND plus its full CHECK assignment search, which also ticks
+        // the node governor — since the checkpoint cursor is
+        // frame-granular.)
+        let step_solver = Dimsat::new(&ds).with_budget(Budget::unlimited().with_node_limit(12));
+        let (mut found, mut out) = step_solver.enumerate_frozen(store);
+        let mut steps = 1;
+        while let Some(cp) = out.checkpoint.take() {
+            let r = step_solver.resume(&cp).expect("chained resume");
+            found = r.0;
+            out = r.1;
+            steps += 1;
+            assert!(steps < 10_000, "resume loop must make progress");
+        }
+        assert!(out.interrupted.is_none());
+        assert!(steps > 2, "twelve-node steps must need several attempts");
+        let edges: Vec<_> = found.iter().map(edge_fingerprint).collect();
+        assert_eq!(edges, clean_edges);
+        assert_stats_match(&out.stats, &clean_out.stats, "chained");
+    }
+
+    #[test]
+    fn undersized_budget_reaches_a_stable_checkpoint_fixed_point() {
+        // A constant budget smaller than one frame's cost cannot advance;
+        // the livelock must be *stable*: the same checkpoint text comes
+        // back every time, uncorrupted, rather than drifting or panicking.
+        // (AnytimeDriver's escalation is the designed way out.)
+        let ds = location_sch();
+        let store = cat(&ds, "Store");
+        let tiny = Dimsat::new(&ds).with_budget(Budget::unlimited().with_node_limit(3));
+        let (_, out) = tiny.enumerate_frozen(store);
+        let mut cp = out.checkpoint.expect("tiny budget interrupts");
+        // One attempt may still advance to the costly frame; after that
+        // the cursor and every counter except `elapsed` must be a strict
+        // fixed point.
+        let mut probes = Vec::new();
+        for _ in 0..5 {
+            probes.push((
+                cp.cursor.clone(),
+                cp.stats.expand_calls,
+                cp.stats.check_calls,
+                cp.stats.assignments_tested,
+                cp.found.len(),
+            ));
+            let (_, out) = tiny.resume(&cp).expect("resume");
+            match out.checkpoint {
+                Some(next) => cp = next,
+                None => return, // it actually finished: also fine
+            }
+        }
+        assert!(
+            probes[1..].windows(2).all(|w| w[0] == w[1]),
+            "stalled checkpoints must be identical, not drifting: {probes:?}"
+        );
+        // Escalation breaks the fixed point.
+        use crate::anytime::AnytimeDriver;
+        let report = AnytimeDriver::new(Budget::unlimited().with_node_limit(3))
+            .with_max_attempts(12)
+            .with_escalation(2)
+            .solve(&Dimsat::new(&ds), store, false);
+        assert!(report.outcome.interrupted.is_none());
+    }
+
+    #[test]
+    fn resume_refuses_wrong_schema_and_options() {
+        let ds = location_sch();
+        let store = cat(&ds, "Store");
+        let (_, first) = Dimsat::new(&ds)
+            .with_budget(Budget::unlimited().with_node_limit(2))
+            .enumerate_frozen(store);
+        let cp = first.checkpoint.expect("cursor");
+        // Same text, different schema: fingerprint mismatch.
+        let extra =
+            odc_constraint::parse_constraint(ds.hierarchy(), "!SaleRegion_Country").unwrap();
+        let ds2 = ds.with_constraint(extra);
+        assert!(matches!(
+            Dimsat::new(&ds2).load_checkpoint(&cp.to_text()),
+            Err(CheckpointError::FingerprintMismatch { .. })
+        ));
+        // Same schema, different exploration order: options mismatch.
+        assert!(matches!(
+            Dimsat::with_options(&ds, DimsatOptions::full().without_trail()).resume(&cp),
+            Err(CheckpointError::Malformed(_))
+        ));
+        // And the happy path still works.
+        assert!(Dimsat::new(&ds).resume(&cp).is_ok());
+    }
+
+    #[test]
+    fn sweep_resume_merges_to_uninterrupted_report() {
+        let ds = location_sch();
+        let g = ds.hierarchy();
+        let extra = odc_constraint::parse_constraint(g, "!SaleRegion_Country").unwrap();
+        let ds2 = ds.with_constraint(extra);
+        let clean = Dimsat::new(&ds2).unsatisfiable_categories();
+        assert!(clean.is_complete());
+        let mut resumed_any = false;
+        for limit in 1..400u64 {
+            let budgeted = Dimsat::new(&ds2).with_budget(Budget::unlimited().with_node_limit(limit));
+            let sweep = budgeted.unsatisfiable_categories();
+            let Some(cp) = budgeted.sweep_checkpoint(&sweep) else {
+                assert!(sweep.is_complete());
+                continue;
+            };
+            let solver = Dimsat::new(&ds2);
+            let cp = solver
+                .load_sweep_checkpoint(&cp.to_text())
+                .expect("sweep cursor roundtrips");
+            let merged = solver.resume_sweep(&cp).expect("same schema resumes");
+            assert!(merged.is_complete(), "limit={limit}");
+            assert_eq!(merged.unsat, clean.unsat, "limit={limit}");
+            assert_eq!(merged.sat, clean.sat, "limit={limit}");
+            assert_eq!(merged.decided, clean.decided, "limit={limit}");
+            assert_stats_match(&merged.stats, &clean.stats, &format!("limit={limit}"));
+            resumed_any = true;
+        }
+        assert!(resumed_any, "no budget produced a resumable sweep");
+    }
+
+    #[test]
+    fn fanout_overflow_yields_no_checkpoint_but_sweep_continues() {
+        // Root with 70 parents (unexplorable) *plus* ordinary categories:
+        // the sweep must report the overflow as an aborted category and
+        // still decide everything else.
+        let mut b = HierarchySchema::builder();
+        let root = b.category("Wide");
+        let mut parents = Vec::new();
+        for i in 0..70 {
+            parents.push(b.category(&format!("P{i}")));
+        }
+        for &p in &parents {
+            b.edge(root, p);
+            b.edge_to_all(p);
+        }
+        let g = Arc::new(b.build().unwrap());
+        let ds = DimensionSchema::parse(g, "").unwrap();
+        let wide = ds.hierarchy().category_by_name("Wide").unwrap();
+        let out = Dimsat::new(&ds).category_satisfiable(wide);
+        assert!(out.is_unknown());
+        assert!(
+            out.checkpoint.is_none(),
+            "a structural abort is not resumable"
+        );
+        let sweep = Dimsat::new(&ds).unsatisfiable_categories();
+        assert!(sweep.is_complete(), "sweep continues past the overflow");
+        assert_eq!(sweep.aborted.len(), 1);
+        assert_eq!(sweep.aborted[0].0, wide);
+        assert_eq!(sweep.aborted[0].1, InterruptReason::FanoutOverflow);
+        assert_eq!(sweep.decided, 70, "every narrow category decided");
+        assert!(sweep.interrupted.is_none());
+        // Parallel sweeps apply the same rule.
+        let par = Dimsat::new(&ds).unsatisfiable_categories_parallel(4);
+        assert_eq!(par.aborted, sweep.aborted);
+        assert_eq!(par.decided, sweep.decided);
+        assert!(par.is_complete());
+    }
+
+    #[test]
+    fn anytime_driver_escalates_to_a_decision() {
+        use crate::anytime::AnytimeDriver;
+        let ds = location_sch();
+        let store = cat(&ds, "Store");
+        let (clean, clean_out) = Dimsat::new(&ds).enumerate_frozen(store);
+        let driver = AnytimeDriver::new(Budget::unlimited().with_node_limit(2))
+            .with_max_attempts(10)
+            .with_escalation(2);
+        let solver = Dimsat::new(&ds);
+        let report = driver.solve(&solver, store, false);
+        assert!(report.outcome.interrupted.is_none(), "escalation decides");
+        assert!(report.attempts > 1, "the tiny start budget must retry");
+        assert!(report.resumed >= 1, "retries resume, not restart");
+        assert_eq!(report.found.len(), clean.len());
+        assert_stats_match(&report.outcome.stats, &clean_out.stats, "anytime");
+        // A bounded driver that cannot finish still reports a checkpoint.
+        let stuck = AnytimeDriver::new(Budget::unlimited().with_node_limit(1))
+            .with_max_attempts(2)
+            .with_escalation(1);
+        let report = stuck.solve(&solver, store, false);
+        assert_eq!(report.attempts, 2);
+        assert!(report.outcome.is_unknown());
+        assert!(report.outcome.checkpoint.is_some(), "handoff survives");
     }
 
     #[test]

@@ -1,0 +1,211 @@
+//! Deterministic fault injection for governed searches.
+//!
+//! A [`FaultPlan`] attached to a `Governor` (or propagated to every
+//! worker of a `SharedGovernor`) fires planned faults at reproducible
+//! points of the search: every Nth node tick, every Nth CHECK tick, at a
+//! chosen recursion depth, or from a seeded `odc-rand` schedule. The
+//! fault either trips an interrupt (`InterruptReason::FaultInjected`),
+//! flips the cancellation token, or — for crash-recovery tests — panics
+//! with an [`InjectedPanic`] payload. Every injection is tagged in the
+//! observer stream as a `fault` event, so chaos-run telemetry is
+//! distinguishable from organic budget exhaustion.
+//!
+//! Determinism is the point: the same plan against the same search
+//! produces the same injection points, which is what the resume-parity
+//! matrix (interrupt → checkpoint → resume → byte-identical result)
+//! needs to be a meaningful proof.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use odc_rand::rngs::StdRng;
+use odc_rand::{Rng, SeedableRng};
+
+/// What an injected fault does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Trip the governor with `InterruptReason::FaultInjected` — the
+    /// search stops cooperatively, exactly like budget exhaustion.
+    Interrupt,
+    /// Flip the governor's `CancelToken` (reaching every sibling worker
+    /// watching the same token) and trip with `Cancelled`.
+    Cancel,
+    /// Panic with an [`InjectedPanic`] payload, simulating a worker
+    /// crash. Intended for tests of the parallel drivers' panic
+    /// propagation; never use in production plans.
+    Panic,
+}
+
+impl FaultKind {
+    /// Stable machine-readable name (the JSON value in `fault` events).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::Interrupt => "interrupt",
+            FaultKind::Cancel => "cancel",
+            FaultKind::Panic => "panic",
+        }
+    }
+}
+
+/// When a planned fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTrigger {
+    /// On every node tick whose per-governor count is a multiple of `n`
+    /// (so the first firing is at the `n`-th node). `n = 0` never fires.
+    EveryNthNode(u64),
+    /// On every CHECK tick whose per-governor count is a multiple of `n`.
+    EveryNthCheck(u64),
+    /// When the search first guards recursion depth `d` (and on every
+    /// later visit to that depth, while injections remain).
+    AtDepth(usize),
+    /// A seeded coin flipped on every node tick: fires with probability
+    /// `per_mille`/1000. Deterministic per governor — workers minted by a
+    /// shared governor derive distinct streams from `seed` and their
+    /// worker id.
+    Seeded {
+        /// Base seed of the schedule.
+        seed: u64,
+        /// Firing probability in thousandths (0..=1000).
+        per_mille: u32,
+    },
+}
+
+impl FaultTrigger {
+    /// Human-readable description, used to tag observer `fault` events.
+    pub fn describe(&self) -> String {
+        match self {
+            FaultTrigger::EveryNthNode(n) => format!("every {n}th node"),
+            FaultTrigger::EveryNthCheck(n) => format!("every {n}th check"),
+            FaultTrigger::AtDepth(d) => format!("at depth {d}"),
+            FaultTrigger::Seeded { seed, per_mille } => {
+                format!("seeded schedule (seed {seed}, {per_mille}/1000 per node)")
+            }
+        }
+    }
+}
+
+/// A reproducible fault-injection schedule.
+///
+/// Cloning a plan shares its injection allowance and its tally: a plan
+/// capped with [`FaultPlan::with_max_injections`] fires at most that many
+/// times *in total*, across every governor (and every resume attempt)
+/// carrying a clone — which is how a chaos run is made to terminate.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    kind: FaultKind,
+    trigger: FaultTrigger,
+    remaining: Option<Arc<AtomicU64>>,
+    injected: Arc<AtomicU64>,
+}
+
+impl FaultPlan {
+    /// A plan firing `kind` whenever `trigger` matches, with no cap.
+    pub fn new(kind: FaultKind, trigger: FaultTrigger) -> Self {
+        FaultPlan {
+            kind,
+            trigger,
+            remaining: None,
+            injected: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Caps the plan at `n` injections total (shared across clones).
+    /// After the cap is consumed the trigger stops firing, letting an
+    /// interrupt/resume loop run to completion.
+    pub fn with_max_injections(mut self, n: u64) -> Self {
+        self.remaining = Some(Arc::new(AtomicU64::new(n)));
+        self
+    }
+
+    /// What the plan injects.
+    pub fn kind(&self) -> FaultKind {
+        self.kind
+    }
+
+    /// When the plan injects.
+    pub fn trigger(&self) -> FaultTrigger {
+        self.trigger
+    }
+
+    /// How many faults have fired so far, across all clones of the plan.
+    pub fn injections(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Consumes one injection from the allowance. Returns `false` when
+    /// the cap is exhausted (the fault does not fire).
+    pub(crate) fn try_consume(&self) -> bool {
+        if let Some(rem) = &self.remaining {
+            loop {
+                let cur = rem.load(Ordering::Acquire);
+                if cur == 0 {
+                    return false;
+                }
+                if rem
+                    .compare_exchange(cur, cur - 1, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    break;
+                }
+            }
+        }
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+}
+
+/// The payload of a [`FaultKind::Panic`] injection, so tests can downcast
+/// the panic they provoked and distinguish it from an organic crash.
+#[derive(Debug, Clone, Copy)]
+pub struct InjectedPanic {
+    /// The tick site that fired: `"node"`, `"check"`, or `"depth"`.
+    pub site: &'static str,
+}
+
+/// Per-governor fault state: the shared plan plus this governor's private
+/// random stream (for seeded schedules).
+#[derive(Debug, Clone)]
+pub(crate) struct FaultState {
+    pub(crate) plan: FaultPlan,
+    rng: Option<StdRng>,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan, worker: Option<u64>) -> Self {
+        let rng = match plan.trigger {
+            FaultTrigger::Seeded { seed, .. } => {
+                // Distinct, deterministic stream per worker.
+                let stream_seed = seed ^ worker.map_or(0, |w| (w + 1).wrapping_mul(0x9E3779B97F4A7C15));
+                Some(StdRng::seed_from_u64(stream_seed))
+            }
+            _ => None,
+        };
+        FaultState { plan, rng }
+    }
+
+    /// Whether the trigger matches this node tick (`nodes` is the
+    /// governor-local count including the current tick).
+    pub(crate) fn due_node(&mut self, nodes: u64) -> bool {
+        match self.plan.trigger {
+            FaultTrigger::EveryNthNode(n) => n > 0 && nodes.is_multiple_of(n),
+            FaultTrigger::Seeded { per_mille, .. } => self
+                .rng
+                .as_mut()
+                .is_some_and(|r| r.gen_bool(f64::from(per_mille.min(1000)) / 1000.0)),
+            _ => false,
+        }
+    }
+
+    /// Whether the trigger matches this CHECK tick.
+    pub(crate) fn due_check(&mut self, checks: u64) -> bool {
+        match self.plan.trigger {
+            FaultTrigger::EveryNthCheck(n) => n > 0 && checks.is_multiple_of(n),
+            _ => false,
+        }
+    }
+
+    /// Whether the trigger matches this depth guard.
+    pub(crate) fn due_depth(&mut self, depth: usize) -> bool {
+        matches!(self.plan.trigger, FaultTrigger::AtDepth(d) if d == depth)
+    }
+}

@@ -37,6 +37,15 @@
 //! | `cache`       | implication memo-cache             | hit/miss/collision/bypass          |
 //! | `heartbeat`   | `Governor::poll`                   | nodes/sec, elapsed, budget used    |
 //! | `worker`      | parallel batch drivers             | worker id, per-worker counters     |
+//! | `fault`       | `Governor` fault-injection harness | kind, site, trigger, counters      |
+//!
+//! ## Sink failure
+//!
+//! The writing sinks ([`JsonlObserver`], [`ProgressObserver`]) never let a
+//! broken pipe or a full disk take the solve down, but they do not fail
+//! silently either: the first write error is reported once on stderr, the
+//! sink stops retrying (a dead sink stays dead), and every event dropped
+//! after that point is counted (see [`JsonlObserver::dropped_events`]).
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
@@ -206,6 +215,25 @@ pub struct Heartbeat {
     pub worker: Option<u64>,
 }
 
+/// A deliberately injected fault from the governor's fault-injection
+/// harness. Tagged separately from organic interrupts so telemetry from a
+/// chaos run is distinguishable from real budget exhaustion.
+#[derive(Debug, Clone)]
+pub struct FaultEvent {
+    /// `"interrupt"`, `"cancel"`, or `"panic"`.
+    pub kind: &'static str,
+    /// The tick site that fired: `"node"`, `"check"`, or `"depth"`.
+    pub site: &'static str,
+    /// Human-readable description of the trigger (e.g. `every 64th node`).
+    pub trigger: String,
+    /// Search nodes this governor had consumed when the fault fired.
+    pub nodes: u64,
+    /// CHECK invocations this governor had consumed when the fault fired.
+    pub checks: u64,
+    /// Worker id when the governor was minted by a shared batch governor.
+    pub worker: Option<u64>,
+}
+
 /// One worker's contribution to a parallel battery, reported when the
 /// worker drains its stripe.
 #[derive(Debug, Clone)]
@@ -242,6 +270,8 @@ pub trait Observer: Send + Sync {
     fn heartbeat(&self, _hb: &Heartbeat) {}
     /// A parallel-battery worker drained its stripe.
     fn worker_finished(&self, _w: &WorkerStats) {}
+    /// The fault-injection harness fired a planned fault.
+    fn fault(&self, _f: &FaultEvent) {}
 }
 
 /// The sink that ignores everything (useful for measuring pure
@@ -338,6 +368,14 @@ impl Obs {
             o.worker_finished(w);
         }
     }
+
+    /// Forwards an injected-fault event.
+    #[inline]
+    pub fn fault(&self, f: &FaultEvent) {
+        if let Some(o) = &self.0 {
+            o.fault(f);
+        }
+    }
 }
 
 /// Fans events out to several sinks (e.g. a JSON-lines file *and* a
@@ -394,6 +432,11 @@ impl Observer for MultiObserver {
             s.worker_finished(w);
         }
     }
+    fn fault(&self, f: &FaultEvent) {
+        for s in &self.sinks {
+            s.fault(f);
+        }
+    }
 }
 
 /// Escapes a string for inclusion in a JSON string literal.
@@ -419,6 +462,43 @@ fn json_opt_u64(v: Option<u64>) -> String {
     match v {
         Some(v) => v.to_string(),
         None => "null".to_string(),
+    }
+}
+
+/// Failure bookkeeping shared by the writing sinks: the first write error
+/// is surfaced once on stderr, the sink is declared dead (no further
+/// writes are attempted), and every event dropped afterwards is counted.
+#[derive(Debug, Default)]
+struct SinkHealth {
+    dead: std::sync::atomic::AtomicBool,
+    dropped: AtomicU64,
+}
+
+impl SinkHealth {
+    /// Whether the sink has already failed. A dead sink drops (and
+    /// counts) the event instead of re-attempting the write.
+    fn check_dead(&self) -> bool {
+        if self.dead.load(Ordering::Acquire) {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+
+    /// Records a write failure: the triggering event is counted as
+    /// dropped and the very first failure is reported once on stderr.
+    fn record_failure(&self, sink: &str, err: &std::io::Error) {
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+        if !self.dead.swap(true, Ordering::AcqRel) {
+            eprintln!(
+                "odc-obs: {sink} sink write failed ({err}); \
+                 dropping all further events on this sink"
+            );
+        }
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 }
 
@@ -457,6 +537,7 @@ struct SolveAgg {
 pub struct JsonlObserver {
     out: Mutex<Box<dyn Write + Send>>,
     solves: Mutex<HashMap<u64, SolveAgg>>,
+    health: SinkHealth,
 }
 
 impl JsonlObserver {
@@ -465,6 +546,7 @@ impl JsonlObserver {
         JsonlObserver {
             out: Mutex::new(out),
             solves: Mutex::new(HashMap::new()),
+            health: SinkHealth::default(),
         }
     }
 
@@ -474,10 +556,20 @@ impl JsonlObserver {
         Ok(Self::new(Box::new(std::io::BufWriter::new(f))))
     }
 
+    /// How many events were dropped because the sink failed. Zero while
+    /// the sink is healthy.
+    pub fn dropped_events(&self) -> u64 {
+        self.health.dropped()
+    }
+
     fn emit(&self, line: String) {
+        if self.health.check_dead() {
+            return;
+        }
         if let Ok(mut w) = self.out.lock() {
-            let _ = writeln!(w, "{line}");
-            let _ = w.flush();
+            if let Err(e) = writeln!(w, "{line}").and_then(|()| w.flush()) {
+                self.health.record_failure("jsonl", &e);
+            }
         }
     }
 
@@ -598,6 +690,19 @@ impl Observer for JsonlObserver {
             w.battery, w.worker, w.nodes, w.checks, w.items,
         ));
     }
+
+    fn fault(&self, f: &FaultEvent) {
+        self.emit(format!(
+            "{{\"event\":\"fault\",\"kind\":\"{}\",\"site\":\"{}\",\"trigger\":\"{}\",\
+             \"nodes\":{},\"checks\":{},\"worker\":{}}}",
+            f.kind,
+            f.site,
+            json_escape(&f.trigger),
+            f.nodes,
+            f.checks,
+            json_opt_u64(f.worker),
+        ));
+    }
 }
 
 /// A human-readable progress stream (one short line per lifecycle event
@@ -605,6 +710,7 @@ impl Observer for JsonlObserver {
 /// stop being a black box.
 pub struct ProgressObserver {
     out: Mutex<Box<dyn Write + Send>>,
+    health: SinkHealth,
 }
 
 impl ProgressObserver {
@@ -612,6 +718,7 @@ impl ProgressObserver {
     pub fn new(out: Box<dyn Write + Send>) -> Self {
         ProgressObserver {
             out: Mutex::new(out),
+            health: SinkHealth::default(),
         }
     }
 
@@ -620,10 +727,19 @@ impl ProgressObserver {
         Self::new(Box::new(std::io::stderr()))
     }
 
+    /// How many progress lines were dropped because the sink failed.
+    pub fn dropped_events(&self) -> u64 {
+        self.health.dropped()
+    }
+
     fn emit(&self, line: String) {
+        if self.health.check_dead() {
+            return;
+        }
         if let Ok(mut w) = self.out.lock() {
-            let _ = writeln!(w, "{line}");
-            let _ = w.flush();
+            if let Err(e) = writeln!(w, "{line}").and_then(|()| w.flush()) {
+                self.health.record_failure("progress", &e);
+            }
         }
     }
 }
@@ -675,6 +791,17 @@ impl Observer for ProgressObserver {
             w.battery, w.worker, w.items, w.nodes, w.checks
         ));
     }
+
+    fn fault(&self, f: &FaultEvent) {
+        let worker = match f.worker {
+            Some(w) => format!(" [worker {w}]"),
+            None => String::new(),
+        };
+        self.emit(format!(
+            "progress: injected {} at {} tick ({}; {} nodes, {} checks){worker}",
+            f.kind, f.site, f.trigger, f.nodes, f.checks
+        ));
+    }
 }
 
 /// One recorded event (what a [`CollectingObserver`] stores).
@@ -696,6 +823,8 @@ pub enum Event {
     Heartbeat(Heartbeat),
     /// A `worker_finished` call.
     Worker(WorkerStats),
+    /// A `fault` call.
+    Fault(FaultEvent),
 }
 
 /// An in-memory sink recording every event, for tests and ad-hoc
@@ -747,6 +876,9 @@ impl Observer for CollectingObserver {
     }
     fn worker_finished(&self, w: &WorkerStats) {
         self.push(Event::Worker(w.clone()));
+    }
+    fn fault(&self, f: &FaultEvent) {
+        self.push(Event::Fault(f.clone()));
     }
 }
 
@@ -908,6 +1040,94 @@ mod tests {
     fn json_escaping_handles_quotes_and_control_chars() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    /// A writer that fails after `ok_lines` successfully flushed lines
+    /// (each emitted line ends in exactly one flush).
+    struct FailingWriter {
+        ok_lines: usize,
+        flushed: usize,
+    }
+
+    impl Write for FailingWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.flushed >= self.ok_lines {
+                return Err(std::io::Error::other("disk full"));
+            }
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            self.flushed += 1;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn dead_sink_counts_dropped_events_and_stops_writing() {
+        let sink = JsonlObserver::new(Box::new(FailingWriter {
+            ok_lines: 1,
+            flushed: 0,
+        }));
+        sink.cache_access(CacheOutcome::Hit); // succeeds
+        assert_eq!(sink.dropped_events(), 0);
+        sink.cache_access(CacheOutcome::Hit); // write fails -> sink dies
+        assert_eq!(sink.dropped_events(), 1);
+        sink.cache_access(CacheOutcome::Hit); // dropped without a write
+        sink.cache_access(CacheOutcome::Miss);
+        assert_eq!(sink.dropped_events(), 3);
+    }
+
+    #[test]
+    fn progress_sink_reports_drops_too() {
+        let sink = ProgressObserver::new(Box::new(FailingWriter {
+            ok_lines: 0,
+            flushed: 0,
+        }));
+        sink.worker_finished(&WorkerStats {
+            battery: "category_sweep",
+            worker: 0,
+            nodes: 1,
+            checks: 1,
+            items: 1,
+        });
+        sink.heartbeat(&Heartbeat {
+            nodes: 1,
+            checks: 0,
+            elapsed_us: 1,
+            nodes_per_sec: 1.0,
+            budget_fraction: None,
+            worker: None,
+        });
+        assert_eq!(sink.dropped_events(), 2);
+    }
+
+    #[test]
+    fn fault_events_reach_every_sink_kind() {
+        let f = FaultEvent {
+            kind: "interrupt",
+            site: "node",
+            trigger: "every 64th node".into(),
+            nodes: 64,
+            checks: 2,
+            worker: Some(1),
+        };
+        let buf = SharedBuf::default();
+        let jsonl = JsonlObserver::new(Box::new(buf.clone()));
+        jsonl.fault(&f);
+        let lines = jsonl_lines(&buf);
+        assert!(lines[0].contains("\"event\":\"fault\""), "{}", lines[0]);
+        assert!(lines[0].contains("\"kind\":\"interrupt\""));
+        assert!(lines[0].contains("\"site\":\"node\""));
+        assert!(lines[0].contains("\"nodes\":64"));
+
+        let pbuf = SharedBuf::default();
+        let progress = ProgressObserver::new(Box::new(pbuf.clone()));
+        progress.fault(&f);
+        assert!(jsonl_lines(&pbuf)[0].contains("injected interrupt at node tick"));
+
+        let collector = Arc::new(CollectingObserver::new());
+        Obs::new(collector.clone()).fault(&f);
+        assert!(matches!(collector.events()[0], Event::Fault(_)));
     }
 
     #[test]

@@ -13,12 +13,21 @@
 //!   category, i.e. how many homogeneous populations the schema mixes;
 //! * **summarizability matrix** — for each pair of categories, whether
 //!   the finer one's view can rebuild the coarser one's.
+//!
+//! All four stages draw from one governed budget. An interrupted audit
+//! returns a partial-but-sound report *plus* an [`AuditCheckpoint`]: the
+//! stage-granular cursor [`audit_resume`] continues from, re-running only
+//! the first undecided item of the interrupted stage (and, for a sweep
+//! interrupt, resuming the sweep's own frame-granular cursor).
 
+use crate::checkpoint::{AuditCheckpoint, AuditStage};
 use crate::theorem1::{is_summarizable_in_schema_governed, is_summarizable_in_schema_memo};
 use odc_constraint::{Constraint, DimensionConstraint, DimensionSchema};
-use odc_dimsat::{implication, Dimsat, DimsatOptions, ImplicationCache};
-use odc_govern::{Budget, CancelToken, Governor, Interrupt, SharedGovernor};
-use odc_hierarchy::Category;
+use odc_dimsat::{implication, Dimsat, DimsatOptions, ImplicationCache, SearchStats};
+use odc_govern::{
+    Budget, CancelToken, CheckpointError, Governor, Interrupt, InterruptReason, SharedGovernor,
+};
+use odc_hierarchy::{Category, HierarchySchema};
 use odc_obs::{Obs, WorkerStats};
 
 /// The advisor's findings.
@@ -38,10 +47,33 @@ pub struct SchemaReport {
     /// Categories the satisfiability sweep did not reach before the
     /// budget ran out. Empty when the sweep completed.
     pub undecided_categories: Vec<Category>,
+    /// Categories whose solve aborted on a structural limit (fan-out
+    /// overflow) during the sweep: undecidable by this engine regardless
+    /// of budget, reported with the reason and never re-tried on resume.
+    pub aborted_categories: Vec<(Category, InterruptReason)>,
+    /// Accumulated DIMSAT counters over every decided audit query.
+    pub stats: SearchStats,
     /// Set when the audit's budget ran out: the fields above hold
     /// whatever was proved before the interrupt (a partial report, not a
     /// wrong one).
     pub interrupted: Option<Interrupt>,
+    /// On an interrupted audit: the stage-granular cursor to hand to
+    /// [`audit_resume`].
+    pub checkpoint: Option<AuditCheckpoint>,
+}
+
+fn blank_report() -> SchemaReport {
+    SchemaReport {
+        unsatisfiable: Vec::new(),
+        redundant_constraints: Vec::new(),
+        structure_census: Vec::new(),
+        safe_rewrites: Vec::new(),
+        undecided_categories: Vec::new(),
+        aborted_categories: Vec::new(),
+        stats: SearchStats::default(),
+        interrupted: None,
+        checkpoint: None,
+    }
 }
 
 impl SchemaReport {
@@ -88,6 +120,12 @@ impl SchemaReport {
                 g.name(fine)
             ));
         }
+        for &(c, r) in &self.aborted_categories {
+            out.push_str(&format!(
+                "category {} aborted ({r:?}): structurally unexplorable\n",
+                g.name(c)
+            ));
+        }
         if let Some(i) = &self.interrupted {
             out.push_str(&format!("audit interrupted ({i}); report is partial\n"));
             if !self.undecided_categories.is_empty() {
@@ -100,9 +138,27 @@ impl SchemaReport {
                         .join(", ")
                 ));
             }
+            if self.checkpoint.is_some() {
+                out.push_str("a resume checkpoint is available\n");
+            }
         }
         out
     }
+}
+
+/// The (coarse, fine) pairs the rewrite matrix examines, in the fixed
+/// order both the serial and parallel audits use.
+fn rewrite_pairs(g: &HierarchySchema) -> Vec<(Category, Category)> {
+    let mut pairs = Vec::new();
+    for fine in g.categories() {
+        for coarse in g.categories() {
+            if fine == coarse || !g.reaches(fine, coarse) || fine.is_all() {
+                continue;
+            }
+            pairs.push((coarse, fine));
+        }
+    }
+    pairs
 }
 
 /// Runs every audit with no resource limits. Cost: a few DIMSAT queries
@@ -115,79 +171,204 @@ pub fn audit(ds: &DimensionSchema) -> SchemaReport {
 
 /// [`audit`] under a caller-supplied [`Governor`]: all four audits draw
 /// from one budget, and an interrupt yields a partial report (the
-/// completed audits) with [`SchemaReport::interrupted`] set.
+/// completed audits) with [`SchemaReport::interrupted`] set and a
+/// [`SchemaReport::checkpoint`] to resume from.
 pub fn audit_governed(ds: &DimensionSchema, gov: &mut Governor) -> SchemaReport {
+    // With no checkpoint to validate there is no refusal path.
+    audit_governed_from(ds, gov, None).unwrap_or_else(|_| blank_report())
+}
+
+/// Resumes an interrupted audit from its checkpoint: completed stages
+/// are seeded from the recorded findings, the interrupted stage picks up
+/// at its first undecided item (a sweep interrupt resumes the sweep's
+/// own cursor), and later stages run normally. Refuses a checkpoint
+/// whose schema fingerprint differs from `ds`'s.
+pub fn audit_resume(
+    ds: &DimensionSchema,
+    cp: &AuditCheckpoint,
+    gov: &mut Governor,
+) -> Result<SchemaReport, CheckpointError> {
+    let fp = implication::schema_fingerprint(ds);
+    if cp.fingerprint != fp {
+        return Err(CheckpointError::FingerprintMismatch {
+            found: cp.fingerprint,
+            expected: fp,
+        });
+    }
+    audit_governed_from(ds, gov, Some(cp))
+}
+
+fn audit_governed_from(
+    ds: &DimensionSchema,
+    gov: &mut Governor,
+    resume: Option<&AuditCheckpoint>,
+) -> Result<SchemaReport, CheckpointError> {
     let g = ds.hierarchy();
     let solver = Dimsat::new(ds);
-    let mut report = SchemaReport {
-        unsatisfiable: Vec::new(),
-        redundant_constraints: Vec::new(),
-        structure_census: Vec::new(),
-        safe_rewrites: Vec::new(),
-        undecided_categories: Vec::new(),
-        interrupted: None,
+    let fp = implication::schema_fingerprint(ds);
+    let mut report = blank_report();
+    // Counters of fully decided queries only: what a checkpoint carries,
+    // so interrupted-plus-resumed totals equal an uninterrupted run's.
+    let mut decided = SearchStats::default();
+    let (start_stage, start_next) = match resume {
+        Some(cp) => (cp.stage, cp.next),
+        None => (AuditStage::Sweep, 0),
     };
+    if let Some(cp) = resume {
+        report.unsatisfiable = cp.unsatisfiable.clone();
+        report.aborted_categories = cp.aborted.clone();
+        report.redundant_constraints = cp.redundant.clone();
+        report.structure_census = cp.census.clone();
+        report.safe_rewrites = cp.rewrites.clone();
+        report.stats = cp.stats.clone();
+        decided = cp.stats.clone();
+    }
 
-    let sweep = solver.unsatisfiable_categories_governed(gov);
-    report.unsatisfiable = sweep.unsat;
-    report.undecided_categories = sweep.undecided;
-    if let Some(i) = sweep.interrupted {
-        report.interrupted = Some(i);
-        return report;
+    if start_stage == AuditStage::Sweep {
+        let sweep = match resume.and_then(|cp| cp.sweep.as_ref()) {
+            Some(scp) => solver.resume_sweep_governed(scp, gov)?,
+            None => solver.unsatisfiable_categories_governed(gov),
+        };
+        report.unsatisfiable = sweep.unsat.clone();
+        report.undecided_categories = sweep.undecided.clone();
+        report.aborted_categories = sweep.aborted.clone();
+        report.stats.absorb(&sweep.stats);
+        decided.absorb(&sweep.stats);
+        if let Some(i) = sweep.interrupted {
+            report.interrupted = Some(i);
+            // The sweep's partial counters live inside its own embedded
+            // cursor; the audit-level stats record starts empty so resume
+            // does not double-count them.
+            report.checkpoint = Some(AuditCheckpoint {
+                fingerprint: fp,
+                stage: AuditStage::Sweep,
+                next: 0,
+                stats: SearchStats::default(),
+                unsatisfiable: Vec::new(),
+                aborted: Vec::new(),
+                redundant: Vec::new(),
+                census: Vec::new(),
+                rewrites: Vec::new(),
+                sweep: solver.sweep_checkpoint(&sweep),
+            });
+            return Ok(report);
+        }
     }
 
     // A constraint σ is redundant iff (G, Σ \ {σ}) ⊨ σ.
-    for (i, dc) in ds.constraints().iter().enumerate() {
-        let mut rest: Vec<DimensionConstraint> = ds.constraints().to_vec();
-        rest.remove(i);
-        let reduced = DimensionSchema::new(ds.hierarchy_arc(), rest);
-        let out = implication::implies_governed(&reduced, dc, DimsatOptions::default(), gov);
-        if let Some(intr) = out.interrupt() {
-            report.interrupted = Some(intr);
-            return report;
-        }
-        if out.implied() {
-            report.redundant_constraints.push(i);
+    if start_stage <= AuditStage::Redundancy {
+        let first = if start_stage == AuditStage::Redundancy {
+            start_next
+        } else {
+            0
+        };
+        for (i, dc) in ds.constraints().iter().enumerate().skip(first) {
+            let mut rest: Vec<DimensionConstraint> = ds.constraints().to_vec();
+            rest.remove(i);
+            let reduced = DimensionSchema::new(ds.hierarchy_arc(), rest);
+            let out = implication::implies_governed(&reduced, dc, DimsatOptions::default(), gov);
+            report.stats.absorb(&out.stats);
+            if let Some(intr) = out.interrupt() {
+                report.interrupted = Some(intr);
+                report.checkpoint = Some(AuditCheckpoint {
+                    fingerprint: fp,
+                    stage: AuditStage::Redundancy,
+                    next: i,
+                    stats: decided,
+                    unsatisfiable: report.unsatisfiable.clone(),
+                    aborted: report.aborted_categories.clone(),
+                    redundant: report.redundant_constraints.clone(),
+                    census: Vec::new(),
+                    rewrites: Vec::new(),
+                    sweep: None,
+                });
+                return Ok(report);
+            }
+            decided.absorb(&out.stats);
+            if out.implied() {
+                report.redundant_constraints.push(i);
+            }
         }
     }
 
-    for c in g.bottom_categories().into_iter().filter(|c| !c.is_all()) {
-        let (frozen, out) = solver.enumerate_frozen_governed(c, gov);
-        if let Some(intr) = out.interrupted {
-            report.interrupted = Some(intr);
-            return report;
+    if start_stage <= AuditStage::Census {
+        let first = if start_stage == AuditStage::Census {
+            start_next
+        } else {
+            0
+        };
+        let bottoms: Vec<Category> = g
+            .bottom_categories()
+            .into_iter()
+            .filter(|c| !c.is_all())
+            .collect();
+        for (i, &c) in bottoms.iter().enumerate().skip(first) {
+            let (frozen, out) = solver.enumerate_frozen_governed(c, gov);
+            report.stats.absorb(&out.stats);
+            if let Some(intr) = out.interrupted {
+                report.interrupted = Some(intr);
+                report.checkpoint = Some(AuditCheckpoint {
+                    fingerprint: fp,
+                    stage: AuditStage::Census,
+                    next: i,
+                    stats: decided,
+                    unsatisfiable: report.unsatisfiable.clone(),
+                    aborted: report.aborted_categories.clone(),
+                    redundant: report.redundant_constraints.clone(),
+                    census: report.structure_census.clone(),
+                    rewrites: Vec::new(),
+                    sweep: None,
+                });
+                return Ok(report);
+            }
+            decided.absorb(&out.stats);
+            report.structure_census.push((c, frozen.len()));
         }
-        report.structure_census.push((c, frozen.len()));
     }
 
     // Safe single-view rewrites: coarse ← {fine} for fine ≠ coarse where
     // fine reaches coarse.
-    for fine in g.categories() {
-        for coarse in g.categories() {
-            if fine == coarse || !g.reaches(fine, coarse) || fine.is_all() {
-                continue;
-            }
-            let out =
-                is_summarizable_in_schema_governed(ds, coarse, &[fine], DimsatOptions::default(), gov);
-            if let Some(intr) = out.interrupt() {
-                report.interrupted = Some(intr);
-                return report;
-            }
-            if out.summarizable() {
-                report.safe_rewrites.push((coarse, fine));
-            }
+    let first = if start_stage == AuditStage::Rewrites {
+        start_next
+    } else {
+        0
+    };
+    let pairs = rewrite_pairs(g);
+    for (i, &(coarse, fine)) in pairs.iter().enumerate().skip(first) {
+        let out =
+            is_summarizable_in_schema_governed(ds, coarse, &[fine], DimsatOptions::default(), gov);
+        report.stats.absorb(&out.stats);
+        if let Some(intr) = out.interrupt() {
+            report.interrupted = Some(intr);
+            report.checkpoint = Some(AuditCheckpoint {
+                fingerprint: fp,
+                stage: AuditStage::Rewrites,
+                next: i,
+                stats: decided,
+                unsatisfiable: report.unsatisfiable.clone(),
+                aborted: report.aborted_categories.clone(),
+                redundant: report.redundant_constraints.clone(),
+                census: report.structure_census.clone(),
+                rewrites: report.safe_rewrites.clone(),
+                sweep: None,
+            });
+            return Ok(report);
+        }
+        decided.absorb(&out.stats);
+        if out.summarizable() {
+            report.safe_rewrites.push((coarse, fine));
         }
     }
 
-    report
+    Ok(report)
 }
 
 /// Runs the `f(i, gov)` work items `0..n` striped across `jobs` worker
 /// threads, each worker drawing from the shared budget. Returns the
 /// completed results sorted by index plus the lowest-indexed interrupt
-/// (if any worker hit one). Results proved past an interrupt index by
-/// other workers are kept — they are sound, the report just notes it is
-/// partial.
+/// (if any worker hit one), with the index it struck at. Results proved
+/// past an interrupt index by other workers are kept — they are sound,
+/// the report just notes it is partial.
 /// One worker's contribution to a striped stage: the results it proved
 /// plus the index where it stopped, if the budget interrupted it.
 type StripeResult<T> = (Vec<(usize, T)>, Option<(usize, Interrupt)>);
@@ -198,49 +379,48 @@ fn run_striped<T: Send>(
     n: usize,
     battery: &'static str,
     f: impl Fn(usize, &mut Governor) -> Result<T, Interrupt> + Sync,
-) -> (Vec<(usize, T)>, Option<Interrupt>) {
+) -> StripeResult<T> {
     let jobs = jobs.max(1).min(n.max(1));
-    let per_worker: Vec<StripeResult<T>> =
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..jobs)
-                .map(|w| {
-                    let mut gov = shared.worker();
-                    let f = &f;
-                    scope.spawn(move || {
-                        let mut done = Vec::new();
-                        let mut intr = None;
-                        let mut i = w;
-                        while i < n {
-                            match f(i, &mut gov) {
-                                Ok(t) => done.push((i, t)),
-                                Err(e) => {
-                                    intr = Some((i, e));
-                                    break;
-                                }
+    let per_worker: Vec<StripeResult<T>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|w| {
+                let mut gov = shared.worker();
+                let f = &f;
+                scope.spawn(move || {
+                    let mut done = Vec::new();
+                    let mut intr = None;
+                    let mut i = w;
+                    while i < n {
+                        match f(i, &mut gov) {
+                            Ok(t) => done.push((i, t)),
+                            Err(e) => {
+                                intr = Some((i, e));
+                                break;
                             }
-                            i += jobs;
                         }
-                        gov.obs().worker_finished(&WorkerStats {
-                            battery,
-                            worker: gov.worker_id().unwrap_or(w as u64),
-                            nodes: gov.nodes(),
-                            checks: gov.checks(),
-                            items: done.len() as u64,
-                        });
-                        (done, intr)
-                    })
+                        i += jobs;
+                    }
+                    gov.obs().worker_finished(&WorkerStats {
+                        battery,
+                        worker: gov.worker_id().unwrap_or(w as u64),
+                        nodes: gov.nodes(),
+                        checks: gov.checks(),
+                        items: done.len() as u64,
+                    });
+                    (done, intr)
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| match h.join() {
-                    Ok(slice) => slice,
-                    // A worker panic is a bug, not a verdict: re-raise it
-                    // instead of reporting the stripe as cleanly empty.
-                    Err(panic) => std::panic::resume_unwind(panic),
-                })
-                .collect()
-        });
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(slice) => slice,
+                // A worker panic is a bug, not a verdict: re-raise it
+                // instead of reporting the stripe as cleanly empty.
+                Err(panic) => std::panic::resume_unwind(panic),
+            })
+            .collect()
+    });
     let mut done: Vec<(usize, T)> = Vec::new();
     let mut first: Option<(usize, Interrupt)> = None;
     for (d, intr) in per_worker {
@@ -256,7 +436,7 @@ fn run_striped<T: Send>(
         }
     }
     done.sort_by_key(|&(i, _)| i);
-    (done, first.map(|(_, e)| e))
+    (done, first)
 }
 
 /// [`audit_governed`] fanned out over `jobs` worker threads. All four
@@ -265,7 +445,7 @@ fn run_striped<T: Send>(
 /// summarizability stage shares one implication memo-cache so repeated
 /// sub-queries are answered once. Findings are reported in the same
 /// order as the serial audit, and an interrupt yields the same
-/// explicitly-partial report.
+/// explicitly-partial report plus a resume checkpoint.
 pub fn audit_parallel(
     ds: &DimensionSchema,
     budget: Budget,
@@ -286,99 +466,280 @@ pub fn audit_parallel_observed(
     jobs: usize,
     obs: Obs,
 ) -> SchemaReport {
+    audit_parallel_from(ds, budget, cancel, jobs, obs, None).unwrap_or_else(|_| blank_report())
+}
+
+/// [`audit_resume`] fanned out over `jobs` worker threads: the remaining
+/// items of the interrupted stage (and all later stages) are striped
+/// across workers. A sweep-stage checkpoint finishes the sweep on one
+/// worker governor (its cursor is inherently serial), then fans out the
+/// remaining stages.
+pub fn audit_resume_parallel(
+    ds: &DimensionSchema,
+    cp: &AuditCheckpoint,
+    budget: Budget,
+    cancel: &CancelToken,
+    jobs: usize,
+    obs: Obs,
+) -> Result<SchemaReport, CheckpointError> {
+    let fp = implication::schema_fingerprint(ds);
+    if cp.fingerprint != fp {
+        return Err(CheckpointError::FingerprintMismatch {
+            found: cp.fingerprint,
+            expected: fp,
+        });
+    }
+    audit_parallel_from(ds, budget, cancel, jobs, obs, Some(cp))
+}
+
+fn audit_parallel_from(
+    ds: &DimensionSchema,
+    budget: Budget,
+    cancel: &CancelToken,
+    jobs: usize,
+    obs: Obs,
+    resume: Option<&AuditCheckpoint>,
+) -> Result<SchemaReport, CheckpointError> {
     if jobs <= 1 {
         let mut gov = Governor::new(budget, cancel.clone()).with_observer(obs);
-        return audit_governed(ds, &mut gov);
+        return audit_governed_from(ds, &mut gov, resume);
     }
     let g = ds.hierarchy();
+    let fp = implication::schema_fingerprint(ds);
     let solver = Dimsat::new(ds).with_observer(obs.clone());
     let shared = SharedGovernor::new(budget, cancel.clone()).with_observer(obs);
-    let mut report = SchemaReport {
-        unsatisfiable: Vec::new(),
-        redundant_constraints: Vec::new(),
-        structure_census: Vec::new(),
-        safe_rewrites: Vec::new(),
-        undecided_categories: Vec::new(),
-        interrupted: None,
+    let mut report = blank_report();
+    let mut decided = SearchStats::default();
+    let (start_stage, start_next) = match resume {
+        Some(cp) => (cp.stage, cp.next),
+        None => (AuditStage::Sweep, 0),
     };
+    if let Some(cp) = resume {
+        report.unsatisfiable = cp.unsatisfiable.clone();
+        report.aborted_categories = cp.aborted.clone();
+        report.redundant_constraints = cp.redundant.clone();
+        report.structure_census = cp.census.clone();
+        report.safe_rewrites = cp.rewrites.clone();
+        report.stats = cp.stats.clone();
+        decided = cp.stats.clone();
+    }
 
-    let sweep = solver.unsatisfiable_categories_sharded(&shared, jobs);
-    report.unsatisfiable = sweep.unsat;
-    report.undecided_categories = sweep.undecided;
-    if let Some(i) = sweep.interrupted {
-        report.interrupted = Some(i);
-        return report;
+    if start_stage == AuditStage::Sweep {
+        let sweep = match resume.and_then(|cp| cp.sweep.as_ref()) {
+            Some(scp) => {
+                let mut gov = shared.worker();
+                solver.resume_sweep_governed(scp, &mut gov)?
+            }
+            None => solver.unsatisfiable_categories_sharded(&shared, jobs),
+        };
+        report.unsatisfiable = sweep.unsat.clone();
+        report.undecided_categories = sweep.undecided.clone();
+        report.aborted_categories = sweep.aborted.clone();
+        report.stats.absorb(&sweep.stats);
+        decided.absorb(&sweep.stats);
+        if let Some(i) = sweep.interrupted {
+            report.interrupted = Some(i);
+            report.checkpoint = Some(AuditCheckpoint {
+                fingerprint: fp,
+                stage: AuditStage::Sweep,
+                next: 0,
+                stats: SearchStats::default(),
+                unsatisfiable: Vec::new(),
+                aborted: Vec::new(),
+                redundant: Vec::new(),
+                census: Vec::new(),
+                rewrites: Vec::new(),
+                sweep: solver.sweep_checkpoint(&sweep),
+            });
+            return Ok(report);
+        }
     }
 
     // A constraint σ is redundant iff (G, Σ \ {σ}) ⊨ σ.
-    let (redundant, intr) = run_striped(&shared, jobs, ds.constraints().len(), "redundancy", |i, gov| {
-        let dc = &ds.constraints()[i];
-        let mut rest: Vec<DimensionConstraint> = ds.constraints().to_vec();
-        rest.remove(i);
-        let reduced = DimensionSchema::new(ds.hierarchy_arc(), rest);
-        let out = implication::implies_governed(&reduced, dc, DimsatOptions::default(), gov);
-        match out.interrupt() {
-            Some(e) => Err(e),
-            None => Ok(out.implied()),
+    if start_stage <= AuditStage::Redundancy {
+        let first = if start_stage == AuditStage::Redundancy {
+            start_next
+        } else {
+            0
+        };
+        let n = ds.constraints().len();
+        let (res, intr) = run_striped(
+            &shared,
+            jobs,
+            n.saturating_sub(first),
+            "redundancy",
+            |k, gov| {
+                let i = first + k;
+                let dc = &ds.constraints()[i];
+                let mut rest: Vec<DimensionConstraint> = ds.constraints().to_vec();
+                rest.remove(i);
+                let reduced = DimensionSchema::new(ds.hierarchy_arc(), rest);
+                let out =
+                    implication::implies_governed(&reduced, dc, DimsatOptions::default(), gov);
+                match out.interrupt() {
+                    Some(e) => Err(e),
+                    None => Ok((out.implied(), out.stats.clone())),
+                }
+            },
+        );
+        let next = intr.as_ref().map(|&(k, _)| first + k);
+        for &(k, (implied, ref stats)) in &res {
+            report.stats.absorb(stats);
+            if next.is_none_or(|nx| first + k < nx) {
+                decided.absorb(stats);
+            }
+            if implied {
+                report.redundant_constraints.push(first + k);
+            }
         }
-    });
-    report.redundant_constraints = redundant
-        .into_iter()
-        .filter(|&(_, r)| r)
-        .map(|(i, _)| i)
-        .collect();
-    if let Some(e) = intr {
-        report.interrupted = Some(e);
-        return report;
+        if let Some((k, e)) = intr {
+            report.interrupted = Some(e);
+            report.checkpoint = Some(AuditCheckpoint {
+                fingerprint: fp,
+                stage: AuditStage::Redundancy,
+                next: first + k,
+                stats: decided,
+                unsatisfiable: report.unsatisfiable.clone(),
+                aborted: report.aborted_categories.clone(),
+                // The checkpoint keeps the decided *prefix* only —
+                // results other workers proved beyond the interrupt index
+                // re-run on resume, keeping merged totals identical to a
+                // clean run.
+                redundant: report
+                    .redundant_constraints
+                    .iter()
+                    .copied()
+                    .filter(|&i| i < first + k)
+                    .collect(),
+                census: Vec::new(),
+                rewrites: Vec::new(),
+                sweep: None,
+            });
+            return Ok(report);
+        }
     }
 
-    let bottoms: Vec<Category> = g
-        .bottom_categories()
-        .into_iter()
-        .filter(|c| !c.is_all())
-        .collect();
-    let (census, intr) = run_striped(&shared, jobs, bottoms.len(), "structure_census", |i, gov| {
-        let (frozen, out) = solver.enumerate_frozen_governed(bottoms[i], gov);
-        match out.interrupted {
-            Some(e) => Err(e),
-            None => Ok(frozen.len()),
+    if start_stage <= AuditStage::Census {
+        let first = if start_stage == AuditStage::Census {
+            start_next
+        } else {
+            0
+        };
+        let bottoms: Vec<Category> = g
+            .bottom_categories()
+            .into_iter()
+            .filter(|c| !c.is_all())
+            .collect();
+        let (res, intr) = run_striped(
+            &shared,
+            jobs,
+            bottoms.len().saturating_sub(first),
+            "structure_census",
+            |k, gov| {
+                let (frozen, out) = solver.enumerate_frozen_governed(bottoms[first + k], gov);
+                match out.interrupted {
+                    Some(e) => Err(e),
+                    None => Ok((frozen.len(), out.stats.clone())),
+                }
+            },
+        );
+        let next = intr.as_ref().map(|&(k, _)| first + k);
+        for &(k, (n_structs, ref stats)) in &res {
+            report.stats.absorb(stats);
+            if next.is_none_or(|nx| first + k < nx) {
+                decided.absorb(stats);
+            }
+            report.structure_census.push((bottoms[first + k], n_structs));
         }
-    });
-    report.structure_census = census.into_iter().map(|(i, n)| (bottoms[i], n)).collect();
-    if let Some(e) = intr {
-        report.interrupted = Some(e);
-        return report;
+        if let Some((k, e)) = intr {
+            report.interrupted = Some(e);
+            let cut = first + k;
+            report.checkpoint = Some(AuditCheckpoint {
+                fingerprint: fp,
+                stage: AuditStage::Census,
+                next: cut,
+                stats: decided,
+                unsatisfiable: report.unsatisfiable.clone(),
+                aborted: report.aborted_categories.clone(),
+                redundant: report.redundant_constraints.clone(),
+                census: report
+                    .structure_census
+                    .iter()
+                    .filter(|&&(c, _)| {
+                        bottoms.iter().position(|&b| b == c).is_some_and(|i| i < cut)
+                    })
+                    .copied()
+                    .collect(),
+                rewrites: Vec::new(),
+                sweep: None,
+            });
+            return Ok(report);
+        }
     }
 
     // Safe single-view rewrites, sharing one memo-cache across workers.
-    let mut pairs: Vec<(Category, Category)> = Vec::new();
-    for fine in g.categories() {
-        for coarse in g.categories() {
-            if fine == coarse || !g.reaches(fine, coarse) || fine.is_all() {
-                continue;
-            }
-            pairs.push((coarse, fine));
-        }
-    }
+    let first = if start_stage == AuditStage::Rewrites {
+        start_next
+    } else {
+        0
+    };
+    let pairs = rewrite_pairs(g);
     let cache = ImplicationCache::for_schema(ds);
-    let (safe, intr) = run_striped(&shared, jobs, pairs.len(), "summarizability_matrix", |i, gov| {
-        let (coarse, fine) = pairs[i];
-        let out =
-            is_summarizable_in_schema_memo(ds, coarse, &[fine], DimsatOptions::default(), gov, &cache);
-        match out.interrupt() {
-            Some(e) => Err(e),
-            None => Ok(out.summarizable()),
+    let (res, intr) = run_striped(
+        &shared,
+        jobs,
+        pairs.len().saturating_sub(first),
+        "summarizability_matrix",
+        |k, gov| {
+            let (coarse, fine) = pairs[first + k];
+            let out = is_summarizable_in_schema_memo(
+                ds,
+                coarse,
+                &[fine],
+                DimsatOptions::default(),
+                gov,
+                &cache,
+            );
+            match out.interrupt() {
+                Some(e) => Err(e),
+                None => Ok((out.summarizable(), out.stats.clone())),
+            }
+        },
+    );
+    let next = intr.as_ref().map(|&(k, _)| first + k);
+    for &(k, (safe, ref stats)) in &res {
+        report.stats.absorb(stats);
+        if next.is_none_or(|nx| first + k < nx) {
+            decided.absorb(stats);
         }
-    });
-    report.safe_rewrites = safe
-        .into_iter()
-        .filter(|&(_, s)| s)
-        .map(|(i, _)| pairs[i])
-        .collect();
-    if let Some(e) = intr {
-        report.interrupted = Some(e);
+        if safe {
+            report.safe_rewrites.push(pairs[first + k]);
+        }
     }
-    report
+    if let Some((k, e)) = intr {
+        report.interrupted = Some(e);
+        let cut = first + k;
+        report.checkpoint = Some(AuditCheckpoint {
+            fingerprint: fp,
+            stage: AuditStage::Rewrites,
+            next: cut,
+            stats: decided,
+            unsatisfiable: report.unsatisfiable.clone(),
+            aborted: report.aborted_categories.clone(),
+            redundant: report.redundant_constraints.clone(),
+            census: report.structure_census.clone(),
+            rewrites: report
+                .safe_rewrites
+                .iter()
+                .filter(|&&(coarse, fine)| {
+                    pairs.iter().position(|&p| p == (coarse, fine)).is_some_and(|i| i < cut)
+                })
+                .copied()
+                .collect(),
+            sweep: None,
+        });
+    }
+    Ok(report)
 }
 
 /// Suggests a minimal constraint tightening: for each bottom category and
@@ -468,6 +829,8 @@ mod tests {
         let city = g.category_by_name("City").unwrap();
         let country = g.category_by_name("Country").unwrap();
         assert!(report.safe_rewrites.contains(&(country, city)));
+        assert!(report.stats.expand_calls > 0, "audit stats accumulate");
+        assert!(report.checkpoint.is_none());
         let rendered = report.render(&ds);
         assert!(rendered.contains("mixes 4 structure(s)"));
     }
@@ -583,5 +946,115 @@ mod tests {
             after.stats.expand_calls <= before.stats.expand_calls,
             "more into constraints, no more work"
         );
+    }
+
+    /// Asserts every counter except `elapsed` matches.
+    fn assert_stats_match(a: &SearchStats, b: &SearchStats, ctx: &str) {
+        assert_eq!(a.expand_calls, b.expand_calls, "expand_calls {ctx}");
+        assert_eq!(a.check_calls, b.check_calls, "check_calls {ctx}");
+        assert_eq!(
+            a.assignments_tested, b.assignments_tested,
+            "assignments_tested {ctx}"
+        );
+        assert_eq!(a.frozen_found, b.frozen_found, "frozen_found {ctx}");
+        assert_eq!(a.struct_clones, b.struct_clones, "struct_clones {ctx}");
+    }
+
+    #[test]
+    fn audit_resume_merges_to_uninterrupted_report() {
+        use crate::checkpoint::load_audit_checkpoint;
+        use odc_govern::{Budget, CancelToken};
+        let ds = location_sch();
+        let clean = audit(&ds);
+        let mut stages_seen = std::collections::BTreeSet::new();
+        // Dense at the low end (the sweep and census stages are cheap and
+        // only interrupt under tiny budgets), sparse across the long
+        // rewrite matrix.
+        for limit in (1..400u64).chain((400..30_000).step_by(137)) {
+            let mut gov = Governor::new(
+                Budget::unlimited().with_node_limit(limit),
+                CancelToken::new(),
+            );
+            let partial = audit_governed(&ds, &mut gov);
+            let Some(cp) = partial.checkpoint else {
+                assert!(partial.interrupted.is_none());
+                continue;
+            };
+            stages_seen.insert(format!("{:?}", cp.stage));
+            // Through the text form, like a real restart would.
+            let cp = load_audit_checkpoint(&ds, &cp.to_text()).expect("roundtrip");
+            let mut gov = Governor::unlimited();
+            let merged = audit_resume(&ds, &cp, &mut gov).expect("same schema resumes");
+            assert!(merged.interrupted.is_none(), "limit={limit}");
+            assert_eq!(merged.unsatisfiable, clean.unsatisfiable, "limit={limit}");
+            assert_eq!(
+                merged.redundant_constraints, clean.redundant_constraints,
+                "limit={limit}"
+            );
+            assert_eq!(
+                merged.structure_census, clean.structure_census,
+                "limit={limit}"
+            );
+            assert_eq!(merged.safe_rewrites, clean.safe_rewrites, "limit={limit}");
+            assert_stats_match(&merged.stats, &clean.stats, &format!("limit={limit}"));
+        }
+        assert!(
+            stages_seen.len() >= 3,
+            "budget walk should interrupt several distinct stages, saw {stages_seen:?}"
+        );
+    }
+
+    #[test]
+    fn parallel_audit_resume_matches_clean_verdicts() {
+        use odc_govern::{Budget, CancelToken};
+        let ds = location_sch();
+        let clean = audit(&ds);
+        let mut resumed_any = false;
+        for limit in (100..20_000u64).step_by(700) {
+            let partial = audit_parallel(
+                &ds,
+                Budget::unlimited().with_node_limit(limit),
+                &CancelToken::new(),
+                4,
+            );
+            let Some(cp) = partial.checkpoint else {
+                continue;
+            };
+            let merged = audit_resume_parallel(
+                &ds,
+                &cp,
+                Budget::unlimited(),
+                &CancelToken::new(),
+                4,
+                Obs::none(),
+            )
+            .expect("same schema resumes");
+            assert!(merged.interrupted.is_none(), "limit={limit}");
+            assert_eq!(merged.unsatisfiable, clean.unsatisfiable);
+            assert_eq!(merged.redundant_constraints, clean.redundant_constraints);
+            assert_eq!(merged.structure_census, clean.structure_census);
+            assert_eq!(merged.safe_rewrites, clean.safe_rewrites);
+            resumed_any = true;
+        }
+        assert!(resumed_any, "no budget produced a resumable parallel audit");
+    }
+
+    #[test]
+    fn audit_resume_refuses_other_schema() {
+        use odc_govern::{Budget, CancelToken};
+        let ds = location_sch();
+        let mut gov = Governor::new(
+            Budget::unlimited().with_node_limit(50),
+            CancelToken::new(),
+        );
+        let partial = audit_governed(&ds, &mut gov);
+        let cp = partial.checkpoint.expect("tiny budget interrupts");
+        let g = ds.hierarchy();
+        let ds2 = ds.with_constraint(parse_constraint(g, "!SaleRegion_Country").unwrap());
+        let mut gov = Governor::unlimited();
+        assert!(matches!(
+            audit_resume(&ds2, &cp, &mut gov),
+            Err(CheckpointError::FingerprintMismatch { .. })
+        ));
     }
 }

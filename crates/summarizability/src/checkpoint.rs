@@ -1,0 +1,472 @@
+//! Serializable cursors for interrupted Theorem-1 batteries and advisor
+//! audits.
+//!
+//! These are the batch-level counterparts of `odc-dimsat`'s
+//! [`SolveCheckpoint`]/[`SweepCheckpoint`]: where the solver checkpoints
+//! are *frame*-granular (they record the DIMSAT decision stack), the
+//! battery and audit checkpoints are *item*-granular — they record which
+//! constraints / audit items were already decided, and resume re-runs the
+//! first undecided item from scratch. The implication queries behind a
+//! battery run against a *derived* schema (`Σ ∪ {¬σ}` over the query
+//! constraint's reduction), whose fingerprint differs from the user
+//! schema's, so embedding a solve cursor inside a battery checkpoint
+//! would never validate; item granularity is the honest unit.
+//!
+//! Both ride inside the versioned, schema-fingerprinted
+//! [`CheckpointEnvelope`]; the stats they carry cover *decided items
+//! only*, so an interrupted-plus-resumed run's totals equal an
+//! uninterrupted run's (the wall-clock `elapsed` field excepted).
+//!
+//! [`SolveCheckpoint`]: odc_dimsat::SolveCheckpoint
+//! [`SweepCheckpoint`]: odc_dimsat::SweepCheckpoint
+
+use odc_dimsat::checkpoint::{
+    decode_stats, encode_stats, parse_category, parse_reason, parse_u64, reason_token, split_key,
+    SWEEP_KIND,
+};
+use odc_constraint::DimensionSchema;
+use odc_dimsat::{implication, SearchStats, SweepCheckpoint};
+use odc_govern::{CheckpointEnvelope, CheckpointError, InterruptReason};
+use odc_hierarchy::Category;
+
+/// Parses a [`BATTERY_KIND`] checkpoint from its text form, validating
+/// the envelope version, kind, and `ds`'s schema fingerprint.
+pub fn load_battery_checkpoint(
+    ds: &DimensionSchema,
+    text: &str,
+) -> Result<BatteryCheckpoint, CheckpointError> {
+    let env = CheckpointEnvelope::parse(text)?;
+    let payload = env.expect(BATTERY_KIND, implication::schema_fingerprint(ds))?;
+    BatteryCheckpoint::decode(payload, env.fingerprint, ds.hierarchy().num_categories())
+}
+
+/// Parses an [`AUDIT_KIND`] checkpoint from its text form, validating
+/// the envelope version, kind, and `ds`'s schema fingerprint.
+pub fn load_audit_checkpoint(
+    ds: &DimensionSchema,
+    text: &str,
+) -> Result<AuditCheckpoint, CheckpointError> {
+    let env = CheckpointEnvelope::parse(text)?;
+    let payload = env.expect(AUDIT_KIND, implication::schema_fingerprint(ds))?;
+    AuditCheckpoint::decode(payload, env.fingerprint, ds.hierarchy().num_categories())
+}
+
+/// Envelope kind of an interrupted Theorem-1 summarizability battery.
+pub const BATTERY_KIND: &str = "theorem1-battery";
+
+/// Envelope kind of an interrupted advisor audit.
+pub const AUDIT_KIND: &str = "advisor-audit";
+
+/// The resumable state of an interrupted Theorem-1 battery: which
+/// bottom-category constraints were already proved implied, and the
+/// counters they cost.
+#[derive(Debug, Clone)]
+pub struct BatteryCheckpoint {
+    /// Fingerprint of the (user) schema the battery ran against.
+    pub fingerprint: u64,
+    /// [`odc_dimsat::checkpoint::options_key`] of the DIMSAT options.
+    pub options_key: String,
+    /// The summarizability target `c`.
+    pub target: Category,
+    /// The source set `S`.
+    pub sources: Vec<Category>,
+    /// Index of the first Theorem-1 constraint (in bottom-category order)
+    /// not yet decided. Resume re-runs the battery from here.
+    pub next: usize,
+    /// Stats of the decided constraints only — the interrupted query's
+    /// partial counters are excluded, since resume re-runs it in full.
+    pub stats: SearchStats,
+}
+
+impl BatteryCheckpoint {
+    /// Serializes into a [`BATTERY_KIND`] envelope.
+    pub fn to_envelope(&self) -> CheckpointEnvelope {
+        let mut env = CheckpointEnvelope::new(BATTERY_KIND, self.fingerprint);
+        env.line(format!("target {}", self.target.index()));
+        let mut line = String::from("sources");
+        for c in &self.sources {
+            line.push_str(&format!(" {}", c.index()));
+        }
+        env.line(line);
+        env.line(format!("options {}", self.options_key));
+        env.line(format!("next {}", self.next));
+        env.line(encode_stats(&self.stats));
+        env
+    }
+
+    /// The checkpoint's text form.
+    pub fn to_text(&self) -> String {
+        self.to_envelope().to_text()
+    }
+
+    /// Parses a battery checkpoint from envelope payload lines.
+    pub fn decode(
+        payload: &[String],
+        fingerprint: u64,
+        universe: usize,
+    ) -> Result<Self, CheckpointError> {
+        let mut target = None;
+        let mut sources = None;
+        let mut options_key = None;
+        let mut next = None;
+        let mut stats = None;
+        for line in payload {
+            let (key, rest) = split_key(line);
+            match key {
+                "target" => target = Some(parse_category(rest, universe)?),
+                "sources" => {
+                    sources = Some(
+                        rest.split_whitespace()
+                            .map(|t| parse_category(t, universe))
+                            .collect::<Result<Vec<_>, _>>()?,
+                    )
+                }
+                "options" => options_key = Some(rest.to_string()),
+                "next" => next = Some(parse_u64(rest)? as usize),
+                "stats" => stats = Some(decode_stats(rest)?),
+                other => {
+                    return Err(CheckpointError::malformed(format!(
+                        "unknown battery-checkpoint field {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(BatteryCheckpoint {
+            fingerprint,
+            options_key: options_key
+                .ok_or_else(|| CheckpointError::malformed("missing options record"))?,
+            target: target.ok_or_else(|| CheckpointError::malformed("missing target record"))?,
+            sources: sources.ok_or_else(|| CheckpointError::malformed("missing sources record"))?,
+            next: next.ok_or_else(|| CheckpointError::malformed("missing next record"))?,
+            stats: stats.ok_or_else(|| CheckpointError::malformed("missing stats record"))?,
+        })
+    }
+}
+
+/// Which audit stage was interrupted. Stages run in declaration order
+/// (which `Ord` mirrors); a checkpoint's earlier-stage results are
+/// complete, its own stage is partial, and later stages are untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AuditStage {
+    /// The unsatisfiable-category sweep.
+    Sweep,
+    /// The per-constraint redundancy check.
+    Redundancy,
+    /// The per-bottom structure census.
+    Census,
+    /// The pairwise safe-rewrite (summarizability) matrix.
+    Rewrites,
+}
+
+/// Stable payload token for an [`AuditStage`].
+pub fn stage_token(s: AuditStage) -> &'static str {
+    match s {
+        AuditStage::Sweep => "sweep",
+        AuditStage::Redundancy => "redundancy",
+        AuditStage::Census => "census",
+        AuditStage::Rewrites => "rewrites",
+    }
+}
+
+/// Inverse of [`stage_token`].
+pub fn parse_stage(tok: &str) -> Result<AuditStage, CheckpointError> {
+    Ok(match tok {
+        "sweep" => AuditStage::Sweep,
+        "redundancy" => AuditStage::Redundancy,
+        "census" => AuditStage::Census,
+        "rewrites" => AuditStage::Rewrites,
+        other => {
+            return Err(CheckpointError::malformed(format!(
+                "unknown audit stage {other:?}"
+            )))
+        }
+    })
+}
+
+/// The resumable state of an interrupted advisor audit: completed-stage
+/// findings, the interrupted stage's decided prefix, and (for a sweep
+/// interrupt) the embedded sweep cursor.
+#[derive(Debug, Clone)]
+pub struct AuditCheckpoint {
+    /// Fingerprint of the schema the audit ran against.
+    pub fingerprint: u64,
+    /// The stage that was interrupted.
+    pub stage: AuditStage,
+    /// Index of the first undecided item *within* `stage` (0 for a sweep
+    /// interrupt — the sweep's own cursor lives in `sweep`).
+    pub next: usize,
+    /// Stats of decided work only: completed stages in full plus the
+    /// interrupted stage's items `< next`.
+    pub stats: SearchStats,
+    /// Sweep findings (complete when `stage > Sweep`).
+    pub unsatisfiable: Vec<Category>,
+    /// Categories whose solve aborted on a structural limit during the
+    /// sweep; carried forward verbatim, never re-tried.
+    pub aborted: Vec<(Category, InterruptReason)>,
+    /// Redundant-constraint indices decided so far.
+    pub redundant: Vec<usize>,
+    /// Structure-census entries decided so far.
+    pub census: Vec<(Category, usize)>,
+    /// Safe rewrites decided so far.
+    pub rewrites: Vec<(Category, Category)>,
+    /// The sweep's own cursor when `stage == Sweep`, embedded as a full
+    /// [`SWEEP_KIND`] envelope.
+    pub sweep: Option<SweepCheckpoint>,
+}
+
+impl AuditCheckpoint {
+    /// Serializes into an [`AUDIT_KIND`] envelope. The embedded sweep
+    /// cursor (if any) rides as `sweep `-prefixed lines holding its own
+    /// complete envelope.
+    pub fn to_envelope(&self) -> CheckpointEnvelope {
+        let mut env = CheckpointEnvelope::new(AUDIT_KIND, self.fingerprint);
+        env.line(format!("stage {}", stage_token(self.stage)));
+        env.line(format!("next {}", self.next));
+        env.line(encode_stats(&self.stats));
+        let mut line = String::from("unsat");
+        for c in &self.unsatisfiable {
+            line.push_str(&format!(" {}", c.index()));
+        }
+        env.line(line);
+        let mut line = String::from("aborted");
+        for (c, r) in &self.aborted {
+            line.push_str(&format!(" {}:{}", c.index(), reason_token(*r)));
+        }
+        env.line(line);
+        let mut line = String::from("redundant");
+        for i in &self.redundant {
+            line.push_str(&format!(" {i}"));
+        }
+        env.line(line);
+        let mut line = String::from("census");
+        for (c, n) in &self.census {
+            line.push_str(&format!(" {}:{}", c.index(), n));
+        }
+        env.line(line);
+        let mut line = String::from("rewrite");
+        for (coarse, fine) in &self.rewrites {
+            line.push_str(&format!(" {}:{}", coarse.index(), fine.index()));
+        }
+        env.line(line);
+        if let Some(sweep) = &self.sweep {
+            for l in sweep.to_text().lines() {
+                env.line(format!("sweep {l}"));
+            }
+        }
+        env
+    }
+
+    /// The checkpoint's text form.
+    pub fn to_text(&self) -> String {
+        self.to_envelope().to_text()
+    }
+
+    /// Parses an audit checkpoint from envelope payload lines.
+    pub fn decode(
+        payload: &[String],
+        fingerprint: u64,
+        universe: usize,
+    ) -> Result<Self, CheckpointError> {
+        let mut stage = None;
+        let mut next = None;
+        let mut stats = None;
+        let mut unsatisfiable = None;
+        let mut aborted = None;
+        let mut redundant = None;
+        let mut census = None;
+        let mut rewrites = None;
+        let mut sweep_lines: Vec<&str> = Vec::new();
+        for line in payload {
+            let (key, rest) = split_key(line);
+            match key {
+                "stage" => stage = Some(parse_stage(rest)?),
+                "next" => next = Some(parse_u64(rest)? as usize),
+                "stats" => stats = Some(decode_stats(rest)?),
+                "unsat" => {
+                    unsatisfiable = Some(
+                        rest.split_whitespace()
+                            .map(|t| parse_category(t, universe))
+                            .collect::<Result<Vec<_>, _>>()?,
+                    )
+                }
+                "aborted" => {
+                    aborted = Some(
+                        rest.split_whitespace()
+                            .map(|t| {
+                                let (c, r) = t.split_once(':').ok_or_else(|| {
+                                    CheckpointError::malformed(format!("bad aborted token {t:?}"))
+                                })?;
+                                Ok((parse_category(c, universe)?, parse_reason(r)?))
+                            })
+                            .collect::<Result<Vec<_>, CheckpointError>>()?,
+                    )
+                }
+                "redundant" => {
+                    redundant = Some(
+                        rest.split_whitespace()
+                            .map(|t| parse_u64(t).map(|i| i as usize))
+                            .collect::<Result<Vec<_>, _>>()?,
+                    )
+                }
+                "census" => {
+                    census = Some(
+                        rest.split_whitespace()
+                            .map(|t| {
+                                let (c, n) = t.split_once(':').ok_or_else(|| {
+                                    CheckpointError::malformed(format!("bad census token {t:?}"))
+                                })?;
+                                Ok((parse_category(c, universe)?, parse_u64(n)? as usize))
+                            })
+                            .collect::<Result<Vec<_>, CheckpointError>>()?,
+                    )
+                }
+                "rewrite" => {
+                    rewrites = Some(
+                        rest.split_whitespace()
+                            .map(|t| {
+                                let (a, b) = t.split_once(':').ok_or_else(|| {
+                                    CheckpointError::malformed(format!("bad rewrite token {t:?}"))
+                                })?;
+                                Ok((parse_category(a, universe)?, parse_category(b, universe)?))
+                            })
+                            .collect::<Result<Vec<_>, CheckpointError>>()?,
+                    )
+                }
+                "sweep" => sweep_lines.push(rest),
+                other => {
+                    return Err(CheckpointError::malformed(format!(
+                        "unknown audit-checkpoint field {other:?}"
+                    )))
+                }
+            }
+        }
+        let sweep = if sweep_lines.is_empty() {
+            None
+        } else {
+            let env = CheckpointEnvelope::parse(&sweep_lines.join("\n"))?;
+            let payload = env.expect(SWEEP_KIND, fingerprint)?;
+            Some(SweepCheckpoint::decode(payload, fingerprint, universe)?)
+        };
+        Ok(AuditCheckpoint {
+            fingerprint,
+            stage: stage.ok_or_else(|| CheckpointError::malformed("missing stage record"))?,
+            next: next.ok_or_else(|| CheckpointError::malformed("missing next record"))?,
+            stats: stats.ok_or_else(|| CheckpointError::malformed("missing stats record"))?,
+            unsatisfiable: unsatisfiable
+                .ok_or_else(|| CheckpointError::malformed("missing unsat record"))?,
+            aborted: aborted.ok_or_else(|| CheckpointError::malformed("missing aborted record"))?,
+            redundant: redundant
+                .ok_or_else(|| CheckpointError::malformed("missing redundant record"))?,
+            census: census.ok_or_else(|| CheckpointError::malformed("missing census record"))?,
+            rewrites: rewrites
+                .ok_or_else(|| CheckpointError::malformed("missing rewrite record"))?,
+            sweep,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odc_dimsat::checkpoint::options_key;
+    use odc_dimsat::DimsatOptions;
+
+    #[test]
+    fn battery_checkpoint_roundtrips() {
+        let cp = BatteryCheckpoint {
+            fingerprint: 42,
+            options_key: options_key(&DimsatOptions::default()),
+            target: Category::from_index(3),
+            sources: vec![Category::from_index(1), Category::from_index(2)],
+            next: 2,
+            stats: SearchStats {
+                expand_calls: 9,
+                ..Default::default()
+            },
+        };
+        let env = CheckpointEnvelope::parse(&cp.to_text()).unwrap();
+        let payload = env.expect(BATTERY_KIND, 42).unwrap();
+        let back = BatteryCheckpoint::decode(payload, env.fingerprint, 5).unwrap();
+        assert_eq!(back.target, cp.target);
+        assert_eq!(back.sources, cp.sources);
+        assert_eq!(back.next, 2);
+        assert_eq!(back.stats.expand_calls, 9);
+        assert_eq!(back.options_key, cp.options_key);
+    }
+
+    #[test]
+    fn audit_checkpoint_roundtrips_with_embedded_sweep() {
+        let sweep = SweepCheckpoint {
+            fingerprint: 7,
+            options_key: options_key(&DimsatOptions::default()),
+            sat: vec![Category::from_index(1)],
+            unsat: vec![],
+            aborted: vec![],
+            stats: SearchStats::default(),
+            inner: None,
+        };
+        let cp = AuditCheckpoint {
+            fingerprint: 7,
+            stage: AuditStage::Sweep,
+            next: 0,
+            stats: SearchStats::default(),
+            unsatisfiable: vec![],
+            aborted: vec![],
+            redundant: vec![],
+            census: vec![],
+            rewrites: vec![],
+            sweep: Some(sweep),
+        };
+        let env = CheckpointEnvelope::parse(&cp.to_text()).unwrap();
+        let payload = env.expect(AUDIT_KIND, 7).unwrap();
+        let back = AuditCheckpoint::decode(payload, env.fingerprint, 4).unwrap();
+        assert_eq!(back.stage, AuditStage::Sweep);
+        let sweep = back.sweep.expect("embedded sweep survives");
+        assert_eq!(sweep.sat, vec![Category::from_index(1)]);
+    }
+
+    #[test]
+    fn audit_checkpoint_roundtrips_mid_rewrites() {
+        let cp = AuditCheckpoint {
+            fingerprint: 11,
+            stage: AuditStage::Rewrites,
+            next: 5,
+            stats: SearchStats {
+                check_calls: 77,
+                ..Default::default()
+            },
+            unsatisfiable: vec![Category::from_index(2)],
+            aborted: vec![(Category::from_index(3), InterruptReason::FanoutOverflow)],
+            redundant: vec![0, 4],
+            census: vec![(Category::from_index(1), 4)],
+            rewrites: vec![(Category::from_index(2), Category::from_index(1))],
+            sweep: None,
+        };
+        let env = CheckpointEnvelope::parse(&cp.to_text()).unwrap();
+        let payload = env.expect(AUDIT_KIND, 11).unwrap();
+        let back = AuditCheckpoint::decode(payload, env.fingerprint, 6).unwrap();
+        assert_eq!(back.stage, AuditStage::Rewrites);
+        assert_eq!(back.next, 5);
+        assert_eq!(back.redundant, vec![0, 4]);
+        assert_eq!(back.census, vec![(Category::from_index(1), 4)]);
+        assert_eq!(
+            back.rewrites,
+            vec![(Category::from_index(2), Category::from_index(1))]
+        );
+        assert_eq!(back.aborted.len(), 1);
+        assert!(back.sweep.is_none());
+        assert_eq!(back.stats.check_calls, 77);
+    }
+
+    #[test]
+    fn alien_fields_are_rejected() {
+        assert!(matches!(
+            BatteryCheckpoint::decode(&["warp-core 9".into()], 0, 2),
+            Err(CheckpointError::Malformed(_))
+        ));
+        assert!(matches!(
+            AuditCheckpoint::decode(&["stage sideways".into()], 0, 2),
+            Err(CheckpointError::Malformed(_))
+        ));
+    }
+}

@@ -31,15 +31,17 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 pub mod advisor;
+pub mod checkpoint;
 pub mod infer;
 pub mod instance_check;
 pub mod navigator;
 pub mod theorem1;
 
+pub use checkpoint::{AuditCheckpoint, AuditStage, BatteryCheckpoint};
 pub use instance_check::is_summarizable_in_instance;
 pub use theorem1::{
     is_summarizable_in_schema, is_summarizable_in_schema_governed, is_summarizable_in_schema_memo,
     is_summarizable_in_schema_parallel, is_summarizable_in_schema_parallel_observed,
-    summarizability_constraints, SummarizabilityOutcome,
+    resume_summarizability, summarizability_constraints, SummarizabilityOutcome,
     SummarizabilityVerdict,
 };

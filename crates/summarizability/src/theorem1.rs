@@ -1,10 +1,12 @@
 //! The Theorem-1 constraint construction and the schema-level
 //! summarizability test.
 
+use crate::checkpoint::BatteryCheckpoint;
 use odc_constraint::{expand, Constraint, DimensionConstraint, DimensionSchema};
+use odc_dimsat::checkpoint::options_key;
 use odc_dimsat::{implication, DimsatOptions, ImplicationCache, ImplicationVerdict, SearchStats};
 use odc_frozen::FrozenDimension;
-use odc_govern::{Budget, CancelToken, Governor, Interrupt, SharedGovernor};
+use odc_govern::{Budget, CancelToken, CheckpointError, Governor, Interrupt, SharedGovernor};
 use odc_hierarchy::{Category, HierarchySchema};
 use odc_obs::{Obs, WorkerStats};
 
@@ -58,6 +60,11 @@ pub struct SummarizabilityOutcome {
     /// Accumulated DIMSAT statistics over all bottom-category queries
     /// (populated even on interrupted runs).
     pub stats: SearchStats,
+    /// On an interrupted battery: the constraint-granular cursor to
+    /// resume from ([`crate::resume_summarizability`]). Its stats cover
+    /// the *decided* constraints only, so an interrupted-plus-resumed
+    /// battery's totals match an uninterrupted one's.
+    pub checkpoint: Option<BatteryCheckpoint>,
 }
 
 impl SummarizabilityOutcome {
@@ -137,6 +144,43 @@ pub fn is_summarizable_in_schema_memo(
     battery_governed(ds, c, s, opts, gov, Some(cache))
 }
 
+/// Resumes an interrupted Theorem-1 battery from its checkpoint: the
+/// constraints before `cp.next` are taken as proved (their counters are
+/// seeded from the checkpoint), and the battery continues from the first
+/// undecided one. Refuses a checkpoint whose schema fingerprint or
+/// DIMSAT options differ from the ones supplied.
+pub fn resume_summarizability(
+    ds: &DimensionSchema,
+    cp: &BatteryCheckpoint,
+    opts: DimsatOptions,
+    gov: &mut Governor,
+) -> Result<SummarizabilityOutcome, CheckpointError> {
+    let fp = implication::schema_fingerprint(ds);
+    if cp.fingerprint != fp {
+        return Err(CheckpointError::FingerprintMismatch {
+            found: cp.fingerprint,
+            expected: fp,
+        });
+    }
+    let key = options_key(&opts);
+    if cp.options_key != key {
+        return Err(CheckpointError::malformed(format!(
+            "checkpoint was recorded under options [{}], resume requested [{}]",
+            cp.options_key, key
+        )));
+    }
+    Ok(battery_governed_from(
+        ds,
+        cp.target,
+        &cp.sources,
+        opts,
+        gov,
+        None,
+        cp.next,
+        cp.stats.clone(),
+    ))
+}
+
 fn battery_governed(
     ds: &DimensionSchema,
     c: Category,
@@ -145,28 +189,62 @@ fn battery_governed(
     gov: &mut Governor,
     cache: Option<&ImplicationCache>,
 ) -> SummarizabilityOutcome {
-    let mut stats = SearchStats::default();
-    for dc in summarizability_constraints(ds.hierarchy(), c, s) {
+    battery_governed_from(ds, c, s, opts, gov, cache, 0, SearchStats::default())
+}
+
+/// The battery body, parameterized over a resume point: constraints
+/// before `first` are assumed already proved (their stats arrive in
+/// `decided_stats`). The outcome's `stats` include the interrupted
+/// query's partial counters; the *checkpoint's* stats do not, since that
+/// query re-runs in full on resume.
+#[allow(clippy::too_many_arguments)]
+fn battery_governed_from(
+    ds: &DimensionSchema,
+    c: Category,
+    s: &[Category],
+    opts: DimsatOptions,
+    gov: &mut Governor,
+    cache: Option<&ImplicationCache>,
+    first: usize,
+    decided_stats: SearchStats,
+) -> SummarizabilityOutcome {
+    let mut stats = decided_stats.clone();
+    let mut decided_stats = decided_stats;
+    for (i, dc) in summarizability_constraints(ds.hierarchy(), c, s)
+        .into_iter()
+        .enumerate()
+        .skip(first)
+    {
         let root = dc.root();
         let out = match cache {
             Some(cache) => implication::implies_memo(ds, &dc, opts, gov, cache),
             None => implication::implies_governed(ds, &dc, opts, gov),
         };
         stats.absorb(&out.stats);
-        if let Some(i) = out.interrupt() {
+        if let Some(intr) = out.interrupt() {
             return SummarizabilityOutcome {
-                verdict: SummarizabilityVerdict::Unknown(i),
+                verdict: SummarizabilityVerdict::Unknown(intr),
                 failing_bottom: None,
                 counterexample: None,
                 stats,
+                checkpoint: Some(BatteryCheckpoint {
+                    fingerprint: implication::schema_fingerprint(ds),
+                    options_key: options_key(&opts),
+                    target: c,
+                    sources: s.to_vec(),
+                    next: i,
+                    stats: decided_stats,
+                }),
             };
         }
+        decided_stats.absorb(&out.stats);
         if !out.implied() {
             return SummarizabilityOutcome {
                 verdict: SummarizabilityVerdict::NotSummarizable,
                 failing_bottom: Some(root),
                 counterexample: out.counterexample,
                 stats,
+                checkpoint: None,
             };
         }
     }
@@ -175,12 +253,16 @@ fn battery_governed(
         failing_bottom: None,
         counterexample: None,
         stats,
+        checkpoint: None,
     }
 }
 
 /// Per-worker result of the parallel battery.
 struct WorkerReport {
     stats: SearchStats,
+    /// Per-constraint stats of the queries this worker *decided* (used to
+    /// rebuild the decided-prefix counters of a resume checkpoint).
+    per_item: Vec<(usize, SearchStats)>,
     /// Lowest-index failing constraint this worker proved, if any.
     failing: Option<(usize, Category, Option<FrozenDimension>)>,
     /// Lowest-index query this worker had to abandon, if any.
@@ -243,6 +325,7 @@ pub fn is_summarizable_in_schema_parallel_observed(
                 scope.spawn(move || {
                     let mut rep = WorkerReport {
                         stats: SearchStats::default(),
+                        per_item: Vec::new(),
                         failing: None,
                         unknown: None,
                     };
@@ -251,6 +334,9 @@ pub fn is_summarizable_in_schema_parallel_observed(
                         let out = implication::implies_governed(ds, dc, opts, &mut gov);
                         rep.stats.absorb(&out.stats);
                         items += 1;
+                        if out.interrupt().is_none() {
+                            rep.per_item.push((i, out.stats.clone()));
+                        }
                         match out.verdict {
                             ImplicationVerdict::Implied => {}
                             ImplicationVerdict::NotImplied => {
@@ -287,10 +373,12 @@ pub fn is_summarizable_in_schema_parallel_observed(
     });
 
     let mut stats = SearchStats::default();
+    let mut per_item: Vec<(usize, SearchStats)> = Vec::new();
     let mut failing: Option<(usize, Category, Option<FrozenDimension>)> = None;
     let mut unknown: Option<(usize, Interrupt)> = None;
     for rep in reports {
         stats.absorb(&rep.stats);
+        per_item.extend(rep.per_item);
         if let Some((i, root, cx)) = rep.failing {
             let replace = match &failing {
                 None => true,
@@ -316,14 +404,32 @@ pub fn is_summarizable_in_schema_parallel_observed(
             failing_bottom: Some(root),
             counterexample: cx,
             stats,
+            checkpoint: None,
         };
     }
-    if let Some((_, intr)) = unknown {
+    if let Some((next, intr)) = unknown {
+        // The checkpoint keeps only the decided *prefix* — constraints
+        // other workers proved beyond the interrupt index re-run on
+        // resume, so the merged totals stay identical to a clean run.
+        let mut decided = SearchStats::default();
+        for (i, s) in &per_item {
+            if *i < next {
+                decided.absorb(s);
+            }
+        }
         return SummarizabilityOutcome {
             verdict: SummarizabilityVerdict::Unknown(intr),
             failing_bottom: None,
             counterexample: None,
             stats,
+            checkpoint: Some(BatteryCheckpoint {
+                fingerprint: implication::schema_fingerprint(ds),
+                options_key: options_key(&opts),
+                target: c,
+                sources: s.to_vec(),
+                next,
+                stats: decided,
+            }),
         };
     }
     SummarizabilityOutcome {
@@ -331,6 +437,7 @@ pub fn is_summarizable_in_schema_parallel_observed(
         failing_bottom: None,
         counterexample: None,
         stats,
+        checkpoint: None,
     }
 }
 
@@ -560,5 +667,157 @@ mod tests {
         assert!(first.stats.cache_misses > 0 && first.stats.cache_hits == 0);
         assert!(second.stats.cache_hits > 0 && second.stats.cache_misses == 0);
         assert_eq!(second.stats.expand_calls, 0, "cached answer needs no search");
+    }
+
+    /// A schema with three bottom categories, so the Theorem-1 battery
+    /// has three independently-checkpointable implication queries.
+    fn tri_bottom_sch() -> DimensionSchema {
+        let mut b = HierarchySchema::builder();
+        let wa = b.category("WarehouseA");
+        let wb = b.category("WarehouseB");
+        let wc = b.category("WarehouseC");
+        let city = b.category("City");
+        let region = b.category("Region");
+        let country = b.category("Country");
+        b.edge(wa, city);
+        b.edge(wb, city);
+        b.edge(wc, city);
+        b.edge(wc, region);
+        b.edge(city, region);
+        b.edge(city, country);
+        b.edge(region, country);
+        b.edge(country, Category::ALL);
+        let g = Arc::new(b.build().unwrap());
+        DimensionSchema::parse(
+            g,
+            r#"
+            WarehouseA_City
+            WarehouseB_City
+            WarehouseC.City
+            City.Country = Chile -> City_Country
+            "#,
+        )
+        .unwrap()
+    }
+
+    fn assert_battery_stats_match(a: &SearchStats, b: &SearchStats, ctx: &str) {
+        assert_eq!(a.expand_calls, b.expand_calls, "expand_calls {ctx}");
+        assert_eq!(a.check_calls, b.check_calls, "check_calls {ctx}");
+        assert_eq!(
+            a.assignments_tested, b.assignments_tested,
+            "assignments_tested {ctx}"
+        );
+        assert_eq!(a.struct_clones, b.struct_clones, "struct_clones {ctx}");
+    }
+
+    #[test]
+    fn battery_resume_merges_to_uninterrupted_verdict() {
+        use crate::checkpoint::load_battery_checkpoint;
+        let ds = tri_bottom_sch();
+        let target = cat(&ds, "Country");
+        let sources = [cat(&ds, "City")];
+        let clean =
+            is_summarizable_in_schema(&ds, target, &sources);
+        assert_eq!(
+            summarizability_constraints(ds.hierarchy(), target, &sources).len(),
+            3,
+            "three bottoms, three battery items"
+        );
+        let mut mid_battery = false;
+        for limit in 1..3000u64 {
+            let mut gov = Governor::new(
+                Budget::unlimited().with_node_limit(limit),
+                CancelToken::new(),
+            );
+            let partial = is_summarizable_in_schema_governed(
+                &ds,
+                target,
+                &sources,
+                DimsatOptions::default(),
+                &mut gov,
+            );
+            if !partial.is_unknown() {
+                assert_eq!(partial.verdict, clean.verdict);
+                break;
+            }
+            let cp = partial.checkpoint.expect("interrupted battery checkpoints");
+            if cp.next > 0 {
+                mid_battery = true;
+            }
+            // Through the text form, like a real restart would.
+            let cp = load_battery_checkpoint(&ds, &cp.to_text()).expect("roundtrip");
+            let mut gov = Governor::unlimited();
+            let merged =
+                resume_summarizability(&ds, &cp, DimsatOptions::default(), &mut gov)
+                    .expect("same schema resumes");
+            assert_eq!(merged.verdict, clean.verdict, "limit={limit}");
+            assert_battery_stats_match(&merged.stats, &clean.stats, &format!("limit={limit}"));
+        }
+        assert!(mid_battery, "no budget interrupted past the first item");
+    }
+
+    #[test]
+    fn battery_resume_refuses_other_schema_or_options() {
+        let ds = tri_bottom_sch();
+        let target = cat(&ds, "Country");
+        let sources = [cat(&ds, "City")];
+        let mut gov = Governor::new(
+            Budget::unlimited().with_node_limit(4),
+            CancelToken::new(),
+        );
+        let partial = is_summarizable_in_schema_governed(
+            &ds,
+            target,
+            &sources,
+            DimsatOptions::default(),
+            &mut gov,
+        );
+        let cp = partial.checkpoint.expect("tiny budget interrupts");
+        let other = location_sch();
+        let mut gov = Governor::unlimited();
+        assert!(matches!(
+            resume_summarizability(&other, &cp, DimsatOptions::default(), &mut gov),
+            Err(odc_govern::CheckpointError::FingerprintMismatch { .. })
+        ));
+        assert!(matches!(
+            resume_summarizability(&ds, &cp, DimsatOptions::default().without_trail(), &mut gov),
+            Err(odc_govern::CheckpointError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn parallel_battery_resume_matches_serial_verdict() {
+        use crate::checkpoint::load_battery_checkpoint;
+        let ds = tri_bottom_sch();
+        let target = cat(&ds, "Country");
+        let sources = [cat(&ds, "City")];
+        let clean = is_summarizable_in_schema(&ds, target, &sources);
+        let mut resumed_any = false;
+        for limit in (1..3000u64).step_by(7) {
+            let partial = is_summarizable_in_schema_parallel(
+                &ds,
+                target,
+                &sources,
+                DimsatOptions::default(),
+                Budget::unlimited().with_node_limit(limit),
+                &CancelToken::new(),
+                3,
+            );
+            if !partial.is_unknown() {
+                continue;
+            }
+            let Some(cp) = partial.checkpoint else {
+                continue;
+            };
+            let cp = load_battery_checkpoint(&ds, &cp.to_text()).expect("roundtrip");
+            let mut gov = Governor::unlimited();
+            let merged =
+                resume_summarizability(&ds, &cp, DimsatOptions::default(), &mut gov)
+                    .expect("same schema resumes");
+            assert_eq!(merged.verdict, clean.verdict, "limit={limit}");
+            assert_battery_stats_match(&merged.stats, &clean.stats, &format!("limit={limit}"));
+            resumed_any = true;
+        }
+        assert!(resumed_any, "no budget produced a resumable parallel battery");
     }
 }

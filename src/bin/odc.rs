@@ -19,11 +19,22 @@
 //! `unknown` and exits with code 2 (distinct from code 1, used for
 //! errors). `--jobs <n>` fans the batch commands (`check`,
 //! `summarizable`) out over worker threads sharing the one budget.
+//!
+//! Interrupted work is recoverable: `--checkpoint <path>` persists the
+//! search cursor of an undecided `check`/`summarizable`/`frozen` run,
+//! `--resume <path>` continues a later invocation exactly where it
+//! stopped, and `--retry <n>` retries in-process with a doubling budget
+//! before giving up. `--fault <spec>` arms deterministic fault injection
+//! (e.g. `interrupt:node:500`) for chaos-testing those paths.
 
 use odc_core::dimsat::trace::render_trace;
+use odc_core::dimsat::AnytimeDriver;
+use odc_core::govern::{FaultKind, FaultPlan, FaultTrigger};
 use odc_core::hierarchy::dot;
 use odc_core::prelude::*;
 use odc_core::summarizability::advisor;
+use odc_core::summarizability::checkpoint::{load_audit_checkpoint, load_battery_checkpoint};
+use odc_core::summarizability::resume_summarizability;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
@@ -64,7 +75,20 @@ options (reasoning commands):
   --jobs <n>           worker threads for check/summarizable (one shared budget,
                        first countermodel cancels the rest of the batch)
   --stats-json <path>  write structured solve events (JSON lines) to <path>
-  --progress           report heartbeats and solve verdicts on stderr";
+  --progress           report heartbeats and solve verdicts on stderr
+checkpoint/resume (check, summarizable, frozen):
+  --checkpoint <path>  when the budget runs out undecided, write the resume
+                       cursor to <path> (exit code 2 still signals undecided)
+  --resume <path>      continue from a cursor written by --checkpoint; refused
+                       if the schema or solver options changed in between
+  --retry <n>          on budget exhaustion, retry up to <n> more times
+                       in-process, doubling the budget and resuming the
+                       checkpoint each time
+fault injection (deterministic chaos testing, serial runs only):
+  --fault <spec>       arm a fault plan: kind:trigger with kind one of
+                       interrupt|cancel and trigger one of node:<n>, check:<n>,
+                       depth:<d>, seed:<seed>:<per-mille>; append :max:<k> to
+                       cap total injections (e.g. interrupt:node:500:max:1)";
 
 /// What a dispatched command produced.
 pub struct RunOutput {
@@ -99,23 +123,95 @@ pub fn run(args: &[String]) -> Result<RunOutput, String> {
             "--jobs applies only to check/summarizable; `{cmd}` runs serially"
         ));
     }
+    // Same honesty rule for the recovery flags: only the commands below
+    // produce (and accept) checkpoints.
+    let resumable = matches!(cmd.as_str(), "check" | "summarizable" | "frozen");
+    if !resumable {
+        for (flag, set) in [
+            ("--checkpoint", flags.checkpoint.is_some()),
+            ("--resume", flags.resume.is_some()),
+            ("--retry", flags.retry > 0),
+        ] {
+            if set {
+                return Err(format!(
+                    "{flag} applies only to check/summarizable/frozen; `{cmd}` cannot checkpoint"
+                ));
+            }
+        }
+    }
+    // Fault plans attach to the one serial governor; the parallel drivers
+    // build their worker governors internally.
+    if flags.fault.is_some() && jobs > 1 {
+        return Err("--fault applies to serial runs only (drop --jobs)".into());
+    }
     match cmd.as_str() {
         "check" => {
             let ds = load_schema(rest.first().ok_or("check needs a schema file")?)?;
-            let report = if jobs > 1 {
-                advisor::audit_parallel_observed(&ds, budget, &CancelToken::new(), jobs, obs)
-            } else {
-                let mut gov = Governor::from_budget(budget).with_observer(obs);
-                advisor::audit_governed(&ds, &mut gov)
+            let mut cp = match &flags.resume {
+                Some(path) => Some(
+                    load_audit_checkpoint(&ds, &read_file(path)?)
+                        .map_err(|e| format!("--resume {path}: {e}"))?,
+                ),
+                None => None,
+            };
+            let mut attempt_budget = budget;
+            let mut attempts = 0u32;
+            let report = loop {
+                attempts += 1;
+                let report = if jobs > 1 {
+                    match &cp {
+                        Some(c) => advisor::audit_resume_parallel(
+                            &ds,
+                            c,
+                            attempt_budget,
+                            &CancelToken::new(),
+                            jobs,
+                            obs.clone(),
+                        )
+                        .map_err(|e| format!("resume: {e}"))?,
+                        None => advisor::audit_parallel_observed(
+                            &ds,
+                            attempt_budget,
+                            &CancelToken::new(),
+                            jobs,
+                            obs.clone(),
+                        ),
+                    }
+                } else {
+                    let mut gov = make_governor(attempt_budget, &obs, &flags.fault);
+                    match &cp {
+                        Some(c) => advisor::audit_resume(&ds, c, &mut gov)
+                            .map_err(|e| format!("resume: {e}"))?,
+                        None => advisor::audit_governed(&ds, &mut gov),
+                    }
+                };
+                if report.interrupted.is_none()
+                    || report.checkpoint.is_none()
+                    || attempts > flags.retry
+                {
+                    break report;
+                }
+                cp = report.checkpoint;
+                attempt_budget = attempt_budget.scaled(2);
             };
             let unknown = report.interrupted.is_some();
             let mut out = report.render(&ds);
+            if attempts > 1 {
+                out.push_str(&format!("({attempts} attempts, budget doubled per retry)\n"));
+            }
             if let Some(i) = &report.interrupted {
                 if let Some(hint) = interrupt_hint(i) {
                     out.push_str(&format!("{hint}\n"));
                 }
             }
-            if !unknown {
+            if unknown {
+                if let (Some(path), Some(c)) = (&flags.checkpoint, &report.checkpoint) {
+                    write_checkpoint(path, &c.to_text())?;
+                    out.push_str(&format!(
+                        "checkpoint written to {path}; continue with --resume {path}\n"
+                    ));
+                }
+            } else {
                 let suggestions = advisor::suggest_into_constraints(&ds);
                 if !suggestions.is_empty() {
                     out.push_str(
@@ -137,10 +233,32 @@ pub fn run(args: &[String]) -> Result<RunOutput, String> {
             };
             let ds = load_schema(file)?;
             let c = category(&ds, root)?;
-            let (frozen, outcome) = Dimsat::new(&ds)
-                .with_budget(budget)
-                .with_observer(obs)
-                .enumerate_frozen(c);
+            let solver = Dimsat::new(&ds).with_observer(obs);
+            let start = match &flags.resume {
+                Some(path) => {
+                    let cp = solver
+                        .load_checkpoint(&read_file(path)?)
+                        .map_err(|e| format!("--resume {path}: {e}"))?;
+                    // The cursor encodes the decision stack of one solve;
+                    // resuming it under a different root would silently
+                    // continue the old enumeration.
+                    if cp.root != c {
+                        return Err(format!(
+                            "--resume {path}: checkpoint is for root {}, but root {root} \
+                             was requested",
+                            ds.hierarchy().name(cp.root),
+                        ));
+                    }
+                    Some(cp)
+                }
+                None => None,
+            };
+            let mut driver = AnytimeDriver::new(budget).with_max_attempts(flags.retry + 1);
+            if let Some(plan) = &flags.fault {
+                driver = driver.with_fault_plan(plan.clone());
+            }
+            let report = driver.solve_from(&solver, c, false, start);
+            let (frozen, outcome) = (report.found, report.outcome);
             let mut out = format!(
                 "{} frozen dimension(s) with root {} ({} EXPAND, {} CHECK):\n",
                 frozen.len(),
@@ -151,9 +269,23 @@ pub fn run(args: &[String]) -> Result<RunOutput, String> {
             for (i, f) in frozen.iter().enumerate() {
                 out.push_str(&format!("  f{}: {}\n", i + 1, f.display(&ds)));
             }
+            if report.attempts > 1 {
+                out.push_str(&format!(
+                    "({} attempts, {} resumed from checkpoints, budget doubled per retry)\n",
+                    report.attempts, report.resumed
+                ));
+            }
             let unknown = outcome.interrupted.is_some();
-            if let Some(i) = outcome.interrupted {
+            if let Some(i) = &outcome.interrupted {
                 out.push_str(&format!("enumeration interrupted ({i}); listing is partial\n"));
+            }
+            if unknown {
+                if let (Some(path), Some(c)) = (&flags.checkpoint, &outcome.checkpoint) {
+                    write_checkpoint(path, &c.to_text())?;
+                    out.push_str(&format!(
+                        "checkpoint written to {path}; continue with --resume {path}\n"
+                    ));
+                }
             }
             Ok(RunOutput { text: out, unknown })
         }
@@ -214,26 +346,81 @@ pub fn run(args: &[String]) -> Result<RunOutput, String> {
             let t = category(&ds, target)?;
             let s: Result<Vec<Category>, String> =
                 sources.iter().map(|n| category(&ds, n)).collect();
-            let out = if jobs > 1 {
-                odc_core::summarizability::is_summarizable_in_schema_parallel_observed(
-                    &ds,
-                    t,
-                    &s?,
-                    DimsatOptions::default(),
-                    budget,
-                    &CancelToken::new(),
-                    jobs,
-                    obs,
-                )
-            } else {
-                let mut gov = Governor::from_budget(budget).with_observer(obs);
-                odc_core::summarizability::is_summarizable_in_schema_governed(
-                    &ds,
-                    t,
-                    &s?,
-                    DimsatOptions::default(),
-                    &mut gov,
-                )
+            let s = s?;
+            let mut cp = match &flags.resume {
+                Some(path) => {
+                    let c = load_battery_checkpoint(&ds, &read_file(path)?)
+                        .map_err(|e| format!("--resume {path}: {e}"))?;
+                    // The checkpoint's cursor only means anything for the
+                    // query it was taken from — resuming it under a
+                    // different target or source set would silently answer
+                    // the old question.
+                    let mut want = s.clone();
+                    let mut have = c.sources.clone();
+                    want.sort_unstable();
+                    have.sort_unstable();
+                    if c.target != t || have != want {
+                        let names = |cs: &[Category]| {
+                            cs.iter()
+                                .map(|&x| ds.hierarchy().name(x).to_string())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        };
+                        return Err(format!(
+                            "--resume {path}: checkpoint is for {} from {{{}}}, \
+                             but {} from {{{}}} was requested",
+                            ds.hierarchy().name(c.target),
+                            names(&c.sources),
+                            target,
+                            names(&s),
+                        ));
+                    }
+                    Some(c)
+                }
+                None => None,
+            };
+            let mut attempt_budget = budget;
+            let mut attempts = 0u32;
+            let out = loop {
+                attempts += 1;
+                // A resumed battery continues serially: its checkpoint is
+                // a decided-prefix cursor, which one governor walks
+                // exactly; the remaining items are the expensive tail
+                // anyway.
+                let out = match cp.take() {
+                    Some(c) => {
+                        let mut gov = make_governor(attempt_budget, &obs, &flags.fault);
+                        resume_summarizability(&ds, &c, DimsatOptions::default(), &mut gov)
+                            .map_err(|e| format!("resume: {e}"))?
+                    }
+                    None if jobs > 1 => {
+                        odc_core::summarizability::is_summarizable_in_schema_parallel_observed(
+                            &ds,
+                            t,
+                            &s,
+                            DimsatOptions::default(),
+                            attempt_budget,
+                            &CancelToken::new(),
+                            jobs,
+                            obs.clone(),
+                        )
+                    }
+                    None => {
+                        let mut gov = make_governor(attempt_budget, &obs, &flags.fault);
+                        odc_core::summarizability::is_summarizable_in_schema_governed(
+                            &ds,
+                            t,
+                            &s,
+                            DimsatOptions::default(),
+                            &mut gov,
+                        )
+                    }
+                };
+                if !out.is_unknown() || out.checkpoint.is_none() || attempts > flags.retry {
+                    break out;
+                }
+                cp = out.checkpoint;
+                attempt_budget = attempt_budget.scaled(2);
             };
             let (answer, unknown) = match &out.verdict {
                 SummarizabilityVerdict::Summarizable => ("true".to_string(), false),
@@ -244,6 +431,17 @@ pub fn run(args: &[String]) -> Result<RunOutput, String> {
                 },
             };
             let mut text = format!("summarizable: {answer}\n");
+            if attempts > 1 {
+                text.push_str(&format!("({attempts} attempts, budget doubled per retry)\n"));
+            }
+            if unknown {
+                if let (Some(path), Some(c)) = (&flags.checkpoint, &out.checkpoint) {
+                    write_checkpoint(path, &c.to_text())?;
+                    text.push_str(&format!(
+                        "checkpoint written to {path}; continue with --resume {path}\n"
+                    ));
+                }
+            }
             if let Some(cx) = out.counterexample {
                 text.push_str(&format!("countermodel: {}\n", cx.display(&ds)));
             }
@@ -308,17 +506,26 @@ pub struct Flags {
     jobs: usize,
     stats_json: Option<String>,
     progress: bool,
+    checkpoint: Option<String>,
+    resume: Option<String>,
+    retry: u32,
+    fault: Option<FaultPlan>,
     positional: Vec<String>,
 }
 
 /// Extracts `--time-limit`/`--node-limit`/`--jobs`/`--stats-json`/
-/// `--progress` (anywhere on the command line), returning them plus the
-/// remaining positional arguments.
+/// `--progress`/`--checkpoint`/`--resume`/`--retry`/`--fault` (anywhere
+/// on the command line), returning them plus the remaining positional
+/// arguments.
 fn parse_budget_flags(args: &[String]) -> Result<Flags, String> {
     let mut budget = Budget::unlimited();
     let mut jobs = 1usize;
     let mut stats_json = None;
     let mut progress = false;
+    let mut checkpoint = None;
+    let mut resume = None;
+    let mut retry = 0u32;
+    let mut fault = None;
     let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -349,6 +556,26 @@ fn parse_budget_flags(args: &[String]) -> Result<Flags, String> {
                 stats_json = Some(v.clone());
             }
             "--progress" => progress = true,
+            "--checkpoint" => {
+                let v = it.next().ok_or("--checkpoint needs a file path")?;
+                checkpoint = Some(v.clone());
+            }
+            "--resume" => {
+                let v = it.next().ok_or("--resume needs a file path")?;
+                resume = Some(v.clone());
+            }
+            "--retry" => {
+                let v = it.next().ok_or("--retry needs a count")?;
+                retry = v
+                    .parse()
+                    .map_err(|_| format!("--retry: not a number: {v}"))?;
+            }
+            "--fault" => {
+                let v = it.next().ok_or(
+                    "--fault needs a spec, e.g. interrupt:node:500 or interrupt:seed:42:5",
+                )?;
+                fault = Some(parse_fault_spec(v)?);
+            }
             _ => positional.push(arg.clone()),
         }
     }
@@ -357,8 +584,60 @@ fn parse_budget_flags(args: &[String]) -> Result<Flags, String> {
         jobs,
         stats_json,
         progress,
+        checkpoint,
+        resume,
+        retry,
+        fault,
         positional,
     })
+}
+
+/// Parses a `--fault` spec: `kind:trigger[:max:<k>]` with kind
+/// `interrupt` or `cancel` and trigger `node:<n>`, `check:<n>`,
+/// `depth:<d>`, or `seed:<seed>:<per-mille>`. Panic injection is
+/// deliberately not reachable from the CLI — it exists for crash tests
+/// of the parallel drivers, not for users.
+fn parse_fault_spec(spec: &str) -> Result<FaultPlan, String> {
+    let bad = || format!("--fault: bad spec `{spec}` (see usage)");
+    let mut parts = spec.split(':');
+    let kind = match parts.next() {
+        Some("interrupt") => FaultKind::Interrupt,
+        Some("cancel") => FaultKind::Cancel,
+        Some("panic") => {
+            return Err("--fault: panic injection is test-only; use interrupt or cancel".into())
+        }
+        _ => return Err(bad()),
+    };
+    let num = |v: Option<&str>| -> Result<u64, String> {
+        v.and_then(|s| s.parse().ok()).ok_or_else(bad)
+    };
+    let trigger = match parts.next() {
+        Some("node") => FaultTrigger::EveryNthNode(num(parts.next())?),
+        Some("check") => FaultTrigger::EveryNthCheck(num(parts.next())?),
+        Some("depth") => FaultTrigger::AtDepth(num(parts.next())? as usize),
+        Some("seed") => {
+            let seed = num(parts.next())?;
+            let per_mille = num(parts.next())?;
+            if per_mille > 1000 {
+                return Err("--fault: per-mille must be 0..=1000".into());
+            }
+            FaultTrigger::Seeded {
+                seed,
+                per_mille: per_mille as u32,
+            }
+        }
+        _ => return Err(bad()),
+    };
+    let mut plan = FaultPlan::new(kind, trigger);
+    match parts.next() {
+        None => {}
+        Some("max") => plan = plan.with_max_injections(num(parts.next())?),
+        Some(_) => return Err(bad()),
+    }
+    if parts.next().is_some() {
+        return Err(bad());
+    }
+    Ok(plan)
 }
 
 /// Builds the observer requested by `--stats-json`/`--progress`; detached
@@ -377,6 +656,24 @@ fn build_observer(flags: &Flags) -> Result<Obs, String> {
         1 => Obs::new(sinks.remove(0)),
         _ => Obs::new(Arc::new(MultiObserver::new(sinks))),
     })
+}
+
+/// A serial governor carrying the run's observer and (if armed) the
+/// fault-injection plan.
+fn make_governor(budget: Budget, obs: &Obs, fault: &Option<FaultPlan>) -> Governor {
+    let mut gov = Governor::from_budget(budget).with_observer(obs.clone());
+    if let Some(plan) = fault {
+        gov = gov.with_fault_plan(plan.clone());
+    }
+    gov
+}
+
+fn read_file(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn write_checkpoint(path: &str, text: &str) -> Result<(), String> {
+    std::fs::write(path, text).map_err(|e| format!("--checkpoint {path}: {e}"))
 }
 
 /// An extra line of advice for interrupts the user can act on.

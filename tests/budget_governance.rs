@@ -140,3 +140,58 @@ fn interrupted_enumeration_keeps_partial_results() {
     assert!(out.stats.check_calls > 0);
     let _ = frozen;
 }
+
+/// A zero node budget interrupts before the first node is expanded: the
+/// stats are coherent (no phantom work) and the verdict is `Unknown`,
+/// never a guessed answer.
+#[test]
+fn zero_node_budget_interrupts_before_first_node() {
+    let (ds, bottom) = adversarial_schema();
+    let budget = Budget::unlimited().with_node_limit(0);
+    let out = Dimsat::new(&ds)
+        .with_budget(budget)
+        .category_satisfiable(bottom);
+    let interrupt = out.interrupt().expect("zero budget must interrupt");
+    assert_eq!(interrupt.reason, InterruptReason::NodeLimit);
+    assert_eq!(out.stats.expand_calls, 0, "no node may be expanded");
+    assert_eq!(out.stats.check_calls, 0, "no CHECK may run");
+    assert_eq!(out.stats.assignments_tested, 0);
+    assert_eq!(out.stats.frozen_found, 0);
+}
+
+/// Same for an already-expired deadline: the very first poll trips it.
+#[test]
+fn zero_deadline_interrupts_before_first_node() {
+    let (ds, bottom) = adversarial_schema();
+    let budget = Budget::unlimited().with_deadline(Duration::ZERO);
+    let out = Dimsat::new(&ds)
+        .with_budget(budget)
+        .category_satisfiable(bottom);
+    let interrupt = out.interrupt().expect("expired deadline must interrupt");
+    assert_eq!(interrupt.reason, InterruptReason::Deadline);
+    assert_eq!(out.stats.expand_calls, 0, "no node may be expanded");
+    assert_eq!(out.stats.frozen_found, 0);
+}
+
+/// Degenerate budgets on the batch drivers: an audit under a zero budget
+/// reports every category undecided and no phantom findings.
+#[test]
+fn zero_budget_audit_is_coherently_empty() {
+    use odc_core::summarizability::advisor;
+    let (ds, _bottom) = adversarial_schema();
+    let mut gov = Governor::new(
+        Budget::unlimited().with_node_limit(0),
+        CancelToken::new(),
+    );
+    let report = advisor::audit_governed(&ds, &mut gov);
+    assert!(report.interrupted.is_some(), "zero budget must interrupt");
+    assert!(report.unsatisfiable.is_empty());
+    assert!(report.redundant_constraints.is_empty());
+    assert!(report.structure_census.is_empty());
+    assert!(report.safe_rewrites.is_empty());
+    assert_eq!(report.stats.expand_calls, 0, "no work may be recorded");
+    assert!(
+        report.checkpoint.is_some(),
+        "even a zero-budget interrupt leaves a resumable cursor"
+    );
+}

@@ -191,3 +191,121 @@ fn parallel_audit_matches_serial_on_catalog() {
         assert!(par.interrupted.is_none(), "{}", entry.name);
     }
 }
+
+/// A fault plan armed on a `SharedGovernor` reaches every sweep worker;
+/// the interrupted sharded sweep leaves a checkpoint, and resuming it
+/// reproduces the serial sweep's verdicts — the parallel leg of the
+/// fault→checkpoint→resume parity matrix.
+#[test]
+fn faulted_parallel_sweep_resumes_to_serial_verdicts() {
+    use olap_dimension_constraints::govern::{FaultKind, FaultPlan, FaultTrigger, SharedGovernor};
+    let mut rng = StdRng::seed_from_u64(0xFA17ED);
+    let ds = random_schema(
+        &SchemaGenParams {
+            layers: 3,
+            width: 3,
+            extra_edge_prob: 0.3,
+            into_fraction: 0.8,
+            constants_per_category: 2,
+            exceptions: 2,
+            ordered_exceptions: 0,
+        },
+        &mut rng,
+    );
+    let solver = Dimsat::new(&ds);
+    let serial = solver.unsatisfiable_categories();
+    assert!(serial.is_complete());
+    let mut resumed_runs = 0u32;
+    for seed in 0..10u64 {
+        let plan = FaultPlan::new(
+            FaultKind::Interrupt,
+            FaultTrigger::Seeded {
+                seed,
+                per_mille: 25,
+            },
+        )
+        .with_max_injections(1);
+        let shared =
+            SharedGovernor::new(Budget::unlimited(), CancelToken::new()).with_fault_plan(plan);
+        let sweep = solver.unsatisfiable_categories_sharded(&shared, 4);
+        if sweep.interrupted.is_none() {
+            continue;
+        }
+        let Some(cp) = solver.sweep_checkpoint(&sweep) else {
+            continue;
+        };
+        let cp = solver
+            .load_sweep_checkpoint(&cp.to_text())
+            .expect("roundtrip");
+        let resumed = solver.resume_sweep(&cp).expect("same schema resumes");
+        assert!(resumed.is_complete(), "seed {seed}");
+        assert_eq!(resumed.unsat, serial.unsat, "seed {seed}");
+        assert_eq!(resumed.sat, serial.sat, "seed {seed}");
+        resumed_runs += 1;
+    }
+    assert!(
+        resumed_runs >= 2,
+        "parallel fault matrix too sparse ({resumed_runs})"
+    );
+}
+
+/// Same for the parallel audit: a seeded fault in any stage leaves a
+/// decided-prefix checkpoint that the parallel resume completes to the
+/// serial audit's findings.
+#[test]
+fn faulted_parallel_audit_resumes_to_serial_report() {
+    use olap_dimension_constraints::govern::{FaultKind, FaultPlan, FaultTrigger};
+    use olap_dimension_constraints::obs::Obs;
+    let entry = olap_dimension_constraints::workload::catalog()
+        .into_iter()
+        .next()
+        .expect("catalog is non-empty");
+    let ds = entry.schema;
+    let mut gov = Governor::unlimited();
+    let serial = advisor::audit_governed(&ds, &mut gov);
+    let mut resumed_runs = 0u32;
+    for seed in 0..8u64 {
+        // The serial-with-fault audit stands in for a faulted parallel
+        // run (worker fault plans derive per-worker streams, so where
+        // the fault lands differs, but the checkpoint contract is the
+        // same); the *resume* side exercises the parallel driver.
+        let plan = FaultPlan::new(
+            FaultKind::Interrupt,
+            FaultTrigger::Seeded {
+                seed,
+                per_mille: 8,
+            },
+        )
+        .with_max_injections(1);
+        let mut gov = Governor::unlimited().with_fault_plan(plan);
+        let partial = advisor::audit_governed(&ds, &mut gov);
+        let Some(cp) = partial.checkpoint else {
+            continue;
+        };
+        let resumed = advisor::audit_resume_parallel(
+            &ds,
+            &cp,
+            Budget::unlimited(),
+            &CancelToken::new(),
+            4,
+            Obs::none(),
+        )
+        .expect("same schema resumes");
+        assert!(resumed.interrupted.is_none(), "seed {seed}");
+        assert_eq!(resumed.unsatisfiable, serial.unsatisfiable, "seed {seed}");
+        assert_eq!(
+            resumed.redundant_constraints, serial.redundant_constraints,
+            "seed {seed}"
+        );
+        assert_eq!(
+            resumed.structure_census, serial.structure_census,
+            "seed {seed}"
+        );
+        assert_eq!(resumed.safe_rewrites, serial.safe_rewrites, "seed {seed}");
+        resumed_runs += 1;
+    }
+    assert!(
+        resumed_runs >= 2,
+        "parallel audit fault matrix too sparse ({resumed_runs})"
+    );
+}
