@@ -82,4 +82,94 @@ for path in glob.glob(os.path.join(sys.argv[1], "fault-*.jsonl")):
 print(f"fault events OK: {checked} tagged injections validated")
 PYEOF
 
+echo "== server smoke (odc serve / odc client) =="
+SRVDIR="$(mktemp -d /tmp/odc-ci-serve.XXXXXX)"
+trap 'rm -f "$STATS_JSON"; rm -rf "$WORK" "$SRVDIR"; kill "${SRVPID:-}" 2>/dev/null || true' EXIT
+ODCBIN=./target/release/odc
+# A deep diamond ladder: frozen enumeration from Root is effectively
+# unbounded, so a solve is guaranteed to still be in flight when the
+# drain signal lands.
+python3 - "$SRVDIR/ladder.odcs" <<'PYEOF'
+import sys
+n = 40
+lines = ["hierarchy:", "  Root > A0, B0"]
+for i in range(n - 1):
+    lines.append(f"  A{i} > A{i+1}, B{i+1}")
+    lines.append(f"  B{i} > A{i+1}, B{i+1}")
+lines += [f"  A{n-1} > All", f"  B{n-1} > All", "constraints:"]
+open(sys.argv[1], "w").write("\n".join(lines) + "\n")
+PYEOF
+"$ODCBIN" serve --addr 127.0.0.1:0 --workers 2 \
+  --checkpoint-dir "$SRVDIR/ckpt" --stats-json "$SRVDIR/serve.jsonl" \
+  --preload loc=examples/location.odcs --preload lad="$SRVDIR/ladder.odcs" \
+  > "$SRVDIR/serve.out" &
+SRVPID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR="$(sed -n 's/^serving on \([0-9.:]*\).*/\1/p' "$SRVDIR/serve.out")"
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "server never announced its address"; exit 1; }
+
+# Warm pair: the second answer comes from the resident cache and both
+# must match the one-shot CLI byte for byte.
+Q='Store.Country -> Store.City.Country'
+"$ODCBIN" client "$ADDR" implies loc "$Q" > "$SRVDIR/warm1.txt"
+"$ODCBIN" client "$ADDR" implies loc "$Q" > "$SRVDIR/warm2.txt"
+"$ODCBIN" implies examples/location.odcs "$Q" > "$SRVDIR/cli.txt"
+diff "$SRVDIR/warm1.txt" "$SRVDIR/warm2.txt" \
+  || { echo "warm pair diverged"; exit 1; }
+diff "$SRVDIR/warm1.txt" "$SRVDIR/cli.txt" \
+  || { echo "server diverged from one-shot CLI"; exit 1; }
+
+# A per-request budget that the solve exhausts must surface as the
+# CLI's undecided exit code (2), not an error.
+rc=0
+"$ODCBIN" client "$ADDR" summarizable loc Country State Province \
+  --node-limit 1 > /dev/null || rc=$?
+[ "$rc" -eq 2 ] || { echo "budget-exceeded: expected exit 2, got $rc"; exit 1; }
+echo "warm pair identical; budget-exceeded undecided"
+
+# SIGTERM mid-solve: graceful drain must still answer the in-flight
+# client and leave a resumable checkpoint envelope behind.
+rc=0
+"$ODCBIN" client "$ADDR" frozen lad Root > "$SRVDIR/drained.txt" 2>&1 &
+CLIPID=$!
+sleep 1
+kill -TERM "$SRVPID"
+wait "$CLIPID" || rc=$?
+wait "$SRVPID"
+[ "$rc" -eq 2 ] || { echo "drained client: expected exit 2, got $rc"; exit 1; }
+grep -q "drained:" "$SRVDIR/serve.out" \
+  || { echo "server did not report its drain"; cat "$SRVDIR/serve.out"; exit 1; }
+grep -q "checkpoint written to" "$SRVDIR/drained.txt" \
+  || { echo "drain response lacks a checkpoint"; cat "$SRVDIR/drained.txt"; exit 1; }
+CKPT="$(ls "$SRVDIR"/ckpt/*.ckpt | head -1)"
+head -1 "$CKPT" | grep -q '^odc-checkpoint v1' \
+  || { echo "bad checkpoint envelope: $(head -1 "$CKPT")"; exit 1; }
+echo "drain answered the in-flight solve and checkpointed it"
+
+python3 - "$SRVDIR/serve.jsonl" <<'PYEOF'
+import json, sys
+events = [json.loads(l) for l in open(sys.argv[1])]
+conns = [e for e in events if e["event"] == "conn"]
+phases = {e["phase"] for e in conns}
+assert {"accepted", "closed"} <= phases, f"conn phases: {phases}"
+reqs = [e for e in events if e["event"] == "request"]
+starts = [e for e in reqs if e["phase"] == "start"]
+ends = [e for e in reqs if e["phase"] == "end"]
+assert starts and ends, "no request lifecycle events"
+ids = {e["request_id"] for e in starts}
+assert {e["request_id"] for e in ends} <= ids, "end without start"
+assert all(e["elapsed_us"] is not None and e["worker"] is not None for e in ends)
+assert any(e["status"] == "unknown" for e in ends), "no drained/undecided request"
+# Solves triggered by requests must carry the request id end to end.
+tagged = [e for e in events if e["event"] == "solve_start" and e.get("request") is not None]
+assert tagged, "no request-scoped solve_start events"
+solve_reqs = {e["request"] for e in tagged}
+assert solve_reqs <= ids, f"solve request ids {solve_reqs} not among requests"
+print(f"server stream OK: {len(conns)} conn, {len(reqs)} request, {len(tagged)} request-scoped solves")
+PYEOF
+
 echo "CI OK"

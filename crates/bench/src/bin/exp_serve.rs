@@ -1,0 +1,351 @@
+//! E13: the resident-server experiments behind `BENCH_serve.json`.
+//!
+//! A seeded 200-request mixed workload (implies / summarizable /
+//! frozen / audit over the seven `odc-workload` catalog schemas) is
+//! replayed three ways:
+//!
+//! 1. **server, cold catalog** — a fresh `odc-serve` instance with four
+//!    workers; the first pass pays every schema's cache misses.
+//! 2. **server, warm catalog** — the same instance replays the same
+//!    workload; implication batteries now answer from the resident
+//!    per-schema [`ImplicationCache`]s across requests.
+//! 3. **serial CLI** — one `odc` subprocess per request against the
+//!    schema file, the one-shot baseline the server amortizes away.
+//!
+//! Reported: throughput (requests/s over four concurrent client
+//! connections), p50/p99 round-trip latency, the catalog cache hit rate
+//! after the warm pass, and the cold-CLI median for comparison. Every
+//! CLI run's verdict line must be byte-identical to the server's answer
+//! for the same request — the bench doubles as a parity audit — and a
+//! single dropped response fails the run.
+//!
+//! Run with: `cargo run --release -p odc-bench --bin exp_serve`
+//! (`--smoke` or `ODC_BENCH_QUICK=1` for a 40-request smoke run).
+//!
+//! [`ImplicationCache`]: odc_core::dimsat::ImplicationCache
+
+use odc_core::constraint::printer::display_dc;
+use odc_rand::rngs::StdRng;
+use odc_rand::{Rng, SeedableRng};
+use odc_serve::{Client, ServeConfig, Server};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const SEED: u64 = 0x0d15_5e7e;
+const CLIENTS: usize = 4;
+
+/// One workload request: the server line and its CLI twin.
+#[derive(Clone)]
+struct Req {
+    /// Catalog schema the request targets.
+    schema: &'static str,
+    /// Protocol line sent to the server.
+    line: String,
+    /// argv for the equivalent one-shot CLI run (`schema` becomes the
+    /// schema file path at spawn time).
+    cli: Vec<String>,
+}
+
+fn main() {
+    let smoke =
+        std::env::args().any(|a| a == "--smoke") || std::env::var_os("ODC_BENCH_QUICK").is_some();
+    let n_requests = if smoke { 40 } else { 200 };
+    println!("E13 — resident server: warm catalog vs cold CLI, {n_requests} requests");
+
+    // ── workload ─────────────────────────────────────────────────────
+    let catalog = odc_workload::catalog();
+    let schemas: Vec<(&'static str, String)> = catalog
+        .iter()
+        .map(|e| (e.name, odc_core::schema_to_text(&e.schema)))
+        .collect();
+    let requests = build_workload(&catalog, n_requests);
+
+    // Schema files for the CLI baseline, from the *same* in-memory
+    // schemas the server loads — both sides see identical text.
+    let dir = std::env::temp_dir().join(format!("odc-exp-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let mut files = std::collections::HashMap::new();
+    for (name, text) in &schemas {
+        let path = dir.join(format!("{name}.odcs"));
+        std::fs::write(&path, text).expect("write schema file");
+        files.insert(*name, path);
+    }
+
+    // ── server passes ────────────────────────────────────────────────
+    let server = Server::bind(ServeConfig {
+        workers: 4,
+        queue_cap: 64,
+        ..ServeConfig::default()
+    })
+    .expect("bind server");
+    for (name, text) in &schemas {
+        server.catalog().load_text(name, text).expect("load schema");
+    }
+    let addr = server.local_addr();
+    let handle = server.shutdown_handle();
+    let join = std::thread::spawn(move || server.run());
+
+    let cold = replay(addr, &requests);
+    let warm = replay(addr, &requests);
+
+    let mut probe = Client::connect(addr).expect("connect probe");
+    let stats_payload = probe.request("stats").expect("stats").payload;
+    let (hits, cross, misses) = cache_counters(&stats_payload);
+    let hit_rate = (hits + cross) as f64 / ((hits + cross + misses).max(1)) as f64;
+    drop(probe);
+
+    handle.drain();
+    let stats = join.join().expect("server thread").expect("server run");
+
+    // ── serial CLI baseline + parity audit ───────────────────────────
+    let odc = cli_binary();
+    let n_cold = if smoke { 10 } else { requests.len() };
+    let mut cli_lat = Vec::with_capacity(n_cold);
+    let mut parity_ok = 0usize;
+    for (req, server_answer) in requests.iter().zip(&warm.answers).take(n_cold) {
+        let file = &files[req.schema];
+        let t0 = Instant::now();
+        let out = std::process::Command::new(&odc)
+            .args(req.cli.iter().map(|a| {
+                if a == "<schema>" {
+                    file.to_string_lossy().into_owned()
+                } else {
+                    a.clone()
+                }
+            }))
+            .output()
+            .expect("spawn odc");
+        cli_lat.push(t0.elapsed());
+        assert!(out.status.success(), "cli failed for `{}`", req.line);
+        let cli_text = String::from_utf8(out.stdout).expect("cli utf8");
+        let cli_verdict = cli_text.lines().next().unwrap_or("");
+        let server_verdict = server_answer.lines().next().unwrap_or("");
+        assert_eq!(
+            server_verdict, cli_verdict,
+            "verdict divergence on `{}`",
+            req.line
+        );
+        parity_ok += 1;
+    }
+
+    // ── report ───────────────────────────────────────────────────────
+    let dropped = requests.len() - warm.answers.len();
+    assert_eq!(dropped, 0, "warm pass dropped {dropped} response(s)");
+    assert_eq!(cold.answers.len(), requests.len(), "cold pass dropped responses");
+
+    let summary = |mut lat: Vec<Duration>| {
+        lat.sort();
+        let pick = |q: f64| lat[((lat.len() - 1) as f64 * q) as usize];
+        (pick(0.5), pick(0.99))
+    };
+    let (first_p50, first_p99) = summary(cold.latencies.clone());
+    let (warm_p50, warm_p99) = summary(warm.latencies.clone());
+    let (cli_p50, cli_p99) = summary(cli_lat.clone());
+    let warm_rps = requests.len() as f64 / warm.elapsed.as_secs_f64();
+
+    println!("first pass:   p50 {:>8.1}us  p99 {:>8.1}us  (server, cold caches)", us(first_p50), us(first_p99));
+    println!("warm:         p50 {:>8.1}us  p99 {:>8.1}us  (server, resident caches)", us(warm_p50), us(warm_p99));
+    println!("cold:         p50 {:>8.1}us  p99 {:>8.1}us  (one-shot CLI, {n_cold} samples)", us(cli_p50), us(cli_p99));
+    println!(
+        "throughput {warm_rps:.0} req/s over {CLIENTS} connections; cache hit rate {:.1}% \
+         (hits {hits}, cross {cross}, misses {misses})",
+        hit_rate * 100.0
+    );
+    println!(
+        "parity: {parity_ok}/{n_cold} verdicts byte-identical; served {} rejected {}",
+        stats.served, stats.rejected
+    );
+    assert!(
+        warm_p50 < cli_p50,
+        "warm server median must beat the cold one-shot CLI"
+    );
+
+    // "cold" = the one-shot CLI the server amortizes away (process
+    // spawn + schema parse per query); "warm" = the resident server
+    // with populated caches. The server's own first pass is reported
+    // separately as `server_first_pass_*`.
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"requests\": {},", requests.len());
+    let _ = writeln!(json, "  \"clients\": {CLIENTS},");
+    let _ = writeln!(json, "  \"throughput_rps\": {warm_rps:.2},");
+    let _ = writeln!(json, "  \"warm_p50_us\": {:.1},", us(warm_p50));
+    let _ = writeln!(json, "  \"warm_p99_us\": {:.1},", us(warm_p99));
+    let _ = writeln!(json, "  \"cold_p50_us\": {:.1},", us(cli_p50));
+    let _ = writeln!(json, "  \"cold_p99_us\": {:.1},", us(cli_p99));
+    let _ = writeln!(json, "  \"cold_samples\": {n_cold},");
+    let _ = writeln!(json, "  \"warm_vs_cold_median_speedup\": {:.1},", us(cli_p50) / us(warm_p50));
+    let _ = writeln!(json, "  \"server_first_pass_p50_us\": {:.1},", us(first_p50));
+    let _ = writeln!(json, "  \"server_first_pass_p99_us\": {:.1},", us(first_p99));
+    let _ = writeln!(json, "  \"cache_hits\": {hits},");
+    let _ = writeln!(json, "  \"cache_cross_hits\": {cross},");
+    let _ = writeln!(json, "  \"cache_misses\": {misses},");
+    let _ = writeln!(json, "  \"cache_hit_rate\": {hit_rate:.4},");
+    let _ = writeln!(json, "  \"parity_checked\": {n_cold},");
+    let _ = writeln!(json, "  \"parity_identical\": {parity_ok},");
+    let _ = writeln!(json, "  \"dropped_responses\": {dropped}");
+    json.push_str("}\n");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    if smoke {
+        println!("\nsmoke run: results/BENCH_serve.json left untouched");
+        return;
+    }
+    let results = format!("{}/../../results", env!("CARGO_MANIFEST_DIR"));
+    let _ = std::fs::create_dir_all(&results);
+    let path = format!("{results}/BENCH_serve.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => println!("\ncould not write {path}: {e}"),
+    }
+}
+
+/// Draws a seeded mixed workload over the catalog. Every request has an
+/// exact CLI twin so the parity audit covers the whole mix.
+fn build_workload(catalog: &[odc_workload::CatalogEntry], n: usize) -> Vec<Req> {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let e = &catalog[rng.gen_range(0usize..catalog.len())];
+        let g = e.schema.hierarchy();
+        let kind = rng.gen_range(0u32..10);
+        let req = match kind {
+            // 40%: a summarizability query from the entry's battery.
+            0..=3 if !e.queries.is_empty() => {
+                let (target, sources) = &e.queries[rng.gen_range(0usize..e.queries.len())];
+                let mut line = format!("summarizable {} {}", e.name, g.name(*target));
+                let mut cli = vec![
+                    "summarizable".to_string(),
+                    "<schema>".to_string(),
+                    g.name(*target).to_string(),
+                ];
+                for s in sources {
+                    line.push(' ');
+                    line.push_str(g.name(*s));
+                    cli.push(g.name(*s).to_string());
+                }
+                Req { schema: e.name, line, cli }
+            }
+            // 30%: implication of one of the schema's own constraints
+            // (implied by definition — the interesting cost is the
+            // battery DIMSAT runs to prove it).
+            4..=6 if !e.schema.constraints().is_empty() => {
+                let cs = e.schema.constraints();
+                let dc = &cs[rng.gen_range(0usize..cs.len())];
+                let text = display_dc(g, dc).to_string();
+                Req {
+                    schema: e.name,
+                    line: format!("implies {} \"{text}\"", e.name),
+                    cli: vec!["implies".to_string(), "<schema>".to_string(), text],
+                }
+            }
+            // 20%: frozen-dimension enumeration from a random category.
+            7..=8 => {
+                let cats: Vec<_> = g.categories().filter(|c| !c.is_all()).collect();
+                let root = cats[rng.gen_range(0usize..cats.len())];
+                Req {
+                    schema: e.name,
+                    line: format!("frozen {} {}", e.name, g.name(root)),
+                    cli: vec![
+                        "frozen".to_string(),
+                        "<schema>".to_string(),
+                        g.name(root).to_string(),
+                    ],
+                }
+            }
+            // 10%: full schema audit.
+            _ => Req {
+                schema: e.name,
+                line: format!("audit {}", e.name),
+                cli: vec!["check".to_string(), "<schema>".to_string()],
+            },
+        };
+        out.push(req);
+    }
+    out
+}
+
+struct Replay {
+    /// Payload per request, workload order.
+    answers: Vec<String>,
+    /// Round-trip latency per request, workload order.
+    latencies: Vec<Duration>,
+    elapsed: Duration,
+}
+
+/// Replays the workload over `CLIENTS` concurrent connections
+/// (round-robin split, so the per-request pairing with CLI runs stays
+/// deterministic) and reassembles answers in workload order.
+fn replay(addr: std::net::SocketAddr, requests: &[Req]) -> Replay {
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for shard in 0..CLIENTS {
+        let lines: Vec<(usize, String)> = requests
+            .iter()
+            .enumerate()
+            .skip(shard)
+            .step_by(CLIENTS)
+            .map(|(i, r)| (i, r.line.clone()))
+            .collect();
+        handles.push(std::thread::spawn(move || {
+            let mut c = Client::connect(addr).expect("connect");
+            let mut out = Vec::with_capacity(lines.len());
+            for (i, line) in lines {
+                let r0 = Instant::now();
+                let resp = c.request(&line).expect("request");
+                let rtt = r0.elapsed();
+                assert!(
+                    resp.is_ok(),
+                    "request `{line}` answered `{}`",
+                    resp.status
+                );
+                out.push((i, resp.payload, rtt));
+            }
+            let _ = c.quit();
+            out
+        }));
+    }
+    let mut answers = vec![String::new(); requests.len()];
+    let mut latencies = vec![Duration::ZERO; requests.len()];
+    for h in handles {
+        for (i, payload, rtt) in h.join().expect("client thread") {
+            answers[i] = payload;
+            latencies[i] = rtt;
+        }
+    }
+    Replay { answers, latencies, elapsed: t0.elapsed() }
+}
+
+/// Sums `hits`/`cross_hits`/`misses` over the per-schema `stats` lines.
+fn cache_counters(stats: &str) -> (u64, u64, u64) {
+    let field = |line: &str, key: &str| -> u64 {
+        line.split_whitespace()
+            .skip_while(|w| *w != key)
+            .nth(1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    };
+    let mut totals = (0, 0, 0);
+    for line in stats.lines().filter(|l| l.starts_with("schema ")) {
+        totals.0 += field(line, "hits");
+        totals.1 += field(line, "cross_hits");
+        totals.2 += field(line, "misses");
+    }
+    totals
+}
+
+/// The `odc` CLI binary: a sibling of this experiment binary, or
+/// `ODC_BIN` when running from an unusual layout.
+fn cli_binary() -> PathBuf {
+    if let Some(p) = std::env::var_os("ODC_BIN") {
+        return PathBuf::from(p);
+    }
+    let mut p = std::env::current_exe().expect("current_exe");
+    p.set_file_name("odc");
+    p
+}
+
+fn us(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}

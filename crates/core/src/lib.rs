@@ -194,6 +194,32 @@ fn resolve(b: &mut odc_hierarchy::HierarchySchemaBuilder, name: &str) -> Categor
     }
 }
 
+/// Renders a dimension schema back into the textual form [`parse_schema`]
+/// reads: one `child > parents` line per category plus the constraints in
+/// the printer's (re-parseable) syntax. `parse_schema(&schema_to_text(ds))`
+/// yields a schema with the same edges and the same Σ, which is how a
+/// resident server and a fresh CLI process can be handed *identical*
+/// inputs from one in-memory catalog entry.
+pub fn schema_to_text(ds: &DimensionSchema) -> String {
+    let g = ds.hierarchy();
+    let mut out = String::from("hierarchy:\n");
+    for c in g.categories() {
+        if c.is_all() || g.parents(c).is_empty() {
+            continue;
+        }
+        let parents: Vec<&str> = g.parents(c).iter().map(|&p| g.name(p)).collect();
+        out.push_str(&format!("  {} > {}\n", g.name(c), parents.join(", ")));
+    }
+    out.push_str("constraints:\n");
+    for dc in ds.constraints() {
+        out.push_str(&format!(
+            "  {}\n",
+            odc_constraint::printer::display_dc(g, dc)
+        ));
+    }
+    out
+}
+
 /// One-call satisfiability: is `category` (by name) satisfiable in `ds`?
 /// Unbudgeted, so the answer is always definite.
 pub fn check_category_satisfiable(ds: &DimensionSchema, category: &str) -> Option<bool> {
@@ -332,6 +358,40 @@ mod tests {
             Some(false)
         );
         assert_eq!(check_summarizable(&ds, "Country", &["Nope"]), None);
+    }
+
+    #[test]
+    fn schema_text_round_trips() {
+        let ds = parse_schema(LOCATION).unwrap();
+        let text = schema_to_text(&ds);
+        let ds2 = parse_schema(&text).unwrap();
+        let (g, g2) = (ds.hierarchy(), ds2.hierarchy());
+        assert_eq!(g.num_categories(), g2.num_categories());
+        // Same edge set, compared by name (category ids may be renumbered
+        // by first-appearance order).
+        let edges = |g: &odc_hierarchy::HierarchySchema| {
+            let mut e: Vec<(String, String)> = g
+                .categories()
+                .flat_map(|c| {
+                    g.parents(c)
+                        .iter()
+                        .map(move |&p| (g.name(c).to_string(), g.name(p).to_string()))
+                })
+                .collect();
+            e.sort();
+            e
+        };
+        assert_eq!(edges(g), edges(g2));
+        // Same Σ, compared by the printer's canonical text.
+        let sigma = |ds: &DimensionSchema| {
+            ds.constraints()
+                .iter()
+                .map(|dc| {
+                    odc_constraint::printer::display_dc(ds.hierarchy(), dc).to_string()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(sigma(&ds), sigma(&ds2));
     }
 
     #[test]

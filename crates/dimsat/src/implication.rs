@@ -111,19 +111,51 @@ pub fn implies_governed(
 /// returning another formula's verdict. Colliding formulas then coexist
 /// in the bucket.
 ///
-/// The cache is `Sync`; parallel batteries and long analysis sessions
-/// share one instance across workers and queries.
+/// The cache is `Sync`; parallel batteries, long analysis sessions, and
+/// a resident server's worker pool (behind an `Arc`) share one instance
+/// across workers and queries.
+///
+/// ## Sessions
+///
+/// Each top-level call (one battery, one audit, one served request) runs
+/// under a [`CacheSession`] minted by [`ImplicationCache::begin_session`].
+/// Entries are tagged with the session that stored them, so a hit can
+/// tell *within-session* reuse (the same battery asking twice) from
+/// *cross-session* reuse (a warm catalog answering a later request) —
+/// the latter is counted separately in [`ImplicationCache::cross_hits`]
+/// and reported as [`CacheOutcome::CrossHit`].
 pub struct ImplicationCache {
     fingerprint: u64,
     entries: Mutex<HashMap<(Category, u64), Vec<CacheEntry>>>,
     hits: AtomicU64,
+    cross_hits: AtomicU64,
     misses: AtomicU64,
     collisions: AtomicU64,
+    next_scope: AtomicU64,
 }
 
 struct CacheEntry {
     formula: Constraint,
     verdict: CachedVerdict,
+    /// The session that stored this entry (see
+    /// [`ImplicationCache::begin_session`]).
+    scope: u64,
+}
+
+/// A borrow of an [`ImplicationCache`] scoped to one top-level call.
+/// Copyable and `Sync`-borrowing, so one session fans out across the
+/// worker threads of a parallel battery.
+#[derive(Clone, Copy)]
+pub struct CacheSession<'a> {
+    cache: &'a ImplicationCache,
+    scope: u64,
+}
+
+impl<'a> CacheSession<'a> {
+    /// The cache this session draws from.
+    pub fn cache(&self) -> &'a ImplicationCache {
+        self.cache
+    }
 }
 
 #[derive(Clone)]
@@ -139,14 +171,32 @@ impl ImplicationCache {
             fingerprint: schema_fingerprint(ds),
             entries: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
+            cross_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             collisions: AtomicU64::new(0),
+            next_scope: AtomicU64::new(1),
         }
     }
 
-    /// Queries answered from the cache.
+    /// Mints a session for one top-level call: hits on entries stored by
+    /// *other* sessions count as cross-session reuse.
+    pub fn begin_session(&self) -> CacheSession<'_> {
+        CacheSession {
+            cache: self,
+            scope: self.next_scope.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// Queries answered from the cache (within-session and cross-session
+    /// together).
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
+    }
+
+    /// The subset of [`Self::hits`] answered by an entry a *different*
+    /// session stored — the warm-catalog payoff of a resident reasoner.
+    pub fn cross_hits(&self) -> u64 {
+        self.cross_hits.load(Ordering::Relaxed)
     }
 
     /// Queries that ran a search and were stored.
@@ -195,6 +245,10 @@ pub fn schema_fingerprint(ds: &DimensionSchema) -> u64 {
 /// the same schema is answered from the cache without re-deriving
 /// `Σ ∪ {¬α}` or re-running the search. Hit/miss counts land both in the
 /// cache's counters and in the outcome's [`SearchStats`].
+///
+/// Each call is its own [cache session](ImplicationCache::begin_session),
+/// so a hit here is always *cross*-session; batteries that issue many
+/// queries per logical call use [`implies_memo_session`] instead.
 pub fn implies_memo(
     ds: &DimensionSchema,
     alpha: &DimensionConstraint,
@@ -202,6 +256,20 @@ pub fn implies_memo(
     gov: &mut Governor,
     cache: &ImplicationCache,
 ) -> ImplicationOutcome {
+    implies_memo_session(ds, alpha, opts, gov, cache.begin_session())
+}
+
+/// [`implies_memo`] under a caller-owned [`CacheSession`]: hits on
+/// entries stored by another session are counted (and observed) as
+/// cross-session hits, the measure of warm-catalog reuse.
+pub fn implies_memo_session(
+    ds: &DimensionSchema,
+    alpha: &DimensionConstraint,
+    opts: DimsatOptions,
+    gov: &mut Governor,
+    session: CacheSession<'_>,
+) -> ImplicationOutcome {
+    let cache = session.cache;
     if cache.fingerprint != schema_fingerprint(ds) {
         // Not the schema this cache was built for: run uncached (counted
         // as neither hit nor miss).
@@ -220,16 +288,21 @@ pub fn implies_memo(
                 bucket
                     .iter()
                     .find(|e| &e.formula == alpha.formula())
-                    .map(|e| e.verdict.clone()),
+                    .map(|e| (e.verdict.clone(), e.scope)),
                 !bucket.is_empty(),
             ),
             None => (None, false),
         },
         Err(_) => (None, false),
     };
-    if let Some(v) = cached {
+    if let Some((v, scope)) = cached {
         cache.hits.fetch_add(1, Ordering::Relaxed);
-        gov.obs().cache_access(CacheOutcome::Hit);
+        if scope != session.scope {
+            cache.cross_hits.fetch_add(1, Ordering::Relaxed);
+            gov.obs().cache_access(CacheOutcome::CrossHit);
+        } else {
+            gov.obs().cache_access(CacheOutcome::Hit);
+        }
         let (verdict, counterexample) = match v {
             CachedVerdict::Implied => (ImplicationVerdict::Implied, None),
             CachedVerdict::NotImplied(cx) => (ImplicationVerdict::NotImplied, cx),
@@ -267,6 +340,7 @@ pub fn implies_memo(
             m.entry(key).or_default().push(CacheEntry {
                 formula: alpha.formula().clone(),
                 verdict: v,
+                scope: session.scope,
             });
         }
     }
@@ -490,6 +564,7 @@ mod tests {
             vec![CacheEntry {
                 formula: refuted.formula().clone(),
                 verdict: CachedVerdict::NotImplied(None),
+                scope: 0,
             }],
         );
         // Pre-fix this lookup returned the colliding NotImplied verdict.
@@ -505,6 +580,61 @@ mod tests {
         assert!(again.implied());
         assert_eq!(again.stats.cache_hits, 1);
         assert_eq!(cache.collisions(), 1, "a true hit is not a collision");
+    }
+
+    #[test]
+    fn sessions_tell_within_from_cross_hits() {
+        let ds = location_sch();
+        let g = ds.hierarchy();
+        let cache = ImplicationCache::for_schema(&ds);
+        let alpha = parse_constraint(g, "Store.Country -> Store.City.Country").unwrap();
+        let mut gov = Governor::unlimited();
+        // One session asking twice: a within-session hit, not a cross one.
+        let s1 = cache.begin_session();
+        let miss = implies_memo_session(&ds, &alpha, DimsatOptions::default(), &mut gov, s1);
+        assert!(miss.implied());
+        let within = implies_memo_session(&ds, &alpha, DimsatOptions::default(), &mut gov, s1);
+        assert_eq!(within.stats.cache_hits, 1);
+        assert_eq!((cache.hits(), cache.cross_hits()), (1, 0));
+        // A later session reusing the entry is the cross-session case.
+        let s2 = cache.begin_session();
+        let cross = implies_memo_session(&ds, &alpha, DimsatOptions::default(), &mut gov, s2);
+        assert_eq!(cross.stats.cache_hits, 1);
+        assert_eq!((cache.hits(), cache.cross_hits()), (2, 1));
+        // `implies_memo` mints a session per call, so its hits are cross.
+        let memo = implies_memo(&ds, &alpha, DimsatOptions::default(), &mut gov, &cache);
+        assert!(memo.implied());
+        assert_eq!((cache.hits(), cache.cross_hits()), (3, 2));
+    }
+
+    #[test]
+    fn cross_hits_are_observed_distinctly() {
+        use odc_govern::Budget;
+        use odc_obs::{CollectingObserver, Event, Obs};
+        let ds = location_sch();
+        let g = ds.hierarchy();
+        let cache = ImplicationCache::for_schema(&ds);
+        let alpha = parse_constraint(g, "Store.Country -> Store.City.Country").unwrap();
+        let sink = Arc::new(CollectingObserver::new());
+        let mut gov =
+            Governor::from_budget(Budget::unlimited()).with_observer(Obs::new(sink.clone()));
+        let s1 = cache.begin_session();
+        implies_memo_session(&ds, &alpha, DimsatOptions::default(), &mut gov, s1);
+        implies_memo_session(&ds, &alpha, DimsatOptions::default(), &mut gov, s1);
+        let s2 = cache.begin_session();
+        implies_memo_session(&ds, &alpha, DimsatOptions::default(), &mut gov, s2);
+        let outcomes: Vec<CacheOutcome> = sink
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::Cache(o) => Some(*o),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            outcomes,
+            vec![CacheOutcome::Miss, CacheOutcome::Hit, CacheOutcome::CrossHit]
+        );
     }
 
     #[test]

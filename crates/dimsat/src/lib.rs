@@ -84,8 +84,8 @@ pub mod trace;
 pub use anytime::{AnytimeDriver, AnytimeReport};
 pub use checkpoint::{SolveCheckpoint, SweepCheckpoint};
 pub use implication::{
-    implies, implies_governed, implies_memo, implies_with, schema_fingerprint, ImplicationCache,
-    ImplicationOutcome, ImplicationVerdict,
+    implies, implies_governed, implies_memo, implies_memo_session, implies_with,
+    schema_fingerprint, CacheSession, ImplicationCache, ImplicationOutcome, ImplicationVerdict,
 };
 pub use options::{DimsatOptions, TopOrder};
 pub use solver::{CategorySweep, Dimsat, DimsatOutcome, Verdict};

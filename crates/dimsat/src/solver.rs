@@ -653,6 +653,9 @@ impl<'a> Dimsat<'a> {
                 schema_fingerprint: self.schema_fp(),
                 mode: if stop_at_first { "decide" } else { "enumerate" },
                 worker: gov.worker_id(),
+                // Stamped by the server's request-tagging sink; a bare
+                // solve has no request.
+                request: None,
             };
             if let Some(o) = gov.obs().get() {
                 o.solve_started(&start);
@@ -720,6 +723,7 @@ impl<'a> Dimsat<'a> {
                 },
                 interrupt: interrupted.map(|i| i.to_string()),
                 counters: solve_counters(&stats),
+                request: None,
             };
             if let Some(o) = gov.obs().get() {
                 o.solve_finished(&end);

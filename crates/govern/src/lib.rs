@@ -171,6 +171,25 @@ impl Budget {
         }
     }
 
+    /// The pointwise minimum of two budgets: each limit is the tighter of
+    /// the two (an unset limit imposes nothing). A serving policy caps
+    /// per-request budgets with this — a client may ask for *less* than
+    /// the server allows, never more.
+    pub fn intersect(self, other: Budget) -> Budget {
+        fn min_opt<T: Ord>(a: Option<T>, b: Option<T>) -> Option<T> {
+            match (a, b) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (x, None) | (None, x) => x,
+            }
+        }
+        Budget {
+            deadline: min_opt(self.deadline, other.deadline),
+            node_limit: min_opt(self.node_limit, other.node_limit),
+            check_limit: min_opt(self.check_limit, other.check_limit),
+            depth_limit: min_opt(self.depth_limit, other.depth_limit),
+        }
+    }
+
     /// Whether any limit is set.
     pub fn is_limited(&self) -> bool {
         self.deadline.is_some()
@@ -314,6 +333,15 @@ impl Governor {
     /// emits on every poll (deterministic for tests).
     pub fn with_heartbeat_interval(mut self, interval: Duration) -> Self {
         self.hb_interval = Some(interval);
+        self
+    }
+
+    /// Tags this governor's events with a worker id. [`SharedGovernor`]
+    /// assigns ids automatically; a server worker pool minting one
+    /// governor per request sets the pool thread's id here so heartbeats
+    /// and solve events attribute to the right worker.
+    pub fn with_worker_id(mut self, id: u64) -> Self {
+        self.worker_id = Some(id);
         self
     }
 
@@ -799,6 +827,26 @@ mod tests {
         assert_eq!(b.check_limit, Some(3));
         assert_eq!(b.depth_limit, Some(9));
         assert!(!Budget::unlimited().is_limited());
+    }
+
+    #[test]
+    fn budget_intersection_takes_the_tighter_limit() {
+        let policy = Budget::unlimited()
+            .with_deadline(Duration::from_millis(100))
+            .with_node_limit(1_000);
+        let ask = Budget::unlimited()
+            .with_deadline(Duration::from_millis(500))
+            .with_node_limit(10)
+            .with_check_limit(5);
+        let capped = policy.intersect(ask);
+        assert_eq!(capped.deadline, Some(Duration::from_millis(100)));
+        assert_eq!(capped.node_limit, Some(10));
+        assert_eq!(capped.check_limit, Some(5));
+        assert_eq!(capped.depth_limit, None);
+        // Unlimited on both sides stays unlimited; intersection with an
+        // unlimited budget is the identity.
+        assert_eq!(Budget::unlimited().intersect(Budget::unlimited()), Budget::unlimited());
+        assert_eq!(Budget::unlimited().intersect(policy), policy);
     }
 
     #[test]

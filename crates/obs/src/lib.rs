@@ -34,7 +34,9 @@
 //! | `prune`       | EXPAND pruning sites               | reason (cycle/shortcut/…)          |
 //! | `backtrack`   | EXPAND unwinding                   | depth (histogrammed by the sink)   |
 //! | `check`       | CHECK outcome                      | induced or not                     |
-//! | `cache`       | implication memo-cache             | hit/miss/collision/bypass          |
+//! | `cache`       | implication memo-cache             | hit/cross_hit/miss/collision/bypass |
+//! | `conn`        | `odc-serve` accept loop            | conn id, phase, peer               |
+//! | `request`     | `odc-serve` dispatch               | request id, command, status, timing |
 //! | `heartbeat`   | `Governor::poll`                   | nodes/sec, elapsed, budget used    |
 //! | `worker`      | parallel batch drivers             | worker id, per-worker counters     |
 //! | `fault`       | `Governor` fault-injection harness | kind, site, trigger, counters      |
@@ -116,8 +118,13 @@ impl PruneReason {
 /// How an implication memo-cache access resolved.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CacheOutcome {
-    /// Answered from the cache (formula verified equal).
+    /// Answered from the cache by an entry stored earlier in the *same*
+    /// session (formula verified equal).
     Hit,
+    /// Answered from the cache by an entry another session stored — the
+    /// warm-catalog payoff a resident server measures (a cache session
+    /// corresponds to one top-level call, e.g. one server request).
+    CrossHit,
     /// Not present; the query ran and was stored.
     Miss,
     /// The 64-bit key matched but the stored formula differed — the stale
@@ -133,6 +140,7 @@ impl CacheOutcome {
     pub fn as_str(self) -> &'static str {
         match self {
             CacheOutcome::Hit => "hit",
+            CacheOutcome::CrossHit => "cross_hit",
             CacheOutcome::Miss => "miss",
             CacheOutcome::CollisionRejected => "collision_rejected",
             CacheOutcome::Bypass => "bypass",
@@ -153,6 +161,10 @@ pub struct SolveStart {
     pub mode: &'static str,
     /// Worker id when the solve ran inside a parallel batch.
     pub worker: Option<u64>,
+    /// Server request id when the solve ran on behalf of a served
+    /// request — lets one JSONL stream interleave many concurrent
+    /// requests unambiguously. `None` outside a server.
+    pub request: Option<u64>,
 }
 
 /// The flat counters of one finished solve (mirrors the solver's
@@ -194,6 +206,44 @@ pub struct SolveEnd {
     pub interrupt: Option<String>,
     /// The run's counters (identical to the outcome's `SearchStats`).
     pub counters: SolveCounters,
+    /// Server request id, mirroring [`SolveStart::request`].
+    pub request: Option<u64>,
+}
+
+/// A connection lifecycle event from a resident server.
+#[derive(Debug, Clone)]
+pub struct ConnEvent {
+    /// Process-unique connection id.
+    pub conn_id: u64,
+    /// `"accepted"`, `"closed"`, or `"rejected_overloaded"` (admission
+    /// control turned the connection away at the bounded queue).
+    pub phase: &'static str,
+    /// Peer address, when known.
+    pub peer: String,
+}
+
+/// A request lifecycle event from a resident server: one line at dispatch
+/// and one at completion bracket every solve the request triggered.
+#[derive(Debug, Clone)]
+pub struct RequestEvent {
+    /// Process-unique request id (the value threaded into
+    /// [`SolveStart::request`] / [`SolveEnd::request`]).
+    pub request_id: u64,
+    /// The connection the request arrived on.
+    pub conn_id: u64,
+    /// `"start"` or `"end"`.
+    pub phase: &'static str,
+    /// The protocol command (`"check"`, `"implies"`, …).
+    pub command: String,
+    /// The catalog schema the request addressed, if any.
+    pub schema: Option<String>,
+    /// Response status on `"end"` (`"ok"`, `"error"`, `"unknown"`,
+    /// `"cancelled"`); `None` on `"start"`.
+    pub status: Option<String>,
+    /// Wall-clock microseconds from dispatch to response on `"end"`.
+    pub elapsed_us: Option<u64>,
+    /// Server worker thread that served the request.
+    pub worker: Option<u64>,
 }
 
 /// A budget heartbeat from a governed search still in flight.
@@ -266,6 +316,10 @@ pub trait Observer: Send + Sync {
     fn check_outcome(&self, _solve_id: u64, _induced: bool) {}
     /// The implication memo-cache was consulted.
     fn cache_access(&self, _outcome: CacheOutcome) {}
+    /// A server connection changed state.
+    fn conn(&self, _e: &ConnEvent) {}
+    /// A served request was dispatched or completed.
+    fn request(&self, _e: &RequestEvent) {}
     /// A governed search is still in flight.
     fn heartbeat(&self, _hb: &Heartbeat) {}
     /// A parallel-battery worker drained its stripe.
@@ -353,6 +407,22 @@ impl Obs {
         }
     }
 
+    /// Forwards a connection lifecycle event.
+    #[inline]
+    pub fn conn(&self, e: &ConnEvent) {
+        if let Some(o) = &self.0 {
+            o.conn(e);
+        }
+    }
+
+    /// Forwards a request lifecycle event.
+    #[inline]
+    pub fn request(&self, e: &RequestEvent) {
+        if let Some(o) = &self.0 {
+            o.request(e);
+        }
+    }
+
     /// Forwards a heartbeat.
     #[inline]
     pub fn heartbeat(&self, hb: &Heartbeat) {
@@ -420,6 +490,16 @@ impl Observer for MultiObserver {
     fn cache_access(&self, outcome: CacheOutcome) {
         for s in &self.sinks {
             s.cache_access(outcome);
+        }
+    }
+    fn conn(&self, e: &ConnEvent) {
+        for s in &self.sinks {
+            s.conn(e);
+        }
+    }
+    fn request(&self, e: &RequestEvent) {
+        for s in &self.sinks {
+            s.request(e);
         }
     }
     fn heartbeat(&self, hb: &Heartbeat) {
@@ -585,12 +665,13 @@ impl Observer for JsonlObserver {
         self.with_agg(e.solve_id, |_| {});
         self.emit(format!(
             "{{\"event\":\"solve_start\",\"solve_id\":{},\"root\":\"{}\",\
-             \"schema_fingerprint\":{},\"mode\":\"{}\",\"worker\":{}}}",
+             \"schema_fingerprint\":{},\"mode\":\"{}\",\"worker\":{},\"request\":{}}}",
             e.solve_id,
             json_escape(&e.root),
             e.schema_fingerprint,
             e.mode,
             json_opt_u64(e.worker),
+            json_opt_u64(e.request),
         ));
     }
 
@@ -615,6 +696,7 @@ impl Observer for JsonlObserver {
             .join(",");
         self.emit(format!(
             "{{\"event\":\"solve_end\",\"solve_id\":{},\"verdict\":\"{}\",\"interrupt\":{},\
+             \"request\":{},\
              \"expand_calls\":{},\"check_calls\":{},\"dead_ends\":{},\"late_rejections\":{},\
              \"assignments_tested\":{},\"frozen_found\":{},\"struct_clones\":{},\
              \"cache_hits\":{},\"cache_misses\":{},\"cache_collisions\":{},\"elapsed_us\":{},\
@@ -626,6 +708,7 @@ impl Observer for JsonlObserver {
                 Some(i) => format!("\"{}\"", json_escape(i)),
                 None => "null".to_string(),
             },
+            json_opt_u64(e.request),
             c.expand_calls,
             c.check_calls,
             c.dead_ends,
@@ -664,6 +747,36 @@ impl Observer for JsonlObserver {
         self.emit(format!(
             "{{\"event\":\"cache\",\"outcome\":\"{}\"}}",
             outcome.as_str()
+        ));
+    }
+
+    fn conn(&self, e: &ConnEvent) {
+        self.emit(format!(
+            "{{\"event\":\"conn\",\"conn_id\":{},\"phase\":\"{}\",\"peer\":\"{}\"}}",
+            e.conn_id,
+            e.phase,
+            json_escape(&e.peer),
+        ));
+    }
+
+    fn request(&self, e: &RequestEvent) {
+        self.emit(format!(
+            "{{\"event\":\"request\",\"request_id\":{},\"conn_id\":{},\"phase\":\"{}\",\
+             \"command\":\"{}\",\"schema\":{},\"status\":{},\"elapsed_us\":{},\"worker\":{}}}",
+            e.request_id,
+            e.conn_id,
+            e.phase,
+            json_escape(&e.command),
+            match &e.schema {
+                Some(s) => format!("\"{}\"", json_escape(s)),
+                None => "null".to_string(),
+            },
+            match &e.status {
+                Some(s) => format!("\"{}\"", json_escape(s)),
+                None => "null".to_string(),
+            },
+            json_opt_u64(e.elapsed_us),
+            json_opt_u64(e.worker),
         ));
     }
 
@@ -746,8 +859,12 @@ impl ProgressObserver {
 
 impl Observer for ProgressObserver {
     fn solve_started(&self, e: &SolveStart) {
+        let req = match e.request {
+            Some(r) => format!(" [request {r}]"),
+            None => String::new(),
+        };
         self.emit(format!(
-            "progress: solve #{} started (root {}, {})",
+            "progress: solve #{} started (root {}, {}){req}",
             e.solve_id, e.root, e.mode
         ));
     }
@@ -785,6 +902,24 @@ impl Observer for ProgressObserver {
         ));
     }
 
+    fn conn(&self, e: &ConnEvent) {
+        self.emit(format!(
+            "progress: conn #{} {} ({})",
+            e.conn_id, e.phase, e.peer
+        ));
+    }
+
+    fn request(&self, e: &RequestEvent) {
+        let status = match &e.status {
+            Some(s) => format!(" -> {s}"),
+            None => String::new(),
+        };
+        self.emit(format!(
+            "progress: request #{} {} ({}){status}",
+            e.request_id, e.phase, e.command
+        ));
+    }
+
     fn worker_finished(&self, w: &WorkerStats) {
         self.emit(format!(
             "progress: {} worker {} done ({} items, {} nodes, {} checks)",
@@ -819,6 +954,10 @@ pub enum Event {
     Check(u64, bool),
     /// A `cache_access` call.
     Cache(CacheOutcome),
+    /// A `conn` call.
+    Conn(ConnEvent),
+    /// A `request` call.
+    Request(RequestEvent),
     /// A `heartbeat` call.
     Heartbeat(Heartbeat),
     /// A `worker_finished` call.
@@ -870,6 +1009,12 @@ impl Observer for CollectingObserver {
     }
     fn cache_access(&self, outcome: CacheOutcome) {
         self.push(Event::Cache(outcome));
+    }
+    fn conn(&self, e: &ConnEvent) {
+        self.push(Event::Conn(e.clone()));
+    }
+    fn request(&self, e: &RequestEvent) {
+        self.push(Event::Request(e.clone()));
     }
     fn heartbeat(&self, hb: &Heartbeat) {
         self.push(Event::Heartbeat(hb.clone()));
@@ -935,6 +1080,7 @@ mod tests {
             schema_fingerprint: 42,
             mode: "decide",
             worker: None,
+            request: None,
         });
         sink.prune(7, PruneReason::Cycle);
         sink.prune(7, PruneReason::Cycle);
@@ -953,6 +1099,7 @@ mod tests {
                 check_calls: 2,
                 ..Default::default()
             },
+            request: None,
         });
         let lines = jsonl_lines(&buf);
         assert_eq!(lines.len(), 2);
@@ -982,6 +1129,7 @@ mod tests {
                 schema_fingerprint: 0,
                 mode: "decide",
                 worker: Some(id),
+                request: Some(id),
             });
         }
         sink.prune(1, PruneReason::Cycle);
@@ -992,6 +1140,7 @@ mod tests {
                 verdict: "unsat",
                 interrupt: None,
                 counters: SolveCounters::default(),
+                request: Some(id),
             });
         }
         let lines = jsonl_lines(&buf);
@@ -1034,6 +1183,69 @@ mod tests {
         assert!(lines[0].contains("\"budget_fraction\":0.2500"));
         assert!(lines[1].contains("\"outcome\":\"collision_rejected\""));
         assert!(lines[2].contains("\"battery\":\"category_sweep\""));
+    }
+
+    #[test]
+    fn jsonl_conn_and_request_lines() {
+        let buf = SharedBuf::default();
+        let sink = JsonlObserver::new(Box::new(buf.clone()));
+        sink.conn(&ConnEvent {
+            conn_id: 3,
+            phase: "accepted",
+            peer: "127.0.0.1:9999".into(),
+        });
+        sink.request(&RequestEvent {
+            request_id: 11,
+            conn_id: 3,
+            phase: "start",
+            command: "implies".into(),
+            schema: Some("location".into()),
+            status: None,
+            elapsed_us: None,
+            worker: Some(0),
+        });
+        sink.request(&RequestEvent {
+            request_id: 11,
+            conn_id: 3,
+            phase: "end",
+            command: "implies".into(),
+            schema: Some("location".into()),
+            status: Some("ok".into()),
+            elapsed_us: Some(1234),
+            worker: Some(0),
+        });
+        let lines = jsonl_lines(&buf);
+        assert!(lines[0].contains("\"event\":\"conn\""), "{}", lines[0]);
+        assert!(lines[0].contains("\"phase\":\"accepted\""));
+        assert!(lines[1].contains("\"event\":\"request\""), "{}", lines[1]);
+        assert!(lines[1].contains("\"request_id\":11"));
+        assert!(lines[1].contains("\"status\":null"));
+        assert!(lines[2].contains("\"status\":\"ok\""));
+        assert!(lines[2].contains("\"elapsed_us\":1234"));
+    }
+
+    #[test]
+    fn solve_lines_carry_request_ids() {
+        let buf = SharedBuf::default();
+        let sink = JsonlObserver::new(Box::new(buf.clone()));
+        sink.solve_started(&SolveStart {
+            solve_id: 9,
+            root: "Store".into(),
+            schema_fingerprint: 0,
+            mode: "decide",
+            worker: None,
+            request: Some(4),
+        });
+        sink.solve_finished(&SolveEnd {
+            solve_id: 9,
+            verdict: "unsat",
+            interrupt: None,
+            counters: SolveCounters::default(),
+            request: Some(4),
+        });
+        let lines = jsonl_lines(&buf);
+        assert!(lines[0].contains("\"request\":4"), "{}", lines[0]);
+        assert!(lines[1].contains("\"request\":4"), "{}", lines[1]);
     }
 
     #[test]

@@ -18,4 +18,4 @@ pub mod dnf;
 pub mod nullpad;
 
 pub use dnf::{dnf_flatten, DnfReport};
-pub use nullpad::{null_pad, NullPadReport};
+pub use nullpad::{null_pad, NullPadError, NullPadReport};

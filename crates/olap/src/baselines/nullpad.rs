@@ -14,6 +14,27 @@
 use odc_hierarchy::Category;
 use odc_instance::{validate, DimensionInstance, Member};
 use std::collections::HashMap;
+use std::fmt;
+
+/// Why [`null_pad`] refused an instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NullPadError {
+    /// The hierarchy schema contains a cycle; the padding walk would not
+    /// terminate.
+    CyclicSchema,
+}
+
+impl fmt::Display for NullPadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NullPadError::CyclicSchema => {
+                write!(f, "null padding does not support cyclic hierarchy schemas")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NullPadError {}
 
 /// Outcome of a null-padding transformation.
 #[derive(Debug, Clone)]
@@ -113,10 +134,10 @@ impl Work {
 /// Pads `d` with null members so that, within each category, every member
 /// has a parent in every parent-category used by that category's members
 /// (the *parent profile*). Fails on cyclic schemas.
-pub fn null_pad(d: &DimensionInstance) -> Result<NullPadReport, String> {
+pub fn null_pad(d: &DimensionInstance) -> Result<NullPadReport, NullPadError> {
     let g = d.schema();
     if g.has_cycle() {
-        return Err("null padding does not support cyclic hierarchy schemas".into());
+        return Err(NullPadError::CyclicSchema);
     }
 
     // Working copy of the member graph.

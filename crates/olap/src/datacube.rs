@@ -17,7 +17,35 @@ use crate::agg::AggFn;
 use odc_hierarchy::Category;
 use odc_instance::{DimensionInstance, Member, RollupTable};
 use std::collections::BTreeMap;
+use std::fmt;
 use std::sync::Arc;
+
+/// A structural defect in a [`MultiFactTable`], found by
+/// [`MultiFactTable::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataCubeError {
+    /// A fact row keys a member that is not a *base* member of its
+    /// dimension (facts live at the bottom of every dimension).
+    NonBaseCoordinate {
+        /// Index of the offending row.
+        row: usize,
+        /// Index of the offending dimension within the row.
+        dim: usize,
+    },
+}
+
+impl fmt::Display for DataCubeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataCubeError::NonBaseCoordinate { row, dim } => write!(
+                f,
+                "row {row}: coordinate {dim} is not a base member of its dimension"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DataCubeError {}
 
 /// A fact table over several dimensions: each row keys one base member
 /// per dimension plus a measure.
@@ -67,7 +95,7 @@ impl MultiFactTable {
     }
 
     /// Checks that every coordinate is a base member of its dimension.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), DataCubeError> {
         let bases: Vec<std::collections::HashSet<Member>> = self
             .dims
             .iter()
@@ -76,9 +104,7 @@ impl MultiFactTable {
         for (i, (coords, _)) in self.rows.iter().enumerate() {
             for (k, m) in coords.iter().enumerate() {
                 if !bases[k].contains(m) {
-                    return Err(format!(
-                        "row {i}: coordinate {k} is not a base member of its dimension"
-                    ));
+                    return Err(DataCubeError::NonBaseCoordinate { row: i, dim: k });
                 }
             }
         }
@@ -454,6 +480,154 @@ mod tests {
         assert_eq!(chosen2.levels, mid.levels);
         // No materialization helps when nothing is safe.
         assert!(choose_source(&materialized, &[country_c, month_c], |_, _, _| false).is_none());
+    }
+
+    /// The instance-level summarizability verdict, derived from the
+    /// rollup data itself: `to` is summarizable from `{from}` iff every
+    /// base member reaches its `to`-ancestor through its `from`-ancestor
+    /// (no member skips the `from` level, none is double-routed).
+    fn instance_verdict(d: &DimensionInstance, from: Category, to: Category) -> bool {
+        let rt = RollupTable::new(d);
+        d.base_members().into_iter().all(|m| {
+            let direct = rt.ancestor_in(m, to);
+            let via = rt.ancestor_in(m, from).and_then(|a| rt.ancestor_in(a, to));
+            direct == via
+        })
+    }
+
+    #[test]
+    fn is_safe_skips_verdict_for_identity_dimensions() {
+        let (stores, time) = dims();
+        let store_c = cat(&stores, "Store");
+        let month_c = cat(&time, "Month");
+        let day_c = cat(&time, "Day");
+        // The store dimension stays at Store: the verdict must only be
+        // consulted for the time dimension.
+        let mut asked = Vec::new();
+        let plan = RollupPlan {
+            source: vec![store_c, day_c],
+            target: vec![store_c, month_c],
+        };
+        assert!(plan.is_safe(|dim, from, to| {
+            asked.push((dim, from, to));
+            true
+        }));
+        assert_eq!(asked, vec![(1, day_c, month_c)]);
+    }
+
+    #[test]
+    fn is_safe_rejects_on_any_dimension() {
+        let (stores, time) = dims();
+        let state_c = cat(&stores, "State");
+        let country_c = cat(&stores, "Country");
+        let day_c = cat(&time, "Day");
+        let month_c = cat(&time, "Month");
+        let plan = RollupPlan {
+            source: vec![state_c, day_c],
+            target: vec![country_c, month_c],
+        };
+        // Time is safe but the store dimension is not: one bad dimension
+        // poisons the plan.
+        assert!(!plan.is_safe(|dim, _, _| dim == 1));
+        assert!(plan.is_safe(|_, _, _| true));
+    }
+
+    #[test]
+    fn is_safe_agrees_with_instance_summarizability() {
+        let (stores, time) = dims();
+        let store_c = cat(&stores, "Store");
+        let state_c = cat(&stores, "State");
+        let country_c = cat(&stores, "Country");
+        let day_c = cat(&time, "Day");
+        let month_c = cat(&time, "Month");
+        let verdict = |dim: usize, from: Category, to: Category| {
+            let d: &DimensionInstance = if dim == 0 { &stores } else { &time };
+            instance_verdict(d, from, to)
+        };
+        // Country from Store is fine (every store reaches its country);
+        // Country from State loses s2, and the derived verdict knows it.
+        assert!(RollupPlan {
+            source: vec![store_c, day_c],
+            target: vec![country_c, month_c],
+        }
+        .is_safe(verdict));
+        assert!(!RollupPlan {
+            source: vec![state_c, day_c],
+            target: vec![country_c, month_c],
+        }
+        .is_safe(verdict));
+    }
+
+    #[test]
+    fn choose_source_ignores_arity_mismatched_cuboids() {
+        let (stores, time) = dims();
+        let f = facts(&stores, &time);
+        let rollups = [RollupTable::new(&stores), RollupTable::new(&time)];
+        let store_c = cat(&stores, "Store");
+        let country_c = cat(&stores, "Country");
+        let day_c = cat(&time, "Day");
+        let month_c = cat(&time, "Month");
+        let base = cuboid(&f, &rollups, &[store_c, day_c], AggFn::Sum);
+        // A one-dimensional cuboid can never answer a two-dimensional
+        // query, even with an always-true verdict.
+        let skinny = Cuboid {
+            levels: vec![country_c],
+            agg: AggFn::Sum,
+            cells: BTreeMap::new(),
+        };
+        let materialized = vec![skinny, base.clone()];
+        let chosen = choose_source(&materialized, &[country_c, month_c], |_, _, _| true).unwrap();
+        assert_eq!(chosen.levels, base.levels);
+    }
+
+    #[test]
+    fn summarizability_verdict_forbids_the_cheapest_source() {
+        // The satellite case: the cheapest materialization is excluded by
+        // the *instance-derived* summarizability verdict, so the planner
+        // must pay for the bigger safe one.
+        let (stores, time) = dims();
+        let f = facts(&stores, &time);
+        let rollups = [RollupTable::new(&stores), RollupTable::new(&time)];
+        let store_c = cat(&stores, "Store");
+        let state_c = cat(&stores, "State");
+        let country_c = cat(&stores, "Country");
+        let day_c = cat(&time, "Day");
+        let month_c = cat(&time, "Month");
+        let base = cuboid(&f, &rollups, &[store_c, day_c], AggFn::Sum);
+        let mid = cuboid(&f, &rollups, &[state_c, day_c], AggFn::Sum);
+        assert!(mid.len() < base.len(), "mid must be the cheaper source");
+        let materialized = vec![base.clone(), mid.clone()];
+        let verdict = |dim: usize, from: Category, to: Category| {
+            let d: &DimensionInstance = if dim == 0 { &stores } else { &time };
+            instance_verdict(d, from, to)
+        };
+        let chosen = choose_source(&materialized, &[country_c, month_c], verdict).unwrap();
+        assert_eq!(
+            chosen.levels, base.levels,
+            "the cheap (State, Day) cuboid is unsafe for Country: s2 would vanish"
+        );
+        // And the choice matters: rolling up from the forbidden source
+        // really does produce the wrong answer.
+        let wrong = roll_up(&mid, &rollups, &[country_c, month_c]);
+        let right = roll_up(&base, &rollups, &[country_c, month_c]);
+        assert_ne!(wrong, right);
+    }
+
+    #[test]
+    fn validate_reports_row_and_dimension() {
+        let (stores, time) = dims();
+        let s1 = stores.member_by_key("s1").unwrap();
+        let d1 = time.member_by_key("d1").unwrap();
+        let jan = time.member_by_key("Jan").unwrap();
+        let mut f = MultiFactTable::new(vec![stores.clone(), time.clone()]);
+        f.push(vec![s1, d1], 1);
+        f.push(vec![s1, jan], 2); // Jan is not a base member of time
+        assert_eq!(
+            f.validate(),
+            Err(DataCubeError::NonBaseCoordinate { row: 1, dim: 1 })
+        );
+        let msg = f.validate().unwrap_err().to_string();
+        assert!(msg.contains("row 1"), "{msg}");
     }
 
     #[test]

@@ -33,6 +33,6 @@ pub mod fact;
 
 pub use agg::AggFn;
 pub use cube::{cube_view, CubeView};
-pub use datacube::{cuboid, roll_up, Cuboid, MultiFactTable, RollupPlan};
+pub use datacube::{choose_source, cuboid, roll_up, Cuboid, DataCubeError, MultiFactTable, RollupPlan};
 pub use derive::derive_cube_view;
 pub use fact::FactTable;

@@ -1,0 +1,190 @@
+//! The resident schema catalog.
+//!
+//! A one-shot CLI invocation parses the schema, builds an
+//! [`ImplicationCache`], and throws both away on exit — so the cache
+//! counters only ever measure within-process reuse. The catalog keeps
+//! both resident: each entry owns the parsed [`DimensionSchema`], its
+//! fingerprint, and a warm per-schema cache shared (behind `Arc`) by
+//! every worker thread that serves a request against the schema.
+//! Cross-request reuse shows up in the cache's `cross_hits` counter,
+//! which [`crate::server`] reports through the `stats` command.
+
+use odc_core::constraint::DimensionSchema;
+use odc_core::dimsat::{schema_fingerprint, ImplicationCache};
+use odc_core::SchemaParseError;
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+/// One resident schema: the parsed `(G, Σ)`, its fingerprint, and the
+/// warm implication cache every request against it shares.
+pub struct CatalogEntry {
+    name: String,
+    schema: DimensionSchema,
+    fingerprint: u64,
+    cache: ImplicationCache,
+}
+
+impl CatalogEntry {
+    /// Builds an entry (fingerprints the schema and seeds an empty
+    /// cache).
+    pub fn new(name: &str, schema: DimensionSchema) -> Self {
+        let fingerprint = schema_fingerprint(&schema);
+        let cache = ImplicationCache::for_schema(&schema);
+        CatalogEntry {
+            name: name.to_string(),
+            schema,
+            fingerprint,
+            cache,
+        }
+    }
+
+    /// The catalog name the entry was loaded under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The parsed dimension schema.
+    pub fn schema(&self) -> &DimensionSchema {
+        &self.schema
+    }
+
+    /// Fingerprint of hierarchy edges + Σ (the checkpoint/cache key).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The schema's warm implication cache.
+    pub fn cache(&self) -> &ImplicationCache {
+        &self.cache
+    }
+}
+
+/// A named map of resident schemas, shareable across worker threads.
+///
+/// Lock discipline: the `RwLock` guards only the *map*; entries are
+/// handed out as `Arc`s, so a `load`/`unload` never blocks requests
+/// already running against an entry (they keep their `Arc` until done —
+/// an unloaded schema's cache simply stops being findable).
+#[derive(Default)]
+pub struct SchemaCatalog {
+    entries: RwLock<HashMap<String, Arc<CatalogEntry>>>,
+}
+
+/// Reads through lock poisoning: a panicking loader leaves the map in
+/// whatever consistent state the last completed insert produced.
+fn read_map(
+    entries: &RwLock<HashMap<String, Arc<CatalogEntry>>>,
+) -> std::sync::RwLockReadGuard<'_, HashMap<String, Arc<CatalogEntry>>> {
+    entries.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn write_map(
+    entries: &RwLock<HashMap<String, Arc<CatalogEntry>>>,
+) -> std::sync::RwLockWriteGuard<'_, HashMap<String, Arc<CatalogEntry>>> {
+    entries.write().unwrap_or_else(|e| e.into_inner())
+}
+
+impl SchemaCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        SchemaCatalog::default()
+    }
+
+    /// Inserts (or replaces) an already-parsed schema under `name`.
+    /// Replacing an entry discards its warm cache — the new schema may
+    /// imply different things.
+    pub fn insert(&self, name: &str, schema: DimensionSchema) -> Arc<CatalogEntry> {
+        let entry = Arc::new(CatalogEntry::new(name, schema));
+        write_map(&self.entries).insert(name.to_string(), Arc::clone(&entry));
+        entry
+    }
+
+    /// Parses schema text (the [`odc_core::parse_schema`] format) and
+    /// inserts it under `name`.
+    pub fn load_text(
+        &self,
+        name: &str,
+        text: &str,
+    ) -> Result<Arc<CatalogEntry>, SchemaParseError> {
+        let schema = odc_core::parse_schema(text)?;
+        Ok(self.insert(name, schema))
+    }
+
+    /// Looks up an entry; the returned `Arc` stays valid across a
+    /// concurrent `unload`.
+    pub fn get(&self, name: &str) -> Option<Arc<CatalogEntry>> {
+        read_map(&self.entries).get(name).cloned()
+    }
+
+    /// Removes an entry; returns whether it existed.
+    pub fn remove(&self, name: &str) -> bool {
+        write_map(&self.entries).remove(name).is_some()
+    }
+
+    /// Number of resident schemas.
+    pub fn len(&self) -> usize {
+        read_map(&self.entries).len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        read_map(&self.entries).is_empty()
+    }
+
+    /// All entries, sorted by name (stable listing for `schemas`/`stats`).
+    pub fn snapshot(&self) -> Vec<Arc<CatalogEntry>> {
+        let mut all: Vec<Arc<CatalogEntry>> =
+            read_map(&self.entries).values().cloned().collect();
+        all.sort_by(|a, b| a.name.cmp(&b.name));
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LOCATION: &str = "
+        hierarchy:
+          Store > City
+          City > Country
+          Country > All
+        constraints:
+          Store_City
+    ";
+
+    #[test]
+    fn load_get_unload() {
+        let cat = SchemaCatalog::new();
+        assert!(cat.is_empty());
+        let entry = cat.load_text("loc", LOCATION).unwrap();
+        assert_eq!(entry.name(), "loc");
+        assert_eq!(entry.schema().hierarchy().num_categories(), 4);
+        assert_eq!(cat.len(), 1);
+        let again = cat.get("loc").unwrap();
+        assert_eq!(again.fingerprint(), entry.fingerprint());
+        assert!(cat.remove("loc"));
+        assert!(!cat.remove("loc"));
+        assert!(cat.get("loc").is_none());
+        // The Arc from before the unload still works.
+        assert_eq!(entry.schema().hierarchy().num_categories(), 4);
+    }
+
+    #[test]
+    fn replace_discards_warm_cache() {
+        let cat = SchemaCatalog::new();
+        let a = cat.load_text("s", LOCATION).unwrap();
+        let b = cat.load_text("s", LOCATION).unwrap();
+        // Same schema text, but a fresh entry (and a cold cache).
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(b.cache().hits(), 0);
+    }
+
+    #[test]
+    fn bad_text_is_rejected() {
+        let cat = SchemaCatalog::new();
+        assert!(cat.load_text("bad", "hierarchy:\n  broken\n").is_err());
+        assert!(cat.is_empty());
+    }
+}

@@ -1,0 +1,63 @@
+//! A small blocking client for the line protocol — what `odc client`,
+//! the load generator, and the integration tests speak through.
+
+use crate::protocol::{stuff_block, Response};
+use std::io::{self, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One connection to a resident server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        // Request/response round trips; Nagle batching only adds
+        // delayed-ACK stalls here.
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { reader, writer })
+    }
+
+    /// Sends one request line and reads the response block. An EOF
+    /// before any status line (the server rejected the connection after
+    /// answering, or dropped mid-drain) surfaces as `UnexpectedEof`.
+    pub fn request(&mut self, line: &str) -> io::Result<Response> {
+        let mut buf = String::with_capacity(line.len() + 1);
+        buf.push_str(line);
+        buf.push('\n');
+        self.writer.write_all(buf.as_bytes())?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// Sends `load <name>` followed by the dot-framed schema text.
+    pub fn load(&mut self, name: &str, schema_text: &str) -> io::Result<Response> {
+        let mut buf = format!("load {name}\n");
+        buf.push_str(&stuff_block(schema_text));
+        buf.push_str(".\n");
+        self.writer.write_all(buf.as_bytes())?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// Reads one response block (for connections where the server
+    /// speaks first, e.g. an `overloaded` rejection).
+    pub fn read_response(&mut self) -> io::Result<Response> {
+        Response::read_from(&mut self.reader)?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before responding",
+            )
+        })
+    }
+
+    /// Best-effort `quit`.
+    pub fn quit(mut self) -> io::Result<()> {
+        let _ = self.request("quit")?;
+        Ok(())
+    }
+}

@@ -1,0 +1,40 @@
+//! # odc-serve
+//!
+//! A resident constraint-reasoning server for OLAP dimension schemas:
+//! the amortization layer the one-shot CLI cannot provide. The paper's
+//! reasoning problems (Hurtado & Mendelzon, PODS 2002) interrogate the
+//! *same* schema over and over — Theorem 2 turns implication into
+//! satisfiability queries, Theorem 1 turns summarizability into
+//! implication batteries — so a long-lived process that keeps parsed
+//! schemas and warm [`ImplicationCache`]s resident pays the schema cost
+//! once and answers the rest from cache.
+//!
+//! The crate is zero-dependency (`std::net` + the workspace's own
+//! layers):
+//!
+//! * [`catalog`] — the resident schema catalog: parsed
+//!   `DimensionSchema`s, fingerprints, warm per-schema caches shared
+//!   across worker threads.
+//! * [`protocol`] — the line-delimited request grammar (mirroring the
+//!   `odc` CLI) and dot-framed response blocks.
+//! * [`server`] — accept loop, bounded admission queue (`overloaded`
+//!   instead of unbounded buffering), fixed worker pool, per-request
+//!   [`odc_core::Governor`] budgets capped by a server-wide policy,
+//!   disconnect-cancellation, and graceful drain that checkpoints
+//!   interrupted solves as `odc-checkpoint v1` envelopes.
+//! * [`client`] — the blocking client `odc client`, the load generator,
+//!   and the tests speak through.
+//!
+//! [`ImplicationCache`]: odc_core::dimsat::ImplicationCache
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
+pub mod catalog;
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use catalog::{CatalogEntry, SchemaCatalog};
+pub use client::Client;
+pub use protocol::{BudgetAsk, Command, Response};
+pub use server::{ServeConfig, ServeStats, Server, ShutdownHandle};

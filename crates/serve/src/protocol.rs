@@ -1,0 +1,589 @@
+//! The line-delimited text protocol.
+//!
+//! Requests are single lines that mirror the `odc` CLI grammar, with the
+//! schema *file* argument replaced by a catalog *name*:
+//!
+//! ```text
+//! load <name>                      (schema text follows, dot-terminated)
+//! unload <name>
+//! schemas
+//! stats
+//! ping
+//! check <name> <category> [budget flags]
+//! audit <name> [budget flags]
+//! implies <name> <constraint> [budget flags]
+//! summarizable <name> <target> <source>… [budget flags]
+//! frozen <name> <root> [budget flags]
+//! shutdown                         (graceful drain)
+//! quit                             (close this connection)
+//! ```
+//!
+//! Budget flags are `--time-limit <dur>` (`500ms`, `2s`) and
+//! `--node-limit <n>`, exactly as on the CLI; the server *intersects*
+//! the ask with its own policy ([`odc_core::Budget::intersect`]), so a
+//! client can tighten its budget but never loosen past the server's.
+//! Arguments containing spaces (constraints) are double-quoted.
+//!
+//! Responses are blocks: one status line — `ok`, `unknown <reason>`,
+//! `error <message>`, `overloaded`, or `bye` — then the payload (the
+//! same text the CLI would print), then a line containing a single `.`.
+//! Payload lines that begin with `.` are dot-stuffed (`..`), SMTP-style,
+//! on the wire; [`Response::read_from`] undoes it. The same dot-framed
+//! block carries schema text *to* the server after a `load` line.
+
+use odc_core::Budget;
+use std::io::{self, BufRead, Write};
+use std::time::Duration;
+
+/// The per-request budget a client asked for (possibly nothing).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BudgetAsk {
+    /// `--time-limit`.
+    pub time_limit: Option<Duration>,
+    /// `--node-limit`.
+    pub node_limit: Option<u64>,
+}
+
+impl BudgetAsk {
+    /// The ask as a [`Budget`] (unlimited where unspecified; the server
+    /// intersects this with its policy, so "unspecified" means "the
+    /// server's cap", never "unlimited").
+    pub fn to_budget(self) -> Budget {
+        let mut b = Budget::unlimited();
+        if let Some(d) = self.time_limit {
+            b = b.with_deadline(d);
+        }
+        if let Some(n) = self.node_limit {
+            b = b.with_node_limit(n);
+        }
+        b
+    }
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Load (or replace) a catalog schema; the schema text follows as a
+    /// dot-terminated block.
+    Load { name: String },
+    /// Drop a catalog schema.
+    Unload { name: String },
+    /// List resident schemas.
+    Schemas,
+    /// Server and per-schema cache counters.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Category satisfiability.
+    Check {
+        schema: String,
+        category: String,
+        ask: BudgetAsk,
+    },
+    /// The full schema audit (CLI `odc check`).
+    Audit { schema: String, ask: BudgetAsk },
+    /// Constraint implication.
+    Implies {
+        schema: String,
+        constraint: String,
+        ask: BudgetAsk,
+    },
+    /// Summarizability of `target` from `sources`.
+    Summarizable {
+        schema: String,
+        target: String,
+        sources: Vec<String>,
+        ask: BudgetAsk,
+    },
+    /// Frozen-dimension enumeration rooted at `root`.
+    Frozen {
+        schema: String,
+        root: String,
+        ask: BudgetAsk,
+    },
+    /// Graceful drain: stop accepting, interrupt in-flight solves,
+    /// checkpoint them, exit.
+    Shutdown,
+    /// Close this connection.
+    Quit,
+}
+
+impl Command {
+    /// The wire name of the command (for request lifecycle events).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Command::Load { .. } => "load",
+            Command::Unload { .. } => "unload",
+            Command::Schemas => "schemas",
+            Command::Stats => "stats",
+            Command::Ping => "ping",
+            Command::Check { .. } => "check",
+            Command::Audit { .. } => "audit",
+            Command::Implies { .. } => "implies",
+            Command::Summarizable { .. } => "summarizable",
+            Command::Frozen { .. } => "frozen",
+            Command::Shutdown => "shutdown",
+            Command::Quit => "quit",
+        }
+    }
+
+    /// The catalog schema the command addresses, if any.
+    pub fn schema(&self) -> Option<&str> {
+        match self {
+            Command::Load { name } | Command::Unload { name } => Some(name),
+            Command::Check { schema, .. }
+            | Command::Audit { schema, .. }
+            | Command::Implies { schema, .. }
+            | Command::Summarizable { schema, .. }
+            | Command::Frozen { schema, .. } => Some(schema),
+            _ => None,
+        }
+    }
+
+    /// Parses one request line.
+    pub fn parse(line: &str) -> Result<Command, String> {
+        let tokens = tokenize(line)?;
+        let (head, rest) = tokens.split_first().ok_or("empty request")?;
+        let (pos, ask) = split_budget_flags(rest)?;
+        let no_flags = |cmd: &str| -> Result<(), String> {
+            if ask == BudgetAsk::default() {
+                Ok(())
+            } else {
+                Err(format!("`{cmd}` takes no budget flags"))
+            }
+        };
+        let arity = |cmd: &str, want: usize| -> Result<(), String> {
+            if pos.len() == want {
+                Ok(())
+            } else {
+                Err(format!("`{cmd}` takes {want} argument(s), got {}", pos.len()))
+            }
+        };
+        match head.as_str() {
+            "load" => {
+                no_flags("load")?;
+                arity("load", 1)?;
+                Ok(Command::Load {
+                    name: pos[0].clone(),
+                })
+            }
+            "unload" => {
+                no_flags("unload")?;
+                arity("unload", 1)?;
+                Ok(Command::Unload {
+                    name: pos[0].clone(),
+                })
+            }
+            "schemas" => {
+                no_flags("schemas")?;
+                arity("schemas", 0)?;
+                Ok(Command::Schemas)
+            }
+            "stats" => {
+                no_flags("stats")?;
+                arity("stats", 0)?;
+                Ok(Command::Stats)
+            }
+            "ping" => {
+                no_flags("ping")?;
+                arity("ping", 0)?;
+                Ok(Command::Ping)
+            }
+            "shutdown" => {
+                no_flags("shutdown")?;
+                arity("shutdown", 0)?;
+                Ok(Command::Shutdown)
+            }
+            "quit" => {
+                no_flags("quit")?;
+                arity("quit", 0)?;
+                Ok(Command::Quit)
+            }
+            "check" => {
+                arity("check", 2)?;
+                Ok(Command::Check {
+                    schema: pos[0].clone(),
+                    category: pos[1].clone(),
+                    ask,
+                })
+            }
+            "audit" => {
+                arity("audit", 1)?;
+                Ok(Command::Audit {
+                    schema: pos[0].clone(),
+                    ask,
+                })
+            }
+            "implies" => {
+                arity("implies", 2)?;
+                Ok(Command::Implies {
+                    schema: pos[0].clone(),
+                    constraint: pos[1].clone(),
+                    ask,
+                })
+            }
+            "summarizable" => {
+                if pos.len() < 3 {
+                    return Err(
+                        "`summarizable` needs <schema> <target> <source>…".to_string()
+                    );
+                }
+                Ok(Command::Summarizable {
+                    schema: pos[0].clone(),
+                    target: pos[1].clone(),
+                    sources: pos[2..].to_vec(),
+                    ask,
+                })
+            }
+            "frozen" => {
+                arity("frozen", 2)?;
+                Ok(Command::Frozen {
+                    schema: pos[0].clone(),
+                    root: pos[1].clone(),
+                    ask,
+                })
+            }
+            other => Err(format!("unknown command `{other}`")),
+        }
+    }
+}
+
+/// Splits a token list into positionals and the budget flags, rejecting
+/// unknown flags.
+fn split_budget_flags(tokens: &[String]) -> Result<(Vec<String>, BudgetAsk), String> {
+    let mut pos = Vec::new();
+    let mut ask = BudgetAsk::default();
+    let mut it = tokens.iter();
+    while let Some(t) = it.next() {
+        match t.as_str() {
+            "--time-limit" => {
+                let v = it.next().ok_or("--time-limit needs a value")?;
+                ask.time_limit = Some(parse_duration(v)?);
+            }
+            "--node-limit" => {
+                let v = it.next().ok_or("--node-limit needs a value")?;
+                ask.node_limit =
+                    Some(v.parse().map_err(|_| format!("--node-limit: not a number: {v}"))?);
+            }
+            f if f.starts_with("--") => return Err(format!("unknown flag `{f}`")),
+            _ => pos.push(t.clone()),
+        }
+    }
+    Ok((pos, ask))
+}
+
+/// Splits a request line into tokens; double quotes group (constraints
+/// contain spaces). No escape sequences — constraint syntax never needs
+/// a literal `"` outside member names, which the printer double-quotes
+/// whole.
+pub fn tokenize(line: &str) -> Result<Vec<String>, String> {
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut seen_any = false;
+    for ch in line.chars() {
+        match ch {
+            '"' => {
+                in_quotes = !in_quotes;
+                seen_any = true;
+            }
+            c if c.is_whitespace() && !in_quotes => {
+                if seen_any {
+                    tokens.push(std::mem::take(&mut cur));
+                    seen_any = false;
+                }
+            }
+            c => {
+                cur.push(c);
+                seen_any = true;
+            }
+        }
+    }
+    if in_quotes {
+        return Err("unterminated quote".to_string());
+    }
+    if seen_any {
+        tokens.push(cur);
+    }
+    Ok(tokens)
+}
+
+/// Quotes a token for the wire if it contains whitespace (the inverse of
+/// [`tokenize`] for the tokens the CLI's `client` subcommand re-joins).
+pub fn quote_token(t: &str) -> String {
+    if t.chars().any(char::is_whitespace) {
+        format!("\"{t}\"")
+    } else {
+        t.to_string()
+    }
+}
+
+/// Parses `750ms`, `2s`, or a bare number of seconds — the CLI grammar.
+pub fn parse_duration(s: &str) -> Result<Duration, String> {
+    let (num, scale) = if let Some(ms) = s.strip_suffix("ms") {
+        (ms, 1e-3)
+    } else if let Some(sec) = s.strip_suffix('s') {
+        (sec, 1.0)
+    } else {
+        (s, 1.0)
+    };
+    let v: f64 = num
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad duration: {s} (expected e.g. 500ms or 2s)"))?;
+    if !v.is_finite() || v < 0.0 {
+        return Err(format!("bad duration: {s}"));
+    }
+    Ok(Duration::from_secs_f64(v * scale))
+}
+
+/// One response block: a status line plus the payload text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// The full status line (`ok`, `unknown <reason>`, `error <msg>`,
+    /// `overloaded`, `bye`).
+    pub status: String,
+    /// Payload text — exactly what the CLI would print for the same
+    /// request (possibly empty).
+    pub payload: String,
+}
+
+impl Response {
+    /// A definite answer.
+    pub fn ok(payload: String) -> Self {
+        Response {
+            status: "ok".to_string(),
+            payload,
+        }
+    }
+
+    /// The budget ran out (or the request was cancelled) before an
+    /// answer; the payload still carries the CLI-style partial text.
+    pub fn unknown(reason: &str, payload: String) -> Self {
+        Response {
+            status: format!("unknown {reason}"),
+            payload,
+        }
+    }
+
+    /// The request was malformed or referenced something that does not
+    /// exist.
+    pub fn error(msg: &str) -> Self {
+        Response {
+            status: format!("error {}", msg.replace('\n', " ")),
+            payload: String::new(),
+        }
+    }
+
+    /// Admission control turned the connection away.
+    pub fn overloaded() -> Self {
+        Response {
+            status: "overloaded".to_string(),
+            payload: String::new(),
+        }
+    }
+
+    /// The machine-readable first word of the status line.
+    pub fn status_word(&self) -> &str {
+        self.status.split_whitespace().next().unwrap_or("")
+    }
+
+    /// Whether the status is `ok`.
+    pub fn is_ok(&self) -> bool {
+        self.status_word() == "ok"
+    }
+
+    /// Writes the block (status line, dot-stuffed payload, terminator).
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let mut buf = String::new();
+        buf.push_str(&self.status);
+        buf.push('\n');
+        buf.push_str(&stuff_block(&self.payload));
+        buf.push_str(".\n");
+        w.write_all(buf.as_bytes())?;
+        w.flush()
+    }
+
+    /// Reads one block; `Ok(None)` on clean EOF before a status line.
+    pub fn read_from<R: BufRead>(r: &mut R) -> io::Result<Option<Response>> {
+        let mut status = String::new();
+        if r.read_line(&mut status)? == 0 {
+            return Ok(None);
+        }
+        let status = status.trim_end_matches(['\r', '\n']).to_string();
+        let payload = read_block(r)?;
+        Ok(Some(Response { status, payload }))
+    }
+}
+
+/// Dot-stuffs a payload for the wire (each line leading with `.` gains
+/// one more; text gains a trailing newline if it lacked one so the `.`
+/// terminator sits on its own line).
+pub fn stuff_block(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    for line in text.split_inclusive('\n') {
+        if line.starts_with('.') {
+            out.push('.');
+        }
+        out.push_str(line);
+    }
+    if !out.is_empty() && !out.ends_with('\n') {
+        out.push('\n');
+    }
+    out
+}
+
+/// Reads a dot-terminated block, undoing dot-stuffing. EOF before the
+/// terminator is an error (truncated block).
+pub fn read_block<R: BufRead>(r: &mut R) -> io::Result<String> {
+    let mut out = String::new();
+    loop {
+        let mut line = String::new();
+        if r.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed inside a response block",
+            ));
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed == "." {
+            return Ok(out);
+        }
+        if let Some(rest) = trimmed.strip_prefix('.') {
+            out.push_str(rest);
+        } else {
+            out.push_str(trimmed);
+        }
+        out.push('\n');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn tokenize_respects_quotes() {
+        assert_eq!(
+            tokenize(r#"implies loc "Store.Country -> Store.City.Country""#).unwrap(),
+            vec!["implies", "loc", "Store.Country -> Store.City.Country"]
+        );
+        assert_eq!(tokenize("  ping  ").unwrap(), vec!["ping"]);
+        assert_eq!(tokenize(r#"a """#).unwrap(), vec!["a", ""]);
+        assert!(tokenize(r#"a "b"#).is_err());
+    }
+
+    #[test]
+    fn quote_token_round_trips() {
+        for t in ["plain", "has space", "a -> b"] {
+            let line = format!("implies loc {}", quote_token(t));
+            let toks = tokenize(&line).unwrap();
+            assert_eq!(toks[2], t);
+        }
+    }
+
+    #[test]
+    fn parse_commands() {
+        assert_eq!(
+            Command::parse("check loc Store --node-limit 10").unwrap(),
+            Command::Check {
+                schema: "loc".into(),
+                category: "Store".into(),
+                ask: BudgetAsk {
+                    time_limit: None,
+                    node_limit: Some(10)
+                },
+            }
+        );
+        assert_eq!(
+            Command::parse("summarizable loc Country State Province --time-limit 500ms")
+                .unwrap(),
+            Command::Summarizable {
+                schema: "loc".into(),
+                target: "Country".into(),
+                sources: vec!["State".into(), "Province".into()],
+                ask: BudgetAsk {
+                    time_limit: Some(Duration::from_millis(500)),
+                    node_limit: None
+                },
+            }
+        );
+        assert_eq!(Command::parse("shutdown").unwrap(), Command::Shutdown);
+        assert!(Command::parse("ping --node-limit 3").is_err());
+        assert!(Command::parse("frobnicate x").is_err());
+        assert!(Command::parse("check loc").is_err());
+        assert!(Command::parse("check loc Store --bogus").is_err());
+        assert!(Command::parse("").is_err());
+    }
+
+    #[test]
+    fn command_metadata() {
+        let c = Command::parse("audit loc").unwrap();
+        assert_eq!(c.name(), "audit");
+        assert_eq!(c.schema(), Some("loc"));
+        assert_eq!(Command::Ping.schema(), None);
+    }
+
+    #[test]
+    fn response_blocks_round_trip() {
+        for payload in [
+            "",
+            "implied: true\n",
+            ".leading dot\n..two dots\nplain\n",
+            "no trailing newline",
+        ] {
+            let r = Response::ok(payload.to_string());
+            let mut wire = Vec::new();
+            r.write_to(&mut wire).unwrap();
+            let mut reader = BufReader::new(&wire[..]);
+            let back = Response::read_from(&mut reader).unwrap().unwrap();
+            assert_eq!(back.status, "ok");
+            let mut want = payload.to_string();
+            if !want.is_empty() && !want.ends_with('\n') {
+                want.push('\n');
+            }
+            assert_eq!(back.payload, want);
+        }
+    }
+
+    #[test]
+    fn read_from_handles_eof() {
+        let mut empty = BufReader::new(&b""[..]);
+        assert!(Response::read_from(&mut empty).unwrap().is_none());
+        let mut truncated = BufReader::new(&b"ok\npartial\n"[..]);
+        assert!(Response::read_from(&mut truncated).is_err());
+    }
+
+    #[test]
+    fn status_words() {
+        assert_eq!(Response::error("no such schema").status_word(), "error");
+        assert!(Response::ok(String::new()).is_ok());
+        assert_eq!(
+            Response::unknown("node limit exceeded", String::new()).status_word(),
+            "unknown"
+        );
+        assert_eq!(Response::overloaded().status_word(), "overloaded");
+    }
+
+    #[test]
+    fn budget_ask_to_budget() {
+        let ask = BudgetAsk {
+            time_limit: Some(Duration::from_secs(2)),
+            node_limit: Some(7),
+        };
+        let b = ask.to_budget();
+        assert_eq!(b.deadline, Some(Duration::from_secs(2)));
+        assert_eq!(b.node_limit, Some(7));
+        assert_eq!(BudgetAsk::default().to_budget(), Budget::unlimited());
+    }
+
+    #[test]
+    fn durations_parse_like_the_cli() {
+        assert_eq!(parse_duration("500ms").unwrap(), Duration::from_millis(500));
+        assert_eq!(parse_duration("2s").unwrap(), Duration::from_secs(2));
+        assert_eq!(parse_duration("1.5").unwrap(), Duration::from_secs_f64(1.5));
+        assert!(parse_duration("-1s").is_err());
+        assert!(parse_duration("abc").is_err());
+    }
+}

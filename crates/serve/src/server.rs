@@ -1,0 +1,887 @@
+//! The resident server: accept loop, bounded admission queue, fixed
+//! worker pool, disconnect monitor, and graceful drain.
+//!
+//! ## Threading model
+//!
+//! One accept thread (the caller of [`Server::run`]) hands connections
+//! to a bounded queue; `workers` pool threads pop connections and serve
+//! every request on them until `quit`/EOF. When the queue is full the
+//! accept loop answers `overloaded` and closes — admission control
+//! instead of unbounded queueing. A single monitor thread watches the
+//! sockets of in-flight solves (the worker cannot: it is inside the
+//! search) and flips the request's [`CancelToken`] when the peer hangs
+//! up, so no solve runs to completion against a dead socket.
+//!
+//! ## Budgets and drain
+//!
+//! Every reasoning request runs under its own [`Governor`]: budget =
+//! `policy.intersect(client ask)`, cancel token = child of the server's
+//! drain token. `shutdown` (or `SIGTERM` when installed) cancels the
+//! drain token, which reaches every in-flight solve; each interrupted
+//! solve's checkpoint is written as an `odc-checkpoint v1` envelope to
+//! the checkpoint directory, so no work is silently lost.
+
+use crate::catalog::{CatalogEntry, SchemaCatalog};
+use crate::protocol::{Command, Response};
+use odc_core::constraint::{parse_constraint, printer::display_dc};
+use odc_core::dimsat::{implies_memo_session, Dimsat, DimsatOptions, ImplicationVerdict, Verdict};
+use odc_core::obs::{ConnEvent, Obs, Observer, RequestEvent, SolveEnd, SolveStart};
+use odc_core::summarizability::advisor;
+use odc_core::summarizability::{is_summarizable_in_schema_session, SummarizabilityVerdict};
+use odc_core::{Budget, CancelToken, Governor};
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// How often the accept loop polls for drain, and the monitor thread
+/// polls in-flight sockets.
+const POLL: Duration = Duration::from_millis(10);
+
+/// Server configuration.
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Worker pool size.
+    pub workers: usize,
+    /// Admission-queue capacity; a connection arriving when the queue
+    /// holds this many gets `overloaded` and is closed. `0` rejects
+    /// everything (useful for testing admission control).
+    pub queue_cap: usize,
+    /// Server-wide per-request budget cap; each request runs under
+    /// `policy.intersect(client ask)`.
+    pub policy: Budget,
+    /// Where drain/disconnect checkpoints are written (one
+    /// `request-<id>.ckpt` envelope per interrupted solve). `None`
+    /// disables checkpoint persistence.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Structured-event sink; receives conn/request lifecycle events and
+    /// every solve event with the request id stamped on.
+    pub obs: Obs,
+    /// Also drain on `SIGTERM` (unix only; the CLI sets this, tests
+    /// usually do not).
+    pub handle_sigterm: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_cap: 16,
+            policy: Budget::unlimited(),
+            checkpoint_dir: None,
+            obs: Obs::none(),
+            handle_sigterm: false,
+        }
+    }
+}
+
+/// Counters reported when the server exits.
+#[derive(Debug, Clone, Default)]
+pub struct ServeStats {
+    /// Requests that received a response.
+    pub served: u64,
+    /// Connections rejected by admission control.
+    pub rejected: u64,
+    /// Drain checkpoints written.
+    pub checkpoints: u64,
+}
+
+/// One queued connection.
+struct Conn {
+    stream: TcpStream,
+    id: u64,
+    peer: String,
+}
+
+/// A socket being watched while its request's solve is in flight.
+struct Watch {
+    request: u64,
+    stream: TcpStream,
+    token: CancelToken,
+}
+
+/// State shared by the accept loop, workers, and monitor.
+struct Shared {
+    catalog: SchemaCatalog,
+    policy: Budget,
+    checkpoint_dir: Option<PathBuf>,
+    obs: Obs,
+    queue: Mutex<VecDeque<Conn>>,
+    queue_cap: usize,
+    ready: Condvar,
+    draining: AtomicBool,
+    drain: CancelToken,
+    next_request: AtomicU64,
+    served: AtomicU64,
+    rejected: AtomicU64,
+    checkpoints: AtomicU64,
+    watch: Mutex<Vec<Watch>>,
+    monitor_stop: AtomicBool,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Shared {
+    fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.drain.cancel();
+        self.ready.notify_all();
+    }
+
+    fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+}
+
+/// A handle for triggering drain from another thread (tests, the CLI's
+/// signal path).
+#[derive(Clone)]
+pub struct ShutdownHandle(Arc<Shared>);
+
+impl ShutdownHandle {
+    /// Starts the graceful drain: stop accepting, interrupt in-flight
+    /// solves, checkpoint them, exit [`Server::run`].
+    pub fn drain(&self) {
+        self.0.begin_drain();
+    }
+
+    /// Whether drain has started.
+    pub fn is_draining(&self) -> bool {
+        self.0.is_draining()
+    }
+}
+
+/// The bound server. Preload schemas via [`Server::catalog`], then call
+/// [`Server::run`].
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    handle_sigterm: bool,
+    workers: usize,
+}
+
+impl Server {
+    /// Binds the listener and builds the shared state. Nothing runs
+    /// until [`Server::run`].
+    pub fn bind(config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        if let Some(dir) = &config.checkpoint_dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        let shared = Arc::new(Shared {
+            catalog: SchemaCatalog::new(),
+            policy: config.policy,
+            checkpoint_dir: config.checkpoint_dir,
+            obs: config.obs,
+            queue: Mutex::new(VecDeque::new()),
+            queue_cap: config.queue_cap,
+            ready: Condvar::new(),
+            draining: AtomicBool::new(false),
+            drain: CancelToken::new(),
+            next_request: AtomicU64::new(1),
+            served: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            checkpoints: AtomicU64::new(0),
+            watch: Mutex::new(Vec::new()),
+            monitor_stop: AtomicBool::new(false),
+        });
+        Ok(Server {
+            listener,
+            addr,
+            shared,
+            handle_sigterm: config.handle_sigterm,
+            workers: config.workers.max(1),
+        })
+    }
+
+    /// The bound address (resolves `:0` to the picked port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The resident schema catalog (for preloading before `run`).
+    pub fn catalog(&self) -> &SchemaCatalog {
+        &self.shared.catalog
+    }
+
+    /// A drain trigger usable from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle(Arc::clone(&self.shared))
+    }
+
+    /// Serves until drained (`shutdown` command, [`ShutdownHandle`], or
+    /// `SIGTERM` when configured). Returns the run's counters.
+    pub fn run(self) -> io::Result<ServeStats> {
+        if self.handle_sigterm {
+            sigterm::install();
+        }
+        self.listener.set_nonblocking(true)?;
+        let shared = self.shared;
+        let monitor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || monitor_loop(&shared))
+        };
+        let workers: Vec<_> = (0..self.workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared, w as u64))
+            })
+            .collect();
+
+        let mut next_conn = 1u64;
+        while !shared.is_draining() {
+            if self.handle_sigterm && sigterm::pending() {
+                shared.begin_drain();
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, peer)) => {
+                    let id = next_conn;
+                    next_conn += 1;
+                    admit(&shared, stream, id, peer.to_string());
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    shared.begin_drain();
+                    for w in workers {
+                        let _ = w.join();
+                    }
+                    shared.monitor_stop.store(true, Ordering::SeqCst);
+                    let _ = monitor.join();
+                    return Err(e);
+                }
+            }
+        }
+        shared.begin_drain();
+        for w in workers {
+            let _ = w.join();
+        }
+        // Connections still queued never reached a worker: tell them the
+        // server is going away rather than dropping them silently.
+        let leftovers: Vec<Conn> = lock(&shared.queue).drain(..).collect();
+        for conn in leftovers {
+            let mut stream = conn.stream;
+            let _ = Response::error("server draining").write_to(&mut stream);
+            emit_conn(&shared.obs, conn.id, "closed", &conn.peer);
+        }
+        shared.monitor_stop.store(true, Ordering::SeqCst);
+        let _ = monitor.join();
+        Ok(ServeStats {
+            served: shared.served.load(Ordering::SeqCst),
+            rejected: shared.rejected.load(Ordering::SeqCst),
+            checkpoints: shared.checkpoints.load(Ordering::SeqCst),
+        })
+    }
+}
+
+/// Admission control: queue the connection or answer `overloaded`.
+fn admit(shared: &Arc<Shared>, mut stream: TcpStream, id: u64, peer: String) {
+    // Request/response round trips; Nagle batching only adds
+    // delayed-ACK stalls here.
+    let _ = stream.set_nodelay(true);
+    let mut q = lock(&shared.queue);
+    if q.len() >= shared.queue_cap {
+        drop(q);
+        shared.rejected.fetch_add(1, Ordering::SeqCst);
+        emit_conn(&shared.obs, id, "rejected_overloaded", &peer);
+        let _ = Response::overloaded().write_to(&mut stream);
+        return;
+    }
+    emit_conn(&shared.obs, id, "accepted", &peer);
+    q.push_back(Conn { stream, id, peer });
+    drop(q);
+    shared.ready.notify_one();
+}
+
+fn emit_conn(obs: &Obs, conn_id: u64, phase: &'static str, peer: &str) {
+    if obs.enabled() {
+        obs.conn(&ConnEvent {
+            conn_id,
+            phase,
+            peer: peer.to_string(),
+        });
+    }
+}
+
+/// Watches the sockets of in-flight solves; flips the request's cancel
+/// token on EOF so the solve stops instead of finishing against a dead
+/// socket.
+fn monitor_loop(shared: &Shared) {
+    while !shared.monitor_stop.load(Ordering::SeqCst) {
+        {
+            let watches = lock(&shared.watch);
+            let mut probe = [0u8; 1];
+            for w in watches.iter() {
+                // The socket is nonblocking while registered: WouldBlock
+                // means the peer is alive and quiet, Ok(0) means EOF, a
+                // hard error means the connection died.
+                match w.stream.peek(&mut probe) {
+                    Ok(0) => w.token.cancel(),
+                    Ok(_) => {}
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                    Err(_) => w.token.cancel(),
+                }
+            }
+        }
+        std::thread::sleep(POLL);
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>, worker_id: u64) {
+    loop {
+        let conn = {
+            let mut q = lock(&shared.queue);
+            loop {
+                if let Some(c) = q.pop_front() {
+                    break Some(c);
+                }
+                if shared.is_draining() {
+                    break None;
+                }
+                let (guard, _) = shared
+                    .ready
+                    .wait_timeout(q, POLL)
+                    .unwrap_or_else(|e| e.into_inner());
+                q = guard;
+            }
+        };
+        match conn {
+            Some(c) => serve_conn(shared, c, worker_id),
+            None => return,
+        }
+    }
+}
+
+/// Serves every request on one connection until `quit`, `shutdown`,
+/// EOF, or drain.
+fn serve_conn(shared: &Arc<Shared>, conn: Conn, worker_id: u64) {
+    let Conn { stream, id, peer } = conn;
+    let mut writer = stream;
+    let reader = match writer.try_clone() {
+        Ok(r) => r,
+        Err(_) => {
+            emit_conn(&shared.obs, id, "closed", &peer);
+            return;
+        }
+    };
+    // A periodic read timeout keeps idle connections drain-aware: a
+    // worker parked on `read_line` would otherwise never observe
+    // `begin_drain` and the server could not join its pool.
+    let _ = writer.set_read_timeout(Some(POLL * 10));
+    let mut reader = BufReader::new(reader);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e)
+                if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+            {
+                // Timed out waiting for the next request. Bytes read so
+                // far stay in `line`; resume unless the server is
+                // draining.
+                if shared.is_draining() {
+                    let _ = Response::error("server draining").write_to(&mut writer);
+                    break;
+                }
+                continue;
+            }
+            Err(_) => break,
+        }
+        let request = line.trim().to_string();
+        line.clear();
+        if request.is_empty() {
+            continue;
+        }
+        let cmd = match Command::parse(&request) {
+            Ok(c) => c,
+            Err(e) => {
+                if Response::error(&e).write_to(&mut writer).is_err() {
+                    break;
+                }
+                continue;
+            }
+        };
+        let request_id = shared.next_request.fetch_add(1, Ordering::SeqCst);
+        let started = Instant::now();
+        emit_request(shared, request_id, id, "start", &cmd, None, None, None);
+        let (response, done) = dispatch(shared, &cmd, request_id, &mut reader, &writer, worker_id);
+        let status = response.status_word().to_string();
+        shared.served.fetch_add(1, Ordering::SeqCst);
+        emit_request(
+            shared,
+            request_id,
+            id,
+            "end",
+            &cmd,
+            Some(status),
+            Some(started.elapsed().as_micros() as u64),
+            Some(worker_id),
+        );
+        let write_ok = response.write_to(&mut writer).is_ok();
+        if done || !write_ok || shared.is_draining() {
+            break;
+        }
+    }
+    emit_conn(&shared.obs, id, "closed", &peer);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit_request(
+    shared: &Shared,
+    request_id: u64,
+    conn_id: u64,
+    phase: &'static str,
+    cmd: &Command,
+    status: Option<String>,
+    elapsed_us: Option<u64>,
+    worker: Option<u64>,
+) {
+    if shared.obs.enabled() {
+        shared.obs.request(&RequestEvent {
+            request_id,
+            conn_id,
+            phase,
+            command: cmd.name().to_string(),
+            schema: cmd.schema().map(str::to_string),
+            status,
+            elapsed_us,
+            worker,
+        });
+    }
+}
+
+/// Runs one command; the bool says "close the connection afterwards".
+fn dispatch(
+    shared: &Arc<Shared>,
+    cmd: &Command,
+    request_id: u64,
+    reader: &mut BufReader<TcpStream>,
+    stream: &TcpStream,
+    worker_id: u64,
+) -> (Response, bool) {
+    match cmd {
+        Command::Ping => (Response::ok("pong\n".to_string()), false),
+        Command::Quit => (
+            Response {
+                status: "bye".to_string(),
+                payload: String::new(),
+            },
+            true,
+        ),
+        Command::Shutdown => {
+            shared.begin_drain();
+            (Response::ok("draining\n".to_string()), true)
+        }
+        Command::Load { name } => {
+            let text = match crate::protocol::read_block(reader) {
+                Ok(t) => t,
+                Err(e) => return (Response::error(&format!("reading schema text: {e}")), true),
+            };
+            match shared.catalog.load_text(name, &text) {
+                Ok(entry) => (
+                    Response::ok(format!(
+                        "loaded {name} fingerprint {} categories {} constraints {}\n",
+                        entry.fingerprint(),
+                        entry.schema().hierarchy().num_categories(),
+                        entry.schema().constraints().len(),
+                    )),
+                    false,
+                ),
+                Err(e) => (Response::error(&format!("{name}: {e}")), false),
+            }
+        }
+        Command::Unload { name } => {
+            if shared.catalog.remove(name) {
+                (Response::ok(format!("unloaded {name}\n")), false)
+            } else {
+                (Response::error(&format!("no such schema `{name}`")), false)
+            }
+        }
+        Command::Schemas => {
+            let entries = shared.catalog.snapshot();
+            let mut out = format!("{} schema(s)\n", entries.len());
+            for e in entries {
+                out.push_str(&format!(
+                    "{} fingerprint {} categories {} constraints {}\n",
+                    e.name(),
+                    e.fingerprint(),
+                    e.schema().hierarchy().num_categories(),
+                    e.schema().constraints().len(),
+                ));
+            }
+            (Response::ok(out), false)
+        }
+        Command::Stats => {
+            let mut out = format!(
+                "served {} rejected {} draining {}\n",
+                shared.served.load(Ordering::SeqCst),
+                shared.rejected.load(Ordering::SeqCst),
+                shared.is_draining(),
+            );
+            for e in shared.catalog.snapshot() {
+                let c = e.cache();
+                out.push_str(&format!(
+                    "schema {} entries {} hits {} cross_hits {} misses {} collisions {}\n",
+                    e.name(),
+                    c.len(),
+                    c.hits(),
+                    c.cross_hits(),
+                    c.misses(),
+                    c.collisions(),
+                ));
+            }
+            (Response::ok(out), false)
+        }
+        Command::Check { schema, category, ask } => solve(
+            shared, schema, *ask, request_id, stream, worker_id,
+            |entry, gov| {
+                let c = find_category(entry, category)?;
+                let outcome = Dimsat::new(entry.schema())
+                    .category_satisfiable_governed(c, gov);
+                let (answer, unknown) = match &outcome.verdict {
+                    Verdict::Sat(_) => ("true".to_string(), None),
+                    Verdict::Unsat => ("false".to_string(), None),
+                    Verdict::Unknown(i) => (format!("unknown ({i})"), Some(i.to_string())),
+                };
+                Ok(Solved {
+                    payload: format!("satisfiable: {answer}\n"),
+                    unknown,
+                    checkpoint: outcome.checkpoint.map(|c| c.to_text()),
+                })
+            },
+        ),
+        Command::Implies { schema, constraint, ask } => solve(
+            shared, schema, *ask, request_id, stream, worker_id,
+            |entry, gov| {
+                let ds = entry.schema();
+                let alpha = parse_constraint(ds.hierarchy(), constraint)
+                    .map_err(|e| format!("constraint: {e}"))?;
+                let out = implies_memo_session(
+                    ds,
+                    &alpha,
+                    DimsatOptions::default(),
+                    gov,
+                    entry.cache().begin_session(),
+                );
+                let (answer, unknown) = match &out.verdict {
+                    ImplicationVerdict::Implied => ("true".to_string(), None),
+                    ImplicationVerdict::NotImplied => ("false".to_string(), None),
+                    ImplicationVerdict::Unknown(i) => {
+                        (format!("unknown ({i})"), Some(i.to_string()))
+                    }
+                };
+                let mut payload = format!("implied: {answer}\n");
+                if let Some(cx) = out.counterexample {
+                    payload.push_str(&format!("countermodel: {}\n", cx.display(ds)));
+                }
+                Ok(Solved {
+                    payload,
+                    unknown,
+                    checkpoint: None,
+                })
+            },
+        ),
+        Command::Summarizable { schema, target, sources, ask } => solve(
+            shared, schema, *ask, request_id, stream, worker_id,
+            |entry, gov| {
+                let ds = entry.schema();
+                let t = find_category(entry, target)?;
+                let s: Result<Vec<_>, String> =
+                    sources.iter().map(|n| find_category(entry, n)).collect();
+                let out = is_summarizable_in_schema_session(
+                    ds,
+                    t,
+                    &s?,
+                    DimsatOptions::default(),
+                    gov,
+                    entry.cache().begin_session(),
+                );
+                let (answer, unknown) = match &out.verdict {
+                    SummarizabilityVerdict::Summarizable => ("true".to_string(), None),
+                    SummarizabilityVerdict::NotSummarizable => ("false".to_string(), None),
+                    SummarizabilityVerdict::Unknown(i) => {
+                        (format!("unknown ({i})"), Some(i.to_string()))
+                    }
+                };
+                let mut payload = format!("summarizable: {answer}\n");
+                if let Some(cx) = out.counterexample {
+                    payload.push_str(&format!("countermodel: {}\n", cx.display(ds)));
+                }
+                Ok(Solved {
+                    payload,
+                    unknown,
+                    checkpoint: out.checkpoint.map(|c| c.to_text()),
+                })
+            },
+        ),
+        Command::Frozen { schema, root, ask } => solve(
+            shared, schema, *ask, request_id, stream, worker_id,
+            |entry, gov| {
+                let ds = entry.schema();
+                let c = find_category(entry, root)?;
+                let (frozen, outcome) =
+                    Dimsat::new(ds).enumerate_frozen_governed(c, gov);
+                let mut payload = format!(
+                    "{} frozen dimension(s) with root {} ({} EXPAND, {} CHECK):\n",
+                    frozen.len(),
+                    root,
+                    outcome.stats.expand_calls,
+                    outcome.stats.check_calls,
+                );
+                for (i, f) in frozen.iter().enumerate() {
+                    payload.push_str(&format!("  f{}: {}\n", i + 1, f.display(ds)));
+                }
+                let unknown = outcome.interrupted.as_ref().map(|i| {
+                    payload.push_str(&format!(
+                        "enumeration interrupted ({i}); listing is partial\n"
+                    ));
+                    i.to_string()
+                });
+                Ok(Solved {
+                    payload,
+                    unknown,
+                    checkpoint: outcome.checkpoint.map(|c| c.to_text()),
+                })
+            },
+        ),
+        Command::Audit { schema, ask } => solve(
+            shared, schema, *ask, request_id, stream, worker_id,
+            |entry, gov| {
+                let ds = entry.schema();
+                let report = advisor::audit_governed_memo(ds, gov, entry.cache());
+                let mut payload = report.render(ds);
+                let unknown = report.interrupted.as_ref().map(|i| i.to_string());
+                if unknown.is_none() {
+                    let suggestions = advisor::suggest_into_constraints(ds);
+                    if !suggestions.is_empty() {
+                        payload.push_str(
+                            "suggested into constraints (implied; make them explicit to help DIMSAT):\n",
+                        );
+                        for dc in suggestions {
+                            payload.push_str(&format!("  {}\n", display_dc(ds.hierarchy(), &dc)));
+                        }
+                    }
+                }
+                Ok(Solved {
+                    payload,
+                    unknown,
+                    checkpoint: report.checkpoint.map(|c| c.to_text()),
+                })
+            },
+        ),
+    }
+}
+
+/// What a reasoning closure hands back to the request harness.
+struct Solved {
+    /// CLI-identical payload text.
+    payload: String,
+    /// `Some(reason)` when the verdict is undecided.
+    unknown: Option<String>,
+    /// Envelope text of the resume checkpoint, when the solve was
+    /// interrupted and produced one.
+    checkpoint: Option<String>,
+}
+
+fn find_category(
+    entry: &CatalogEntry,
+    name: &str,
+) -> Result<odc_core::hierarchy::Category, String> {
+    entry
+        .schema()
+        .hierarchy()
+        .category_by_name(name)
+        .ok_or_else(|| format!("unknown category `{name}`"))
+}
+
+/// The request harness shared by every reasoning command: catalog
+/// lookup, governor construction (policy ∩ ask, drain-child token,
+/// request-tagging observer), disconnect watch registration, and
+/// checkpoint persistence for interrupted solves.
+fn solve<F>(
+    shared: &Arc<Shared>,
+    schema: &str,
+    ask: crate::protocol::BudgetAsk,
+    request_id: u64,
+    stream: &TcpStream,
+    worker_id: u64,
+    f: F,
+) -> (Response, bool)
+where
+    F: FnOnce(&CatalogEntry, &mut Governor) -> Result<Solved, String>,
+{
+    let Some(entry) = shared.catalog.get(schema) else {
+        return (
+            Response::error(&format!("no such schema `{schema}` (use `load`)")),
+            false,
+        );
+    };
+    let budget = shared.policy.intersect(ask.to_budget());
+    let token = shared.drain.child();
+    let obs = if shared.obs.enabled() {
+        Obs::new(Arc::new(RequestTagger {
+            inner: shared.obs.clone(),
+            request: request_id,
+        }))
+    } else {
+        Obs::none()
+    };
+    let mut gov = Governor::new(budget, token.clone())
+        .with_observer(obs)
+        .with_worker_id(worker_id);
+
+    // Register the socket with the disconnect monitor for the duration
+    // of the solve; the socket is nonblocking while watched so `peek`
+    // probes never stall the monitor.
+    let watched = match stream.try_clone() {
+        Ok(clone) => {
+            if stream.set_nonblocking(true).is_ok() {
+                lock(&shared.watch).push(Watch {
+                    request: request_id,
+                    stream: clone,
+                    token: token.clone(),
+                });
+                true
+            } else {
+                false
+            }
+        }
+        Err(_) => false,
+    };
+    let result = f(&entry, &mut gov);
+    if watched {
+        lock(&shared.watch).retain(|w| w.request != request_id);
+        let _ = stream.set_nonblocking(false);
+    }
+
+    match result {
+        Err(e) => (Response::error(&e), false),
+        Ok(solved) => {
+            let mut payload = solved.payload;
+            match solved.unknown {
+                None => (Response::ok(payload), false),
+                Some(reason) => {
+                    if let (Some(dir), Some(text)) =
+                        (&shared.checkpoint_dir, &solved.checkpoint)
+                    {
+                        let path = dir.join(format!("request-{request_id}.ckpt"));
+                        if std::fs::write(&path, text).is_ok() {
+                            shared.checkpoints.fetch_add(1, Ordering::SeqCst);
+                            payload.push_str(&format!(
+                                "checkpoint written to {}; continue with --resume {}\n",
+                                path.display(),
+                                path.display(),
+                            ));
+                        }
+                    }
+                    (Response::unknown(&reason, payload), false)
+                }
+            }
+        }
+    }
+}
+
+/// Wraps the server's sink, stamping the request id onto solve
+/// lifecycle events so one JSONL stream interleaves concurrent requests
+/// unambiguously. Every other event forwards untouched.
+struct RequestTagger {
+    inner: Obs,
+    request: u64,
+}
+
+impl Observer for RequestTagger {
+    fn solve_started(&self, e: &SolveStart) {
+        let mut e = e.clone();
+        e.request = Some(self.request);
+        if let Some(o) = self.inner.get() {
+            o.solve_started(&e);
+        }
+    }
+
+    fn solve_finished(&self, e: &SolveEnd) {
+        let mut e = e.clone();
+        e.request = Some(self.request);
+        if let Some(o) = self.inner.get() {
+            o.solve_finished(&e);
+        }
+    }
+
+    fn prune(&self, solve_id: u64, reason: odc_core::obs::PruneReason) {
+        self.inner.prune(solve_id, reason);
+    }
+
+    fn backtrack(&self, solve_id: u64, depth: u32) {
+        self.inner.backtrack(solve_id, depth);
+    }
+
+    fn check_outcome(&self, solve_id: u64, induced: bool) {
+        self.inner.check_outcome(solve_id, induced);
+    }
+
+    fn cache_access(&self, outcome: odc_core::obs::CacheOutcome) {
+        self.inner.cache_access(outcome);
+    }
+
+    fn heartbeat(&self, hb: &odc_core::obs::Heartbeat) {
+        self.inner.heartbeat(hb);
+    }
+
+    fn worker_finished(&self, w: &odc_core::obs::WorkerStats) {
+        self.inner.worker_finished(w);
+    }
+
+    fn fault(&self, f: &odc_core::obs::FaultEvent) {
+        self.inner.fault(f);
+    }
+}
+
+/// Raw `SIGTERM` handling (unix): a C signal handler flipping a static
+/// flag the accept loop polls. No `libc` crate — the `signal` symbol
+/// comes from the C runtime `std` already links.
+#[cfg(unix)]
+mod sigterm {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TERM: AtomicBool = AtomicBool::new(false);
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_term(_sig: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_term);
+        }
+    }
+
+    pub fn pending() -> bool {
+        TERM.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sigterm {
+    pub fn install() {}
+
+    pub fn pending() -> bool {
+        false
+    }
+}

@@ -21,9 +21,9 @@
 //! interrupt, resuming the sweep's own frame-granular cursor).
 
 use crate::checkpoint::{AuditCheckpoint, AuditStage};
-use crate::theorem1::{is_summarizable_in_schema_governed, is_summarizable_in_schema_memo};
+use crate::theorem1::{is_summarizable_in_schema_governed, is_summarizable_in_schema_session};
 use odc_constraint::{Constraint, DimensionConstraint, DimensionSchema};
-use odc_dimsat::{implication, Dimsat, DimsatOptions, ImplicationCache, SearchStats};
+use odc_dimsat::{implication, CacheSession, Dimsat, DimsatOptions, ImplicationCache, SearchStats};
 use odc_govern::{
     Budget, CancelToken, CheckpointError, Governor, Interrupt, InterruptReason, SharedGovernor,
 };
@@ -175,7 +175,21 @@ pub fn audit(ds: &DimensionSchema) -> SchemaReport {
 /// [`SchemaReport::checkpoint`] to resume from.
 pub fn audit_governed(ds: &DimensionSchema, gov: &mut Governor) -> SchemaReport {
     // With no checkpoint to validate there is no refusal path.
-    audit_governed_from(ds, gov, None).unwrap_or_else(|_| blank_report())
+    audit_governed_from(ds, gov, None, None).unwrap_or_else(|_| blank_report())
+}
+
+/// [`audit_governed`] through a caller-owned implication memo-cache: the
+/// summarizability-matrix stage draws answers from (and feeds) `cache`.
+/// A resident server passes its warm per-schema catalog cache here, so a
+/// repeated audit of the same schema skips the searches an earlier
+/// request already paid for.
+pub fn audit_governed_memo(
+    ds: &DimensionSchema,
+    gov: &mut Governor,
+    cache: &ImplicationCache,
+) -> SchemaReport {
+    audit_governed_from(ds, gov, None, Some(cache.begin_session()))
+        .unwrap_or_else(|_| blank_report())
 }
 
 /// Resumes an interrupted audit from its checkpoint: completed stages
@@ -195,13 +209,14 @@ pub fn audit_resume(
             expected: fp,
         });
     }
-    audit_governed_from(ds, gov, Some(cp))
+    audit_governed_from(ds, gov, Some(cp), None)
 }
 
 fn audit_governed_from(
     ds: &DimensionSchema,
     gov: &mut Governor,
     resume: Option<&AuditCheckpoint>,
+    session: Option<CacheSession<'_>>,
 ) -> Result<SchemaReport, CheckpointError> {
     let g = ds.hierarchy();
     let solver = Dimsat::new(ds);
@@ -335,8 +350,23 @@ fn audit_governed_from(
     };
     let pairs = rewrite_pairs(g);
     for (i, &(coarse, fine)) in pairs.iter().enumerate().skip(first) {
-        let out =
-            is_summarizable_in_schema_governed(ds, coarse, &[fine], DimsatOptions::default(), gov);
+        let out = match session {
+            Some(s) => is_summarizable_in_schema_session(
+                ds,
+                coarse,
+                &[fine],
+                DimsatOptions::default(),
+                gov,
+                s,
+            ),
+            None => is_summarizable_in_schema_governed(
+                ds,
+                coarse,
+                &[fine],
+                DimsatOptions::default(),
+                gov,
+            ),
+        };
         report.stats.absorb(&out.stats);
         if let Some(intr) = out.interrupt() {
             report.interrupted = Some(intr);
@@ -502,7 +532,7 @@ fn audit_parallel_from(
 ) -> Result<SchemaReport, CheckpointError> {
     if jobs <= 1 {
         let mut gov = Governor::new(budget, cancel.clone()).with_observer(obs);
-        return audit_governed_from(ds, &mut gov, resume);
+        return audit_governed_from(ds, &mut gov, resume, None);
     }
     let g = ds.hierarchy();
     let fp = implication::schema_fingerprint(ds);
@@ -685,6 +715,9 @@ fn audit_parallel_from(
     };
     let pairs = rewrite_pairs(g);
     let cache = ImplicationCache::for_schema(ds);
+    // One session for the whole audit: every worker's reuse is
+    // within-session (plain hits), matching the serial audit's counters.
+    let session = cache.begin_session();
     let (res, intr) = run_striped(
         &shared,
         jobs,
@@ -692,13 +725,13 @@ fn audit_parallel_from(
         "summarizability_matrix",
         |k, gov| {
             let (coarse, fine) = pairs[first + k];
-            let out = is_summarizable_in_schema_memo(
+            let out = is_summarizable_in_schema_session(
                 ds,
                 coarse,
                 &[fine],
                 DimsatOptions::default(),
                 gov,
-                &cache,
+                session,
             );
             match out.interrupt() {
                 Some(e) => Err(e),

@@ -42,6 +42,6 @@ pub use instance_check::is_summarizable_in_instance;
 pub use theorem1::{
     is_summarizable_in_schema, is_summarizable_in_schema_governed, is_summarizable_in_schema_memo,
     is_summarizable_in_schema_parallel, is_summarizable_in_schema_parallel_observed,
-    resume_summarizability, summarizability_constraints, SummarizabilityOutcome,
-    SummarizabilityVerdict,
+    is_summarizable_in_schema_session, resume_summarizability, summarizability_constraints,
+    SummarizabilityOutcome, SummarizabilityVerdict,
 };

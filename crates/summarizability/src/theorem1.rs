@@ -4,7 +4,9 @@
 use crate::checkpoint::BatteryCheckpoint;
 use odc_constraint::{expand, Constraint, DimensionConstraint, DimensionSchema};
 use odc_dimsat::checkpoint::options_key;
-use odc_dimsat::{implication, DimsatOptions, ImplicationCache, ImplicationVerdict, SearchStats};
+use odc_dimsat::{
+    implication, CacheSession, DimsatOptions, ImplicationCache, ImplicationVerdict, SearchStats,
+};
 use odc_frozen::FrozenDimension;
 use odc_govern::{Budget, CancelToken, CheckpointError, Governor, Interrupt, SharedGovernor};
 use odc_hierarchy::{Category, HierarchySchema};
@@ -141,7 +143,22 @@ pub fn is_summarizable_in_schema_memo(
     gov: &mut Governor,
     cache: &ImplicationCache,
 ) -> SummarizabilityOutcome {
-    battery_governed(ds, c, s, opts, gov, Some(cache))
+    is_summarizable_in_schema_session(ds, c, s, opts, gov, cache.begin_session())
+}
+
+/// [`is_summarizable_in_schema_memo`] under a caller-owned
+/// [`CacheSession`]: the whole battery shares the session, so reuse
+/// *within* this battery is a plain hit while reuse of entries an earlier
+/// session stored (a warm server catalog) counts as a cross-session hit.
+pub fn is_summarizable_in_schema_session(
+    ds: &DimensionSchema,
+    c: Category,
+    s: &[Category],
+    opts: DimsatOptions,
+    gov: &mut Governor,
+    session: CacheSession<'_>,
+) -> SummarizabilityOutcome {
+    battery_governed(ds, c, s, opts, gov, Some(session))
 }
 
 /// Resumes an interrupted Theorem-1 battery from its checkpoint: the
@@ -187,7 +204,7 @@ fn battery_governed(
     s: &[Category],
     opts: DimsatOptions,
     gov: &mut Governor,
-    cache: Option<&ImplicationCache>,
+    cache: Option<CacheSession<'_>>,
 ) -> SummarizabilityOutcome {
     battery_governed_from(ds, c, s, opts, gov, cache, 0, SearchStats::default())
 }
@@ -204,7 +221,7 @@ fn battery_governed_from(
     s: &[Category],
     opts: DimsatOptions,
     gov: &mut Governor,
-    cache: Option<&ImplicationCache>,
+    cache: Option<CacheSession<'_>>,
     first: usize,
     decided_stats: SearchStats,
 ) -> SummarizabilityOutcome {
@@ -217,7 +234,7 @@ fn battery_governed_from(
     {
         let root = dc.root();
         let out = match cache {
-            Some(cache) => implication::implies_memo(ds, &dc, opts, gov, cache),
+            Some(session) => implication::implies_memo_session(ds, &dc, opts, gov, session),
             None => implication::implies_governed(ds, &dc, opts, gov),
         };
         stats.absorb(&out.stats);

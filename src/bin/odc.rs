@@ -12,6 +12,8 @@
 //! odc implies <schema> <constraint>         decide ds ⊨ α
 //! odc summarizable <schema> <target> <src>… decide summarizability
 //! odc dot <schema>                          Graphviz output
+//! odc serve                                 resident reasoning server
+//! odc client <addr> <command> [args…]       script against a server
 //! ```
 //!
 //! Reasoning commands accept `--time-limit <dur>` (e.g. `500ms`, `2s`)
@@ -35,6 +37,7 @@ use odc_core::prelude::*;
 use odc_core::summarizability::advisor;
 use odc_core::summarizability::checkpoint::{load_audit_checkpoint, load_battery_checkpoint};
 use odc_core::summarizability::resume_summarizability;
+use odc_serve::{ServeConfig, Server};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
@@ -69,6 +72,20 @@ usage:
   odc validate <schema> <instance>           check an instance file against C1–C7 and Σ
   odc infer <schema> <instance>              mine the constraints an instance already obeys
   odc dot <schema>                           emit the hierarchy as Graphviz DOT
+  odc serve [serve options]                  run the resident reasoning server (drains on
+                                             SIGTERM or a `shutdown` request)
+  odc client <addr> <command> [args…]        send one protocol command to a server
+serve options:
+  --addr <ip:port>     bind address (default 127.0.0.1:7421; port 0 picks a free one)
+  --workers <n>        worker threads (default 4)
+  --queue <n>          admission-queue capacity; beyond it connections get
+                       `overloaded` (default 16)
+  --time-limit/--node-limit   server-wide per-request budget cap (client asks
+                       are intersected with it — tighten only, never loosen)
+  --checkpoint-dir <d> write odc-checkpoint v1 envelopes for solves interrupted
+                       by drain or client disconnect
+  --preload <name>=<schema-file>   load a schema into the catalog at startup
+                       (repeatable)
 options (reasoning commands):
   --time-limit <dur>   wall-clock budget, e.g. 500ms or 2s (exit code 2 when exceeded)
   --node-limit <n>     search-node budget (exit code 2 when exceeded)
@@ -495,6 +512,130 @@ pub fn run(args: &[String]) -> Result<RunOutput, String> {
         "dot" => {
             let ds = load_schema(rest.first().ok_or("dot needs a schema file")?)?;
             Ok(RunOutput::answered(dot::schema_to_dot(ds.hierarchy())))
+        }
+        "serve" => {
+            if flags.fault.is_some() {
+                return Err("--fault does not apply to serve".into());
+            }
+            let mut addr = "127.0.0.1:7421".to_string();
+            let mut workers = 4usize;
+            let mut queue_cap = 16usize;
+            let mut checkpoint_dir: Option<String> = None;
+            let mut preload: Vec<(String, String)> = Vec::new();
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--addr" => addr = it.next().ok_or("--addr needs a value")?.clone(),
+                    "--workers" => {
+                        let v = it.next().ok_or("--workers needs a value")?;
+                        workers = v
+                            .parse()
+                            .map_err(|_| format!("--workers: not a number: {v}"))?;
+                        if workers == 0 {
+                            return Err("--workers: must be at least 1".into());
+                        }
+                    }
+                    "--queue" => {
+                        let v = it.next().ok_or("--queue needs a value")?;
+                        queue_cap = v
+                            .parse()
+                            .map_err(|_| format!("--queue: not a number: {v}"))?;
+                    }
+                    "--checkpoint-dir" => {
+                        checkpoint_dir =
+                            Some(it.next().ok_or("--checkpoint-dir needs a path")?.clone());
+                    }
+                    "--preload" => {
+                        let v = it.next().ok_or("--preload needs <name>=<schema-file>")?;
+                        let (name, path) = v
+                            .split_once('=')
+                            .ok_or_else(|| format!("--preload: expected name=path, got {v}"))?;
+                        preload.push((name.to_string(), path.to_string()));
+                    }
+                    other => return Err(format!("serve: unexpected argument `{other}`")),
+                }
+            }
+            let server = Server::bind(ServeConfig {
+                addr,
+                workers,
+                queue_cap,
+                policy: budget,
+                checkpoint_dir: checkpoint_dir.map(std::path::PathBuf::from),
+                obs,
+                handle_sigterm: true,
+            })
+            .map_err(|e| format!("bind: {e}"))?;
+            for (name, path) in &preload {
+                server
+                    .catalog()
+                    .load_text(name, &read_file(path)?)
+                    .map_err(|e| format!("--preload {name}: {e}"))?;
+            }
+            // Announced before blocking so scripts binding port 0 can
+            // learn the picked port.
+            println!(
+                "serving on {} ({} workers, queue {})",
+                server.local_addr(),
+                workers,
+                queue_cap
+            );
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+            let stats = server.run().map_err(|e| format!("serve: {e}"))?;
+            Ok(RunOutput::answered(format!(
+                "drained: served {} request(s), rejected {}, {} checkpoint(s) written\n",
+                stats.served, stats.rejected, stats.checkpoints
+            )))
+        }
+        "client" => {
+            if flags.fault.is_some() {
+                return Err("--fault does not apply to client".into());
+            }
+            let (addr, cmd_args) = rest.split_first().ok_or("client needs <addr> <command…>")?;
+            let (verb, verb_args) = cmd_args
+                .split_first()
+                .ok_or("client needs a command after the address")?;
+            let mut client = odc_serve::Client::connect(addr.as_str())
+                .map_err(|e| format!("connect {addr}: {e}"))?;
+            let response = if verb == "load" {
+                let [name, file] = verb_args else {
+                    return Err("client load needs <name> <schema-file>".into());
+                };
+                client
+                    .load(name, &read_file(file)?)
+                    .map_err(|e| format!("{addr}: {e}"))?
+            } else {
+                let mut line = std::iter::once(verb)
+                    .chain(verb_args)
+                    .map(|t| odc_serve::protocol::quote_token(t))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                // Budget flags were swallowed by the shared flag parser;
+                // forward them onto the wire so the server intersects
+                // them with its policy.
+                if let Some(d) = budget.deadline {
+                    line.push_str(&format!(" --time-limit {}ms", d.as_secs_f64() * 1000.0));
+                }
+                if let Some(n) = budget.node_limit {
+                    line.push_str(&format!(" --node-limit {n}"));
+                }
+                client
+                    .request(&line)
+                    .map_err(|e| format!("{addr}: {e}"))?
+            };
+            match response.status_word() {
+                "ok" | "bye" => Ok(RunOutput::answered(response.payload)),
+                "unknown" => Ok(RunOutput {
+                    text: response.payload,
+                    unknown: true,
+                }),
+                "overloaded" => Err("server overloaded (admission queue full)".into()),
+                _ => Err(response
+                    .status
+                    .strip_prefix("error ")
+                    .unwrap_or(&response.status)
+                    .to_string()),
+            }
         }
         other => Err(format!("unknown command `{other}`")),
     }

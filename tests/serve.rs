@@ -1,0 +1,372 @@
+//! Integration battery for the resident server: warm-catalog reuse,
+//! budget policy intersection, admission control, disconnect
+//! cancellation, and graceful drain with checkpointing.
+
+use odc_core::obs::{CollectingObserver, Event, Obs};
+use odc_core::Budget;
+use odc_serve::{Client, ServeConfig, Server, ShutdownHandle};
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn location_text() -> String {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.push("examples/location.odcs");
+    std::fs::read_to_string(&p).unwrap()
+}
+
+/// A diamond ladder of depth `n`: frozen enumeration from `Root` is
+/// exponential in `n`, so an ungoverned solve effectively never
+/// finishes — the knife for cancellation and drain tests.
+fn ladder_text(n: usize) -> String {
+    let mut s = String::from("hierarchy:\n  Root > A0, B0\n");
+    for i in 0..n - 1 {
+        let j = i + 1;
+        s.push_str(&format!("  A{i} > A{j}, B{j}\n  B{i} > A{j}, B{j}\n"));
+    }
+    let k = n - 1;
+    s.push_str(&format!("  A{k} > All\n  B{k} > All\n"));
+    s.push_str("constraints:\n");
+    s
+}
+
+struct Running {
+    addr: std::net::SocketAddr,
+    handle: ShutdownHandle,
+    join: std::thread::JoinHandle<std::io::Result<odc_serve::ServeStats>>,
+}
+
+fn start(config: ServeConfig, schemas: &[(&str, &str)]) -> Running {
+    let server = Server::bind(config).unwrap();
+    for (name, text) in schemas {
+        server.catalog().load_text(name, text).unwrap();
+    }
+    let addr = server.local_addr();
+    let handle = server.shutdown_handle();
+    let join = std::thread::spawn(move || server.run());
+    Running { addr, handle, join }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("odc-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn serves_reasoning_commands_with_a_warm_catalog() {
+    let loc = location_text();
+    let run = start(
+        ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+        &[("loc", &loc)],
+    );
+    let mut c = Client::connect(run.addr).unwrap();
+
+    let pong = c.request("ping").unwrap();
+    assert!(pong.is_ok());
+    assert_eq!(pong.payload, "pong\n");
+
+    let schemas = c.request("schemas").unwrap();
+    assert!(schemas.is_ok());
+    assert!(schemas.payload.contains("loc fingerprint"), "{}", schemas.payload);
+
+    // A warm pair: the second identical implication answers from the
+    // catalog's resident cache, across two *requests*.
+    let q = r#"implies loc "Store.Country -> Store.City.Country""#;
+    let first = c.request(q).unwrap();
+    assert!(first.is_ok(), "{}", first.status);
+    assert!(first.payload.starts_with("implied: true"), "{}", first.payload);
+    let second = c.request(q).unwrap();
+    assert_eq!(second.payload.lines().next(), first.payload.lines().next());
+
+    let stats = c.request("stats").unwrap();
+    let cache_line = stats
+        .payload
+        .lines()
+        .find(|l| l.starts_with("schema loc"))
+        .unwrap_or_else(|| panic!("no cache line in {}", stats.payload));
+    let cross: u64 = cache_line
+        .split_whitespace()
+        .skip_while(|w| *w != "cross_hits")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap();
+    assert!(cross > 0, "warm pair produced no cross-request hits: {cache_line}");
+
+    let s = c.request("summarizable loc Country City").unwrap();
+    assert!(s.is_ok());
+    assert!(s.payload.starts_with("summarizable: true"), "{}", s.payload);
+
+    let ns = c.request("summarizable loc Country State Province").unwrap();
+    assert!(ns.payload.starts_with("summarizable: false"), "{}", ns.payload);
+
+    let chk = c.request("check loc Store").unwrap();
+    assert!(chk.payload.starts_with("satisfiable: true"), "{}", chk.payload);
+
+    let fr = c.request("frozen loc Store").unwrap();
+    assert!(fr.is_ok());
+    assert!(fr.payload.contains("frozen dimension(s) with root Store"), "{}", fr.payload);
+
+    let audit = c.request("audit loc").unwrap();
+    assert!(audit.is_ok());
+    assert!(audit.payload.contains("unsatisfiable categories:"), "{}", audit.payload);
+
+    // Errors are responses, not connection drops.
+    let missing = c.request("implies nope \"Store_City\"").unwrap();
+    assert_eq!(missing.status_word(), "error");
+    let badcat = c.request("check loc Nope").unwrap();
+    assert_eq!(badcat.status_word(), "error");
+    let badcmd = c.request("frobnicate").unwrap();
+    assert_eq!(badcmd.status_word(), "error");
+
+    // Load / unload round trip on a second schema.
+    let lad = ladder_text(3);
+    let loaded = c.load("lad", &lad).unwrap();
+    assert!(loaded.is_ok(), "{}", loaded.status);
+    assert!(c.request("unload lad").unwrap().is_ok());
+    assert_eq!(c.request("audit lad").unwrap().status_word(), "error");
+
+    c.quit().unwrap();
+
+    let mut c2 = Client::connect(run.addr).unwrap();
+    let bye = c2.request("shutdown").unwrap();
+    assert!(bye.is_ok());
+    let stats = run.join.join().unwrap().unwrap();
+    assert!(stats.served >= 10, "served {}", stats.served);
+    assert_eq!(stats.rejected, 0);
+}
+
+#[test]
+fn budget_asks_and_server_policy_intersect() {
+    let loc = location_text();
+    // Per-request ask tighter than the (unlimited) policy.
+    let run = start(ServeConfig::default(), &[("loc", &loc)]);
+    let mut c = Client::connect(run.addr).unwrap();
+    let r = c
+        .request("summarizable loc Country State Province --node-limit 1")
+        .unwrap();
+    assert_eq!(r.status_word(), "unknown", "{}", r.status);
+    assert!(r.payload.starts_with("summarizable: unknown"), "{}", r.payload);
+    run.handle.drain();
+    run.join.join().unwrap().unwrap();
+
+    // Policy tighter than the (absent) ask: the server caps it.
+    let run = start(
+        ServeConfig {
+            policy: Budget::unlimited().with_node_limit(1),
+            ..ServeConfig::default()
+        },
+        &[("loc", &loc)],
+    );
+    let mut c = Client::connect(run.addr).unwrap();
+    let r = c.request("summarizable loc Country State Province").unwrap();
+    assert_eq!(r.status_word(), "unknown", "{}", r.status);
+    run.handle.drain();
+    run.join.join().unwrap().unwrap();
+}
+
+#[test]
+fn admission_control_answers_overloaded() {
+    let run = start(
+        ServeConfig {
+            workers: 1,
+            queue_cap: 0,
+            ..ServeConfig::default()
+        },
+        &[],
+    );
+    let mut c = Client::connect(run.addr).unwrap();
+    let r = c.read_response().unwrap();
+    assert_eq!(r.status_word(), "overloaded");
+    run.handle.drain();
+    let stats = run.join.join().unwrap().unwrap();
+    assert!(stats.rejected >= 1);
+}
+
+#[test]
+fn client_disconnect_cancels_the_inflight_solve() {
+    let collector = Arc::new(CollectingObserver::new());
+    let dir = temp_dir("disconnect");
+    let lad = ladder_text(40);
+    let run = start(
+        ServeConfig {
+            workers: 1,
+            checkpoint_dir: Some(dir.clone()),
+            obs: Obs::new(collector.clone()),
+            ..ServeConfig::default()
+        },
+        &[("lad", &lad)],
+    );
+
+    // Connect raw, fire an effectively-infinite enumeration, hang up.
+    let started = Instant::now();
+    {
+        let mut s = std::net::TcpStream::connect(run.addr).unwrap();
+        s.write_all(b"frozen lad Root\n").unwrap();
+        s.flush().unwrap();
+    } // dropped: EOF reaches the disconnect monitor
+
+    // The monitor must flip the request's CancelToken; without that the
+    // solve would grind on a 2^40 enumeration for hours.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let finished = loop {
+        let done = collector.events().into_iter().find(|e| {
+            matches!(e, Event::Request(r) if r.phase == "end" && r.command == "frozen")
+        });
+        if let Some(e) = done {
+            break e;
+        }
+        assert!(Instant::now() < deadline, "frozen request never finished");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    let Event::Request(r) = finished else { unreachable!() };
+    assert_eq!(r.status.as_deref(), Some("unknown"), "{r:?}");
+    assert!(
+        started.elapsed() < Duration::from_secs(20),
+        "cancellation took {:?}",
+        started.elapsed()
+    );
+    // The solve ended on the cancellation interrupt, not on a budget.
+    let cancelled = collector.events().iter().any(|e| {
+        matches!(e, Event::End(s) if s.request.is_some()
+            && s.interrupt.as_deref().is_some_and(|i| i.contains("cancelled")))
+    });
+    assert!(cancelled, "no cancelled solve recorded");
+
+    // The interrupted solve left a resumable envelope behind.
+    let ckpt = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .find(|e| e.file_name().to_string_lossy().ends_with(".ckpt"));
+    assert!(ckpt.is_some(), "no checkpoint written on disconnect");
+
+    // And the server is still alive for the next client.
+    let mut c = Client::connect(run.addr).unwrap();
+    assert!(c.request("ping").unwrap().is_ok());
+    c.request("shutdown").unwrap();
+    run.join.join().unwrap().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn drain_interrupts_solves_and_writes_resumable_checkpoints() {
+    let dir = temp_dir("drain");
+    let lad = ladder_text(40);
+    let run = start(
+        ServeConfig {
+            workers: 1,
+            checkpoint_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        },
+        &[("lad", &lad)],
+    );
+
+    let mut c = Client::connect(run.addr).unwrap();
+    let handle = run.handle.clone();
+    let drainer = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(300));
+        handle.drain();
+    });
+    let r = c.request("frozen lad Root").unwrap();
+    drainer.join().unwrap();
+    assert_eq!(r.status_word(), "unknown", "{}", r.status);
+    assert!(r.status.contains("cancelled"), "{}", r.status);
+    assert!(r.payload.contains("checkpoint written to"), "{}", r.payload);
+
+    let stats = run.join.join().unwrap().unwrap();
+    assert!(stats.checkpoints >= 1, "{stats:?}");
+
+    // The envelope is a valid odc-checkpoint v1 the solver accepts for
+    // resuming the same schema.
+    let entry = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .find(|e| e.file_name().to_string_lossy().ends_with(".ckpt"))
+        .expect("drain left no checkpoint");
+    let text = std::fs::read_to_string(entry.path()).unwrap();
+    assert!(text.starts_with("odc-checkpoint v1"), "{text}");
+    let ds = odc_core::parse_schema(&lad).unwrap();
+    let cp = odc_core::dimsat::Dimsat::new(&ds)
+        .load_checkpoint(&text)
+        .expect("checkpoint should parse and match the schema");
+    assert_eq!(ds.hierarchy().name(cp.root), "Root");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn server_payloads_match_the_serial_cli_byte_for_byte() {
+    let mut schema_path = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    schema_path.push("examples/location.odcs");
+    let schema_file = schema_path.to_str().unwrap().to_string();
+    let loc = location_text();
+    let run = start(ServeConfig::default(), &[("loc", &loc)]);
+    let mut c = Client::connect(run.addr).unwrap();
+
+    // (CLI argv, server request line) pairs for every reasoning command
+    // whose output the server mirrors.
+    let cases: Vec<(Vec<&str>, String)> = vec![
+        (
+            vec!["implies", &schema_file, "Store.Country -> Store.City.Country"],
+            r#"implies loc "Store.Country -> Store.City.Country""#.to_string(),
+        ),
+        (
+            vec!["summarizable", &schema_file, "Country", "City"],
+            "summarizable loc Country City".to_string(),
+        ),
+        (
+            vec!["frozen", &schema_file, "Store"],
+            "frozen loc Store".to_string(),
+        ),
+        (
+            vec!["check", &schema_file],
+            "audit loc".to_string(),
+        ),
+    ];
+    for (cli_args, server_line) in cases {
+        let out = std::process::Command::new(env!("CARGO_BIN_EXE_odc"))
+            .args(&cli_args)
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "cli {cli_args:?} failed");
+        let cli_text = String::from_utf8(out.stdout).unwrap();
+        let resp = c.request(&server_line).unwrap();
+        assert!(resp.is_ok(), "{server_line}: {}", resp.status);
+        assert_eq!(resp.payload, cli_text, "divergence on `{server_line}`");
+    }
+
+    c.request("shutdown").unwrap();
+    run.join.join().unwrap().unwrap();
+}
+
+#[test]
+fn odc_client_subcommand_round_trips() {
+    let loc = location_text();
+    let run = start(ServeConfig::default(), &[("loc", &loc)]);
+    let addr = run.addr.to_string();
+
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_odc"))
+        .args(["client", &addr, "implies", "loc", "Store.Country -> Store.City.Country"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.starts_with("implied: true"), "{text}");
+
+    // A budget-exhausted request exits 2, exactly like the CLI solver.
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_odc"))
+        .args([
+            "client", &addr, "summarizable", "loc", "Country", "State", "Province",
+            "--node-limit", "1",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+
+    run.handle.drain();
+    run.join.join().unwrap().unwrap();
+}
