@@ -82,9 +82,54 @@ for path in glob.glob(os.path.join(sys.argv[1], "fault-*.jsonl")):
 print(f"fault events OK: {checked} tagged injections validated")
 PYEOF
 
+echo "== crash-recovery smoke (verdict repository) =="
+REPODIR="$(mktemp -d /tmp/odc-ci-repo.XXXXXX)"
+trap 'rm -f "$STATS_JSON"; rm -rf "$WORK" "$REPODIR"' EXIT
+$ODC check examples/location.odcs > "$REPODIR/clean.txt"
+# Cold populate + warm reread: both must match the repository-free run
+# byte for byte.
+$ODC check examples/location.odcs --repo "$REPODIR/store" > "$REPODIR/cold.txt"
+$ODC check examples/location.odcs --repo "$REPODIR/store" > "$REPODIR/warm.txt"
+diff "$REPODIR/clean.txt" "$REPODIR/cold.txt" \
+  || { echo "cold --repo run diverged from clean run"; exit 1; }
+diff "$REPODIR/clean.txt" "$REPODIR/warm.txt" \
+  || { echo "warm --repo run diverged from clean run"; exit 1; }
+# Kill mid-write: the third repository write is torn and the process
+# aborts — a deterministic SIGKILL landing halfway through an append.
+rc=0
+$ODC check examples/location.odcs --repo "$REPODIR/crash" \
+  --fault torn-write:3:abort > /dev/null 2> "$REPODIR/abort.err" || rc=$?
+[ "$rc" -ne 0 ] || { echo "aborted run exited 0"; exit 1; }
+# Recovery rerun: the torn tail must be quarantined (with a tagged
+# repo_recovery event) and the verdicts re-derived to the same bytes.
+$ODC check examples/location.odcs --repo "$REPODIR/crash" \
+  --stats-json "$REPODIR/recover.jsonl" > "$REPODIR/recovered.txt"
+diff "$REPODIR/clean.txt" "$REPODIR/recovered.txt" \
+  || { echo "post-recovery run diverged from clean run"; exit 1; }
+ls "$REPODIR/crash/.quarantine"/* > /dev/null 2>&1 \
+  || { echo "no quarantined tail after recovery"; exit 1; }
+python3 - "$REPODIR/recover.jsonl" <<'PYEOF'
+import json, sys
+events = [json.loads(l) for l in open(sys.argv[1])]
+rec = [e for e in events if e["event"] == "repo_recovery"]
+assert rec, "no repo_recovery event in the recovery run"
+for e in rec:
+    assert e["phase"] == "recovery", e
+    assert e["bytes"] > 0, e          # a real torn tail was cut
+    assert ".quarantine" in e["detail"], e
+opens = [e for e in events if e["event"] == "repo" and e["phase"] == "open"]
+assert opens, "store never reported its open"
+assert opens[-1]["detail"] == "writer", opens[-1]
+solves = [e for e in events if e["event"] == "solve_end"]
+assert solves, "no solves: lost verdicts were never re-derived"
+print(f"recovery OK: {len(rec)} torn tail(s) quarantined, "
+      f"{sum(e['records'] for e in rec)} record(s) salvaged before the tear")
+PYEOF
+echo "crashed mid-write, recovered, identical"
+
 echo "== server smoke (odc serve / odc client) =="
 SRVDIR="$(mktemp -d /tmp/odc-ci-serve.XXXXXX)"
-trap 'rm -f "$STATS_JSON"; rm -rf "$WORK" "$SRVDIR"; kill "${SRVPID:-}" 2>/dev/null || true' EXIT
+trap 'rm -f "$STATS_JSON"; rm -rf "$WORK" "$REPODIR" "$SRVDIR"; kill "${SRVPID:-}" 2>/dev/null || true' EXIT
 ODCBIN=./target/release/odc
 # A deep diamond ladder: frozen enumeration from Root is effectively
 # unbounded, so a solve is guaranteed to still be in flight when the

@@ -1,0 +1,233 @@
+//! E19: the verdict-repository experiments behind `BENCH_repo.json`.
+//!
+//! A k-branch, L-level dimension schema (disjoint branches under one
+//! bottom, so constraint edits are provably branch-local) is audited
+//! four ways:
+//!
+//! 1. **cold** — fresh repository directory; every audit cell is
+//!    solved and persisted.
+//! 2. **warm** — the same repository reopened; every cell answers
+//!    from disk with zero solver work.
+//! 3. **incremental** — one constraint in the last branch is edited;
+//!    `sync_schema` migrates every verdict whose footprint the edit
+//!    misses and the re-audit solves only the invalidated branch.
+//! 4. **cold re-audit** — the edited schema against a fresh
+//!    directory, the from-scratch baseline the incremental path must
+//!    beat.
+//!
+//! Reported: wall times for each pass, the edit's invalidation
+//! selectivity (must stay under 30% — the footprint machinery's whole
+//! point), the incremental-over-cold speedup (must be ≥ 3×), and a
+//! cell-by-cell parity audit of the incremental re-audit against the
+//! from-scratch report (sat sweep, redundancy, census, rewrites —
+//! at least 200 cells, all required to match).
+//!
+//! Run with: `cargo run --release -p odc-bench --bin exp_repo`
+//! (`--smoke` or `ODC_BENCH_QUICK=1` for a small grid that skips the
+//! thresholds and leaves `results/` untouched).
+
+use odc_core::prelude::*;
+use odc_core::repo::{audit_with_repo, VerdictRepo};
+use odc_core::summarizability::advisor::{self, SchemaReport};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn branch_schema(k: usize, levels: usize, edit_value: &str) -> DimensionSchema {
+    let mut b = HierarchySchema::builder();
+    let mut sigma = String::new();
+    for i in 0..k {
+        // Each branch is its own dimension line: bottom C{i}x0 up to
+        // All. Disjoint branches keep every proof footprint — sat
+        // sweep, census, and crucially the rewrite batteries (whose
+        // footprints span the bottoms reaching the target) — inside
+        // one branch, which is what the selectivity bar measures.
+        let mut prev = None;
+        for j in 0..levels {
+            let c = b.category(&format!("C{i}x{j}"));
+            if let Some(p) = prev {
+                b.edge(p, c);
+            }
+            prev = Some(c);
+        }
+        if let Some(p) = prev {
+            b.edge(p, Category::ALL);
+        }
+        // Two branch-local constraints rooted at the branch's first
+        // category: a frozen path atom and a guarded equality. The
+        // last branch's equality value is the edit knob.
+        let value = if i == k - 1 { edit_value } else { "base" };
+        let chain: Vec<String> = (0..levels).map(|j| format!("C{i}x{j}")).collect();
+        let _ = writeln!(sigma, "{}", chain.join("_"));
+        let _ = writeln!(
+            sigma,
+            "C{i}x0.C{i}x{} = {value} -> C{i}x0_C{i}x1",
+            levels - 1
+        );
+    }
+    let g = Arc::new(b.build().expect("acyclic by construction"));
+    DimensionSchema::parse(g, &sigma).expect("sigma parses")
+}
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("odc-exp-repo-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn timed_audit(ds: &DimensionSchema, repo: &VerdictRepo) -> (f64, SchemaReport) {
+    let t0 = Instant::now();
+    let mut gov = Governor::unlimited();
+    let report = audit_with_repo(ds, repo, &mut gov);
+    let ms = t0.elapsed().as_secs_f64() * 1000.0;
+    assert!(report.interrupted.is_none(), "unlimited audit interrupted");
+    (ms, report)
+}
+
+/// Compare two audit reports cell by cell; returns (matched, total).
+fn parity(g: &HierarchySchema, a: &SchemaReport, b: &SchemaReport) -> (usize, usize) {
+    let mut matched = 0usize;
+    let mut total = 0usize;
+    let mut cell = |ok: bool| {
+        total += 1;
+        matched += ok as usize;
+    };
+    // Satisfiability sweep: one cell per category.
+    let unsat_a: std::collections::BTreeSet<_> = a.unsatisfiable.iter().collect();
+    let unsat_b: std::collections::BTreeSet<_> = b.unsatisfiable.iter().collect();
+    for c in g.categories() {
+        cell(unsat_a.contains(&c) == unsat_b.contains(&c));
+    }
+    // Redundancy: one cell per constraint index.
+    let red_a: std::collections::BTreeSet<_> = a.redundant_constraints.iter().collect();
+    let red_b: std::collections::BTreeSet<_> = b.redundant_constraints.iter().collect();
+    for i in red_a.union(&red_b) {
+        cell(red_a.contains(*i) == red_b.contains(*i));
+    }
+    // Structure census: one cell per bottom.
+    let census_a: std::collections::BTreeMap<_, _> = a.structure_census.iter().cloned().collect();
+    for (c, n) in &b.structure_census {
+        cell(census_a.get(c) == Some(n));
+    }
+    // Safe rewrites: one cell per (coarse, fine) pair.
+    let rw_a: std::collections::BTreeSet<_> = a.safe_rewrites.iter().collect();
+    let rw_b: std::collections::BTreeSet<_> = b.safe_rewrites.iter().collect();
+    for p in rw_a.union(&rw_b) {
+        cell(rw_a.contains(*p) == rw_b.contains(*p));
+    }
+    (matched, total)
+}
+
+fn main() {
+    let smoke =
+        std::env::args().any(|a| a == "--smoke") || std::env::var_os("ODC_BENCH_QUICK").is_some();
+    let (k, levels) = if smoke { (3, 4) } else { (6, 12) };
+    println!("E19 — verdict repository: k={k} branches x L={levels} levels");
+
+    let base = branch_schema(k, levels, "base");
+    let edited = branch_schema(k, levels, "edited");
+    let n_categories = base.hierarchy().num_categories();
+
+    // ── cold + warm ──────────────────────────────────────────────────
+    let dir = tmpdir("main");
+    let repo = VerdictRepo::open(&dir, Obs::none(), None).expect("open repo");
+    repo.sync_schema(&base, "bench", "base").expect("sync base");
+    let (cold_ms, cold_report) = timed_audit(&base, &repo);
+    let records = repo.record_count();
+    let (warm_ms, warm_report) = timed_audit(&base, &repo);
+    let (wm, wt) = parity(base.hierarchy(), &warm_report, &cold_report);
+    assert_eq!((wm, wt), (wt, wt), "warm audit diverged from cold");
+
+    // ── the edit: last branch's equality value flips ─────────────────
+    let t0 = Instant::now();
+    let sync = repo
+        .sync_schema(&edited, "bench", "edited")
+        .expect("sync edited");
+    let sync_ms = t0.elapsed().as_secs_f64() * 1000.0;
+    let carried = sync.migrated + sync.invalidated;
+    let selectivity = sync.invalidated as f64 / carried.max(1) as f64;
+    let (incremental_ms, incremental_report) = timed_audit(&edited, &repo);
+    drop(repo);
+
+    // ── from-scratch baseline on the edited schema ───────────────────
+    let dir2 = tmpdir("cold2");
+    let repo2 = VerdictRepo::open(&dir2, Obs::none(), None).expect("open repo2");
+    repo2
+        .sync_schema(&edited, "bench", "edited")
+        .expect("sync edited cold");
+    let (cold_reaudit_ms, _) = timed_audit(&edited, &repo2);
+    drop(repo2);
+
+    // ── parity: incremental vs a repository-free audit ───────────────
+    let fresh = advisor::audit(&edited);
+    let (matched, total) = parity(edited.hierarchy(), &incremental_report, &fresh);
+    let speedup = cold_reaudit_ms / incremental_ms.max(1e-9);
+
+    println!("  categories            {n_categories}");
+    println!("  verdict records       {records}");
+    println!("  cold audit            {cold_ms:9.2} ms");
+    println!("  warm audit            {warm_ms:9.2} ms");
+    println!(
+        "  edit sync             {sync_ms:9.2} ms ({} migrated, {} invalidated, selectivity {selectivity:.3})",
+        sync.migrated, sync.invalidated
+    );
+    println!("  incremental re-audit  {incremental_ms:9.2} ms");
+    println!("  cold re-audit         {cold_reaudit_ms:9.2} ms (speedup {speedup:.1}x)");
+    println!("  parity                {matched}/{total}");
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"experiment\": \"E19 verdict repository\",");
+    let _ = writeln!(json, "  \"branches\": {k},");
+    let _ = writeln!(json, "  \"levels\": {levels},");
+    let _ = writeln!(json, "  \"categories\": {n_categories},");
+    let _ = writeln!(json, "  \"verdict_records\": {records},");
+    let _ = writeln!(json, "  \"cold_audit_ms\": {cold_ms:.3},");
+    let _ = writeln!(json, "  \"warm_audit_ms\": {warm_ms:.3},");
+    let _ = writeln!(json, "  \"edit_sync_ms\": {sync_ms:.3},");
+    let _ = writeln!(json, "  \"edit_migrated\": {},", sync.migrated);
+    let _ = writeln!(json, "  \"edit_invalidated\": {},", sync.invalidated);
+    let _ = writeln!(json, "  \"edit_selectivity\": {selectivity:.4},");
+    let _ = writeln!(json, "  \"incremental_reaudit_ms\": {incremental_ms:.3},");
+    let _ = writeln!(json, "  \"cold_reaudit_ms\": {cold_reaudit_ms:.3},");
+    let _ = writeln!(json, "  \"incremental_speedup\": {speedup:.2},");
+    let _ = writeln!(json, "  \"parity_matched\": {matched},");
+    let _ = writeln!(json, "  \"parity_total\": {total}");
+    json.push_str("}\n");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&dir2);
+
+    if smoke {
+        // The small grid can't honour the selectivity/speedup bars
+        // (too few branches to amortize); parity must still hold.
+        assert_eq!(matched, total, "parity failed in smoke run");
+        println!("\nsmoke run: results/BENCH_repo.json left untouched");
+        return;
+    }
+
+    let mut failures = Vec::new();
+    if matched != total {
+        failures.push(format!("parity {matched}/{total}"));
+    }
+    if total < 200 {
+        failures.push(format!("parity covers only {total} cells (< 200)"));
+    }
+    if selectivity >= 0.30 {
+        failures.push(format!("selectivity {selectivity:.3} >= 0.30"));
+    }
+    if speedup < 3.0 {
+        failures.push(format!("speedup {speedup:.1}x < 3x"));
+    }
+
+    let results = format!("{}/../../results", env!("CARGO_MANIFEST_DIR"));
+    let _ = std::fs::create_dir_all(&results);
+    let path = format!("{results}/BENCH_repo.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => println!("\ncould not write {path}: {e}"),
+    }
+    if !failures.is_empty() {
+        eprintln!("E19 FAILED: {}", failures.join("; "));
+        std::process::exit(1);
+    }
+}

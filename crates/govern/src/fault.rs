@@ -154,6 +154,101 @@ impl FaultPlan {
     }
 }
 
+/// What an injected *I/O* fault does when it fires. These extend the
+/// search-tick harness above to the persistence layer: instead of
+/// tripping a governor, they corrupt a write the way a crash would, so
+/// every recovery path is deterministically reachable in tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFaultKind {
+    /// Write only a prefix of the bytes of one append and skip the
+    /// fsync — the on-disk image a SIGKILL mid-`write(2)` leaves behind.
+    TornWrite,
+    /// Write the temp file of an atomic (temp + rename + fsync) write
+    /// but skip the rename — the image of a crash between the two steps.
+    SkipRename,
+    /// Leave a lock file naming a dead process behind — the image of a
+    /// writer that crashed without releasing its lock.
+    StaleLock,
+}
+
+impl IoFaultKind {
+    /// Stable machine-readable name (the JSON value in `fault` events).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            IoFaultKind::TornWrite => "torn-write",
+            IoFaultKind::SkipRename => "skip-rename",
+            IoFaultKind::StaleLock => "stale-lock",
+        }
+    }
+}
+
+/// A reproducible I/O fault schedule: fires once, on the `nth`
+/// operation of the matching class (1-based), counted across every
+/// clone of the plan. `abort` additionally kills the process at the
+/// injection point (via [`std::process::abort`]), turning the torn
+/// write into a full SIGKILL-style crash for end-to-end recovery tests;
+/// without it the faulty writer merely poisons itself so the test can
+/// observe the corrupt image in-process.
+#[derive(Debug, Clone)]
+pub struct IoFaultPlan {
+    kind: IoFaultKind,
+    nth: u64,
+    abort: bool,
+    ops: Arc<AtomicU64>,
+    injected: Arc<AtomicU64>,
+}
+
+impl IoFaultPlan {
+    /// A plan firing `kind` on the `nth` matching operation (1-based;
+    /// `0` never fires).
+    pub fn new(kind: IoFaultKind, nth: u64) -> Self {
+        IoFaultPlan {
+            kind,
+            nth,
+            abort: false,
+            ops: Arc::new(AtomicU64::new(0)),
+            injected: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Also abort the process when the fault fires (SIGKILL-equivalent
+    /// for CI crash-recovery smoke tests).
+    pub fn with_abort(mut self) -> Self {
+        self.abort = true;
+        self
+    }
+
+    /// What the plan injects.
+    pub fn kind(&self) -> IoFaultKind {
+        self.kind
+    }
+
+    /// Whether the injection also aborts the process.
+    pub fn aborts(&self) -> bool {
+        self.abort
+    }
+
+    /// How many faults have fired so far, across all clones of the plan.
+    pub fn injections(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Ticks one operation of class `kind`; returns `true` when this is
+    /// the planned injection point. Operations of other classes do not
+    /// advance the counter, and the plan fires at most once.
+    pub fn due(&self, kind: IoFaultKind) -> bool {
+        if kind != self.kind || self.nth == 0 {
+            return false;
+        }
+        let op = self.ops.fetch_add(1, Ordering::AcqRel) + 1;
+        if op != self.nth {
+            return false;
+        }
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+}
+
 /// The payload of a [`FaultKind::Panic`] injection, so tests can downcast
 /// the panic they provoked and distinguish it from an organic crash.
 #[derive(Debug, Clone, Copy)]

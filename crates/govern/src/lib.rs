@@ -34,7 +34,7 @@ mod checkpoint;
 mod fault;
 
 pub use checkpoint::{CheckpointEnvelope, CheckpointError, CHECKPOINT_VERSION};
-pub use fault::{FaultKind, FaultPlan, FaultTrigger, InjectedPanic};
+pub use fault::{FaultKind, FaultPlan, FaultTrigger, InjectedPanic, IoFaultKind, IoFaultPlan};
 use fault::FaultState;
 
 /// Why a governed search stopped early.

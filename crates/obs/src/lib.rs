@@ -284,6 +284,28 @@ pub struct FaultEvent {
     pub worker: Option<u64>,
 }
 
+/// A verdict-repository lifecycle event: recovery after a crash,
+/// quarantine of a corrupt segment tail, stale-lock takeover, or a
+/// footprint migration after a schema edit. Recovery events carry their
+/// own JSONL event name (`repo_recovery`) so crash-recovery smoke tests
+/// can assert on them directly.
+#[derive(Debug, Clone)]
+pub struct RepoEvent {
+    /// `"recovery"`, `"open"`, `"lock_stale"`, `"read_only"`, or
+    /// `"migrate"`.
+    pub phase: &'static str,
+    /// The repository directory (or the affected file, for recovery).
+    pub path: String,
+    /// Human-readable detail (what was truncated, which fingerprints
+    /// migrated, …).
+    pub detail: String,
+    /// Records affected (valid records kept on recovery, verdicts
+    /// migrated on migration).
+    pub records: u64,
+    /// Bytes affected (quarantined bytes on recovery).
+    pub bytes: u64,
+}
+
 /// One worker's contribution to a parallel battery, reported when the
 /// worker drains its stripe.
 #[derive(Debug, Clone)]
@@ -326,6 +348,8 @@ pub trait Observer: Send + Sync {
     fn worker_finished(&self, _w: &WorkerStats) {}
     /// The fault-injection harness fired a planned fault.
     fn fault(&self, _f: &FaultEvent) {}
+    /// The verdict repository recovered, migrated, or changed mode.
+    fn repo(&self, _e: &RepoEvent) {}
 }
 
 /// The sink that ignores everything (useful for measuring pure
@@ -446,6 +470,14 @@ impl Obs {
             o.fault(f);
         }
     }
+
+    /// Forwards a verdict-repository event.
+    #[inline]
+    pub fn repo(&self, e: &RepoEvent) {
+        if let Some(o) = &self.0 {
+            o.repo(e);
+        }
+    }
 }
 
 /// Fans events out to several sinks (e.g. a JSON-lines file *and* a
@@ -515,6 +547,11 @@ impl Observer for MultiObserver {
     fn fault(&self, f: &FaultEvent) {
         for s in &self.sinks {
             s.fault(f);
+        }
+    }
+    fn repo(&self, e: &RepoEvent) {
+        for s in &self.sinks {
+            s.repo(e);
         }
     }
 }
@@ -816,6 +853,25 @@ impl Observer for JsonlObserver {
             json_opt_u64(f.worker),
         ));
     }
+
+    fn repo(&self, e: &RepoEvent) {
+        // Recovery gets its own event name so crash-recovery smoke tests
+        // can grep for it without decoding phases.
+        let event = if e.phase == "recovery" {
+            "repo_recovery"
+        } else {
+            "repo"
+        };
+        self.emit(format!(
+            "{{\"event\":\"{event}\",\"phase\":\"{}\",\"path\":\"{}\",\"detail\":\"{}\",\
+             \"records\":{},\"bytes\":{}}}",
+            e.phase,
+            json_escape(&e.path),
+            json_escape(&e.detail),
+            e.records,
+            e.bytes,
+        ));
+    }
 }
 
 /// A human-readable progress stream (one short line per lifecycle event
@@ -937,6 +993,13 @@ impl Observer for ProgressObserver {
             f.kind, f.site, f.trigger, f.nodes, f.checks
         ));
     }
+
+    fn repo(&self, e: &RepoEvent) {
+        self.emit(format!(
+            "progress: repo {} {} ({}; {} records, {} bytes)",
+            e.phase, e.path, e.detail, e.records, e.bytes
+        ));
+    }
 }
 
 /// One recorded event (what a [`CollectingObserver`] stores).
@@ -964,6 +1027,8 @@ pub enum Event {
     Worker(WorkerStats),
     /// A `fault` call.
     Fault(FaultEvent),
+    /// A `repo` call.
+    Repo(RepoEvent),
 }
 
 /// An in-memory sink recording every event, for tests and ad-hoc
@@ -1024,6 +1089,9 @@ impl Observer for CollectingObserver {
     }
     fn fault(&self, f: &FaultEvent) {
         self.push(Event::Fault(f.clone()));
+    }
+    fn repo(&self, e: &RepoEvent) {
+        self.push(Event::Repo(e.clone()));
     }
 }
 

@@ -1,0 +1,63 @@
+//! CRC-32 (IEEE 802.3) over record bodies — the per-record integrity
+//! check of the segment format. Hand-rolled so the crate stays
+//! zero-dependency; the polynomial and bit order match the ubiquitous
+//! `crc32` everyone else computes, which keeps the on-disk format
+//! inspectable with standard tools.
+
+use std::sync::OnceLock;
+
+static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+
+fn table() -> &'static [u32; 256] {
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        let mut i = 0usize;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            t[i] = c;
+            i += 1;
+        }
+        t
+    })
+}
+
+/// The CRC-32 of `bytes` (IEEE polynomial, reflected, init/xorout
+/// `0xFFFFFFFF`).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let t = table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = t[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The classic check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let mut data = b"the quick brown fox".to_vec();
+        let clean = crc32(&data);
+        data[3] ^= 0x01;
+        assert_ne!(crc32(&data), clean);
+    }
+}

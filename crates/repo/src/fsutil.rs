@@ -1,0 +1,160 @@
+//! Filesystem primitives with crash-safety discipline and fault
+//! injection hooks.
+//!
+//! Every durable write in the repository goes through one of two
+//! paths:
+//!
+//! * [`atomic_write`] — whole-file replacement via temp file +
+//!   `sync_all` + `rename` + directory fsync. Readers see either the
+//!   old content or the new content, never a mixture.
+//! * [`append_frame`] — segment appends, where the frame header's
+//!   length + CRC make a torn tail detectable and truncatable.
+//!
+//! Both accept an optional [`IoFaultPlan`] from the PR 4 fault
+//! harness so tests (and the CI crash smoke) can make the process
+//! tear a write or skip a rename at a precise operation index,
+//! optionally aborting to simulate SIGKILL.
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+use odc_govern::{IoFaultKind, IoFaultPlan};
+
+fn fsync_dir(dir: &Path) {
+    // Directory fsync makes the rename itself durable. Failure here
+    // is not actionable beyond what the subsequent recovery scan
+    // already handles, so it is best-effort.
+    if let Ok(d) = fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+/// Write `bytes` to `path` atomically: temp file in the same
+/// directory, flush + fsync, rename over the target, fsync the
+/// directory.
+///
+/// With a due `skip-rename` fault the temp file is written and synced
+/// but the rename is skipped (and the process aborts if the plan says
+/// so), modelling a crash between data durability and name
+/// durability. With a due `torn-write` fault only a prefix of the
+/// bytes reaches the temp file before rename (abort likewise
+/// optional), modelling a torn sector landing under the final name.
+pub fn atomic_write(path: &Path, bytes: &[u8], faults: Option<&IoFaultPlan>) -> std::io::Result<()> {
+    let dir = path.parent().map(Path::to_path_buf).unwrap_or_default();
+    let tmp = path.with_extension("tmp");
+    let torn = faults.is_some_and(|f| f.due(IoFaultKind::TornWrite));
+    let written: &[u8] = if torn {
+        &bytes[..bytes.len() / 2]
+    } else {
+        bytes
+    };
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(written)?;
+        f.sync_all()?;
+    }
+    if torn {
+        // A torn write that still renames is the nastier failure: the
+        // final name holds a half-record. Land it, then maybe die.
+        fs::rename(&tmp, path)?;
+        fsync_dir(&dir);
+        if faults.is_some_and(IoFaultPlan::aborts) {
+            std::process::abort();
+        }
+        return Ok(());
+    }
+    if faults.is_some_and(|f| f.due(IoFaultKind::SkipRename)) {
+        if faults.is_some_and(IoFaultPlan::aborts) {
+            std::process::abort();
+        }
+        return Ok(());
+    }
+    fs::rename(&tmp, path)?;
+    fsync_dir(&dir);
+    Ok(())
+}
+
+/// Append `frame` to the file at `path`, fsyncing afterwards.
+///
+/// A due `torn-write` fault appends only a prefix of the frame,
+/// leaving exactly the kind of tail the recovery scan must truncate
+/// and quarantine; the plan may then abort the process.
+pub fn append_frame(path: &Path, frame: &[u8], faults: Option<&IoFaultPlan>) -> std::io::Result<()> {
+    let torn = faults.is_some_and(|f| f.due(IoFaultKind::TornWrite));
+    let written: &[u8] = if torn {
+        &frame[..frame.len() * 2 / 3]
+    } else {
+        frame
+    };
+    let mut f = fs::OpenOptions::new().create(true).append(true).open(path)?;
+    f.write_all(written)?;
+    f.sync_all()?;
+    if torn && faults.is_some_and(IoFaultPlan::aborts) {
+        std::process::abort();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "odc-repo-fsutil-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn atomic_write_replaces_whole_file() {
+        let d = tmpdir("atomic");
+        let p = d.join("x.txt");
+        atomic_write(&p, b"first version", None).unwrap();
+        atomic_write(&p, b"v2", None).unwrap();
+        assert_eq!(fs::read(&p).unwrap(), b"v2");
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn torn_write_leaves_prefix() {
+        let d = tmpdir("torn");
+        let p = d.join("x.txt");
+        let plan = IoFaultPlan::new(IoFaultKind::TornWrite, 1);
+        atomic_write(&p, b"0123456789", Some(&plan)).unwrap();
+        assert_eq!(fs::read(&p).unwrap(), b"01234");
+        assert_eq!(plan.injections(), 1);
+        // The plan fires once; the next write is clean.
+        atomic_write(&p, b"0123456789", Some(&plan)).unwrap();
+        assert_eq!(fs::read(&p).unwrap(), b"0123456789");
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn skip_rename_preserves_old_content() {
+        let d = tmpdir("skip");
+        let p = d.join("x.txt");
+        atomic_write(&p, b"old", None).unwrap();
+        let plan = IoFaultPlan::new(IoFaultKind::SkipRename, 1);
+        atomic_write(&p, b"new", Some(&plan)).unwrap();
+        assert_eq!(fs::read(&p).unwrap(), b"old");
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn append_frame_tears_on_fault() {
+        let d = tmpdir("append");
+        let p = d.join("seg.log");
+        append_frame(&p, b"aaaa-bbbb-cccc", None).unwrap();
+        let plan = IoFaultPlan::new(IoFaultKind::TornWrite, 1);
+        append_frame(&p, b"dddd-eeee-ffff", Some(&plan)).unwrap();
+        let got = fs::read(&p).unwrap();
+        assert!(got.starts_with(b"aaaa-bbbb-cccc"));
+        assert!(got.len() < b"aaaa-bbbb-ccccdddd-eeee-ffff".len());
+        let _ = fs::remove_dir_all(&d);
+    }
+}

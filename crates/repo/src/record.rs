@@ -1,0 +1,301 @@
+//! Record bodies and their line-oriented wire form.
+//!
+//! A record body is a sequence of `tag value` lines. Values are
+//! escaped so that a body never contains a bare newline outside of
+//! line boundaries: `\n` → `\\n`, `\r` → `\\r`, `\\` → `\\\\`. The
+//! segment layer frames each body with a length + CRC header, so the
+//! codec here only has to be unambiguous, not self-delimiting.
+
+use std::fmt;
+
+/// Escape a value for storage on a single `tag value` line.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape`]. Returns `None` on a malformed escape
+/// sequence (truncated or unknown), which recovery treats as a
+/// corrupt record.
+pub fn unescape(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(ch) = chars.next() {
+        if ch == '\\' {
+            match chars.next() {
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                _ => return None,
+            }
+        } else {
+            out.push(ch);
+        }
+    }
+    Some(out)
+}
+
+/// Identity of one stored verdict: which schema (by fingerprint),
+/// which solve options, which operation, and the canonicalized query
+/// text. Two requests that agree on all four fields are guaranteed to
+/// produce the same verdict, because the solver is deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct VerdictKey {
+    /// `schema_fingerprint` of the dimension schema the verdict was
+    /// solved against.
+    pub fingerprint: u64,
+    /// `options_key` rendering of the [`odc_dimsat::DimsatOptions`]
+    /// in effect.
+    pub options: String,
+    /// Operation kind: `sat`, `implies`, `summarizable`, `frozen`,
+    /// `redundant`, `rewrite`, `census`, `sweep`.
+    pub kind: String,
+    /// Canonical query text within the kind (category name,
+    /// constraint display form, rewrite pair, ...).
+    pub query: String,
+}
+
+impl fmt::Display for VerdictKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:016x}/{}/{}/{}",
+            self.fingerprint, self.options, self.kind, self.query
+        )
+    }
+}
+
+/// A decided verdict plus everything needed to reuse and invalidate it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredVerdict {
+    /// Machine-readable verdict word (`sat`, `unsat`, `implied`,
+    /// `not-implied`, `summarizable`, `not-summarizable`, a frozen
+    /// count, ...).
+    pub value: String,
+    /// Rendered payload reprinted verbatim on a repository hit so
+    /// that warm output is byte-identical to a cold solve.
+    pub payload: String,
+    /// Category names whose region the proof examined. A schema edit
+    /// whose delta is disjoint from this set cannot change the
+    /// verdict.
+    pub footprint: Vec<String>,
+}
+
+/// One decoded record body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordBody {
+    /// A decided verdict for a key.
+    Put {
+        key: VerdictKey,
+        verdict: StoredVerdict,
+    },
+    /// A schema summary: fingerprint plus the structural facts needed
+    /// to compute edit deltas, and (for `odc-serve` restart warmth)
+    /// the catalog name and source text.
+    Schema {
+        fingerprint: u64,
+        name: String,
+        source: String,
+        summary: Vec<String>,
+    },
+    /// An interrupted solve's checkpoint cursor, resumable as a warm
+    /// start the next time the same key is requested.
+    Pending { key: VerdictKey, cursor: String },
+}
+
+fn push_line(out: &mut String, tag: &str, value: &str) {
+    out.push_str(tag);
+    out.push(' ');
+    out.push_str(&escape(value));
+    out.push('\n');
+}
+
+fn push_key(out: &mut String, key: &VerdictKey) {
+    push_line(out, "fp", &format!("{:016x}", key.fingerprint));
+    push_line(out, "op", &key.options);
+    push_line(out, "k", &key.kind);
+    push_line(out, "q", &key.query);
+}
+
+impl RecordBody {
+    /// Encode to the line form. The result never contains an empty
+    /// line and always ends with `\n`.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        match self {
+            RecordBody::Put { key, verdict } => {
+                push_line(&mut out, "t", "put");
+                push_key(&mut out, key);
+                push_line(&mut out, "v", &verdict.value);
+                push_line(&mut out, "p", &verdict.payload);
+                for cat in &verdict.footprint {
+                    push_line(&mut out, "f", cat);
+                }
+            }
+            RecordBody::Schema {
+                fingerprint,
+                name,
+                source,
+                summary,
+            } => {
+                push_line(&mut out, "t", "schema");
+                push_line(&mut out, "fp", &format!("{fingerprint:016x}"));
+                push_line(&mut out, "n", name);
+                push_line(&mut out, "src", source);
+                for item in summary {
+                    push_line(&mut out, "s", item);
+                }
+            }
+            RecordBody::Pending { key, cursor } => {
+                push_line(&mut out, "t", "pending");
+                push_key(&mut out, key);
+                push_line(&mut out, "c", cursor);
+            }
+        }
+        out
+    }
+
+    /// Decode a body previously produced by [`RecordBody::encode`].
+    /// Returns `None` on any structural problem; the caller treats
+    /// that as a corrupt record.
+    pub fn decode(body: &str) -> Option<RecordBody> {
+        let mut tag_kind = None;
+        let mut fp = None;
+        let mut op = None;
+        let mut kind = None;
+        let mut query = None;
+        let mut value = None;
+        let mut payload = None;
+        let mut name = None;
+        let mut source = None;
+        let mut cursor = None;
+        let mut footprint = Vec::new();
+        let mut summary = Vec::new();
+        for line in body.lines() {
+            let (tag, raw) = line.split_once(' ')?;
+            let val = unescape(raw)?;
+            match tag {
+                "t" => tag_kind = Some(val),
+                "fp" => fp = Some(u64::from_str_radix(&val, 16).ok()?),
+                "op" => op = Some(val),
+                "k" => kind = Some(val),
+                "q" => query = Some(val),
+                "v" => value = Some(val),
+                "p" => payload = Some(val),
+                "n" => name = Some(val),
+                "src" => source = Some(val),
+                "c" => cursor = Some(val),
+                "f" => footprint.push(val),
+                "s" => summary.push(val),
+                _ => return None,
+            }
+        }
+        let key = |fp: Option<u64>, op: Option<String>, kind: Option<String>, query: Option<String>| {
+            Some(VerdictKey {
+                fingerprint: fp?,
+                options: op?,
+                kind: kind?,
+                query: query?,
+            })
+        };
+        match tag_kind.as_deref() {
+            Some("put") => Some(RecordBody::Put {
+                key: key(fp, op, kind, query)?,
+                verdict: StoredVerdict {
+                    value: value?,
+                    payload: payload?,
+                    footprint,
+                },
+            }),
+            Some("schema") => Some(RecordBody::Schema {
+                fingerprint: fp?,
+                name: name?,
+                source: source?,
+                summary,
+            }),
+            Some("pending") => Some(RecordBody::Pending {
+                key: key(fp, op, kind, query)?,
+                cursor: cursor?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_key() -> VerdictKey {
+        VerdictKey {
+            fingerprint: 0xDEAD_BEEF_0123_4567,
+            options: "into+eager".to_string(),
+            kind: "summarizable".to_string(),
+            query: "Store<-City".to_string(),
+        }
+    }
+
+    #[test]
+    fn escape_round_trip() {
+        for s in ["", "plain", "a\nb", "tr\\ail\\", "\r\n", "end\n"] {
+            assert_eq!(unescape(&escape(s)).as_deref(), Some(s));
+        }
+    }
+
+    #[test]
+    fn unescape_rejects_malformed() {
+        assert_eq!(unescape("dangling\\"), None);
+        assert_eq!(unescape("bad\\q"), None);
+    }
+
+    #[test]
+    fn put_round_trip() {
+        let body = RecordBody::Put {
+            key: sample_key(),
+            verdict: StoredVerdict {
+                value: "not-summarizable".to_string(),
+                payload: "line one\nline two\n".to_string(),
+                footprint: vec!["City".to_string(), "All".to_string()],
+            },
+        };
+        let text = body.encode();
+        assert_eq!(RecordBody::decode(&text), Some(body));
+    }
+
+    #[test]
+    fn schema_round_trip() {
+        let body = RecordBody::Schema {
+            fingerprint: 42,
+            name: "retail".to_string(),
+            source: "category City\ncategory All\nedge City All\n".to_string(),
+            summary: vec!["cat City".to_string(), "edge City All".to_string()],
+        };
+        let text = body.encode();
+        assert_eq!(RecordBody::decode(&text), Some(body));
+    }
+
+    #[test]
+    fn pending_round_trip() {
+        let body = RecordBody::Pending {
+            key: sample_key(),
+            cursor: "odc-battery-checkpoint v1\nnext 3\n".to_string(),
+        };
+        let text = body.encode();
+        assert_eq!(RecordBody::decode(&text), Some(body));
+    }
+
+    #[test]
+    fn decode_rejects_noise() {
+        assert_eq!(RecordBody::decode("nonsense"), None);
+        assert_eq!(RecordBody::decode("t put\n"), None);
+        assert_eq!(RecordBody::decode("t mystery\nfp 00\n"), None);
+    }
+}

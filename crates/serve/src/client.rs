@@ -4,6 +4,20 @@
 use crate::protocol::{stuff_block, Response};
 use std::io::{self, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Jittered exponential backoff for connection retries: 25ms doubled
+/// per attempt, capped at two seconds, plus up to 50% process-random
+/// jitter so a fleet of retrying clients does not reconnect in
+/// lockstep against a restarting server.
+pub fn retry_backoff(attempt: u32) -> Duration {
+    let base = Duration::from_millis(25u64 << attempt.min(7).saturating_sub(1));
+    let capped = base.min(Duration::from_secs(2));
+    use std::hash::{BuildHasher, Hasher};
+    let mut h = std::collections::hash_map::RandomState::new().build_hasher();
+    h.write_u32(attempt);
+    capped + capped.mul_f64((h.finish() % 1000) as f64 / 2000.0)
+}
 
 /// One connection to a resident server.
 pub struct Client {
@@ -20,6 +34,27 @@ impl Client {
         writer.set_nodelay(true)?;
         let reader = BufReader::new(writer.try_clone()?);
         Ok(Client { reader, writer })
+    }
+
+    /// Connects, retrying a refused connection up to `retries` times
+    /// with [`retry_backoff`] between attempts — the server may still
+    /// be binding (or restarting). Any other error, and a refusal past
+    /// the budget, surface immediately.
+    pub fn connect_with_retry<A: ToSocketAddrs + Clone>(
+        addr: A,
+        retries: u32,
+    ) -> io::Result<Client> {
+        let mut attempt = 0u32;
+        loop {
+            match Client::connect(addr.clone()) {
+                Ok(c) => return Ok(c),
+                Err(e) if e.kind() == io::ErrorKind::ConnectionRefused && attempt < retries => {
+                    attempt += 1;
+                    std::thread::sleep(retry_backoff(attempt));
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Sends one request line and reads the response block. An EOF

@@ -35,6 +35,6 @@ pub mod protocol;
 pub mod server;
 
 pub use catalog::{CatalogEntry, SchemaCatalog};
-pub use client::Client;
+pub use client::{retry_backoff, Client};
 pub use protocol::{BudgetAsk, Command, Response};
 pub use server::{ServeConfig, ServeStats, Server, ShutdownHandle};

@@ -58,6 +58,13 @@ pub struct ServeConfig {
     /// `request-<id>.ckpt` envelope per interrupted solve). `None`
     /// disables checkpoint persistence.
     pub checkpoint_dir: Option<PathBuf>,
+    /// Directory of a crash-safe [`VerdictRepo`]. When set, schemas
+    /// loaded into the catalog (and their audit verdicts) persist
+    /// across server restarts: `bind` re-loads every stored schema and
+    /// `audit` requests answer warm from disk.
+    ///
+    /// [`VerdictRepo`]: odc_core::repo::VerdictRepo
+    pub repo: Option<PathBuf>,
     /// Structured-event sink; receives conn/request lifecycle events and
     /// every solve event with the request id stamped on.
     pub obs: Obs,
@@ -74,6 +81,7 @@ impl Default for ServeConfig {
             queue_cap: 16,
             policy: Budget::unlimited(),
             checkpoint_dir: None,
+            repo: None,
             obs: Obs::none(),
             handle_sigterm: false,
         }
@@ -110,6 +118,7 @@ struct Shared {
     catalog: SchemaCatalog,
     policy: Budget,
     checkpoint_dir: Option<PathBuf>,
+    repo: Option<Arc<odc_core::repo::VerdictRepo>>,
     obs: Obs,
     queue: Mutex<VecDeque<Conn>>,
     queue_cap: usize,
@@ -177,10 +186,19 @@ impl Server {
         if let Some(dir) = &config.checkpoint_dir {
             std::fs::create_dir_all(dir)?;
         }
+        let repo = match &config.repo {
+            Some(dir) => Some(Arc::new(odc_core::repo::VerdictRepo::open(
+                dir,
+                config.obs.clone(),
+                None,
+            )?)),
+            None => None,
+        };
         let shared = Arc::new(Shared {
             catalog: SchemaCatalog::new(),
             policy: config.policy,
             checkpoint_dir: config.checkpoint_dir,
+            repo,
             obs: config.obs,
             queue: Mutex::new(VecDeque::new()),
             queue_cap: config.queue_cap,
@@ -194,6 +212,15 @@ impl Server {
             watch: Mutex::new(Vec::new()),
             monitor_stop: AtomicBool::new(false),
         });
+        // Restart-warm catalog: every schema the repository has seen
+        // comes back resident before the first request, and its stored
+        // verdicts are immediately reachable by fingerprint. A source
+        // that no longer parses (format drift) is skipped, not fatal.
+        if let Some(r) = &shared.repo {
+            for (_fp, name, source) in r.schemas() {
+                let _ = shared.catalog.load_text(&name, &source);
+            }
+        }
         Ok(Server {
             listener,
             addr,
@@ -278,6 +305,11 @@ impl Server {
         }
         shared.monitor_stop.store(true, Ordering::SeqCst);
         let _ = monitor.join();
+        if let Some(r) = &shared.repo {
+            // Persist the index before exit so the next open needs no
+            // segment rescan (the segments themselves are already safe).
+            let _ = r.flush();
+        }
         Ok(ServeStats {
             served: shared.served.load(Ordering::SeqCst),
             rejected: shared.rejected.load(Ordering::SeqCst),
@@ -491,15 +523,23 @@ fn dispatch(
                 Err(e) => return (Response::error(&format!("reading schema text: {e}")), true),
             };
             match shared.catalog.load_text(name, &text) {
-                Ok(entry) => (
-                    Response::ok(format!(
-                        "loaded {name} fingerprint {} categories {} constraints {}\n",
-                        entry.fingerprint(),
-                        entry.schema().hierarchy().num_categories(),
-                        entry.schema().constraints().len(),
-                    )),
-                    false,
-                ),
+                Ok(entry) => {
+                    if let Some(r) = &shared.repo {
+                        // Persist the schema (and migrate any verdicts
+                        // whose footprints its edit did not touch); a
+                        // full repository degrades to memory-only.
+                        let _ = r.sync_schema(entry.schema(), name, &text);
+                    }
+                    (
+                        Response::ok(format!(
+                            "loaded {name} fingerprint {} categories {} constraints {}\n",
+                            entry.fingerprint(),
+                            entry.schema().hierarchy().num_categories(),
+                            entry.schema().constraints().len(),
+                        )),
+                        false,
+                    )
+                }
                 Err(e) => (Response::error(&format!("{name}: {e}")), false),
             }
         }
@@ -541,6 +581,17 @@ fn dispatch(
                     c.cross_hits(),
                     c.misses(),
                     c.collisions(),
+                ));
+            }
+            if let Some(r) = &shared.repo {
+                let s = r.stats();
+                out.push_str(&format!(
+                    "repo records {} hits {} misses {} puts {} recovered {}\n",
+                    r.record_count(),
+                    s.hits,
+                    s.misses,
+                    s.puts,
+                    s.recovered_records,
                 ));
             }
             (Response::ok(out), false)
@@ -661,7 +712,13 @@ fn dispatch(
             shared, schema, *ask, request_id, stream, worker_id,
             |entry, gov| {
                 let ds = entry.schema();
-                let report = advisor::audit_governed_memo(ds, gov, entry.cache());
+                // With a repository, the audit answers warm from disk
+                // (and persists fresh verdicts across restarts); the
+                // in-memory memo path serves the ephemeral case.
+                let report = match &shared.repo {
+                    Some(r) => odc_core::repo::audit_with_repo(ds, r, gov),
+                    None => advisor::audit_governed_memo(ds, gov, entry.cache()),
+                };
                 let mut payload = report.render(ds);
                 let unknown = report.interrupted.as_ref().map(|i| i.to_string());
                 if unknown.is_none() {
@@ -778,7 +835,10 @@ where
                         (&shared.checkpoint_dir, &solved.checkpoint)
                     {
                         let path = dir.join(format!("request-{request_id}.ckpt"));
-                        if std::fs::write(&path, text).is_ok() {
+                        // Atomic (temp + rename + fsync): a crash during
+                        // drain cannot leave a truncated envelope that a
+                        // later `--resume` would refuse.
+                        if odc_core::repo::atomic_write(&path, text.as_bytes(), None).is_ok() {
                             shared.checkpoints.fetch_add(1, Ordering::SeqCst);
                             payload.push_str(&format!(
                                 "checkpoint written to {}; continue with --resume {}\n",
@@ -845,6 +905,10 @@ impl Observer for RequestTagger {
 
     fn fault(&self, f: &odc_core::obs::FaultEvent) {
         self.inner.fault(f);
+    }
+
+    fn repo(&self, e: &odc_core::obs::RepoEvent) {
+        self.inner.repo(e);
     }
 }
 

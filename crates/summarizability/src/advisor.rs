@@ -147,8 +147,10 @@ impl SchemaReport {
 }
 
 /// The (coarse, fine) pairs the rewrite matrix examines, in the fixed
-/// order both the serial and parallel audits use.
-fn rewrite_pairs(g: &HierarchySchema) -> Vec<(Category, Category)> {
+/// order both the serial and parallel audits use. Public so
+/// repository-backed audits can key cached verdicts per pair while
+/// reporting findings in the identical order.
+pub fn rewrite_pairs(g: &HierarchySchema) -> Vec<(Category, Category)> {
     let mut pairs = Vec::new();
     for fine in g.categories() {
         for coarse in g.categories() {

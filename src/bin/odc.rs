@@ -28,16 +28,24 @@
 //! stopped, and `--retry <n>` retries in-process with a doubling budget
 //! before giving up. `--fault <spec>` arms deterministic fault injection
 //! (e.g. `interrupt:node:500`) for chaos-testing those paths.
+//!
+//! `--repo <dir>` points `check`/`implies`/`summarizable`/`frozen` (and
+//! `serve`) at a crash-safe on-disk verdict repository: decided queries
+//! answer from disk, undecided ones leave resume cursors behind, and a
+//! schema edit invalidates only the verdicts whose proof footprints the
+//! edit touches. The repository subsumes `--checkpoint`/`--resume`.
 
 use odc_core::dimsat::trace::render_trace;
 use odc_core::dimsat::AnytimeDriver;
-use odc_core::govern::{FaultKind, FaultPlan, FaultTrigger};
+use odc_core::govern::{FaultKind, FaultPlan, FaultTrigger, IoFaultKind, IoFaultPlan};
 use odc_core::hierarchy::dot;
 use odc_core::prelude::*;
+use odc_core::repo::{self as vrepo, VerdictRepo};
 use odc_core::summarizability::advisor;
 use odc_core::summarizability::checkpoint::{load_audit_checkpoint, load_battery_checkpoint};
 use odc_core::summarizability::resume_summarizability;
 use odc_serve::{ServeConfig, Server};
+use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
@@ -86,6 +94,11 @@ serve options:
                        by drain or client disconnect
   --preload <name>=<schema-file>   load a schema into the catalog at startup
                        (repeatable)
+  --repo <dir>         persist audit verdicts in an on-disk repository; loaded
+                       schemas and their verdicts survive server restarts
+client options:
+  --retry-connect <n>  retry a refused connection (or an `overloaded`
+                       rejection) up to <n> times with exponential backoff
 options (reasoning commands):
   --time-limit <dur>   wall-clock budget, e.g. 500ms or 2s (exit code 2 when exceeded)
   --node-limit <n>     search-node budget (exit code 2 when exceeded)
@@ -101,11 +114,20 @@ checkpoint/resume (check, summarizable, frozen):
   --retry <n>          on budget exhaustion, retry up to <n> more times
                        in-process, doubling the budget and resuming the
                        checkpoint each time
+verdict repository (check, implies, summarizable, frozen, serve):
+  --repo <dir>         consult and grow a crash-safe on-disk verdict store:
+                       hits answer from disk, misses solve and persist, and
+                       undecided runs leave warm-start cursors behind (subsumes
+                       --checkpoint/--resume; combine with --retry to finish)
 fault injection (deterministic chaos testing, serial runs only):
   --fault <spec>       arm a fault plan: kind:trigger with kind one of
                        interrupt|cancel and trigger one of node:<n>, check:<n>,
                        depth:<d>, seed:<seed>:<per-mille>; append :max:<k> to
-                       cap total injections (e.g. interrupt:node:500:max:1)";
+                       cap total injections (e.g. interrupt:node:500:max:1).
+                       With --repo, also torn-write:<n>[:abort],
+                       skip-rename:<n>[:abort], and stale-lock — inject the
+                       nth repository write torn/unrenamed (optionally
+                       aborting the process) or a dead writer's lock file";
 
 /// What a dispatched command produced.
 pub struct RunOutput {
@@ -161,9 +183,51 @@ pub fn run(args: &[String]) -> Result<RunOutput, String> {
     if flags.fault.is_some() && jobs > 1 {
         return Err("--fault applies to serial runs only (drop --jobs)".into());
     }
+    // The verdict repository serves the reasoning commands and the
+    // server; accepting it elsewhere would promise persistence the run
+    // never delivers.
+    if flags.repo.is_some()
+        && !matches!(
+            cmd.as_str(),
+            "check" | "implies" | "summarizable" | "frozen" | "serve"
+        )
+    {
+        return Err(format!(
+            "--repo applies only to check/implies/summarizable/frozen/serve; \
+             `{cmd}` has nothing to persist"
+        ));
+    }
+    if flags.repo.is_some() && (flags.checkpoint.is_some() || flags.resume.is_some()) {
+        return Err(
+            "--repo persists pending cursors itself; drop --checkpoint/--resume".into(),
+        );
+    }
+    if flags.io_fault.is_some() && flags.repo.is_none() {
+        return Err(
+            "--fault torn-write/skip-rename/stale-lock target the verdict repository; \
+             add --repo <dir>"
+                .into(),
+        );
+    }
+    if flags.io_fault.is_some() && cmd.as_str() == "serve" {
+        return Err("repository fault injection applies to one-shot commands, not serve".into());
+    }
+    if flags.retry_connect > 0 && cmd.as_str() != "client" {
+        return Err(format!(
+            "--retry-connect applies only to client; `{cmd}` opens no connection"
+        ));
+    }
     match cmd.as_str() {
         "check" => {
-            let ds = load_schema(rest.first().ok_or("check needs a schema file")?)?;
+            let file = rest.first().ok_or("check needs a schema file")?;
+            let (ds, src) = load_schema_text(file)?;
+            let repo = open_repo(&flags, &obs)?;
+            if let Some(r) = &repo {
+                // Reconciles an edited schema against the store: verdicts
+                // whose footprints the edit missed migrate, the rest die.
+                r.sync_schema(&ds, file, &src)
+                    .map_err(|e| format!("--repo: {e}"))?;
+            }
             let mut cp = match &flags.resume {
                 Some(path) => Some(
                     load_audit_checkpoint(&ds, &read_file(path)?)
@@ -175,7 +239,32 @@ pub fn run(args: &[String]) -> Result<RunOutput, String> {
             let mut attempts = 0u32;
             let report = loop {
                 attempts += 1;
-                let report = if jobs > 1 {
+                let report = if let Some(r) = &repo {
+                    if jobs > 1 {
+                        // A zero-node probe can only answer from disk: if
+                        // it completes, the audit was fully warm and no
+                        // worker pool is needed.
+                        let mut probe =
+                            Governor::from_budget(Budget::unlimited().with_node_limit(0));
+                        let warm = vrepo::audit_with_repo(&ds, r, &mut probe);
+                        if warm.interrupted.is_none() {
+                            warm
+                        } else {
+                            let rep = advisor::audit_parallel_observed(
+                                &ds,
+                                attempt_budget,
+                                &CancelToken::new(),
+                                jobs,
+                                obs.clone(),
+                            );
+                            vrepo::drivers::store_report(&ds, r, &rep);
+                            rep
+                        }
+                    } else {
+                        let mut gov = make_governor(attempt_budget, &obs, &flags.fault);
+                        vrepo::audit_with_repo(&ds, r, &mut gov)
+                    }
+                } else if jobs > 1 {
                     match &cp {
                         Some(c) => advisor::audit_resume_parallel(
                             &ds,
@@ -203,11 +292,13 @@ pub fn run(args: &[String]) -> Result<RunOutput, String> {
                     }
                 };
                 if report.interrupted.is_none()
-                    || report.checkpoint.is_none()
                     || attempts > flags.retry
+                    || (repo.is_none() && report.checkpoint.is_none())
                 {
                     break report;
                 }
+                // With a repository, the pending cursors on disk are the
+                // checkpoint; the next attempt resumes them per sub-query.
                 cp = report.checkpoint;
                 attempt_budget = attempt_budget.scaled(2);
             };
@@ -226,6 +317,11 @@ pub fn run(args: &[String]) -> Result<RunOutput, String> {
                     write_checkpoint(path, &c.to_text())?;
                     out.push_str(&format!(
                         "checkpoint written to {path}; continue with --resume {path}\n"
+                    ));
+                }
+                if let Some(dir) = &flags.repo {
+                    out.push_str(&format!(
+                        "pending cursors persisted; rerun with --repo {dir} to continue\n"
                     ));
                 }
             } else {
@@ -248,8 +344,19 @@ pub fn run(args: &[String]) -> Result<RunOutput, String> {
             let [file, root] = rest else {
                 return Err("frozen needs <schema> <root>".into());
             };
-            let ds = load_schema(file)?;
+            let (ds, src) = load_schema_text(file)?;
+            let repo = open_repo(&flags, &obs)?;
+            if let Some(r) = &repo {
+                r.sync_schema(&ds, file, &src)
+                    .map_err(|e| format!("--repo: {e}"))?;
+            }
             let c = category(&ds, root)?;
+            let key = vrepo::sub_key(&ds, "cli-frozen", root);
+            if let Some(hit) = repo.as_ref().and_then(|r| r.get(&key)) {
+                // The enumeration is deterministic, so the stored text is
+                // what this run would have printed.
+                return Ok(RunOutput::answered(hit.payload));
+            }
             let solver = Dimsat::new(&ds).with_observer(obs);
             let start = match &flags.resume {
                 Some(path) => {
@@ -268,7 +375,13 @@ pub fn run(args: &[String]) -> Result<RunOutput, String> {
                     }
                     Some(cp)
                 }
-                None => None,
+                // A pending cursor in the repository warm starts the
+                // enumeration exactly like `--resume` would.
+                None => repo.as_ref().and_then(|r| {
+                    r.pending(&key)
+                        .and_then(|t| solver.load_checkpoint(&t).ok())
+                        .filter(|cp| cp.root == c)
+                }),
             };
             let mut driver = AnytimeDriver::new(budget).with_max_attempts(flags.retry + 1);
             if let Some(plan) = &flags.fault {
@@ -276,7 +389,7 @@ pub fn run(args: &[String]) -> Result<RunOutput, String> {
             }
             let report = driver.solve_from(&solver, c, false, start);
             let (frozen, outcome) = (report.found, report.outcome);
-            let mut out = format!(
+            let mut core = format!(
                 "{} frozen dimension(s) with root {} ({} EXPAND, {} CHECK):\n",
                 frozen.len(),
                 root,
@@ -284,8 +397,9 @@ pub fn run(args: &[String]) -> Result<RunOutput, String> {
                 outcome.stats.check_calls
             );
             for (i, f) in frozen.iter().enumerate() {
-                out.push_str(&format!("  f{}: {}\n", i + 1, f.display(&ds)));
+                core.push_str(&format!("  f{}: {}\n", i + 1, f.display(&ds)));
             }
+            let mut out = core.clone();
             if report.attempts > 1 {
                 out.push_str(&format!(
                     "({} attempts, {} resumed from checkpoints, budget doubled per retry)\n",
@@ -303,6 +417,23 @@ pub fn run(args: &[String]) -> Result<RunOutput, String> {
                         "checkpoint written to {path}; continue with --resume {path}\n"
                     ));
                 }
+                if let (Some(r), Some(dir), Some(cpt)) =
+                    (&repo, &flags.repo, &outcome.checkpoint)
+                {
+                    let _ = r.put_pending(key.clone(), cpt.to_text());
+                    out.push_str(&format!(
+                        "pending cursor persisted; rerun with --repo {dir} to continue\n"
+                    ));
+                }
+            } else if let Some(r) = &repo {
+                let _ = r.put(
+                    key,
+                    vrepo::StoredVerdict {
+                        value: frozen.len().to_string(),
+                        payload: core,
+                        footprint: vrepo::region(ds.hierarchy(), c).into_iter().collect(),
+                    },
+                );
             }
             Ok(RunOutput { text: out, unknown })
         }
@@ -330,9 +461,18 @@ pub fn run(args: &[String]) -> Result<RunOutput, String> {
             let [file, constraint] = rest else {
                 return Err("implies needs <schema> <constraint>".into());
             };
-            let ds = load_schema(file)?;
+            let (ds, src) = load_schema_text(file)?;
+            let repo = open_repo(&flags, &obs)?;
+            if let Some(r) = &repo {
+                r.sync_schema(&ds, file, &src)
+                    .map_err(|e| format!("--repo: {e}"))?;
+            }
             let alpha = parse_constraint(ds.hierarchy(), constraint)
                 .map_err(|e| format!("constraint: {e}"))?;
+            let key = vrepo::sub_key(&ds, "cli-implies", constraint);
+            if let Some(hit) = repo.as_ref().and_then(|r| r.get(&key)) {
+                return Ok(RunOutput::answered(hit.payload));
+            }
             let mut gov = Governor::from_budget(budget).with_observer(obs);
             let out = odc_core::dimsat::implies_governed(
                 &ds,
@@ -349,6 +489,22 @@ pub fn run(args: &[String]) -> Result<RunOutput, String> {
             if let Some(cx) = out.counterexample {
                 text.push_str(&format!("countermodel: {}\n", cx.display(&ds)));
             }
+            if !unknown {
+                if let Some(r) = &repo {
+                    // An implication proof explores the constraint root's
+                    // region only.
+                    let _ = r.put(
+                        key,
+                        vrepo::StoredVerdict {
+                            value: answer,
+                            payload: text.clone(),
+                            footprint: vrepo::region(ds.hierarchy(), alpha.root())
+                                .into_iter()
+                                .collect(),
+                        },
+                    );
+                }
+            }
             Ok(RunOutput { text, unknown })
         }
         "summarizable" => {
@@ -359,11 +515,24 @@ pub fn run(args: &[String]) -> Result<RunOutput, String> {
             if sources.is_empty() {
                 return Err("summarizable needs at least one source category".into());
             }
-            let ds = load_schema(file)?;
+            let (ds, src) = load_schema_text(file)?;
+            let repo = open_repo(&flags, &obs)?;
+            if let Some(r) = &repo {
+                r.sync_schema(&ds, file, &src)
+                    .map_err(|e| format!("--repo: {e}"))?;
+            }
             let t = category(&ds, target)?;
             let s: Result<Vec<Category>, String> =
                 sources.iter().map(|n| category(&ds, n)).collect();
             let s = s?;
+            let key = vrepo::sub_key(
+                &ds,
+                "cli-summarizable",
+                &format!("{target}<-{}", sources.join("+")),
+            );
+            if let Some(hit) = repo.as_ref().and_then(|r| r.get(&key)) {
+                return Ok(RunOutput::answered(hit.payload));
+            }
             let mut cp = match &flags.resume {
                 Some(path) => {
                     let c = load_battery_checkpoint(&ds, &read_file(path)?)
@@ -394,7 +563,12 @@ pub fn run(args: &[String]) -> Result<RunOutput, String> {
                     }
                     Some(c)
                 }
-                None => None,
+                None => repo.as_ref().and_then(|r| {
+                    // A pending battery cursor in the repository warm
+                    // starts the decided prefix like `--resume` would.
+                    r.pending(&key)
+                        .and_then(|text| load_battery_checkpoint(&ds, &text).ok())
+                }),
             };
             let mut attempt_budget = budget;
             let mut attempts = 0u32;
@@ -447,6 +621,10 @@ pub fn run(args: &[String]) -> Result<RunOutput, String> {
                     None => (format!("unknown ({i})"), true),
                 },
             };
+            let cx_line = out
+                .counterexample
+                .as_ref()
+                .map(|cx| format!("countermodel: {}\n", cx.display(&ds)));
             let mut text = format!("summarizable: {answer}\n");
             if attempts > 1 {
                 text.push_str(&format!("({attempts} attempts, budget doubled per retry)\n"));
@@ -458,9 +636,37 @@ pub fn run(args: &[String]) -> Result<RunOutput, String> {
                         "checkpoint written to {path}; continue with --resume {path}\n"
                     ));
                 }
+                if let (Some(r), Some(dir), Some(c)) = (&repo, &flags.repo, &out.checkpoint) {
+                    let _ = r.put_pending(key.clone(), c.to_text());
+                    text.push_str(&format!(
+                        "pending cursor persisted; rerun with --repo {dir} to continue\n"
+                    ));
+                }
+            } else if let Some(r) = &repo {
+                // A negative verdict is witnessed by one failing bottom;
+                // a positive one depended on the whole battery, so its
+                // footprint carries the structure sentinel.
+                let fb = match &out.verdict {
+                    SummarizabilityVerdict::NotSummarizable => out.failing_bottom,
+                    _ => None,
+                };
+                let mut payload = format!("summarizable: {answer}\n");
+                if let Some(l) = &cx_line {
+                    payload.push_str(l);
+                }
+                let _ = r.put(
+                    key,
+                    vrepo::StoredVerdict {
+                        value: answer.clone(),
+                        payload,
+                        footprint: vrepo::summarizable_footprint(ds.hierarchy(), t, fb)
+                            .into_iter()
+                            .collect(),
+                    },
+                );
             }
-            if let Some(cx) = out.counterexample {
-                text.push_str(&format!("countermodel: {}\n", cx.display(&ds)));
+            if let Some(l) = cx_line {
+                text.push_str(&l);
             }
             Ok(RunOutput { text, unknown })
         }
@@ -561,6 +767,7 @@ pub fn run(args: &[String]) -> Result<RunOutput, String> {
                 queue_cap,
                 policy: budget,
                 checkpoint_dir: checkpoint_dir.map(std::path::PathBuf::from),
+                repo: flags.repo.clone().map(std::path::PathBuf::from),
                 obs,
                 handle_sigterm: true,
             })
@@ -595,33 +802,46 @@ pub fn run(args: &[String]) -> Result<RunOutput, String> {
             let (verb, verb_args) = cmd_args
                 .split_first()
                 .ok_or("client needs a command after the address")?;
-            let mut client = odc_serve::Client::connect(addr.as_str())
-                .map_err(|e| format!("connect {addr}: {e}"))?;
-            let response = if verb == "load" {
-                let [name, file] = verb_args else {
-                    return Err("client load needs <name> <schema-file>".into());
+            let retries = flags.retry_connect;
+            let mut overload_attempt = 0u32;
+            let response = loop {
+                // Refused connections retry inside `connect_with_retry`;
+                // `overloaded` rejections (the server answered, then
+                // closed) retry out here with the same backoff.
+                let mut client = odc_serve::Client::connect_with_retry(addr.as_str(), retries)
+                    .map_err(|e| format!("connect {addr}: {e}"))?;
+                let response = if verb == "load" {
+                    let [name, file] = verb_args else {
+                        return Err("client load needs <name> <schema-file>".into());
+                    };
+                    client
+                        .load(name, &read_file(file)?)
+                        .map_err(|e| format!("{addr}: {e}"))?
+                } else {
+                    let mut line = std::iter::once(verb)
+                        .chain(verb_args)
+                        .map(|t| odc_serve::protocol::quote_token(t))
+                        .collect::<Vec<_>>()
+                        .join(" ");
+                    // Budget flags were swallowed by the shared flag parser;
+                    // forward them onto the wire so the server intersects
+                    // them with its policy.
+                    if let Some(d) = budget.deadline {
+                        line.push_str(&format!(" --time-limit {}ms", d.as_secs_f64() * 1000.0));
+                    }
+                    if let Some(n) = budget.node_limit {
+                        line.push_str(&format!(" --node-limit {n}"));
+                    }
+                    client
+                        .request(&line)
+                        .map_err(|e| format!("{addr}: {e}"))?
                 };
-                client
-                    .load(name, &read_file(file)?)
-                    .map_err(|e| format!("{addr}: {e}"))?
-            } else {
-                let mut line = std::iter::once(verb)
-                    .chain(verb_args)
-                    .map(|t| odc_serve::protocol::quote_token(t))
-                    .collect::<Vec<_>>()
-                    .join(" ");
-                // Budget flags were swallowed by the shared flag parser;
-                // forward them onto the wire so the server intersects
-                // them with its policy.
-                if let Some(d) = budget.deadline {
-                    line.push_str(&format!(" --time-limit {}ms", d.as_secs_f64() * 1000.0));
+                if response.status_word() == "overloaded" && overload_attempt < retries {
+                    overload_attempt += 1;
+                    std::thread::sleep(odc_serve::retry_backoff(overload_attempt));
+                    continue;
                 }
-                if let Some(n) = budget.node_limit {
-                    line.push_str(&format!(" --node-limit {n}"));
-                }
-                client
-                    .request(&line)
-                    .map_err(|e| format!("{addr}: {e}"))?
+                break response;
             };
             match response.status_word() {
                 "ok" | "bye" => Ok(RunOutput::answered(response.payload)),
@@ -651,6 +871,9 @@ pub struct Flags {
     resume: Option<String>,
     retry: u32,
     fault: Option<FaultPlan>,
+    repo: Option<String>,
+    io_fault: Option<IoFaultPlan>,
+    retry_connect: u32,
     positional: Vec<String>,
 }
 
@@ -667,6 +890,9 @@ fn parse_budget_flags(args: &[String]) -> Result<Flags, String> {
     let mut resume = None;
     let mut retry = 0u32;
     let mut fault = None;
+    let mut repo = None;
+    let mut io_fault = None;
+    let mut retry_connect = 0u32;
     let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -715,7 +941,22 @@ fn parse_budget_flags(args: &[String]) -> Result<Flags, String> {
                 let v = it.next().ok_or(
                     "--fault needs a spec, e.g. interrupt:node:500 or interrupt:seed:42:5",
                 )?;
-                fault = Some(parse_fault_spec(v)?);
+                // Repository I/O faults and solver faults share the flag;
+                // the kind word disambiguates.
+                match parse_io_fault_spec(v)? {
+                    Some(plan) => io_fault = Some(plan),
+                    None => fault = Some(parse_fault_spec(v)?),
+                }
+            }
+            "--repo" => {
+                let v = it.next().ok_or("--repo needs a directory path")?;
+                repo = Some(v.clone());
+            }
+            "--retry-connect" => {
+                let v = it.next().ok_or("--retry-connect needs a count")?;
+                retry_connect = v
+                    .parse()
+                    .map_err(|_| format!("--retry-connect: not a number: {v}"))?;
             }
             _ => positional.push(arg.clone()),
         }
@@ -729,8 +970,47 @@ fn parse_budget_flags(args: &[String]) -> Result<Flags, String> {
         resume,
         retry,
         fault,
+        repo,
+        io_fault,
+        retry_connect,
         positional,
     })
+}
+
+/// Parses the repository I/O fault kinds of `--fault`:
+/// `torn-write:<n>[:abort]`, `skip-rename:<n>[:abort]`, `stale-lock`.
+/// Returns `Ok(None)` when the spec names a solver fault instead.
+fn parse_io_fault_spec(spec: &str) -> Result<Option<IoFaultPlan>, String> {
+    let bad = || format!("--fault: bad spec `{spec}` (see usage)");
+    let mut parts = spec.split(':');
+    let kind = match parts.next() {
+        Some("torn-write") => IoFaultKind::TornWrite,
+        Some("skip-rename") => IoFaultKind::SkipRename,
+        Some("stale-lock") => {
+            if parts.next().is_some() {
+                return Err(bad());
+            }
+            return Ok(Some(IoFaultPlan::new(IoFaultKind::StaleLock, 1)));
+        }
+        _ => return Ok(None),
+    };
+    let nth: u64 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(bad)?;
+    if nth == 0 {
+        return Err("--fault: the write ordinal must be at least 1".into());
+    }
+    let mut plan = IoFaultPlan::new(kind, nth);
+    match parts.next() {
+        None => {}
+        Some("abort") => plan = plan.with_abort(),
+        Some(_) => return Err(bad()),
+    }
+    if parts.next().is_some() {
+        return Err(bad());
+    }
+    Ok(Some(plan))
 }
 
 /// Parses a `--fault` spec: `kind:trigger[:max:<k>]` with kind
@@ -813,8 +1093,31 @@ fn read_file(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
 }
 
+/// Checkpoint cursors are written atomically (temp file + rename +
+/// fsync): a crash mid-write leaves the previous cursor intact instead
+/// of a truncated envelope that `--resume` would refuse.
 fn write_checkpoint(path: &str, text: &str) -> Result<(), String> {
-    std::fs::write(path, text).map_err(|e| format!("--checkpoint {path}: {e}"))
+    vrepo::atomic_write(Path::new(path), text.as_bytes(), None)
+        .map_err(|e| format!("--checkpoint {path}: {e}"))
+}
+
+/// Opens the verdict repository named by `--repo`, threading the run's
+/// observer (for `repo_recovery` events) and any armed I/O fault plan.
+fn open_repo(flags: &Flags, obs: &Obs) -> Result<Option<VerdictRepo>, String> {
+    match &flags.repo {
+        Some(dir) => VerdictRepo::open(Path::new(dir), obs.clone(), flags.io_fault.clone())
+            .map(Some)
+            .map_err(|e| format!("--repo {dir}: {e}")),
+        None => Ok(None),
+    }
+}
+
+/// Loads a schema plus its raw source text (the repository persists the
+/// source so a restarted process can diff edited schemas against it).
+fn load_schema_text(path: &str) -> Result<(DimensionSchema, String), String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let ds = odc_core::parse_schema(&src).map_err(|e| format!("{path}: {e}"))?;
+    Ok((ds, src))
 }
 
 /// An extra line of advice for interrupts the user can act on.

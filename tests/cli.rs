@@ -214,3 +214,107 @@ fn errors_are_reported_with_usage() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown category"));
 }
+
+#[test]
+fn checkpoint_file_survives_a_crashed_rewrite() {
+    use odc_core::govern::{IoFaultKind, IoFaultPlan};
+    let dir = std::env::temp_dir().join(format!("odc-cli-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let cp = dir.join("audit.ckpt");
+    let cps = cp.to_string_lossy().into_owned();
+    // Starve the audit so it exits undecided and writes a cursor.
+    let out = odc(&[
+        "check",
+        &schema_file(),
+        "--node-limit",
+        "1",
+        "--checkpoint",
+        &cps,
+    ]);
+    assert_eq!(out.status.code(), Some(2), "undecided exits 2");
+    let original = std::fs::read(&cp).expect("checkpoint written");
+    assert!(!original.is_empty());
+    // A crashed rewrite: the replacement reaches the temp file but the
+    // rename never happens. The previous cursor must be untouched —
+    // the regression a bare fs::write cannot provide.
+    let plan = IoFaultPlan::new(IoFaultKind::SkipRename, 1);
+    odc_core::repo::atomic_write(&cp, b"half-written replacement", Some(&plan)).unwrap();
+    assert_eq!(std::fs::read(&cp).unwrap(), original, "old cursor clobbered");
+    // The intact cursor resumes to the clean verdict.
+    let resumed = odc(&["check", &schema_file(), "--resume", &cps]);
+    assert!(resumed.status.success(), "{}", String::from_utf8_lossy(&resumed.stderr));
+    assert!(stdout(&resumed).contains("unsatisfiable categories: none"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn repo_warm_and_cold_runs_are_byte_identical() {
+    let dir = std::env::temp_dir().join(format!("odc-cli-repo-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dirs = dir.to_string_lossy().into_owned();
+    let plain = odc(&["check", &schema_file()]);
+    let cold = odc(&["check", &schema_file(), "--repo", &dirs]);
+    let warm = odc(&["check", &schema_file(), "--repo", &dirs]);
+    assert!(plain.status.success() && cold.status.success() && warm.status.success());
+    assert_eq!(stdout(&cold), stdout(&plain), "cold repo run diverged");
+    assert_eq!(stdout(&warm), stdout(&plain), "warm repo run diverged");
+    assert!(dir.join("index.v1").exists(), "index flushed on exit");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn repo_recovers_from_an_aborted_torn_write() {
+    let dir = std::env::temp_dir().join(format!("odc-cli-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dirs = dir.to_string_lossy().into_owned();
+    // The third repository write is torn and the process aborts —
+    // a deterministic SIGKILL mid-append.
+    let crash = odc(&[
+        "check",
+        &schema_file(),
+        "--repo",
+        &dirs,
+        "--fault",
+        "torn-write:3:abort",
+    ]);
+    assert!(!crash.status.success(), "aborted run must not exit 0");
+    // Recovery on the next open: the torn tail is quarantined and the
+    // rerun reaches the same bytes as a repository-free run.
+    let plain = odc(&["check", &schema_file()]);
+    let again = odc(&["check", &schema_file(), "--repo", &dirs]);
+    assert!(again.status.success(), "{}", String::from_utf8_lossy(&again.stderr));
+    assert_eq!(stdout(&again), stdout(&plain), "post-recovery run diverged");
+    assert!(
+        dir.join(".quarantine").read_dir().unwrap().next().is_some(),
+        "torn tail preserved for forensics"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn repo_flag_honesty() {
+    // --repo only applies to commands with verdicts to persist.
+    let out = odc(&["dot", &schema_file(), "--repo", "/tmp/nope"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--repo applies only to"));
+    // --repo subsumes --checkpoint/--resume.
+    let out = odc(&[
+        "check",
+        &schema_file(),
+        "--repo",
+        "/tmp/nope",
+        "--checkpoint",
+        "/tmp/cp",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("persists pending cursors itself"));
+    // IO faults target the repository; without one they are refused.
+    let out = odc(&["check", &schema_file(), "--fault", "torn-write:1"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--repo"));
+    // --retry-connect is client-only.
+    let out = odc(&["check", &schema_file(), "--retry-connect", "2"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("applies only to client"));
+}

@@ -370,3 +370,43 @@ fn odc_client_subcommand_round_trips() {
     run.handle.drain();
     run.join.join().unwrap().unwrap();
 }
+
+#[test]
+fn client_retries_refused_connections_until_the_listener_binds() {
+    // Reserve a port, release it, and bind it again only after a
+    // delay: the first connect attempts are refused, the retry loop
+    // must outlast the gap.
+    let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = probe.local_addr().unwrap();
+    drop(probe);
+    assert!(
+        Client::connect_with_retry(addr, 0).is_err(),
+        "no retries: a refused connection surfaces immediately"
+    );
+    let binder = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(250));
+        let listener = std::net::TcpListener::bind(addr).unwrap();
+        let _conn = listener.accept().unwrap();
+    });
+    let started = Instant::now();
+    Client::connect_with_retry(addr, 10).expect("retry loop outlasts the bind gap");
+    assert!(started.elapsed() >= Duration::from_millis(200), "connected before the bind?");
+    binder.join().unwrap();
+}
+
+#[test]
+fn retry_backoff_grows_and_stays_bounded() {
+    let mut prev = Duration::ZERO;
+    for attempt in 1..=6 {
+        let d = odc_serve::retry_backoff(attempt);
+        assert!(d >= prev.min(Duration::from_secs(2)), "backoff shrank at {attempt}");
+        prev = d;
+    }
+    // Past the doubling horizon the delay plateaus: at least the
+    // largest base, at most the cap plus 50% jitter.
+    for attempt in [7u32, 10, 31] {
+        let d = odc_serve::retry_backoff(attempt);
+        assert!(d >= Duration::from_millis(1600), "plateau floor at {attempt}: {d:?}");
+        assert!(d <= Duration::from_secs(3), "cap + jitter ceiling at {attempt}: {d:?}");
+    }
+}
