@@ -82,6 +82,30 @@ for path in glob.glob(os.path.join(sys.argv[1], "fault-*.jsonl")):
 print(f"fault events OK: {checked} tagged injections validated")
 PYEOF
 
+echo "== planner smoke (planned vs unplanned parity) =="
+$ODC check examples/location.odcs --stats-json "$WORK/plan.jsonl" > "$WORK/planned.txt"
+$ODC check examples/location.odcs --no-plan > "$WORK/unplanned.txt"
+diff "$WORK/planned.txt" "$WORK/unplanned.txt" \
+  || { echo "planned audit diverged from unplanned audit"; exit 1; }
+$ODC check examples/location.odcs --jobs 2 --stats-json "$WORK/plan-par.jsonl" \
+  > "$WORK/planned-par.txt"
+diff "$WORK/planned.txt" "$WORK/planned-par.txt" \
+  || { echo "planned --jobs 2 audit diverged from serial"; exit 1; }
+python3 - "$WORK/plan.jsonl" "$WORK/plan-par.jsonl" <<'PYEOF'
+import json, sys
+for path in sys.argv[1:]:
+    events = [json.loads(l) for l in open(path)]  # every line must parse
+    plans = [e for e in events if e["event"] == "plan"]
+    assert len(plans) == 1, f"{path}: want exactly one plan event, got {len(plans)}"
+    p = plans[0]
+    assert p["battery"] == "schema_audit", p
+    for k in ("queries", "deduped", "reordered", "fact_hits", "batched"):
+        assert isinstance(p.get(k), int) and p[k] >= 0, (path, k, p)
+    assert p["queries"] > 0, p
+    assert p["batched"] > 0, f"{path}: the location matrix is pool-answerable"
+print("plan events OK: planned output byte-identical, one schema_audit plan per run")
+PYEOF
+
 echo "== crash-recovery smoke (verdict repository) =="
 REPODIR="$(mktemp -d /tmp/odc-ci-repo.XXXXXX)"
 trap 'rm -f "$STATS_JSON"; rm -rf "$WORK" "$REPODIR"' EXIT

@@ -67,6 +67,7 @@ pub use odc_hierarchy as hierarchy;
 pub use odc_instance as instance;
 pub use odc_obs as obs;
 pub use odc_olap as olap;
+pub use odc_plan as plan;
 pub use odc_repo as repo;
 pub use odc_summarizability as summarizability;
 

@@ -12,7 +12,9 @@ use odc_govern::{
 };
 use odc_hierarchy::{CatSet, Category, EdgeUndo, HierarchySchema, Subhierarchy};
 use odc_obs::{next_solve_id, Obs, PruneReason, SolveCounters, SolveEnd, SolveStart, WorkerStats};
+use odc_plan::SharedFacts;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::time::Duration;
 
@@ -158,6 +160,64 @@ impl CategorySweep {
     pub fn is_complete(&self) -> bool {
         self.interrupted.is_none() && self.undecided.is_empty()
     }
+}
+
+/// One category's verdict as recorded by a planned sweep driver, kept in
+/// an index cell so out-of-(schema-)order execution still assembles a
+/// schema-order report.
+enum PlannedCell {
+    Sat,
+    Unsat,
+    /// Structural abort (fan-out overflow): final, the sweep went on.
+    Aborted(InterruptReason),
+    /// Budget/cancellation interrupt; carries the mid-solve cursor
+    /// (boxed: the cursor dwarfs the other variants).
+    Undecided(Interrupt, Option<Box<SolveCheckpoint>>),
+}
+
+/// Merges planned-sweep cells into a [`CategorySweep`] in schema order.
+/// The lowest-index interrupt (and its cursor) is canonical, matching
+/// the striped parallel sweep's merge discipline.
+fn assemble_planned_sweep(
+    cats: &[Category],
+    mut cells: Vec<Option<PlannedCell>>,
+    stats: SearchStats,
+) -> CategorySweep {
+    let mut sweep = CategorySweep {
+        stats,
+        ..CategorySweep::default()
+    };
+    let mut first_interrupt: Option<(usize, Interrupt)> = None;
+    for (i, cell) in cells.iter().enumerate() {
+        if let Some(PlannedCell::Undecided(intr, _)) = cell {
+            if first_interrupt.is_none_or(|(j, _)| i < j) {
+                first_interrupt = Some((i, *intr));
+            }
+        }
+    }
+    let interrupt_index = first_interrupt.map(|(i, _)| i);
+    sweep.interrupted = first_interrupt.map(|(_, i)| i);
+    for (i, &c) in cats.iter().enumerate() {
+        match cells[i].take() {
+            Some(PlannedCell::Sat) => {
+                sweep.sat.push(c);
+                sweep.decided += 1;
+            }
+            Some(PlannedCell::Unsat) => {
+                sweep.unsat.push(c);
+                sweep.decided += 1;
+            }
+            Some(PlannedCell::Aborted(reason)) => sweep.aborted.push((c, reason)),
+            Some(PlannedCell::Undecided(_, cp)) => {
+                if interrupt_index == Some(i) {
+                    sweep.checkpoint = cp.map(|boxed| *boxed);
+                }
+                sweep.undecided.push(c);
+            }
+            None => sweep.undecided.push(c),
+        }
+    }
+    sweep
 }
 
 /// The DIMSAT solver: category satisfiability over a dimension schema.
@@ -616,6 +676,186 @@ impl<'a> Dimsat<'a> {
             }
         }
         sweep
+    }
+
+    /// [`Self::unsatisfiable_categories_governed`] executed in *planned*
+    /// order with shared-fact warm starts. Categories run biggest region
+    /// first (see [`odc_plan::sweep_order`]): a satisfiable verdict for a
+    /// deep category comes with a frozen-dimension witness, and the
+    /// restriction of that witness to any category it contains is itself
+    /// a valid witness, so one solve can settle many later queries
+    /// through `facts`. Verdicts are assembled in schema order, so a
+    /// complete planned sweep reports exactly what the unplanned one
+    /// does; overflow-exposed categories (see
+    /// [`odc_plan::overflow_exposed`]) are never answered from facts, so
+    /// structural aborts surface identically too.
+    pub fn unsatisfiable_categories_planned_governed(
+        &self,
+        gov: &mut Governor,
+        facts: &SharedFacts,
+    ) -> CategorySweep {
+        let g = self.ds.hierarchy();
+        let cats: Vec<Category> = g.categories().filter(|c| !c.is_all()).collect();
+        let exposed = odc_plan::overflow_exposed(g);
+        let mut pos = vec![usize::MAX; g.num_categories()];
+        for (i, &c) in cats.iter().enumerate() {
+            pos[c.index()] = i;
+        }
+        let mut cells: Vec<Option<PlannedCell>> = (0..cats.len()).map(|_| None).collect();
+        let mut stats = SearchStats::default();
+        for c in odc_plan::sweep_order(g) {
+            let i = pos[c.index()];
+            if !exposed.contains(c) {
+                if facts.known_sat(c) {
+                    facts.record_hit();
+                    cells[i] = Some(PlannedCell::Sat);
+                    continue;
+                }
+                if facts.known_unsat(c) {
+                    facts.record_hit();
+                    cells[i] = Some(PlannedCell::Unsat);
+                    continue;
+                }
+            }
+            let out = self.category_satisfiable_governed(c, gov);
+            match out.verdict {
+                Verdict::Sat(w) => {
+                    facts.note_sat_set(w.subhierarchy().categories());
+                    stats.absorb(&out.stats);
+                    cells[i] = Some(PlannedCell::Sat);
+                }
+                Verdict::Unsat => {
+                    facts.note_unsat(c);
+                    stats.absorb(&out.stats);
+                    cells[i] = Some(PlannedCell::Unsat);
+                }
+                Verdict::Unknown(intr)
+                    if intr.reason == InterruptReason::FanoutOverflow
+                        && gov.interrupt().is_none() =>
+                {
+                    stats.absorb(&out.stats);
+                    cells[i] = Some(PlannedCell::Aborted(intr.reason));
+                }
+                Verdict::Unknown(intr) => {
+                    cells[i] = Some(PlannedCell::Undecided(intr, out.checkpoint.map(Box::new)));
+                    break;
+                }
+            }
+        }
+        assemble_planned_sweep(&cats, cells, stats)
+    }
+
+    /// [`Self::unsatisfiable_categories_planned_governed`] split across
+    /// `jobs` workers pulling from one shared cursor over the planned
+    /// order — the plan *is* the work-stealing order. Facts published by
+    /// any worker warm-start every other worker's remaining queries.
+    pub fn unsatisfiable_categories_planned_sharded(
+        &self,
+        shared: &SharedGovernor,
+        jobs: usize,
+        facts: &SharedFacts,
+    ) -> CategorySweep {
+        let g = self.ds.hierarchy();
+        let cats: Vec<Category> = g.categories().filter(|c| !c.is_all()).collect();
+        let jobs = jobs.max(1).min(cats.len().max(1));
+        if jobs <= 1 {
+            let mut gov = shared.worker();
+            return self.unsatisfiable_categories_planned_governed(&mut gov, facts);
+        }
+        let exposed = odc_plan::overflow_exposed(g);
+        let mut pos = vec![usize::MAX; g.num_categories()];
+        for (i, &c) in cats.iter().enumerate() {
+            pos[c.index()] = i;
+        }
+        let order: Vec<usize> = odc_plan::sweep_order(g)
+            .iter()
+            .map(|c| pos[c.index()])
+            .collect();
+        let cursor = AtomicUsize::new(0);
+        type WorkerSlice = (Vec<(usize, PlannedCell)>, SearchStats);
+        let results: Vec<WorkerSlice> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..jobs)
+                .map(|w| {
+                    let mut gov = shared.worker();
+                    let cats = &cats;
+                    let order = &order;
+                    let cursor = &cursor;
+                    let exposed = &exposed;
+                    scope.spawn(move || {
+                        let mut out: Vec<(usize, PlannedCell)> = Vec::new();
+                        let mut stats = SearchStats::default();
+                        loop {
+                            let k = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(&i) = order.get(k) else { break };
+                            let c = cats[i];
+                            if !exposed.contains(c) {
+                                if facts.known_sat(c) {
+                                    facts.record_hit();
+                                    out.push((i, PlannedCell::Sat));
+                                    continue;
+                                }
+                                if facts.known_unsat(c) {
+                                    facts.record_hit();
+                                    out.push((i, PlannedCell::Unsat));
+                                    continue;
+                                }
+                            }
+                            let o = self.category_satisfiable_governed(c, &mut gov);
+                            match o.verdict {
+                                Verdict::Sat(fd) => {
+                                    facts.note_sat_set(fd.subhierarchy().categories());
+                                    stats.absorb(&o.stats);
+                                    out.push((i, PlannedCell::Sat));
+                                }
+                                Verdict::Unsat => {
+                                    facts.note_unsat(c);
+                                    stats.absorb(&o.stats);
+                                    out.push((i, PlannedCell::Unsat));
+                                }
+                                Verdict::Unknown(intr)
+                                    if intr.reason == InterruptReason::FanoutOverflow
+                                        && gov.interrupt().is_none() =>
+                                {
+                                    stats.absorb(&o.stats);
+                                    out.push((i, PlannedCell::Aborted(intr.reason)));
+                                }
+                                Verdict::Unknown(intr) => {
+                                    out.push((
+                                        i,
+                                        PlannedCell::Undecided(intr, o.checkpoint.map(Box::new)),
+                                    ));
+                                    break;
+                                }
+                            }
+                        }
+                        gov.obs().worker_finished(&WorkerStats {
+                            battery: "category_sweep",
+                            worker: gov.worker_id().unwrap_or(w as u64),
+                            nodes: gov.nodes(),
+                            checks: gov.checks(),
+                            items: out.len() as u64,
+                        });
+                        (out, stats)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(slice) => slice,
+                    Err(panic) => std::panic::resume_unwind(panic),
+                })
+                .collect()
+        });
+        let mut cells: Vec<Option<PlannedCell>> = (0..cats.len()).map(|_| None).collect();
+        let mut stats = SearchStats::default();
+        for (slice, s) in results {
+            stats.absorb(&s);
+            for (i, cell) in slice {
+                cells[i] = Some(cell);
+            }
+        }
+        assemble_planned_sweep(&cats, cells, stats)
     }
 
     fn run(&self, c: Category, stop_at_first: bool, gov: &mut Governor) -> DimsatOutcome {

@@ -322,6 +322,29 @@ pub struct WorkerStats {
     pub items: u64,
 }
 
+/// A battery-planning report from `odc-plan`: how many queries the
+/// planner saw, how many it answered without a solve (structural dedup,
+/// shared facts, batched witness evaluation), and how far it reordered
+/// execution. Emitted once per planned battery so `--stats-json` runs
+/// can attribute skipped solves to the planner rather than the cache.
+#[derive(Debug, Clone)]
+pub struct PlanEvent {
+    /// Which battery was planned (e.g. `"category_sweep"`,
+    /// `"theorem1_battery"`, `"schema_audit"`).
+    pub battery: &'static str,
+    /// Queries submitted to the planner.
+    pub queries: u64,
+    /// Queries answered by aliasing to a structurally identical query.
+    pub deduped: u64,
+    /// Queries whose execution position differs from submission order.
+    pub reordered: u64,
+    /// Queries answered from facts shared by earlier queries.
+    pub fact_hits: u64,
+    /// Queries answered by evaluating pooled witnesses instead of a
+    /// fresh search.
+    pub batched: u64,
+}
+
 /// The structured-event sink. Every method has a no-op default, so a
 /// sink implements only what it consumes; implementations must be
 /// thread-safe (parallel batteries share one sink across workers).
@@ -346,6 +369,8 @@ pub trait Observer: Send + Sync {
     fn heartbeat(&self, _hb: &Heartbeat) {}
     /// A parallel-battery worker drained its stripe.
     fn worker_finished(&self, _w: &WorkerStats) {}
+    /// A battery planner finished scheduling (and its shortcuts tallied).
+    fn plan(&self, _p: &PlanEvent) {}
     /// The fault-injection harness fired a planned fault.
     fn fault(&self, _f: &FaultEvent) {}
     /// The verdict repository recovered, migrated, or changed mode.
@@ -463,6 +488,14 @@ impl Obs {
         }
     }
 
+    /// Forwards a battery-plan report.
+    #[inline]
+    pub fn plan(&self, p: &PlanEvent) {
+        if let Some(o) = &self.0 {
+            o.plan(p);
+        }
+    }
+
     /// Forwards an injected-fault event.
     #[inline]
     pub fn fault(&self, f: &FaultEvent) {
@@ -542,6 +575,11 @@ impl Observer for MultiObserver {
     fn worker_finished(&self, w: &WorkerStats) {
         for s in &self.sinks {
             s.worker_finished(w);
+        }
+    }
+    fn plan(&self, p: &PlanEvent) {
+        for s in &self.sinks {
+            s.plan(p);
         }
     }
     fn fault(&self, f: &FaultEvent) {
@@ -841,6 +879,14 @@ impl Observer for JsonlObserver {
         ));
     }
 
+    fn plan(&self, p: &PlanEvent) {
+        self.emit(format!(
+            "{{\"event\":\"plan\",\"battery\":\"{}\",\"queries\":{},\"deduped\":{},\
+             \"reordered\":{},\"fact_hits\":{},\"batched\":{}}}",
+            p.battery, p.queries, p.deduped, p.reordered, p.fact_hits, p.batched,
+        ));
+    }
+
     fn fault(&self, f: &FaultEvent) {
         self.emit(format!(
             "{{\"event\":\"fault\",\"kind\":\"{}\",\"site\":\"{}\",\"trigger\":\"{}\",\
@@ -983,6 +1029,13 @@ impl Observer for ProgressObserver {
         ));
     }
 
+    fn plan(&self, p: &PlanEvent) {
+        self.emit(format!(
+            "progress: {} planned ({} queries, {} deduped, {} fact hits, {} batched)",
+            p.battery, p.queries, p.deduped, p.fact_hits, p.batched
+        ));
+    }
+
     fn fault(&self, f: &FaultEvent) {
         let worker = match f.worker {
             Some(w) => format!(" [worker {w}]"),
@@ -1025,6 +1078,8 @@ pub enum Event {
     Heartbeat(Heartbeat),
     /// A `worker_finished` call.
     Worker(WorkerStats),
+    /// A `plan` call.
+    Plan(PlanEvent),
     /// A `fault` call.
     Fault(FaultEvent),
     /// A `repo` call.
@@ -1086,6 +1141,9 @@ impl Observer for CollectingObserver {
     }
     fn worker_finished(&self, w: &WorkerStats) {
         self.push(Event::Worker(w.clone()));
+    }
+    fn plan(&self, p: &PlanEvent) {
+        self.push(Event::Plan(p.clone()));
     }
     fn fault(&self, f: &FaultEvent) {
         self.push(Event::Fault(f.clone()));

@@ -18,6 +18,7 @@ use odc_dimsat::checkpoint::options_key;
 use odc_dimsat::{implication, Dimsat, DimsatOptions, Verdict};
 use odc_govern::{Governor, InterruptReason};
 use odc_hierarchy::Category;
+use odc_plan::SharedFacts;
 use odc_summarizability::advisor::{rewrite_pairs, SchemaReport};
 use odc_summarizability::checkpoint::load_battery_checkpoint;
 use odc_summarizability::{
@@ -225,6 +226,71 @@ pub fn audit_with_repo(
         }
     }
     report
+}
+
+/// Answers a full audit *from the store alone*: every sub-query of all
+/// four stages must be a decided hit, or the probe reports `None`.
+/// Unlike running [`audit_with_repo`] under a zero-node budget — the
+/// old warm-probe trick — this never solves, never emits solve events,
+/// accumulates no partial [`SearchStats`](odc_dimsat::SearchStats), and
+/// (the actual bug) never overwrites a previous run's deep pending
+/// cursors with useless zero-progress checkpoints. A warm report's
+/// event stream and counters therefore have exactly a fully-cached
+/// audit's shape: silent and all-zero.
+pub fn warm_audit_from_repo(ds: &DimensionSchema, repo: &VerdictRepo) -> Option<SchemaReport> {
+    let g = ds.hierarchy();
+    let mut report = blank_report();
+    for c in g.categories().filter(|c| !c.is_all()) {
+        let hit = repo.get(&sub_key(ds, "sat", g.name(c)))?;
+        match hit.value.as_str() {
+            "unsat" => report.unsatisfiable.push(c),
+            "aborted" => report
+                .aborted_categories
+                .push((c, InterruptReason::FanoutOverflow)),
+            _ => {}
+        }
+    }
+    for (i, dc) in ds.constraints().iter().enumerate() {
+        let key = sub_key(ds, "redundant", &format!("{}", printer::display_dc(g, dc)));
+        if repo.get(&key)?.value == "yes" {
+            report.redundant_constraints.push(i);
+        }
+    }
+    for c in g.bottom_categories().into_iter().filter(|c| !c.is_all()) {
+        let n = repo.get(&sub_key(ds, "census", g.name(c)))?.value.parse::<usize>().ok()?;
+        report.structure_census.push((c, n));
+    }
+    for (coarse, fine) in rewrite_pairs(g) {
+        let key = sub_key(
+            ds,
+            "rewrite",
+            &format!("{}<-{}", g.name(coarse), g.name(fine)),
+        );
+        if repo.get(&key)?.value == "yes" {
+            report.safe_rewrites.push((coarse, fine));
+        }
+    }
+    Some(report)
+}
+
+/// Seeds a planner scratchpad from the store's satisfiability verdicts,
+/// so a planned audit over a partially-warm repository skips every
+/// category sweep solve the store already proves. Only decided
+/// `sat`/`unsat` records seed facts; structural aborts stay unseeded
+/// (the planner re-derives them, preserving abort parity).
+pub fn warm_facts(ds: &DimensionSchema, repo: &VerdictRepo) -> SharedFacts {
+    let g = ds.hierarchy();
+    let facts = SharedFacts::new(g.num_categories());
+    for c in g.categories().filter(|c| !c.is_all()) {
+        if let Some(hit) = repo.get(&sub_key(ds, "sat", g.name(c))) {
+            match hit.value.as_str() {
+                "sat" => facts.note_sat(c),
+                "unsat" => facts.note_unsat(c),
+                _ => {}
+            }
+        }
+    }
+    facts
 }
 
 /// Write-through for a completed audit produced *outside* the

@@ -39,7 +39,9 @@ pub mod fsutil;
 pub mod record;
 pub mod store;
 
-pub use drivers::{audit_with_repo, rewrite_with_repo, store_report, sub_key};
+pub use drivers::{
+    audit_with_repo, rewrite_with_repo, store_report, sub_key, warm_audit_from_repo, warm_facts,
+};
 pub use crc::crc32;
 pub use footprint::{
     region, regions, summarizable_footprint, survives, SchemaSummary, STRUCTURE_SENTINEL,

@@ -11,30 +11,40 @@
 
 use odc_core::constraint::DimensionSchema;
 use odc_core::dimsat::{schema_fingerprint, ImplicationCache};
+use odc_core::plan::{SchemaPlan, SharedFacts};
 use odc_core::SchemaParseError;
 use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
 
-/// One resident schema: the parsed `(G, Σ)`, its fingerprint, and the
-/// warm implication cache every request against it shares.
+/// One resident schema: the parsed `(G, Σ)`, its fingerprint, the warm
+/// implication cache every request against it shares, and the warm
+/// planner state (the precomputed battery plan plus the shared-fact
+/// scratchpad of proved sat/unsat categories — sound to keep across
+/// requests because the entry's schema never changes).
 pub struct CatalogEntry {
     name: String,
     schema: DimensionSchema,
     fingerprint: u64,
     cache: ImplicationCache,
+    plan: SchemaPlan,
+    facts: SharedFacts,
 }
 
 impl CatalogEntry {
-    /// Builds an entry (fingerprints the schema and seeds an empty
-    /// cache).
+    /// Builds an entry (fingerprints the schema, seeds an empty cache,
+    /// and plans the schema's batteries once).
     pub fn new(name: &str, schema: DimensionSchema) -> Self {
         let fingerprint = schema_fingerprint(&schema);
         let cache = ImplicationCache::for_schema(&schema);
+        let plan = SchemaPlan::for_schema(&schema);
+        let facts = SharedFacts::new(schema.hierarchy().num_categories());
         CatalogEntry {
             name: name.to_string(),
             schema,
             fingerprint,
             cache,
+            plan,
+            facts,
         }
     }
 
@@ -56,6 +66,17 @@ impl CatalogEntry {
     /// The schema's warm implication cache.
     pub fn cache(&self) -> &ImplicationCache {
         &self.cache
+    }
+
+    /// The schema's precomputed battery plan.
+    pub fn plan(&self) -> &SchemaPlan {
+        &self.plan
+    }
+
+    /// The schema's shared-fact scratchpad (sat/unsat categories proved
+    /// by earlier requests).
+    pub fn facts(&self) -> &SharedFacts {
+        &self.facts
     }
 }
 

@@ -717,7 +717,17 @@ fn dispatch(
                 // in-memory memo path serves the ephemeral case.
                 let report = match &shared.repo {
                     Some(r) => odc_core::repo::audit_with_repo(ds, r, gov),
-                    None => advisor::audit_governed_memo(ds, gov, entry.cache()),
+                    // Planned, through the entry's warm cache, battery
+                    // plan, and fact scratchpad: a second audit of a
+                    // resident schema re-plans nothing and re-proves no
+                    // category's satisfiability.
+                    None => advisor::audit_planned_memo(
+                        ds,
+                        gov,
+                        entry.cache(),
+                        entry.plan(),
+                        entry.facts(),
+                    ),
                 };
                 let mut payload = report.render(ds);
                 let unknown = report.interrupted.as_ref().map(|i| i.to_string());

@@ -21,14 +21,21 @@
 //! interrupt, resuming the sweep's own frame-granular cursor).
 
 use crate::checkpoint::{AuditCheckpoint, AuditStage};
-use crate::theorem1::{is_summarizable_in_schema_governed, is_summarizable_in_schema_session};
+use crate::theorem1::{
+    decide_from_pool, is_summarizable_in_schema_governed, is_summarizable_in_schema_session,
+    summarizability_constraints, SummarizabilityOutcome, SummarizabilityVerdict,
+};
 use odc_constraint::{Constraint, DimensionConstraint, DimensionSchema};
 use odc_dimsat::{implication, CacheSession, Dimsat, DimsatOptions, ImplicationCache, SearchStats};
+use odc_frozen::FrozenDimension;
 use odc_govern::{
     Budget, CancelToken, CheckpointError, Governor, Interrupt, InterruptReason, SharedGovernor,
 };
-use odc_hierarchy::{Category, HierarchySchema};
-use odc_obs::{Obs, WorkerStats};
+use odc_hierarchy::{CatSet, Category, HierarchySchema};
+use odc_obs::{Obs, PlanEvent, WorkerStats};
+use odc_plan::{PlanStats, SchemaPlan, SharedFacts};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The advisor's findings.
 #[derive(Debug, Clone)]
@@ -777,6 +784,626 @@ fn audit_parallel_from(
     Ok(report)
 }
 
+/// Per-bottom witness pools produced by a *complete* census enumeration:
+/// `pool[b]` holds one frozen dimension per inducing subhierarchy rooted
+/// at `b` (empty when `b` is unsatisfiable). By Theorem 2 these pools
+/// answer every pure-path rooted implication — in particular the whole
+/// rewrites matrix — without another search.
+type WitnessPools = HashMap<Category, Vec<FrozenDimension>>;
+
+/// Emits the audit's final `plan` event: fact hits are tallied from the
+/// shared scratchpad (the sweep, census, and rewrites shortcuts all
+/// record into it), batched answers from the pool evaluation counter.
+fn emit_audit_plan(obs: &Obs, mut plan: PlanStats, facts: &SharedFacts, hits_before: u64) {
+    plan.fact_hits = facts.hits().saturating_sub(hits_before);
+    obs.plan(&PlanEvent {
+        battery: "schema_audit",
+        queries: plan.queries,
+        deduped: plan.deduped,
+        reordered: plan.reordered,
+        fact_hits: plan.fact_hits,
+        batched: plan.batched,
+    });
+}
+
+/// One rewrite pair's Theorem-1 battery, answered from shared facts and
+/// census witness pools wherever soundness allows, with a real solve as
+/// the fallback:
+///
+/// * a bottom the sweep proved unsatisfiable roots *no* frozen
+///   dimension, so its battery constraint is vacuously implied (sound
+///   against the full schema — this shortcut is never used for the
+///   redundancy stage, whose queries run against a reduced schema);
+/// * a complete witness pool decides a structurally-evaluable constraint
+///   by Theorem-2 quantification ([`decide_from_pool`]);
+/// * overflow-exposed bottoms take neither shortcut, so structural
+///   aborts surface exactly as the unplanned battery would surface them.
+///
+/// The verdict (and failing bottom, the first refuted constraint in
+/// bottom order) matches the unplanned battery; the counterexample may
+/// be a different — equally valid — witness.
+#[allow(clippy::too_many_arguments)]
+fn planned_pair_battery(
+    ds: &DimensionSchema,
+    coarse: Category,
+    fine: Category,
+    gov: &mut Governor,
+    session: Option<CacheSession<'_>>,
+    facts: &SharedFacts,
+    pools: &WitnessPools,
+    exposed: &CatSet,
+    batched: &AtomicU64,
+) -> SummarizabilityOutcome {
+    let mut stats = SearchStats::default();
+    for dc in summarizability_constraints(ds.hierarchy(), coarse, &[fine]) {
+        let root = dc.root();
+        if !exposed.contains(root) {
+            if facts.known_unsat(root) {
+                facts.record_hit();
+                continue;
+            }
+            if let Some(witnesses) = pools.get(&root) {
+                match decide_from_pool(&dc, witnesses) {
+                    Some(Ok(())) => {
+                        batched.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    Some(Err(w)) => {
+                        batched.fetch_add(1, Ordering::Relaxed);
+                        return SummarizabilityOutcome {
+                            verdict: SummarizabilityVerdict::NotSummarizable,
+                            failing_bottom: Some(root),
+                            counterexample: Some(w),
+                            stats,
+                            checkpoint: None,
+                        };
+                    }
+                    None => {}
+                }
+            }
+        }
+        let out = match session {
+            Some(s) => {
+                implication::implies_memo_session(ds, &dc, DimsatOptions::default(), gov, s)
+            }
+            None => implication::implies_governed(ds, &dc, DimsatOptions::default(), gov),
+        };
+        stats.absorb(&out.stats);
+        if let Some(intr) = out.interrupt() {
+            return SummarizabilityOutcome {
+                verdict: SummarizabilityVerdict::Unknown(intr),
+                failing_bottom: None,
+                counterexample: None,
+                stats,
+                // The audit checkpoints at pair granularity, like the
+                // unplanned parallel audit.
+                checkpoint: None,
+            };
+        }
+        if !out.implied() {
+            return SummarizabilityOutcome {
+                verdict: SummarizabilityVerdict::NotSummarizable,
+                failing_bottom: Some(root),
+                counterexample: out.counterexample,
+                stats,
+                checkpoint: None,
+            };
+        }
+    }
+    SummarizabilityOutcome {
+        verdict: SummarizabilityVerdict::Summarizable,
+        failing_bottom: None,
+        counterexample: None,
+        stats,
+        checkpoint: None,
+    }
+}
+
+/// [`audit`] through the cross-query planner: the sweep runs biggest
+/// region first with witness sharing, the redundancy battery is deduped
+/// and cost-ordered, the census doubles as a witness-pool builder, and
+/// the rewrites matrix is answered from the pools (Theorem-2 batching)
+/// with solver fallback. Complete planned and unplanned audits render
+/// byte-identically; stats legitimately differ (fewer solves is the
+/// point). An interrupt yields the same partial-report shape with a
+/// checkpoint the *unplanned* resume paths consume unchanged.
+pub fn audit_planned(ds: &DimensionSchema) -> SchemaReport {
+    let mut gov = Governor::unlimited();
+    audit_planned_governed(ds, &mut gov)
+}
+
+/// [`audit_planned`] under a caller-supplied governor. The rewrites
+/// fallback solves run through a run-local implication memo-cache, so
+/// the serial planned path never repeats work the parallel path would
+/// memoize.
+pub fn audit_planned_governed(ds: &DimensionSchema, gov: &mut Governor) -> SchemaReport {
+    let cache = ImplicationCache::for_schema(ds);
+    let sp = SchemaPlan::for_schema(ds);
+    let facts = SharedFacts::new(ds.hierarchy().num_categories());
+    audit_planned_from(ds, gov, Some(cache.begin_session()), &sp, &facts)
+}
+
+/// [`audit_planned_governed`] through caller-owned warm state: the
+/// memo-cache, the precomputed per-schema plan, and the shared-fact
+/// scratchpad (a resident server keeps all three in its catalog entry,
+/// so repeated audits of one schema re-plan nothing and re-prove no
+/// category's satisfiability).
+pub fn audit_planned_memo(
+    ds: &DimensionSchema,
+    gov: &mut Governor,
+    cache: &ImplicationCache,
+    sp: &SchemaPlan,
+    facts: &SharedFacts,
+) -> SchemaReport {
+    audit_planned_from(ds, gov, Some(cache.begin_session()), sp, facts)
+}
+
+fn audit_planned_from(
+    ds: &DimensionSchema,
+    gov: &mut Governor,
+    session: Option<CacheSession<'_>>,
+    sp: &SchemaPlan,
+    facts: &SharedFacts,
+) -> SchemaReport {
+    let g = ds.hierarchy();
+    let solver = Dimsat::new(ds);
+    let fp = implication::schema_fingerprint(ds);
+    let exposed = &sp.exposed;
+    let hits_before = facts.hits();
+    let mut plan = PlanStats::default();
+    let batched = AtomicU64::new(0);
+    let mut report = blank_report();
+    let mut decided = SearchStats::default();
+
+    // Stage 1: planned sweep (biggest regions first, witness sharing).
+    plan.queries += g.categories().filter(|c| !c.is_all()).count() as u64;
+    let sweep = solver.unsatisfiable_categories_planned_governed(gov, facts);
+    report.unsatisfiable = sweep.unsat.clone();
+    report.undecided_categories = sweep.undecided.clone();
+    report.aborted_categories = sweep.aborted.clone();
+    report.stats.absorb(&sweep.stats);
+    decided.absorb(&sweep.stats);
+    if let Some(i) = sweep.interrupted {
+        report.interrupted = Some(i);
+        report.checkpoint = Some(AuditCheckpoint {
+            fingerprint: fp,
+            stage: AuditStage::Sweep,
+            next: 0,
+            stats: SearchStats::default(),
+            unsatisfiable: Vec::new(),
+            aborted: Vec::new(),
+            redundant: Vec::new(),
+            census: Vec::new(),
+            rewrites: Vec::new(),
+            sweep: solver.sweep_checkpoint(&sweep),
+        });
+        emit_audit_plan(gov.obs(), plan, facts, hits_before);
+        return report;
+    }
+
+    // Stage 2: redundancy, deduped + cost-ordered. Only execution is
+    // reordered; verdicts are reported (and checkpointed) in constraint
+    // order. σ_i ≡ σ_j after normalization ⇒ the two reduced schemas
+    // are logically equivalent, so aliasing copies a semantically
+    // identical verdict.
+    let constraints = ds.constraints();
+    let rplan = &sp.battery;
+    plan.queries += rplan.stats.queries;
+    plan.deduped += rplan.stats.deduped;
+    plan.reordered += rplan.stats.reordered;
+    let mut verdicts: Vec<Option<(bool, SearchStats)>> = vec![None; constraints.len()];
+    let mut interrupt: Option<Interrupt> = None;
+    for &i in &rplan.order {
+        let dc = &constraints[i];
+        let mut rest: Vec<DimensionConstraint> = constraints.to_vec();
+        rest.remove(i);
+        let reduced = DimensionSchema::new(ds.hierarchy_arc(), rest);
+        let out = implication::implies_governed(&reduced, dc, DimsatOptions::default(), gov);
+        report.stats.absorb(&out.stats);
+        if let Some(e) = out.interrupt() {
+            interrupt = Some(e);
+            break;
+        }
+        verdicts[i] = Some((out.implied(), out.stats.clone()));
+    }
+    for i in 0..constraints.len() {
+        if let Some(j) = rplan.alias_of[i] {
+            if let Some((implied, _)) = verdicts[j] {
+                verdicts[i] = Some((implied, SearchStats::default()));
+            }
+        }
+    }
+    let next = (0..constraints.len()).find(|&i| verdicts[i].is_none());
+    for (i, v) in verdicts.iter().enumerate() {
+        if let Some((implied, ref stats)) = *v {
+            if next.is_none_or(|nx| i < nx) {
+                decided.absorb(stats);
+            }
+            if implied {
+                report.redundant_constraints.push(i);
+            }
+        }
+    }
+    if let Some(e) = interrupt {
+        let nx = next.unwrap_or(constraints.len());
+        report.interrupted = Some(e);
+        report.checkpoint = Some(AuditCheckpoint {
+            fingerprint: fp,
+            stage: AuditStage::Redundancy,
+            next: nx,
+            stats: decided,
+            unsatisfiable: report.unsatisfiable.clone(),
+            aborted: report.aborted_categories.clone(),
+            redundant: report
+                .redundant_constraints
+                .iter()
+                .copied()
+                .filter(|&i| i < nx)
+                .collect(),
+            census: Vec::new(),
+            rewrites: Vec::new(),
+            sweep: None,
+        });
+        emit_audit_plan(gov.obs(), plan, facts, hits_before);
+        return report;
+    }
+
+    // Stage 3: census, doubling as witness-pool construction. A bottom
+    // the sweep proved unsatisfiable has zero frozen dimensions by
+    // definition — its census entry (and empty pool) is free.
+    let bottoms: Vec<Category> = g
+        .bottom_categories()
+        .into_iter()
+        .filter(|c| !c.is_all())
+        .collect();
+    plan.queries += bottoms.len() as u64;
+    let mut pools: WitnessPools = HashMap::new();
+    for (i, &c) in bottoms.iter().enumerate() {
+        if !exposed.contains(c) && facts.known_unsat(c) {
+            facts.record_hit();
+            report.structure_census.push((c, 0));
+            pools.insert(c, Vec::new());
+            continue;
+        }
+        let (frozen, out) = solver.enumerate_frozen_governed(c, gov);
+        report.stats.absorb(&out.stats);
+        if let Some(intr) = out.interrupted {
+            report.interrupted = Some(intr);
+            report.checkpoint = Some(AuditCheckpoint {
+                fingerprint: fp,
+                stage: AuditStage::Census,
+                next: i,
+                stats: decided,
+                unsatisfiable: report.unsatisfiable.clone(),
+                aborted: report.aborted_categories.clone(),
+                redundant: report.redundant_constraints.clone(),
+                census: report.structure_census.clone(),
+                rewrites: Vec::new(),
+                sweep: None,
+            });
+            emit_audit_plan(gov.obs(), plan, facts, hits_before);
+            return report;
+        }
+        decided.absorb(&out.stats);
+        report.structure_census.push((c, frozen.len()));
+        if frozen.is_empty() {
+            facts.note_unsat(c);
+        }
+        pools.insert(c, frozen);
+    }
+
+    // Stage 4: the rewrites matrix, answered from the pools.
+    let pairs = rewrite_pairs(g);
+    plan.queries += (pairs.len() * bottoms.len()) as u64;
+    for (i, &(coarse, fine)) in pairs.iter().enumerate() {
+        let out = planned_pair_battery(
+            ds, coarse, fine, gov, session, facts, &pools, exposed, &batched,
+        );
+        report.stats.absorb(&out.stats);
+        if let Some(intr) = out.interrupt() {
+            report.interrupted = Some(intr);
+            report.checkpoint = Some(AuditCheckpoint {
+                fingerprint: fp,
+                stage: AuditStage::Rewrites,
+                next: i,
+                stats: decided,
+                unsatisfiable: report.unsatisfiable.clone(),
+                aborted: report.aborted_categories.clone(),
+                redundant: report.redundant_constraints.clone(),
+                census: report.structure_census.clone(),
+                rewrites: report.safe_rewrites.clone(),
+                sweep: None,
+            });
+            plan.batched += batched.load(Ordering::Relaxed);
+            emit_audit_plan(gov.obs(), plan, facts, hits_before);
+            return report;
+        }
+        decided.absorb(&out.stats);
+        if out.summarizable() {
+            report.safe_rewrites.push((coarse, fine));
+        }
+    }
+    plan.batched += batched.load(Ordering::Relaxed);
+    emit_audit_plan(gov.obs(), plan, facts, hits_before);
+    report
+}
+
+/// [`audit_planned`] fanned out over `jobs` workers: the sweep's plan is
+/// the work-stealing order, and the later stages stripe their (mostly
+/// pool-answered) items under the same shared budget.
+pub fn audit_planned_parallel(
+    ds: &DimensionSchema,
+    budget: Budget,
+    cancel: &CancelToken,
+    jobs: usize,
+) -> SchemaReport {
+    audit_planned_parallel_observed(ds, budget, cancel, jobs, Obs::none())
+}
+
+/// [`audit_planned_parallel`] with a structured-event observer.
+pub fn audit_planned_parallel_observed(
+    ds: &DimensionSchema,
+    budget: Budget,
+    cancel: &CancelToken,
+    jobs: usize,
+    obs: Obs,
+) -> SchemaReport {
+    let facts = SharedFacts::new(ds.hierarchy().num_categories());
+    audit_planned_parallel_seeded(ds, budget, cancel, jobs, obs, &facts)
+}
+
+/// [`audit_planned_parallel_observed`] with caller-seeded shared facts:
+/// a repository-backed audit pre-loads stored sat/unsat verdicts so the
+/// planner skips solves the store already proves.
+pub fn audit_planned_parallel_seeded(
+    ds: &DimensionSchema,
+    budget: Budget,
+    cancel: &CancelToken,
+    jobs: usize,
+    obs: Obs,
+    facts: &SharedFacts,
+) -> SchemaReport {
+    if jobs <= 1 {
+        let mut gov = Governor::new(budget, cancel.clone()).with_observer(obs);
+        let cache = ImplicationCache::for_schema(ds);
+        let sp = SchemaPlan::for_schema(ds);
+        return audit_planned_from(ds, &mut gov, Some(cache.begin_session()), &sp, facts);
+    }
+    let g = ds.hierarchy();
+    let fp = implication::schema_fingerprint(ds);
+    let solver = Dimsat::new(ds).with_observer(obs.clone());
+    let shared = SharedGovernor::new(budget, cancel.clone()).with_observer(obs.clone());
+    let exposed = odc_plan::overflow_exposed(g);
+    let hits_before = facts.hits();
+    let mut plan = PlanStats::default();
+    let batched = AtomicU64::new(0);
+    let mut report = blank_report();
+    let mut decided = SearchStats::default();
+
+    // Stage 1: planned sweep, workers pulling from the plan's cursor.
+    plan.queries += g.categories().filter(|c| !c.is_all()).count() as u64;
+    let sweep = solver.unsatisfiable_categories_planned_sharded(&shared, jobs, facts);
+    report.unsatisfiable = sweep.unsat.clone();
+    report.undecided_categories = sweep.undecided.clone();
+    report.aborted_categories = sweep.aborted.clone();
+    report.stats.absorb(&sweep.stats);
+    decided.absorb(&sweep.stats);
+    if let Some(i) = sweep.interrupted {
+        report.interrupted = Some(i);
+        report.checkpoint = Some(AuditCheckpoint {
+            fingerprint: fp,
+            stage: AuditStage::Sweep,
+            next: 0,
+            stats: SearchStats::default(),
+            unsatisfiable: Vec::new(),
+            aborted: Vec::new(),
+            redundant: Vec::new(),
+            census: Vec::new(),
+            rewrites: Vec::new(),
+            sweep: solver.sweep_checkpoint(&sweep),
+        });
+        emit_audit_plan(&obs, plan, facts, hits_before);
+        return report;
+    }
+
+    // Stage 2: redundancy striped over the *planned* order.
+    let constraints = ds.constraints();
+    let rplan = odc_plan::plan_battery(ds, constraints);
+    plan.queries += rplan.stats.queries;
+    plan.deduped += rplan.stats.deduped;
+    plan.reordered += rplan.stats.reordered;
+    let (res, intr) = run_striped(&shared, jobs, rplan.order.len(), "redundancy", |k, gov| {
+        let i = rplan.order[k];
+        let dc = &constraints[i];
+        let mut rest: Vec<DimensionConstraint> = constraints.to_vec();
+        rest.remove(i);
+        let reduced = DimensionSchema::new(ds.hierarchy_arc(), rest);
+        let out = implication::implies_governed(&reduced, dc, DimsatOptions::default(), gov);
+        match out.interrupt() {
+            Some(e) => Err(e),
+            None => Ok((out.implied(), out.stats.clone())),
+        }
+    });
+    let mut verdicts: Vec<Option<(bool, SearchStats)>> = vec![None; constraints.len()];
+    for (k, (implied, stats)) in res {
+        verdicts[rplan.order[k]] = Some((implied, stats));
+    }
+    for i in 0..constraints.len() {
+        if let Some(j) = rplan.alias_of[i] {
+            if let Some((implied, _)) = verdicts[j] {
+                verdicts[i] = Some((implied, SearchStats::default()));
+            }
+        }
+    }
+    let next = (0..constraints.len()).find(|&i| verdicts[i].is_none());
+    for (i, v) in verdicts.iter().enumerate() {
+        if let Some((implied, ref stats)) = *v {
+            report.stats.absorb(stats);
+            if next.is_none_or(|nx| i < nx) {
+                decided.absorb(stats);
+            }
+            if implied {
+                report.redundant_constraints.push(i);
+            }
+        }
+    }
+    if let Some((_, e)) = intr {
+        let nx = next.unwrap_or(constraints.len());
+        report.interrupted = Some(e);
+        report.checkpoint = Some(AuditCheckpoint {
+            fingerprint: fp,
+            stage: AuditStage::Redundancy,
+            next: nx,
+            stats: decided,
+            unsatisfiable: report.unsatisfiable.clone(),
+            aborted: report.aborted_categories.clone(),
+            redundant: report
+                .redundant_constraints
+                .iter()
+                .copied()
+                .filter(|&i| i < nx)
+                .collect(),
+            census: Vec::new(),
+            rewrites: Vec::new(),
+            sweep: None,
+        });
+        emit_audit_plan(&obs, plan, facts, hits_before);
+        return report;
+    }
+
+    // Stage 3: census with witness pools, striped over bottoms.
+    let bottoms: Vec<Category> = g
+        .bottom_categories()
+        .into_iter()
+        .filter(|c| !c.is_all())
+        .collect();
+    plan.queries += bottoms.len() as u64;
+    let (res, intr) = run_striped(
+        &shared,
+        jobs,
+        bottoms.len(),
+        "structure_census",
+        |k, gov| {
+            let c = bottoms[k];
+            if !exposed.contains(c) && facts.known_unsat(c) {
+                facts.record_hit();
+                return Ok((Vec::new(), SearchStats::default(), true));
+            }
+            let (frozen, out) = solver.enumerate_frozen_governed(c, gov);
+            match out.interrupted {
+                Some(e) => Err(e),
+                None => Ok((frozen, out.stats.clone(), false)),
+            }
+        },
+    );
+    let next = intr.as_ref().map(|&(k, _)| k);
+    let mut pools: WitnessPools = HashMap::new();
+    for (k, (frozen, stats, from_facts)) in res {
+        report.stats.absorb(&stats);
+        if next.is_none_or(|nx| k < nx) {
+            decided.absorb(&stats);
+        }
+        let c = bottoms[k];
+        report.structure_census.push((c, frozen.len()));
+        if frozen.is_empty() && !from_facts {
+            facts.note_unsat(c);
+        }
+        pools.insert(c, frozen);
+    }
+    report.structure_census.sort_by_key(|&(c, _)| {
+        bottoms.iter().position(|&b| b == c).unwrap_or(usize::MAX)
+    });
+    if let Some((k, e)) = intr {
+        report.interrupted = Some(e);
+        report.checkpoint = Some(AuditCheckpoint {
+            fingerprint: fp,
+            stage: AuditStage::Census,
+            next: k,
+            stats: decided,
+            unsatisfiable: report.unsatisfiable.clone(),
+            aborted: report.aborted_categories.clone(),
+            redundant: report.redundant_constraints.clone(),
+            census: report
+                .structure_census
+                .iter()
+                .filter(|&&(c, _)| bottoms.iter().position(|&b| b == c).is_some_and(|i| i < k))
+                .copied()
+                .collect(),
+            rewrites: Vec::new(),
+            sweep: None,
+        });
+        emit_audit_plan(&obs, plan, facts, hits_before);
+        return report;
+    }
+
+    // Stage 4: the rewrites matrix striped over pairs, answered from the
+    // pools with a shared memo-cache behind the solver fallback.
+    let pairs = rewrite_pairs(g);
+    plan.queries += (pairs.len() * bottoms.len()) as u64;
+    let cache = ImplicationCache::for_schema(ds);
+    let session = cache.begin_session();
+    let pools = &pools;
+    let exposed = &exposed;
+    let batched_ref = &batched;
+    let (res, intr) = run_striped(
+        &shared,
+        jobs,
+        pairs.len(),
+        "summarizability_matrix",
+        |k, gov| {
+            let (coarse, fine) = pairs[k];
+            let out = planned_pair_battery(
+                ds,
+                coarse,
+                fine,
+                gov,
+                Some(session),
+                facts,
+                pools,
+                exposed,
+                batched_ref,
+            );
+            match out.interrupt() {
+                Some(e) => Err(e),
+                None => Ok((out.summarizable(), out.stats.clone())),
+            }
+        },
+    );
+    let next = intr.as_ref().map(|&(k, _)| k);
+    for &(k, (safe, ref stats)) in &res {
+        report.stats.absorb(stats);
+        if next.is_none_or(|nx| k < nx) {
+            decided.absorb(stats);
+        }
+        if safe {
+            report.safe_rewrites.push(pairs[k]);
+        }
+    }
+    if let Some((k, e)) = intr {
+        report.interrupted = Some(e);
+        report.checkpoint = Some(AuditCheckpoint {
+            fingerprint: fp,
+            stage: AuditStage::Rewrites,
+            next: k,
+            stats: decided,
+            unsatisfiable: report.unsatisfiable.clone(),
+            aborted: report.aborted_categories.clone(),
+            redundant: report.redundant_constraints.clone(),
+            census: report.structure_census.clone(),
+            rewrites: report
+                .safe_rewrites
+                .iter()
+                .filter(|&&p| pairs.iter().position(|&q| q == p).is_some_and(|i| i < k))
+                .copied()
+                .collect(),
+            sweep: None,
+        });
+    }
+    plan.batched += batched.load(Ordering::Relaxed);
+    emit_audit_plan(&obs, plan, facts, hits_before);
+    report
+}
+
 /// Suggests a minimal constraint tightening: for each bottom category and
 /// each schema edge out of it that no frozen dimension uses, propose the
 /// negative into constraint `¬c_c'` (documenting dead edges); for each
@@ -1091,5 +1718,104 @@ mod tests {
             audit_resume(&ds2, &cp, &mut gov),
             Err(CheckpointError::FingerprintMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn planned_audit_renders_identically_to_unplanned() {
+        let ds = location_sch();
+        let unplanned = audit(&ds);
+        let planned = audit_planned(&ds);
+        assert_eq!(
+            planned.render(&ds),
+            unplanned.render(&ds),
+            "planned reordering must not change the report"
+        );
+        // The planner must have actually saved work: the Theorem-2 pools
+        // answer rewrite queries the unplanned path solves one by one.
+        assert!(
+            planned.stats.expand_calls < unplanned.stats.expand_calls,
+            "planned {} vs unplanned {} expand calls",
+            planned.stats.expand_calls,
+            unplanned.stats.expand_calls
+        );
+    }
+
+    #[test]
+    fn planned_parallel_audit_matches_unplanned() {
+        use odc_govern::{Budget, CancelToken};
+        let ds = location_sch();
+        let serial = audit(&ds);
+        for jobs in [1, 2, 4] {
+            let par =
+                audit_planned_parallel(&ds, Budget::unlimited(), &CancelToken::new(), jobs);
+            assert_eq!(par.render(&ds), serial.render(&ds), "jobs={jobs}");
+            assert!(par.interrupted.is_none());
+        }
+    }
+
+    #[test]
+    fn planned_audit_on_broken_schema_matches_unplanned() {
+        let ds = location_sch();
+        let g = ds.hierarchy();
+        let ds2 = ds.with_constraint(parse_constraint(g, "!SaleRegion_Country").unwrap());
+        let unplanned = audit(&ds2);
+        let planned = audit_planned(&ds2);
+        assert_eq!(planned.render(&ds2), unplanned.render(&ds2));
+        assert!(!planned.unsatisfiable.is_empty());
+    }
+
+    #[test]
+    fn planned_audit_checkpoint_resumes_on_unplanned_path() {
+        use crate::checkpoint::load_audit_checkpoint;
+        use odc_govern::{Budget, CancelToken};
+        let ds = location_sch();
+        let clean = audit(&ds);
+        let mut resumed_any = false;
+        for limit in (1..400u64).chain((400..20_000).step_by(311)) {
+            let mut gov = Governor::new(
+                Budget::unlimited().with_node_limit(limit),
+                CancelToken::new(),
+            );
+            let partial = audit_planned_governed(&ds, &mut gov);
+            let Some(cp) = partial.checkpoint else {
+                assert!(partial.interrupted.is_none());
+                continue;
+            };
+            let cp = load_audit_checkpoint(&ds, &cp.to_text()).expect("roundtrip");
+            let mut gov = Governor::unlimited();
+            let merged = audit_resume(&ds, &cp, &mut gov).expect("same schema resumes");
+            assert!(merged.interrupted.is_none(), "limit={limit}");
+            assert_eq!(merged.unsatisfiable, clean.unsatisfiable, "limit={limit}");
+            assert_eq!(
+                merged.redundant_constraints, clean.redundant_constraints,
+                "limit={limit}"
+            );
+            assert_eq!(
+                merged.structure_census, clean.structure_census,
+                "limit={limit}"
+            );
+            assert_eq!(merged.safe_rewrites, clean.safe_rewrites, "limit={limit}");
+            resumed_any = true;
+        }
+        assert!(resumed_any, "no budget interrupted the planned audit");
+    }
+
+    /// Regression (bug: the serial CLI `check` ran every implication
+    /// cold): repeating an audit through the same schema-fingerprinted
+    /// memo-cache must answer repeated implications from the cache.
+    #[test]
+    fn repeated_memo_audit_hits_cache() {
+        let ds = location_sch();
+        let cache = ImplicationCache::for_schema(&ds);
+        let mut gov = Governor::unlimited();
+        let first = audit_governed_memo(&ds, &mut gov, &cache);
+        assert!(first.interrupted.is_none());
+        let mut gov = Governor::unlimited();
+        let second = audit_governed_memo(&ds, &mut gov, &cache);
+        assert!(
+            second.stats.cache_hits > 0,
+            "second audit through the same cache must reuse memoized implications"
+        );
+        assert_eq!(second.render(&ds), first.render(&ds));
     }
 }

@@ -274,6 +274,129 @@ fn battery_governed_from(
     }
 }
 
+/// Answers one Theorem-1 battery constraint from a *complete* witness
+/// pool — the full enumeration of inducing subhierarchies rooted at the
+/// constraint's bottom (what a census stage produces).
+///
+/// By Theorem 2, `ds ⊨ α` (α rooted at `b`) iff every frozen dimension
+/// of `ds` rooted at `b` satisfies α. When α's truth on each witness is
+/// decided by graph structure alone ([`odc_plan::eval_structural`]
+/// returns `Some`), one witness per inducing subhierarchy is exactly the
+/// quantification Theorem 2 demands, so the pool answers the implication
+/// with zero search:
+///
+/// - `Some(Ok(()))` — every witness satisfies α: implied.
+/// - `Some(Err(w))` — `w` violates α structurally (every assignment
+///   over its subhierarchy violates it): a genuine countermodel.
+/// - `None` — some witness's verdict depends on member assignments
+///   (`Eq`/`Ord` atoms): fall back to a real solve, where one witness
+///   per subhierarchy is no longer sufficient.
+pub fn decide_from_pool(
+    dc: &DimensionConstraint,
+    pool: &[FrozenDimension],
+) -> Option<Result<(), FrozenDimension>> {
+    let mut undecided = false;
+    for w in pool {
+        match odc_plan::eval_structural(w.subhierarchy(), dc.formula()) {
+            Some(true) => {}
+            // A structural violation refutes regardless of whether other
+            // witnesses were evaluable.
+            Some(false) => return Some(Err(w.clone())),
+            None => undecided = true,
+        }
+    }
+    if undecided {
+        None
+    } else {
+        Some(Ok(()))
+    }
+}
+
+/// The *planned* Theorem-1 battery: constraints are normalized, deduped,
+/// and cost-ordered by [`odc_plan::plan_battery`] before any search runs,
+/// so cheap refutations come first and structurally identical queries are
+/// solved once. The yes/no verdict matches the unplanned battery under a
+/// sufficient budget; like the parallel battery, when several bottoms
+/// fail the reported `failing_bottom` is the first one *found* in planned
+/// order (any countermodel is a proof). On an interrupt the checkpoint
+/// keeps the decided prefix only, so the unplanned resume path consumes
+/// it unchanged.
+pub fn is_summarizable_in_schema_planned(
+    ds: &DimensionSchema,
+    c: Category,
+    s: &[Category],
+    opts: DimsatOptions,
+    gov: &mut Governor,
+    session: Option<CacheSession<'_>>,
+) -> (SummarizabilityOutcome, odc_plan::PlanStats) {
+    let constraints = summarizability_constraints(ds.hierarchy(), c, s);
+    let plan = odc_plan::plan_battery(ds, &constraints);
+    let mut implied: Vec<bool> = vec![false; constraints.len()];
+    let mut per_item: Vec<(usize, SearchStats)> = Vec::new();
+    let mut stats = SearchStats::default();
+    for &i in &plan.order {
+        let dc = &constraints[i];
+        let out = match session {
+            Some(sess) => implication::implies_memo_session(ds, dc, opts, gov, sess),
+            None => implication::implies_governed(ds, dc, opts, gov),
+        };
+        stats.absorb(&out.stats);
+        if let Some(intr) = out.interrupt() {
+            // Decided-prefix checkpoint: aliases of decided canonicals
+            // count as decided, everything from the first open index on
+            // re-runs under the unplanned resume.
+            let decided_at = |k: usize| match plan.alias_of[k] {
+                Some(j) => implied[j],
+                None => implied[k],
+            };
+            let next = (0..constraints.len())
+                .find(|&k| !decided_at(k))
+                .unwrap_or(constraints.len());
+            let mut decided = SearchStats::default();
+            for (k, s) in &per_item {
+                if *k < next {
+                    decided.absorb(s);
+                }
+            }
+            let outcome = SummarizabilityOutcome {
+                verdict: SummarizabilityVerdict::Unknown(intr),
+                failing_bottom: None,
+                counterexample: None,
+                stats,
+                checkpoint: Some(BatteryCheckpoint {
+                    fingerprint: implication::schema_fingerprint(ds),
+                    options_key: options_key(&opts),
+                    target: c,
+                    sources: s.to_vec(),
+                    next,
+                    stats: decided,
+                }),
+            };
+            return (outcome, plan.stats);
+        }
+        per_item.push((i, out.stats.clone()));
+        if !out.implied() {
+            let outcome = SummarizabilityOutcome {
+                verdict: SummarizabilityVerdict::NotSummarizable,
+                failing_bottom: Some(dc.root()),
+                counterexample: out.counterexample,
+                stats,
+                checkpoint: None,
+            };
+            return (outcome, plan.stats);
+        }
+        implied[i] = true;
+    }
+    let outcome = SummarizabilityOutcome {
+        verdict: SummarizabilityVerdict::Summarizable,
+        failing_bottom: None,
+        counterexample: None,
+        stats,
+        checkpoint: None,
+    };
+    (outcome, plan.stats)
+}
+
 /// Per-worker result of the parallel battery.
 struct WorkerReport {
     stats: SearchStats,

@@ -36,7 +36,7 @@
 //! edit touches. The repository subsumes `--checkpoint`/`--resume`.
 
 use odc_core::dimsat::trace::render_trace;
-use odc_core::dimsat::AnytimeDriver;
+use odc_core::dimsat::{AnytimeDriver, ImplicationCache};
 use odc_core::govern::{FaultKind, FaultPlan, FaultTrigger, IoFaultKind, IoFaultPlan};
 use odc_core::hierarchy::dot;
 use odc_core::prelude::*;
@@ -104,6 +104,10 @@ options (reasoning commands):
   --node-limit <n>     search-node budget (exit code 2 when exceeded)
   --jobs <n>           worker threads for check/summarizable (one shared budget,
                        first countermodel cancels the rest of the batch)
+  --plan / --no-plan   check/summarizable: plan the query battery (dedup shared
+                       sub-formulas, order cheap-first, share learned facts,
+                       batch per-bottom implications) or run it query-by-query;
+                       planned is the default and the verdicts are identical
   --stats-json <path>  write structured solve events (JSON lines) to <path>
   --progress           report heartbeats and solve verdicts on stderr
 checkpoint/resume (check, summarizable, frozen):
@@ -217,6 +221,14 @@ pub fn run(args: &[String]) -> Result<RunOutput, String> {
             "--retry-connect applies only to client; `{cmd}` opens no connection"
         ));
     }
+    // The battery planner reorders multi-query batteries; single-query
+    // commands have nothing to plan.
+    if flags.plan.is_some() && !matches!(cmd.as_str(), "check" | "summarizable") {
+        return Err(format!(
+            "--plan/--no-plan apply only to check/summarizable; `{cmd}` runs one query"
+        ));
+    }
+    let plan = flags.plan.unwrap_or(true);
     match cmd.as_str() {
         "check" => {
             let file = rest.first().ok_or("check needs a schema file")?;
@@ -241,22 +253,35 @@ pub fn run(args: &[String]) -> Result<RunOutput, String> {
                 attempts += 1;
                 let report = if let Some(r) = &repo {
                     if jobs > 1 {
-                        // A zero-node probe can only answer from disk: if
-                        // it completes, the audit was fully warm and no
-                        // worker pool is needed.
-                        let mut probe =
-                            Governor::from_budget(Budget::unlimited().with_node_limit(0));
-                        let warm = vrepo::audit_with_repo(&ds, r, &mut probe);
-                        if warm.interrupted.is_none() {
+                        // A read-only probe answers entirely from disk when
+                        // the store is fully warm — no worker pool, no
+                        // solve events, and (unlike the zero-node-budget
+                        // probe it replaces) no clobbered pending cursors.
+                        if let Some(warm) = vrepo::warm_audit_from_repo(&ds, r) {
                             warm
                         } else {
-                            let rep = advisor::audit_parallel_observed(
-                                &ds,
-                                attempt_budget,
-                                &CancelToken::new(),
-                                jobs,
-                                obs.clone(),
-                            );
+                            let rep = if plan {
+                                // Stored sat/unsat verdicts seed the
+                                // planner, so a partially-warm store still
+                                // skips the solves it already proves.
+                                let facts = vrepo::warm_facts(&ds, r);
+                                advisor::audit_planned_parallel_seeded(
+                                    &ds,
+                                    attempt_budget,
+                                    &CancelToken::new(),
+                                    jobs,
+                                    obs.clone(),
+                                    &facts,
+                                )
+                            } else {
+                                advisor::audit_parallel_observed(
+                                    &ds,
+                                    attempt_budget,
+                                    &CancelToken::new(),
+                                    jobs,
+                                    obs.clone(),
+                                )
+                            };
                             vrepo::drivers::store_report(&ds, r, &rep);
                             rep
                         }
@@ -275,6 +300,13 @@ pub fn run(args: &[String]) -> Result<RunOutput, String> {
                             obs.clone(),
                         )
                         .map_err(|e| format!("resume: {e}"))?,
+                        None if plan => advisor::audit_planned_parallel_observed(
+                            &ds,
+                            attempt_budget,
+                            &CancelToken::new(),
+                            jobs,
+                            obs.clone(),
+                        ),
                         None => advisor::audit_parallel_observed(
                             &ds,
                             attempt_budget,
@@ -288,7 +320,15 @@ pub fn run(args: &[String]) -> Result<RunOutput, String> {
                     match &cp {
                         Some(c) => advisor::audit_resume(&ds, c, &mut gov)
                             .map_err(|e| format!("resume: {e}"))?,
-                        None => advisor::audit_governed(&ds, &mut gov),
+                        None if plan => advisor::audit_planned_governed(&ds, &mut gov),
+                        None => {
+                            // Even unplanned, repeated implications within
+                            // the audit answer from the run's
+                            // schema-fingerprinted memo cache (they used
+                            // to run cold every time).
+                            let cache = ImplicationCache::for_schema(&ds);
+                            advisor::audit_governed_memo(&ds, &mut gov, &cache)
+                        }
                     }
                 };
                 if report.interrupted.is_none()
@@ -474,11 +514,16 @@ pub fn run(args: &[String]) -> Result<RunOutput, String> {
                 return Ok(RunOutput::answered(hit.payload));
             }
             let mut gov = Governor::from_budget(budget).with_observer(obs);
-            let out = odc_core::dimsat::implies_governed(
+            // Through the run's schema-fingerprinted memo cache, like the
+            // audit's batteries (a bare `implies_governed` here ran every
+            // repeated query cold).
+            let cache = ImplicationCache::for_schema(&ds);
+            let out = odc_core::dimsat::implies_memo(
                 &ds,
                 &alpha,
                 DimsatOptions::default(),
                 &mut gov,
+                &cache,
             );
             let (answer, unknown) = match &out.verdict {
                 ImplicationVerdict::Implied => ("true".to_string(), false),
@@ -595,6 +640,26 @@ pub fn run(args: &[String]) -> Result<RunOutput, String> {
                             jobs,
                             obs.clone(),
                         )
+                    }
+                    None if plan => {
+                        let mut gov = make_governor(attempt_budget, &obs, &flags.fault);
+                        let (out, ps) = odc_core::summarizability::is_summarizable_in_schema_planned(
+                            &ds,
+                            t,
+                            &s,
+                            DimsatOptions::default(),
+                            &mut gov,
+                            None,
+                        );
+                        gov.obs().plan(&odc_core::obs::PlanEvent {
+                            battery: "theorem1_battery",
+                            queries: ps.queries,
+                            deduped: ps.deduped,
+                            reordered: ps.reordered,
+                            fact_hits: ps.fact_hits,
+                            batched: ps.batched,
+                        });
+                        out
                     }
                     None => {
                         let mut gov = make_governor(attempt_budget, &obs, &flags.fault);
@@ -874,6 +939,9 @@ pub struct Flags {
     repo: Option<String>,
     io_fault: Option<IoFaultPlan>,
     retry_connect: u32,
+    /// `Some(false)` when `--no-plan` asked for the single-query
+    /// execution order; `None` means the default (planned).
+    plan: Option<bool>,
     positional: Vec<String>,
 }
 
@@ -893,6 +961,7 @@ fn parse_budget_flags(args: &[String]) -> Result<Flags, String> {
     let mut repo = None;
     let mut io_fault = None;
     let mut retry_connect = 0u32;
+    let mut plan = None;
     let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -958,6 +1027,8 @@ fn parse_budget_flags(args: &[String]) -> Result<Flags, String> {
                     .parse()
                     .map_err(|_| format!("--retry-connect: not a number: {v}"))?;
             }
+            "--plan" => plan = Some(true),
+            "--no-plan" => plan = Some(false),
             _ => positional.push(arg.clone()),
         }
     }
@@ -973,6 +1044,7 @@ fn parse_budget_flags(args: &[String]) -> Result<Flags, String> {
         repo,
         io_fault,
         retry_connect,
+        plan,
         positional,
     })
 }

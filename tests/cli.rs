@@ -185,8 +185,28 @@ fn stats_json_emits_structured_solve_events() {
     assert!(events.contains("\"expand_calls\":"), "{events}");
     assert!(events.contains("\"check_calls\":"), "{events}");
     assert!(events.contains("\"schema_fingerprint\":"), "{events}");
-    assert!(events.contains("\"event\":\"cache\""), "{events}");
     assert!(events.contains("\"event\":\"worker\""), "{events}");
+    // The default audit is planned: it reports its planning summary.
+    assert!(events.contains("\"event\":\"plan\""), "{events}");
+    assert!(events.contains("\"battery\":\"schema_audit\""), "{events}");
+
+    // The unplanned audit answers repeated rewrite queries through the
+    // shared memo-cache instead of the planner's witness pools, so the
+    // cache vocabulary appears on this path.
+    let _ = std::fs::remove_file(&path);
+    let out = odc(&[
+        "check",
+        &schema_file(),
+        "--jobs",
+        "2",
+        "--no-plan",
+        "--stats-json",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let events = std::fs::read_to_string(&path).expect("stats file written");
+    assert!(events.contains("\"event\":\"cache\""), "{events}");
+    assert!(!events.contains("\"event\":\"plan\""), "{events}");
 }
 
 #[test]

@@ -220,6 +220,135 @@ fn dimsat_equals_oracle_with_ordered_constraints() {
     }
 }
 
+/// The cross-query battery planner never changes an answer: on seeded
+/// random schema families (into constraints, exceptions, ordered
+/// atoms), the planned audit — serial and parallel — renders
+/// byte-identically to the unplanned audit.
+#[test]
+fn planned_audit_matches_unplanned_on_seeded_families() {
+    use olap_dimension_constraints::summarizability::advisor;
+    let mut rng = StdRng::seed_from_u64(0x914AA);
+    for round in 0..6 {
+        let ds = random_schema(
+            &SchemaGenParams {
+                layers: rng.gen_range(2..4),
+                width: rng.gen_range(2..4),
+                extra_edge_prob: 0.35,
+                into_fraction: rng.gen_range(0.0..1.0),
+                constants_per_category: 2,
+                exceptions: rng.gen_range(0..3),
+                ordered_exceptions: rng.gen_range(0..2),
+            },
+            &mut rng,
+        );
+        let unplanned = advisor::audit(&ds);
+        let planned = advisor::audit_planned(&ds);
+        assert_eq!(
+            planned.render(&ds),
+            unplanned.render(&ds),
+            "round {round}: {ds}"
+        );
+        for jobs in [2usize, 4] {
+            let par = advisor::audit_planned_parallel(
+                &ds,
+                Budget::unlimited(),
+                &CancelToken::new(),
+                jobs,
+            );
+            assert_eq!(
+                par.render(&ds),
+                unplanned.render(&ds),
+                "round {round} jobs {jobs}: {ds}"
+            );
+        }
+    }
+}
+
+/// Planner parity on the adversarial end of the spectrum: Theorem-4
+/// SAT-reduction schemas, where categories are genuinely unsatisfiable
+/// exactly when the encoded 3-SAT formula is. Sweep and Theorem-1
+/// battery verdicts are identical planned and unplanned, and every
+/// planned countermodel is a genuine frozen dimension that structurally
+/// refutes its battery constraint.
+#[test]
+fn planned_verdicts_match_unplanned_on_sat_adversarial_schemas() {
+    use olap_dimension_constraints::plan::SharedFacts;
+    use olap_dimension_constraints::summarizability::advisor::rewrite_pairs;
+    use olap_dimension_constraints::summarizability::{
+        is_summarizable_in_schema_governed, is_summarizable_in_schema_planned,
+        summarizability_constraints, SummarizabilityVerdict,
+    };
+    let mut rng = StdRng::seed_from_u64(0xADA547);
+    for n_vars in [4usize, 6] {
+        for ratio in [2usize, 4, 6] {
+            let formula = random_3sat(n_vars, n_vars * ratio, &mut rng);
+            let (ds, _bottom) = encode_sat(&formula);
+            let g = ds.hierarchy();
+            let solver = Dimsat::new(&ds);
+
+            // Sweep parity: witness sharing and biggest-region-first
+            // execution must not change a single verdict.
+            let full = solver.unsatisfiable_categories();
+            assert!(full.is_complete());
+            let mut gov = Governor::unlimited();
+            let planned = solver.unsatisfiable_categories_planned_governed(
+                &mut gov,
+                &SharedFacts::new(g.num_categories()),
+            );
+            assert!(planned.is_complete(), "n={n_vars} ratio={ratio}");
+            assert_eq!(planned.unsat, full.unsat, "n={n_vars} ratio={ratio}");
+            assert_eq!(planned.sat, full.sat, "n={n_vars} ratio={ratio}");
+
+            // Theorem-1 battery parity over the rewrite pairs.
+            for &(coarse, fine) in rewrite_pairs(g).iter().take(6) {
+                let mut gov = Governor::unlimited();
+                let serial = is_summarizable_in_schema_governed(
+                    &ds,
+                    coarse,
+                    &[fine],
+                    DimsatOptions::default(),
+                    &mut gov,
+                );
+                let mut gov = Governor::unlimited();
+                let (planned, _stats) = is_summarizable_in_schema_planned(
+                    &ds,
+                    coarse,
+                    &[fine],
+                    DimsatOptions::default(),
+                    &mut gov,
+                    None,
+                );
+                let ctx = format!(
+                    "n={n_vars} ratio={ratio} {}<-{}",
+                    g.name(coarse),
+                    g.name(fine)
+                );
+                assert_eq!(planned.verdict, serial.verdict, "{ctx}");
+                if planned.verdict == SummarizabilityVerdict::NotSummarizable {
+                    // The planned countermodel may be a different witness
+                    // than the serial one, but it must be a genuine frozen
+                    // dimension that structurally refutes its constraint.
+                    let cx = planned.counterexample.as_ref().expect("countermodel");
+                    assert_eq!(cx.verify(&ds), Ok(()), "{ctx}");
+                    let b = planned.failing_bottom.expect("failing bottom");
+                    let dc = summarizability_constraints(g, coarse, &[fine])
+                        .into_iter()
+                        .find(|dc| dc.root() == b)
+                        .expect("constraint for failing bottom");
+                    assert_eq!(
+                        olap_dimension_constraints::plan::eval_structural(
+                            cx.subhierarchy(),
+                            dc.formula()
+                        ),
+                        Some(false),
+                        "{ctx}: countermodel does not refute the constraint"
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// The incremental In* bookkeeping (Figure 6's own data structure) and
 /// the DFS-recomputation mode explore identical search trees.
 #[test]

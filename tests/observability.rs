@@ -188,6 +188,101 @@ fn audit_worker_panic_is_not_swallowed() {
     assert!(result.is_err(), "the audit must not report a verdict");
 }
 
+/// Regression (bug: the `--repo --jobs` warm probe ran a real audit
+/// under a zero-node budget): the warm probe must be silent and
+/// side-effect-free. On a partially-warm store it reports "not warm"
+/// without solving anything and — the actual damage the old probe did —
+/// without overwriting pending resume cursors with zero-progress junk;
+/// on a fully-warm store it reproduces the cold audit byte-for-byte
+/// with all-zero counters, the shape a fully-cached battery must have.
+#[test]
+fn repo_warm_probe_is_silent_and_side_effect_free() {
+    use odc_core::repo::{self as vrepo, StoredVerdict, VerdictRepo};
+    let ds = location_schema();
+    let g = ds.hierarchy();
+    let dir = std::env::temp_dir().join(format!("odc-obs-warmprobe-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let repo = VerdictRepo::open(&dir, Obs::none(), None).expect("open repo");
+
+    // Partially warm: one stored sweep verdict, plus a (fake) pending
+    // census cursor standing in for a previous interrupted run's warm
+    // start.
+    let sat_key = vrepo::sub_key(&ds, "sat", g.name(store(&ds)));
+    repo.put(
+        sat_key,
+        StoredVerdict {
+            value: "sat".to_string(),
+            payload: String::new(),
+            footprint: Vec::new(),
+        },
+    )
+    .expect("store one verdict");
+    let census_key = vrepo::sub_key(&ds, "census", g.name(store(&ds)));
+    repo.put_pending(census_key.clone(), "cursor-from-previous-run".to_string())
+        .expect("store pending cursor");
+
+    assert!(
+        vrepo::warm_audit_from_repo(&ds, &repo).is_none(),
+        "a partially-warm store is not a warm audit"
+    );
+    assert_eq!(
+        repo.pending(&census_key).as_deref(),
+        Some("cursor-from-previous-run"),
+        "the probe must not clobber pending resume cursors"
+    );
+
+    // Fully warm the store, then probe again: byte-identical report,
+    // nothing searched, nothing written.
+    let mut gov = Governor::unlimited();
+    let cold = vrepo::audit_with_repo(&ds, &repo, &mut gov);
+    assert!(cold.interrupted.is_none());
+    let warm = vrepo::warm_audit_from_repo(&ds, &repo).expect("fully warm store answers");
+    assert_eq!(warm.render(&ds), cold.render(&ds));
+    assert_eq!(warm.stats.expand_calls, 0, "warm probe searches nothing");
+    assert_eq!(warm.stats.check_calls, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The cold planned parallel audit — the path a repo-backed `--jobs`
+/// check falls to when the probe misses — emits a well-formed event
+/// stream: every `solve_start` paired with exactly one `solve_end`, and
+/// exactly one `plan` summary for the whole audit.
+#[test]
+fn planned_parallel_audit_emits_paired_solve_events_and_plan_summary() {
+    let ds = location_schema();
+    let collector = Arc::new(CollectingObserver::new());
+    let report = advisor::audit_planned_parallel_observed(
+        &ds,
+        Budget::unlimited(),
+        &CancelToken::new(),
+        2,
+        Obs::new(collector.clone()),
+    );
+    assert!(report.interrupted.is_none());
+    let events = collector.events();
+    let mut starts: Vec<u64> = Vec::new();
+    let mut ends: Vec<u64> = Vec::new();
+    let mut plans = Vec::new();
+    for e in &events {
+        match e {
+            olap_dimension_constraints::obs::Event::Start(s) => starts.push(s.solve_id),
+            olap_dimension_constraints::obs::Event::End(s) => ends.push(s.solve_id),
+            olap_dimension_constraints::obs::Event::Plan(p) => plans.push(p.clone()),
+            _ => {}
+        }
+    }
+    starts.sort_unstable();
+    ends.sort_unstable();
+    assert_eq!(starts, ends, "every solve_start pairs with one solve_end");
+    assert_eq!(plans.len(), 1, "one plan summary per audit");
+    assert_eq!(plans[0].battery, "schema_audit");
+    assert!(plans[0].queries > 0);
+    assert!(
+        plans[0].batched > 0,
+        "the location audit's rewrite matrix is pool-answerable"
+    );
+}
+
 /// Parallel batteries tag per-worker statistics with distinct worker ids
 /// and the battery label.
 #[test]

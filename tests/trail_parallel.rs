@@ -192,6 +192,126 @@ fn parallel_audit_matches_serial_on_catalog() {
     }
 }
 
+/// The undecided list of an interrupted sweep names categories in
+/// schema-declaration order (strictly increasing category index) — the
+/// order the report renders and checkpoints consume — no matter which
+/// execution produced it.
+fn assert_declaration_order(sweep: &olap_dimension_constraints::dimsat::CategorySweep, ctx: &str) {
+    for w in sweep.undecided.windows(2) {
+        assert!(
+            w[0].index() < w[1].index(),
+            "{ctx}: undecided out of schema order: {:?}",
+            sweep.undecided
+        );
+    }
+}
+
+/// Regression (bug: interrupt timing could leak execution order into
+/// the report): the sweep's `undecided` list is in deterministic
+/// schema-declaration order whether the sweep ran serially, sharded
+/// over any worker count, through the planner (which *executes*
+/// biggest-region-first), or resumed after a fault — and every
+/// completed variant reaches the serial verdicts.
+#[test]
+fn sweep_undecided_order_is_deterministic_across_drivers() {
+    use olap_dimension_constraints::govern::SharedGovernor;
+    use olap_dimension_constraints::plan::SharedFacts;
+    let mut rng = StdRng::seed_from_u64(0x0DE7E12);
+    for round in 0..4 {
+        let ds = random_schema(
+            &SchemaGenParams {
+                layers: 3,
+                width: 3,
+                extra_edge_prob: 0.3,
+                into_fraction: 0.8,
+                constants_per_category: 2,
+                exceptions: rng.gen_range(0..3),
+                ordered_exceptions: 0,
+            },
+            &mut rng,
+        );
+        let solver = Dimsat::new(&ds);
+        let full = solver.unsatisfiable_categories();
+        assert!(full.is_complete());
+
+        // Complete planned runs must agree with the unplanned serial
+        // sweep despite executing in a different order.
+        let n = ds.hierarchy().num_categories();
+        let mut gov = Governor::unlimited();
+        let planned =
+            solver.unsatisfiable_categories_planned_governed(&mut gov, &SharedFacts::new(n));
+        assert!(planned.is_complete(), "round {round}");
+        assert_eq!(planned.unsat, full.unsat, "round {round}");
+        assert_eq!(planned.sat, full.sat, "round {round}");
+        for jobs in [2usize, 4] {
+            let shared = SharedGovernor::new(Budget::unlimited(), CancelToken::new());
+            let planned =
+                solver.unsatisfiable_categories_planned_sharded(&shared, jobs, &SharedFacts::new(n));
+            assert!(planned.is_complete(), "round {round} jobs {jobs}");
+            assert_eq!(planned.unsat, full.unsat, "round {round} jobs {jobs}");
+            assert_eq!(planned.sat, full.sat, "round {round} jobs {jobs}");
+        }
+
+        // Interrupted runs, at every budget and worker count: undecided
+        // stays in declaration order, and a resume finishes to the
+        // serial verdicts.
+        for limit in [1u64, 5, 20, 80, 300] {
+            let budget = Budget::unlimited().with_node_limit(limit);
+            let mut variants: Vec<(String, olap_dimension_constraints::dimsat::CategorySweep)> =
+                vec![(
+                    "serial".into(),
+                    Dimsat::new(&ds).with_budget(budget).unsatisfiable_categories(),
+                )];
+            let mut gov = Governor::from_budget(budget);
+            variants.push((
+                "planned".into(),
+                solver.unsatisfiable_categories_planned_governed(&mut gov, &SharedFacts::new(n)),
+            ));
+            for jobs in [2usize, 4] {
+                let shared = SharedGovernor::new(budget, CancelToken::new());
+                variants.push((
+                    format!("sharded x{jobs}"),
+                    solver.unsatisfiable_categories_sharded(&shared, jobs),
+                ));
+                let shared = SharedGovernor::new(budget, CancelToken::new());
+                variants.push((
+                    format!("planned x{jobs}"),
+                    solver.unsatisfiable_categories_planned_sharded(
+                        &shared,
+                        jobs,
+                        &SharedFacts::new(n),
+                    ),
+                ));
+            }
+            for (name, sweep) in &variants {
+                let ctx = format!("round {round} limit {limit} {name}");
+                assert_declaration_order(sweep, &ctx);
+                // Partial verdicts are sound.
+                for c in &sweep.unsat {
+                    assert!(full.unsat.contains(c), "{ctx}");
+                }
+                for c in &sweep.sat {
+                    assert!(full.sat.contains(c), "{ctx}");
+                }
+                if sweep.interrupted.is_none() {
+                    assert_eq!(&sweep.unsat, &full.unsat, "{ctx}");
+                    continue;
+                }
+                // Resume after the interrupt: same final verdicts.
+                let Some(cp) = solver.sweep_checkpoint(sweep) else {
+                    continue;
+                };
+                let cp = solver.load_sweep_checkpoint(&cp.to_text()).expect("roundtrip");
+                let resumed = solver.resume_sweep(&cp).expect("same schema resumes");
+                assert!(resumed.is_complete(), "{ctx}");
+                assert_declaration_order(&resumed, &ctx);
+                assert_eq!(resumed.unsat, full.unsat, "{ctx}");
+                assert_eq!(resumed.sat, full.sat, "{ctx}");
+            }
+        }
+    }
+}
+
 /// A fault plan armed on a `SharedGovernor` reaches every sweep worker;
 /// the interrupted sharded sweep leaves a checkpoint, and resuming it
 /// reproduces the serial sweep's verdicts — the parallel leg of the
