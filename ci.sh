@@ -241,4 +241,124 @@ assert solve_reqs <= ids, f"solve request ids {solve_reqs} not among requests"
 print(f"server stream OK: {len(conns)} conn, {len(reqs)} request, {len(tagged)} request-scoped solves")
 PYEOF
 
+echo "== event-loop smoke (idle herd, bounded threads, warm-restart drain) =="
+EVDIR="$(mktemp -d /tmp/odc-ci-event.XXXXXX)"
+trap 'rm -f "$STATS_JSON"; rm -rf "$WORK" "$REPODIR" "$SRVDIR" "$EVDIR"; kill "${SRVPID:-}" "${EVPID:-}" 2>/dev/null || true' EXIT
+"$ODCBIN" serve --addr 127.0.0.1:0 --workers 2 --io event \
+  --checkpoint-dir "$EVDIR/ckpt" --cache-dir "$EVDIR/cache" \
+  --stats-json "$EVDIR/serve.jsonl" \
+  --preload loc=examples/location.odcs --preload lad="$SRVDIR/ladder.odcs" \
+  > "$EVDIR/serve.out" &
+EVPID=$!
+EVADDR=""
+for _ in $(seq 1 100); do
+  EVADDR="$(sed -n 's/^serving on \([0-9.:]*\).*/\1/p' "$EVDIR/serve.out")"
+  [ -n "$EVADDR" ] && break
+  sleep 0.1
+done
+[ -n "$EVADDR" ] || { echo "event server never announced its address"; exit 1; }
+
+# A herd of 200 parked sockets plus live traffic through the same
+# loop: the readiness loop must not spawn a thread per socket, and
+# verdicts answered around the herd must match the one-shot CLI.
+THREADS_BEFORE="$(awk '/^Threads:/ {print $2}' "/proc/$EVPID/status")"
+python3 - "$EVADDR" "$EVDIR/herd.up" "$EVDIR/herd.stop" <<'PYEOF' &
+import os, socket, sys, time
+host, port = sys.argv[1].rsplit(":", 1)
+herd = [socket.create_connection((host, int(port)), timeout=10) for _ in range(200)]
+open(sys.argv[2], "w").write(str(len(herd)))
+deadline = time.time() + 30
+while not os.path.exists(sys.argv[3]) and time.time() < deadline:
+    time.sleep(0.05)
+for s in herd:
+    s.close()
+PYEOF
+HERDPID=$!
+for _ in $(seq 1 200); do
+  [ -f "$EVDIR/herd.up" ] && break
+  sleep 0.1
+done
+[ -f "$EVDIR/herd.up" ] || { echo "idle herd never connected"; exit 1; }
+"$ODCBIN" client "$EVADDR" implies loc "$Q" > "$EVDIR/ev.txt"
+diff "$EVDIR/ev.txt" "$SRVDIR/cli.txt" \
+  || { echo "event loop diverged from one-shot CLI"; exit 1; }
+"$ODCBIN" client "$EVADDR" check loc Store > /dev/null
+THREADS_WITH="$(awk '/^Threads:/ {print $2}' "/proc/$EVPID/status")"
+[ "$THREADS_WITH" -le "$THREADS_BEFORE" ] \
+  || { echo "idle herd grew threads: $THREADS_BEFORE -> $THREADS_WITH"; exit 1; }
+touch "$EVDIR/herd.stop"
+wait "$HERDPID" || { echo "idle herd failed"; exit 1; }
+echo "200 idle conns parked: threads $THREADS_BEFORE -> $THREADS_WITH, verdicts identical"
+
+# SIGTERM mid-solve: the drain must answer the in-flight client with a
+# resumable checkpoint AND persist both schemas' warm caches.
+rc=0
+"$ODCBIN" client "$EVADDR" frozen lad Root > "$EVDIR/drained.txt" 2>&1 &
+EVCLI=$!
+sleep 1
+kill -TERM "$EVPID"
+wait "$EVCLI" || rc=$?
+wait "$EVPID"
+[ "$rc" -eq 2 ] || { echo "event drain client: expected exit 2, got $rc"; exit 1; }
+grep -q "checkpoint written to" "$EVDIR/drained.txt" \
+  || { echo "event drain response lacks a checkpoint"; cat "$EVDIR/drained.txt"; exit 1; }
+EVCKPT="$(ls "$EVDIR"/ckpt/*.ckpt | head -1)"
+head -1 "$EVCKPT" | grep -q '^odc-checkpoint v1' \
+  || { echo "bad event checkpoint envelope: $(head -1 "$EVCKPT")"; exit 1; }
+grep -qF "2 warm cache(s) persisted" "$EVDIR/serve.out" \
+  || { echo "drain did not persist both warm caches"; cat "$EVDIR/serve.out"; exit 1; }
+ls "$EVDIR"/cache/*.cache > /dev/null 2>&1 \
+  || { echo "no warm-cache files after drain"; exit 1; }
+
+python3 - "$EVDIR/serve.jsonl" <<'PYEOF'
+import json, sys
+events = [json.loads(l) for l in open(sys.argv[1])]  # every line must parse
+conns = [e for e in events if e["event"] == "conn"]
+accepted = [e for e in conns if e["phase"] == "accepted"]
+closed = [e for e in conns if e["phase"] == "closed"]
+assert len(accepted) >= 201, f"herd not visible: only {len(accepted)} accepts"
+assert {e["conn_id"] for e in closed} <= {e["conn_id"] for e in accepted}
+reqs = [e for e in events if e["event"] == "request"]
+starts = {e["request_id"] for e in reqs if e["phase"] == "start"}
+ends = [e for e in reqs if e["phase"] == "end"]
+assert starts and ends, "no request lifecycle events"
+assert {e["request_id"] for e in ends} <= starts, "end without start"
+assert any(e["status"] == "unknown" for e in ends), "no drained/undecided request"
+print(f"event stream OK: {len(accepted)} accepts ({len(closed)} closes), "
+      f"{len(ends)} requests answered")
+PYEOF
+
+# Warm restart from the persisted caches alone: no --preload, yet the
+# restarted server must know `loc`, answer the same bytes as the CLI,
+# and answer it out of the restored (cross-session) cache.
+"$ODCBIN" serve --addr 127.0.0.1:0 --workers 2 --io event \
+  --cache-dir "$EVDIR/cache" > "$EVDIR/serve2.out" &
+EVPID=$!
+EVADDR2=""
+for _ in $(seq 1 100); do
+  EVADDR2="$(sed -n 's/^serving on \([0-9.:]*\).*/\1/p' "$EVDIR/serve2.out")"
+  [ -n "$EVADDR2" ] && break
+  sleep 0.1
+done
+[ -n "$EVADDR2" ] || { echo "restarted server never announced its address"; exit 1; }
+"$ODCBIN" client "$EVADDR2" implies loc "$Q" > "$EVDIR/warm-restart.txt"
+diff "$EVDIR/warm-restart.txt" "$SRVDIR/cli.txt" \
+  || { echo "warm-restarted server diverged from one-shot CLI"; exit 1; }
+"$ODCBIN" client "$EVADDR2" stats > "$EVDIR/stats2.txt"
+python3 - "$EVDIR/stats2.txt" <<'PYEOF'
+import sys
+hits = 0
+for line in open(sys.argv[1]):
+    f = line.split()
+    if f[:1] == ["schema"] and "cross_hits" in f:
+        hits += int(f[f.index("cross_hits") + 1])
+assert hits > 0, "restarted server answered without touching the restored cache"
+print(f"warm restart OK: first answer served from the persisted cache ({hits} cross hit(s))")
+PYEOF
+kill -TERM "$EVPID"
+wait "$EVPID"
+
+echo "== load-harness smoke (exp_serve) =="
+cargo run --offline --release --quiet -p odc-bench --bin exp_serve -- --smoke
+
 echo "CI OK"

@@ -211,6 +211,51 @@ impl ImplicationCache {
         self.collisions.load(Ordering::Relaxed)
     }
 
+    /// The decided `Implied` entries as `(root, formula)` pairs — the
+    /// warm-cache snapshot a resident server persists on drain.
+    ///
+    /// Only positive implications are exported: they are the exhaustive
+    /// searches worth keeping, they carry no countermodel witness, and
+    /// their verdict text is a pure function of the pair, so a reloaded
+    /// entry answers byte-identically to a fresh solve. `NotImplied`
+    /// entries re-derive cheaply (the SAT witness search stops at the
+    /// first countermodel) and are deliberately left out.
+    pub fn implied_entries(&self) -> Vec<(Category, Constraint)> {
+        let mut out = Vec::new();
+        if let Ok(m) = self.entries.lock() {
+            for ((root, _), bucket) in m.iter() {
+                for e in bucket {
+                    if matches!(e.verdict, CachedVerdict::Implied) {
+                        out.push((*root, e.formula.clone()));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Seeds an `Implied` verdict, as if a previous process had solved
+    /// it — the reload half of warm-cache persistence. Seeded entries
+    /// carry scope 0 (no live session ever holds scope 0), so the first
+    /// request they answer counts as a cross-session hit, exactly like
+    /// an entry stored by earlier traffic. Duplicate seeds are ignored.
+    pub fn seed_implied(&self, root: Category, formula: Constraint) {
+        let mut key_hasher = DefaultHasher::new();
+        formula.hash(&mut key_hasher);
+        let key = (root, key_hasher.finish());
+        if let Ok(mut m) = self.entries.lock() {
+            let bucket = m.entry(key).or_default();
+            if bucket.iter().any(|e| e.formula == formula) {
+                return;
+            }
+            bucket.push(CacheEntry {
+                formula,
+                verdict: CachedVerdict::Implied,
+                scope: 0,
+            });
+        }
+    }
+
     /// Number of stored verdicts (colliding formulas count separately).
     pub fn len(&self) -> usize {
         self.entries
@@ -635,6 +680,39 @@ mod tests {
             outcomes,
             vec![CacheOutcome::Miss, CacheOutcome::Hit, CacheOutcome::CrossHit]
         );
+    }
+
+    #[test]
+    fn implied_entries_export_and_seed_round_trip() {
+        let ds = location_sch();
+        let g = ds.hierarchy();
+        let cache = ImplicationCache::for_schema(&ds);
+        let implied = parse_constraint(g, "Store.Country -> Store.City.Country").unwrap();
+        let refuted = parse_constraint(g, "Store.Country = Canada").unwrap();
+        let mut gov = Governor::unlimited();
+        implies_memo(&ds, &implied, DimsatOptions::default(), &mut gov, &cache);
+        implies_memo(&ds, &refuted, DimsatOptions::default(), &mut gov, &cache);
+        // Only the positive implication is exported.
+        let exported = cache.implied_entries();
+        assert_eq!(exported.len(), 1);
+        assert_eq!(exported[0].0, implied.root());
+        assert_eq!(&exported[0].1, implied.formula());
+
+        // Seeding a fresh cache makes the first query a cross-session
+        // hit that runs no search.
+        let warm = ImplicationCache::for_schema(&ds);
+        for (root, formula) in exported {
+            warm.seed_implied(root, formula);
+        }
+        assert_eq!(warm.len(), 1);
+        let out = implies_memo(&ds, &implied, DimsatOptions::default(), &mut gov, &warm);
+        assert!(out.implied());
+        assert_eq!(out.stats.cache_hits, 1);
+        assert_eq!(out.stats.expand_calls, 0, "seeded hit runs no search");
+        assert_eq!((warm.hits(), warm.cross_hits()), (1, 1));
+        // Re-seeding the same pair is a no-op, not a duplicate.
+        warm.seed_implied(implied.root(), implied.formula().clone());
+        assert_eq!(warm.len(), 1);
     }
 
     #[test]

@@ -17,13 +17,20 @@
 //!   across worker threads.
 //! * [`protocol`] — the line-delimited request grammar (mirroring the
 //!   `odc` CLI) and dot-framed response blocks.
-//! * [`server`] — accept loop, bounded admission queue (`overloaded`
-//!   instead of unbounded buffering), fixed worker pool, per-request
-//!   [`odc_core::Governor`] budgets capped by a server-wide policy,
-//!   disconnect-cancellation, and graceful drain that checkpoints
-//!   interrupted solves as `odc-checkpoint v1` envelopes.
+//! * [`server`] — configuration, shared state, graceful drain, and the
+//!   two IO modes: the event-driven readiness loop (default on unix)
+//!   and the threaded fallback. Per-request [`odc_core::Governor`]
+//!   budgets capped by a server-wide policy, disconnect-cancellation,
+//!   drain that checkpoints interrupted solves as `odc-checkpoint v1`
+//!   envelopes and persists warm caches.
 //! * [`client`] — the blocking client `odc client`, the load generator,
 //!   and the tests speak through.
+//!
+//! Internal layers behind [`server`]: `poller` (zero-dep epoll /
+//! `poll(2)` readiness), `event` (the nonblocking connection state
+//! machine plus schema-affinity solver shards), `exec` (command
+//! execution shared by both IO modes, so responses are byte-identical),
+//! and `persist` (warm-cache serialization for restart-warm starts).
 //!
 //! [`ImplicationCache`]: odc_core::dimsat::ImplicationCache
 
@@ -31,10 +38,16 @@
 
 pub mod catalog;
 pub mod client;
+#[cfg(unix)]
+mod event;
+mod exec;
+pub mod persist;
+#[cfg(unix)]
+mod poller;
 pub mod protocol;
 pub mod server;
 
 pub use catalog::{CatalogEntry, SchemaCatalog};
 pub use client::{retry_backoff, Client};
 pub use protocol::{BudgetAsk, Command, Response};
-pub use server::{ServeConfig, ServeStats, Server, ShutdownHandle};
+pub use server::{IoMode, ServeConfig, ServeStats, Server, ShutdownHandle};

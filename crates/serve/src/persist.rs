@@ -1,0 +1,286 @@
+//! Warm-cache persistence: the catalog's expensive state, on disk.
+//!
+//! A drained server knows things that were costly to learn: which
+//! constraints each resident schema implies (exhaustive DIMSAT proofs
+//! — the entries [`ImplicationCache`] records as `Implied`) and which
+//! categories are satisfiable/unsatisfiable (the [`SharedFacts`]
+//! scratchpad the audit planner reuses). Without persistence a restart
+//! re-proves all of it, so the first requests after a deploy eat the
+//! cold-start cost. With `--cache-dir`, drain writes each schema and
+//! its cache side by side, and `bind` reads them back: a restarted
+//! server answers its first request warm, with no `--repo` and no
+//! traffic replay.
+//!
+//! ## Format
+//!
+//! Two files per schema, atomically written (temp + rename + fsync,
+//! via [`odc_core::repo::atomic_write`]) under the cache directory:
+//!
+//! * `<base>.schema` — the schema source ([`odc_core::schema_to_text`]).
+//! * `<base>.cache` — a text envelope:
+//!
+//! ```text
+//! odc-servecache v1
+//! name <catalog name>
+//! fingerprint <schema fingerprint>
+//! fact sat <category>
+//! fact unsat <category>
+//! implied <constraint text>
+//! end
+//! ```
+//!
+//! Only `Implied` verdicts are persisted. `NotImplied` entries carry a
+//! [`FrozenDimension`] countermodel, which has a printer but no parser
+//! — and they are also the cheap entries (one witness search ends
+//! them), so the cache keeps the proofs worth keeping. Every exported
+//! constraint is round-tripped through the printer and parser *before*
+//! it is written; anything that fails to round-trip byte-faithfully is
+//! skipped rather than persisted wrong. On load the envelope's
+//! fingerprint must match the re-parsed schema's — a stale cache next
+//! to an edited schema seeds nothing.
+//!
+//! [`ImplicationCache`]: odc_core::dimsat::ImplicationCache
+//! [`SharedFacts`]: odc_core::plan::SharedFacts
+//! [`FrozenDimension`]: odc_core::frozen::FrozenDimension
+
+use crate::catalog::SchemaCatalog;
+use odc_core::constraint::{parse_constraint, printer::display};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::io;
+use std::path::Path;
+
+const MAGIC: &str = "odc-servecache v1";
+
+/// A filesystem-safe, collision-free base name for a catalog entry.
+/// The readable prefix is cosmetic; the hash suffix is the identity
+/// (load reads the authoritative name from the envelope, never the
+/// filename).
+fn file_base(name: &str) -> String {
+    let mut h = DefaultHasher::new();
+    name.hash(&mut h);
+    let safe: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .take(48)
+        .collect();
+    format!("{safe}-{:016x}", h.finish())
+}
+
+/// Serializes every resident schema and its warm cache into `dir`.
+/// Returns `(schemas written, implied entries persisted)`.
+pub fn save(catalog: &SchemaCatalog, dir: &Path) -> io::Result<(usize, usize)> {
+    std::fs::create_dir_all(dir)?;
+    let mut schemas = 0usize;
+    let mut entries = 0usize;
+    for entry in catalog.snapshot() {
+        let g = entry.schema().hierarchy();
+        let base = file_base(entry.name());
+        let mut env = String::new();
+        env.push_str(MAGIC);
+        env.push('\n');
+        env.push_str(&format!("name {}\n", entry.name()));
+        env.push_str(&format!("fingerprint {}\n", entry.fingerprint()));
+        for c in g.categories() {
+            if entry.facts().known_sat(c) {
+                env.push_str(&format!("fact sat {}\n", g.name(c)));
+            } else if entry.facts().known_unsat(c) {
+                env.push_str(&format!("fact unsat {}\n", g.name(c)));
+            }
+        }
+        for (root, formula) in entry.cache().implied_entries() {
+            let text = display(g, &formula).to_string();
+            // Self-validating export: persist only what parses back to
+            // the exact same constraint rooted at the same category. A
+            // printer/parser asymmetry then costs a cache entry, never
+            // a wrong warm answer.
+            if text.contains('\n') {
+                continue;
+            }
+            match parse_constraint(g, &text) {
+                Ok(dc) if dc.root() == root && *dc.formula() == formula => {
+                    env.push_str(&format!("implied {text}\n"));
+                    entries += 1;
+                }
+                _ => {}
+            }
+        }
+        env.push_str("end\n");
+        let schema_text = odc_core::schema_to_text(entry.schema());
+        odc_core::repo::atomic_write(
+            &dir.join(format!("{base}.schema")),
+            schema_text.as_bytes(),
+            None,
+        )?;
+        odc_core::repo::atomic_write(&dir.join(format!("{base}.cache")), env.as_bytes(), None)?;
+        schemas += 1;
+    }
+    Ok((schemas, entries))
+}
+
+/// Loads every persisted schema in `dir` into the catalog and seeds
+/// its warm cache and fact scratchpad. Returns
+/// `(schemas loaded, cache lines seeded)`. Unreadable or stale files
+/// are skipped — persistence must never stop a server from starting.
+pub fn load(catalog: &SchemaCatalog, dir: &Path) -> (usize, usize) {
+    let mut schemas = 0usize;
+    let mut seeded = 0usize;
+    let Ok(rd) = std::fs::read_dir(dir) else {
+        return (0, 0);
+    };
+    for dirent in rd.flatten() {
+        let path = dirent.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("cache") {
+            continue;
+        }
+        let Ok(env) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let Ok(schema_text) = std::fs::read_to_string(path.with_extension("schema")) else {
+            continue;
+        };
+        let mut lines = env.lines();
+        if lines.next() != Some(MAGIC) {
+            continue;
+        }
+        let Some(name) = lines.next().and_then(|l| l.strip_prefix("name ")) else {
+            continue;
+        };
+        let Some(fp) = lines
+            .next()
+            .and_then(|l| l.strip_prefix("fingerprint "))
+            .and_then(|v| v.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        let Ok(entry) = catalog.load_text(name, &schema_text) else {
+            continue;
+        };
+        schemas += 1;
+        if entry.fingerprint() != fp {
+            // The schema text on disk no longer hashes to what the
+            // cache was proven against: keep the schema, drop the cache.
+            continue;
+        }
+        let g = entry.schema().hierarchy();
+        for line in lines {
+            if line == "end" {
+                break;
+            }
+            if let Some(rest) = line.strip_prefix("fact sat ") {
+                if let Some(c) = g.category_by_name(rest) {
+                    entry.facts().note_sat(c);
+                    seeded += 1;
+                }
+            } else if let Some(rest) = line.strip_prefix("fact unsat ") {
+                if let Some(c) = g.category_by_name(rest) {
+                    entry.facts().note_unsat(c);
+                    seeded += 1;
+                }
+            } else if let Some(text) = line.strip_prefix("implied ") {
+                if let Ok(dc) = parse_constraint(g, text) {
+                    let root = dc.root();
+                    entry.cache().seed_implied(root, dc.formula().clone());
+                    seeded += 1;
+                }
+            }
+        }
+    }
+    (schemas, seeded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odc_core::dimsat::{implies_memo_session, DimsatOptions};
+    use odc_core::Governor;
+
+    const LOCATION: &str = "
+        hierarchy:
+          Store > City
+          City > Country
+          Country > All
+        constraints:
+          Store_City
+    ";
+
+    #[test]
+    fn save_load_round_trips_warm_state() {
+        let dir = std::env::temp_dir().join(format!("odc-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let cat = SchemaCatalog::new();
+        let entry = cat.load_text("loc", LOCATION).unwrap();
+        let ds = entry.schema();
+        let g = ds.hierarchy();
+        // Prove one implication the expensive way and note one fact.
+        let alpha = parse_constraint(g, "Store.City").unwrap();
+        let out = implies_memo_session(
+            ds,
+            &alpha,
+            DimsatOptions::default(),
+            &mut Governor::unlimited(),
+            entry.cache().begin_session(),
+        );
+        assert!(matches!(
+            out.verdict,
+            odc_core::dimsat::ImplicationVerdict::Implied
+        ));
+        entry.facts().note_sat(g.category_by_name("Store").unwrap());
+
+        let (schemas, persisted) = save(&cat, &dir).unwrap();
+        assert_eq!(schemas, 1);
+        assert!(persisted >= 1, "implied entry not persisted");
+
+        // A fresh catalog (fresh process, morally) loads it all back.
+        let warm = SchemaCatalog::new();
+        let (loaded, seeded) = load(&warm, &dir);
+        assert_eq!(loaded, 1);
+        assert!(seeded >= 2, "facts + implied expected, got {seeded}");
+        let entry2 = warm.get("loc").unwrap();
+        assert_eq!(entry2.fingerprint(), entry.fingerprint());
+        assert!(entry2
+            .facts()
+            .known_sat(entry2.schema().hierarchy().category_by_name("Store").unwrap()));
+        // The seeded entry answers without re-proving: a cache hit, no
+        // fresh expansion.
+        let before = entry2.cache().hits();
+        let out2 = implies_memo_session(
+            entry2.schema(),
+            &parse_constraint(entry2.schema().hierarchy(), "Store.City").unwrap(),
+            DimsatOptions::default(),
+            &mut Governor::unlimited(),
+            entry2.cache().begin_session(),
+        );
+        assert!(matches!(
+            out2.verdict,
+            odc_core::dimsat::ImplicationVerdict::Implied
+        ));
+        assert_eq!(entry2.cache().hits(), before + 1, "expected a warm hit");
+
+        // A stale cache (edited schema) loads the schema, seeds nothing.
+        let cache_file = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|d| d.path())
+            .find(|p| p.extension().and_then(|e| e.to_str()) == Some("cache"))
+            .unwrap();
+        let schema_file = cache_file.with_extension("schema");
+        let edited = std::fs::read_to_string(&schema_file)
+            .unwrap()
+            .replace("Store_City", "City_Country");
+        std::fs::write(&schema_file, edited).unwrap();
+        let stale = SchemaCatalog::new();
+        let (loaded, seeded) = load(&stale, &dir);
+        assert_eq!(loaded, 1);
+        assert_eq!(seeded, 0, "stale fingerprint must seed nothing");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

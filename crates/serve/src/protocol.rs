@@ -319,6 +319,14 @@ pub fn quote_token(t: &str) -> String {
 }
 
 /// Parses `750ms`, `2s`, or a bare number of seconds — the CLI grammar.
+///
+/// This is wire-facing: the value comes straight off a client request
+/// line, so *every* hostile shape must come back as a protocol error,
+/// never a panic. `Duration::from_secs_f64` panics on negative, NaN,
+/// and out-of-range values — the bare-float branch used to feed it a
+/// merely finite, non-negative number, so `--time-limit 1e300` killed
+/// the worker thread serving the request. `try_from_secs_f64` makes
+/// the range check the library's problem.
 pub fn parse_duration(s: &str) -> Result<Duration, String> {
     let (num, scale) = if let Some(ms) = s.strip_suffix("ms") {
         (ms, 1e-3)
@@ -334,7 +342,7 @@ pub fn parse_duration(s: &str) -> Result<Duration, String> {
     if !v.is_finite() || v < 0.0 {
         return Err(format!("bad duration: {s}"));
     }
-    Ok(Duration::from_secs_f64(v * scale))
+    Duration::try_from_secs_f64(v * scale).map_err(|_| format!("bad duration: {s} (out of range)"))
 }
 
 /// One response block: a status line plus the payload text.
@@ -585,5 +593,35 @@ mod tests {
         assert_eq!(parse_duration("1.5").unwrap(), Duration::from_secs_f64(1.5));
         assert!(parse_duration("-1s").is_err());
         assert!(parse_duration("abc").is_err());
+    }
+
+    #[test]
+    fn hostile_durations_are_errors_not_panics() {
+        // Fuzz-ish sweep over the shapes a malicious client line can
+        // take. Pre-fix, the finite-but-huge values panicked inside
+        // `Duration::from_secs_f64` and killed the worker.
+        for bad in [
+            "1e300", "1e300s", "1e297ms", "1.8e19", "1e19", "nan", "NaN", "nans", "inf",
+            "infs", "-inf", "-1", "-1e-9", "-0.5ms", "1e400", "--", "", "s", "ms", "9e99s",
+            "18446744073709551616", "18446744073709551615",
+        ] {
+            match parse_duration(bad) {
+                Ok(d) => {
+                    // The only huge value that may legitimately parse is
+                    // one that still fits a Duration.
+                    assert!(d <= Duration::MAX, "{bad} produced {d:?}");
+                    assert!(
+                        Duration::try_from_secs_f64(d.as_secs_f64()).is_ok(),
+                        "{bad} round-trips out of range"
+                    );
+                }
+                Err(e) => assert!(e.contains("bad duration"), "{bad}: {e}"),
+            }
+        }
+        assert_eq!(parse_duration("0").unwrap(), Duration::ZERO);
+        assert_eq!(parse_duration("0ms").unwrap(), Duration::ZERO);
+        // A full hostile *request line* surfaces as a parse error too.
+        assert!(Command::parse("check loc Store --time-limit 1e300").is_err());
+        assert!(Command::parse("audit loc --time-limit nan").is_err());
     }
 }

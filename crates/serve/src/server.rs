@@ -1,16 +1,18 @@
-//! The resident server: accept loop, bounded admission queue, fixed
-//! worker pool, disconnect monitor, and graceful drain.
+//! The resident server: configuration, shared state, the two IO modes,
+//! and graceful drain.
 //!
-//! ## Threading model
+//! ## IO modes
 //!
-//! One accept thread (the caller of [`Server::run`]) hands connections
-//! to a bounded queue; `workers` pool threads pop connections and serve
-//! every request on them until `quit`/EOF. When the queue is full the
-//! accept loop answers `overloaded` and closes — admission control
-//! instead of unbounded queueing. A single monitor thread watches the
-//! sockets of in-flight solves (the worker cannot: it is inside the
-//! search) and flips the request's [`CancelToken`] when the peer hangs
-//! up, so no solve runs to completion against a dead socket.
+//! * [`IoMode::Event`] (default on unix) — a single readiness loop over
+//!   nonblocking sockets plus schema-affinity solver shards; see
+//!   [`crate::event`]. Idle connections cost a buffer, not a thread.
+//! * [`IoMode::Threaded`] — the original thread-per-active-connection
+//!   pool behind a bounded admission queue, with a monitor thread
+//!   watching in-flight solves for peer hangup. The fallback on
+//!   non-unix targets and the escape hatch everywhere else.
+//!
+//! Both modes execute commands through [`crate::exec`], so responses
+//! are byte-identical between them (and to the CLI).
 //!
 //! ## Budgets and drain
 //!
@@ -19,16 +21,18 @@
 //! drain token. `shutdown` (or `SIGTERM` when installed) cancels the
 //! drain token, which reaches every in-flight solve; each interrupted
 //! solve's checkpoint is written as an `odc-checkpoint v1` envelope to
-//! the checkpoint directory, so no work is silently lost.
+//! the checkpoint directory, so no work is silently lost. When a cache
+//! directory is configured, drain also persists every resident
+//! schema's warm cache ([`crate::persist`]) so the next start answers
+//! warm.
+//!
+//! [`Governor`]: odc_core::Governor
 
-use crate::catalog::{CatalogEntry, SchemaCatalog};
+use crate::catalog::SchemaCatalog;
+use crate::exec::{self, Effect};
 use crate::protocol::{Command, Response};
-use odc_core::constraint::{parse_constraint, printer::display_dc};
-use odc_core::dimsat::{implies_memo_session, Dimsat, DimsatOptions, ImplicationVerdict, Verdict};
-use odc_core::obs::{ConnEvent, Obs, Observer, RequestEvent, SolveEnd, SolveStart};
-use odc_core::summarizability::advisor;
-use odc_core::summarizability::{is_summarizable_in_schema_session, SummarizabilityVerdict};
-use odc_core::{Budget, CancelToken, Governor};
+use odc_core::obs::{ConnEvent, Obs, RequestEvent};
+use odc_core::{Budget, CancelToken};
 use std::collections::VecDeque;
 use std::io::{self, BufRead, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -37,18 +41,43 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-/// How often the accept loop polls for drain, and the monitor thread
-/// polls in-flight sockets.
+/// How often the threaded accept loop polls for drain, and the monitor
+/// thread polls in-flight sockets.
 const POLL: Duration = Duration::from_millis(10);
+
+/// Which accept/IO architecture serves the sockets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoMode {
+    /// Readiness loop + schema-affinity shards (unix; falls back to
+    /// [`IoMode::Threaded`] elsewhere at run time).
+    #[default]
+    Event,
+    /// Bounded queue + fixed worker pool, one thread per active
+    /// connection.
+    Threaded,
+}
+
+impl IoMode {
+    /// Parses the CLI's `--io` argument.
+    pub fn parse(s: &str) -> Result<IoMode, String> {
+        match s {
+            "event" => Ok(IoMode::Event),
+            "threaded" => Ok(IoMode::Threaded),
+            other => Err(format!("unknown io mode `{other}` (event|threaded)")),
+        }
+    }
+}
 
 /// Server configuration.
 pub struct ServeConfig {
     /// Bind address (`127.0.0.1:0` picks a free port).
     pub addr: String,
-    /// Worker pool size.
+    /// Worker pool size: solver shards in event mode, connection
+    /// workers in threaded mode.
     pub workers: usize,
-    /// Admission-queue capacity; a connection arriving when the queue
-    /// holds this many gets `overloaded` and is closed. `0` rejects
+    /// Admission bound. Event mode: the maximum resident connections —
+    /// one past it answers `overloaded` and is closed. Threaded mode:
+    /// the backlog-queue capacity, same response when full. `0` rejects
     /// everything (useful for testing admission control).
     pub queue_cap: usize,
     /// Server-wide per-request budget cap; each request runs under
@@ -58,6 +87,12 @@ pub struct ServeConfig {
     /// `request-<id>.ckpt` envelope per interrupted solve). `None`
     /// disables checkpoint persistence.
     pub checkpoint_dir: Option<PathBuf>,
+    /// Warm-cache directory. When set, `bind` reloads every schema
+    /// persisted there (with its implication cache and proved facts),
+    /// and drain writes the current warm state back — restart-warm
+    /// without `--repo` and without traffic replay. See
+    /// [`crate::persist`].
+    pub cache_dir: Option<PathBuf>,
     /// Directory of a crash-safe [`VerdictRepo`]. When set, schemas
     /// loaded into the catalog (and their audit verdicts) persist
     /// across server restarts: `bind` re-loads every stored schema and
@@ -71,6 +106,13 @@ pub struct ServeConfig {
     /// Also drain on `SIGTERM` (unix only; the CLI sets this, tests
     /// usually do not).
     pub handle_sigterm: bool,
+    /// Accept/IO architecture; see [`IoMode`].
+    pub io: IoMode,
+    /// Failure injection (tests only): threaded mode treats every
+    /// post-solve `set_nonblocking(false)` restore as failed, which
+    /// must close the connection — the regression hook for the
+    /// stuck-nonblocking-socket bug.
+    pub fail_socket_restore: bool,
 }
 
 impl Default for ServeConfig {
@@ -78,12 +120,15 @@ impl Default for ServeConfig {
         ServeConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 4,
-            queue_cap: 16,
+            queue_cap: 1024,
             policy: Budget::unlimited(),
             checkpoint_dir: None,
+            cache_dir: None,
             repo: None,
             obs: Obs::none(),
             handle_sigterm: false,
+            io: IoMode::default(),
+            fail_socket_restore: false,
         }
     }
 }
@@ -97,54 +142,69 @@ pub struct ServeStats {
     pub rejected: u64,
     /// Drain checkpoints written.
     pub checkpoints: u64,
+    /// Schemas whose warm caches were persisted on drain.
+    pub caches_persisted: u64,
 }
 
-/// One queued connection.
+/// One queued connection (threaded mode).
 struct Conn {
     stream: TcpStream,
     id: u64,
     peer: String,
 }
 
-/// A socket being watched while its request's solve is in flight.
+/// A socket being watched while its request's solve is in flight
+/// (threaded mode; the event loop gets hangups as readiness events).
 struct Watch {
     request: u64,
     stream: TcpStream,
     token: CancelToken,
 }
 
-/// State shared by the accept loop, workers, and monitor.
-struct Shared {
-    catalog: SchemaCatalog,
-    policy: Budget,
-    checkpoint_dir: Option<PathBuf>,
-    repo: Option<Arc<odc_core::repo::VerdictRepo>>,
-    obs: Obs,
+/// State shared by both IO modes: catalog, policy, counters, drain.
+/// The queue/watch fields only carry traffic in threaded mode.
+pub(crate) struct Shared {
+    pub(crate) catalog: SchemaCatalog,
+    pub(crate) policy: Budget,
+    pub(crate) checkpoint_dir: Option<PathBuf>,
+    pub(crate) cache_dir: Option<PathBuf>,
+    pub(crate) repo: Option<Arc<odc_core::repo::VerdictRepo>>,
+    pub(crate) obs: Obs,
+    pub(crate) queue_cap: usize,
+    pub(crate) draining: AtomicBool,
+    pub(crate) drain: CancelToken,
+    pub(crate) next_request: AtomicU64,
+    pub(crate) served: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+    pub(crate) checkpoints: AtomicU64,
+    pub(crate) fail_socket_restore: bool,
+    /// The event loop's wakeup channel (see [`crate::poller`]), set for
+    /// the duration of an event-mode run so cross-thread drain triggers
+    /// interrupt the poll immediately.
+    pub(crate) wake: Mutex<Option<TcpStream>>,
+    // Threaded-mode plumbing.
     queue: Mutex<VecDeque<Conn>>,
-    queue_cap: usize,
     ready: Condvar,
-    draining: AtomicBool,
-    drain: CancelToken,
-    next_request: AtomicU64,
-    served: AtomicU64,
-    rejected: AtomicU64,
-    checkpoints: AtomicU64,
     watch: Mutex<Vec<Watch>>,
     monitor_stop: AtomicBool,
 }
 
-fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 impl Shared {
-    fn begin_drain(&self) {
+    pub(crate) fn begin_drain(&self) {
         self.draining.store(true, Ordering::SeqCst);
         self.drain.cancel();
         self.ready.notify_all();
+        #[cfg(unix)]
+        if let Some(w) = &*lock(&self.wake) {
+            crate::poller::wake(w);
+        }
     }
 
-    fn is_draining(&self) -> bool {
+    pub(crate) fn is_draining(&self) -> bool {
         self.draining.load(Ordering::SeqCst)
     }
 }
@@ -175,6 +235,7 @@ pub struct Server {
     shared: Arc<Shared>,
     handle_sigterm: bool,
     workers: usize,
+    io: IoMode,
 }
 
 impl Server {
@@ -198,17 +259,20 @@ impl Server {
             catalog: SchemaCatalog::new(),
             policy: config.policy,
             checkpoint_dir: config.checkpoint_dir,
+            cache_dir: config.cache_dir,
             repo,
             obs: config.obs,
-            queue: Mutex::new(VecDeque::new()),
             queue_cap: config.queue_cap,
-            ready: Condvar::new(),
             draining: AtomicBool::new(false),
             drain: CancelToken::new(),
             next_request: AtomicU64::new(1),
             served: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             checkpoints: AtomicU64::new(0),
+            fail_socket_restore: config.fail_socket_restore,
+            wake: Mutex::new(None),
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
             watch: Mutex::new(Vec::new()),
             monitor_stop: AtomicBool::new(false),
         });
@@ -221,12 +285,20 @@ impl Server {
                 let _ = shared.catalog.load_text(&name, &source);
             }
         }
+        // Warm-cache persistence: schemas drained to the cache dir come
+        // back with their implication caches and proved facts seeded,
+        // so the first request after a restart is a cache hit, not a
+        // fresh proof.
+        if let Some(dir) = &shared.cache_dir {
+            let _ = crate::persist::load(&shared.catalog, dir);
+        }
         Ok(Server {
             listener,
             addr,
             shared,
             handle_sigterm: config.handle_sigterm,
             workers: config.workers.max(1),
+            io: config.io,
         })
     }
 
@@ -251,70 +323,103 @@ impl Server {
         if self.handle_sigterm {
             sigterm::install();
         }
-        self.listener.set_nonblocking(true)?;
         let shared = self.shared;
-        let monitor = {
-            let shared = Arc::clone(&shared);
-            std::thread::spawn(move || monitor_loop(&shared))
+        #[cfg(unix)]
+        let result = match self.io {
+            IoMode::Event => {
+                crate::event::run(self.listener, &shared, self.workers, self.handle_sigterm)
+            }
+            IoMode::Threaded => {
+                run_threaded(self.listener, &shared, self.workers, self.handle_sigterm)
+            }
         };
-        let workers: Vec<_> = (0..self.workers)
-            .map(|w| {
-                let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared, w as u64))
-            })
-            .collect();
+        #[cfg(not(unix))]
+        let result = run_threaded(self.listener, &shared, self.workers, self.handle_sigterm);
 
-        let mut next_conn = 1u64;
-        while !shared.is_draining() {
-            if self.handle_sigterm && sigterm::pending() {
-                shared.begin_drain();
-                break;
-            }
-            match self.listener.accept() {
-                Ok((stream, peer)) => {
-                    let id = next_conn;
-                    next_conn += 1;
-                    admit(&shared, stream, id, peer.to_string());
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(POLL);
-                }
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(e) => {
-                    shared.begin_drain();
-                    for w in workers {
-                        let _ = w.join();
-                    }
-                    shared.monitor_stop.store(true, Ordering::SeqCst);
-                    let _ = monitor.join();
-                    return Err(e);
-                }
+        // Teardown shared by both modes: persist warm caches, flush the
+        // repository index, report counters.
+        let mut caches_persisted = 0u64;
+        if let Some(dir) = &shared.cache_dir {
+            if let Ok((schemas, _entries)) = crate::persist::save(&shared.catalog, dir) {
+                caches_persisted = schemas as u64;
             }
         }
-        shared.begin_drain();
-        for w in workers {
-            let _ = w.join();
-        }
-        // Connections still queued never reached a worker: tell them the
-        // server is going away rather than dropping them silently.
-        let leftovers: Vec<Conn> = lock(&shared.queue).drain(..).collect();
-        for conn in leftovers {
-            let mut stream = conn.stream;
-            let _ = Response::error("server draining").write_to(&mut stream);
-            emit_conn(&shared.obs, conn.id, "closed", &conn.peer);
-        }
-        shared.monitor_stop.store(true, Ordering::SeqCst);
-        let _ = monitor.join();
         if let Some(r) = &shared.repo {
             // Persist the index before exit so the next open needs no
             // segment rescan (the segments themselves are already safe).
             let _ = r.flush();
         }
-        Ok(ServeStats {
+        let stats = ServeStats {
             served: shared.served.load(Ordering::SeqCst),
             rejected: shared.rejected.load(Ordering::SeqCst),
             checkpoints: shared.checkpoints.load(Ordering::SeqCst),
+            caches_persisted,
+        };
+        result.map(|()| stats)
+    }
+}
+
+/// The threaded IO mode: accept loop + bounded queue + worker pool +
+/// disconnect monitor.
+fn run_threaded(
+    listener: TcpListener,
+    shared: &Arc<Shared>,
+    workers: usize,
+    handle_sigterm: bool,
+) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let monitor = {
+        let shared = Arc::clone(shared);
+        std::thread::spawn(move || monitor_loop(&shared))
+    };
+    let workers: Vec<_> = (0..workers)
+        .map(|w| {
+            let shared = Arc::clone(shared);
+            std::thread::spawn(move || worker_loop(&shared, w as u64))
         })
+        .collect();
+
+    let mut next_conn = 1u64;
+    let mut fatal = None;
+    while !shared.is_draining() {
+        if handle_sigterm && sigterm::pending() {
+            shared.begin_drain();
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                let id = next_conn;
+                next_conn += 1;
+                admit(shared, stream, id, peer.to_string());
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                fatal = Some(e);
+                shared.begin_drain();
+                break;
+            }
+        }
+    }
+    shared.begin_drain();
+    for w in workers {
+        let _ = w.join();
+    }
+    // Connections still queued never reached a worker: tell them the
+    // server is going away rather than dropping them silently.
+    let leftovers: Vec<Conn> = lock(&shared.queue).drain(..).collect();
+    for conn in leftovers {
+        let mut stream = conn.stream;
+        let _ = Response::error("server draining").write_to(&mut stream);
+        emit_conn(&shared.obs, conn.id, "closed", &conn.peer);
+    }
+    shared.monitor_stop.store(true, Ordering::SeqCst);
+    let _ = monitor.join();
+    match fatal {
+        Some(e) => Err(e),
+        None => Ok(()),
     }
 }
 
@@ -337,7 +442,7 @@ fn admit(shared: &Arc<Shared>, mut stream: TcpStream, id: u64, peer: String) {
     shared.ready.notify_one();
 }
 
-fn emit_conn(obs: &Obs, conn_id: u64, phase: &'static str, peer: &str) {
+pub(crate) fn emit_conn(obs: &Obs, conn_id: u64, phase: &'static str, peer: &str) {
     if obs.enabled() {
         obs.conn(&ConnEvent {
             conn_id,
@@ -449,29 +554,90 @@ fn serve_conn(shared: &Arc<Shared>, conn: Conn, worker_id: u64) {
         let request_id = shared.next_request.fetch_add(1, Ordering::SeqCst);
         let started = Instant::now();
         emit_request(shared, request_id, id, "start", &cmd, None, None, None);
-        let (response, done) = dispatch(shared, &cmd, request_id, &mut reader, &writer, worker_id);
-        let status = response.status_word().to_string();
-        shared.served.fetch_add(1, Ordering::SeqCst);
-        emit_request(
-            shared,
-            request_id,
-            id,
-            "end",
-            &cmd,
-            Some(status),
-            Some(started.elapsed().as_micros() as u64),
-            Some(worker_id),
-        );
+        // `load` carries a dot-framed schema block right behind the
+        // request line; read it here so `exec` stays wire-agnostic.
+        let mut load_text = None;
+        if let Command::Load { .. } = &cmd {
+            match crate::protocol::read_block(&mut reader) {
+                Ok(t) => load_text = Some(t),
+                Err(e) => {
+                    let response = Response::error(&format!("reading schema text: {e}"));
+                    finish_request(shared, request_id, id, &cmd, &response, started, worker_id);
+                    let _ = response.write_to(&mut writer);
+                    break;
+                }
+            }
+        }
+        let token = shared.drain.child();
+        // Register the socket with the disconnect monitor for the
+        // duration of a solve; the socket is nonblocking while watched
+        // so `peek` probes never stall the monitor.
+        let watched = exec::is_solve(&cmd)
+            && match writer.try_clone() {
+                Ok(clone) => {
+                    if writer.set_nonblocking(true).is_ok() {
+                        lock(&shared.watch).push(Watch {
+                            request: request_id,
+                            stream: clone,
+                            token: token.clone(),
+                        });
+                        true
+                    } else {
+                        false
+                    }
+                }
+                Err(_) => false,
+            };
+        let (response, effect) =
+            exec::execute(shared, &cmd, load_text.as_deref(), request_id, worker_id, &token);
+        let mut restore_failed = false;
+        if watched {
+            lock(&shared.watch).retain(|w| w.request != request_id);
+            // A socket stuck in nonblocking mode would make every
+            // subsequent blocking read on this connection spin hot on
+            // `WouldBlock`. If the restore fails, the response below is
+            // written best-effort and the connection is closed — a dead
+            // connection, not a busy-looping worker.
+            restore_failed = if shared.fail_socket_restore {
+                true
+            } else {
+                writer.set_nonblocking(false).is_err()
+            };
+        }
+        finish_request(shared, request_id, id, &cmd, &response, started, worker_id);
         let write_ok = response.write_to(&mut writer).is_ok();
-        if done || !write_ok || shared.is_draining() {
+        if effect == Effect::Close || restore_failed || !write_ok || shared.is_draining() {
             break;
         }
     }
     emit_conn(&shared.obs, id, "closed", &peer);
 }
 
+/// Counts one finished request and emits its `end` lifecycle event.
+fn finish_request(
+    shared: &Shared,
+    request_id: u64,
+    conn_id: u64,
+    cmd: &Command,
+    response: &Response,
+    started: Instant,
+    worker_id: u64,
+) {
+    shared.served.fetch_add(1, Ordering::SeqCst);
+    emit_request(
+        shared,
+        request_id,
+        conn_id,
+        "end",
+        cmd,
+        Some(response.status_word().to_string()),
+        Some(started.elapsed().as_micros() as u64),
+        Some(worker_id),
+    );
+}
+
 #[allow(clippy::too_many_arguments)]
-fn emit_request(
+pub(crate) fn emit_request(
     shared: &Shared,
     request_id: u64,
     conn_id: u64,
@@ -495,438 +661,11 @@ fn emit_request(
     }
 }
 
-/// Runs one command; the bool says "close the connection afterwards".
-fn dispatch(
-    shared: &Arc<Shared>,
-    cmd: &Command,
-    request_id: u64,
-    reader: &mut BufReader<TcpStream>,
-    stream: &TcpStream,
-    worker_id: u64,
-) -> (Response, bool) {
-    match cmd {
-        Command::Ping => (Response::ok("pong\n".to_string()), false),
-        Command::Quit => (
-            Response {
-                status: "bye".to_string(),
-                payload: String::new(),
-            },
-            true,
-        ),
-        Command::Shutdown => {
-            shared.begin_drain();
-            (Response::ok("draining\n".to_string()), true)
-        }
-        Command::Load { name } => {
-            let text = match crate::protocol::read_block(reader) {
-                Ok(t) => t,
-                Err(e) => return (Response::error(&format!("reading schema text: {e}")), true),
-            };
-            match shared.catalog.load_text(name, &text) {
-                Ok(entry) => {
-                    if let Some(r) = &shared.repo {
-                        // Persist the schema (and migrate any verdicts
-                        // whose footprints its edit did not touch); a
-                        // full repository degrades to memory-only.
-                        let _ = r.sync_schema(entry.schema(), name, &text);
-                    }
-                    (
-                        Response::ok(format!(
-                            "loaded {name} fingerprint {} categories {} constraints {}\n",
-                            entry.fingerprint(),
-                            entry.schema().hierarchy().num_categories(),
-                            entry.schema().constraints().len(),
-                        )),
-                        false,
-                    )
-                }
-                Err(e) => (Response::error(&format!("{name}: {e}")), false),
-            }
-        }
-        Command::Unload { name } => {
-            if shared.catalog.remove(name) {
-                (Response::ok(format!("unloaded {name}\n")), false)
-            } else {
-                (Response::error(&format!("no such schema `{name}`")), false)
-            }
-        }
-        Command::Schemas => {
-            let entries = shared.catalog.snapshot();
-            let mut out = format!("{} schema(s)\n", entries.len());
-            for e in entries {
-                out.push_str(&format!(
-                    "{} fingerprint {} categories {} constraints {}\n",
-                    e.name(),
-                    e.fingerprint(),
-                    e.schema().hierarchy().num_categories(),
-                    e.schema().constraints().len(),
-                ));
-            }
-            (Response::ok(out), false)
-        }
-        Command::Stats => {
-            let mut out = format!(
-                "served {} rejected {} draining {}\n",
-                shared.served.load(Ordering::SeqCst),
-                shared.rejected.load(Ordering::SeqCst),
-                shared.is_draining(),
-            );
-            for e in shared.catalog.snapshot() {
-                let c = e.cache();
-                out.push_str(&format!(
-                    "schema {} entries {} hits {} cross_hits {} misses {} collisions {}\n",
-                    e.name(),
-                    c.len(),
-                    c.hits(),
-                    c.cross_hits(),
-                    c.misses(),
-                    c.collisions(),
-                ));
-            }
-            if let Some(r) = &shared.repo {
-                let s = r.stats();
-                out.push_str(&format!(
-                    "repo records {} hits {} misses {} puts {} recovered {}\n",
-                    r.record_count(),
-                    s.hits,
-                    s.misses,
-                    s.puts,
-                    s.recovered_records,
-                ));
-            }
-            (Response::ok(out), false)
-        }
-        Command::Check { schema, category, ask } => solve(
-            shared, schema, *ask, request_id, stream, worker_id,
-            |entry, gov| {
-                let c = find_category(entry, category)?;
-                let outcome = Dimsat::new(entry.schema())
-                    .category_satisfiable_governed(c, gov);
-                let (answer, unknown) = match &outcome.verdict {
-                    Verdict::Sat(_) => ("true".to_string(), None),
-                    Verdict::Unsat => ("false".to_string(), None),
-                    Verdict::Unknown(i) => (format!("unknown ({i})"), Some(i.to_string())),
-                };
-                Ok(Solved {
-                    payload: format!("satisfiable: {answer}\n"),
-                    unknown,
-                    checkpoint: outcome.checkpoint.map(|c| c.to_text()),
-                })
-            },
-        ),
-        Command::Implies { schema, constraint, ask } => solve(
-            shared, schema, *ask, request_id, stream, worker_id,
-            |entry, gov| {
-                let ds = entry.schema();
-                let alpha = parse_constraint(ds.hierarchy(), constraint)
-                    .map_err(|e| format!("constraint: {e}"))?;
-                let out = implies_memo_session(
-                    ds,
-                    &alpha,
-                    DimsatOptions::default(),
-                    gov,
-                    entry.cache().begin_session(),
-                );
-                let (answer, unknown) = match &out.verdict {
-                    ImplicationVerdict::Implied => ("true".to_string(), None),
-                    ImplicationVerdict::NotImplied => ("false".to_string(), None),
-                    ImplicationVerdict::Unknown(i) => {
-                        (format!("unknown ({i})"), Some(i.to_string()))
-                    }
-                };
-                let mut payload = format!("implied: {answer}\n");
-                if let Some(cx) = out.counterexample {
-                    payload.push_str(&format!("countermodel: {}\n", cx.display(ds)));
-                }
-                Ok(Solved {
-                    payload,
-                    unknown,
-                    checkpoint: None,
-                })
-            },
-        ),
-        Command::Summarizable { schema, target, sources, ask } => solve(
-            shared, schema, *ask, request_id, stream, worker_id,
-            |entry, gov| {
-                let ds = entry.schema();
-                let t = find_category(entry, target)?;
-                let s: Result<Vec<_>, String> =
-                    sources.iter().map(|n| find_category(entry, n)).collect();
-                let out = is_summarizable_in_schema_session(
-                    ds,
-                    t,
-                    &s?,
-                    DimsatOptions::default(),
-                    gov,
-                    entry.cache().begin_session(),
-                );
-                let (answer, unknown) = match &out.verdict {
-                    SummarizabilityVerdict::Summarizable => ("true".to_string(), None),
-                    SummarizabilityVerdict::NotSummarizable => ("false".to_string(), None),
-                    SummarizabilityVerdict::Unknown(i) => {
-                        (format!("unknown ({i})"), Some(i.to_string()))
-                    }
-                };
-                let mut payload = format!("summarizable: {answer}\n");
-                if let Some(cx) = out.counterexample {
-                    payload.push_str(&format!("countermodel: {}\n", cx.display(ds)));
-                }
-                Ok(Solved {
-                    payload,
-                    unknown,
-                    checkpoint: out.checkpoint.map(|c| c.to_text()),
-                })
-            },
-        ),
-        Command::Frozen { schema, root, ask } => solve(
-            shared, schema, *ask, request_id, stream, worker_id,
-            |entry, gov| {
-                let ds = entry.schema();
-                let c = find_category(entry, root)?;
-                let (frozen, outcome) =
-                    Dimsat::new(ds).enumerate_frozen_governed(c, gov);
-                let mut payload = format!(
-                    "{} frozen dimension(s) with root {} ({} EXPAND, {} CHECK):\n",
-                    frozen.len(),
-                    root,
-                    outcome.stats.expand_calls,
-                    outcome.stats.check_calls,
-                );
-                for (i, f) in frozen.iter().enumerate() {
-                    payload.push_str(&format!("  f{}: {}\n", i + 1, f.display(ds)));
-                }
-                let unknown = outcome.interrupted.as_ref().map(|i| {
-                    payload.push_str(&format!(
-                        "enumeration interrupted ({i}); listing is partial\n"
-                    ));
-                    i.to_string()
-                });
-                Ok(Solved {
-                    payload,
-                    unknown,
-                    checkpoint: outcome.checkpoint.map(|c| c.to_text()),
-                })
-            },
-        ),
-        Command::Audit { schema, ask } => solve(
-            shared, schema, *ask, request_id, stream, worker_id,
-            |entry, gov| {
-                let ds = entry.schema();
-                // With a repository, the audit answers warm from disk
-                // (and persists fresh verdicts across restarts); the
-                // in-memory memo path serves the ephemeral case.
-                let report = match &shared.repo {
-                    Some(r) => odc_core::repo::audit_with_repo(ds, r, gov),
-                    // Planned, through the entry's warm cache, battery
-                    // plan, and fact scratchpad: a second audit of a
-                    // resident schema re-plans nothing and re-proves no
-                    // category's satisfiability.
-                    None => advisor::audit_planned_memo(
-                        ds,
-                        gov,
-                        entry.cache(),
-                        entry.plan(),
-                        entry.facts(),
-                    ),
-                };
-                let mut payload = report.render(ds);
-                let unknown = report.interrupted.as_ref().map(|i| i.to_string());
-                if unknown.is_none() {
-                    let suggestions = advisor::suggest_into_constraints(ds);
-                    if !suggestions.is_empty() {
-                        payload.push_str(
-                            "suggested into constraints (implied; make them explicit to help DIMSAT):\n",
-                        );
-                        for dc in suggestions {
-                            payload.push_str(&format!("  {}\n", display_dc(ds.hierarchy(), &dc)));
-                        }
-                    }
-                }
-                Ok(Solved {
-                    payload,
-                    unknown,
-                    checkpoint: report.checkpoint.map(|c| c.to_text()),
-                })
-            },
-        ),
-    }
-}
-
-/// What a reasoning closure hands back to the request harness.
-struct Solved {
-    /// CLI-identical payload text.
-    payload: String,
-    /// `Some(reason)` when the verdict is undecided.
-    unknown: Option<String>,
-    /// Envelope text of the resume checkpoint, when the solve was
-    /// interrupted and produced one.
-    checkpoint: Option<String>,
-}
-
-fn find_category(
-    entry: &CatalogEntry,
-    name: &str,
-) -> Result<odc_core::hierarchy::Category, String> {
-    entry
-        .schema()
-        .hierarchy()
-        .category_by_name(name)
-        .ok_or_else(|| format!("unknown category `{name}`"))
-}
-
-/// The request harness shared by every reasoning command: catalog
-/// lookup, governor construction (policy ∩ ask, drain-child token,
-/// request-tagging observer), disconnect watch registration, and
-/// checkpoint persistence for interrupted solves.
-fn solve<F>(
-    shared: &Arc<Shared>,
-    schema: &str,
-    ask: crate::protocol::BudgetAsk,
-    request_id: u64,
-    stream: &TcpStream,
-    worker_id: u64,
-    f: F,
-) -> (Response, bool)
-where
-    F: FnOnce(&CatalogEntry, &mut Governor) -> Result<Solved, String>,
-{
-    let Some(entry) = shared.catalog.get(schema) else {
-        return (
-            Response::error(&format!("no such schema `{schema}` (use `load`)")),
-            false,
-        );
-    };
-    let budget = shared.policy.intersect(ask.to_budget());
-    let token = shared.drain.child();
-    let obs = if shared.obs.enabled() {
-        Obs::new(Arc::new(RequestTagger {
-            inner: shared.obs.clone(),
-            request: request_id,
-        }))
-    } else {
-        Obs::none()
-    };
-    let mut gov = Governor::new(budget, token.clone())
-        .with_observer(obs)
-        .with_worker_id(worker_id);
-
-    // Register the socket with the disconnect monitor for the duration
-    // of the solve; the socket is nonblocking while watched so `peek`
-    // probes never stall the monitor.
-    let watched = match stream.try_clone() {
-        Ok(clone) => {
-            if stream.set_nonblocking(true).is_ok() {
-                lock(&shared.watch).push(Watch {
-                    request: request_id,
-                    stream: clone,
-                    token: token.clone(),
-                });
-                true
-            } else {
-                false
-            }
-        }
-        Err(_) => false,
-    };
-    let result = f(&entry, &mut gov);
-    if watched {
-        lock(&shared.watch).retain(|w| w.request != request_id);
-        let _ = stream.set_nonblocking(false);
-    }
-
-    match result {
-        Err(e) => (Response::error(&e), false),
-        Ok(solved) => {
-            let mut payload = solved.payload;
-            match solved.unknown {
-                None => (Response::ok(payload), false),
-                Some(reason) => {
-                    if let (Some(dir), Some(text)) =
-                        (&shared.checkpoint_dir, &solved.checkpoint)
-                    {
-                        let path = dir.join(format!("request-{request_id}.ckpt"));
-                        // Atomic (temp + rename + fsync): a crash during
-                        // drain cannot leave a truncated envelope that a
-                        // later `--resume` would refuse.
-                        if odc_core::repo::atomic_write(&path, text.as_bytes(), None).is_ok() {
-                            shared.checkpoints.fetch_add(1, Ordering::SeqCst);
-                            payload.push_str(&format!(
-                                "checkpoint written to {}; continue with --resume {}\n",
-                                path.display(),
-                                path.display(),
-                            ));
-                        }
-                    }
-                    (Response::unknown(&reason, payload), false)
-                }
-            }
-        }
-    }
-}
-
-/// Wraps the server's sink, stamping the request id onto solve
-/// lifecycle events so one JSONL stream interleaves concurrent requests
-/// unambiguously. Every other event forwards untouched.
-struct RequestTagger {
-    inner: Obs,
-    request: u64,
-}
-
-impl Observer for RequestTagger {
-    fn solve_started(&self, e: &SolveStart) {
-        let mut e = e.clone();
-        e.request = Some(self.request);
-        if let Some(o) = self.inner.get() {
-            o.solve_started(&e);
-        }
-    }
-
-    fn solve_finished(&self, e: &SolveEnd) {
-        let mut e = e.clone();
-        e.request = Some(self.request);
-        if let Some(o) = self.inner.get() {
-            o.solve_finished(&e);
-        }
-    }
-
-    fn prune(&self, solve_id: u64, reason: odc_core::obs::PruneReason) {
-        self.inner.prune(solve_id, reason);
-    }
-
-    fn backtrack(&self, solve_id: u64, depth: u32) {
-        self.inner.backtrack(solve_id, depth);
-    }
-
-    fn check_outcome(&self, solve_id: u64, induced: bool) {
-        self.inner.check_outcome(solve_id, induced);
-    }
-
-    fn cache_access(&self, outcome: odc_core::obs::CacheOutcome) {
-        self.inner.cache_access(outcome);
-    }
-
-    fn heartbeat(&self, hb: &odc_core::obs::Heartbeat) {
-        self.inner.heartbeat(hb);
-    }
-
-    fn worker_finished(&self, w: &odc_core::obs::WorkerStats) {
-        self.inner.worker_finished(w);
-    }
-
-    fn fault(&self, f: &odc_core::obs::FaultEvent) {
-        self.inner.fault(f);
-    }
-
-    fn repo(&self, e: &odc_core::obs::RepoEvent) {
-        self.inner.repo(e);
-    }
-}
-
 /// Raw `SIGTERM` handling (unix): a C signal handler flipping a static
-/// flag the accept loop polls. No `libc` crate — the `signal` symbol
-/// comes from the C runtime `std` already links.
+/// flag the accept/event loop polls. No `libc` crate — the `signal`
+/// symbol comes from the C runtime `std` already links.
 #[cfg(unix)]
-mod sigterm {
+pub(crate) mod sigterm {
     use std::sync::atomic::{AtomicBool, Ordering};
 
     static TERM: AtomicBool = AtomicBool::new(false);
@@ -952,7 +691,7 @@ mod sigterm {
 }
 
 #[cfg(not(unix))]
-mod sigterm {
+pub(crate) mod sigterm {
     pub fn install() {}
 
     pub fn pending() -> bool {

@@ -85,13 +85,20 @@ usage:
   odc client <addr> <command> [args…]        send one protocol command to a server
 serve options:
   --addr <ip:port>     bind address (default 127.0.0.1:7421; port 0 picks a free one)
-  --workers <n>        worker threads (default 4)
-  --queue <n>          admission-queue capacity; beyond it connections get
-                       `overloaded` (default 16)
+  --workers <n>        solver shards (event mode) / worker threads (threaded
+                       mode); default 4
+  --io <mode>          event (default on unix: readiness loop, idle connections
+                       cost no threads) or threaded (pool fallback)
+  --queue <n>          admission bound: max resident connections (event mode) or
+                       queue capacity (threaded); beyond it connections get
+                       `overloaded` (default 1024)
   --time-limit/--node-limit   server-wide per-request budget cap (client asks
                        are intersected with it — tighten only, never loosen)
   --checkpoint-dir <d> write odc-checkpoint v1 envelopes for solves interrupted
                        by drain or client disconnect
+  --cache-dir <d>      persist each schema + its warm implication cache on
+                       drain and reload them on start (warm restarts without
+                       --repo or traffic replay)
   --preload <name>=<schema-file>   load a schema into the catalog at startup
                        (repeatable)
   --repo <dir>         persist audit verdicts in an on-disk repository; loaded
@@ -790,8 +797,10 @@ pub fn run(args: &[String]) -> Result<RunOutput, String> {
             }
             let mut addr = "127.0.0.1:7421".to_string();
             let mut workers = 4usize;
-            let mut queue_cap = 16usize;
+            let mut queue_cap = 1024usize;
             let mut checkpoint_dir: Option<String> = None;
+            let mut cache_dir: Option<String> = None;
+            let mut io = odc_serve::IoMode::default();
             let mut preload: Vec<(String, String)> = Vec::new();
             let mut it = rest.iter();
             while let Some(a) = it.next() {
@@ -816,6 +825,13 @@ pub fn run(args: &[String]) -> Result<RunOutput, String> {
                         checkpoint_dir =
                             Some(it.next().ok_or("--checkpoint-dir needs a path")?.clone());
                     }
+                    "--cache-dir" => {
+                        cache_dir = Some(it.next().ok_or("--cache-dir needs a path")?.clone());
+                    }
+                    "--io" => {
+                        let v = it.next().ok_or("--io needs event|threaded")?;
+                        io = odc_serve::IoMode::parse(v)?;
+                    }
                     "--preload" => {
                         let v = it.next().ok_or("--preload needs <name>=<schema-file>")?;
                         let (name, path) = v
@@ -832,9 +848,12 @@ pub fn run(args: &[String]) -> Result<RunOutput, String> {
                 queue_cap,
                 policy: budget,
                 checkpoint_dir: checkpoint_dir.map(std::path::PathBuf::from),
+                cache_dir: cache_dir.map(std::path::PathBuf::from),
                 repo: flags.repo.clone().map(std::path::PathBuf::from),
                 obs,
                 handle_sigterm: true,
+                io,
+                fail_socket_restore: false,
             })
             .map_err(|e| format!("bind: {e}"))?;
             for (name, path) in &preload {
@@ -855,8 +874,8 @@ pub fn run(args: &[String]) -> Result<RunOutput, String> {
             let _ = std::io::stdout().flush();
             let stats = server.run().map_err(|e| format!("serve: {e}"))?;
             Ok(RunOutput::answered(format!(
-                "drained: served {} request(s), rejected {}, {} checkpoint(s) written\n",
-                stats.served, stats.rejected, stats.checkpoints
+                "drained: served {} request(s), rejected {}, {} checkpoint(s) written, {} warm cache(s) persisted\n",
+                stats.served, stats.rejected, stats.checkpoints, stats.caches_persisted
             )))
         }
         "client" => {

@@ -4,7 +4,7 @@
 
 use odc_core::obs::{CollectingObserver, Event, Obs};
 use odc_core::Budget;
-use odc_serve::{Client, ServeConfig, Server, ShutdownHandle};
+use odc_serve::{Client, IoMode, Response, ServeConfig, Server, ShutdownHandle};
 use std::io::Write;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -392,6 +392,287 @@ fn client_retries_refused_connections_until_the_listener_binds() {
     Client::connect_with_retry(addr, 10).expect("retry loop outlasts the bind gap");
     assert!(started.elapsed() >= Duration::from_millis(200), "connected before the bind?");
     binder.join().unwrap();
+}
+
+/// Satellite: N clients pipelining M requests each must read back M
+/// byte-exact dot-framed responses in order — no interleaving, no
+/// short writes. Exercises the event loop's per-connection write
+/// buffering under partial writes and the one-request-at-a-time state
+/// machine under pipelined input.
+fn pipelined_clients_get_exact_frames(workers: usize) {
+    let loc = location_text();
+    let run = start(
+        ServeConfig {
+            workers,
+            ..ServeConfig::default()
+        },
+        &[("loc", &loc)],
+    );
+
+    let lines = [
+        "ping",
+        "check loc Store",
+        r#"implies loc "Store.Country -> Store.City.Country""#,
+        "summarizable loc Country City",
+        "frozen loc Store",
+    ];
+    // Reference transcript from one serial client; every pipelined
+    // client must reproduce it byte for byte, four times over.
+    let mut reference = Vec::new();
+    {
+        let mut c = Client::connect(run.addr).unwrap();
+        for l in &lines {
+            let r = c.request(l).unwrap();
+            assert!(r.is_ok(), "{l}: {}", r.status);
+            reference.push((r.status, r.payload));
+        }
+        c.quit().unwrap();
+    }
+
+    const CLIENTS: usize = 6;
+    const ROUNDS: usize = 4;
+    let addr = run.addr;
+    let reference = Arc::new(reference);
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let refs = reference.clone();
+            std::thread::spawn(move || {
+                let mut s = std::net::TcpStream::connect(addr).unwrap();
+                let mut batch = String::new();
+                for _ in 0..ROUNDS {
+                    for l in &lines {
+                        batch.push_str(l);
+                        batch.push('\n');
+                    }
+                }
+                // One write: all ROUNDS * lines requests land in the
+                // server's read buffer at once.
+                s.write_all(batch.as_bytes()).unwrap();
+                s.flush().unwrap();
+                let mut rd = std::io::BufReader::new(s);
+                for round in 0..ROUNDS {
+                    for (i, (status, payload)) in refs.iter().enumerate() {
+                        let resp = Response::read_from(&mut rd)
+                            .unwrap()
+                            .unwrap_or_else(|| panic!("stream ended at round {round} line {i}"));
+                        assert_eq!(&resp.status, status, "round {round} line {i}");
+                        assert_eq!(&resp.payload, payload, "round {round} line {i}");
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in clients {
+        t.join().unwrap();
+    }
+
+    run.handle.drain();
+    let stats = run.join.join().unwrap().unwrap();
+    assert!(
+        stats.served as usize >= CLIENTS * ROUNDS * lines.len(),
+        "{stats:?}"
+    );
+}
+
+#[test]
+fn pipelined_clients_get_exact_frames_one_shard() {
+    pipelined_clients_get_exact_frames(1);
+}
+
+#[test]
+fn pipelined_clients_get_exact_frames_many_shards() {
+    pipelined_clients_get_exact_frames(8);
+}
+
+/// Satellite regression (threaded mode): a connection whose socket
+/// cannot be restored to blocking mode after a watched solve must be
+/// closed, not recycled — a blocking `read_line` on a socket stuck in
+/// nonblocking mode spins on `WouldBlock` forever. The response itself
+/// is still delivered best-effort before the hangup.
+#[test]
+fn failed_socket_restore_closes_the_connection() {
+    let loc = location_text();
+
+    // Control: restores succeed, the connection survives solve after solve.
+    let run = start(
+        ServeConfig {
+            io: IoMode::Threaded,
+            workers: 2,
+            ..ServeConfig::default()
+        },
+        &[("loc", &loc)],
+    );
+    let mut c = Client::connect(run.addr).unwrap();
+    assert!(c.request("check loc Store").unwrap().is_ok());
+    assert!(c.request("check loc Store").unwrap().is_ok());
+    c.quit().unwrap();
+    run.handle.drain();
+    run.join.join().unwrap().unwrap();
+
+    // Injected restore failure: response delivered, then EOF — never a
+    // second request on the poisoned socket.
+    let run = start(
+        ServeConfig {
+            io: IoMode::Threaded,
+            workers: 2,
+            fail_socket_restore: true,
+            ..ServeConfig::default()
+        },
+        &[("loc", &loc)],
+    );
+    let s = std::net::TcpStream::connect(run.addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut w = s.try_clone().unwrap();
+    w.write_all(b"check loc Store\n").unwrap();
+    w.flush().unwrap();
+    let mut rd = std::io::BufReader::new(s);
+    let resp = Response::read_from(&mut rd)
+        .unwrap()
+        .expect("response must still be delivered before the close");
+    assert!(resp.is_ok(), "{}", resp.status);
+    assert!(resp.payload.starts_with("satisfiable: true"), "{}", resp.payload);
+    let _ = w.write_all(b"ping\n"); // EPIPE here is an acceptable outcome too
+    // Clean EOF or a reset both prove the hangup; a second response
+    // would mean the poisoned socket was recycled.
+    match Response::read_from(&mut rd) {
+        Ok(None) | Err(_) => {}
+        Ok(Some(r)) => panic!(
+            "connection survived a failed socket-mode restore: {} {}",
+            r.status, r.payload
+        ),
+    }
+    run.handle.drain();
+    run.join.join().unwrap().unwrap();
+}
+
+/// Tentpole: drain persists each schema's warm implication cache next
+/// to the schema, and a restarted server over the same `--cache-dir`
+/// answers its first identical query from the persisted cache — no
+/// `--repo`, no preloading, no traffic replay.
+#[test]
+fn warm_caches_persist_across_server_restarts() {
+    let cache = temp_dir("warmcache");
+    let loc = location_text();
+    let q = r#"implies loc "Store.Country -> Store.City.Country""#;
+
+    let run = start(
+        ServeConfig {
+            cache_dir: Some(cache.clone()),
+            ..ServeConfig::default()
+        },
+        &[("loc", &loc)],
+    );
+    let mut c = Client::connect(run.addr).unwrap();
+    let first = c.request(q).unwrap();
+    assert!(first.payload.starts_with("implied: true"), "{}", first.payload);
+    c.quit().unwrap();
+    run.handle.drain();
+    let stats = run.join.join().unwrap().unwrap();
+    assert!(stats.caches_persisted >= 1, "{stats:?}");
+
+    // Fresh server, same cache dir, nothing preloaded: the schema is
+    // resident at bind and the very first query hits the seeded cache.
+    let run2 = start(
+        ServeConfig {
+            cache_dir: Some(cache.clone()),
+            ..ServeConfig::default()
+        },
+        &[],
+    );
+    let mut c = Client::connect(run2.addr).unwrap();
+    let schemas = c.request("schemas").unwrap();
+    assert!(
+        schemas.payload.contains("loc fingerprint"),
+        "persisted schema not resident after restart: {}",
+        schemas.payload
+    );
+    let again = c.request(q).unwrap();
+    assert!(again.payload.starts_with("implied: true"), "{}", again.payload);
+    let stats_resp = c.request("stats").unwrap();
+    let cache_line = stats_resp
+        .payload
+        .lines()
+        .find(|l| l.starts_with("schema loc"))
+        .unwrap_or_else(|| panic!("no cache line in {}", stats_resp.payload));
+    let cross: u64 = cache_line
+        .split_whitespace()
+        .skip_while(|w| *w != "cross_hits")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap();
+    assert!(cross > 0, "restarted server answered cold: {cache_line}");
+    c.quit().unwrap();
+    run2.handle.drain();
+    run2.join.join().unwrap().unwrap();
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+#[cfg(target_os = "linux")]
+fn thread_count() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .unwrap()
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap()
+}
+
+#[cfg(not(target_os = "linux"))]
+fn thread_count() -> usize {
+    0
+}
+
+/// Tentpole: idle connections are poller registrations, not threads.
+/// A herd of 300 idle sockets must not grow the thread count (a
+/// thread-per-connection design would add ~300) and must not starve an
+/// active client.
+#[cfg(unix)]
+#[test]
+fn idle_connections_do_not_cost_threads() {
+    let loc = location_text();
+    let run = start(
+        ServeConfig {
+            workers: 2,
+            queue_cap: 2048,
+            ..ServeConfig::default()
+        },
+        &[("loc", &loc)],
+    );
+    let mut probe = Client::connect(run.addr).unwrap();
+    assert!(probe.request("ping").unwrap().is_ok());
+    let before = thread_count();
+
+    let mut idle = Vec::new();
+    for _ in 0..300 {
+        idle.push(std::net::TcpStream::connect(run.addr).unwrap());
+    }
+    // Let the event loop accept and register the whole herd.
+    std::thread::sleep(Duration::from_millis(300));
+    assert!(
+        probe.request("ping").unwrap().is_ok(),
+        "active request starved by the idle herd"
+    );
+    let after = thread_count();
+    // The count is process-wide and other tests run in parallel, so
+    // allow churn slack — far below the ~300 a thread-per-connection
+    // server would add.
+    assert!(
+        after <= before + 20,
+        "idle connections spawned threads: {before} -> {after}"
+    );
+
+    // Idle sockets are full connections: any of them can still ask.
+    let last = idle.pop().unwrap();
+    let mut w = last.try_clone().unwrap();
+    w.write_all(b"check loc Store\n").unwrap();
+    w.flush().unwrap();
+    let mut rd = std::io::BufReader::new(last);
+    let r = Response::read_from(&mut rd).unwrap().unwrap();
+    assert!(r.payload.starts_with("satisfiable: true"), "{}", r.payload);
+
+    drop(idle);
+    probe.request("shutdown").unwrap();
+    run.join.join().unwrap().unwrap();
 }
 
 #[test]
