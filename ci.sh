@@ -361,4 +361,66 @@ wait "$EVPID"
 echo "== load-harness smoke (exp_serve) =="
 cargo run --offline --release --quiet -p odc-bench --bin exp_serve -- --smoke
 
+echo "== differential fuzz smoke (odc fuzz) =="
+FUZZDIR="$(mktemp -d /tmp/odc-ci-fuzz.XXXXXX)"
+trap 'rm -f "$STATS_JSON"; rm -rf "$WORK" "$REPODIR" "$SRVDIR" "$EVDIR" "$FUZZDIR"; kill "${SRVPID:-}" "${EVPID:-}" 2>/dev/null || true' EXIT
+
+# Clean sweep: a fixed-seed batch across every executor pair must agree
+# with itself — exit 0, zero divergences, all six pairs exercised.
+"$ODCBIN" fuzz --seed 2002 --cases 12 --repro-dir "$FUZZDIR/clean-repros" \
+  --stats-json "$FUZZDIR/clean.jsonl" > "$FUZZDIR/clean.txt"
+grep -q "divergences: 0" "$FUZZDIR/clean.txt" \
+  || { echo "clean fuzz sweep diverged:"; cat "$FUZZDIR/clean.txt"; exit 1; }
+for p in trail-clone serial-jobs planned-noplan fault-resume repo-warm-cold serve-cli; do
+  grep "pairs run:" "$FUZZDIR/clean.txt" | grep -q "$p" \
+    || { echo "pair $p never ran:"; cat "$FUZZDIR/clean.txt"; exit 1; }
+done
+
+# Planted fault: the test-only clone-kernel sabotage must be found
+# (exit 2), minimized to a repro directory, and the repro must replay.
+if "$ODCBIN" fuzz --seed 2002 --cases 2 --sabotage --pairs trail-clone \
+  --repro-dir "$FUZZDIR/repros" --stats-json "$FUZZDIR/sab.jsonl" \
+  > "$FUZZDIR/sab.txt"; then
+  echo "sabotage run exited 0 — planted divergence went unnoticed"
+  cat "$FUZZDIR/sab.txt"
+  exit 1
+else
+  rc=$?
+  [ "$rc" -eq 2 ] || { echo "sabotage run exited $rc (want 2)"; cat "$FUZZDIR/sab.txt"; exit 1; }
+fi
+grep -q "repro written:" "$FUZZDIR/sab.txt" \
+  || { echo "sabotage divergence produced no repro"; cat "$FUZZDIR/sab.txt"; exit 1; }
+"$ODCBIN" fuzz --replay "$FUZZDIR/repros" > "$FUZZDIR/replay.txt" \
+  || { echo "minimized repro did not replay:"; cat "$FUZZDIR/replay.txt"; exit 1; }
+grep -q " 0 failed" "$FUZZDIR/replay.txt" \
+  || { echo "repro replay reported failures:"; cat "$FUZZDIR/replay.txt"; exit 1; }
+
+# The shipped regression corpus must replay clean across all pairs.
+"$ODCBIN" fuzz --replay corpus/v1 > "$FUZZDIR/corpus.txt" \
+  || { echo "shipped corpus replay failed:"; cat "$FUZZDIR/corpus.txt"; exit 1; }
+grep -q " 0 failed" "$FUZZDIR/corpus.txt" \
+  || { echo "shipped corpus replay reported failures:"; cat "$FUZZDIR/corpus.txt"; exit 1; }
+tail -1 "$FUZZDIR/corpus.txt"
+
+# The observability stream: every line parses, the clean run emitted
+# fuzz_case events and no fuzz_divergence; the sabotage run emitted both.
+python3 - "$FUZZDIR/clean.jsonl" "$FUZZDIR/sab.jsonl" <<'PYEOF'
+import json, sys
+def kinds(path):
+    ks = set()
+    with open(path) as f:
+        for line in f:
+            ks.add(json.loads(line)["event"])  # every line must parse
+    return ks
+clean, sab = kinds(sys.argv[1]), kinds(sys.argv[2])
+assert "fuzz_case" in clean, f"clean run emitted no fuzz_case events: {sorted(clean)}"
+assert "fuzz_divergence" not in clean, "clean run emitted fuzz_divergence"
+assert "fuzz_case" in sab and "fuzz_divergence" in sab, \
+    f"sabotage run missing fuzz events: {sorted(sab)}"
+print(f"fuzz event stream OK: clean {sorted(clean)}, sabotage {sorted(sab)}")
+PYEOF
+
+echo "== fuzz-harness smoke (exp_fuzz) =="
+ODC_BENCH_QUICK=1 cargo run --offline --release --quiet -p odc-bench --bin exp_fuzz -- --smoke
+
 echo "CI OK"

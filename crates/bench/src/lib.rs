@@ -28,7 +28,7 @@ pub fn scaling_by_n() -> Vec<(String, DimensionSchema, Category)> {
                 ordered_exceptions: 0,
             },
             &mut rng,
-        );
+        ).expect("seeded schema generates");
         let n = ds.hierarchy().num_categories();
         let bottom = ds.hierarchy().category_by_name("B").unwrap();
         out.push((format!("N={n}"), ds, bottom));
@@ -52,7 +52,7 @@ pub fn scaling_by_nk() -> Vec<(String, DimensionSchema, Category)> {
                 ordered_exceptions: 0,
             },
             &mut rng,
-        );
+        ).expect("seeded schema generates");
         // Inject a domain constraint with nk constants on the top-layer
         // categories so N_K really grows.
         let g = base.hierarchy();
@@ -97,7 +97,7 @@ pub fn scaling_by_sigma() -> Vec<(String, DimensionSchema, Category)> {
                 ordered_exceptions: 0,
             },
             &mut rng,
-        );
+        ).expect("seeded schema generates");
         let bottom = ds.hierarchy().category_by_name("B").unwrap();
         out.push((format!("N_Σ={}", ds.sigma_size()), ds, bottom));
     }
@@ -137,7 +137,7 @@ pub fn ablation_schemas() -> Vec<(String, DimensionSchema, Category)> {
                     ordered_exceptions: 0,
                 },
                 &mut rng,
-            );
+            ).expect("seeded schema generates");
             let bottom = ds.hierarchy().category_by_name("B").unwrap();
             out.push((format!("{label}#{seed}"), ds, bottom));
         }

@@ -1,0 +1,235 @@
+//! The textual fuzz case: schema text plus a deterministic query
+//! battery. Everything an executor needs is plain text, so the same
+//! bytes can be handed to the library, the CLI conventions, and a
+//! resident server — and written verbatim into a repro directory.
+
+use odc_core::prelude::*;
+use odc_core::{parse_schema, schema_to_text};
+use odc_workload::CorpusCase;
+use std::fmt;
+
+/// One reasoning question, in a line-oriented textual form that
+/// round-trips through [`Query::parse`] (the `queries.txt` format of a
+/// repro directory).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Query {
+    /// `check <category>` — is the category satisfiable in the schema?
+    Check(String),
+    /// `implies <constraint source>` — does Σ imply the constraint?
+    Implies(String),
+    /// `summarizable <target> from <source>…` — Theorem-1 battery.
+    Summarizable {
+        /// Aggregation target category.
+        target: String,
+        /// Pre-aggregated source categories.
+        sources: Vec<String>,
+    },
+    /// `frozen <root>` — how many frozen dimensions root there?
+    Frozen(String),
+}
+
+impl Query {
+    /// Parses one `queries.txt` line; `None` on malformed input.
+    pub fn parse(line: &str) -> Option<Query> {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("check ") {
+            return Some(Query::Check(rest.trim().to_string()));
+        }
+        if let Some(rest) = line.strip_prefix("implies ") {
+            return Some(Query::Implies(rest.trim().to_string()));
+        }
+        if let Some(rest) = line.strip_prefix("frozen ") {
+            return Some(Query::Frozen(rest.trim().to_string()));
+        }
+        if let Some(rest) = line.strip_prefix("summarizable ") {
+            let (target, srcs) = rest.split_once(" from ")?;
+            let sources: Vec<String> = srcs
+                .split_whitespace()
+                .map(|s| s.to_string())
+                .collect();
+            if sources.is_empty() {
+                return None;
+            }
+            return Some(Query::Summarizable {
+                target: target.trim().to_string(),
+                sources,
+            });
+        }
+        None
+    }
+
+    /// The category names the query mentions (the minimizer must not
+    /// delete these).
+    pub fn mentions(&self) -> Vec<&str> {
+        match self {
+            Query::Check(c) | Query::Frozen(c) => vec![c.as_str()],
+            // A constraint source mentions categories positionally; the
+            // minimizer treats any token overlap as a mention.
+            Query::Implies(_) => Vec::new(),
+            Query::Summarizable { target, sources } => {
+                let mut v = vec![target.as_str()];
+                v.extend(sources.iter().map(|s| s.as_str()));
+                v
+            }
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Query::Check(c) => write!(f, "check {c}"),
+            Query::Implies(src) => write!(f, "implies {src}"),
+            Query::Frozen(c) => write!(f, "frozen {c}"),
+            Query::Summarizable { target, sources } => {
+                write!(f, "summarizable {target} from {}", sources.join(" "))
+            }
+        }
+    }
+}
+
+/// A fully textual fuzz case. `schema_text` is the canonical bytes every
+/// executor parses; re-parsing it must succeed (that is checked at
+/// construction, so downstream code can parse without surprises).
+#[derive(Debug, Clone)]
+pub struct FuzzCase {
+    /// Corpus case id (deterministic for a fixed seed).
+    pub id: u64,
+    /// Corpus axis name (`fan_out`, `sat_adversarial`, …).
+    pub axis: String,
+    /// Human-readable generator label.
+    pub label: String,
+    /// The schema in [`odc_core::parse_schema`] syntax.
+    pub schema_text: String,
+    /// Name of the bottom category the battery queries from.
+    pub bottom: String,
+    /// The query battery.
+    pub queries: Vec<Query>,
+}
+
+impl FuzzCase {
+    /// Builds the textual case from a generated corpus case: render the
+    /// schema to text, re-parse it (round-trip check), and synthesize
+    /// the deterministic query battery.
+    pub fn from_corpus(cc: &CorpusCase) -> Result<FuzzCase, String> {
+        let text = schema_to_text(&cc.schema);
+        let ds = parse_schema(&text)
+            .map_err(|e| format!("schema text does not round-trip: {e:?}"))?;
+        let queries = queries_for(&ds, &cc.bottom);
+        Ok(FuzzCase {
+            id: cc.id,
+            axis: cc.axis.name().to_string(),
+            label: cc.label.clone(),
+            schema_text: text,
+            bottom: cc.bottom.clone(),
+            queries,
+        })
+    }
+
+    /// Re-parses the schema text.
+    pub fn schema(&self) -> Result<DimensionSchema, String> {
+        parse_schema(&self.schema_text).map_err(|e| format!("{e:?}"))
+    }
+}
+
+/// The deterministic query battery for a schema: a satisfiability check
+/// per category (capped), an implication query per constraint (capped)
+/// plus a synthesized shortcut implication, one summarizability battery
+/// from the bottom's parents, and a frozen-dimension enumeration from
+/// the bottom. Capping keeps per-case cost bounded on the fan-out axis.
+pub fn queries_for(ds: &DimensionSchema, bottom: &str) -> Vec<Query> {
+    let g = ds.hierarchy();
+    let mut out = Vec::new();
+    // Bottom first: the sabotage acceptance test keys on `check <bottom>`
+    // surviving minimization, and the minimizer keeps mentioned names.
+    if g.category_by_name(bottom).is_some() {
+        out.push(Query::Check(bottom.to_string()));
+    }
+    let mut checks = 0usize;
+    for c in g.categories() {
+        if c.is_all() || g.name(c) == bottom {
+            continue;
+        }
+        if checks >= 7 {
+            break;
+        }
+        out.push(Query::Check(g.name(c).to_string()));
+        checks += 1;
+    }
+    for dc in ds.constraints().iter().take(2) {
+        out.push(Query::Implies(
+            odc_core::constraint::printer::display_dc(g, dc).to_string(),
+        ));
+    }
+    // A synthesized candidate that is *not* (necessarily) in Σ: the
+    // bottom rolls up into its first parent. Exercises the NotImplied /
+    // countermodel path on most schemas.
+    if let Some(b) = g.category_by_name(bottom) {
+        if let Some(&p) = g.parents(b).first() {
+            if !p.is_all() {
+                out.push(Query::Implies(format!("{}_{}", bottom, g.name(p))));
+            }
+        }
+        let sources: Vec<String> = g
+            .parents(b)
+            .iter()
+            .filter(|p| !p.is_all())
+            .map(|&p| g.name(p).to_string())
+            .collect();
+        if !sources.is_empty() {
+            // Summarize the top-most proper category from the bottom's
+            // parents — the paper's canonical rewriting question.
+            if let Some(target) = g
+                .categories()
+                .filter(|&c| !c.is_all() && g.parents(c).iter().all(|p| p.is_all()))
+                .map(|c| g.name(c).to_string())
+                .next()
+            {
+                out.push(Query::Summarizable { target, sources });
+            }
+        }
+        out.push(Query::Frozen(bottom.to_string()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odc_workload::case_for;
+
+    #[test]
+    fn query_lines_round_trip() {
+        let qs = [
+            Query::Check("Store".into()),
+            Query::Implies("Store.City -> Store.SaleRegion".into()),
+            Query::Summarizable {
+                target: "Country".into(),
+                sources: vec!["City".into(), "SaleRegion".into()],
+            },
+            Query::Frozen("Store".into()),
+        ];
+        for q in &qs {
+            assert_eq!(Query::parse(&q.to_string()).as_ref(), Some(q));
+        }
+        assert_eq!(Query::parse("bogus line"), None);
+        assert_eq!(Query::parse("summarizable T"), None);
+    }
+
+    #[test]
+    fn corpus_cases_build_textual_batteries() {
+        let mut built = 0;
+        for id in 0..18 {
+            let Ok(cc) = case_for(7, id) else { continue };
+            let fc = FuzzCase::from_corpus(&cc).unwrap();
+            assert!(!fc.queries.is_empty(), "case {id} has no queries");
+            assert!(fc.schema().is_ok());
+            assert!(
+                fc.queries.iter().any(|q| matches!(q, Query::Check(c) if *c == fc.bottom)),
+                "case {id} lacks a bottom check"
+            );
+            built += 1;
+        }
+        assert!(built >= 12, "only {built}/18 corpus cases built");
+    }
+}

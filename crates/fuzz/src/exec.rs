@@ -1,0 +1,619 @@
+//! One executor per code path. Every executor reduces a [`Query`] to an
+//! [`Observation`]: a canonical verdict string, a CLI-convention exit
+//! code (0 decided, 2 unknown, 1 error), a witness-validity bit
+//! (countermodels re-verified against C1–C7 and Σ), and a
+//! stats-coherence bit. [`run_pair`] answers a case's battery through
+//! the two sides of an executor pair; the differential driver compares
+//! the sides observation-by-observation.
+
+use crate::case::{FuzzCase, Query};
+use crate::diff::Pair;
+use odc_core::dimsat::{
+    AnytimeDriver, Dimsat, DimsatOptions, DimsatOutcome, ImplicationVerdict, Verdict,
+};
+use odc_core::prelude::*;
+use odc_core::summarizability::{
+    advisor, is_summarizable_in_schema_governed, is_summarizable_in_schema_planned,
+    SummarizabilityVerdict,
+};
+use odc_core::govern::{FaultKind, FaultPlan, FaultTrigger};
+use odc_serve::{Client, ClientError, Response, ServeConfig, Server, ShutdownHandle};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What one executor observed for one query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Observation {
+    /// Canonical verdict: `sat`/`unsat`, `implied`/`not-implied`,
+    /// `summarizable`/`not-summarizable`, `frozen=<n>`, `unknown`, or
+    /// `error`.
+    pub verdict: String,
+    /// CLI convention: 0 decided, 2 unknown, 1 error.
+    pub exit_code: i32,
+    /// `Some(false)` when a returned witness/countermodel failed
+    /// re-verification against the schema — a bug even if the verdicts
+    /// agree. `None` when the executor exposes no witness.
+    pub witness_valid: Option<bool>,
+    /// `false` when the executor's own counters are incoherent (e.g. a
+    /// sweep whose `decided` differs from `|sat| + |unsat|`).
+    pub stats_ok: bool,
+    /// Free-form diagnostic detail.
+    pub note: String,
+}
+
+impl Observation {
+    fn decided(verdict: impl Into<String>) -> Observation {
+        Observation {
+            verdict: verdict.into(),
+            exit_code: 0,
+            witness_valid: None,
+            stats_ok: true,
+            note: String::new(),
+        }
+    }
+
+    fn unknown(note: impl Into<String>) -> Observation {
+        Observation {
+            verdict: "unknown".into(),
+            exit_code: 2,
+            witness_valid: None,
+            stats_ok: true,
+            note: note.into(),
+        }
+    }
+
+    fn error(note: impl Into<String>) -> Observation {
+        Observation {
+            verdict: "error".into(),
+            exit_code: 1,
+            witness_valid: None,
+            stats_ok: true,
+            note: note.into(),
+        }
+    }
+
+    fn with_witness(mut self, valid: bool) -> Observation {
+        self.witness_valid = Some(valid);
+        self
+    }
+}
+
+/// A pair run failure that is not a per-query disagreement.
+#[derive(Debug)]
+pub enum PairError {
+    /// The pair could not be exercised (no server, bad scratch dir, …).
+    Setup(String),
+    /// The resident server misdelivered a pipelined response — a
+    /// divergence in its own right, attributed to the transport.
+    Desync {
+        /// Tag the next in-order response should have carried.
+        expected: u64,
+        /// Tag it actually carried, if any.
+        got: Option<u64>,
+        /// Offending status line.
+        status: String,
+    },
+}
+
+/// One query answered by both sides of a pair.
+#[derive(Debug, Clone)]
+pub struct PairResult {
+    /// The query (textual form), or a synthetic label such as
+    /// `audit warm`.
+    pub query: String,
+    /// Reference side.
+    pub left: Observation,
+    /// Alternate side.
+    pub right: Observation,
+}
+
+/// Everything [`run_pair`] needs besides the case itself.
+pub struct PairContext<'a> {
+    /// Corrupt the clone-kernel executor's bottom-category verdict (the
+    /// planted-divergence acceptance test).
+    pub sabotage: bool,
+    /// Worker count for the parallel sweep side.
+    pub jobs: usize,
+    /// Scratch directory for per-case verdict repositories.
+    pub scratch: &'a Path,
+    /// Resident server, when the [`Pair::ServeCli`] pair is in play.
+    pub server: Option<&'a ServerHarness>,
+}
+
+/// Per-query search-node allowance. The corpus deliberately draws
+/// schemas whose frozen spaces explode; every executor answers under
+/// this same deterministic budget, and [`crate::diff::compare`] treats
+/// `unknown` as non-comparable (different code paths legitimately split
+/// a budget differently). Node limits — never wall-clock — keep runs
+/// and replays deterministic.
+pub const CASE_NODE_LIMIT: u64 = 20_000;
+
+/// The shared per-query budget.
+pub fn case_budget() -> Budget {
+    Budget::unlimited().with_node_limit(CASE_NODE_LIMIT)
+}
+
+/// The canonical single-query executor (trail kernel, default options)
+/// — the reference side of most pairs, and the source of `expected`
+/// verdicts in repro directories.
+pub fn answer_direct(ds: &DimensionSchema, q: &Query, opts: DimsatOptions) -> Observation {
+    let g = ds.hierarchy();
+    match q {
+        Query::Check(name) => match g.category_by_name(name) {
+            Some(c) => obs_from_outcome(
+                ds,
+                &Dimsat::with_options(ds, opts)
+                    .with_budget(case_budget())
+                    .category_satisfiable(c),
+            ),
+            None => Observation::error(format!("no such category `{name}`")),
+        },
+        Query::Implies(src) => match odc_core::constraint::parse_constraint(g, src) {
+            Ok(dc) => {
+                let mut gov = Governor::from_budget(case_budget());
+                let out = odc_core::dimsat::implies_governed(ds, &dc, opts, &mut gov);
+                match out.verdict {
+                    ImplicationVerdict::Implied => Observation::decided("implied"),
+                    ImplicationVerdict::NotImplied => {
+                        let valid = out
+                            .counterexample
+                            .as_ref()
+                            .map(|f| f.verify(ds).is_ok())
+                            .unwrap_or(false);
+                        Observation::decided("not-implied").with_witness(valid)
+                    }
+                    ImplicationVerdict::Unknown(i) => Observation::unknown(format!("{i:?}")),
+                }
+            }
+            Err(e) => Observation::error(format!("constraint parse: {e}")),
+        },
+        Query::Summarizable { target, sources } => {
+            let Some(c) = g.category_by_name(target) else {
+                return Observation::error(format!("no such category `{target}`"));
+            };
+            let mut s = Vec::with_capacity(sources.len());
+            for name in sources {
+                match g.category_by_name(name) {
+                    Some(sc) => s.push(sc),
+                    None => return Observation::error(format!("no such category `{name}`")),
+                }
+            }
+            let mut gov = Governor::from_budget(case_budget());
+            summarizability_obs(
+                ds,
+                &is_summarizable_in_schema_governed(ds, c, &s, opts, &mut gov),
+            )
+        }
+        Query::Frozen(root) => match g.category_by_name(root) {
+            Some(c) => {
+                let (frozen, outcome) = Dimsat::with_options(ds, opts)
+                    .with_budget(case_budget())
+                    .enumerate_frozen(c);
+                if outcome.is_unknown() {
+                    return Observation::unknown("enumeration interrupted");
+                }
+                let valid = frozen.iter().all(|f| f.verify(ds).is_ok());
+                Observation::decided(format!("frozen={}", frozen.len())).with_witness(valid)
+            }
+            None => Observation::error(format!("no such category `{root}`")),
+        },
+    }
+}
+
+fn obs_from_outcome(ds: &DimensionSchema, out: &DimsatOutcome) -> Observation {
+    match &out.verdict {
+        Verdict::Sat(f) => Observation::decided("sat").with_witness(f.verify(ds).is_ok()),
+        Verdict::Unsat => Observation::decided("unsat"),
+        Verdict::Unknown(i) => Observation::unknown(format!("{i:?}")),
+    }
+}
+
+fn summarizability_obs(
+    ds: &DimensionSchema,
+    out: &odc_core::summarizability::SummarizabilityOutcome,
+) -> Observation {
+    match &out.verdict {
+        SummarizabilityVerdict::Summarizable => Observation::decided("summarizable"),
+        SummarizabilityVerdict::NotSummarizable => {
+            let valid = out
+                .counterexample
+                .as_ref()
+                .map(|f| f.verify(ds).is_ok())
+                .unwrap_or(false);
+            Observation::decided("not-summarizable").with_witness(valid)
+        }
+        SummarizabilityVerdict::Unknown(i) => Observation::unknown(format!("{i:?}")),
+    }
+}
+
+/// Answers a case's battery through both sides of `pair`.
+pub fn run_pair(
+    pair: Pair,
+    case: &FuzzCase,
+    ctx: &PairContext<'_>,
+) -> Result<Vec<PairResult>, PairError> {
+    let ds = case.schema().map_err(PairError::Setup)?;
+    match pair {
+        Pair::TrailClone => Ok(trail_clone(&ds, case, ctx)),
+        Pair::SerialJobs => Ok(serial_jobs(&ds, case, ctx)),
+        Pair::PlannedNoplan => Ok(planned_noplan(&ds, case)),
+        Pair::FaultResume => Ok(fault_resume(&ds, case)),
+        Pair::RepoWarmCold => repo_warm_cold(&ds, case, ctx),
+        Pair::ServeCli => serve_cli(&ds, case, ctx),
+    }
+}
+
+/// Trail-based kernel vs the clone-based one
+/// ([`DimsatOptions::without_trail`]). The whole battery is meaningful
+/// here; this is also where the planted sabotage lives.
+fn trail_clone(ds: &DimensionSchema, case: &FuzzCase, ctx: &PairContext<'_>) -> Vec<PairResult> {
+    let clone_opts = DimsatOptions::default().without_trail();
+    case.queries
+        .iter()
+        .map(|q| {
+            let left = answer_direct(ds, q, DimsatOptions::default());
+            let mut right = answer_direct(ds, q, clone_opts);
+            if ctx.sabotage {
+                if let Query::Check(c) = q {
+                    if *c == case.bottom {
+                        right.verdict = match right.verdict.as_str() {
+                            "sat" => "unsat".into(),
+                            "unsat" => "sat".into(),
+                            other => other.into(),
+                        };
+                        right.note = "sabotaged".into();
+                    }
+                }
+            }
+            PairResult {
+                query: q.to_string(),
+                left,
+                right,
+            }
+        })
+        .collect()
+}
+
+/// Serial category sweep vs the work-stealing parallel one. Only the
+/// `check` queries are differentiated; both sweeps also self-check
+/// their counters (`decided == |sat| + |unsat|`).
+fn serial_jobs(ds: &DimensionSchema, case: &FuzzCase, ctx: &PairContext<'_>) -> Vec<PairResult> {
+    // Each sweep gets its own full budget; the parallel one splits it
+    // across workers nondeterministically, so undecided categories are
+    // non-comparable (`unknown` observations) rather than divergences.
+    let serial = Dimsat::new(ds)
+        .with_budget(case_budget())
+        .unsatisfiable_categories();
+    let par = Dimsat::new(ds)
+        .with_budget(case_budget())
+        .unsatisfiable_categories_parallel(ctx.jobs.max(2));
+    let g = ds.hierarchy();
+    let side = |sweep: &odc_core::dimsat::CategorySweep, name: &str| -> Observation {
+        let coherent = sweep.decided == sweep.sat.len() + sweep.unsat.len();
+        let mut o = if sweep.sat.iter().any(|&c| g.name(c) == name) {
+            Observation::decided("sat")
+        } else if sweep.unsat.iter().any(|&c| g.name(c) == name) {
+            Observation::decided("unsat")
+        } else if sweep.aborted.iter().any(|&(c, _)| g.name(c) == name) {
+            Observation::unknown("aborted")
+        } else {
+            Observation::unknown("undecided")
+        };
+        o.stats_ok = coherent;
+        o
+    };
+    case.queries
+        .iter()
+        .filter_map(|q| match q {
+            Query::Check(name) => Some(PairResult {
+                query: q.to_string(),
+                left: side(&serial, name),
+                right: side(&par, name),
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Naive Theorem-1 battery vs the plan-ordered, memoized one.
+fn planned_noplan(ds: &DimensionSchema, case: &FuzzCase) -> Vec<PairResult> {
+    case.queries
+        .iter()
+        .filter_map(|q| {
+            let Query::Summarizable { target, sources } = q else {
+                return None;
+            };
+            let g = ds.hierarchy();
+            let c = g.category_by_name(target)?;
+            let s: Vec<Category> = sources
+                .iter()
+                .filter_map(|n| g.category_by_name(n))
+                .collect();
+            if s.len() != sources.len() {
+                return None;
+            }
+            let mut lgov = Governor::from_budget(case_budget());
+            let left = summarizability_obs(
+                ds,
+                &is_summarizable_in_schema_governed(ds, c, &s, DimsatOptions::default(), &mut lgov),
+            );
+            let mut gov = Governor::from_budget(case_budget());
+            let (out, _stats) =
+                is_summarizable_in_schema_planned(ds, c, &s, DimsatOptions::default(), &mut gov, None);
+            let right = summarizability_obs(ds, &out);
+            Some(PairResult {
+                query: q.to_string(),
+                left,
+                right,
+            })
+        })
+        .collect()
+}
+
+/// Fresh uninterrupted solve vs a fault-interrupted-then-resumed one:
+/// the anytime driver runs under a [`FaultPlan`] firing every 5th node
+/// (capped at 3 injections so the retry loop terminates) and must still
+/// land on the same verdict.
+fn fault_resume(ds: &DimensionSchema, case: &FuzzCase) -> Vec<PairResult> {
+    let g = ds.hierarchy();
+    case.queries
+        .iter()
+        .filter_map(|q| {
+            let Query::Check(name) = q else { return None };
+            let c = g.category_by_name(name)?;
+            let left = answer_direct(ds, q, DimsatOptions::default());
+            let solver = Dimsat::new(ds);
+            let plan = FaultPlan::new(FaultKind::Interrupt, FaultTrigger::EveryNthNode(5))
+                .with_max_injections(3);
+            // Attempt cap above the injection cap, so some late attempt
+            // is guaranteed fault-free; escalation may decide what the
+            // budgeted left side could not, which `compare` then skips.
+            let report = AnytimeDriver::new(case_budget())
+                .with_fault_plan(plan)
+                .with_max_attempts(6)
+                .solve(&solver, c, true);
+            let mut right = obs_from_outcome(ds, &report.outcome);
+            if report.attempts == 0 || u64::from(report.resumed) > u64::from(report.attempts) {
+                right.stats_ok = false;
+                right.note = format!(
+                    "incoherent anytime counters: attempts={} resumed={}",
+                    report.attempts, report.resumed
+                );
+            }
+            Some(PairResult {
+                query: q.to_string(),
+                left,
+                right,
+            })
+        })
+        .collect()
+}
+
+/// Plain schema audit vs the verdict-repository one, cold then warm.
+/// The repo drivers promise a byte-identical rendered report, so the
+/// comparison is over a digest of the full render.
+fn repo_warm_cold(
+    ds: &DimensionSchema,
+    case: &FuzzCase,
+    ctx: &PairContext<'_>,
+) -> Result<Vec<PairResult>, PairError> {
+    let mut pgov = Governor::from_budget(case_budget());
+    let plain = advisor::audit_governed(ds, &mut pgov).render(ds);
+    if pgov.interrupt().is_some() {
+        // A partial plain audit has no byte-identical promise to hold the
+        // repo drivers to; the whole comparison is non-comparable.
+        let u = Observation::unknown("plain audit interrupted");
+        return Ok(vec![PairResult {
+            query: "audit".into(),
+            left: u.clone(),
+            right: u,
+        }]);
+    }
+    let dir = ctx.scratch.join(format!("repo-case{}", case.id));
+    std::fs::create_dir_all(&dir).map_err(|e| PairError::Setup(e.to_string()))?;
+    let repo = odc_core::repo::VerdictRepo::open(&dir, Obs::none(), None)
+        .map_err(|e| PairError::Setup(e.to_string()))?;
+    let mut gov = Governor::from_budget(case_budget());
+    let cold = odc_core::repo::drivers::audit_with_repo(ds, &repo, &mut gov).render(ds);
+    let mut gov = Governor::from_budget(case_budget());
+    let warm = odc_core::repo::drivers::audit_with_repo(ds, &repo, &mut gov).render(ds);
+    let _ = std::fs::remove_dir_all(&dir);
+    let obs_for = |render: &str, reference: &str| -> Observation {
+        let mut o = Observation::decided(format!("audit:{:016x}", fnv64(render)));
+        if render != reference {
+            o.note = first_diff(reference, render);
+        }
+        o
+    };
+    let left = Observation::decided(format!("audit:{:016x}", fnv64(&plain)));
+    Ok(vec![
+        PairResult {
+            query: "audit cold".into(),
+            left: left.clone(),
+            right: obs_for(&cold, &plain),
+        },
+        PairResult {
+            query: "audit warm".into(),
+            left,
+            right: obs_for(&warm, &plain),
+        },
+    ])
+}
+
+fn fnv64(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn first_diff(a: &str, b: &str) -> String {
+    for (la, lb) in a.lines().zip(b.lines()) {
+        if la != lb {
+            return format!("first diff: `{la}` vs `{lb}`");
+        }
+    }
+    format!("length diff: {} vs {} lines", a.lines().count(), b.lines().count())
+}
+
+/// Live `odc serve` over a real socket (pipelined, tag-checked) vs the
+/// one-shot library call. Compares verdicts *and* exit-code mapping;
+/// a misdelivered response surfaces as [`PairError::Desync`].
+fn serve_cli(
+    ds: &DimensionSchema,
+    case: &FuzzCase,
+    ctx: &PairContext<'_>,
+) -> Result<Vec<PairResult>, PairError> {
+    let Some(server) = ctx.server else {
+        return Err(PairError::Setup("no resident server in context".into()));
+    };
+    let name = server.next_schema_name();
+    let mut client = Client::connect(server.addr())
+        .map_err(|e| PairError::Setup(format!("connect: {e}")))?;
+    let loaded = client
+        .load(&name, &case.schema_text)
+        .map_err(|e| PairError::Setup(format!("load: {e}")))?;
+    let mut results = Vec::new();
+    if !loaded.is_ok() {
+        // The library parsed this exact text; a server-side rejection is
+        // a real parser divergence, not a setup failure.
+        results.push(PairResult {
+            query: "load".into(),
+            left: Observation::error(format!("server rejected schema: {}", loaded.status)),
+            right: Observation::decided("loaded"),
+        });
+        return Ok(results);
+    }
+    let lines: Vec<String> = case
+        .queries
+        .iter()
+        .map(|q| protocol_line(&name, q))
+        .collect();
+    let first_tag = case.id.wrapping_mul(1000) + 1;
+    let responses = match client.pipeline_tagged(&lines, first_tag) {
+        Ok(r) => r,
+        Err(ClientError::Desync {
+            expected,
+            got,
+            status,
+        }) => {
+            return Err(PairError::Desync {
+                expected,
+                got,
+                status,
+            })
+        }
+        Err(ClientError::Io(e)) => return Err(PairError::Setup(format!("pipeline: {e}"))),
+    };
+    for (q, resp) in case.queries.iter().zip(&responses) {
+        results.push(PairResult {
+            query: q.to_string(),
+            left: response_obs(resp),
+            right: answer_direct(ds, q, DimsatOptions::default()),
+        });
+    }
+    let _ = client.request(&format!("unload {name}"));
+    let _ = client.quit();
+    Ok(results)
+}
+
+fn protocol_line(schema: &str, q: &Query) -> String {
+    use odc_serve::protocol::quote_token;
+    let mut line = match q {
+        Query::Check(c) => format!("check {schema} {}", quote_token(c)),
+        Query::Implies(src) => format!("implies {schema} {}", quote_token(src)),
+        Query::Frozen(c) => format!("frozen {schema} {}", quote_token(c)),
+        Query::Summarizable { target, sources } => {
+            let mut line = format!("summarizable {schema} {}", quote_token(target));
+            for s in sources {
+                line.push(' ');
+                line.push_str(&quote_token(s));
+            }
+            line
+        }
+    };
+    // Same per-query allowance as every local executor.
+    line.push_str(&format!(" --node-limit {CASE_NODE_LIMIT}"));
+    line
+}
+
+/// Reduces a protocol response to the canonical verdict vocabulary.
+fn response_obs(resp: &Response) -> Observation {
+    match resp.status_word() {
+        "ok" => {
+            let first = resp.payload.lines().next().unwrap_or("");
+            let verdict = if let Some(v) = first.strip_prefix("satisfiable: ") {
+                match v {
+                    "true" => "sat".to_string(),
+                    _ => "unsat".to_string(),
+                }
+            } else if let Some(v) = first.strip_prefix("implied: ") {
+                match v {
+                    "true" => "implied".to_string(),
+                    _ => "not-implied".to_string(),
+                }
+            } else if let Some(v) = first.strip_prefix("summarizable: ") {
+                match v {
+                    "true" => "summarizable".to_string(),
+                    _ => "not-summarizable".to_string(),
+                }
+            } else if let Some(n) = first.split_whitespace().next().and_then(|t| t.parse::<usize>().ok())
+            {
+                format!("frozen={n}")
+            } else {
+                format!("unparsed: {first}")
+            };
+            Observation::decided(verdict)
+        }
+        "unknown" => Observation::unknown(resp.status.clone()),
+        other => Observation::error(format!("{other}: {}", resp.status)),
+    }
+}
+
+/// An in-process resident server for the [`Pair::ServeCli`] pair: bound
+/// on a loopback ephemeral port, drained on drop.
+pub struct ServerHarness {
+    addr: std::net::SocketAddr,
+    handle: ShutdownHandle,
+    join: Option<std::thread::JoinHandle<std::io::Result<odc_serve::ServeStats>>>,
+    counter: AtomicU64,
+}
+
+impl ServerHarness {
+    /// Binds and serves in a background thread.
+    pub fn start() -> std::io::Result<ServerHarness> {
+        let server = Server::bind(ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        })?;
+        let addr = server.local_addr();
+        let handle = server.shutdown_handle();
+        let join = std::thread::spawn(move || server.run());
+        Ok(ServerHarness {
+            addr,
+            handle,
+            join: Some(join),
+            counter: AtomicU64::new(0),
+        })
+    }
+
+    /// The bound loopback address.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    fn next_schema_name(&self) -> String {
+        format!("fz{}", self.counter.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+impl Drop for ServerHarness {
+    fn drop(&mut self) {
+        self.handle.drain();
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}

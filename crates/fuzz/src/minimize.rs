@@ -1,0 +1,216 @@
+//! Delta-debugging repro minimization on the schema *text*. The
+//! candidate moves are: keep a single failing query, drop a constraint
+//! line, drop a parent edge, drop a whole category. Every candidate is
+//! re-parsed ([`odc_core::parse_schema`]) before it is tried, so each
+//! intermediate schema is C1–C7 well-formed by construction; candidates
+//! that stop reproducing the divergence are rejected. Moves are tried
+//! in a fixed order and the loop runs to a fixed point, which makes the
+//! result deterministic for a fixed input and idempotent
+//! (`minimize(minimize(x)) == minimize(x)`).
+
+use crate::case::{FuzzCase, Query};
+use crate::diff::{first_divergence, Pair};
+use crate::exec::PairContext;
+use odc_core::parse_schema;
+use std::collections::BTreeSet;
+
+/// Minimizes `case` against the divergence observed on `pair`: the
+/// interestingness predicate is "the pair still diverges on this case".
+pub fn minimize(case: &FuzzCase, pair: Pair, ctx: &PairContext<'_>) -> FuzzCase {
+    minimize_with(case, &mut |c| first_divergence(pair, c, ctx).is_some())
+}
+
+/// Minimizes `case` against an arbitrary interestingness predicate
+/// (exposed for the invariant tests). If `case` itself is not
+/// interesting, it is returned unchanged.
+pub fn minimize_with(case: &FuzzCase, fails: &mut dyn FnMut(&FuzzCase) -> bool) -> FuzzCase {
+    if !fails(case) {
+        return case.clone();
+    }
+    let mut best = case.clone();
+
+    // Phase 1: query reduction — the first query that reproduces the
+    // divergence alone wins; otherwise the whole battery stays.
+    if best.queries.len() > 1 {
+        for q in best.queries.clone() {
+            let mut cand = best.clone();
+            cand.queries = vec![q];
+            if fails(&cand) {
+                best = cand;
+                break;
+            }
+        }
+    }
+
+    // Names the schema must keep: the bottom, every category a query
+    // names, and every token of an implication source (category names
+    // and equality atoms share the token grammar).
+    let mut keep: BTreeSet<String> = BTreeSet::new();
+    keep.insert(best.bottom.clone());
+    for q in &best.queries {
+        for m in q.mentions() {
+            keep.insert(m.to_string());
+        }
+        if let Query::Implies(src) = q {
+            for tok in tokens(src) {
+                keep.insert(tok);
+            }
+        }
+    }
+
+    // Phase 2: structural reduction to a fixed point.
+    while let Some(st) = SchemaText::parse(&best.schema_text) {
+        let mut accepted = false;
+
+        // Move A: drop one constraint line.
+        for i in 0..st.cons.len() {
+            let mut cand_st = st.clone();
+            cand_st.cons.remove(i);
+            if let Some(cand) = candidate(&best, &cand_st) {
+                if fails(&cand) {
+                    best = cand;
+                    accepted = true;
+                    break;
+                }
+            }
+        }
+        if accepted {
+            continue;
+        }
+
+        // Move B: drop one parent edge from a multi-parent category.
+        'edges: for ci in 0..st.hier.len() {
+            if st.hier[ci].1.len() < 2 {
+                continue;
+            }
+            for pi in 0..st.hier[ci].1.len() {
+                let mut cand_st = st.clone();
+                cand_st.hier[ci].1.remove(pi);
+                // Constraints that stop being well-formed without the
+                // edge are caught by the re-parse inside `candidate`.
+                if let Some(cand) = candidate(&best, &cand_st) {
+                    if fails(&cand) {
+                        best = cand;
+                        accepted = true;
+                        break 'edges;
+                    }
+                }
+            }
+        }
+        if accepted {
+            continue;
+        }
+
+        // Move C: drop a whole category (its own line, its appearances
+        // as a parent, and every constraint mentioning it).
+        'cats: for (child, _) in &st.hier {
+            if keep.contains(child) {
+                continue;
+            }
+            let mut cand_st = st.clone();
+            cand_st.hier.retain(|(c, _)| c != child);
+            let mut broken = false;
+            for (_, parents) in cand_st.hier.iter_mut() {
+                parents.retain(|p| p != child);
+                if parents.is_empty() {
+                    broken = true;
+                }
+            }
+            if broken {
+                continue 'cats;
+            }
+            cand_st.cons.retain(|line| !mentions_token(line, child));
+            if let Some(cand) = candidate(&best, &cand_st) {
+                if fails(&cand) {
+                    best = cand;
+                    accepted = true;
+                    break 'cats;
+                }
+            }
+        }
+        if !accepted {
+            break;
+        }
+    }
+    best
+}
+
+fn candidate(base: &FuzzCase, st: &SchemaText) -> Option<FuzzCase> {
+    let text = st.render();
+    let ds = parse_schema(&text).ok()?;
+    // The battery must stay answerable: the bottom must survive.
+    ds.hierarchy().category_by_name(&base.bottom)?;
+    let mut cand = base.clone();
+    cand.schema_text = text;
+    Some(cand)
+}
+
+/// The line-level view of the schema-text grammar the minimizer edits:
+/// `hierarchy:` lines as `(child, parents)` and raw constraint lines.
+#[derive(Debug, Clone)]
+struct SchemaText {
+    hier: Vec<(String, Vec<String>)>,
+    cons: Vec<String>,
+}
+
+impl SchemaText {
+    fn parse(src: &str) -> Option<SchemaText> {
+        let mut hier = Vec::new();
+        let mut cons = Vec::new();
+        let mut section = "";
+        for raw in src.lines() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            match line {
+                "hierarchy:" => {
+                    section = "hierarchy";
+                    continue;
+                }
+                "constraints:" => {
+                    section = "constraints";
+                    continue;
+                }
+                _ => {}
+            }
+            match section {
+                "hierarchy" => {
+                    let (child, parents) = line.split_once('>')?;
+                    let ps: Vec<String> = parents
+                        .split(',')
+                        .map(|p| p.trim().to_string())
+                        .filter(|p| !p.is_empty())
+                        .collect();
+                    hier.push((child.trim().to_string(), ps));
+                }
+                "constraints" => cons.push(line.to_string()),
+                _ => return None,
+            }
+        }
+        Some(SchemaText { hier, cons })
+    }
+
+    fn render(&self) -> String {
+        let mut out = String::from("hierarchy:\n");
+        for (child, parents) in &self.hier {
+            out.push_str(&format!("  {child} > {}\n", parents.join(", ")));
+        }
+        out.push_str("constraints:\n");
+        for c in &self.cons {
+            out.push_str(&format!("  {c}\n"));
+        }
+        out
+    }
+}
+
+fn tokens(s: &str) -> Vec<String> {
+    s.split(|c: char| !c.is_alphanumeric() && c != '_')
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_string())
+        .collect()
+}
+
+fn mentions_token(line: &str, name: &str) -> bool {
+    tokens(line).iter().any(|t| t == name)
+}

@@ -306,6 +306,29 @@ pub struct RepoEvent {
     pub bytes: u64,
 }
 
+/// A differential-fuzzer lifecycle event: one generated case pushed
+/// through an executor pair (`phase == "case"`), or a disagreement
+/// between the two executors of a pair (`phase == "divergence"`).
+/// Divergences carry their own JSONL event name (`fuzz_divergence`) so
+/// CI smoke stages can assert on them without decoding phases.
+#[derive(Debug, Clone)]
+pub struct FuzzEvent {
+    /// `"case"` or `"divergence"`.
+    pub phase: &'static str,
+    /// The fuzzer's case counter (stable for a fixed seed).
+    pub case_id: u64,
+    /// Which generator axis produced the case (`fan_out`,
+    /// `shortcut_density`, `into_ratio`, `vocabulary`, `sat_adversarial`,
+    /// `mutated_fixture`, or `replay`).
+    pub axis: String,
+    /// The executor pair exercised (e.g. `trail/clone`).
+    pub pair: String,
+    /// For cases: the query-batch size; for divergences: how the
+    /// executors disagreed (verdict, countermodel, stats, exit code,
+    /// or protocol desync).
+    pub detail: String,
+}
+
 /// One worker's contribution to a parallel battery, reported when the
 /// worker drains its stripe.
 #[derive(Debug, Clone)]
@@ -375,6 +398,8 @@ pub trait Observer: Send + Sync {
     fn fault(&self, _f: &FaultEvent) {}
     /// The verdict repository recovered, migrated, or changed mode.
     fn repo(&self, _e: &RepoEvent) {}
+    /// The differential fuzzer completed a case or found a divergence.
+    fn fuzz(&self, _e: &FuzzEvent) {}
 }
 
 /// The sink that ignores everything (useful for measuring pure
@@ -511,6 +536,14 @@ impl Obs {
             o.repo(e);
         }
     }
+
+    /// Forwards a fuzzer event.
+    #[inline]
+    pub fn fuzz(&self, e: &FuzzEvent) {
+        if let Some(o) = &self.0 {
+            o.fuzz(e);
+        }
+    }
 }
 
 /// Fans events out to several sinks (e.g. a JSON-lines file *and* a
@@ -590,6 +623,11 @@ impl Observer for MultiObserver {
     fn repo(&self, e: &RepoEvent) {
         for s in &self.sinks {
             s.repo(e);
+        }
+    }
+    fn fuzz(&self, e: &FuzzEvent) {
+        for s in &self.sinks {
+            s.fuzz(e);
         }
     }
 }
@@ -918,6 +956,24 @@ impl Observer for JsonlObserver {
             e.bytes,
         ));
     }
+
+    fn fuzz(&self, e: &FuzzEvent) {
+        // Divergences get their own event name so fuzz smoke stages can
+        // grep for them without decoding phases.
+        let event = if e.phase == "divergence" {
+            "fuzz_divergence"
+        } else {
+            "fuzz_case"
+        };
+        self.emit(format!(
+            "{{\"event\":\"{event}\",\"case_id\":{},\"axis\":\"{}\",\"pair\":\"{}\",\
+             \"detail\":\"{}\"}}",
+            e.case_id,
+            json_escape(&e.axis),
+            json_escape(&e.pair),
+            json_escape(&e.detail),
+        ));
+    }
 }
 
 /// A human-readable progress stream (one short line per lifecycle event
@@ -1053,6 +1109,13 @@ impl Observer for ProgressObserver {
             e.phase, e.path, e.detail, e.records, e.bytes
         ));
     }
+
+    fn fuzz(&self, e: &FuzzEvent) {
+        self.emit(format!(
+            "progress: fuzz case #{} {} [{}] {} ({})",
+            e.case_id, e.phase, e.axis, e.pair, e.detail
+        ));
+    }
 }
 
 /// One recorded event (what a [`CollectingObserver`] stores).
@@ -1084,6 +1147,8 @@ pub enum Event {
     Fault(FaultEvent),
     /// A `repo` call.
     Repo(RepoEvent),
+    /// A `fuzz` call.
+    Fuzz(FuzzEvent),
 }
 
 /// An in-memory sink recording every event, for tests and ad-hoc
@@ -1150,6 +1215,9 @@ impl Observer for CollectingObserver {
     }
     fn repo(&self, e: &RepoEvent) {
         self.push(Event::Repo(e.clone()));
+    }
+    fn fuzz(&self, e: &FuzzEvent) {
+        self.push(Event::Fuzz(e.clone()));
     }
 }
 

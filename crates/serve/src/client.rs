@@ -2,9 +2,62 @@
 //! the load generator, and the integration tests speak through.
 
 use crate::protocol::{stuff_block, Response};
+use std::fmt;
 use std::io::{self, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
+
+/// A typed client-side failure: transport errors stay `Io`; a response
+/// whose echoed `--tag` does not match the request order is a `Desync`
+/// — the server's reorder buffer misdelivered, and the caller (e.g. the
+/// differential fuzzer) must attribute the failure to the *server*, not
+/// to its own payload parsing.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed.
+    Io(io::Error),
+    /// The response arrived out of order: the status line echoed the
+    /// wrong tag (or none at all).
+    Desync {
+        /// The tag the next in-order response should have echoed.
+        expected: u64,
+        /// The tag the response actually echoed, if any.
+        got: Option<u64>,
+        /// The offending status line, for diagnostics.
+        status: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "{e}"),
+            ClientError::Desync {
+                expected,
+                got,
+                status,
+            } => match got {
+                Some(g) => write!(
+                    f,
+                    "protocol desync: expected seq {expected}, got {g} (status `{status}`)"
+                ),
+                None => write!(
+                    f,
+                    "protocol desync: expected seq {expected}, got untagged response \
+                     (status `{status}`)"
+                ),
+            },
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
 
 /// Jittered exponential backoff for connection retries: 25ms doubled
 /// per attempt, capped at two seconds, plus up to 50% process-random
@@ -88,6 +141,58 @@ impl Client {
                 "server closed the connection before responding",
             )
         })
+    }
+
+    /// Sends one solve request line with `--tag <tag>` appended and
+    /// verifies the response echoes that tag. A wrong (or missing) echo
+    /// is a typed [`ClientError::Desync`].
+    pub fn request_tagged(&mut self, line: &str, tag: u64) -> Result<Response, ClientError> {
+        let resp = self.request(&format!("{line} --tag {tag}"))?;
+        Self::check_tag(resp, tag)
+    }
+
+    /// Pipelines several solve request lines on one connection: all
+    /// lines are written (tagged `first_tag`, `first_tag + 1`, …) before
+    /// any response is read, then the responses are read back in order.
+    /// The PR-8 event loop may *finish* the solves out of order; its
+    /// reorder buffer must still deliver responses in request order, and
+    /// each must echo its own tag — any other interleaving surfaces as
+    /// [`ClientError::Desync`] naming the expected and actual sequence
+    /// numbers.
+    pub fn pipeline_tagged(
+        &mut self,
+        lines: &[String],
+        first_tag: u64,
+    ) -> Result<Vec<Response>, ClientError> {
+        let mut buf = String::new();
+        for (i, line) in lines.iter().enumerate() {
+            buf.push_str(&format!("{line} --tag {}\n", first_tag + i as u64));
+        }
+        self.writer.write_all(buf.as_bytes())?;
+        self.writer.flush()?;
+        let mut out = Vec::with_capacity(lines.len());
+        for i in 0..lines.len() {
+            let resp = self.read_response()?;
+            out.push(Self::check_tag(resp, first_tag + i as u64)?);
+        }
+        Ok(out)
+    }
+
+    fn check_tag(resp: Response, expected: u64) -> Result<Response, ClientError> {
+        // `error` responses are emitted before the tag is parsed off the
+        // request line (e.g. an unknown schema), so they are exempt from
+        // the echo check: the request *was* answered in order.
+        if resp.status_word() == "error" {
+            return Ok(resp);
+        }
+        match resp.tag() {
+            Some(t) if t == expected => Ok(resp),
+            got => Err(ClientError::Desync {
+                expected,
+                got,
+                status: resp.status.clone(),
+            }),
+        }
     }
 
     /// Best-effort `quit`.

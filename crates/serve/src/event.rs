@@ -81,6 +81,11 @@ const LINE_CAP: usize = 1 << 20;
 const BLOCK_CAP: usize = 16 << 20;
 /// How long drain waits for unflushed responses before force-closing.
 const DRAIN_GRACE: Duration = Duration::from_secs(10);
+/// After the drain deadline, responses still buffered get one bounded
+/// *blocking* flush each before the connection drops. Cutting a
+/// dot-framed response off mid-block corrupts the protocol for the
+/// peer; this grace only runs out on a peer that stopped reading.
+const FINAL_FLUSH_GRACE: Duration = Duration::from_secs(5);
 /// Maximum reasoning requests one connection may have in flight across
 /// shards. Pipelined clients amortize the IO-thread/shard handoff over
 /// the whole window instead of ping-ponging per request.
@@ -325,6 +330,37 @@ fn try_flush(conn: &mut EConn) -> bool {
         conn.wpos = 0;
     }
     true
+}
+
+/// Finishes a connection's buffered output with bounded blocking
+/// writes. Runs once per connection at loop teardown: a nonblocking
+/// `try_flush` there would truncate any response larger than the
+/// socket's send buffer inside its dot-framed block. The deadline
+/// bounds a peer that stops reading; a peer that keeps consuming gets
+/// the whole response.
+fn flush_remaining(conn: &mut EConn, grace: Duration) {
+    if conn.dead || !conn.pending_write() {
+        let _ = try_flush(conn);
+        return;
+    }
+    if conn.stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    let deadline = Instant::now() + grace;
+    while conn.pending_write() {
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() || conn.stream.set_write_timeout(Some(left)).is_err() {
+            return;
+        }
+        match (&conn.stream).write(&conn.wbuf[conn.wpos..]) {
+            Ok(0) => return,
+            Ok(n) => conn.wpos += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            // A write timeout surfaces as WouldBlock or TimedOut
+            // depending on the platform; either way the grace is spent.
+            Err(_) => return,
+        }
+    }
 }
 
 /// Drains the socket into `rbuf` until `WouldBlock`, EOF, the soft cap
@@ -864,7 +900,7 @@ pub(crate) fn run(
         deliver(&ctx, &mut conns, d);
     }
     for conn in conns.values_mut() {
-        let _ = try_flush(conn);
+        flush_remaining(conn, FINAL_FLUSH_GRACE);
     }
     for (_, conn) in conns.drain() {
         emit_conn(&shared.obs, conn.id, "closed", &conn.peer);

@@ -52,6 +52,15 @@ pub(crate) fn no_such_schema(name: &str) -> Response {
     Response::error(&format!("no such schema `{name}` (use `load`)"))
 }
 
+/// How many partial results an *interrupted* frozen enumeration lists.
+/// A cancelled exponential enumeration can hold tens of thousands of
+/// partial frozen dimensions; listing them all makes the `unknown`
+/// response unboundedly large (hundreds of MB on a depth-40 ladder),
+/// which a draining server cannot flush before its grace expires. The
+/// decided listing is never capped. The CLI applies the same cap
+/// (`src/bin/odc.rs`) so the two stay byte-identical.
+pub const PARTIAL_LISTING_CAP: usize = 32;
+
 /// Runs one non-solve command. `load_text` carries the dot-framed
 /// schema block for `load` (both modes read it off the wire before
 /// calling in). Solve commands are routed by the caller through
@@ -178,7 +187,7 @@ pub(crate) fn execute_solve(
     worker_id: u64,
     token: &CancelToken,
 ) -> Response {
-    match cmd {
+    let resp = match cmd {
         Command::Check { category, ask, .. } => solve(
             shared, entry, *ask, request_id, worker_id, token,
             |entry, gov| {
@@ -268,6 +277,11 @@ pub(crate) fn execute_solve(
                 let c = find_category(entry, root)?;
                 let (frozen, outcome) =
                     Dimsat::new(ds).enumerate_frozen_governed(c, gov);
+                let shown = if outcome.interrupted.is_some() {
+                    frozen.len().min(PARTIAL_LISTING_CAP)
+                } else {
+                    frozen.len()
+                };
                 let mut payload = format!(
                     "{} frozen dimension(s) with root {} ({} EXPAND, {} CHECK):\n",
                     frozen.len(),
@@ -275,8 +289,14 @@ pub(crate) fn execute_solve(
                     outcome.stats.expand_calls,
                     outcome.stats.check_calls,
                 );
-                for (i, f) in frozen.iter().enumerate() {
+                for (i, f) in frozen.iter().take(shown).enumerate() {
                     payload.push_str(&format!("  f{}: {}\n", i + 1, f.display(ds)));
+                }
+                if frozen.len() > shown {
+                    payload.push_str(&format!(
+                        "  ... {} more partial result(s) not shown\n",
+                        frozen.len() - shown
+                    ));
                 }
                 let unknown = outcome.interrupted.as_ref().map(|i| {
                     payload.push_str(&format!(
@@ -333,6 +353,12 @@ pub(crate) fn execute_solve(
             },
         ),
         other => Response::error(&format!("internal: `{}` misrouted", other.name())),
+    };
+    // Echo the client's sequence tag so pipelining clients can detect a
+    // misordered response (reorder-buffer desync) on the status line.
+    match cmd.ask().and_then(|a| a.tag) {
+        Some(tag) => resp.with_tag(tag),
+        None => resp,
     }
 }
 

@@ -48,6 +48,7 @@ pub mod protocol;
 pub mod server;
 
 pub use catalog::{CatalogEntry, SchemaCatalog};
-pub use client::{retry_backoff, Client};
+pub use exec::PARTIAL_LISTING_CAP;
+pub use client::{retry_backoff, Client, ClientError};
 pub use protocol::{BudgetAsk, Command, Response};
 pub use server::{IoMode, ServeConfig, ServeStats, Server, ShutdownHandle};

@@ -42,6 +42,12 @@ pub struct BudgetAsk {
     pub time_limit: Option<Duration>,
     /// `--node-limit`.
     pub node_limit: Option<u64>,
+    /// `--tag`: an opaque client sequence number echoed back as
+    /// ` tag=<n>` on the solve response's status line. Pipelining
+    /// clients use the echo to *attribute* a misordered response to the
+    /// server's reorder buffer (a typed desync) instead of failing with
+    /// a generic parse error on the payload.
+    pub tag: Option<u64>,
 }
 
 impl BudgetAsk {
@@ -124,6 +130,18 @@ impl Command {
             Command::Frozen { .. } => "frozen",
             Command::Shutdown => "shutdown",
             Command::Quit => "quit",
+        }
+    }
+
+    /// The budget ask of a solve command, if any.
+    pub fn ask(&self) -> Option<BudgetAsk> {
+        match self {
+            Command::Check { ask, .. }
+            | Command::Audit { ask, .. }
+            | Command::Implies { ask, .. }
+            | Command::Summarizable { ask, .. }
+            | Command::Frozen { ask, .. } => Some(*ask),
+            _ => None,
         }
     }
 
@@ -265,6 +283,10 @@ fn split_budget_flags(tokens: &[String]) -> Result<(Vec<String>, BudgetAsk), Str
                 ask.node_limit =
                     Some(v.parse().map_err(|_| format!("--node-limit: not a number: {v}"))?);
             }
+            "--tag" => {
+                let v = it.next().ok_or("--tag needs a value")?;
+                ask.tag = Some(v.parse().map_err(|_| format!("--tag: not a number: {v}"))?);
+            }
             f if f.starts_with("--") => return Err(format!("unknown flag `{f}`")),
             _ => pos.push(t.clone()),
         }
@@ -396,6 +418,22 @@ impl Response {
         self.status.split_whitespace().next().unwrap_or("")
     }
 
+    /// The echoed request tag, when the request carried `--tag <n>` —
+    /// the trailing ` tag=<n>` token of the status line.
+    pub fn tag(&self) -> Option<u64> {
+        self.status
+            .rsplit(' ')
+            .next()
+            .and_then(|t| t.strip_prefix("tag="))
+            .and_then(|n| n.parse().ok())
+    }
+
+    /// Appends the echoed tag to the status line (server side).
+    pub fn with_tag(mut self, tag: u64) -> Response {
+        self.status.push_str(&format!(" tag={tag}"));
+        self
+    }
+
     /// Whether the status is `ok`.
     pub fn is_ok(&self) -> bool {
         self.status_word() == "ok"
@@ -500,7 +538,8 @@ mod tests {
                 category: "Store".into(),
                 ask: BudgetAsk {
                     time_limit: None,
-                    node_limit: Some(10)
+                    node_limit: Some(10),
+                    tag: None
                 },
             }
         );
@@ -513,7 +552,8 @@ mod tests {
                 sources: vec!["State".into(), "Province".into()],
                 ask: BudgetAsk {
                     time_limit: Some(Duration::from_millis(500)),
-                    node_limit: None
+                    node_limit: None,
+                    tag: None
                 },
             }
         );
@@ -579,6 +619,7 @@ mod tests {
         let ask = BudgetAsk {
             time_limit: Some(Duration::from_secs(2)),
             node_limit: Some(7),
+            tag: None,
         };
         let b = ask.to_budget();
         assert_eq!(b.deadline, Some(Duration::from_secs(2)));

@@ -65,7 +65,7 @@ pub fn location_sch() -> DimensionSchema {
     b.edge(state, country);
     b.edge(sale_region, country);
     b.edge(country, Category::ALL);
-    let g = Arc::new(b.build().unwrap());
+    let g = Arc::new(b.build().expect("catalog hierarchy is well-formed"));
     DimensionSchema::parse(
         g,
         r#"
@@ -79,7 +79,7 @@ pub fn location_sch() -> DimensionSchema {
         Province.Country = Canada
         "#,
     )
-    .unwrap()
+    .expect("catalog Σ parses")
 }
 
 /// The `location` dimension instance of Figure 1(B).
@@ -174,7 +174,7 @@ fn product() -> CatalogEntry {
     b.edge(line, department);
     b.edge_to_all(company);
     b.edge_to_all(department);
-    let g = Arc::new(b.build().unwrap());
+    let g = Arc::new(b.build().expect("catalog hierarchy is well-formed"));
     let schema = DimensionSchema::parse(
         g,
         r#"
@@ -185,7 +185,7 @@ fn product() -> CatalogEntry {
         Product.Department = Generics <-> !Product_Brand
         "#,
     )
-    .unwrap();
+    .expect("catalog Σ parses");
 
     let g = schema.hierarchy_arc();
     let mut ib = DimensionInstance::builder(g);
@@ -247,7 +247,7 @@ fn time() -> CatalogEntry {
     b.edge(month, quarter);
     b.edge(quarter, year);
     b.edge_to_all(year);
-    let g = Arc::new(b.build().unwrap());
+    let g = Arc::new(b.build().expect("catalog hierarchy is well-formed"));
     let schema = DimensionSchema::parse(
         g,
         r#"
@@ -258,7 +258,7 @@ fn time() -> CatalogEntry {
         Quarter_Year
         "#,
     )
-    .unwrap();
+    .expect("catalog Σ parses");
 
     let g2 = schema.hierarchy_arc();
     let mut ib = DimensionInstance::builder(g2);
@@ -321,7 +321,7 @@ fn organization() -> CatalogEntry {
     b.edge(department, division);
     b.edge_to_all(division);
     b.edge_to_all(agency);
-    let g = Arc::new(b.build().unwrap());
+    let g = Arc::new(b.build().expect("catalog hierarchy is well-formed"));
     let schema = DimensionSchema::parse(
         g,
         r#"
@@ -332,7 +332,7 @@ fn organization() -> CatalogEntry {
         Department_Division
         "#,
     )
-    .unwrap();
+    .expect("catalog Σ parses");
 
     let g2 = schema.hierarchy_arc();
     let mut ib = DimensionInstance::builder(g2);
@@ -394,7 +394,7 @@ fn healthcare() -> CatalogEntry {
     b.edge(clinic, hospital);
     b.edge(hospital, network);
     b.edge_to_all(network);
-    let g = Arc::new(b.build().unwrap());
+    let g = Arc::new(b.build().expect("catalog hierarchy is well-formed"));
     let schema = DimensionSchema::parse(
         g,
         r#"
@@ -405,7 +405,7 @@ fn healthcare() -> CatalogEntry {
         Hospital_Network
         "#,
     )
-    .unwrap();
+    .expect("catalog Σ parses");
 
     let g2 = schema.hierarchy_arc();
     let mut ib = DimensionInstance::builder(g2);
@@ -463,7 +463,7 @@ fn geography() -> CatalogEntry {
     b.edge(state, country);
     b.edge(country, continent);
     b.edge_to_all(continent);
-    let g = Arc::new(b.build().unwrap());
+    let g = Arc::new(b.build().expect("catalog hierarchy is well-formed"));
     let schema = DimensionSchema::parse(
         g,
         r#"
@@ -477,7 +477,7 @@ fn geography() -> CatalogEntry {
         City.Continent = Europe -> !City_State
         "#,
     )
-    .unwrap();
+    .expect("catalog Σ parses");
 
     let g2 = schema.hierarchy_arc();
     let mut ib = DimensionInstance::builder(g2);
@@ -548,7 +548,7 @@ fn pricing() -> CatalogEntry {
     b.edge(regular, warehouse);
     b.edge_to_all(price);
     b.edge_to_all(warehouse);
-    let g = Arc::new(b.build().unwrap());
+    let g = Arc::new(b.build().expect("catalog hierarchy is well-formed"));
     let schema = DimensionSchema::parse(
         g,
         r#"
@@ -561,7 +561,7 @@ fn pricing() -> CatalogEntry {
         Product.Price < 100 | Product.Price >= 100
         "#,
     )
-    .unwrap();
+    .expect("catalog Σ parses");
 
     let g2 = schema.hierarchy_arc();
     let mut ib = DimensionInstance::builder(g2);

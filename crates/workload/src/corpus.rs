@@ -1,0 +1,635 @@
+//! Adversarial schema corpus engine for the differential fuzzer.
+//!
+//! The reasoning problems under Theorems 1–4 get hard along four axes:
+//! *fan-out* (parents per category — the branching factor of EXPAND),
+//! *shortcut density* (edges bypassing intermediate categories — the
+//! pruning rules' blind spot), *into-constraint ratio* (how much of the
+//! search the into-pruning rules can cut), and *equality-atom
+//! vocabulary* (the `N_K` constant pool of Proposition 4). This module
+//! sweeps those axes with seeded generators, adds the Theorem-4
+//! SAT-adversarial family from [`crate::satred`], and mutates the
+//! paper's figure fixtures with small structural edits — the classic
+//! fuzzing recipe of "valid corpus + mutation operators".
+//!
+//! Everything is deterministic per `(seed, case id)`, so a fuzz run is
+//! reproducible from two integers, and a degenerate draw surfaces as a
+//! skippable [`GenError`] instead of a panic.
+
+use crate::catalog::catalog;
+use crate::generator::{random_schema, GenError, SchemaGenParams};
+use crate::satred::{encode_sat, random_3sat};
+use odc_constraint::{parse_constraint, printer, DimensionConstraint, DimensionSchema};
+use odc_hierarchy::{Category, HierarchySchema};
+use odc_rand::rngs::StdRng;
+use odc_rand::{Rng, SeedableRng};
+use std::fmt;
+use std::sync::Arc;
+
+/// One hard axis of the corpus sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Axis {
+    /// High-branching layered DAGs (EXPAND fan-out).
+    FanOut,
+    /// Base schemas with injected shortcut edges.
+    ShortcutDensity,
+    /// Sweep of the into-constraint fraction from 0 to 1.
+    IntoRatio,
+    /// Large equality-atom constant pools and many exceptions.
+    Vocabulary,
+    /// Theorem-4 reductions of random 3-SAT formulas.
+    SatAdversarial,
+    /// Figure fixtures under random structural mutations.
+    MutatedFixture,
+}
+
+impl Axis {
+    /// Every axis, in the order the engine cycles through them.
+    pub const ALL: [Axis; 6] = [
+        Axis::FanOut,
+        Axis::ShortcutDensity,
+        Axis::IntoRatio,
+        Axis::Vocabulary,
+        Axis::SatAdversarial,
+        Axis::MutatedFixture,
+    ];
+
+    /// Stable identifier used in JSONL events and repro directories.
+    pub fn name(self) -> &'static str {
+        match self {
+            Axis::FanOut => "fan_out",
+            Axis::ShortcutDensity => "shortcut_density",
+            Axis::IntoRatio => "into_ratio",
+            Axis::Vocabulary => "vocabulary",
+            Axis::SatAdversarial => "sat_adversarial",
+            Axis::MutatedFixture => "mutated_fixture",
+        }
+    }
+
+    /// The inverse of [`Axis::name`].
+    pub fn parse(s: &str) -> Option<Axis> {
+        Axis::ALL.into_iter().find(|a| a.name() == s)
+    }
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A structural mutation operator applied to a valid schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Add a random non-cycle-forming edge.
+    AddEdge,
+    /// Drop one edge of a multi-parent category.
+    DropEdge,
+    /// Toggle an into constraint: remove an existing one, or add one to
+    /// an unconstrained category.
+    FlipIntoBit,
+    /// Collide two equality-atom constants (rename one onto the other).
+    RenameCollideAtoms,
+    /// Add an edge that duplicates an existing multi-step path.
+    InjectShortcut,
+}
+
+impl Mutation {
+    /// Every operator, in a stable order.
+    pub const ALL: [Mutation; 5] = [
+        Mutation::AddEdge,
+        Mutation::DropEdge,
+        Mutation::FlipIntoBit,
+        Mutation::RenameCollideAtoms,
+        Mutation::InjectShortcut,
+    ];
+
+    /// Stable identifier used in case labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mutation::AddEdge => "add_edge",
+            Mutation::DropEdge => "drop_edge",
+            Mutation::FlipIntoBit => "flip_into",
+            Mutation::RenameCollideAtoms => "rename_collide",
+            Mutation::InjectShortcut => "inject_shortcut",
+        }
+    }
+}
+
+/// One corpus entry: a schema plus the bottom category the fuzzer roots
+/// its query batch at.
+#[derive(Debug, Clone)]
+pub struct CorpusCase {
+    /// Engine-assigned case counter (stable for a fixed seed).
+    pub id: u64,
+    /// The axis the case stresses.
+    pub axis: Axis,
+    /// Human-readable description of the draw's knob settings.
+    pub label: String,
+    /// The generated schema `(G, Σ)`.
+    pub schema: DimensionSchema,
+    /// Name of the bottom category to query from.
+    pub bottom: String,
+}
+
+/// The deterministic case stream: cycles over [`Axis::ALL`], deriving
+/// each case's RNG from `(seed, case id)` alone so cases can be
+/// regenerated independently and in any order.
+#[derive(Debug, Clone)]
+pub struct CorpusEngine {
+    seed: u64,
+    next_id: u64,
+}
+
+impl CorpusEngine {
+    /// An engine for the given master seed.
+    pub fn new(seed: u64) -> Self {
+        CorpusEngine { seed, next_id: 0 }
+    }
+
+    /// The master seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Generates the next case. A degenerate draw consumes its case id
+    /// and returns the (skippable) error — callers keep pulling.
+    pub fn next_case(&mut self) -> Result<CorpusCase, GenError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        case_for(self.seed, id)
+    }
+}
+
+/// Regenerates case `id` of the stream seeded with `seed`.
+pub fn case_for(seed: u64, id: u64) -> Result<CorpusCase, GenError> {
+    let axis = Axis::ALL[(id % Axis::ALL.len() as u64) as usize];
+    // Splitmix-style stream split: each case gets an independent RNG.
+    let mut rng = StdRng::seed_from_u64(
+        seed ^ id
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0x2545_F491_4F6C_DD1D),
+    );
+    let (schema, bottom, label) = build_axis_case(axis, &mut rng)?;
+    Ok(CorpusCase {
+        id,
+        axis,
+        label,
+        schema,
+        bottom,
+    })
+}
+
+fn build_axis_case(
+    axis: Axis,
+    rng: &mut StdRng,
+) -> Result<(DimensionSchema, String, String), GenError> {
+    match axis {
+        Axis::FanOut => {
+            let width = rng.gen_range(3..=5);
+            let extra = 0.5 + rng.gen_range(0..=4) as f64 * 0.1;
+            let p = SchemaGenParams {
+                layers: 2,
+                width,
+                extra_edge_prob: extra,
+                into_fraction: 0.6,
+                constants_per_category: 2,
+                exceptions: 1,
+                ordered_exceptions: 0,
+            };
+            let ds = random_schema(&p, rng)?;
+            Ok((ds, "B".to_string(), format!("fan_out w={width} x={extra:.1}")))
+        }
+        Axis::ShortcutDensity => {
+            let p = SchemaGenParams {
+                layers: 3,
+                width: 2,
+                extra_edge_prob: 0.3,
+                into_fraction: 0.5,
+                constants_per_category: 2,
+                exceptions: 1,
+                ordered_exceptions: 0,
+            };
+            let mut ds = random_schema(&p, rng)?;
+            let want = rng.gen_range(1..=3);
+            let mut injected = 0;
+            for _ in 0..want {
+                match mutate_schema(&ds, Mutation::InjectShortcut, rng) {
+                    Ok(next) => {
+                        ds = next;
+                        injected += 1;
+                    }
+                    // No more shortcut sites: keep what we have.
+                    Err(GenError::Degenerate(_)) => break,
+                    Err(e) => return Err(e),
+                }
+            }
+            Ok((
+                ds,
+                "B".to_string(),
+                format!("shortcut_density +{injected} shortcuts"),
+            ))
+        }
+        Axis::IntoRatio => {
+            let frac = rng.gen_range(0..=4) as f64 * 0.25;
+            let p = SchemaGenParams {
+                layers: 3,
+                width: 3,
+                extra_edge_prob: 0.35,
+                into_fraction: frac,
+                constants_per_category: 2,
+                exceptions: 2,
+                ordered_exceptions: 0,
+            };
+            let ds = random_schema(&p, rng)?;
+            Ok((ds, "B".to_string(), format!("into_ratio f={frac:.2}")))
+        }
+        Axis::Vocabulary => {
+            let consts = rng.gen_range(1..=5);
+            let exceptions = rng.gen_range(2..=6);
+            let ordered = rng.gen_range(0..=2);
+            let p = SchemaGenParams {
+                layers: 2,
+                width: 3,
+                extra_edge_prob: 0.4,
+                into_fraction: 0.5,
+                constants_per_category: consts,
+                exceptions,
+                ordered_exceptions: ordered,
+            };
+            let ds = random_schema(&p, rng)?;
+            Ok((
+                ds,
+                "B".to_string(),
+                format!("vocabulary k={consts} exc={exceptions} ord={ordered}"),
+            ))
+        }
+        Axis::SatAdversarial => {
+            let vars = rng.gen_range(3..=6);
+            let clauses = (vars as f64 * 4.2).round() as usize;
+            let formula = random_3sat(vars, clauses, rng);
+            let (ds, bottom) = encode_sat(&formula);
+            let name = ds.hierarchy().name(bottom).to_string();
+            Ok((ds, name, format!("sat_adversarial v={vars} c={clauses}")))
+        }
+        Axis::MutatedFixture => {
+            let entries = catalog();
+            let ei = rng.gen_range(0..entries.len());
+            let entry = &entries[ei];
+            let mut ds = entry.schema.clone();
+            let rounds = rng.gen_range(1..=2);
+            let mut applied: Vec<&'static str> = Vec::new();
+            for _ in 0..rounds {
+                // A mutation without an applicable site is retried with
+                // a different operator before the draw is given up on.
+                let mut done = false;
+                for attempt in 0..Mutation::ALL.len() {
+                    let m = Mutation::ALL
+                        [(rng.gen_range(0..Mutation::ALL.len()) + attempt) % Mutation::ALL.len()];
+                    match mutate_schema(&ds, m, rng) {
+                        Ok(next) => {
+                            ds = next;
+                            applied.push(m.name());
+                            done = true;
+                            break;
+                        }
+                        Err(GenError::Degenerate(_)) | Err(GenError::Hierarchy(_))
+                        | Err(GenError::Constraint { .. }) => continue,
+                        Err(e) => return Err(e),
+                    }
+                }
+                if !done {
+                    return Err(GenError::Degenerate(format!(
+                        "no mutation applicable to fixture {}",
+                        entry.name
+                    )));
+                }
+            }
+            let bottom = ds
+                .hierarchy()
+                .bottom_categories()
+                .first()
+                .map(|&c| ds.hierarchy().name(c).to_string())
+                .ok_or_else(|| GenError::Degenerate("mutant has no bottom".to_string()))?;
+            Ok((
+                ds,
+                bottom,
+                format!("mutated_fixture {} [{}]", entry.name, applied.join(",")),
+            ))
+        }
+    }
+}
+
+/// Applies one mutation operator. Draws with no applicable site return
+/// [`GenError::Degenerate`]; edits whose result violates the hierarchy
+/// builder's rules return [`GenError::Hierarchy`] — both skippable.
+pub fn mutate_schema(
+    ds: &DimensionSchema,
+    m: Mutation,
+    rng: &mut StdRng,
+) -> Result<DimensionSchema, GenError> {
+    let g = ds.hierarchy();
+    match m {
+        Mutation::AddEdge => {
+            let mut candidates: Vec<(Category, Category)> = Vec::new();
+            for c in g.categories().filter(|c| !c.is_all()) {
+                for p in g.categories() {
+                    if p == c || g.has_edge(c, p) {
+                        continue;
+                    }
+                    // Adding c→p is acyclic iff p cannot already reach c.
+                    if !p.is_all() && g.reaches(p, c) {
+                        continue;
+                    }
+                    candidates.push((c, p));
+                }
+            }
+            if candidates.is_empty() {
+                return Err(GenError::Degenerate("no addable edge".to_string()));
+            }
+            let (c, p) = candidates[rng.gen_range(0..candidates.len())];
+            let mut edges: Vec<(Category, Category)> = g.edges().collect();
+            edges.push((c, p));
+            rebuild(ds, &edges)
+        }
+        Mutation::DropEdge => {
+            let candidates: Vec<(Category, Category)> = g
+                .edges()
+                .filter(|&(c, _)| g.parents(c).len() >= 2)
+                .collect();
+            if candidates.is_empty() {
+                return Err(GenError::Degenerate("no droppable edge".to_string()));
+            }
+            let victim = candidates[rng.gen_range(0..candidates.len())];
+            let edges: Vec<(Category, Category)> = g.edges().filter(|&e| e != victim).collect();
+            rebuild(ds, &edges)
+        }
+        Mutation::InjectShortcut => {
+            let mut candidates: Vec<(Category, Category)> = Vec::new();
+            for c in g.categories().filter(|c| !c.is_all()) {
+                for a in g.reachable_from(c).iter() {
+                    if a == c || g.has_edge(c, a) {
+                        continue;
+                    }
+                    candidates.push((c, a));
+                }
+            }
+            if candidates.is_empty() {
+                return Err(GenError::Degenerate("no shortcut site".to_string()));
+            }
+            let (c, a) = candidates[rng.gen_range(0..candidates.len())];
+            let mut edges: Vec<(Category, Category)> = g.edges().collect();
+            edges.push((c, a));
+            rebuild(ds, &edges)
+        }
+        Mutation::FlipIntoBit => {
+            let intos: Vec<usize> = ds
+                .constraints()
+                .iter()
+                .enumerate()
+                .filter(|(_, dc)| dc.as_into().is_some())
+                .map(|(i, _)| i)
+                .collect();
+            let constrained: Vec<Category> = ds.into_constraints().iter().map(|&(c, _)| c).collect();
+            let unconstrained: Vec<Category> = g
+                .categories()
+                .filter(|&c| {
+                    !c.is_all() && !g.parents(c).is_empty() && !constrained.contains(&c)
+                })
+                .collect();
+            // Flip off an existing into bit, or flip one on.
+            if !intos.is_empty() && (unconstrained.is_empty() || rng.gen_bool(0.5)) {
+                let victim = intos[rng.gen_range(0..intos.len())];
+                let sigma: Vec<DimensionConstraint> = ds
+                    .constraints()
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != victim)
+                    .map(|(_, dc)| dc.clone())
+                    .collect();
+                Ok(DimensionSchema::new(ds.hierarchy_arc(), sigma))
+            } else if !unconstrained.is_empty() {
+                let c = unconstrained[rng.gen_range(0..unconstrained.len())];
+                let parents = g.parents(c);
+                let p = parents[rng.gen_range(0..parents.len())];
+                let src = format!("{}_{}", g.name(c), g.name(p));
+                let dc = parse_constraint(g, &src).map_err(|e| GenError::Constraint {
+                    src,
+                    reason: e.to_string(),
+                })?;
+                Ok(ds.with_constraint(dc))
+            } else {
+                Err(GenError::Degenerate("no into bit to flip".to_string()))
+            }
+        }
+        Mutation::RenameCollideAtoms => {
+            // Collect the equality-atom vocabulary.
+            let mut values: Vec<String> = Vec::new();
+            for dc in ds.constraints() {
+                dc.formula().for_each_atom(&mut |a| {
+                    if let odc_constraint::ast::AtomRef::Eq(eq) = a {
+                        if !values.contains(&eq.value) {
+                            values.push(eq.value.clone());
+                        }
+                    }
+                });
+            }
+            if values.len() < 2 {
+                return Err(GenError::Degenerate(
+                    "fewer than two equality constants".to_string(),
+                ));
+            }
+            let ai = rng.gen_range(0..values.len());
+            let mut bi = rng.gen_range(0..values.len() - 1);
+            if bi >= ai {
+                bi += 1;
+            }
+            let (from, to) = (values[ai].clone(), values[bi].clone());
+            // Rewrite through the printer's re-parseable text: replace
+            // the token following `=` when it matches the victim.
+            let mut sigma: Vec<DimensionConstraint> = Vec::with_capacity(ds.constraints().len());
+            for dc in ds.constraints() {
+                let text = printer::display_dc(g, dc).to_string();
+                let mut toks: Vec<String> =
+                    text.split_whitespace().map(|t| t.to_string()).collect();
+                for i in 1..toks.len() {
+                    if toks[i - 1] == "=" && toks[i] == from {
+                        toks[i] = to.clone();
+                    }
+                }
+                let src = toks.join(" ");
+                sigma.push(parse_constraint(g, &src).map_err(|e| GenError::Constraint {
+                    src: src.clone(),
+                    reason: e.to_string(),
+                })?);
+            }
+            Ok(DimensionSchema::new(ds.hierarchy_arc(), sigma))
+        }
+    }
+}
+
+/// Rebuilds the hierarchy with a modified edge set, preserving category
+/// ids (same insertion order), and keeps every constraint that is still
+/// well-formed over the edited hierarchy.
+fn rebuild(
+    ds: &DimensionSchema,
+    edges: &[(Category, Category)],
+) -> Result<DimensionSchema, GenError> {
+    let g = ds.hierarchy();
+    let mut b = HierarchySchema::builder();
+    for c in g.categories() {
+        if !c.is_all() {
+            let nc = b.category(g.name(c));
+            debug_assert_eq!(nc, c, "rebuild must preserve category ids");
+        }
+    }
+    for &(c, p) in edges {
+        b.edge(c, p);
+    }
+    let g2 = Arc::new(
+        b.build()
+            .map_err(|e| GenError::Hierarchy(e.to_string()))?,
+    );
+    let sigma: Vec<DimensionConstraint> = ds
+        .constraints()
+        .iter()
+        .filter(|dc| dc.formula().is_well_formed(&g2))
+        .cloned()
+        .collect();
+    Ok(DimensionSchema::new(g2, sigma))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::location_sch;
+
+    #[test]
+    fn engine_is_deterministic_per_seed() {
+        let mut a = CorpusEngine::new(7);
+        let mut b = CorpusEngine::new(7);
+        for _ in 0..12 {
+            match (a.next_case(), b.next_case()) {
+                (Ok(x), Ok(y)) => {
+                    assert_eq!(x.id, y.id);
+                    assert_eq!(x.axis, y.axis);
+                    assert_eq!(x.label, y.label);
+                    assert_eq!(
+                        x.schema.hierarchy().num_edges(),
+                        y.schema.hierarchy().num_edges()
+                    );
+                }
+                (Err(x), Err(y)) => assert_eq!(x, y),
+                (x, y) => panic!("streams diverged: {x:?} vs {y:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn case_for_regenerates_stream_entries() {
+        let mut eng = CorpusEngine::new(42);
+        for i in 0..12u64 {
+            let streamed = eng.next_case();
+            let direct = case_for(42, i);
+            match (streamed, direct) {
+                (Ok(x), Ok(y)) => assert_eq!(x.label, y.label),
+                (Err(x), Err(y)) => assert_eq!(x, y),
+                (x, y) => panic!("case {i} diverged: {x:?} vs {y:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn all_axes_appear_and_schemas_are_well_formed() {
+        let mut eng = CorpusEngine::new(1);
+        let mut seen = std::collections::BTreeSet::new();
+        let mut produced = 0;
+        for _ in 0..30 {
+            if let Ok(case) = eng.next_case() {
+                produced += 1;
+                seen.insert(case.axis);
+                let g = case.schema.hierarchy();
+                assert!(!g.has_cycle(), "case {} has a cycle", case.id);
+                assert!(
+                    g.category_by_name(&case.bottom).is_some(),
+                    "case {} bottom {} missing",
+                    case.id,
+                    case.bottom
+                );
+                for dc in case.schema.constraints() {
+                    assert!(dc.formula().is_well_formed(g));
+                }
+            }
+        }
+        assert!(produced >= 24, "too many degenerate draws: {produced}/30");
+        assert_eq!(seen.len(), Axis::ALL.len(), "axes missing: {seen:?}");
+    }
+
+    #[test]
+    fn inject_shortcut_adds_a_shortcut_edge() {
+        let ds = location_sch();
+        let before = ds.hierarchy().shortcuts().len();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mutant = mutate_schema(&ds, Mutation::InjectShortcut, &mut rng).unwrap();
+        assert_eq!(mutant.hierarchy().num_edges(), ds.hierarchy().num_edges() + 1);
+        assert!(mutant.hierarchy().shortcuts().len() > before);
+    }
+
+    #[test]
+    fn drop_edge_keeps_categories_connected() {
+        let ds = location_sch();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mutant = mutate_schema(&ds, Mutation::DropEdge, &mut rng).unwrap();
+        let g = mutant.hierarchy();
+        assert_eq!(g.num_edges(), ds.hierarchy().num_edges() - 1);
+        // No category lost its last upward edge.
+        for c in g.categories().filter(|c| !c.is_all()) {
+            assert!(!g.parents(c).is_empty(), "{} orphaned", g.name(c));
+        }
+    }
+
+    #[test]
+    fn rename_collide_shrinks_vocabulary() {
+        let ds = location_sch();
+        let count = |ds: &DimensionSchema| {
+            let mut values: Vec<String> = Vec::new();
+            for dc in ds.constraints() {
+                dc.formula().for_each_atom(&mut |a| {
+                    if let odc_constraint::ast::AtomRef::Eq(eq) = a {
+                        if !values.contains(&eq.value) {
+                            values.push(eq.value.clone());
+                        }
+                    }
+                });
+            }
+            values.len()
+        };
+        let before = count(&ds);
+        assert!(before >= 2);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mutant = mutate_schema(&ds, Mutation::RenameCollideAtoms, &mut rng).unwrap();
+        assert_eq!(count(&mutant), before - 1);
+        assert_eq!(mutant.constraints().len(), ds.constraints().len());
+    }
+
+    #[test]
+    fn flip_into_changes_into_count_by_one() {
+        let ds = location_sch();
+        let before = ds.into_constraints().len();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mutant = mutate_schema(&ds, Mutation::FlipIntoBit, &mut rng).unwrap();
+        let after = mutant.into_constraints().len();
+        assert_eq!((after as i64 - before as i64).abs(), 1);
+    }
+
+    #[test]
+    fn mutations_preserve_category_ids() {
+        let ds = location_sch();
+        let mut rng = StdRng::seed_from_u64(8);
+        let mutant = mutate_schema(&ds, Mutation::AddEdge, &mut rng).unwrap();
+        let (g, g2) = (ds.hierarchy(), mutant.hierarchy());
+        assert_eq!(g.num_categories(), g2.num_categories());
+        for c in g.categories() {
+            assert_eq!(g.name(c), g2.name(c));
+        }
+    }
+}

@@ -11,7 +11,47 @@ use odc_constraint::{parse_constraint, Constraint, DimensionConstraint, Dimensio
 use odc_hierarchy::{Category, HierarchySchema};
 use odc_rand::rngs::StdRng;
 use odc_rand::Rng;
+use std::fmt;
 use std::sync::Arc;
+
+/// A typed generation failure. Degenerate draws are *skippable*: a
+/// fuzzer harness advances to the next seed instead of panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenError {
+    /// The drawn hierarchy violated the builder's well-formedness rules
+    /// (cycle, dangling category, …).
+    Hierarchy(String),
+    /// A generated constraint failed to parse against the hierarchy.
+    Constraint {
+        /// The constraint source text that failed.
+        src: String,
+        /// The parser's complaint.
+        reason: String,
+    },
+    /// The requested bottom category admits no frozen dimension, so no
+    /// valid instance exists (Theorem 3).
+    UnsatisfiableBottom(String),
+    /// The draw was structurally unable to produce the requested shape
+    /// (e.g. a mutation with no applicable site).
+    Degenerate(String),
+}
+
+impl fmt::Display for GenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenError::Hierarchy(e) => write!(f, "generated hierarchy is ill-formed: {e}"),
+            GenError::Constraint { src, reason } => {
+                write!(f, "generated constraint `{src}` does not parse: {reason}")
+            }
+            GenError::UnsatisfiableBottom(c) => {
+                write!(f, "bottom category {c} is unsatisfiable: no frozen dimension")
+            }
+            GenError::Degenerate(why) => write!(f, "degenerate draw: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for GenError {}
 
 /// Parameters of the random schema generator.
 #[derive(Debug, Clone, Copy)]
@@ -49,9 +89,14 @@ impl Default for SchemaGenParams {
     }
 }
 
-/// Generates a random dimension schema.
+/// Generates a random dimension schema. A draw whose hierarchy or
+/// constraints come out ill-formed surfaces as a typed [`GenError`]
+/// (skippable case) rather than a panic.
 #[allow(clippy::needless_range_loop)]
-pub fn random_schema(params: &SchemaGenParams, rng: &mut StdRng) -> DimensionSchema {
+pub fn random_schema(
+    params: &SchemaGenParams,
+    rng: &mut StdRng,
+) -> Result<DimensionSchema, GenError> {
     let mut b = HierarchySchema::builder();
     let bottom = b.category("B");
     let mut layers: Vec<Vec<Category>> = vec![vec![bottom]];
@@ -85,7 +130,10 @@ pub fn random_schema(params: &SchemaGenParams, rng: &mut StdRng) -> DimensionSch
             }
         }
     }
-    let g = Arc::new(b.build().expect("generated schema is valid"));
+    let g = Arc::new(
+        b.build()
+            .map_err(|e| GenError::Hierarchy(e.to_string()))?,
+    );
 
     // Σ: into constraints on a fraction of categories…
     let mut sigma: Vec<DimensionConstraint> = Vec::new();
@@ -95,10 +143,8 @@ pub fn random_schema(params: &SchemaGenParams, rng: &mut StdRng) -> DimensionSch
         }
         if rng.gen_bool(params.into_fraction) {
             let p = g.parents(c)[0];
-            sigma.push(
-                parse_constraint(&g, &format!("{}_{}", g.name(c), g.name(p)))
-                    .expect("into constraint parses"),
-            );
+            let src = format!("{}_{}", g.name(c), g.name(p));
+            sigma.push(parse_dc(&g, &src)?);
         }
     }
     // …plus value-conditional exceptions on multi-parent categories.
@@ -132,7 +178,7 @@ pub fn random_schema(params: &SchemaGenParams, rng: &mut StdRng) -> DimensionSch
             g.name(c),
             g.name(p1)
         );
-        sigma.push(parse_constraint(&g, &src).expect("exception constraint parses"));
+        sigma.push(parse_dc(&g, &src)?);
         let _ = e;
     }
     // Ordered exceptions (Section 6 extension): threshold-conditioned
@@ -165,9 +211,17 @@ pub fn random_schema(params: &SchemaGenParams, rng: &mut StdRng) -> DimensionSch
             g.name(c),
             g.name(p1)
         );
-        sigma.push(parse_constraint(&g, &src).expect("ordered constraint parses"));
+        sigma.push(parse_dc(&g, &src)?);
     }
-    DimensionSchema::new(g, sigma)
+    Ok(DimensionSchema::new(g, sigma))
+}
+
+/// Parses one generated constraint, wrapping failures in [`GenError`].
+fn parse_dc(g: &Arc<HierarchySchema>, src: &str) -> Result<DimensionConstraint, GenError> {
+    parse_constraint(g, src).map_err(|e| GenError::Constraint {
+        src: src.to_string(),
+        reason: e.to_string(),
+    })
 }
 
 /// Generates a chain schema (`B → C1 → … → Cn → All`) with `n` categories
@@ -184,7 +238,8 @@ pub fn chain_schema(n: usize) -> DimensionSchema {
         cats.push(c);
     }
     b.edge_to_all(prev);
-    let g = Arc::new(b.build().unwrap());
+    // A chain is acyclic by construction, so the builder cannot fail.
+    let g = Arc::new(b.build().expect("chain hierarchy is well-formed"));
     let mut sigma = Vec::new();
     for w in cats.windows(2) {
         sigma.push(DimensionConstraint::new(
@@ -217,7 +272,8 @@ pub fn dense_unconstrained_schema(layers: usize, width: usize) -> DimensionSchem
     for &c in &prev {
         b.edge_to_all(c);
     }
-    let g = Arc::new(b.build().unwrap());
+    // Layered all-to-all stacks are acyclic by construction.
+    let g = Arc::new(b.build().expect("dense hierarchy is well-formed"));
     DimensionSchema::new(g, Vec::new())
 }
 
@@ -230,7 +286,7 @@ mod tests {
     fn generated_schema_is_well_formed() {
         let mut rng = StdRng::seed_from_u64(7);
         for _ in 0..20 {
-            let ds = random_schema(&SchemaGenParams::default(), &mut rng);
+            let ds = random_schema(&SchemaGenParams::default(), &mut rng).unwrap();
             let g = ds.hierarchy();
             assert!(g.num_categories() >= 2);
             // Every constraint's atoms are well-formed (checked by
@@ -243,8 +299,8 @@ mod tests {
     #[test]
     fn determinism_per_seed() {
         let p = SchemaGenParams::default();
-        let a = random_schema(&p, &mut StdRng::seed_from_u64(42));
-        let b = random_schema(&p, &mut StdRng::seed_from_u64(42));
+        let a = random_schema(&p, &mut StdRng::seed_from_u64(42)).unwrap();
+        let b = random_schema(&p, &mut StdRng::seed_from_u64(42)).unwrap();
         assert_eq!(
             a.hierarchy().num_categories(),
             b.hierarchy().num_categories()
@@ -263,7 +319,8 @@ mod tests {
                 ..Default::default()
             },
             &mut rng,
-        );
+        )
+        .unwrap();
         let large = random_schema(
             &SchemaGenParams {
                 layers: 5,
@@ -271,7 +328,8 @@ mod tests {
                 ..Default::default()
             },
             &mut rng,
-        );
+        )
+        .unwrap();
         assert!(large.hierarchy().num_categories() > small.hierarchy().num_categories());
         assert_eq!(large.hierarchy().num_categories(), 2 + 5 * 4);
     }
@@ -306,7 +364,8 @@ mod tests {
                 ..Default::default()
             },
             &mut rng,
-        );
+        )
+        .unwrap();
         assert!(ds.into_constraints().is_empty());
     }
 }

@@ -9,6 +9,7 @@
 //! same structure — which preserves C2/C5/C6 by construction, and `Σ` by
 //! Definition 5.
 
+use crate::generator::GenError;
 use odc_constraint::DimensionSchema;
 use odc_dimsat::Dimsat;
 use odc_frozen::{ConstTable, FrozenDimension};
@@ -22,18 +23,21 @@ use std::collections::HashMap;
 /// given bottom category. `share_prob` is the probability that a new
 /// member grafts onto an existing chain instead of building a fresh one.
 ///
-/// Returns `None` when the bottom category is unsatisfiable (no frozen
-/// dimension exists).
+/// Returns [`GenError::UnsatisfiableBottom`] when the bottom category is
+/// unsatisfiable (no frozen dimension exists) — a skippable case for
+/// harnesses that sample schemas at random.
 pub fn random_instance(
     ds: &DimensionSchema,
     bottom: Category,
     n_base: usize,
     share_prob: f64,
     rng: &mut StdRng,
-) -> Option<DimensionInstance> {
+) -> Result<DimensionInstance, GenError> {
     let (mut frozen, _) = Dimsat::new(ds).enumerate_frozen(bottom);
     if frozen.is_empty() {
-        return None;
+        return Err(GenError::UnsatisfiableBottom(
+            ds.hierarchy().name(bottom).to_string(),
+        ));
     }
     // Keep the candidate pool small on pathological schemas.
     frozen.truncate(64);
@@ -107,7 +111,7 @@ pub fn random_instance(
         odc_instance::validate(&d).is_ok(),
         "generated instance violates C1–C7"
     );
-    Some(d)
+    Ok(d)
 }
 
 /// Topological order of the frozen subhierarchy's categories, children
@@ -117,17 +121,18 @@ fn topo_of(f: &FrozenDimension) -> Vec<Category> {
     let cats: Vec<Category> = sub.categories().iter().collect();
     let mut indeg: HashMap<Category, usize> = cats.iter().map(|&c| (c, 0)).collect();
     for (_, p) in sub.edges() {
-        *indeg.get_mut(&p).unwrap() += 1;
+        *indeg.entry(p).or_insert(0) += 1;
     }
     let mut queue: Vec<Category> = cats.iter().copied().filter(|c| indeg[c] == 0).collect();
     let mut out = Vec::with_capacity(cats.len());
     while let Some(c) = queue.pop() {
         out.push(c);
         for &p in sub.parents(c) {
-            let e = indeg.get_mut(&p).unwrap();
-            *e -= 1;
-            if *e == 0 {
-                queue.push(p);
+            if let Some(e) = indeg.get_mut(&p) {
+                *e -= 1;
+                if *e == 0 {
+                    queue.push(p);
+                }
             }
         }
     }
@@ -175,14 +180,17 @@ mod tests {
     }
 
     #[test]
-    fn unsatisfiable_bottom_returns_none() {
+    fn unsatisfiable_bottom_is_typed_error() {
         let ds = location_sch();
         let g = ds.hierarchy();
         let ds2 = ds.with_constraint(odc_constraint::parse_constraint(g, "!Store_City").unwrap());
         // Σ contains Store_City, so Store becomes unsatisfiable.
         let store = g.category_by_name("Store").unwrap();
         let mut rng = StdRng::seed_from_u64(0);
-        assert!(random_instance(&ds2, store, 5, 0.5, &mut rng).is_none());
+        assert!(matches!(
+            random_instance(&ds2, store, 5, 0.5, &mut rng),
+            Err(GenError::UnsatisfiableBottom(c)) if c == "Store"
+        ));
     }
 
     #[test]

@@ -3,20 +3,26 @@
 //! Workloads for the *OLAP Dimension Constraints* reproduction: the
 //! running example and a catalog of realistic heterogeneous dimensions
 //! ([`mod@catalog`]), parameterized random schema/instance generators for the
-//! scaling experiments ([`generator`], [`instances`], [`facts`]), and the
+//! scaling experiments ([`generator`], [`instances`], [`facts`]), the
 //! Theorem-4 SAT reduction that manufactures adversarial instances
-//! ([`satred`]).
+//! ([`satred`]), and the adversarial corpus engine + mutation operators
+//! behind `odc fuzz` ([`corpus`]).
 //!
 //! Everything is deterministic given a seed (`odc_rand::rngs::StdRng`), so
-//! benchmark runs are reproducible.
+//! benchmark runs are reproducible, and degenerate draws surface as typed
+//! [`GenError`]s (skippable cases) rather than panics.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod catalog;
+pub mod corpus;
 pub mod facts;
 pub mod generator;
 pub mod instances;
 pub mod satred;
 
 pub use catalog::{catalog, location_sch, CatalogEntry};
-pub use generator::{random_schema, SchemaGenParams};
+pub use corpus::{case_for, mutate_schema, Axis, CorpusCase, CorpusEngine, Mutation};
+pub use generator::{random_schema, GenError, SchemaGenParams};
 pub use instances::random_instance;
 pub use satred::{encode_sat, random_3sat, CnfFormula};

@@ -70,7 +70,9 @@ impl CnfFormula {
                         return false; // conflict
                     }
                     1 => {
-                        let lit = unassigned.unwrap();
+                        // `open == 1` guarantees the unassigned
+                        // literal was recorded.
+                        let Some(lit) = unassigned else { continue };
                         let var = lit.unsigned_abs() as usize;
                         assignment[var] = Some(lit > 0);
                         trail.push(var);
@@ -151,7 +153,7 @@ pub fn encode_sat(formula: &CnfFormula) -> (DimensionSchema, Category) {
             c
         })
         .collect();
-    let g = Arc::new(b.build().unwrap());
+    let g = Arc::new(b.build().expect("encode_sat builds an acyclic hierarchy"));
 
     let mut sigma: Vec<DimensionConstraint> = Vec::new();
     // The spine keeps B satisfiable structurally (C7/Definition 7).

@@ -83,6 +83,8 @@ usage:
   odc serve [serve options]                  run the resident reasoning server (drains on
                                              SIGTERM or a `shutdown` request)
   odc client <addr> <command> [args…]        send one protocol command to a server
+  odc fuzz [fuzz options]                    differential fuzzing across the executor pairs
+                                             (exit 2 when divergences are found)
 serve options:
   --addr <ip:port>     bind address (default 127.0.0.1:7421; port 0 picks a free one)
   --workers <n>        solver shards (event mode) / worker threads (threaded
@@ -106,6 +108,24 @@ serve options:
 client options:
   --retry-connect <n>  retry a refused connection (or an `overloaded`
                        rejection) up to <n> times with exponential backoff
+  --tag <n>            tag the request with a sequence number and verify the
+                       response echoes it (a mismatch is a protocol desync)
+fuzz options:
+  --seed <n>           corpus seed (default 1; the whole run is a pure
+                       function of it)
+  --cases <n>          corpus case ids to draw (default 64)
+  --pairs <a,b,…>      executor pairs to differentiate (default all):
+                       trail-clone, serial-jobs, planned-noplan, fault-resume,
+                       repo-warm-cold, serve-cli
+  --repro-dir <dir>    where minimized repro directories go (default .odc-repro)
+  --no-minimize        write repros without delta-debugging them first
+  --replay <dir>       re-execute a repro directory (or a directory of them,
+                       e.g. corpus/v1); exit 2 if any entry fails to replay
+  --write-corpus <dir> emit replayable corpus entries (catalog fixtures plus
+                       seeded draws) with expected verdicts
+  --sabotage           plant a deliberate clone-kernel corruption (self-test:
+                       the fuzzer must find, minimize, and replay it)
+  --time-limit <dur>   wall-clock cutoff for the whole run
 options (reasoning commands):
   --time-limit <dur>   wall-clock budget, e.g. 500ms or 2s (exit code 2 when exceeded)
   --node-limit <n>     search-node budget (exit code 2 when exceeded)
@@ -168,9 +188,9 @@ pub fn run(args: &[String]) -> Result<RunOutput, String> {
     let rest: &[String] = rest;
     // `--jobs` only fans out the batch commands; accepting it silently on
     // a serial command would promise parallelism the run never delivers.
-    if jobs > 1 && !matches!(cmd.as_str(), "check" | "summarizable") {
+    if jobs > 1 && !matches!(cmd.as_str(), "check" | "summarizable" | "fuzz") {
         return Err(format!(
-            "--jobs applies only to check/summarizable; `{cmd}` runs serially"
+            "--jobs applies only to check/summarizable/fuzz; `{cmd}` runs serially"
         ));
     }
     // Same honesty rule for the recovery flags: only the commands below
@@ -436,6 +456,16 @@ pub fn run(args: &[String]) -> Result<RunOutput, String> {
             }
             let report = driver.solve_from(&solver, c, false, start);
             let (frozen, outcome) = (report.found, report.outcome);
+            // Interrupted enumerations cap the partial listing exactly
+            // like the server does (`odc_serve::PARTIAL_LISTING_CAP`) —
+            // a cancelled exponential enumeration can hold tens of
+            // thousands of partial results, and the two outputs must
+            // stay byte-identical.
+            let shown = if outcome.interrupted.is_some() {
+                frozen.len().min(odc_serve::PARTIAL_LISTING_CAP)
+            } else {
+                frozen.len()
+            };
             let mut core = format!(
                 "{} frozen dimension(s) with root {} ({} EXPAND, {} CHECK):\n",
                 frozen.len(),
@@ -443,8 +473,14 @@ pub fn run(args: &[String]) -> Result<RunOutput, String> {
                 outcome.stats.expand_calls,
                 outcome.stats.check_calls
             );
-            for (i, f) in frozen.iter().enumerate() {
+            for (i, f) in frozen.iter().take(shown).enumerate() {
                 core.push_str(&format!("  f{}: {}\n", i + 1, f.display(&ds)));
+            }
+            if frozen.len() > shown {
+                core.push_str(&format!(
+                    "  ... {} more partial result(s) not shown\n",
+                    frozen.len() - shown
+                ));
             }
             let mut out = core.clone();
             if report.attempts > 1 {
@@ -902,8 +938,25 @@ pub fn run(args: &[String]) -> Result<RunOutput, String> {
                         .load(name, &read_file(file)?)
                         .map_err(|e| format!("{addr}: {e}"))?
                 } else {
+                    // `--tag <n>` is handled client-side: the request is
+                    // tagged and the response's echo is verified, so a
+                    // reordered delivery surfaces as a typed desync
+                    // (`expected seq N, got M`), not a payload mixup.
+                    let mut tag: Option<u64> = None;
+                    let mut toks: Vec<&String> = Vec::new();
+                    let mut vi = verb_args.iter();
+                    while let Some(t) = vi.next() {
+                        if t == "--tag" {
+                            let v = vi.next().ok_or("--tag needs a sequence number")?;
+                            tag = Some(
+                                v.parse().map_err(|_| format!("--tag: not a number: {v}"))?,
+                            );
+                        } else {
+                            toks.push(t);
+                        }
+                    }
                     let mut line = std::iter::once(verb)
-                        .chain(verb_args)
+                        .chain(toks)
                         .map(|t| odc_serve::protocol::quote_token(t))
                         .collect::<Vec<_>>()
                         .join(" ");
@@ -916,9 +969,14 @@ pub fn run(args: &[String]) -> Result<RunOutput, String> {
                     if let Some(n) = budget.node_limit {
                         line.push_str(&format!(" --node-limit {n}"));
                     }
-                    client
-                        .request(&line)
-                        .map_err(|e| format!("{addr}: {e}"))?
+                    match tag {
+                        Some(t) => client
+                            .request_tagged(&line, t)
+                            .map_err(|e| format!("{addr}: {e}"))?,
+                        None => client
+                            .request(&line)
+                            .map_err(|e| format!("{addr}: {e}"))?,
+                    }
                 };
                 if response.status_word() == "overloaded" && overload_attempt < retries {
                     overload_attempt += 1;
@@ -941,8 +999,214 @@ pub fn run(args: &[String]) -> Result<RunOutput, String> {
                     .to_string()),
             }
         }
+        "fuzz" => {
+            if flags.fault.is_some() {
+                return Err(
+                    "--fault does not apply to fuzz (the fault-resume pair injects its own)"
+                        .into(),
+                );
+            }
+            let mut seed = 1u64;
+            let mut cases = 64u64;
+            let mut pairs: Vec<odc_fuzz::Pair> = odc_fuzz::Pair::ALL.to_vec();
+            let mut sabotage = false;
+            let mut minimize = true;
+            let mut replay_dir: Option<String> = None;
+            let mut write_corpus: Option<String> = None;
+            let mut repro_dir = ".odc-repro".to_string();
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--seed" => {
+                        let v = it.next().ok_or("--seed needs a value")?;
+                        seed = v.parse().map_err(|_| format!("--seed: not a number: {v}"))?;
+                    }
+                    "--cases" => {
+                        let v = it.next().ok_or("--cases needs a value")?;
+                        cases = v.parse().map_err(|_| format!("--cases: not a number: {v}"))?;
+                    }
+                    "--pairs" => {
+                        let v = it.next().ok_or("--pairs needs a comma-separated list")?;
+                        pairs = v
+                            .split(',')
+                            .map(|name| {
+                                odc_fuzz::Pair::parse(name.trim())
+                                    .ok_or_else(|| format!("--pairs: unknown pair `{name}`"))
+                            })
+                            .collect::<Result<Vec<_>, _>>()?;
+                    }
+                    "--sabotage" => sabotage = true,
+                    "--no-minimize" => minimize = false,
+                    "--replay" => {
+                        replay_dir = Some(it.next().ok_or("--replay needs a directory")?.clone());
+                    }
+                    "--write-corpus" => {
+                        write_corpus =
+                            Some(it.next().ok_or("--write-corpus needs a directory")?.clone());
+                    }
+                    "--repro-dir" => {
+                        repro_dir = it.next().ok_or("--repro-dir needs a directory")?.clone();
+                    }
+                    other => return Err(format!("fuzz: unexpected argument `{other}`")),
+                }
+            }
+            if let Some(dir) = replay_dir {
+                return fuzz_replay(Path::new(&dir));
+            }
+            if let Some(dir) = write_corpus {
+                return fuzz_write_corpus(Path::new(&dir), seed, cases);
+            }
+            let cfg = odc_fuzz::FuzzConfig {
+                seed,
+                cases,
+                time_limit: budget.deadline,
+                pairs,
+                sabotage,
+                minimize,
+                repro_dir: Some(std::path::PathBuf::from(repro_dir)),
+                obs,
+            };
+            let report = odc_fuzz::run_fuzz(&cfg);
+            let mut text = format!(
+                "fuzz seed {}: {} case(s) run, {} degenerate skip(s), {:.1} cases/sec\n",
+                report.seed,
+                report.cases_run,
+                report.skipped,
+                report.cases_per_sec()
+            );
+            text.push_str(&format!("axis coverage: {}\n", counts(&report.axis_counts)));
+            text.push_str(&format!("pairs run: {}\n", counts(&report.pair_counts)));
+            for note in &report.notes {
+                text.push_str(&format!("note: {note}\n"));
+            }
+            text.push_str(&format!("divergences: {}\n", report.divergences.len()));
+            for d in &report.divergences {
+                text.push_str(&format!(
+                    "  case {} [{}] {} on `{}`: {} vs {}\n",
+                    d.case_id, d.pair, d.kind, d.query, d.left, d.right
+                ));
+            }
+            for dir in &report.repro_dirs {
+                text.push_str(&format!("  repro written: {}\n", dir.display()));
+            }
+            Ok(RunOutput {
+                text,
+                unknown: !report.divergences.is_empty(),
+            })
+        }
         other => Err(format!("unknown command `{other}`")),
     }
+}
+
+/// Renders a count map as `key=value` pairs on one line.
+fn counts(m: &std::collections::BTreeMap<String, u64>) -> String {
+    m.iter()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// `odc fuzz --replay <dir>`: re-execute one repro directory, or every
+/// repro directory under `dir` (e.g. `corpus/v1/`). Exit 2 when any
+/// entry fails to replay.
+fn fuzz_replay(dir: &Path) -> Result<RunOutput, String> {
+    let entries: Vec<std::path::PathBuf> = if dir.join("schema.txt").exists() {
+        vec![dir.to_path_buf()]
+    } else {
+        let mut subs: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+            .map_err(|e| format!("{}: {e}", dir.display()))?
+            .filter_map(|r| r.ok())
+            .map(|e| e.path())
+            .filter(|p| p.join("schema.txt").exists())
+            .collect();
+        subs.sort();
+        subs
+    };
+    if entries.is_empty() {
+        return Err(format!("{}: no repro directories found", dir.display()));
+    }
+    let mut text = String::new();
+    let mut failures = 0usize;
+    for entry in &entries {
+        let out = odc_fuzz::replay(entry)?;
+        if out.ok() {
+            let what = match &out.expected_divergence {
+                Some(kind) => format!("divergence ({kind}) reproduced"),
+                None => format!("clean across {} pair(s)", out.pairs_run.len()),
+            };
+            text.push_str(&format!("{}: ok — {what}\n", entry.display()));
+        } else {
+            failures += 1;
+            text.push_str(&format!("{}: FAILED\n", entry.display()));
+            for d in &out.divergences {
+                text.push_str(&format!(
+                    "  unexpected {} [{}] on `{}`: {} vs {}\n",
+                    d.kind, d.pair, d.query, d.left, d.right
+                ));
+            }
+            for m in &out.verdict_mismatches {
+                text.push_str(&format!("  verdict drift: {m}\n"));
+            }
+            if out.expected_divergence.is_some() && out.divergences.is_empty() {
+                text.push_str("  expected a divergence; none reproduced\n");
+            }
+        }
+    }
+    text.push_str(&format!(
+        "replayed {}: {} ok, {failures} failed\n",
+        entries.len(),
+        entries.len() - failures
+    ));
+    Ok(RunOutput {
+        text,
+        unknown: failures > 0,
+    })
+}
+
+/// `odc fuzz --write-corpus <dir>`: emit replayable corpus entries —
+/// the catalog fixtures plus `cases` seeded corpus draws — each with
+/// expected verdicts from the canonical executor.
+fn fuzz_write_corpus(dir: &Path, seed: u64, cases: u64) -> Result<RunOutput, String> {
+    let mut written = 0usize;
+    let mut text = String::new();
+    for entry in odc_workload::catalog() {
+        let ds = &entry.schema;
+        let g = ds.hierarchy();
+        let Some(&bottom_c) = g.bottom_categories().first() else {
+            continue;
+        };
+        let bottom = g.name(bottom_c).to_string();
+        let schema_text = odc_core::schema_to_text(ds);
+        let parsed = odc_core::parse_schema(&schema_text)
+            .map_err(|e| format!("fixture {}: {e:?}", entry.name))?;
+        let case = odc_fuzz::FuzzCase {
+            id: written as u64,
+            axis: "fixture".into(),
+            label: entry.name.to_string(),
+            schema_text,
+            bottom: bottom.clone(),
+            queries: odc_fuzz::queries_for(&parsed, &bottom),
+        };
+        let sub = dir.join(format!("fixture-{}", entry.name));
+        odc_fuzz::write_corpus_entry(&sub, &case, 0)
+            .map_err(|e| format!("{}: {e}", sub.display()))?;
+        text.push_str(&format!("wrote {}\n", sub.display()));
+        written += 1;
+    }
+    for id in 0..cases {
+        let cc = match odc_workload::case_for(seed, id) {
+            Ok(cc) => cc,
+            Err(_) => continue,
+        };
+        let case = odc_fuzz::FuzzCase::from_corpus(&cc)?;
+        let sub = dir.join(format!("s{seed}-c{id}-{}", case.axis));
+        odc_fuzz::write_corpus_entry(&sub, &case, seed)
+            .map_err(|e| format!("{}: {e}", sub.display()))?;
+        text.push_str(&format!("wrote {}\n", sub.display()));
+        written += 1;
+    }
+    text.push_str(&format!("{written} corpus entr(ies) written under {}\n", dir.display()));
+    Ok(RunOutput::answered(text))
 }
 
 /// Flags shared by the reasoning commands, parsed off the command line.

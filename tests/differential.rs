@@ -31,7 +31,7 @@ fn dimsat_equals_exhaustive_oracle_on_random_schemas() {
             exceptions: rng.gen_range(0..4),
             ordered_exceptions: 0,
         };
-        let ds = random_schema(&params, &mut rng);
+        let ds = random_schema(&params, &mut rng).unwrap();
         if ds.hierarchy().num_edges() > 14 {
             continue; // keep the 2^E oracle cheap
         }
@@ -69,7 +69,7 @@ fn ablations_agree_on_random_schemas() {
                 ordered_exceptions: 0,
             },
             &mut rng,
-        );
+        ).unwrap();
         for c in ds.hierarchy().categories() {
             if c.is_all() {
                 continue;
@@ -151,7 +151,7 @@ fn implication_consistent_with_generated_instances() {
 fn proposition_1_every_schema_satisfiable() {
     let mut rng = StdRng::seed_from_u64(1);
     for _ in 0..20 {
-        let ds = random_schema(&SchemaGenParams::default(), &mut rng);
+        let ds = random_schema(&SchemaGenParams::default(), &mut rng).unwrap();
         let empty = DimensionInstance::builder(ds.hierarchy_arc())
             .build()
             .unwrap();
@@ -177,9 +177,9 @@ fn generated_instances_are_models() {
                 ordered_exceptions: 0,
             },
             &mut rng,
-        );
+        ).unwrap();
         let bottom = ds.hierarchy().category_by_name("B").unwrap();
-        let Some(d) = random_instance(&ds, bottom, 20, 0.5, &mut rng) else {
+        let Ok(d) = random_instance(&ds, bottom, 20, 0.5, &mut rng) else {
             continue; // bottom unsatisfiable in this draw
         };
         assert!(odc_core::instance::validate(&d).is_ok(), "round {round}");
@@ -203,7 +203,7 @@ fn dimsat_equals_oracle_with_ordered_constraints() {
             exceptions: 1,
             ordered_exceptions: rng.gen_range(1..4),
         };
-        let ds = random_schema(&params, &mut rng);
+        let ds = random_schema(&params, &mut rng).unwrap();
         if ds.hierarchy().num_edges() > 13 {
             continue;
         }
@@ -240,7 +240,7 @@ fn planned_audit_matches_unplanned_on_seeded_families() {
                 ordered_exceptions: rng.gen_range(0..2),
             },
             &mut rng,
-        );
+        ).unwrap();
         let unplanned = advisor::audit(&ds);
         let planned = advisor::audit_planned(&ds);
         assert_eq!(
@@ -366,7 +366,7 @@ fn instar_modes_explore_identical_trees() {
                 ordered_exceptions: 1,
             },
             &mut rng,
-        );
+        ).unwrap();
         let bottom = ds.hierarchy().category_by_name("B").unwrap();
         let (f1, o1) = Dimsat::new(&ds).enumerate_frozen(bottom);
         let (f2, o2) =
@@ -424,7 +424,7 @@ fn forbidden_into_pruning_is_sound() {
                 ordered_exceptions: 0,
             },
             &mut rng,
-        );
+        ).unwrap();
         let gg = base.hierarchy();
         // Forbid one random multi-parent edge.
         let multi: Vec<_> = gg

@@ -60,7 +60,7 @@ fn seeded_schemas(count: usize) -> Vec<DimensionSchema> {
             exceptions: rng.gen_range(0..4),
             ordered_exceptions: 0,
         };
-        let ds = random_schema(&params, &mut rng);
+        let ds = random_schema(&params, &mut rng).unwrap();
         if ds.hierarchy().num_edges() <= 16 {
             out.push(ds);
         }

@@ -277,6 +277,14 @@ fn drain_interrupts_solves_and_writes_resumable_checkpoints() {
     assert_eq!(r.status_word(), "unknown", "{}", r.status);
     assert!(r.status.contains("cancelled"), "{}", r.status);
     assert!(r.payload.contains("checkpoint written to"), "{}", r.payload);
+    // The interrupted listing is capped: an uncapped partial
+    // enumeration on this ladder runs to tens of thousands of entries
+    // (hundreds of MB), which a draining server cannot flush in time.
+    let listed = r.payload.lines().filter(|l| l.starts_with("  f")).count();
+    assert!(
+        listed <= odc_serve::PARTIAL_LISTING_CAP,
+        "partial listing not capped: {listed} entries"
+    );
 
     let stats = run.join.join().unwrap().unwrap();
     assert!(stats.checkpoints >= 1, "{stats:?}");

@@ -43,7 +43,7 @@ fn trail_kernel_matches_clone_kernel_on_random_schemas() {
             exceptions: rng.gen_range(0..4),
             ordered_exceptions: 0,
         };
-        let ds = random_schema(&params, &mut rng);
+        let ds = random_schema(&params, &mut rng).unwrap();
         if ds.hierarchy().num_edges() > 18 {
             continue; // keep the exponential cases cheap
         }
@@ -113,7 +113,7 @@ fn parallel_sweep_matches_serial_on_random_schemas() {
                 ordered_exceptions: 0,
             },
             &mut rng,
-        );
+        ).unwrap();
         let serial = Dimsat::new(&ds).unsatisfiable_categories();
         assert!(serial.is_complete());
         for jobs in [2usize, 3, 8] {
@@ -130,7 +130,7 @@ fn parallel_sweep_matches_serial_on_random_schemas() {
 #[test]
 fn parallel_sweep_shares_one_budget() {
     let mut rng = StdRng::seed_from_u64(0xB0D6E7);
-    let ds = random_schema(&SchemaGenParams::default(), &mut rng);
+    let ds = random_schema(&SchemaGenParams::default(), &mut rng).unwrap();
     let full = Dimsat::new(&ds).unsatisfiable_categories();
     assert!(full.is_complete());
     let limited = Dimsat::new(&ds)
@@ -229,7 +229,7 @@ fn sweep_undecided_order_is_deterministic_across_drivers() {
                 ordered_exceptions: 0,
             },
             &mut rng,
-        );
+        ).unwrap();
         let solver = Dimsat::new(&ds);
         let full = solver.unsatisfiable_categories();
         assert!(full.is_complete());
@@ -331,7 +331,7 @@ fn faulted_parallel_sweep_resumes_to_serial_verdicts() {
             ordered_exceptions: 0,
         },
         &mut rng,
-    );
+    ).unwrap();
     let solver = Dimsat::new(&ds);
     let serial = solver.unsatisfiable_categories();
     assert!(serial.is_complete());
