@@ -363,7 +363,7 @@ cargo run --offline --release --quiet -p odc-bench --bin exp_serve -- --smoke
 
 echo "== differential fuzz smoke (odc fuzz) =="
 FUZZDIR="$(mktemp -d /tmp/odc-ci-fuzz.XXXXXX)"
-trap 'rm -f "$STATS_JSON"; rm -rf "$WORK" "$REPODIR" "$SRVDIR" "$EVDIR" "$FUZZDIR"; kill "${SRVPID:-}" "${EVPID:-}" 2>/dev/null || true' EXIT
+trap 'rm -f "$STATS_JSON"; rm -rf "$WORK" "$REPODIR" "$SRVDIR" "$EVDIR" "$FUZZDIR" "${STOREDIR:-}"; kill "${SRVPID:-}" "${EVPID:-}" 2>/dev/null || true' EXIT
 
 # Clean sweep: a fixed-seed batch across every executor pair must agree
 # with itself — exit 0, zero divergences, all six pairs exercised.
@@ -371,7 +371,7 @@ trap 'rm -f "$STATS_JSON"; rm -rf "$WORK" "$REPODIR" "$SRVDIR" "$EVDIR" "$FUZZDI
   --stats-json "$FUZZDIR/clean.jsonl" > "$FUZZDIR/clean.txt"
 grep -q "divergences: 0" "$FUZZDIR/clean.txt" \
   || { echo "clean fuzz sweep diverged:"; cat "$FUZZDIR/clean.txt"; exit 1; }
-for p in trail-clone serial-jobs planned-noplan fault-resume repo-warm-cold serve-cli; do
+for p in trail-clone serial-jobs planned-noplan fault-resume repo-warm-cold serve-cli ingest-full; do
   grep "pairs run:" "$FUZZDIR/clean.txt" | grep -q "$p" \
     || { echo "pair $p never ran:"; cat "$FUZZDIR/clean.txt"; exit 1; }
 done
@@ -422,5 +422,85 @@ PYEOF
 
 echo "== fuzz-harness smoke (exp_fuzz) =="
 ODC_BENCH_QUICK=1 cargo run --offline --release --quiet -p odc-bench --bin exp_fuzz -- --smoke
+
+echo "== store data-plane smoke (odc ingest / odc cube) =="
+STOREDIR="$(mktemp -d /tmp/odc-ci-store.XXXXXX)"
+# A seeded 50k-fact stream over the Figure 1 geography: Washington has
+# no SaleRegion ancestor, so Country is summarizable from City but NOT
+# from SaleRegion — exactly the distinction the cube gate must enforce.
+python3 - "$STOREDIR/facts.txt" <<'PYEOF'
+import random, sys
+random.seed(4242)
+lines = [
+    "Canada : Country < all",
+    "USA : Country < all",
+    "East : SaleRegion < Canada",
+    "Ontario : Province < East",
+    "Toronto : City < Ontario",
+    "Washington : City < USA",
+    "s1 : Store < Toronto",
+    "s2 : Store < Washington",
+]
+for _ in range(50_000):
+    lines.append(f"s{random.randint(1, 2)} -> {random.randint(-100, 100)}")
+open(sys.argv[1], "w").write("\n".join(lines) + "\n")
+PYEOF
+"$ODCBIN" ingest "$STOREDIR/inc" examples/location.odcs \
+  --facts "$STOREDIR/facts.txt" --batch-rows 4096 \
+  --stats-json "$STOREDIR/ingest.jsonl" > "$STOREDIR/ingest.txt"
+grep -q "50000 fact(s)" "$STOREDIR/ingest.txt" \
+  || { echo "ingest lost facts:"; cat "$STOREDIR/ingest.txt"; exit 1; }
+
+# The observability stream: every line parses, per-batch events add up
+# to the end-of-stream summary.
+python3 - "$STOREDIR/ingest.jsonl" <<'PYEOF'
+import json, sys
+batches, done = [], None
+with open(sys.argv[1]) as f:
+    for line in f:
+        e = json.loads(line)  # every line must parse
+        if e["event"] != "ingest":
+            continue
+        if e["phase"] == "batch":
+            batches.append(e)
+        elif e["phase"] == "done":
+            done = e
+assert batches, "no ingest batch events"
+assert done is not None, "no ingest done event"
+assert done["facts"] == 50_000, f"done event lost facts: {done}"
+assert done["batch"] == len(batches), (done["batch"], len(batches))
+assert all(e["rows_per_sec"] > 0 for e in batches), "zero ingest rate"
+print(f"ingest event stream OK: {len(batches)} batches, {done['facts']} facts")
+PYEOF
+
+# Safe rollup: Country from a City cuboid, verified cell-for-cell
+# against direct materialization from the raw facts.
+"$ODCBIN" cube "$STOREDIR/inc" Country --via City --verdicts > "$STOREDIR/cube-safe.txt"
+grep -q "verified: cells identical" "$STOREDIR/cube-safe.txt" \
+  || { echo "safe rollup not verified:"; cat "$STOREDIR/cube-safe.txt"; exit 1; }
+
+# Forbidden rollup: the summarizability gate must refuse (exit 2) and
+# name the failing bottom category.
+if "$ODCBIN" cube "$STOREDIR/inc" Country --via SaleRegion > "$STOREDIR/cube-bad.txt"; then
+  echo "forbidden rollup exited 0:"; cat "$STOREDIR/cube-bad.txt"; exit 1
+else
+  rc=$?
+  [ "$rc" -eq 2 ] || { echo "forbidden rollup exited $rc (want 2)"; cat "$STOREDIR/cube-bad.txt"; exit 1; }
+fi
+grep -q "failing bottom" "$STOREDIR/cube-bad.txt" \
+  || { echo "refusal names no failing bottom:"; cat "$STOREDIR/cube-bad.txt"; exit 1; }
+
+# Incremental vs full validation: the same stream committed under
+# --full (whole-world re-validation per batch) must answer identically.
+"$ODCBIN" ingest "$STOREDIR/full" examples/location.odcs \
+  --facts "$STOREDIR/facts.txt" --batch-rows 4096 --full > /dev/null
+"$ODCBIN" cube "$STOREDIR/inc" Country --limit 100 > "$STOREDIR/cells-inc.txt"
+"$ODCBIN" cube "$STOREDIR/full" Country --limit 100 > "$STOREDIR/cells-full.txt"
+diff "$STOREDIR/cells-inc.txt" "$STOREDIR/cells-full.txt" \
+  || { echo "incremental and full ingest answer differently"; exit 1; }
+echo "store smoke OK: incremental and full ingest agree"
+
+echo "== store-harness smoke (exp_store) =="
+ODC_BENCH_QUICK=1 cargo run --offline --release --quiet -p odc-bench --bin exp_store -- --smoke
 
 echo "CI OK"

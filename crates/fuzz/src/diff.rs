@@ -26,17 +26,21 @@ pub enum Pair {
     RepoWarmCold,
     /// Resident `odc serve` over a socket vs one-shot library call.
     ServeCli,
+    /// Incremental delta validation vs full re-validation on streamed
+    /// store ingest.
+    IngestFull,
 }
 
 impl Pair {
     /// Every pair, in the order the driver runs them.
-    pub const ALL: [Pair; 6] = [
+    pub const ALL: [Pair; 7] = [
         Pair::TrailClone,
         Pair::SerialJobs,
         Pair::PlannedNoplan,
         Pair::FaultResume,
         Pair::RepoWarmCold,
         Pair::ServeCli,
+        Pair::IngestFull,
     ];
 
     /// Stable machine-readable name (CLI `--pairs` values, JSONL).
@@ -48,6 +52,7 @@ impl Pair {
             Pair::FaultResume => "fault-resume",
             Pair::RepoWarmCold => "repo-warm-cold",
             Pair::ServeCli => "serve-cli",
+            Pair::IngestFull => "ingest-full",
         }
     }
 

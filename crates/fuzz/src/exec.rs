@@ -240,6 +240,204 @@ pub fn run_pair(
         Pair::FaultResume => Ok(fault_resume(&ds, case)),
         Pair::RepoWarmCold => repo_warm_cold(&ds, case, ctx),
         Pair::ServeCli => serve_cli(&ds, case, ctx),
+        Pair::IngestFull => Ok(ingest_full(&ds, case)),
+    }
+}
+
+/// Incremental delta validation vs full re-validation on streamed store
+/// ingest: a seeded member/fact stream over the case schema is fed
+/// batch-by-batch into two [`odc_store::FactStore`]s — the left commits
+/// with full re-validation after every batch (the oracle), the right
+/// checks only the delta. A deterministic mutation keyed by the case id
+/// appends a final batch that is invalid only against the committed
+/// history (orphan, double same-category parent, duplicate key,
+/// non-base fact, dangling parent), so cross-batch acceptance must
+/// agree too.
+fn ingest_full(ds: &DimensionSchema, case: &FuzzCase) -> Vec<PairResult> {
+    use odc_core::instance::text::quote;
+    use odc_rand::rngs::StdRng;
+    use odc_rand::SeedableRng;
+
+    let g = ds.hierarchy();
+    let Some(bottom) = g.category_by_name(&case.bottom) else {
+        return vec![PairResult {
+            query: "ingest".into(),
+            left: Observation::error(format!("no such category `{}`", case.bottom)),
+            right: Observation::error(format!("no such category `{}`", case.bottom)),
+        }];
+    };
+    let mut rng = StdRng::seed_from_u64(0x0dc5_70e1 ^ case.id);
+    let d = match odc_workload::random_instance(ds, bottom, 24, 0.5, &mut rng) {
+        Ok(d) => d,
+        Err(_) => {
+            // Unsatisfiable bottom: nothing to stream, non-comparable.
+            let u = Observation::unknown("unsatisfiable bottom, no instance to stream");
+            return vec![PairResult {
+                query: "ingest".into(),
+                left: u.clone(),
+                right: u,
+            }];
+        }
+    };
+
+    // Parents-first member lines (parents have strictly fewer ancestors
+    // than their children), then fact rows on the base members.
+    let mut members: Vec<Member> = d.members().filter(|&m| m != Member::ALL).collect();
+    members.sort_by_key(|&m| d.ancestors(m).len());
+    let mut lines: Vec<String> = members
+        .iter()
+        .map(|&m| {
+            let parents: Vec<String> = d
+                .parents(m)
+                .iter()
+                .map(|&p| {
+                    if p == Member::ALL {
+                        "all".to_string()
+                    } else {
+                        quote(d.key(p))
+                    }
+                })
+                .collect();
+            let mut line = format!(
+                "{} : {}",
+                quote(d.key(m)),
+                g.name(d.category_of(m))
+            );
+            if !parents.is_empty() {
+                line.push_str(&format!(" < {}", parents.join(", ")));
+            }
+            line
+        })
+        .collect();
+    for (m, v) in odc_workload::facts::random_fact_rows(&d, 32, &mut rng) {
+        lines.push(format!("{} -> {v}", quote(d.key(m))));
+    }
+
+    // A tail batch that is invalid only in combination with the
+    // committed prefix (or clean, for ids ≡ 0 mod 6).
+    let tail: Option<String> = match case.id % 6 {
+        1 => Some(format!("zz·orphan : {}", g.name(bottom))),
+        2 => g
+            .categories()
+            .filter(|c| !c.is_all())
+            .find_map(|c| {
+                let in_c: Vec<Member> = members
+                    .iter()
+                    .copied()
+                    .filter(|&m| d.category_of(m) == c)
+                    .collect();
+                if in_c.len() < 2 {
+                    return None;
+                }
+                g.children(c)
+                    .iter()
+                    .find(|ch| !ch.is_all())
+                    .map(|&ch| {
+                        format!(
+                            "zz·c2 : {} < {}, {}",
+                            g.name(ch),
+                            quote(d.key(in_c[0])),
+                            quote(d.key(in_c[1]))
+                        )
+                    })
+            })
+            .or_else(|| Some(format!("zz·orphan : {}", g.name(bottom)))),
+        3 => members.first().map(|&m| {
+            format!("{} : {} < all", quote(d.key(m)), g.name(d.category_of(m)))
+        }),
+        4 => members
+            .iter()
+            .find(|&&m| !d.base_members().contains(&m))
+            .map(|&m| format!("{} -> 1", quote(d.key(m)))),
+        5 => Some(format!("zz·dangling : {} < zz·nowhere", g.name(bottom))),
+        _ => None,
+    };
+
+    let mut full_store = odc_store::FactStore::new(vec![ds.clone()]);
+    let mut inc_store = odc_store::FactStore::new(vec![ds.clone()]);
+    let mut results = Vec::new();
+    let mut batches: Vec<String> = lines.chunks(16).map(|c| c.join("\n")).collect();
+    batches.extend(tail);
+    let mut line_no = 1usize;
+    for (k, src) in batches.iter().enumerate() {
+        let batch = match odc_store::parse_batch(src, line_no) {
+            Ok(b) => b,
+            Err(e) => {
+                // Parsing is shared; a parse failure is a generator bug,
+                // not a differential signal.
+                let o = Observation::error(format!("parse: {e}"));
+                results.push(PairResult {
+                    query: format!("ingest batch {k}"),
+                    left: o.clone(),
+                    right: o,
+                });
+                break;
+            }
+        };
+        line_no += src.lines().count();
+        // The incremental side's *complete* error set, for class
+        // compatibility checks (its commit path reports only the first).
+        let inc_all = inc_store.check_batch(&batch);
+        let left_r = full_store.ingest_batch_full(&batch);
+        let right_r = inc_store.ingest_batch(&batch);
+        let left = ingest_obs(&left_r);
+        let mut right = ingest_obs(&right_r);
+        if let (Err(fe), Err(re)) = (&left_r, &right_r) {
+            // Both reject: the full oracle's error class must be among
+            // the classes the delta check found (rows may differ — the
+            // oracle re-validates the world and loses stream positions).
+            let compatible = match fe.condition() {
+                Some(fc) => inc_all.iter().filter_map(|e| e.condition()).any(|c| c == fc),
+                None => std::mem::discriminant(fe) == std::mem::discriminant(re),
+            };
+            right = right.with_witness(compatible);
+            if !compatible {
+                right.note = format!("full: {fe}; incremental: {re}");
+            }
+        }
+        let rejected = left_r.is_err() || right_r.is_err();
+        results.push(PairResult {
+            query: format!("ingest batch {k}"),
+            left,
+            right,
+        });
+        if rejected {
+            break;
+        }
+    }
+    // After identical accept/reject histories the two stores must hold
+    // identical columns.
+    results.push(PairResult {
+        query: "final store state".into(),
+        left: Observation::decided(format!(
+            "members={} facts={}",
+            full_store.num_members(0),
+            full_store.num_facts()
+        )),
+        right: Observation::decided(format!(
+            "members={} facts={}",
+            inc_store.num_members(0),
+            inc_store.num_facts()
+        )),
+    });
+    results
+}
+
+/// Reduces one ingest attempt to an [`Observation`].
+fn ingest_obs(result: &Result<odc_store::BatchStats, odc_store::IngestError>) -> Observation {
+    match result {
+        Ok(stats) => {
+            let mut o = Observation::decided("accept");
+            o.note = format!("{} member(s), {} fact(s)", stats.members, stats.facts);
+            o
+        }
+        Err(e) => Observation {
+            verdict: "reject".into(),
+            exit_code: 1,
+            witness_valid: None,
+            stats_ok: true,
+            note: e.to_string(),
+        },
     }
 }
 
@@ -615,5 +813,42 @@ impl Drop for ServerHarness {
         if let Some(j) = self.join.take() {
             let _ = j.join();
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::{compare, Pair};
+
+    /// The ingest-full pair must exercise both verdicts — clean streams
+    /// accepted by both stores, mutated tails rejected by both — and
+    /// never diverge on the deterministic corpus.
+    #[test]
+    fn ingest_full_covers_accept_and_reject_without_divergence() {
+        let scratch = std::env::temp_dir().join("odc-fuzz-ingest-test");
+        let ctx = PairContext { sabotage: false, jobs: 1, scratch: &scratch, server: None };
+        let (mut accepts, mut rejects) = (0usize, 0usize);
+        for id in 0..24 {
+            let Ok(cc) = odc_workload::case_for(7, id) else { continue };
+            let Ok(case) = crate::case::FuzzCase::from_corpus(&cc) else { continue };
+            let results = run_pair(Pair::IngestFull, &case, &ctx).expect("pair runs");
+            for r in &results {
+                assert!(
+                    compare(&r.left, &r.right).is_none(),
+                    "case {id} `{}` diverged: left={:?} right={:?}",
+                    r.query,
+                    r.left,
+                    r.right
+                );
+                match r.left.verdict.as_str() {
+                    "accept" => accepts += 1,
+                    "reject" => rejects += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert!(accepts > 0, "corpus produced no accepted batches");
+        assert!(rejects > 0, "mutation tails never fired — vacuous differential");
     }
 }

@@ -55,12 +55,25 @@ impl std::fmt::Display for InstanceParseError {
 
 impl std::error::Error for InstanceParseError {}
 
+/// One parsed member line of the textual format — the shared grammar
+/// unit (`key : Category [= "Name"] [< parent, …]`) that both the
+/// two-pass [`parse_instance`] loader and streaming consumers (the
+/// columnar fact store's ingest path) scan with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemberLine {
+    /// The member key (unquoted).
+    pub key: String,
+    /// The category name.
+    pub category: String,
+    /// The optional display name (`= "Name"`).
+    pub name: Option<String>,
+    /// Parent keys (`all` refers to the top member).
+    pub parents: Vec<String>,
+}
+
 struct Line {
     number: usize,
-    key: String,
-    category: String,
-    name: Option<String>,
-    parents: Vec<String>,
+    member: MemberLine,
 }
 
 /// Parses an instance over `schema` from text, validating C1–C7.
@@ -72,25 +85,26 @@ pub fn parse_instance(
     let mut ib = DimensionInstance::builder(schema.clone());
     // Pass 1: members.
     for l in &lines {
+        let m = &l.member;
         let cat =
             schema
-                .category_by_name(&l.category)
+                .category_by_name(&m.category)
                 .ok_or_else(|| InstanceParseError::Syntax {
                     line: l.number,
-                    message: format!("unknown category `{}`", l.category),
+                    message: format!("unknown category `{}`", m.category),
                 })?;
-        if ib.member_by_key(&l.key).is_some() {
+        if ib.member_by_key(&m.key).is_some() {
             return Err(InstanceParseError::Syntax {
                 line: l.number,
-                message: format!("duplicate member key `{}`", l.key),
+                message: format!("duplicate member key `{}`", m.key),
             });
         }
-        ib.member_named(&l.key, cat, l.name.as_deref().unwrap_or(&l.key));
+        ib.member_named(&m.key, cat, m.name.as_deref().unwrap_or(&m.key));
     }
     // Pass 2: links.
     for l in &lines {
-        let child = ib.member_by_key(&l.key).unwrap();
-        for p in &l.parents {
+        let child = ib.member_by_key(&l.member.key).unwrap();
+        for p in &l.member.parents {
             let parent = resolve_parent(&ib, p).ok_or_else(|| InstanceParseError::Syntax {
                 line: l.number,
                 message: format!("unknown parent member `{p}`"),
@@ -113,53 +127,60 @@ fn scan(src: &str) -> Result<Vec<Line>, InstanceParseError> {
     let mut out = Vec::new();
     for (i, raw) in src.lines().enumerate() {
         let number = i + 1;
-        let line = strip_comment(raw).trim();
-        if line.is_empty() {
-            continue;
+        match parse_member_line(raw) {
+            Ok(None) => {}
+            Ok(Some(member)) => out.push(Line { number, member }),
+            Err(message) => return Err(InstanceParseError::Syntax { line: number, message }),
         }
-        let err = |message: String| InstanceParseError::Syntax {
-            line: number,
-            message,
-        };
-        let (head, parents_part) = match line.split_once('<') {
-            Some((h, p)) => (h, Some(p)),
-            None => (line, None),
-        };
-        let (key_part, rest) = head
-            .split_once(':')
-            .ok_or_else(|| err("expected `key : Category`".into()))?;
-        let key = unquote(key_part.trim());
-        if key.is_empty() {
-            return Err(err("empty member key".into()));
-        }
-        let (category, name) = match rest.split_once('=') {
-            Some((c, n)) => (c.trim().to_string(), Some(unquote(n.trim()))),
-            None => (rest.trim().to_string(), None),
-        };
-        if category.is_empty() {
-            return Err(err("missing category".into()));
-        }
-        let parents = parents_part
-            .map(|p| {
-                p.split(',')
-                    .map(|x| unquote(x.trim()))
-                    .filter(|x| !x.is_empty())
-                    .collect()
-            })
-            .unwrap_or_default();
-        out.push(Line {
-            number,
-            key,
-            category,
-            name,
-            parents,
-        });
     }
     Ok(out)
 }
 
-fn strip_comment(line: &str) -> &str {
-    // `#` starts a comment unless inside quotes.
+/// Parses one line of the member grammar. `Ok(None)` for blank and
+/// comment-only lines; `Err(message)` on a syntax error (the caller
+/// supplies the line number).
+pub fn parse_member_line(raw: &str) -> Result<Option<MemberLine>, String> {
+    let line = strip_comment(raw).trim();
+    if line.is_empty() {
+        return Ok(None);
+    }
+    let (head, parents_part) = match line.split_once('<') {
+        Some((h, p)) => (h, Some(p)),
+        None => (line, None),
+    };
+    let (key_part, rest) = head
+        .split_once(':')
+        .ok_or_else(|| "expected `key : Category`".to_string())?;
+    let key = unquote(key_part.trim());
+    if key.is_empty() {
+        return Err("empty member key".into());
+    }
+    let (category, name) = match rest.split_once('=') {
+        Some((c, n)) => (c.trim().to_string(), Some(unquote(n.trim()))),
+        None => (rest.trim().to_string(), None),
+    };
+    if category.is_empty() {
+        return Err("missing category".into());
+    }
+    let parents = parents_part
+        .map(|p| {
+            p.split(',')
+                .map(|x| unquote(x.trim()))
+                .filter(|x| !x.is_empty())
+                .collect()
+        })
+        .unwrap_or_default();
+    Ok(Some(MemberLine {
+        key,
+        category,
+        name,
+        parents,
+    }))
+}
+
+/// Cuts a trailing `#` comment off `line` (a `#` inside quotes is part
+/// of the token, not a comment).
+pub fn strip_comment(line: &str) -> &str {
     let mut in_quotes = false;
     for (i, ch) in line.char_indices() {
         match ch {
@@ -171,7 +192,8 @@ fn strip_comment(line: &str) -> &str {
     line
 }
 
-fn unquote(s: &str) -> String {
+/// Removes one level of surrounding double quotes, if present.
+pub fn unquote(s: &str) -> String {
     if s.len() >= 2 && s.starts_with('"') && s.ends_with('"') {
         s[1..s.len() - 1].to_string()
     } else {
@@ -205,7 +227,9 @@ pub fn instance_to_text(d: &DimensionInstance) -> String {
     out
 }
 
-fn quote(s: &str) -> String {
+/// Quotes a token when the bare form would not survive a round trip
+/// through the grammar (whitespace or one of `#:<,="`).
+pub fn quote(s: &str) -> String {
     if s.is_empty() || s.contains(|c: char| c.is_whitespace() || "#:<,=\"".contains(c)) {
         format!("\"{s}\"")
     } else {

@@ -329,6 +329,28 @@ pub struct FuzzEvent {
     pub detail: String,
 }
 
+/// A columnar-store ingest event: one committed batch (`phase ==
+/// "batch"`), or the end-of-stream summary (`phase == "done"`). The
+/// throughput field lets CI smoke stages assert rows/sec without
+/// re-deriving it from timestamps.
+#[derive(Debug, Clone)]
+pub struct IngestEvent {
+    /// `"batch"` or `"done"`.
+    pub phase: &'static str,
+    /// The store directory (or `-` when nothing is persisted).
+    pub path: String,
+    /// 1-based batch ordinal; for `"done"`, the total batch count.
+    pub batch: u64,
+    /// Members committed (this batch; cumulative for `"done"`).
+    pub members: u64,
+    /// Facts committed (this batch; cumulative for `"done"`).
+    pub facts: u64,
+    /// Validation-plus-commit wall time in microseconds.
+    pub micros: u64,
+    /// Staged rows per second over the covered span.
+    pub rows_per_sec: u64,
+}
+
 /// One worker's contribution to a parallel battery, reported when the
 /// worker drains its stripe.
 #[derive(Debug, Clone)]
@@ -400,6 +422,9 @@ pub trait Observer: Send + Sync {
     fn repo(&self, _e: &RepoEvent) {}
     /// The differential fuzzer completed a case or found a divergence.
     fn fuzz(&self, _e: &FuzzEvent) {}
+    /// The columnar store committed an ingest batch (or finished a
+    /// stream).
+    fn ingest(&self, _e: &IngestEvent) {}
 }
 
 /// The sink that ignores everything (useful for measuring pure
@@ -544,6 +569,14 @@ impl Obs {
             o.fuzz(e);
         }
     }
+
+    /// Forwards a store-ingest event.
+    #[inline]
+    pub fn ingest(&self, e: &IngestEvent) {
+        if let Some(o) = &self.0 {
+            o.ingest(e);
+        }
+    }
 }
 
 /// Fans events out to several sinks (e.g. a JSON-lines file *and* a
@@ -628,6 +661,11 @@ impl Observer for MultiObserver {
     fn fuzz(&self, e: &FuzzEvent) {
         for s in &self.sinks {
             s.fuzz(e);
+        }
+    }
+    fn ingest(&self, e: &IngestEvent) {
+        for s in &self.sinks {
+            s.ingest(e);
         }
     }
 }
@@ -974,6 +1012,20 @@ impl Observer for JsonlObserver {
             json_escape(&e.detail),
         ));
     }
+
+    fn ingest(&self, e: &IngestEvent) {
+        self.emit(format!(
+            "{{\"event\":\"ingest\",\"phase\":\"{}\",\"path\":\"{}\",\"batch\":{},\
+             \"members\":{},\"facts\":{},\"micros\":{},\"rows_per_sec\":{}}}",
+            e.phase,
+            json_escape(&e.path),
+            e.batch,
+            e.members,
+            e.facts,
+            e.micros,
+            e.rows_per_sec,
+        ));
+    }
 }
 
 /// A human-readable progress stream (one short line per lifecycle event
@@ -1116,6 +1168,13 @@ impl Observer for ProgressObserver {
             e.case_id, e.phase, e.axis, e.pair, e.detail
         ));
     }
+
+    fn ingest(&self, e: &IngestEvent) {
+        self.emit(format!(
+            "progress: ingest {} #{} {} ({} members, {} facts, {} rows/s)",
+            e.phase, e.batch, e.path, e.members, e.facts, e.rows_per_sec
+        ));
+    }
 }
 
 /// One recorded event (what a [`CollectingObserver`] stores).
@@ -1149,6 +1208,8 @@ pub enum Event {
     Repo(RepoEvent),
     /// A `fuzz` call.
     Fuzz(FuzzEvent),
+    /// An `ingest` call.
+    Ingest(IngestEvent),
 }
 
 /// An in-memory sink recording every event, for tests and ad-hoc
@@ -1218,6 +1279,9 @@ impl Observer for CollectingObserver {
     }
     fn fuzz(&self, e: &FuzzEvent) {
         self.push(Event::Fuzz(e.clone()));
+    }
+    fn ingest(&self, e: &IngestEvent) {
+        self.push(Event::Ingest(e.clone()));
     }
 }
 

@@ -114,8 +114,17 @@ impl MultiFactTable {
 
 /// A materialized cuboid: the group-by of the cube at one category per
 /// dimension. Cells whose group is empty are absent.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `name` is materialization metadata (it identifies a cuboid among a
+/// set of candidates and breaks cost ties in [`choose_source`]
+/// deterministically); equality deliberately ignores it — two
+/// materializations with the same levels, aggregate, and cells hold the
+/// same data.
+#[derive(Debug, Clone)]
 pub struct Cuboid {
+    /// Identifying name of the materialization ([`cuboid`] derives one
+    /// from the level categories' names).
+    pub name: String,
     /// One category per dimension (the cuboid's granularity vector).
     pub levels: Vec<Category>,
     /// The aggregate function.
@@ -123,6 +132,14 @@ pub struct Cuboid {
     /// Aggregated measure per member tuple.
     pub cells: BTreeMap<Vec<Member>, i64>,
 }
+
+impl PartialEq for Cuboid {
+    fn eq(&self, other: &Cuboid) -> bool {
+        self.levels == other.levels && self.agg == other.agg && self.cells == other.cells
+    }
+}
+
+impl Eq for Cuboid {}
 
 impl Cuboid {
     /// Number of non-empty cells.
@@ -138,6 +155,12 @@ impl Cuboid {
     /// The value of one cell.
     pub fn get(&self, coords: &[Member]) -> Option<i64> {
         self.cells.get(coords).copied()
+    }
+
+    /// Replaces the materialization name.
+    pub fn with_name(mut self, name: impl Into<String>) -> Cuboid {
+        self.name = name.into();
+        self
     }
 }
 
@@ -164,6 +187,7 @@ pub fn cuboid(
         groups.entry(key).or_default().push(*v);
     }
     Cuboid {
+        name: levels_name(facts, levels),
         levels: levels.to_vec(),
         agg,
         cells: groups
@@ -171,6 +195,17 @@ pub fn cuboid(
             .map(|(k, vs)| (k, agg.apply(&vs).expect("non-empty group")))
             .collect(),
     }
+}
+
+/// The canonical materialization name for a granularity vector: the
+/// level categories' names joined with `/` (e.g. `Store/Day`).
+fn levels_name(facts: &MultiFactTable, levels: &[Category]) -> String {
+    levels
+        .iter()
+        .enumerate()
+        .map(|(k, &c)| facts.dims()[k].schema().name(c))
+        .collect::<Vec<_>>()
+        .join("/")
 }
 
 /// Rolls a materialized cuboid up to coarser levels: each cell's
@@ -197,6 +232,10 @@ pub fn roll_up(from: &Cuboid, rollups: &[RollupTable], to: &[Category]) -> Cuboi
             .or_insert(v);
     }
     Cuboid {
+        // The rollup tables carry no names; the derived cuboid records
+        // its provenance instead. Rename with `with_name` to register it
+        // as a materialization in its own right.
+        name: format!("rollup({})", from.name),
         levels: to.to_vec(),
         agg: from.agg,
         cells,
@@ -227,9 +266,10 @@ impl RollupPlan {
 }
 
 /// Picks, among materialized cuboids, the cheapest safe source for a
-/// query (cost = cell count of the materialization). Returns `None` when
-/// no materialized cuboid can answer the query exactly — fall back to the
-/// raw facts.
+/// query (cost = cell count of the materialization; ties break on the
+/// cuboid name, so the choice never depends on the iteration order of
+/// the materialized set). Returns `None` when no materialized cuboid can
+/// answer the query exactly — fall back to the raw facts.
 pub fn choose_source<'a>(
     materialized: &'a [Cuboid],
     target: &[Category],
@@ -245,7 +285,7 @@ pub fn choose_source<'a>(
                 }
                 .is_safe(&mut verdict)
         })
-        .min_by_key(|c| c.len())
+        .min_by_key(|c| (c.len(), c.name.as_str()))
 }
 
 #[cfg(test)]
@@ -571,6 +611,7 @@ mod tests {
         // A one-dimensional cuboid can never answer a two-dimensional
         // query, even with an always-true verdict.
         let skinny = Cuboid {
+            name: "Country".into(),
             levels: vec![country_c],
             agg: AggFn::Sum,
             cells: BTreeMap::new(),
@@ -611,6 +652,53 @@ mod tests {
         let wrong = roll_up(&mid, &rollups, &[country_c, month_c]);
         let right = roll_up(&base, &rollups, &[country_c, month_c]);
         assert_ne!(wrong, right);
+    }
+
+    #[test]
+    fn choose_source_breaks_cost_ties_by_name() {
+        // Two equal-size safe cuboids: the choice must be the
+        // lexicographically smaller name, whatever order the materialized
+        // set lists them in.
+        let (stores, time) = dims();
+        let f = facts(&stores, &time);
+        let rollups = [RollupTable::new(&stores), RollupTable::new(&time)];
+        let store_c = cat(&stores, "Store");
+        let country_c = cat(&stores, "Country");
+        let day_c = cat(&time, "Day");
+        let month_c = cat(&time, "Month");
+        let a = cuboid(&f, &rollups, &[store_c, day_c], AggFn::Sum).with_name("beta");
+        let b = a.clone().with_name("alpha");
+        assert_eq!(a.len(), b.len(), "tie premise: equal cell counts");
+        let target = [country_c, month_c];
+        let fwd = [a.clone(), b.clone()];
+        let chosen = choose_source(&fwd, &target, |_, _, _| true).unwrap();
+        assert_eq!(chosen.name, "alpha");
+        let rev = [b, a];
+        let chosen = choose_source(&rev, &target, |_, _, _| true).unwrap();
+        assert_eq!(chosen.name, "alpha", "tie-break must not follow input order");
+    }
+
+    #[test]
+    fn cuboid_names_derive_from_level_categories() {
+        let (stores, time) = dims();
+        let f = facts(&stores, &time);
+        let rollups = [RollupTable::new(&stores), RollupTable::new(&time)];
+        let base = cuboid(
+            &f,
+            &rollups,
+            &[cat(&stores, "Store"), cat(&time, "Day")],
+            AggFn::Sum,
+        );
+        assert_eq!(base.name, "Store/Day");
+        let rolled = roll_up(
+            &base,
+            &rollups,
+            &[cat(&stores, "Country"), cat(&time, "Month")],
+        );
+        assert_eq!(rolled.name, "rollup(Store/Day)");
+        // Equality ignores the name: the same data under two names is the
+        // same cuboid.
+        assert_eq!(base, base.clone().with_name("other"));
     }
 
     #[test]

@@ -1,6 +1,39 @@
 //! Fact tables: raw measures attached to base members.
 
+use odc_hierarchy::Category;
 use odc_instance::{DimensionInstance, Member};
+use std::fmt;
+
+/// A structural defect in a [`FactTable`], found by
+/// [`FactTable::validate_against`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FactTableError {
+    /// A row references a member that is not a *base* member of the
+    /// dimension (facts attach at bottom categories only).
+    NonBaseRow {
+        /// Index of the offending row.
+        row: usize,
+        /// The offending member.
+        member: Member,
+        /// The category the member actually belongs to.
+        category: Category,
+    },
+}
+
+impl fmt::Display for FactTableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FactTableError::NonBaseRow { row, member, category } => write!(
+                f,
+                "row {row}: member #{} sits in category #{}, not a bottom category",
+                member.index(),
+                category.index()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FactTableError {}
 
 /// A fact table over one dimension: rows of `(base member, measure)`.
 ///
@@ -45,20 +78,20 @@ impl FactTable {
     }
 
     /// Checks that every row references a member of a bottom category of
-    /// `d`, returning the offending members otherwise.
-    pub fn validate_against(&self, d: &DimensionInstance) -> Result<(), Vec<Member>> {
+    /// `d`; the first offending row is reported with its member and the
+    /// category that member actually sits in.
+    pub fn validate_against(&self, d: &DimensionInstance) -> Result<(), FactTableError> {
         let base: std::collections::HashSet<Member> = d.base_members().into_iter().collect();
-        let bad: Vec<Member> = self
-            .rows
-            .iter()
-            .map(|&(m, _)| m)
-            .filter(|m| !base.contains(m))
-            .collect();
-        if bad.is_empty() {
-            Ok(())
-        } else {
-            Err(bad)
+        for (row, &(m, _)) in self.rows.iter().enumerate() {
+            if !base.contains(&m) {
+                return Err(FactTableError::NonBaseRow {
+                    row,
+                    member: m,
+                    category: d.category_of(m),
+                });
+            }
         }
+        Ok(())
     }
 }
 
@@ -108,8 +141,18 @@ mod tests {
     fn non_base_rows_rejected() {
         let (d, s1, _, c1) = instance();
         let f = FactTable::from_rows(vec![(s1, 1), (c1, 2)]);
-        let bad = f.validate_against(&d).unwrap_err();
-        assert_eq!(bad, vec![c1]);
+        let err = f.validate_against(&d).unwrap_err();
+        let city = d.schema().category_by_name("City").unwrap();
+        assert_eq!(
+            err,
+            FactTableError::NonBaseRow {
+                row: 1,
+                member: c1,
+                category: city,
+            }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("row 1"), "{msg}");
     }
 
     #[test]

@@ -35,4 +35,4 @@ pub use agg::AggFn;
 pub use cube::{cube_view, CubeView};
 pub use datacube::{choose_source, cuboid, roll_up, Cuboid, DataCubeError, MultiFactTable, RollupPlan};
 pub use derive::derive_cube_view;
-pub use fact::FactTable;
+pub use fact::{FactTable, FactTableError};

@@ -1,0 +1,208 @@
+//! The streaming ingest format.
+//!
+//! A batch is a run of lines in two shapes, distinguished by a `->`
+//! outside quotes:
+//!
+//! ```text
+//! # member lines reuse the instance grammar (odc-instance::text):
+//! Canada  : Country < all
+//! Toronto : City    < Canada
+//! s1      : Store   < Toronto
+//! # fact lines key one base member per dimension, then the measure:
+//! s1 -> 42
+//! s1, d3 -> 17        # two-dimensional store
+//! # members of a non-first dimension carry an `@dim` prefix:
+//! @1 d3 : Day < Jan
+//! ```
+//!
+//! `#` starts a comment (quote-aware, as in the instance format); blank
+//! lines are skipped. Line numbers are global across batches — callers
+//! pass the stream position of the first line so errors point at the
+//! facts file the user actually has open.
+
+use crate::error::IngestError;
+use odc_core::instance::text::{parse_member_line, strip_comment, unquote, MemberLine};
+
+/// A member declaration staged for ingest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawMember {
+    /// 1-based stream line.
+    pub row: usize,
+    /// Dimension the member belongs to (`@dim` prefix; 0 by default).
+    pub dim: usize,
+    /// The parsed member line.
+    pub line: MemberLine,
+}
+
+/// A fact row staged for ingest: one member key per dimension plus the
+/// measure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawFact {
+    /// 1-based stream line.
+    pub row: usize,
+    /// One key per dimension, in dimension order.
+    pub keys: Vec<String>,
+    /// The measure.
+    pub measure: i64,
+}
+
+/// One parsed ingest batch: members first, then facts (the parse keeps
+/// stream order within each group; validation is order-insensitive
+/// inside a batch since the whole batch commits or rejects atomically).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StagedBatch {
+    /// Member declarations in the batch.
+    pub members: Vec<RawMember>,
+    /// Fact rows in the batch.
+    pub facts: Vec<RawFact>,
+}
+
+impl StagedBatch {
+    /// Whether the batch stages nothing.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty() && self.facts.is_empty()
+    }
+
+    /// Total staged lines.
+    pub fn len(&self) -> usize {
+        self.members.len() + self.facts.len()
+    }
+}
+
+/// Parses a run of stream lines into a batch. `first_line` is the
+/// 1-based stream position of the first line of `src`, so diagnostics
+/// carry global line numbers across batches.
+pub fn parse_batch(src: &str, first_line: usize) -> Result<StagedBatch, IngestError> {
+    let mut batch = StagedBatch::default();
+    for (i, raw) in src.lines().enumerate() {
+        let row = first_line + i;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (dim, body) = split_dim_prefix(line).map_err(|message| IngestError::Syntax {
+            row,
+            message,
+        })?;
+        if let Some(arrow) = find_arrow(body) {
+            let (keys_part, measure_part) = (&body[..arrow], &body[arrow + 2..]);
+            if dim != 0 {
+                return Err(IngestError::Syntax {
+                    row,
+                    message: "fact lines key every dimension; `@dim` applies to members only"
+                        .into(),
+                });
+            }
+            let keys: Vec<String> = keys_part
+                .split(',')
+                .map(|k| unquote(k.trim()))
+                .collect();
+            if keys.iter().any(|k| k.is_empty()) {
+                return Err(IngestError::Syntax {
+                    row,
+                    message: "empty member key in fact row".into(),
+                });
+            }
+            let measure: i64 = measure_part.trim().parse().map_err(|_| IngestError::Syntax {
+                row,
+                message: format!("bad measure `{}`", measure_part.trim()),
+            })?;
+            batch.facts.push(RawFact { row, keys, measure });
+        } else {
+            match parse_member_line(body) {
+                Ok(Some(member)) => batch.members.push(RawMember {
+                    row,
+                    dim,
+                    line: member,
+                }),
+                Ok(None) => {}
+                Err(message) => return Err(IngestError::Syntax { row, message }),
+            }
+        }
+    }
+    Ok(batch)
+}
+
+/// Splits an optional `@dim` prefix off a (already comment-stripped,
+/// trimmed, non-empty) line.
+fn split_dim_prefix(line: &str) -> Result<(usize, &str), String> {
+    let Some(rest) = line.strip_prefix('@') else {
+        return Ok((0, line));
+    };
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    let digits = &rest[..end];
+    let dim: usize = digits
+        .parse()
+        .map_err(|_| format!("bad dimension prefix `@{digits}`"))?;
+    Ok((dim, rest[end..].trim_start()))
+}
+
+/// Finds the byte offset of a `->` outside double quotes, the marker
+/// distinguishing fact rows from member lines.
+fn find_arrow(line: &str) -> Option<usize> {
+    let bytes = line.as_bytes();
+    let mut in_quotes = false;
+    for i in 0..bytes.len() {
+        match bytes[i] {
+            b'"' => in_quotes = !in_quotes,
+            b'-' if !in_quotes && bytes.get(i + 1) == Some(&b'>') => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn members_and_facts_separate() {
+        let src = "Canada : Country < all\n\n# comment\ns1 : Store < Canada\ns1 -> 42\n";
+        let b = parse_batch(src, 1).unwrap();
+        assert_eq!(b.members.len(), 2);
+        assert_eq!(b.facts.len(), 1);
+        assert_eq!(b.members[0].row, 1);
+        assert_eq!(b.members[1].row, 4);
+        assert_eq!(b.facts[0].row, 5);
+        assert_eq!(b.facts[0].keys, vec!["s1".to_string()]);
+        assert_eq!(b.facts[0].measure, 42);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn dim_prefix_routes_members() {
+        let b = parse_batch("@1 d3 : Day < Jan\n", 10).unwrap();
+        assert_eq!(b.members[0].dim, 1);
+        assert_eq!(b.members[0].row, 10);
+        assert_eq!(b.members[0].line.key, "d3");
+    }
+
+    #[test]
+    fn multi_dim_facts_and_negative_measures() {
+        let b = parse_batch("s1, d3 -> -17\n", 1).unwrap();
+        assert_eq!(b.facts[0].keys, vec!["s1".to_string(), "d3".to_string()]);
+        assert_eq!(b.facts[0].measure, -17);
+    }
+
+    #[test]
+    fn arrow_inside_quotes_is_a_member() {
+        let b = parse_batch("\"a->b\" : Store < all\n", 1).unwrap();
+        assert_eq!(b.members[0].line.key, "a->b");
+        assert!(b.facts.is_empty());
+    }
+
+    #[test]
+    fn errors_carry_global_line_numbers() {
+        let err = parse_batch("s1 -> not-a-number\n", 7).unwrap_err();
+        assert_eq!(err.row(), 7);
+        assert!(err.to_string().contains("bad measure"));
+        let err = parse_batch("@x y : Store\n", 3).unwrap_err();
+        assert!(matches!(err, IngestError::Syntax { row: 3, .. }));
+        let err = parse_batch("@1 s1, d1 -> 4\n", 2).unwrap_err();
+        assert!(err.to_string().contains("members only"));
+    }
+}

@@ -1,0 +1,80 @@
+//! A growable bitset over member indices. Per-category membership and
+//! the base-member set are the hot indexes of incremental validation —
+//! one bit per member keeps the million-member case in cache.
+
+/// A dense bitset over `u32` indices, growing on insert.
+#[derive(Debug, Clone, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// An empty set.
+    pub fn new() -> BitSet {
+        BitSet::default()
+    }
+
+    /// Inserts `i`; returns whether it was newly added.
+    pub fn insert(&mut self, i: u32) -> bool {
+        let (w, b) = (i as usize / 64, i as usize % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let fresh = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        fresh
+    }
+
+    /// Removes `i`; returns whether it was present.
+    pub fn remove(&mut self, i: u32) -> bool {
+        let (w, b) = (i as usize / 64, i as usize % 64);
+        if w >= self.words.len() {
+            return false;
+        }
+        let present = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        present
+    }
+
+    /// Whether `i` is in the set.
+    pub fn contains(&self, i: u32) -> bool {
+        let (w, b) = (i as usize / 64, i as usize % 64);
+        self.words.get(w).is_some_and(|word| word & (1 << b) != 0)
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates the set indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            (0..64)
+                .filter(move |b| word & (1 << b) != 0)
+                .map(move |b| (wi * 64 + b) as u32)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new();
+        assert!(s.insert(3));
+        assert!(s.insert(200));
+        assert!(!s.insert(3));
+        assert!(s.contains(3));
+        assert!(s.contains(200));
+        assert!(!s.contains(4));
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 200]);
+        assert!(s.remove(3));
+        assert!(!s.remove(3));
+        assert!(!s.remove(9999));
+        assert_eq!(s.count(), 1);
+    }
+}

@@ -1,0 +1,75 @@
+//! A global string interner: member keys and display names repeat
+//! heavily across batches (shared upper members, reused names), so the
+//! columnar planes store `u32` symbols and resolve text through one
+//! store-wide table.
+
+use std::collections::HashMap;
+
+/// Interns strings to dense `u32` symbols. Symbols are stable for the
+/// lifetime of the interner and resolve back in O(1).
+#[derive(Debug, Default)]
+pub struct Interner {
+    by_text: HashMap<Box<str>, u32>,
+    texts: Vec<Box<str>>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// Interns `s`, returning its symbol (existing or fresh).
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&sym) = self.by_text.get(s) {
+            return sym;
+        }
+        let sym = self.texts.len() as u32;
+        let boxed: Box<str> = s.into();
+        self.texts.push(boxed.clone());
+        self.by_text.insert(boxed, sym);
+        sym
+    }
+
+    /// Looks a string up without interning it.
+    pub fn get(&self, s: &str) -> Option<u32> {
+        self.by_text.get(s).copied()
+    }
+
+    /// Resolves a symbol back to its text.
+    ///
+    /// # Panics
+    /// Panics when `sym` was not produced by this interner.
+    pub fn resolve(&self, sym: u32) -> &str {
+        &self.texts[sym as usize]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.texts.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.texts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("Toronto");
+        let b = i.intern("Canada");
+        assert_ne!(a, b);
+        assert_eq!(i.intern("Toronto"), a);
+        assert_eq!(i.resolve(a), "Toronto");
+        assert_eq!(i.resolve(b), "Canada");
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.get("Canada"), Some(b));
+        assert_eq!(i.get("Mexico"), None);
+    }
+}

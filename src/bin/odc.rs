@@ -79,6 +79,10 @@ usage:
   odc summarizable <schema> <target> <src>…  decide whether <target> is summarizable from the sources
   odc validate <schema> <instance>           check an instance file against C1–C7 and Σ
   odc infer <schema> <instance>              mine the constraints an instance already obeys
+  odc ingest <store-dir> [<schema>…]         stream members and facts (stdin or --facts) into
+                                             a columnar store, validating C1–C7 incrementally
+  odc cube <store-dir> <level>…              materialize a rollup at one category per dimension
+                                             (verdict-gated when answering --via a cuboid)
   odc dot <schema>                           emit the hierarchy as Graphviz DOT
   odc serve [serve options]                  run the resident reasoning server (drains on
                                              SIGTERM or a `shutdown` request)
@@ -116,7 +120,7 @@ fuzz options:
   --cases <n>          corpus case ids to draw (default 64)
   --pairs <a,b,…>      executor pairs to differentiate (default all):
                        trail-clone, serial-jobs, planned-noplan, fault-resume,
-                       repo-warm-cold, serve-cli
+                       repo-warm-cold, serve-cli, ingest-full
   --repro-dir <dir>    where minimized repro directories go (default .odc-repro)
   --no-minimize        write repros without delta-debugging them first
   --replay <dir>       re-execute a repro directory (or a directory of them,
@@ -126,6 +130,19 @@ fuzz options:
   --sabotage           plant a deliberate clone-kernel corruption (self-test:
                        the fuzzer must find, minimize, and replay it)
   --time-limit <dur>   wall-clock cutoff for the whole run
+store options:
+  --facts <path>       ingest: read the member/fact stream from a file
+                       instead of stdin (`-` is stdin)
+  --batch-rows <n>     ingest: stream lines per validated batch (default 4096)
+  --full               ingest: full re-validation after every batch (the
+                       differential oracle) instead of delta checks
+  --agg <fn>           cube: sum (default), count, min, or max
+  --via <lvl[,lvl…]>   cube: answer from the materialized cuboid at this
+                       granularity instead of the base facts; refused (exit 2,
+                       failing bottom named) unless every moved dimension's
+                       summarizability verdict allows the reuse
+  --verdicts           cube: print the verdicts that gated the source choice
+  --limit <n>          cube: cells to print (default 20)
 options (reasoning commands):
   --time-limit <dur>   wall-clock budget, e.g. 500ms or 2s (exit code 2 when exceeded)
   --node-limit <n>     search-node budget (exit code 2 when exceeded)
@@ -145,7 +162,7 @@ checkpoint/resume (check, summarizable, frozen):
   --retry <n>          on budget exhaustion, retry up to <n> more times
                        in-process, doubling the budget and resuming the
                        checkpoint each time
-verdict repository (check, implies, summarizable, frozen, serve):
+verdict repository (check, implies, summarizable, frozen, cube, serve):
   --repo <dir>         consult and grow a crash-safe on-disk verdict store:
                        hits answer from disk, misses solve and persist, and
                        undecided runs leave warm-start cursors behind (subsumes
@@ -220,11 +237,11 @@ pub fn run(args: &[String]) -> Result<RunOutput, String> {
     if flags.repo.is_some()
         && !matches!(
             cmd.as_str(),
-            "check" | "implies" | "summarizable" | "frozen" | "serve"
+            "check" | "implies" | "summarizable" | "frozen" | "cube" | "serve"
         )
     {
         return Err(format!(
-            "--repo applies only to check/implies/summarizable/frozen/serve; \
+            "--repo applies only to check/implies/summarizable/frozen/cube/serve; \
              `{cmd}` has nothing to persist"
         ));
     }
@@ -820,6 +837,383 @@ pub fn run(args: &[String]) -> Result<RunOutput, String> {
                     "  {}\n",
                     odc_core::constraint::printer::display_dc(ds.hierarchy(), dc)
                 ));
+            }
+            Ok(RunOutput::answered(text))
+        }
+        "ingest" => {
+            if flags.fault.is_some() {
+                return Err("--fault does not apply to ingest".into());
+            }
+            let (dir, rest_args) = rest
+                .split_first()
+                .ok_or("ingest needs <store-dir> [<schema>…]")?;
+            let mut facts_path: Option<String> = None;
+            let mut batch_rows = 4096usize;
+            let mut full = false;
+            let mut schema_files: Vec<String> = Vec::new();
+            let mut it = rest_args.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--facts" => {
+                        facts_path = Some(it.next().ok_or("--facts needs a path")?.clone())
+                    }
+                    "--batch-rows" => {
+                        let v = it.next().ok_or("--batch-rows needs a count")?;
+                        batch_rows = v
+                            .parse()
+                            .map_err(|_| format!("--batch-rows: not a number: {v}"))?;
+                        if batch_rows == 0 {
+                            return Err("--batch-rows: must be at least 1".into());
+                        }
+                    }
+                    "--full" => full = true,
+                    other if other.starts_with("--") => {
+                        return Err(format!("ingest: unexpected argument `{other}`"))
+                    }
+                    _ => schema_files.push(a.clone()),
+                }
+            }
+            let store_dir = Path::new(dir);
+            let mut store = if store_dir.join("meta.txt").exists() {
+                if !schema_files.is_empty() {
+                    return Err(format!(
+                        "{dir}: store already initialised; drop the schema arguments to append"
+                    ));
+                }
+                odc_store::FactStore::load(store_dir).map_err(|e| format!("{dir}: {e}"))?
+            } else {
+                if schema_files.is_empty() {
+                    return Err("ingest needs at least one schema file for a new store".into());
+                }
+                let schemas: Result<Vec<DimensionSchema>, String> =
+                    schema_files.iter().map(|f| load_schema(f)).collect();
+                odc_store::FactStore::new(schemas?)
+            };
+            let stream = match facts_path.as_deref() {
+                None | Some("-") => {
+                    use std::io::Read as _;
+                    let mut s = String::new();
+                    std::io::stdin()
+                        .read_to_string(&mut s)
+                        .map_err(|e| format!("stdin: {e}"))?;
+                    s
+                }
+                Some(path) => read_file(path)?,
+            };
+            let lines: Vec<&str> = stream.lines().collect();
+            let t0 = std::time::Instant::now();
+            let (mut batch_no, mut members, mut facts, mut rows) = (0u64, 0u64, 0u64, 0u64);
+            for (i, chunk) in lines.chunks(batch_rows).enumerate() {
+                let batch = odc_store::parse_batch(&chunk.join("\n"), i * batch_rows + 1)
+                    .map_err(|e| format!("ingest: {e}"))?;
+                if batch.is_empty() {
+                    continue;
+                }
+                let bt = std::time::Instant::now();
+                let stats = if full {
+                    store.ingest_batch_full(&batch)
+                } else {
+                    store.ingest_batch(&batch)
+                }
+                .map_err(|e| format!("ingest rejected: {e}"))?;
+                let micros = bt.elapsed().as_micros() as u64;
+                batch_no += 1;
+                members += stats.members as u64;
+                facts += stats.facts as u64;
+                rows += batch.len() as u64;
+                obs.ingest(&odc_core::obs::IngestEvent {
+                    phase: "batch",
+                    path: dir.clone(),
+                    batch: batch_no,
+                    members: stats.members as u64,
+                    facts: stats.facts as u64,
+                    micros,
+                    rows_per_sec: batch.len() as u64 * 1_000_000 / micros.max(1),
+                });
+            }
+            store.save(store_dir).map_err(|e| format!("{dir}: {e}"))?;
+            let micros = t0.elapsed().as_micros() as u64;
+            let rate = rows * 1_000_000 / micros.max(1);
+            obs.ingest(&odc_core::obs::IngestEvent {
+                phase: "done",
+                path: dir.clone(),
+                batch: batch_no,
+                members,
+                facts,
+                micros,
+                rows_per_sec: rate,
+            });
+            Ok(RunOutput::answered(format!(
+                "ingested {batch_no} batch(es) ({} validation): {members} member(s), \
+                 {facts} fact(s), {rate} rows/s\nstore: {dir} — {} dimension(s), {} fact(s) total\n",
+                if full { "full" } else { "incremental" },
+                store.num_dims(),
+                store.num_facts(),
+            )))
+        }
+        "cube" => {
+            if flags.fault.is_some() {
+                return Err("--fault does not apply to cube".into());
+            }
+            let (dir, rest_args) = rest.split_first().ok_or("cube needs <store-dir> <level>…")?;
+            let mut agg = AggFn::Sum;
+            let mut via_spec: Option<String> = None;
+            let mut show_verdicts = false;
+            let mut limit = 20usize;
+            let mut level_names: Vec<String> = Vec::new();
+            let mut it = rest_args.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--agg" => {
+                        let v = it.next().ok_or("--agg needs sum|count|min|max")?;
+                        agg = match v.as_str() {
+                            "sum" => AggFn::Sum,
+                            "count" => AggFn::Count,
+                            "min" => AggFn::Min,
+                            "max" => AggFn::Max,
+                            _ => return Err(format!("--agg: unknown function `{v}`")),
+                        };
+                    }
+                    "--via" => {
+                        via_spec = Some(it.next().ok_or("--via needs <level[,level…]>")?.clone())
+                    }
+                    "--verdicts" => show_verdicts = true,
+                    "--limit" => {
+                        let v = it.next().ok_or("--limit needs a count")?;
+                        limit = v.parse().map_err(|_| format!("--limit: not a number: {v}"))?;
+                    }
+                    other if other.starts_with("--") => {
+                        return Err(format!("cube: unexpected argument `{other}`"))
+                    }
+                    _ => level_names.push(a.clone()),
+                }
+            }
+            let store =
+                odc_store::FactStore::load(Path::new(dir)).map_err(|e| format!("{dir}: {e}"))?;
+            if level_names.len() != store.num_dims() {
+                return Err(format!(
+                    "cube needs one level per dimension ({} given, store has {})",
+                    level_names.len(),
+                    store.num_dims()
+                ));
+            }
+            let target: Vec<Category> = level_names
+                .iter()
+                .enumerate()
+                .map(|(k, n)| category(store.schema(k), n))
+                .collect::<Result<_, _>>()?;
+            let via: Option<Vec<Category>> = match &via_spec {
+                None => None,
+                Some(spec) => {
+                    let names: Vec<&str> = spec.split(',').map(|s| s.trim()).collect();
+                    if names.len() != store.num_dims() {
+                        return Err(format!(
+                            "--via needs one level per dimension ({} given, store has {})",
+                            names.len(),
+                            store.num_dims()
+                        ));
+                    }
+                    Some(
+                        names
+                            .iter()
+                            .enumerate()
+                            .map(|(k, n)| category(store.schema(k), n))
+                            .collect::<Result<_, _>>()?,
+                    )
+                }
+            };
+            let repo = open_repo(&flags, &obs)?;
+            if let Some(r) = &repo {
+                for k in 0..store.num_dims() {
+                    let path = Path::new(dir).join(format!("schema.{k}.odcs"));
+                    let src = std::fs::read_to_string(&path)
+                        .map_err(|e| format!("{}: {e}", path.display()))?;
+                    r.sync_schema(store.schema(k), &path.display().to_string(), &src)
+                        .map_err(|e| format!("--repo: {e}"))?;
+                }
+            }
+            let mut text = String::new();
+            // Gate the reuse plan: every dimension that actually moves
+            // levels (`via_k != target_k`) needs a summarizability
+            // verdict before its cuboid may stand in for the facts.
+            let mut safe = vec![true; store.num_dims()];
+            let mut refusal: Option<String> = None;
+            if let Some(vl) = &via {
+                for k in 0..store.num_dims() {
+                    let (from, to) = (vl[k], target[k]);
+                    if from == to {
+                        continue;
+                    }
+                    let ds = store.schema(k);
+                    let g = ds.hierarchy();
+                    let (ok, failing) = match &repo {
+                        // Schema-level verdicts, shared with
+                        // `odc summarizable` through the repository: a
+                        // stored `true` answers from disk; everything
+                        // else solves (and persists the miss).
+                        Some(r) => {
+                            let key = vrepo::sub_key(
+                                ds,
+                                "cli-summarizable",
+                                &format!("{}<-{}", g.name(to), g.name(from)),
+                            );
+                            let hit = r.get(&key);
+                            if hit.as_ref().is_some_and(|h| h.value == "true") {
+                                (true, None)
+                            } else {
+                                let mut gov = make_governor(budget, &obs, &None);
+                                let out =
+                                    odc_core::summarizability::is_summarizable_in_schema_governed(
+                                        ds,
+                                        to,
+                                        &[from],
+                                        DimsatOptions::default(),
+                                        &mut gov,
+                                    );
+                                match &out.verdict {
+                                    SummarizabilityVerdict::Summarizable => {
+                                        if hit.is_none() {
+                                            let _ = r.put(
+                                                key,
+                                                vrepo::StoredVerdict {
+                                                    value: "true".into(),
+                                                    payload: "summarizable: true\n".into(),
+                                                    footprint: vrepo::summarizable_footprint(
+                                                        g, to, None,
+                                                    )
+                                                    .into_iter()
+                                                    .collect(),
+                                                },
+                                            );
+                                        }
+                                        (true, None)
+                                    }
+                                    SummarizabilityVerdict::NotSummarizable => {
+                                        let fb = out.failing_bottom;
+                                        if hit.is_none() {
+                                            let _ = r.put(
+                                                key,
+                                                vrepo::StoredVerdict {
+                                                    value: "false".into(),
+                                                    payload: "summarizable: false\n".into(),
+                                                    footprint: vrepo::summarizable_footprint(
+                                                        g, to, fb,
+                                                    )
+                                                    .into_iter()
+                                                    .collect(),
+                                                },
+                                            );
+                                        }
+                                        (false, fb.map(|c| g.name(c).to_string()))
+                                    }
+                                    SummarizabilityVerdict::Unknown(i) => {
+                                        return Err(format!(
+                                            "cube: dim {k} verdict unknown ({i}); raise \
+                                             --time-limit/--node-limit"
+                                        ))
+                                    }
+                                }
+                            }
+                        }
+                        // Measured verdicts straight off the rollup
+                        // columns of the loaded instance.
+                        None => {
+                            let ok = store.summarizability_verdict(k, from, to);
+                            let failing = if ok {
+                                None
+                            } else {
+                                store.summarizability_witness(k, from, to).map(
+                                    |(member, c)| {
+                                        format!("{} (witness member `{member}`)", g.name(c))
+                                    },
+                                )
+                            };
+                            (ok, failing)
+                        }
+                    };
+                    safe[k] = ok;
+                    if show_verdicts {
+                        text.push_str(&format!(
+                            "verdict: dim {k}: {} from {{{}}}: {}\n",
+                            g.name(to),
+                            g.name(from),
+                            if ok { "summarizable" } else { "NOT summarizable" }
+                        ));
+                    }
+                    if !ok && refusal.is_none() {
+                        refusal = Some(format!(
+                            "rollup forbidden: dim {k}: {} is not summarizable from \
+                             {{{}}} (failing bottom: {})\n",
+                            g.name(to),
+                            g.name(from),
+                            failing.unwrap_or_else(|| "unnamed".into())
+                        ));
+                    }
+                }
+            }
+            if let Some(line) = refusal {
+                text.push_str(&line);
+                return Ok(RunOutput {
+                    text,
+                    unknown: true,
+                });
+            }
+            let insts: Vec<DimensionInstance> =
+                (0..store.num_dims()).map(|k| store.instance(k)).collect();
+            let (cube, source_desc) = match &via {
+                Some(vl) => {
+                    let candidates = vec![store.materialize(vl, agg)];
+                    // `choose_source` re-checks the gated plan:
+                    // cost-ranked, name-tie-broken, safe per the
+                    // verdicts above.
+                    let chosen =
+                        odc_core::olap::choose_source(&candidates, &target, |k, _, _| safe[k])
+                            .ok_or("cube: internal: gated plan rejected by choose_source")?;
+                    let tables: Vec<RollupTable> = insts.iter().map(RollupTable::new).collect();
+                    let desc = format!("cuboid {} ({} cells)", chosen.name, chosen.len());
+                    (odc_core::olap::roll_up(chosen, &tables, &target), desc)
+                }
+                None => (store.materialize(&target, agg), "base facts".to_string()),
+            };
+            // The reuse answer must be byte-identical to direct
+            // materialization; a divergence means the verdict that
+            // allowed the plan was wrong for this instance (e.g. a
+            // schema-level verdict over an instance that violates Σ).
+            if via.is_some() {
+                let direct = store.materialize(&target, agg);
+                if cube.cells == direct.cells {
+                    text.push_str("verified: cells identical to direct materialization ✓\n");
+                } else {
+                    return Err(
+                        "cube: rolled-up cells diverge from direct materialization; the \
+                         instance does not satisfy the constraints the verdict assumed"
+                            .into(),
+                    );
+                }
+            }
+            let agg_name = match agg {
+                AggFn::Sum => "sum",
+                AggFn::Count => "count",
+                AggFn::Min => "min",
+                AggFn::Max => "max",
+            };
+            text.push_str(&format!(
+                "cuboid {}: {} cell(s), agg {agg_name}, source: {source_desc}\n",
+                level_names.join("/"),
+                cube.len(),
+            ));
+            let shown = cube.cells.len().min(limit);
+            for (coords, v) in cube.cells.iter().take(shown) {
+                let cell = coords
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &m)| insts[k].key(m).to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                text.push_str(&format!("  {cell} -> {v}\n"));
+            }
+            if cube.cells.len() > shown {
+                text.push_str(&format!("  ... {} more cell(s)\n", cube.cells.len() - shown));
             }
             Ok(RunOutput::answered(text))
         }
